@@ -1,0 +1,286 @@
+//! Maximum-weight bipartite assignment (Hungarian algorithm).
+//!
+//! Section V of the paper describes winner determination without the
+//! separability assumption (following Martin, Gehrke & Halpern, ICDE 2008):
+//! build a complete bipartite graph between advertisers and slots weighted
+//! by expected realized bid, prune it, and find a maximum-weight matching
+//! "using the well-known Hungarian algorithm". This module is that
+//! substrate, implemented from scratch.
+//!
+//! The solver is the `O(n² m)` shortest-augmenting-path formulation with
+//! dual potentials (Jonker–Volgenant style). Rows may be left unassigned
+//! when every available column would contribute negative weight — matching
+//! the winner-determination IP, whose constraints are inequalities (a slot
+//! may stay empty).
+
+/// Result of a maximum-weight assignment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matching {
+    /// For each row, the column it was matched to (or `None`).
+    pub row_to_col: Vec<Option<usize>>,
+    /// Total weight of the matching.
+    pub total_weight: f64,
+}
+
+impl Matching {
+    /// Number of rows actually matched.
+    pub fn matched_count(&self) -> usize {
+        self.row_to_col.iter().flatten().count()
+    }
+}
+
+/// Finds a maximum-weight assignment of rows to columns.
+///
+/// `weights[r][c]` is the value of assigning row `r` to column `c`. Every
+/// row is matched to at most one column and vice versa. Rows are left
+/// unmatched rather than take a negative-weight edge.
+///
+/// # Panics
+/// Panics if the weight matrix is ragged or contains non-finite values.
+///
+/// ```
+/// use ssa_auction::assignment::max_weight_assignment;
+/// let m = max_weight_assignment(&[vec![3.0, 1.0], vec![2.0, 4.0]]);
+/// assert_eq!(m.row_to_col, vec![Some(0), Some(1)]);
+/// assert_eq!(m.total_weight, 7.0);
+/// ```
+pub fn max_weight_assignment(weights: &[Vec<f64>]) -> Matching {
+    let rows = weights.len();
+    let cols = weights.first().map_or(0, Vec::len);
+    for (r, row) in weights.iter().enumerate() {
+        assert_eq!(row.len(), cols, "ragged weight matrix at row {r}");
+        for (c, &w) in row.iter().enumerate() {
+            assert!(w.is_finite(), "non-finite weight at ({r}, {c})");
+        }
+    }
+    if rows == 0 {
+        return Matching {
+            row_to_col: Vec::new(),
+            total_weight: 0.0,
+        };
+    }
+
+    // Minimize cost = -weight. Append one dummy zero-cost column per row so
+    // a row can always "opt out" (weight 0), which both guarantees the
+    // rows <= columns precondition and implements slot-may-stay-empty.
+    let m = cols + rows;
+    let cost = |r: usize, c: usize| -> f64 {
+        if c < cols {
+            -weights[r][c]
+        } else {
+            0.0
+        }
+    };
+
+    // Shortest-augmenting-path Hungarian with potentials, 1-indexed
+    // internally (index 0 is the virtual source column).
+    let n = rows;
+    let mut u = vec![0.0f64; n + 1];
+    let mut v = vec![0.0f64; m + 1];
+    let mut p = vec![0usize; m + 1]; // p[j] = row matched to column j (0 = free)
+    let mut way = vec![0usize; m + 1];
+
+    for i in 1..=n {
+        p[0] = i;
+        let mut j0 = 0usize;
+        let mut minv = vec![f64::INFINITY; m + 1];
+        let mut used = vec![false; m + 1];
+        loop {
+            used[j0] = true;
+            let i0 = p[j0];
+            let mut delta = f64::INFINITY;
+            let mut j1 = 0usize;
+            for j in 1..=m {
+                if !used[j] {
+                    let cur = cost(i0 - 1, j - 1) - u[i0] - v[j];
+                    if cur < minv[j] {
+                        minv[j] = cur;
+                        way[j] = j0;
+                    }
+                    if minv[j] < delta {
+                        delta = minv[j];
+                        j1 = j;
+                    }
+                }
+            }
+            debug_assert!(delta.is_finite(), "augmenting path search stuck");
+            for j in 0..=m {
+                if used[j] {
+                    u[p[j]] += delta;
+                    v[j] -= delta;
+                } else {
+                    minv[j] -= delta;
+                }
+            }
+            j0 = j1;
+            if p[j0] == 0 {
+                break;
+            }
+        }
+        // Unwind the augmenting path.
+        loop {
+            let j1 = way[j0];
+            p[j0] = p[j1];
+            j0 = j1;
+            if j0 == 0 {
+                break;
+            }
+        }
+    }
+
+    let mut row_to_col = vec![None; rows];
+    let mut total_weight = 0.0;
+    for j in 1..=m {
+        let i = p[j];
+        if i != 0 && j - 1 < cols {
+            row_to_col[i - 1] = Some(j - 1);
+            total_weight += weights[i - 1][j - 1];
+        }
+    }
+    Matching {
+        row_to_col,
+        total_weight,
+    }
+}
+
+/// Exhaustive reference solver. Exponential; test use only.
+pub fn brute_force_max_weight(weights: &[Vec<f64>]) -> f64 {
+    fn recurse(weights: &[Vec<f64>], row: usize, used: &mut Vec<bool>, acc: f64, best: &mut f64) {
+        if acc > *best {
+            *best = acc;
+        }
+        if row >= weights.len() {
+            return;
+        }
+        recurse(weights, row + 1, used, acc, best); // leave row unmatched
+        for c in 0..used.len() {
+            if !used[c] {
+                used[c] = true;
+                recurse(weights, row + 1, used, acc + weights[row][c], best);
+                used[c] = false;
+            }
+        }
+    }
+    let cols = weights.first().map_or(0, Vec::len);
+    let mut best = 0.0;
+    recurse(weights, 0, &mut vec![false; cols], 0.0, &mut best);
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn empty_matrix() {
+        let m = max_weight_assignment(&[]);
+        assert_eq!(m.total_weight, 0.0);
+        assert!(m.row_to_col.is_empty());
+    }
+
+    #[test]
+    fn square_classic() {
+        // Classic example: optimum picks the anti-diagonal here.
+        let w = vec![vec![1.0, 2.0, 3.0], vec![3.0, 3.0, 3.0], vec![3.0, 3.0, 2.0]];
+        let m = max_weight_assignment(&w);
+        assert_eq!(m.total_weight, 9.0);
+        assert_eq!(m.matched_count(), 3);
+    }
+
+    #[test]
+    fn more_rows_than_columns_leaves_rows_unmatched() {
+        let w = vec![vec![5.0], vec![7.0], vec![6.0]];
+        let m = max_weight_assignment(&w);
+        assert_eq!(m.total_weight, 7.0);
+        assert_eq!(m.row_to_col, vec![None, Some(0), None]);
+    }
+
+    #[test]
+    fn negative_edges_are_skipped() {
+        let w = vec![vec![-1.0, -2.0], vec![4.0, -3.0]];
+        let m = max_weight_assignment(&w);
+        assert_eq!(m.total_weight, 4.0);
+        assert_eq!(m.row_to_col, vec![None, Some(0)]);
+    }
+
+    #[test]
+    fn all_negative_matches_nothing() {
+        let w = vec![vec![-1.0, -2.0], vec![-4.0, -3.0]];
+        let m = max_weight_assignment(&w);
+        assert_eq!(m.total_weight, 0.0);
+        assert_eq!(m.matched_count(), 0);
+    }
+
+    #[test]
+    fn rectangular_wide() {
+        let w = vec![vec![1.0, 9.0, 2.0, 3.0]];
+        let m = max_weight_assignment(&w);
+        assert_eq!(m.row_to_col, vec![Some(1)]);
+        assert_eq!(m.total_weight, 9.0);
+    }
+
+    #[test]
+    fn matching_is_injective() {
+        let w = vec![
+            vec![9.0, 9.0, 1.0],
+            vec![9.0, 8.0, 1.0],
+            vec![1.0, 2.0, 3.0],
+        ];
+        let m = max_weight_assignment(&w);
+        let mut seen = std::collections::HashSet::new();
+        for col in m.row_to_col.iter().flatten() {
+            assert!(seen.insert(*col), "column {col} assigned twice");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn rejects_ragged_matrix() {
+        let _ = max_weight_assignment(&[vec![1.0, 2.0], vec![1.0]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite")]
+    fn rejects_nan() {
+        let _ = max_weight_assignment(&[vec![f64::NAN]]);
+    }
+
+    proptest! {
+        /// The Hungarian solver matches brute force on random small
+        /// rectangular matrices, including negative weights.
+        #[test]
+        fn hungarian_matches_brute_force(
+            rows in 1usize..5,
+            cols in 1usize..5,
+            seed in proptest::collection::vec(-10i32..10, 25),
+        ) {
+            let w: Vec<Vec<f64>> = (0..rows)
+                .map(|r| (0..cols).map(|c| seed[r * 5 + c] as f64).collect())
+                .collect();
+            let fast = max_weight_assignment(&w).total_weight;
+            let exact = brute_force_max_weight(&w);
+            prop_assert!((fast - exact).abs() < 1e-9, "fast {fast} exact {exact}");
+        }
+
+        /// Total weight reported equals the sum over the returned matching.
+        #[test]
+        fn total_weight_is_consistent(
+            rows in 1usize..5,
+            cols in 1usize..5,
+            seed in proptest::collection::vec(0u8..100, 25),
+        ) {
+            let w: Vec<Vec<f64>> = (0..rows)
+                .map(|r| (0..cols).map(|c| seed[r * 5 + c] as f64).collect())
+                .collect();
+            let m = max_weight_assignment(&w);
+            let sum: f64 = m
+                .row_to_col
+                .iter()
+                .enumerate()
+                .filter_map(|(r, c)| c.map(|c| w[r][c]))
+                .sum();
+            prop_assert!((sum - m.total_weight).abs() < 1e-9);
+        }
+    }
+}

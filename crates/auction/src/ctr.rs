@@ -1,0 +1,334 @@
+//! Click-through-rate models.
+//!
+//! The probability `ctr_ij` that a user clicks advertiser `i`'s ad when it
+//! is displayed in slot `j`. The paper's Section II-A adopts the
+//! *separability assumption* used by the deployed systems it cites:
+//! `ctr_ij = c_i * d_j`, where `c_i` is an advertiser-specific factor and
+//! `d_j` a slot-specific factor (Figures 1 and 2 of the paper). Section V
+//! discusses the non-separable case, which we model with a dense matrix.
+
+use serde::{Deserialize, Serialize};
+
+use crate::ids::{AdvertiserId, SlotIndex};
+
+/// A probability in `[0, 1]`.
+///
+/// Construction clamps out-of-range and NaN inputs, so downstream
+/// probability arithmetic never sees an invalid value.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Ctr(f64);
+
+impl PartialOrd for Ctr {
+    #[inline]
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ctr {
+    /// The zero probability.
+    pub const ZERO: Ctr = Ctr(0.0);
+    /// The certain click.
+    pub const ONE: Ctr = Ctr(1.0);
+
+    /// Constructs a CTR, clamping into `[0, 1]` (NaN becomes 0).
+    #[inline]
+    pub fn new(p: f64) -> Self {
+        if p.is_nan() {
+            Ctr(0.0)
+        } else {
+            Ctr(p.clamp(0.0, 1.0))
+        }
+    }
+
+    /// The probability as a raw f64.
+    #[inline]
+    pub fn value(self) -> f64 {
+        self.0
+    }
+
+    /// Complement `1 - p`.
+    #[inline]
+    pub fn complement(self) -> Ctr {
+        Ctr(1.0 - self.0)
+    }
+}
+
+impl Eq for Ctr {}
+
+impl Ord for Ctr {
+    #[inline]
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+/// Anything that can produce a click-through rate for an
+/// (advertiser, slot) pair.
+pub trait CtrModel {
+    /// Number of slots the model covers.
+    fn slot_count(&self) -> usize;
+
+    /// The click-through rate of `advertiser`'s ad in `slot`.
+    fn ctr(&self, advertiser: AdvertiserId, slot: SlotIndex) -> Ctr;
+}
+
+/// Separable click-through rates: `ctr_ij = c_i * d_j`.
+///
+/// Slot factors are stored sorted descending (slot 0 is the best slot), the
+/// normalization the paper adopts "without loss of generality".
+///
+/// ```
+/// use ssa_auction::ctr::{SeparableCtr, CtrModel};
+/// use ssa_auction::ids::{AdvertiserId, SlotIndex};
+/// // Figure 1/2 of the paper: c = [1.2, 1.1, 1.3], d = [0.3, 0.2].
+/// let model = SeparableCtr::new(vec![1.2, 1.1, 1.3], vec![0.3, 0.2]).unwrap();
+/// let ctr_a1 = model.ctr(AdvertiserId(0), SlotIndex(0));
+/// assert!((ctr_a1.value() - 0.36).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SeparableCtr {
+    advertiser_factors: Vec<f64>,
+    slot_factors: Vec<f64>,
+}
+
+/// Errors constructing a CTR model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CtrError {
+    /// A factor was negative, NaN, or infinite.
+    InvalidFactor {
+        /// Index of the offending factor within its input vector.
+        position: usize,
+    },
+    /// Slot factors must be sorted descending.
+    UnsortedSlots {
+        /// First slot index that is larger than its predecessor.
+        position: usize,
+    },
+    /// Matrix dimensions disagree.
+    RaggedMatrix {
+        /// The first row whose length differs from row 0.
+        row: usize,
+    },
+}
+
+impl std::fmt::Display for CtrError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CtrError::InvalidFactor { position } => write!(
+                f,
+                "CTR factor at position {position} is not a finite non-negative number"
+            ),
+            CtrError::UnsortedSlots { position } => write!(
+                f,
+                "slot factors must be sorted in descending order (violated at slot {position})"
+            ),
+            CtrError::RaggedMatrix { row } => {
+                write!(f, "CTR matrix rows have inconsistent lengths (row {row})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CtrError {}
+
+fn validate_factors(factors: &[f64]) -> Result<(), CtrError> {
+    for (position, &f) in factors.iter().enumerate() {
+        if !f.is_finite() || f < 0.0 {
+            return Err(CtrError::InvalidFactor { position });
+        }
+    }
+    Ok(())
+}
+
+impl SeparableCtr {
+    /// Builds a separable model from advertiser factors `c_i` and slot
+    /// factors `d_j`. Slot factors must be sorted descending and all
+    /// factors finite and non-negative.
+    pub fn new(advertiser_factors: Vec<f64>, slot_factors: Vec<f64>) -> Result<Self, CtrError> {
+        validate_factors(&advertiser_factors)?;
+        validate_factors(&slot_factors)?;
+        for (position, w) in slot_factors.windows(2).enumerate() {
+            if w[1] > w[0] {
+                return Err(CtrError::UnsortedSlots {
+                    position: position + 1,
+                });
+            }
+        }
+        Ok(SeparableCtr {
+            advertiser_factors,
+            slot_factors,
+        })
+    }
+
+    /// The advertiser-specific factor `c_i`.
+    #[inline]
+    pub fn advertiser_factor(&self, advertiser: AdvertiserId) -> f64 {
+        self.advertiser_factors[advertiser.index()]
+    }
+
+    /// All advertiser factors.
+    #[inline]
+    pub fn advertiser_factors(&self) -> &[f64] {
+        &self.advertiser_factors
+    }
+
+    /// The slot-specific factor `d_j`.
+    #[inline]
+    pub fn slot_factor(&self, slot: SlotIndex) -> f64 {
+        self.slot_factors[slot.index()]
+    }
+
+    /// All slot factors, descending.
+    #[inline]
+    pub fn slot_factors(&self) -> &[f64] {
+        &self.slot_factors
+    }
+
+    /// Number of advertisers covered.
+    #[inline]
+    pub fn advertiser_count(&self) -> usize {
+        self.advertiser_factors.len()
+    }
+}
+
+impl CtrModel for SeparableCtr {
+    fn slot_count(&self) -> usize {
+        self.slot_factors.len()
+    }
+
+    fn ctr(&self, advertiser: AdvertiserId, slot: SlotIndex) -> Ctr {
+        Ctr::new(self.advertiser_factor(advertiser) * self.slot_factor(slot))
+    }
+}
+
+/// A dense, non-separable CTR matrix: `matrix[i][j] = ctr_ij`.
+///
+/// Used for the Section V setting where the separability assumption does
+/// not hold and winner determination requires bipartite matching.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CtrMatrix {
+    /// `rows[i][j]` is the CTR of advertiser `i` in slot `j`.
+    rows: Vec<Vec<Ctr>>,
+    slots: usize,
+}
+
+impl CtrMatrix {
+    /// Builds a matrix from per-advertiser rows of raw probabilities.
+    /// All rows must have equal length.
+    pub fn new(raw: Vec<Vec<f64>>) -> Result<Self, CtrError> {
+        let slots = raw.first().map_or(0, Vec::len);
+        let mut rows = Vec::with_capacity(raw.len());
+        for (row_idx, row) in raw.into_iter().enumerate() {
+            if row.len() != slots {
+                return Err(CtrError::RaggedMatrix { row: row_idx });
+            }
+            rows.push(row.into_iter().map(Ctr::new).collect());
+        }
+        Ok(CtrMatrix { rows, slots })
+    }
+
+    /// Builds the matrix corresponding to a separable model — handy for
+    /// differential testing of the two winner-determination paths.
+    pub fn from_separable(model: &SeparableCtr) -> Self {
+        let rows = (0..model.advertiser_count())
+            .map(|i| {
+                (0..model.slot_count())
+                    .map(|j| model.ctr(AdvertiserId::from_index(i), SlotIndex(j as u8)))
+                    .collect()
+            })
+            .collect();
+        CtrMatrix {
+            rows,
+            slots: model.slot_count(),
+        }
+    }
+
+    /// Number of advertisers covered.
+    #[inline]
+    pub fn advertiser_count(&self) -> usize {
+        self.rows.len()
+    }
+}
+
+impl CtrModel for CtrMatrix {
+    fn slot_count(&self) -> usize {
+        self.slots
+    }
+
+    fn ctr(&self, advertiser: AdvertiserId, slot: SlotIndex) -> Ctr {
+        self.rows[advertiser.index()][slot.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's Figure 1 click-through rates decompose exactly into the
+    /// Figure 2 factors; verify every cell.
+    #[test]
+    fn figure_1_and_2_agree() {
+        let model = SeparableCtr::new(vec![1.2, 1.1, 1.3], vec![0.3, 0.2]).unwrap();
+        let expected = [[0.36, 0.24], [0.33, 0.22], [0.39, 0.26]];
+        for (i, row) in expected.iter().enumerate() {
+            for (j, &want) in row.iter().enumerate() {
+                let got = model
+                    .ctr(AdvertiserId::from_index(i), SlotIndex(j as u8))
+                    .value();
+                assert!((got - want).abs() < 1e-12, "ctr[{i}][{j}] = {got}");
+            }
+        }
+    }
+
+    #[test]
+    fn ctr_clamps_to_unit_interval() {
+        assert_eq!(Ctr::new(1.5), Ctr::ONE);
+        assert_eq!(Ctr::new(-0.5), Ctr::ZERO);
+        assert_eq!(Ctr::new(f64::NAN), Ctr::ZERO);
+        assert!((Ctr::new(0.3).complement().value() - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_unsorted_slot_factors() {
+        let err = SeparableCtr::new(vec![1.0], vec![0.2, 0.3]).unwrap_err();
+        assert_eq!(err, CtrError::UnsortedSlots { position: 1 });
+    }
+
+    #[test]
+    fn rejects_invalid_factors() {
+        let err = SeparableCtr::new(vec![f64::NAN], vec![0.3]).unwrap_err();
+        assert_eq!(err, CtrError::InvalidFactor { position: 0 });
+        let err = SeparableCtr::new(vec![1.0], vec![-0.3]).unwrap_err();
+        assert_eq!(err, CtrError::InvalidFactor { position: 0 });
+    }
+
+    #[test]
+    fn matrix_matches_separable_expansion() {
+        let model = SeparableCtr::new(vec![1.2, 1.1, 1.3], vec![0.3, 0.2]).unwrap();
+        let matrix = CtrMatrix::from_separable(&model);
+        assert_eq!(matrix.advertiser_count(), 3);
+        assert_eq!(matrix.slot_count(), 2);
+        for i in 0..3 {
+            for j in 0..2u8 {
+                assert_eq!(
+                    matrix.ctr(AdvertiserId::from_index(i), SlotIndex(j)),
+                    model.ctr(AdvertiserId::from_index(i), SlotIndex(j))
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn matrix_rejects_ragged_rows() {
+        let err = CtrMatrix::new(vec![vec![0.1, 0.2], vec![0.3]]).unwrap_err();
+        assert_eq!(err, CtrError::RaggedMatrix { row: 1 });
+    }
+
+    #[test]
+    fn empty_matrix_is_valid() {
+        let m = CtrMatrix::new(vec![]).unwrap();
+        assert_eq!(m.advertiser_count(), 0);
+        assert_eq!(m.slot_count(), 0);
+    }
+}

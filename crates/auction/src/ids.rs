@@ -1,0 +1,118 @@
+//! Strongly-typed identifiers.
+//!
+//! Advertisers, bid phrases, and slots are all referred to by dense indices
+//! in the paper's formulation (`i ∈ [n]`, `j ∈ [k]`, phrases `q`). Newtype
+//! wrappers keep those index spaces from being mixed up at compile time.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+macro_rules! dense_id {
+    ($(#[$meta:meta])* $name:ident, $prefix:expr) => {
+        $(#[$meta])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+        )]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// The dense index as a usize, for direct vector indexing.
+            #[inline]
+            pub const fn index(self) -> usize {
+                self.0 as usize
+            }
+
+            /// Constructs from a usize index.
+            ///
+            /// # Panics
+            /// Panics if the index exceeds `u32::MAX`.
+            #[inline]
+            pub fn from_index(index: usize) -> Self {
+                assert!(index <= u32::MAX as usize, "id index out of range");
+                $name(index as u32)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{}{}", $prefix, self.0)
+            }
+        }
+
+        impl From<u32> for $name {
+            #[inline]
+            fn from(v: u32) -> Self {
+                $name(v)
+            }
+        }
+    };
+}
+
+dense_id!(
+    /// Identifier of an advertiser (the paper's `i ∈ [n]`).
+    AdvertiserId,
+    "adv"
+);
+
+dense_id!(
+    /// Identifier of a bid phrase (the paper's `q`); queries are mapped to
+    /// bid phrases by the two-stage method of Radlinski et al. before
+    /// auctions are resolved, so the engine works in bid-phrase space.
+    PhraseId,
+    "phrase"
+);
+
+dense_id!(
+    /// Identifier of a topic in the synthetic workload generator.
+    TopicId,
+    "topic"
+);
+
+/// Index of an advertisement slot on a search result page (the paper's
+/// `j ∈ [k]`). Slot 0 has the highest slot-specific CTR factor by
+/// convention ("slot j has the j-th highest value of d_j").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct SlotIndex(pub u8);
+
+impl SlotIndex {
+    /// The dense index as a usize.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for SlotIndex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "slot{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_roundtrip_and_display() {
+        let a = AdvertiserId::from_index(7);
+        assert_eq!(a.index(), 7);
+        assert_eq!(a.to_string(), "adv7");
+        assert_eq!(PhraseId(3).to_string(), "phrase3");
+        assert_eq!(SlotIndex(0).to_string(), "slot0");
+        assert_eq!(TopicId::from(2u32), TopicId(2));
+    }
+
+    #[test]
+    fn ids_sort_by_index() {
+        let mut v = vec![AdvertiserId(2), AdvertiserId(0), AdvertiserId(1)];
+        v.sort();
+        assert_eq!(v, vec![AdvertiserId(0), AdvertiserId(1), AdvertiserId(2)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn from_index_rejects_overflow() {
+        let _ = AdvertiserId::from_index(u32::MAX as usize + 1);
+    }
+}

@@ -1,0 +1,160 @@
+//! A single-auction instance.
+//!
+//! One search query that matched one bid phrase produces one auction: a set
+//! of interested advertisers (each with a bid `b_i` and an
+//! advertiser-specific CTR factor `c_i`) competing for `k` slots with
+//! descending slot factors `d_j`.
+
+use serde::{Deserialize, Serialize};
+
+use crate::ctr::CtrError;
+use crate::ids::AdvertiserId;
+use crate::money::Money;
+use crate::score::Score;
+
+/// One advertiser's entry in an auction.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AuctionEntry {
+    /// Who is bidding.
+    pub advertiser: AdvertiserId,
+    /// The maximum amount the advertiser will pay for a click, `b_i`.
+    pub bid: Money,
+    /// The advertiser-specific CTR factor `c_i` (for this phrase).
+    pub advertiser_factor: f64,
+}
+
+impl AuctionEntry {
+    /// Creates an entry.
+    pub fn new(advertiser: AdvertiserId, bid: Money, advertiser_factor: f64) -> Self {
+        AuctionEntry {
+            advertiser,
+            bid,
+            advertiser_factor,
+        }
+    }
+
+    /// The ranking score `b_i * c_i` (Section II-A).
+    #[inline]
+    pub fn score(&self) -> Score {
+        Score::expected_value(self.bid, self.advertiser_factor)
+    }
+}
+
+/// A single winner-determination problem instance under separability.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AuctionInstance {
+    entries: Vec<AuctionEntry>,
+    /// Slot-specific CTR factors `d_j`, sorted descending.
+    slot_factors: Vec<f64>,
+}
+
+impl AuctionInstance {
+    /// Builds an instance. Slot factors must be finite, non-negative, and
+    /// sorted descending; entry factors must be finite and non-negative.
+    pub fn new(entries: Vec<AuctionEntry>, slot_factors: Vec<f64>) -> Result<Self, CtrError> {
+        for (position, &d) in slot_factors.iter().enumerate() {
+            if !d.is_finite() || d < 0.0 {
+                return Err(CtrError::InvalidFactor { position });
+            }
+        }
+        for (position, w) in slot_factors.windows(2).enumerate() {
+            if w[1] > w[0] {
+                return Err(CtrError::UnsortedSlots {
+                    position: position + 1,
+                });
+            }
+        }
+        for (position, e) in entries.iter().enumerate() {
+            if !e.advertiser_factor.is_finite() || e.advertiser_factor < 0.0 {
+                return Err(CtrError::InvalidFactor { position });
+            }
+        }
+        Ok(AuctionInstance {
+            entries,
+            slot_factors,
+        })
+    }
+
+    /// The competing entries, in input order.
+    #[inline]
+    pub fn entries(&self) -> &[AuctionEntry] {
+        &self.entries
+    }
+
+    /// Slot factors `d_j`, descending.
+    #[inline]
+    pub fn slot_factors(&self) -> &[f64] {
+        &self.slot_factors
+    }
+
+    /// Number of slots `k`.
+    #[inline]
+    pub fn slot_count(&self) -> usize {
+        self.slot_factors.len()
+    }
+
+    /// Number of competing advertisers `n`.
+    #[inline]
+    pub fn advertiser_count(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// The paper's Figure 1–3 worked example: three advertisers A, B, C
+    /// with factors 1.2/1.1/1.3 and two slots with factors 0.3/0.2; bids
+    /// chosen so that winner determination assigns slot 1 to A and slot 2
+    /// to B.
+    pub fn paper_example() -> Self {
+        // Figure 3 itself is not reproduced numerically in the provided
+        // text, but the outcome is stated: A wins slot 1, B wins slot 2,
+        // C loses. Bids 2.00 / 2.00 / 1.60 give scores
+        // 2.4 / 2.2 / 2.08, realizing exactly that outcome.
+        AuctionInstance::new(
+            vec![
+                AuctionEntry::new(AdvertiserId(0), Money::from_units(2), 1.2),
+                AuctionEntry::new(AdvertiserId(1), Money::from_units(2), 1.1),
+                AuctionEntry::new(AdvertiserId(2), Money::from_f64(1.6), 1.3),
+            ],
+            vec![0.3, 0.2],
+        )
+        .expect("static example is valid")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_example_scores() {
+        let inst = AuctionInstance::paper_example();
+        let scores: Vec<f64> = inst.entries().iter().map(|e| e.score().value()).collect();
+        assert!((scores[0] - 2.4).abs() < 1e-9);
+        assert!((scores[1] - 2.2).abs() < 1e-9);
+        assert!((scores[2] - 2.08).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rejects_bad_slot_factors() {
+        let err = AuctionInstance::new(vec![], vec![0.1, 0.2]).unwrap_err();
+        assert_eq!(err, CtrError::UnsortedSlots { position: 1 });
+        let err = AuctionInstance::new(vec![], vec![f64::INFINITY]).unwrap_err();
+        assert_eq!(err, CtrError::InvalidFactor { position: 0 });
+    }
+
+    #[test]
+    fn rejects_bad_entry_factor() {
+        let err = AuctionInstance::new(
+            vec![AuctionEntry::new(AdvertiserId(0), Money::from_units(1), -1.0)],
+            vec![0.3],
+        )
+        .unwrap_err();
+        assert_eq!(err, CtrError::InvalidFactor { position: 0 });
+    }
+
+    #[test]
+    fn empty_auction_is_fine() {
+        let inst = AuctionInstance::new(vec![], vec![0.3, 0.2]).unwrap();
+        assert_eq!(inst.slot_count(), 2);
+        assert_eq!(inst.advertiser_count(), 0);
+    }
+}

@@ -1,0 +1,44 @@
+#![warn(missing_docs)]
+
+//! Sponsored-search auction substrate.
+//!
+//! This crate implements the auction model from *Shared Winner Determination
+//! in Sponsored Search Auctions* (Martin & Halpern, ICDE 2009): advertisers
+//! bid on clicks for bid phrases, search result pages expose `k` ad slots,
+//! and the *winner-determination problem* assigns slots to advertisers so as
+//! to maximize the total expected amount of bids realized.
+//!
+//! The crate provides:
+//!
+//! * fixed-point [`Money`] and totally-ordered
+//!   [`Score`] primitives,
+//! * click-through-rate models, both [separable](ctr::SeparableCtr)
+//!   (`ctr_ij = c_i * d_j`, Section II-A of the paper) and
+//!   [non-separable](ctr::CtrMatrix),
+//! * winner determination for a single auction: the linear-time top-k scan
+//!   under separability ([`winner`]) and the graph-pruning + Hungarian
+//!   algorithm pipeline for non-separable CTRs ([`nonseparable`], the
+//!   technique of Martin, Gehrke & Halpern, ICDE 2008, which Section V of
+//!   the paper plugs its shared top-k algorithms into),
+//! * a from-scratch maximum-weight bipartite [assignment] solver,
+//! * the pricing rules the paper references: first-price, generalized
+//!   second price, and VCG for position auctions ([`pricing`]).
+
+pub mod assignment;
+pub mod ctr;
+pub mod expressive;
+pub mod ids;
+pub mod instance;
+pub mod money;
+pub mod nonseparable;
+pub mod pricing;
+pub mod score;
+pub mod winner;
+
+pub use ctr::{Ctr, CtrMatrix, CtrModel, SeparableCtr};
+pub use ids::{AdvertiserId, PhraseId, SlotIndex};
+pub use instance::{AuctionEntry, AuctionInstance};
+pub use money::Money;
+pub use pricing::{PricedSlot, PricingRule};
+pub use score::Score;
+pub use winner::{determine_winners, Assignment};

@@ -1,0 +1,293 @@
+//! Fixed-point money.
+//!
+//! Budgets, bids, and prices are held in *micro-units* (1 currency unit =
+//! 1,000,000 micros) so that budget arithmetic in Section IV of the paper —
+//! which assumes budgets "written in the lowest denomination of currency" —
+//! is exact. All arithmetic is checked or saturating; money never goes
+//! negative.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Sub, SubAssign};
+
+use serde::{Deserialize, Serialize};
+
+/// Number of micro-units per whole currency unit.
+pub const MICROS_PER_UNIT: u64 = 1_000_000;
+
+/// A non-negative amount of money in micro-currency units.
+///
+/// ```
+/// use ssa_auction::money::Money;
+/// let bid = Money::from_units(2) + Money::from_micros(500_000);
+/// assert_eq!(bid.to_f64(), 2.5);
+/// assert_eq!(bid.saturating_sub(Money::from_units(10)), Money::ZERO);
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Money(u64);
+
+impl Money {
+    /// Zero money.
+    pub const ZERO: Money = Money(0);
+    /// The largest representable amount.
+    pub const MAX: Money = Money(u64::MAX);
+
+    /// Constructs from raw micro-units.
+    #[inline]
+    pub const fn from_micros(micros: u64) -> Self {
+        Money(micros)
+    }
+
+    /// Constructs from whole currency units (e.g. dollars).
+    ///
+    /// # Panics
+    /// Panics on overflow.
+    #[inline]
+    pub const fn from_units(units: u64) -> Self {
+        match units.checked_mul(MICROS_PER_UNIT) {
+            Some(m) => Money(m),
+            None => panic!("Money::from_units overflow"),
+        }
+    }
+
+    /// Constructs from a floating-point amount of whole units, rounding to
+    /// the nearest micro. Negative and non-finite inputs clamp to zero.
+    pub fn from_f64(units: f64) -> Self {
+        if !units.is_finite() || units <= 0.0 {
+            return Money::ZERO;
+        }
+        let micros = (units * MICROS_PER_UNIT as f64).round();
+        if micros >= u64::MAX as f64 {
+            Money::MAX
+        } else {
+            Money(micros as u64)
+        }
+    }
+
+    /// Raw micro-units.
+    #[inline]
+    pub const fn micros(self) -> u64 {
+        self.0
+    }
+
+    /// Value in whole units as a float (lossy for very large amounts).
+    #[inline]
+    pub fn to_f64(self) -> f64 {
+        self.0 as f64 / MICROS_PER_UNIT as f64
+    }
+
+    /// True iff the amount is zero.
+    #[inline]
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Checked addition.
+    #[inline]
+    pub fn checked_add(self, rhs: Money) -> Option<Money> {
+        self.0.checked_add(rhs.0).map(Money)
+    }
+
+    /// Saturating addition.
+    #[inline]
+    pub fn saturating_add(self, rhs: Money) -> Money {
+        Money(self.0.saturating_add(rhs.0))
+    }
+
+    /// Subtraction that clamps at zero, matching the paper's
+    /// `max(0, beta_i - S)` remaining-budget expression.
+    #[inline]
+    pub fn saturating_sub(self, rhs: Money) -> Money {
+        Money(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Checked subtraction; `None` if `rhs > self`.
+    #[inline]
+    pub fn checked_sub(self, rhs: Money) -> Option<Money> {
+        self.0.checked_sub(rhs.0).map(Money)
+    }
+
+    /// Divides the amount evenly among `n` parts, rounding down.
+    /// Used for the paper's `beta_i / m_i` throttle. Returns `Money::MAX`
+    /// when `n == 0` (no auctions → no constraint).
+    #[inline]
+    pub fn div_n(self, n: u64) -> Money {
+        self.0.checked_div(n).map_or(Money::MAX, Money)
+    }
+
+    /// Multiplies by a probability-like factor in `[0, 1]`, rounding to the
+    /// nearest micro. Factors outside `[0, 1]` are clamped.
+    pub fn scale(self, factor: f64) -> Money {
+        let f = factor.clamp(0.0, 1.0);
+        Money((self.0 as f64 * f).round() as u64)
+    }
+
+    /// Rounds down to a multiple of `increment` (e.g. billing in whole
+    /// cents). Zero increment leaves the amount unchanged.
+    #[inline]
+    pub fn round_down_to(self, increment: Money) -> Money {
+        if increment.0 == 0 {
+            self
+        } else {
+            Money(self.0 - self.0 % increment.0)
+        }
+    }
+
+    /// The smaller of two amounts.
+    #[inline]
+    pub fn min(self, rhs: Money) -> Money {
+        Money(self.0.min(rhs.0))
+    }
+
+    /// The larger of two amounts.
+    #[inline]
+    pub fn max(self, rhs: Money) -> Money {
+        Money(self.0.max(rhs.0))
+    }
+}
+
+impl Add for Money {
+    type Output = Money;
+    #[inline]
+    fn add(self, rhs: Money) -> Money {
+        Money(
+            self.0
+                .checked_add(rhs.0)
+                .expect("Money addition overflowed"),
+        )
+    }
+}
+
+impl AddAssign for Money {
+    #[inline]
+    fn add_assign(&mut self, rhs: Money) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for Money {
+    type Output = Money;
+    /// Panicking subtraction; use [`Money::saturating_sub`] for clamped
+    /// budget arithmetic.
+    #[inline]
+    fn sub(self, rhs: Money) -> Money {
+        Money(
+            self.0
+                .checked_sub(rhs.0)
+                .expect("Money subtraction underflowed"),
+        )
+    }
+}
+
+impl SubAssign for Money {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Money) {
+        *self = *self - rhs;
+    }
+}
+
+impl Sum for Money {
+    fn sum<I: Iterator<Item = Money>>(iter: I) -> Money {
+        iter.fold(Money::ZERO, |acc, m| acc + m)
+    }
+}
+
+impl fmt::Display for Money {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let units = self.0 / MICROS_PER_UNIT;
+        let frac = self.0 % MICROS_PER_UNIT;
+        if frac == 0 {
+            write!(f, "{units}.00")
+        } else {
+            // Render with up to 6 decimal places, trimming trailing zeros
+            // but keeping at least two for a currency look.
+            let mut s = format!("{frac:06}");
+            while s.len() > 2 && s.ends_with('0') {
+                s.pop();
+            }
+            write!(f, "{units}.{s}")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_roundtrips() {
+        assert_eq!(Money::from_units(3).micros(), 3 * MICROS_PER_UNIT);
+        assert_eq!(Money::from_micros(42).micros(), 42);
+        assert_eq!(Money::from_f64(1.25).micros(), 1_250_000);
+        assert_eq!(Money::from_f64(-3.0), Money::ZERO);
+        assert_eq!(Money::from_f64(f64::NAN), Money::ZERO);
+        assert_eq!(Money::from_f64(f64::INFINITY), Money::ZERO);
+    }
+
+    #[test]
+    fn display_formats_currency() {
+        assert_eq!(Money::from_units(5).to_string(), "5.00");
+        assert_eq!(Money::from_f64(1.5).to_string(), "1.50");
+        assert_eq!(Money::from_micros(1_000_001).to_string(), "1.000001");
+        assert_eq!(Money::ZERO.to_string(), "0.00");
+    }
+
+    #[test]
+    fn saturating_sub_clamps_at_zero() {
+        let a = Money::from_units(1);
+        let b = Money::from_units(2);
+        assert_eq!(a.saturating_sub(b), Money::ZERO);
+        assert_eq!(b.saturating_sub(a), Money::from_units(1));
+    }
+
+    #[test]
+    fn div_n_handles_zero_auctions() {
+        assert_eq!(Money::from_units(10).div_n(0), Money::MAX);
+        assert_eq!(Money::from_units(10).div_n(4), Money::from_f64(2.5));
+    }
+
+    #[test]
+    fn scale_clamps_factor() {
+        let m = Money::from_units(10);
+        assert_eq!(m.scale(0.5), Money::from_units(5));
+        assert_eq!(m.scale(2.0), m);
+        assert_eq!(m.scale(-1.0), Money::ZERO);
+    }
+
+    #[test]
+    fn round_down_to_increment() {
+        let cent = Money::from_micros(10_000);
+        assert_eq!(Money::from_micros(123_456).round_down_to(cent).micros(), 120_000);
+        assert_eq!(Money::from_micros(120_000).round_down_to(cent).micros(), 120_000);
+        assert_eq!(Money::from_micros(9_999).round_down_to(cent), Money::ZERO);
+        let m = Money::from_micros(777);
+        assert_eq!(m.round_down_to(Money::ZERO), m, "zero increment is a no-op");
+    }
+
+    #[test]
+    fn sum_accumulates() {
+        let total: Money = [1u64, 2, 3].iter().map(|&u| Money::from_units(u)).sum();
+        assert_eq!(total, Money::from_units(6));
+    }
+
+    #[test]
+    #[should_panic(expected = "underflowed")]
+    fn strict_sub_panics_on_underflow() {
+        let _ = Money::from_units(1) - Money::from_units(2);
+    }
+
+    #[test]
+    fn ordering_is_numeric() {
+        assert!(Money::from_micros(10) < Money::from_micros(11));
+        assert_eq!(
+            Money::from_units(1).max(Money::from_units(2)),
+            Money::from_units(2)
+        );
+        assert_eq!(
+            Money::from_units(1).min(Money::from_units(2)),
+            Money::from_units(1)
+        );
+    }
+}

@@ -1,0 +1,290 @@
+//! Pricing rules.
+//!
+//! "While mechanisms currently in use differ in what pricing rule they use
+//! after running winner determination, they all use winner determination as
+//! a first step" (Section I). This module implements the three rules the
+//! paper names — first-price, generalized second price (GSP, used by Google
+//! and Yahoo!), and VCG for position auctions — all of which operate on the
+//! ranked output of winner determination and all of which satisfy the
+//! paper's standing constraint that *the price charged to an advertiser
+//! does not exceed his bid*.
+
+use serde::{Deserialize, Serialize};
+
+use crate::ids::{AdvertiserId, SlotIndex};
+use crate::instance::{AuctionEntry, AuctionInstance};
+use crate::money::Money;
+use crate::winner::{determine_winners, top_k_entries, Assignment};
+
+/// A slot with its winner and the per-click price charged on a click.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PricedSlot {
+    /// The slot.
+    pub slot: SlotIndex,
+    /// The winning advertiser.
+    pub advertiser: AdvertiserId,
+    /// Price charged if (and only if) the user clicks.
+    pub price_per_click: Money,
+}
+
+/// The pricing rules named by the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PricingRule {
+    /// Pay your bid.
+    FirstPrice,
+    /// Generalized second price with quality weighting: the winner in slot
+    /// j pays the minimum bid that would keep it ranked above the next
+    /// advertiser, `s_(j+1) / c_(j)` per click.
+    GeneralizedSecondPrice,
+    /// Vickrey–Clarke–Groves payments for position auctions under
+    /// separability (the externality the winner imposes on those below).
+    Vcg,
+}
+
+/// Runs winner determination then applies `rule`, returning the priced
+/// slate.
+///
+/// ```
+/// use ssa_auction::{AuctionInstance, PricingRule};
+/// use ssa_auction::pricing::price_auction;
+/// let priced = price_auction(&AuctionInstance::paper_example(), PricingRule::GeneralizedSecondPrice);
+/// assert_eq!(priced.len(), 2);
+/// for p in &priced {
+///     println!("{} wins {} at {}", p.advertiser, p.slot, p.price_per_click);
+/// }
+/// ```
+pub fn price_auction(instance: &AuctionInstance, rule: PricingRule) -> Vec<PricedSlot> {
+    let assignment = determine_winners(instance);
+    price_assignment(instance, &assignment, rule)
+}
+
+/// Applies `rule` to an existing assignment (e.g. one computed through a
+/// shared plan).
+pub fn price_assignment(
+    instance: &AuctionInstance,
+    assignment: &Assignment,
+    rule: PricingRule,
+) -> Vec<PricedSlot> {
+    match rule {
+        PricingRule::FirstPrice => first_price(instance, assignment),
+        PricingRule::GeneralizedSecondPrice => gsp(instance, assignment),
+        PricingRule::Vcg => vcg(instance, assignment),
+    }
+}
+
+fn entry_of(instance: &AuctionInstance, advertiser: AdvertiserId) -> &AuctionEntry {
+    instance
+        .entries()
+        .iter()
+        .find(|e| e.advertiser == advertiser)
+        .expect("assigned advertiser must be an auction entry")
+}
+
+fn first_price(instance: &AuctionInstance, assignment: &Assignment) -> Vec<PricedSlot> {
+    assignment
+        .winners()
+        .iter()
+        .map(|w| PricedSlot {
+            slot: w.slot,
+            advertiser: w.advertiser,
+            price_per_click: entry_of(instance, w.advertiser).bid,
+        })
+        .collect()
+}
+
+/// The ranked scores relevant to pricing: the winners' scores followed by
+/// the best score among non-winners (the "runner-up" that sets the last
+/// winner's GSP price). Returned best-first.
+fn ranked_scores_with_runner_up(instance: &AuctionInstance, assignment: &Assignment) -> Vec<f64> {
+    let k = assignment.len();
+    // top_k_entries with k+1 recovers the runner-up deterministically.
+    top_k_entries(instance.entries(), k + 1)
+        .iter()
+        .map(|e| e.score().value())
+        .collect()
+}
+
+fn gsp(instance: &AuctionInstance, assignment: &Assignment) -> Vec<PricedSlot> {
+    let ranked = ranked_scores_with_runner_up(instance, assignment);
+    assignment
+        .winners()
+        .iter()
+        .enumerate()
+        .map(|(rank, w)| {
+            let entry = entry_of(instance, w.advertiser);
+            let next_score = ranked.get(rank + 1).copied().unwrap_or(0.0);
+            // Minimum bid to stay ranked at `rank`: next_score / c_i.
+            let price = if entry.advertiser_factor > 0.0 {
+                Money::from_f64(next_score / entry.advertiser_factor)
+            } else {
+                Money::ZERO
+            };
+            PricedSlot {
+                slot: w.slot,
+                advertiser: w.advertiser,
+                price_per_click: price.min(entry.bid),
+            }
+        })
+        .collect()
+}
+
+/// VCG for position auctions under separability.
+///
+/// With slot factors `d_1 ≥ … ≥ d_k` (and `d_{k+1} = 0`) and ranked scores
+/// `s_(1) ≥ s_(2) ≥ …`, the total expected VCG payment of the advertiser in
+/// slot `j` is `Σ_{t=j}^{k} (d_t − d_{t+1}) · s_(t+1)` — the welfare loss
+/// it imposes on lower-ranked advertisers. Dividing by the winner's
+/// expected click rate `c_i · d_j` converts it to a per-click price.
+fn vcg(instance: &AuctionInstance, assignment: &Assignment) -> Vec<PricedSlot> {
+    let ranked = ranked_scores_with_runner_up(instance, assignment);
+    let d = instance.slot_factors();
+    let k = assignment.len();
+    assignment
+        .winners()
+        .iter()
+        .enumerate()
+        .map(|(rank, w)| {
+            let entry = entry_of(instance, w.advertiser);
+            let mut total_payment = 0.0;
+            for t in rank..k {
+                let dt = d[t];
+                let dt1 = if t + 1 < d.len() { d[t + 1] } else { 0.0 };
+                let s_next = ranked.get(t + 1).copied().unwrap_or(0.0);
+                total_payment += (dt - dt1) * s_next;
+            }
+            let click_rate = entry.advertiser_factor * d[w.slot.index()];
+            let price = if click_rate > 0.0 {
+                Money::from_f64(total_payment / click_rate)
+            } else {
+                Money::ZERO
+            };
+            PricedSlot {
+                slot: w.slot,
+                advertiser: w.advertiser,
+                price_per_click: price.min(entry.bid),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn entry(id: u32, bid_units: f64, factor: f64) -> AuctionEntry {
+        AuctionEntry::new(AdvertiserId(id), Money::from_f64(bid_units), factor)
+    }
+
+    #[test]
+    fn first_price_charges_bids() {
+        let inst = AuctionInstance::paper_example();
+        let priced = price_auction(&inst, PricingRule::FirstPrice);
+        assert_eq!(priced[0].price_per_click, Money::from_units(2));
+        assert_eq!(priced[1].price_per_click, Money::from_units(2));
+    }
+
+    #[test]
+    fn gsp_charges_next_score_over_own_factor() {
+        let inst = AuctionInstance::paper_example();
+        let priced = price_auction(&inst, PricingRule::GeneralizedSecondPrice);
+        // Scores: A=2.4, B=2.2, C=2.08.
+        // A pays 2.2/1.2, B pays 2.08/1.1.
+        assert!((priced[0].price_per_click.to_f64() - 2.2 / 1.2).abs() < 1e-6);
+        assert!((priced[1].price_per_click.to_f64() - 2.08 / 1.1).abs() < 1e-6);
+    }
+
+    #[test]
+    fn last_winner_with_no_runner_up_pays_zero_under_gsp() {
+        let inst = AuctionInstance::new(vec![entry(0, 3.0, 1.0)], vec![0.3, 0.2]).unwrap();
+        let priced = price_auction(&inst, PricingRule::GeneralizedSecondPrice);
+        assert_eq!(priced.len(), 1);
+        assert_eq!(priced[0].price_per_click, Money::ZERO);
+    }
+
+    #[test]
+    fn vcg_is_weakly_below_gsp() {
+        // Known property of position auctions: VCG payments are at most
+        // GSP payments (per click) for every slot.
+        let inst = AuctionInstance::new(
+            vec![
+                entry(0, 4.0, 1.0),
+                entry(1, 3.0, 1.0),
+                entry(2, 2.0, 1.0),
+                entry(3, 1.0, 1.0),
+            ],
+            vec![0.3, 0.2, 0.1],
+        )
+        .unwrap();
+        let gsp_prices = price_auction(&inst, PricingRule::GeneralizedSecondPrice);
+        let vcg_prices = price_auction(&inst, PricingRule::Vcg);
+        for (g, v) in gsp_prices.iter().zip(&vcg_prices) {
+            assert!(
+                v.price_per_click <= g.price_per_click,
+                "VCG {} > GSP {} in {}",
+                v.price_per_click,
+                g.price_per_click,
+                g.slot
+            );
+        }
+    }
+
+    #[test]
+    fn vcg_single_slot_is_second_price() {
+        // With one slot VCG degenerates to the classic second-price rule
+        // (weighted by quality).
+        let inst =
+            AuctionInstance::new(vec![entry(0, 4.0, 1.0), entry(1, 3.0, 1.0)], vec![0.5]).unwrap();
+        let priced = price_auction(&inst, PricingRule::Vcg);
+        assert_eq!(priced.len(), 1);
+        assert!((priced[0].price_per_click.to_f64() - 3.0).abs() < 1e-6);
+    }
+
+    proptest! {
+        /// The paper's standing constraint: no pricing rule ever charges
+        /// more than the advertiser's bid.
+        #[test]
+        fn price_never_exceeds_bid(
+            bids in proptest::collection::vec(0u32..1000, 1..8),
+            factors in proptest::collection::vec(1u32..300, 8),
+            k in 1usize..5,
+        ) {
+            let entries: Vec<AuctionEntry> = bids
+                .iter()
+                .enumerate()
+                .map(|(i, &b)| entry(i as u32, b as f64 / 100.0, factors[i] as f64 / 100.0))
+                .collect();
+            let mut d: Vec<f64> = (0..k).map(|j| 0.4 / (j + 1) as f64).collect();
+            d.sort_by(|a, b| b.partial_cmp(a).unwrap());
+            let inst = AuctionInstance::new(entries, d).unwrap();
+            for rule in [
+                PricingRule::FirstPrice,
+                PricingRule::GeneralizedSecondPrice,
+                PricingRule::Vcg,
+            ] {
+                for p in price_auction(&inst, rule) {
+                    let bid = entry_of(&inst, p.advertiser).bid;
+                    prop_assert!(p.price_per_click <= bid, "{rule:?} overcharged");
+                }
+            }
+        }
+
+        /// GSP prices are monotone: better slots never cost less per click
+        /// when all advertiser factors are equal.
+        #[test]
+        fn gsp_monotone_for_uniform_quality(
+            bids in proptest::collection::vec(1u32..1000, 2..8),
+        ) {
+            let entries: Vec<AuctionEntry> = bids
+                .iter()
+                .enumerate()
+                .map(|(i, &b)| entry(i as u32, b as f64 / 100.0, 1.0))
+                .collect();
+            let inst = AuctionInstance::new(entries, vec![0.3, 0.2, 0.1]).unwrap();
+            let priced = price_auction(&inst, PricingRule::GeneralizedSecondPrice);
+            for pair in priced.windows(2) {
+                prop_assert!(pair[0].price_per_click >= pair[1].price_per_click);
+            }
+        }
+    }
+}

@@ -1,0 +1,139 @@
+//! Totally-ordered f64 scores.
+//!
+//! Winner determination under separability ranks advertisers by the product
+//! `b_i * c_i` (bid times advertiser-specific CTR factor). Those products
+//! are real-valued, and Rust's `f64` is only partially ordered, so we wrap
+//! it in [`Score`], which enforces a no-NaN invariant at construction and
+//! implements `Ord` via `f64::total_cmp`.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, Mul};
+
+use serde::{Deserialize, Serialize};
+
+use crate::money::Money;
+
+/// A finite, non-negative score. Ordered totally.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Score(f64);
+
+impl Score {
+    /// The zero score.
+    pub const ZERO: Score = Score(0.0);
+
+    /// Constructs a score, clamping NaN and negatives to zero and
+    /// +infinity to `f64::MAX` so the no-NaN/finite invariant always holds.
+    #[inline]
+    pub fn new(value: f64) -> Self {
+        if value.is_nan() || value <= 0.0 {
+            Score(0.0)
+        } else if value == f64::INFINITY {
+            Score(f64::MAX)
+        } else {
+            Score(value)
+        }
+    }
+
+    /// The expected-value score `b_i * c_i` for a bid and an
+    /// advertiser-specific CTR factor (Section II-A of the paper).
+    #[inline]
+    pub fn expected_value(bid: Money, advertiser_factor: f64) -> Self {
+        Score::new(bid.to_f64() * advertiser_factor)
+    }
+
+    /// Raw value.
+    #[inline]
+    pub fn value(self) -> f64 {
+        self.0
+    }
+
+    /// True iff the score is exactly zero.
+    #[inline]
+    pub fn is_zero(self) -> bool {
+        self.0 == 0.0
+    }
+}
+
+impl Eq for Score {}
+
+impl PartialOrd for Score {
+    #[inline]
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Score {
+    #[inline]
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+impl Add for Score {
+    type Output = Score;
+    #[inline]
+    fn add(self, rhs: Score) -> Score {
+        Score::new(self.0 + rhs.0)
+    }
+}
+
+impl Mul<f64> for Score {
+    type Output = Score;
+    #[inline]
+    fn mul(self, rhs: f64) -> Score {
+        Score::new(self.0 * rhs)
+    }
+}
+
+impl Sum for Score {
+    fn sum<I: Iterator<Item = Score>>(iter: I) -> Score {
+        iter.fold(Score::ZERO, |a, b| a + b)
+    }
+}
+
+impl fmt::Display for Score {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nan_and_negatives_clamp_to_zero() {
+        assert_eq!(Score::new(f64::NAN), Score::ZERO);
+        assert_eq!(Score::new(-1.0), Score::ZERO);
+        assert!(Score::new(f64::INFINITY) > Score::new(1e300));
+    }
+
+    #[test]
+    fn total_order_is_numeric() {
+        let mut scores = vec![Score::new(3.0), Score::new(1.0), Score::new(2.0)];
+        scores.sort();
+        assert_eq!(
+            scores,
+            vec![Score::new(1.0), Score::new(2.0), Score::new(3.0)]
+        );
+    }
+
+    #[test]
+    fn expected_value_matches_paper_example() {
+        // Figure 3-style: advertiser A bids 1.00 with factor 1.2 -> 1.2.
+        let s = Score::expected_value(Money::from_units(1), 1.2);
+        assert!((s.value() - 1.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn arithmetic_preserves_invariant() {
+        let s = Score::new(2.0) * -3.0;
+        assert_eq!(s, Score::ZERO);
+        assert_eq!(Score::new(1.0) + Score::new(2.0), Score::new(3.0));
+        let total: Score = [1.0, 2.0, 3.0].iter().map(|&v| Score::new(v)).sum();
+        assert_eq!(total, Score::new(6.0));
+    }
+}

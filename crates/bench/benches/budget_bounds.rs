@@ -1,0 +1,58 @@
+//! E8 micro-benchmarks: throttled-bid comparison via refined bounds vs
+//! exact convolution.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use ssa_auction::money::Money;
+use ssa_core::budget::{compare_throttled, BudgetContext, OutstandingAd};
+
+fn random_context(rng: &mut StdRng, l: usize) -> BudgetContext {
+    BudgetContext {
+        bid: Money::from_f64(rng.random_range(1.0..4.0)),
+        remaining_budget: Money::from_f64(rng.random_range(2.0..12.0)),
+        auctions_in_round: rng.random_range(1..4),
+        outstanding: (0..l)
+            .map(|_| {
+                OutstandingAd::new(
+                    Money::from_f64(rng.random_range(0.5..4.0)),
+                    rng.random_range(0.05..0.95),
+                )
+            })
+            .collect(),
+    }
+}
+
+fn bench_compare(c: &mut Criterion) {
+    let mut group = c.benchmark_group("throttled_bid_comparison");
+    for &l in &[6usize, 12, 18] {
+        let mut rng = StdRng::seed_from_u64(42);
+        let pairs: Vec<(BudgetContext, BudgetContext)> = (0..32)
+            .map(|_| (random_context(&mut rng, l), random_context(&mut rng, l)))
+            .collect();
+        group.bench_with_input(BenchmarkId::new("bounds", l), &(), |b, ()| {
+            b.iter(|| {
+                for (x, y) in &pairs {
+                    black_box(compare_throttled(&x.refiner(), &y.refiner()));
+                }
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("exact", l), &(), |b, ()| {
+            b.iter(|| {
+                for (x, y) in &pairs {
+                    black_box(x.throttled_bid_exact().cmp(&y.throttled_bid_exact()));
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_compare
+}
+criterion_main!(benches);

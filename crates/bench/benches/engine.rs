@@ -1,0 +1,42 @@
+//! E10 end-to-end benchmarks: full engine rounds per sharing strategy.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use ssa_bench::setups::sweep_workload;
+use ssa_core::engine::{BudgetPolicy, Engine, EngineConfig, SharingStrategy};
+
+fn bench_engine_rounds(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_rounds");
+    group.sample_size(10);
+    for sharing in [
+        SharingStrategy::Unshared,
+        SharingStrategy::SharedAggregation,
+        SharingStrategy::SharedSort,
+    ] {
+        group.bench_with_input(
+            BenchmarkId::new("strategy", format!("{sharing:?}")),
+            &sharing,
+            |b, &sharing| {
+                b.iter_with_setup(
+                    || {
+                        Engine::new(
+                            sweep_workload(2_000, 16, 4, 11),
+                            EngineConfig {
+                                sharing,
+                                budget_policy: BudgetPolicy::Ignore,
+                                seed: 23,
+                                ..EngineConfig::default()
+                            },
+                        )
+                    },
+                    |mut engine| black_box(engine.run(10)),
+                )
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine_rounds);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! E9 planner benchmarks: plan construction cost per mode, and the
+//! expected-cost quality each achieves.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use ssa_bench::setups::{fig4_problem, sweep_workload, workload_problem};
+use ssa_core::plan::SharedPlanner;
+
+fn bench_planners(c: &mut Criterion) {
+    let mut group = c.benchmark_group("plan_construction");
+    // The Figure 4 instance family.
+    let fig4 = fig4_problem(20, 10, 0.5, 7);
+    group.bench_function("fig4_full", |b| {
+        b.iter(|| black_box(SharedPlanner::full().plan(black_box(&fig4))))
+    });
+    group.bench_function("fig4_fragments", |b| {
+        b.iter(|| black_box(SharedPlanner::fragments_only().plan(black_box(&fig4))))
+    });
+    // Larger topic workloads: fragments-only must stay fast.
+    for &(n, m) in &[(1_000usize, 16usize), (10_000, 32)] {
+        let problem = workload_problem(&sweep_workload(n, m, 4, 9));
+        group.bench_with_input(
+            BenchmarkId::new("workload_fragments", format!("n{n}_m{m}")),
+            &(),
+            |b, ()| {
+                b.iter(|| {
+                    black_box(SharedPlanner::fragments_only().plan(black_box(&problem)))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_planners
+}
+criterion_main!(benches);

@@ -1,0 +1,94 @@
+//! E6 micro-benchmarks: shared merge network + TA vs independent full
+//! sorts under phrase-specific factors.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use ssa_auction::ids::{AdvertiserId, PhraseId};
+use ssa_auction::money::Money;
+use ssa_bench::setups::interest_sets;
+use ssa_core::sort::planner::build_shared_sort_plan_bucketed;
+use ssa_core::sort::ta::{naive_top_k, threshold_top_k};
+use ssa_workload::{Workload, WorkloadConfig};
+
+fn jittered_workload(n: usize) -> Workload {
+    Workload::generate(&WorkloadConfig {
+        advertisers: n,
+        phrases: 12,
+        topics: 4,
+        phrase_factor_jitter: 0.4,
+        seed: 3,
+        ..WorkloadConfig::default()
+    })
+}
+
+fn bench_ta_vs_naive(c: &mut Criterion) {
+    let mut group = c.benchmark_group("per_phrase_topk_jittered");
+    for &n in &[1_000usize, 5_000] {
+        let w = jittered_workload(n);
+        let rates = w.search_rates();
+        let interest = interest_sets(&w);
+        let plan = build_shared_sort_plan_bucketed(n, &interest, &rates);
+        let bids: Vec<Money> = w.advertisers.iter().map(|a| a.bid).collect();
+        let k = 5;
+        // Precompute c-orders (offline per the paper).
+        let c_orders: Vec<Vec<(AdvertiserId, f64)>> = (0..w.phrase_count())
+            .map(|q| {
+                let phrase = PhraseId::from_index(q);
+                let mut order: Vec<(AdvertiserId, f64)> = w.interest[q]
+                    .iter()
+                    .map(|&a| (a, w.phrase_factor(phrase, a).unwrap()))
+                    .collect();
+                order.sort_by(|x, y| y.1.total_cmp(&x.1).then(x.0.cmp(&y.0)));
+                order
+            })
+            .collect();
+
+        group.bench_with_input(
+            BenchmarkId::new("shared_sort_ta", n),
+            &(),
+            |b, ()| {
+                b.iter(|| {
+                    let (mut net, roots) = plan.instantiate(&bids);
+                    let mut out = Vec::new();
+                    for q in 0..w.phrase_count() {
+                        let phrase = PhraseId::from_index(q);
+                        let r = threshold_top_k(
+                            &mut net,
+                            roots[q],
+                            &c_orders[q],
+                            |a| bids[a.index()],
+                            |a| w.phrase_factor(phrase, a).unwrap_or(0.0),
+                            k,
+                        );
+                        out.push(r.top_k);
+                    }
+                    black_box(out)
+                })
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("naive_scan", n), &(), |b, ()| {
+            b.iter(|| {
+                let mut out = Vec::new();
+                for q in 0..w.phrase_count() {
+                    let phrase = PhraseId::from_index(q);
+                    out.push(naive_top_k(
+                        &w.interest[q],
+                        |a| bids[a.index()],
+                        |a| w.phrase_factor(phrase, a).unwrap_or(0.0),
+                        k,
+                    ));
+                }
+                black_box(out)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(15);
+    targets = bench_ta_vs_naive
+}
+criterion_main!(benches);

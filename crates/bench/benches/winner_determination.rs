@@ -1,0 +1,70 @@
+//! Single-auction winner determination benchmarks: the separable
+//! `O(n log k)` scan and the non-separable prune + Hungarian pipeline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use ssa_auction::ctr::CtrMatrix;
+use ssa_auction::ids::AdvertiserId;
+use ssa_auction::instance::{AuctionEntry, AuctionInstance};
+use ssa_auction::money::Money;
+use ssa_auction::nonseparable::{determine_winners_nonseparable, NonSeparableBid};
+use ssa_auction::winner::determine_winners;
+
+fn separable_instance(n: usize, k: usize, seed: u64) -> AuctionInstance {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let entries: Vec<AuctionEntry> = (0..n)
+        .map(|i| {
+            AuctionEntry::new(
+                AdvertiserId::from_index(i),
+                Money::from_f64(rng.random_range(0.1..5.0)),
+                rng.random_range(0.5..1.5),
+            )
+        })
+        .collect();
+    let mut d: Vec<f64> = (0..k).map(|_| rng.random_range(0.05..0.4)).collect();
+    d.sort_by(|a, b| b.partial_cmp(a).unwrap());
+    AuctionInstance::new(entries, d).unwrap()
+}
+
+fn bench_separable(c: &mut Criterion) {
+    let mut group = c.benchmark_group("separable_winner_determination");
+    for &n in &[1_000usize, 10_000, 100_000] {
+        let instance = separable_instance(n, 8, 1);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &(), |b, ()| {
+            b.iter(|| black_box(determine_winners(black_box(&instance))))
+        });
+    }
+    group.finish();
+}
+
+fn bench_nonseparable(c: &mut Criterion) {
+    let mut group = c.benchmark_group("nonseparable_winner_determination");
+    for &n in &[1_000usize, 10_000] {
+        let mut rng = StdRng::seed_from_u64(2);
+        let k = 8;
+        let rows: Vec<Vec<f64>> = (0..n)
+            .map(|_| (0..k).map(|_| rng.random_range(0.0..0.5)).collect())
+            .collect();
+        let matrix = CtrMatrix::new(rows).unwrap();
+        let bids: Vec<NonSeparableBid> = (0..n)
+            .map(|i| NonSeparableBid {
+                advertiser: AdvertiserId::from_index(i),
+                bid: Money::from_f64(rng.random_range(0.1..5.0)),
+            })
+            .collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &(), |b, ()| {
+            b.iter(|| black_box(determine_winners_nonseparable(&matrix, black_box(&bids))))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_separable, bench_nonseparable
+}
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Run an engine simulation from a JSON config.
+//!
+//! ```text
+//! simulate path/to/config.json     # run the described simulation
+//! simulate --default               # print a default config to stdout
+//! ```
+
+use ssa_bench::config::{render_metrics, SimulationSpec};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("--default") => {
+            let spec = SimulationSpec::default();
+            println!(
+                "{}",
+                serde_json::to_string_pretty(&spec).expect("spec serializes")
+            );
+        }
+        Some(path) => {
+            let json = match std::fs::read_to_string(path) {
+                Ok(j) => j,
+                Err(e) => {
+                    eprintln!("cannot read {path}: {e}");
+                    std::process::exit(1);
+                }
+            };
+            let spec = match SimulationSpec::from_json(&json) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("{e}");
+                    std::process::exit(2);
+                }
+            };
+            match spec.run() {
+                Ok(metrics) => println!("{}", render_metrics(&metrics)),
+                Err(e) => {
+                    eprintln!("{e}");
+                    std::process::exit(2);
+                }
+            }
+        }
+        None => {
+            eprintln!("usage: simulate <config.json> | simulate --default");
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,270 @@
+//! Simulation configuration for the `simulate` CLI.
+//!
+//! A JSON-serializable description of a full engine run — workload shape,
+//! engine knobs, horizon — so simulations are reproducible from a config
+//! file checked into an experiments repo.
+
+use serde::{Deserialize, Serialize};
+
+use ssa_auction::money::Money;
+use ssa_auction::pricing::PricingRule;
+use ssa_core::engine::{BudgetPolicy, Engine, EngineConfig, EngineMetrics, SharingStrategy};
+use ssa_workload::{Workload, WorkloadConfig};
+
+/// Workload knobs (mirrors [`WorkloadConfig`] with serde-friendly
+/// defaults).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+#[serde(default)]
+pub struct WorkloadSpec {
+    /// Number of advertisers.
+    pub advertisers: usize,
+    /// Number of bid phrases.
+    pub phrases: usize,
+    /// Number of topics.
+    pub topics: usize,
+    /// Fraction of generalist advertisers.
+    pub generalist_fraction: f64,
+    /// Zipf exponent for search rates.
+    pub search_rate_zipf_exponent: f64,
+    /// Search rate of the hottest phrase.
+    pub max_search_rate: f64,
+    /// Per-phrase CTR-factor jitter (0 = Section II separable setting).
+    pub phrase_factor_jitter: f64,
+    /// Workload RNG seed.
+    pub seed: u64,
+}
+
+impl Default for WorkloadSpec {
+    fn default() -> Self {
+        let d = WorkloadConfig::default();
+        WorkloadSpec {
+            advertisers: d.advertisers,
+            phrases: d.phrases,
+            topics: d.topics,
+            generalist_fraction: d.generalist_fraction,
+            search_rate_zipf_exponent: d.search_rate_zipf_exponent,
+            max_search_rate: d.max_search_rate,
+            phrase_factor_jitter: d.phrase_factor_jitter,
+            seed: d.seed,
+        }
+    }
+}
+
+impl WorkloadSpec {
+    /// Generates the workload.
+    pub fn build(&self) -> Workload {
+        Workload::generate(&WorkloadConfig {
+            advertisers: self.advertisers,
+            phrases: self.phrases,
+            topics: self.topics,
+            generalist_fraction: self.generalist_fraction,
+            search_rate_zipf_exponent: self.search_rate_zipf_exponent,
+            max_search_rate: self.max_search_rate,
+            phrase_factor_jitter: self.phrase_factor_jitter,
+            seed: self.seed,
+            ..WorkloadConfig::default()
+        })
+    }
+}
+
+/// One simulation to run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+#[serde(default)]
+pub struct SimulationSpec {
+    /// Workload shape.
+    pub workload: WorkloadSpec,
+    /// Rounds to simulate.
+    pub rounds: usize,
+    /// Slot-specific CTR factors, descending.
+    pub slot_factors: Vec<f64>,
+    /// `"first-price"`, `"gsp"`, or `"vcg"`.
+    pub pricing: String,
+    /// `"ignore"`, `"throttle-exact"`, or `"throttle-bounds"`.
+    pub budget_policy: String,
+    /// `"unshared"`, `"shared-aggregation"`, or `"shared-sort"`.
+    pub sharing: String,
+    /// Mean click delay in rounds.
+    pub mean_click_delay_rounds: f64,
+    /// Outstanding-ad expiry in rounds.
+    pub click_expiry_rounds: u32,
+    /// TA worker threads (shared-sort only).
+    pub ta_threads: usize,
+    /// Engine RNG seed.
+    pub seed: u64,
+}
+
+impl Default for SimulationSpec {
+    fn default() -> Self {
+        SimulationSpec {
+            workload: WorkloadSpec::default(),
+            rounds: 100,
+            slot_factors: vec![0.3, 0.2, 0.1],
+            pricing: "gsp".to_string(),
+            budget_policy: "throttle-exact".to_string(),
+            sharing: "shared-aggregation".to_string(),
+            mean_click_delay_rounds: 3.0,
+            click_expiry_rounds: 20,
+            ta_threads: 1,
+            seed: 7,
+        }
+    }
+}
+
+/// Config parse/validation errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError(pub String);
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "config error: {}", self.0)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+impl SimulationSpec {
+    /// Parses a spec from JSON.
+    pub fn from_json(json: &str) -> Result<Self, ConfigError> {
+        serde_json::from_str(json).map_err(|e| ConfigError(e.to_string()))
+    }
+
+    fn pricing_rule(&self) -> Result<PricingRule, ConfigError> {
+        match self.pricing.as_str() {
+            "first-price" => Ok(PricingRule::FirstPrice),
+            "gsp" => Ok(PricingRule::GeneralizedSecondPrice),
+            "vcg" => Ok(PricingRule::Vcg),
+            other => Err(ConfigError(format!("unknown pricing rule '{other}'"))),
+        }
+    }
+
+    fn budget(&self) -> Result<BudgetPolicy, ConfigError> {
+        match self.budget_policy.as_str() {
+            "ignore" => Ok(BudgetPolicy::Ignore),
+            "throttle-exact" => Ok(BudgetPolicy::ThrottleExact),
+            "throttle-bounds" => Ok(BudgetPolicy::ThrottleBounds),
+            other => Err(ConfigError(format!("unknown budget policy '{other}'"))),
+        }
+    }
+
+    fn strategy(&self) -> Result<SharingStrategy, ConfigError> {
+        match self.sharing.as_str() {
+            "unshared" => Ok(SharingStrategy::Unshared),
+            "shared-aggregation" => Ok(SharingStrategy::SharedAggregation),
+            "shared-sort" => Ok(SharingStrategy::SharedSort),
+            other => Err(ConfigError(format!("unknown sharing strategy '{other}'"))),
+        }
+    }
+
+    /// Builds the engine.
+    pub fn build_engine(&self) -> Result<Engine, ConfigError> {
+        if self.slot_factors.is_empty() {
+            return Err(ConfigError("need at least one slot".to_string()));
+        }
+        Ok(Engine::new(
+            self.workload.build(),
+            EngineConfig {
+                slot_factors: self.slot_factors.clone(),
+                pricing: self.pricing_rule()?,
+                budget_policy: self.budget()?,
+                sharing: self.strategy()?,
+                mean_click_delay_rounds: self.mean_click_delay_rounds,
+                click_expiry_rounds: self.click_expiry_rounds,
+                billing_increment: Money::from_micros(10_000),
+                ta_threads: self.ta_threads,
+                seed: self.seed,
+            },
+        ))
+    }
+
+    /// Runs the simulation and returns the metrics.
+    pub fn run(&self) -> Result<EngineMetrics, ConfigError> {
+        let mut engine = self.build_engine()?;
+        Ok(engine.run(self.rounds))
+    }
+}
+
+/// Renders a metrics summary (shared by the CLI and tests).
+pub fn render_metrics(m: &EngineMetrics) -> String {
+    format!(
+        "rounds: {}\nauctions: {}\nimpressions: {}\nclicks: {}\nrevenue: {}\nforgiven: {}\n\
+         clicks beyond budget: {}\nadvertisers scanned: {}\naggregation ops: {}\n\
+         merge invocations: {}\nta stages: {}\nresolution ms: {:.2}",
+        m.rounds,
+        m.auctions,
+        m.impressions,
+        m.clicks,
+        m.revenue,
+        m.forgiven,
+        m.clicks_beyond_budget,
+        m.advertisers_scanned,
+        m.aggregation_ops,
+        m.merge_invocations,
+        m.ta_stages,
+        m.resolution_nanos as f64 / 1e6,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_spec_runs() {
+        let spec = SimulationSpec {
+            rounds: 5,
+            workload: WorkloadSpec {
+                advertisers: 50,
+                phrases: 4,
+                topics: 2,
+                ..WorkloadSpec::default()
+            },
+            ..SimulationSpec::default()
+        };
+        let m = spec.run().expect("default spec valid");
+        assert_eq!(m.rounds, 5);
+        assert!(!render_metrics(&m).is_empty());
+    }
+
+    #[test]
+    fn json_round_trip_and_partial_configs() {
+        // Partial JSON relies on serde defaults.
+        let spec = SimulationSpec::from_json(r#"{"rounds": 3, "sharing": "unshared"}"#)
+            .expect("partial config parses");
+        assert_eq!(spec.rounds, 3);
+        assert_eq!(spec.sharing, "unshared");
+        assert_eq!(spec.pricing, "gsp");
+        let full = serde_json::to_string(&spec).unwrap();
+        let back = SimulationSpec::from_json(&full).unwrap();
+        assert_eq!(back.rounds, spec.rounds);
+    }
+
+    #[test]
+    fn rejects_unknown_enums() {
+        let spec = SimulationSpec {
+            pricing: "pay-with-exposure".to_string(),
+            ..SimulationSpec::default()
+        };
+        assert!(spec.run().is_err());
+        let spec = SimulationSpec {
+            budget_policy: "hope".to_string(),
+            ..SimulationSpec::default()
+        };
+        assert!(spec.build_engine().is_err());
+        let spec = SimulationSpec {
+            sharing: "telepathy".to_string(),
+            ..SimulationSpec::default()
+        };
+        assert!(spec.build_engine().is_err());
+        let spec = SimulationSpec {
+            slot_factors: vec![],
+            ..SimulationSpec::default()
+        };
+        assert!(spec.build_engine().is_err());
+    }
+
+    #[test]
+    fn bad_json_is_a_config_error() {
+        let err = SimulationSpec::from_json("{nope").unwrap_err();
+        assert!(err.to_string().contains("config error"));
+    }
+}

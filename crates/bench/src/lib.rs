@@ -1,0 +1,11 @@
+#![warn(missing_docs)]
+
+//! Shared infrastructure for the benchmark harness: experiment tables,
+//! CSV output, and canonical workload constructions used by both the
+//! criterion benches and the `experiments` binary.
+
+pub mod config;
+pub mod report;
+pub mod setups;
+
+pub use report::Table;

@@ -1,0 +1,71 @@
+//! Canonical experiment setups shared between benches and the harness.
+
+use ssa_core::plan::PlanProblem;
+use ssa_setcover::BitSet;
+use ssa_workload::scenarios::fig4_coinflip_queries;
+use ssa_workload::{Workload, WorkloadConfig};
+
+/// The Figure 4 protocol instance: `queries` coin-flip queries over
+/// `advertisers` advertisers, all with search rate `sr`.
+pub fn fig4_problem(advertisers: usize, queries: usize, sr: f64, seed: u64) -> PlanProblem {
+    let sets: Vec<BitSet> = fig4_coinflip_queries(advertisers, queries, seed)
+        .iter()
+        .map(|q| BitSet::from_elements(advertisers, q.iter().map(|a| a.index())))
+        .collect();
+    let m = sets.len();
+    PlanProblem::new(advertisers, sets, Some(vec![sr; m]))
+}
+
+/// A plan problem derived from a topic-model workload's interest sets.
+pub fn workload_problem(w: &Workload) -> PlanProblem {
+    let n = w.advertiser_count();
+    let queries: Vec<BitSet> = w
+        .interest
+        .iter()
+        .map(|ids| BitSet::from_elements(n, ids.iter().map(|a| a.index())))
+        .collect();
+    PlanProblem::new(n, queries, Some(w.search_rates()))
+}
+
+/// The standard sweep workload for sharing experiments.
+pub fn sweep_workload(advertisers: usize, phrases: usize, topics: usize, seed: u64) -> Workload {
+    Workload::generate(&WorkloadConfig {
+        advertisers,
+        phrases,
+        topics,
+        seed,
+        ..WorkloadConfig::default()
+    })
+}
+
+/// Interest sets of a workload as bit sets.
+pub fn interest_sets(w: &Workload) -> Vec<BitSet> {
+    let n = w.advertiser_count();
+    w.interest
+        .iter()
+        .map(|ids| BitSet::from_elements(n, ids.iter().map(|a| a.index())))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig4_problem_shape() {
+        let p = fig4_problem(20, 10, 0.5, 1);
+        assert_eq!(p.var_count, 20);
+        assert_eq!(p.query_count(), 10);
+        assert!(p.search_rates.iter().all(|&r| r == 0.5));
+    }
+
+    #[test]
+    fn workload_problem_matches_interest() {
+        let w = sweep_workload(50, 6, 3, 2);
+        let p = workload_problem(&w);
+        assert_eq!(p.query_count(), 6);
+        for (q, ids) in w.interest.iter().enumerate() {
+            assert_eq!(p.queries[q].len(), ids.len());
+        }
+    }
+}

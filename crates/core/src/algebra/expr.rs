@@ -1,0 +1,311 @@
+//! ⊕-expressions and A-equivalence.
+//!
+//! "Given the abstract operator ⊕, aggregation queries are represented by
+//! ⊕-expressions which are obtained by starting out with a set of
+//! variables X and closing off under the binary ⊕ operator." Two
+//! expressions are *A-equivalent* iff their equality is provable from the
+//! axiom set A. Equivalence is decided through per-axiom-set canonical
+//! forms:
+//!
+//! | axioms              | canonical form                      |
+//! |---------------------|-------------------------------------|
+//! | degenerate (Fig 5 O(1) rows) | the single trivial value   |
+//! | A1 + A3 + A4        | the *set* of variables (Lemma 1)    |
+//! | A1 + A4             | the multiset of variables           |
+//! | A1 + A3             | the free band's exact normal form ([`super::band`]) |
+//! | A1                  | the flattened variable sequence |
+//! | otherwise           | the expression tree, children sorted under A4 and doubled nodes collapsed under A3 |
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use super::AxiomSet;
+
+/// An ⊕-expression over variables `x0, x1, …`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Expr {
+    /// A variable (an advertiser's bid in the paper's setting).
+    Var(usize),
+    /// An application of the binary operator.
+    Op(Box<Expr>, Box<Expr>),
+}
+
+impl Expr {
+    /// Convenience constructor for `a ⊕ b`.
+    pub fn op(a: Expr, b: Expr) -> Expr {
+        Expr::Op(Box::new(a), Box::new(b))
+    }
+
+    /// The right-associated chain `x_0 ⊕ (x_1 ⊕ (… ⊕ x_k))` over the
+    /// given variables — the paper's convention for writing `⊕_{i∈I} b_i`.
+    ///
+    /// # Panics
+    /// Panics on an empty variable list (no identity to fall back on).
+    pub fn chain(vars: &[usize]) -> Expr {
+        assert!(!vars.is_empty(), "cannot build an empty ⊕-expression");
+        let mut it = vars.iter().rev();
+        let mut acc = Expr::Var(*it.next().unwrap());
+        for &v in it {
+            acc = Expr::op(Expr::Var(v), acc);
+        }
+        acc
+    }
+
+    /// All variables, in occurrence (in-order) sequence.
+    pub fn var_sequence(&self) -> Vec<usize> {
+        let mut out = Vec::new();
+        self.collect_vars(&mut out);
+        out
+    }
+
+    fn collect_vars(&self, out: &mut Vec<usize>) {
+        match self {
+            Expr::Var(v) => out.push(*v),
+            Expr::Op(a, b) => {
+                a.collect_vars(out);
+                b.collect_vars(out);
+            }
+        }
+    }
+
+    /// The *set* of variables mentioned — Lemma 1's canonical object for
+    /// the semilattice case.
+    pub fn var_set(&self) -> Vec<usize> {
+        let mut v = self.var_sequence();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+
+    /// Number of ⊕ applications.
+    pub fn op_count(&self) -> usize {
+        match self {
+            Expr::Var(_) => 0,
+            Expr::Op(a, b) => 1 + a.op_count() + b.op_count(),
+        }
+    }
+
+    /// The canonical key of this expression under the axiom set.
+    pub fn canon_key(&self, axioms: AxiomSet) -> CanonKey {
+        if axioms.is_degenerate() {
+            return CanonKey::Trivial;
+        }
+        if axioms.associative() {
+            if axioms.commutative() {
+                if axioms.idempotent() {
+                    CanonKey::Set(self.var_set())
+                } else {
+                    let mut counts: BTreeMap<usize, usize> = BTreeMap::new();
+                    for v in self.var_sequence() {
+                        *counts.entry(v).or_insert(0) += 1;
+                    }
+                    CanonKey::Multiset(counts.into_iter().collect())
+                }
+            } else if axioms.idempotent() {
+                // Band: the free idempotent semigroup's word problem,
+                // solved exactly by the Green's-relations normal form.
+                CanonKey::Band(super::band::band_normal_form(&self.var_sequence()))
+            } else {
+                CanonKey::Seq(self.var_sequence())
+            }
+        } else {
+            CanonKey::Tree(self.canon_tree(axioms))
+        }
+    }
+
+    /// Canonical tree for non-associative axiom sets: children sorted
+    /// under commutativity, `e ⊕ e` collapsed under idempotence.
+    fn canon_tree(&self, axioms: AxiomSet) -> CanonTree {
+        match self {
+            Expr::Var(v) => CanonTree::Var(*v),
+            Expr::Op(a, b) => {
+                let ca = a.canon_tree(axioms);
+                let cb = b.canon_tree(axioms);
+                if axioms.idempotent() && ca == cb {
+                    return ca;
+                }
+                let (l, r) = if axioms.commutative() && cb < ca {
+                    (cb, ca)
+                } else {
+                    (ca, cb)
+                };
+                CanonTree::Op(Box::new(l), Box::new(r))
+            }
+        }
+    }
+
+    /// Decides A-equivalence through canonical keys; exact for every
+    /// axiom combination (the band case uses the free band's
+    /// Green's-relations normal form).
+    pub fn a_equivalent(&self, other: &Expr, axioms: AxiomSet) -> bool {
+        self.canon_key(axioms) == other.canon_key(axioms)
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Var(v) => write!(f, "x{v}"),
+            Expr::Op(a, b) => write!(f, "({a} ⊕ {b})"),
+        }
+    }
+}
+
+/// Canonical tree used for non-associative algebras.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum CanonTree {
+    /// A variable leaf.
+    Var(usize),
+    /// A canonicalized operator node.
+    Op(Box<CanonTree>, Box<CanonTree>),
+}
+
+/// The canonical key deciding A-equivalence.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum CanonKey {
+    /// Degenerate algebra: all expressions are equal.
+    Trivial,
+    /// Semilattice: the set of variables (Lemma 1).
+    Set(Vec<usize>),
+    /// Commutative semigroup/monoid: the multiset `(var, count)`.
+    Multiset(Vec<(usize, usize)>),
+    /// Associative non-commutative non-idempotent: the flattened
+    /// sequence.
+    Seq(Vec<usize>),
+    /// Band (associative + idempotent, non-commutative): the free band's
+    /// exact normal form.
+    Band(super::band::BandNf),
+    /// Non-associative: the canonicalized tree.
+    Tree(CanonTree),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn x(v: usize) -> Expr {
+        Expr::Var(v)
+    }
+
+    const SL: AxiomSet = AxiomSet::SEMILATTICE_WITH_IDENTITY;
+
+    #[test]
+    fn chain_builds_right_associated() {
+        let e = Expr::chain(&[0, 1, 2]);
+        assert_eq!(e.to_string(), "(x0 ⊕ (x1 ⊕ x2))");
+        assert_eq!(e.op_count(), 2);
+        assert_eq!(e.var_sequence(), vec![0, 1, 2]);
+    }
+
+    /// Lemma 1: under the semilattice axioms, two ⊕-expressions are
+    /// A-equivalent iff their variable *sets* are equal.
+    #[test]
+    fn lemma_1_semilattice_equivalence() {
+        let e1 = Expr::op(Expr::op(x(0), x(1)), x(2));
+        let e2 = Expr::op(x(2), Expr::op(x(1), Expr::op(x(0), x(0))));
+        assert!(e1.a_equivalent(&e2, SL));
+        let e3 = Expr::op(x(0), x(1));
+        assert!(!e1.a_equivalent(&e3, SL));
+    }
+
+    #[test]
+    fn commutative_without_idempotence_counts_multiplicity() {
+        let ax = AxiomSet::A1.with(AxiomSet::A4); // e.g. sum
+        let twice = Expr::op(x(0), x(0));
+        let once = x(0);
+        assert!(!twice.a_equivalent(&once, ax), "x+x ≠ x for sums");
+        let ab = Expr::op(x(0), x(1));
+        let ba = Expr::op(x(1), x(0));
+        assert!(ab.a_equivalent(&ba, ax));
+        // But under idempotence they merge.
+        assert!(twice.a_equivalent(&once, SL));
+    }
+
+    #[test]
+    fn associative_noncommutative_keeps_order() {
+        let ax = AxiomSet::A1; // semigroup, e.g. string concatenation
+        let ab = Expr::op(x(0), x(1));
+        let ba = Expr::op(x(1), x(0));
+        assert!(!ab.a_equivalent(&ba, ax));
+        let left = Expr::op(Expr::op(x(0), x(1)), x(2));
+        let right = Expr::op(x(0), Expr::op(x(1), x(2)));
+        assert!(left.a_equivalent(&right, ax), "reassociation is free");
+    }
+
+    #[test]
+    fn band_adjacent_collapse() {
+        let ax = AxiomSet::A1.with(AxiomSet::A3); // band
+        let e1 = Expr::op(x(0), Expr::op(x(0), x(1)));
+        let e2 = Expr::op(x(0), x(1));
+        assert!(e1.a_equivalent(&e2, ax), "x(xy) = xy by idempotence");
+    }
+
+    #[test]
+    fn magma_is_purely_syntactic() {
+        let ax = AxiomSet::NONE;
+        let left = Expr::op(Expr::op(x(0), x(1)), x(2));
+        let right = Expr::op(x(0), Expr::op(x(1), x(2)));
+        assert!(!left.a_equivalent(&right, ax));
+        assert!(left.a_equivalent(&left.clone(), ax));
+    }
+
+    #[test]
+    fn commutative_magma_sorts_children() {
+        let ax = AxiomSet::A4;
+        let e1 = Expr::op(Expr::op(x(1), x(0)), x(2));
+        let e2 = Expr::op(x(2), Expr::op(x(0), x(1)));
+        assert!(e1.a_equivalent(&e2, ax));
+        // Grouping still matters without associativity.
+        let e3 = Expr::op(Expr::op(x(0), x(2)), x(1));
+        assert!(!e1.a_equivalent(&e3, ax));
+    }
+
+    #[test]
+    fn idempotent_magma_collapses_equal_children() {
+        let ax = AxiomSet::A3;
+        let e1 = Expr::op(Expr::op(x(0), x(1)), Expr::op(x(0), x(1)));
+        let e2 = Expr::op(x(0), x(1));
+        assert!(e1.a_equivalent(&e2, ax));
+    }
+
+    #[test]
+    fn degenerate_identifies_everything() {
+        let ax = AxiomSet::A1.with(AxiomSet::A3).with(AxiomSet::A5);
+        assert!(x(0).a_equivalent(&Expr::op(x(1), x(2)), ax));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn chain_rejects_empty() {
+        Expr::chain(&[]);
+    }
+
+    proptest! {
+        /// Lemma 1 as a property: random expressions over ≤ 5 variables
+        /// are semilattice-equivalent iff their var sets agree.
+        #[test]
+        fn lemma1_property(seq1 in proptest::collection::vec(0usize..5, 1..8),
+                           seq2 in proptest::collection::vec(0usize..5, 1..8)) {
+            let e1 = Expr::chain(&seq1);
+            let e2 = Expr::chain(&seq2);
+            let sets_equal = e1.var_set() == e2.var_set();
+            prop_assert_eq!(e1.a_equivalent(&e2, SL), sets_equal);
+        }
+
+        /// Canonical keys are invariant under random reassociation for
+        /// associative axiom sets.
+        #[test]
+        fn reassociation_invariance(vars in proptest::collection::vec(0usize..6, 2..8),
+                                    split in 1usize..7) {
+            let flat = Expr::chain(&vars);
+            let s = split.min(vars.len() - 1);
+            let left = Expr::chain(&vars[..s]);
+            let right = Expr::chain(&vars[s..]);
+            let grouped = Expr::op(left, right);
+            for ax in [AxiomSet::A1, AxiomSet::A1.with(AxiomSet::A4), SL] {
+                prop_assert!(flat.a_equivalent(&grouped, ax), "axioms {}", ax);
+            }
+        }
+    }
+}

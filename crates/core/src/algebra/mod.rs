@@ -1,0 +1,338 @@
+//! The abstract aggregation algebra.
+//!
+//! Section II-C abstracts the top-k aggregator as a binary operator ⊕ (a
+//! *magma*) satisfying a subset of five axioms; Section VII extends the
+//! study to the full lattice of axiom combinations and tabulates the
+//! complexity of optimal plan sharing per combination (Figure 5):
+//!
+//! * **A1** associativity, **A2** identity, **A3** idempotence,
+//!   **A4** commutativity, **A5** divisibility
+//!   (`∀a,b ∃!c ∃!d. a⊕c = d⊕a = b`).
+//!
+//! [`AxiomSet`] represents such subsets; [`expr`] provides ⊕-expressions
+//! with per-axiom-set canonical forms and A-equivalence (Lemma 1 for the
+//! semilattice case); [`ops`] provides the concrete operators the paper
+//! names (top-k, max, min, sum, count, product, Bloom-filter union, …)
+//! with their declared axioms, plus a property-testing harness that
+//! verifies each declaration.
+
+pub mod band;
+pub mod expr;
+pub mod ops;
+
+pub use expr::{CanonKey, Expr};
+pub use ops::AggregateOp;
+
+use std::fmt;
+
+/// A subset of the axioms A1–A5.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct AxiomSet(u8);
+
+impl AxiomSet {
+    /// The empty axiom set (a bare magma).
+    pub const NONE: AxiomSet = AxiomSet(0);
+    /// A1: associativity.
+    pub const A1: AxiomSet = AxiomSet(1);
+    /// A2: two-sided identity element.
+    pub const A2: AxiomSet = AxiomSet(2);
+    /// A3: idempotence (`a ⊕ a = a`).
+    pub const A3: AxiomSet = AxiomSet(4);
+    /// A4: commutativity.
+    pub const A4: AxiomSet = AxiomSet(8);
+    /// A5: divisibility (unique left/right quotients).
+    pub const A5: AxiomSet = AxiomSet(16);
+
+    /// The paper's main object: `A = {A1, A2, A3, A4}`, a semilattice
+    /// with identity — the top-k aggregator's axioms.
+    pub const SEMILATTICE_WITH_IDENTITY: AxiomSet = AxiomSet(1 | 2 | 4 | 8);
+
+    /// Union of two axiom sets.
+    #[inline]
+    pub const fn with(self, other: AxiomSet) -> AxiomSet {
+        AxiomSet(self.0 | other.0)
+    }
+
+    /// True iff every axiom in `other` is present.
+    #[inline]
+    pub const fn contains(self, other: AxiomSet) -> bool {
+        self.0 & other.0 == other.0
+    }
+
+    /// Shorthand accessors.
+    #[inline]
+    pub const fn associative(self) -> bool {
+        self.contains(AxiomSet::A1)
+    }
+    /// A2 present.
+    #[inline]
+    pub const fn has_identity(self) -> bool {
+        self.contains(AxiomSet::A2)
+    }
+    /// A3 present.
+    #[inline]
+    pub const fn idempotent(self) -> bool {
+        self.contains(AxiomSet::A3)
+    }
+    /// A4 present.
+    #[inline]
+    pub const fn commutative(self) -> bool {
+        self.contains(AxiomSet::A4)
+    }
+    /// A5 present.
+    #[inline]
+    pub const fn divisible(self) -> bool {
+        self.contains(AxiomSet::A5)
+    }
+
+    /// True iff the axioms force the algebra to be trivial (a single
+    /// element), making plan optimization O(1):
+    ///
+    /// * A1+A3+A5: a semigroup with divisibility is a group; an
+    ///   idempotent group is trivial (`a² = a ⇒ a = e`).
+    /// * A2+A3+A5: `a⊕a = a = a⊕e` plus the *unique* solvability of
+    ///   `a⊕x = a` forces `a = e` for every `a`.
+    ///
+    /// These are exactly the O(1) rows of Figure 5 (rows 5 and 9).
+    pub const fn is_degenerate(self) -> bool {
+        (self.idempotent() && self.divisible()) && (self.associative() || self.has_identity())
+    }
+
+    /// The standard name of the algebraic structure these axioms
+    /// characterize, following the paper's list.
+    pub fn structure_name(self) -> &'static str {
+        match (
+            self.associative(),
+            self.has_identity(),
+            self.idempotent(),
+            self.commutative(),
+            self.divisible(),
+        ) {
+            (true, true, false, true, true) => "Abelian group",
+            (true, true, false, false, true) => "group",
+            (true, true, true, true, _) => "semilattice with identity",
+            (true, false, true, true, _) => "semilattice",
+            (true, _, true, false, _) => "band",
+            (true, true, false, _, false) => "monoid",
+            (true, false, false, _, false) => "semigroup",
+            (false, true, _, _, true) => "loop",
+            (false, false, _, _, true) => "quasigroup",
+            _ => "magma",
+        }
+    }
+}
+
+impl fmt::Display for AxiomSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for (bit, name) in [
+            (AxiomSet::A1, "A1"),
+            (AxiomSet::A2, "A2"),
+            (AxiomSet::A3, "A3"),
+            (AxiomSet::A4, "A4"),
+            (AxiomSet::A5, "A5"),
+        ] {
+            if self.contains(bit) {
+                if !first {
+                    write!(f, "+")?;
+                }
+                write!(f, "{name}")?;
+                first = false;
+            }
+        }
+        if first {
+            write!(f, "∅")?;
+        }
+        Ok(())
+    }
+}
+
+/// Complexity of finding an optimal shared plan for an axiom class
+/// (Figure 5's right column).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlanComplexity {
+    /// Solvable in polynomial time.
+    Ptime,
+    /// Trivial: the algebra is degenerate, optimization is constant time.
+    Constant,
+    /// NP-complete.
+    NpComplete,
+    /// Open in the paper (rows 6–8 with A4 = N).
+    Open,
+}
+
+/// The Figure 5 classification: the complexity of optimally sharing
+/// aggregation for operators with exactly these axioms.
+///
+/// Rows are matched in the paper's order; `*` entries are wildcards.
+pub fn fig5_complexity(a: AxiomSet) -> PlanComplexity {
+    let (a1, a2, a3, a4, a5) = (
+        a.associative(),
+        a.has_identity(),
+        a.idempotent(),
+        a.commutative(),
+        a.divisible(),
+    );
+    match (a1, a2, a3, a4, a5) {
+        // Row 5: N Y Y * Y → O(1); Row 9: Y * Y * Y → O(1).
+        (false, true, true, _, true) | (true, _, true, _, true) => PlanComplexity::Constant,
+        // Row 1: N * * * N → PTIME.
+        (false, _, _, _, false) => PlanComplexity::Ptime,
+        // Rows 2–4: N {N,Y} {N,Y} * Y → PTIME (row 5 already matched).
+        (false, _, _, _, true) => PlanComplexity::Ptime,
+        // Rows 6–8: Y * {N,Y} Y {N,Y} → NP-complete (row 9 matched above).
+        (true, _, _, true, _) => PlanComplexity::NpComplete,
+        // Lines 6–8 with A4 = N: open per the paper.
+        (true, _, _, false, _) => PlanComplexity::Open,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn axiom_set_algebra() {
+        let s = AxiomSet::A1.with(AxiomSet::A4);
+        assert!(s.associative() && s.commutative());
+        assert!(!s.idempotent());
+        assert!(s.contains(AxiomSet::A1));
+        assert!(!s.contains(AxiomSet::A1.with(AxiomSet::A3)));
+        assert_eq!(s.to_string(), "A1+A4");
+        assert_eq!(AxiomSet::NONE.to_string(), "∅");
+    }
+
+    #[test]
+    fn semilattice_constant_matches_components() {
+        let s = AxiomSet::SEMILATTICE_WITH_IDENTITY;
+        assert!(s.associative() && s.has_identity() && s.idempotent() && s.commutative());
+        assert!(!s.divisible());
+        assert_eq!(s.structure_name(), "semilattice with identity");
+    }
+
+    #[test]
+    fn structure_names() {
+        assert_eq!(AxiomSet::A1.structure_name(), "semigroup");
+        assert_eq!(AxiomSet::A1.with(AxiomSet::A2).structure_name(), "monoid");
+        assert_eq!(
+            AxiomSet::A1
+                .with(AxiomSet::A2)
+                .with(AxiomSet::A5)
+                .structure_name(),
+            "group"
+        );
+        assert_eq!(
+            AxiomSet::A1
+                .with(AxiomSet::A2)
+                .with(AxiomSet::A4)
+                .with(AxiomSet::A5)
+                .structure_name(),
+            "Abelian group"
+        );
+        assert_eq!(AxiomSet::A1.with(AxiomSet::A3).structure_name(), "band");
+        assert_eq!(
+            AxiomSet::A1
+                .with(AxiomSet::A3)
+                .with(AxiomSet::A4)
+                .structure_name(),
+            "semilattice"
+        );
+        assert_eq!(AxiomSet::A5.structure_name(), "quasigroup");
+        assert_eq!(AxiomSet::A2.with(AxiomSet::A5).structure_name(), "loop");
+        assert_eq!(AxiomSet::NONE.structure_name(), "magma");
+    }
+
+    #[test]
+    fn degeneracy() {
+        // A1+A3+A5 trivial.
+        assert!(AxiomSet::A1
+            .with(AxiomSet::A3)
+            .with(AxiomSet::A5)
+            .is_degenerate());
+        // A2+A3+A5 trivial.
+        assert!(AxiomSet::A2
+            .with(AxiomSet::A3)
+            .with(AxiomSet::A5)
+            .is_degenerate());
+        // Semilattice (no A5) is not degenerate.
+        assert!(!AxiomSet::SEMILATTICE_WITH_IDENTITY.is_degenerate());
+        // Quasigroup with idempotence but neither A1 nor A2 is not
+        // (e.g. the "midpoint" operation on ℝ).
+        assert!(!AxiomSet::A3.with(AxiomSet::A5).is_degenerate());
+    }
+
+    /// The full Figure 5 table, row by row.
+    #[test]
+    fn fig5_rows() {
+        use PlanComplexity::*;
+        let n = AxiomSet::NONE;
+        let rows: Vec<(AxiomSet, PlanComplexity)> = vec![
+            // Row 1: N * * * N → PTIME (sample the wildcards).
+            (n, Ptime),
+            (AxiomSet::A2.with(AxiomSet::A4), Ptime),
+            (AxiomSet::A3, Ptime),
+            // Row 2: N N N * Y → PTIME.
+            (AxiomSet::A5, Ptime),
+            (AxiomSet::A4.with(AxiomSet::A5), Ptime),
+            // Row 3: N Y N * Y → PTIME.
+            (AxiomSet::A2.with(AxiomSet::A5), Ptime),
+            // Row 4: N N Y * Y → PTIME.
+            (AxiomSet::A3.with(AxiomSet::A5), Ptime),
+            // Row 5: N Y Y * Y → O(1).
+            (
+                AxiomSet::A2.with(AxiomSet::A3).with(AxiomSet::A5),
+                Constant,
+            ),
+            // Row 6: Y * N Y N → NP-complete.
+            (AxiomSet::A1.with(AxiomSet::A4), NpComplete),
+            (
+                AxiomSet::A1.with(AxiomSet::A2).with(AxiomSet::A4),
+                NpComplete,
+            ),
+            // Row 7: Y * N Y Y → NP-complete (Abelian groups!).
+            (
+                AxiomSet::A1
+                    .with(AxiomSet::A2)
+                    .with(AxiomSet::A4)
+                    .with(AxiomSet::A5),
+                NpComplete,
+            ),
+            // Row 8: Y * Y Y N → NP-complete (the semilattice case).
+            (AxiomSet::SEMILATTICE_WITH_IDENTITY, NpComplete),
+            (AxiomSet::A1.with(AxiomSet::A3).with(AxiomSet::A4), NpComplete),
+            // Row 9: Y * Y * Y → O(1).
+            (
+                AxiomSet::A1.with(AxiomSet::A3).with(AxiomSet::A5),
+                Constant,
+            ),
+            (
+                AxiomSet::A1
+                    .with(AxiomSet::A3)
+                    .with(AxiomSet::A4)
+                    .with(AxiomSet::A5),
+                Constant,
+            ),
+            // Open: associative, non-commutative rows.
+            (AxiomSet::A1, Open),
+            (AxiomSet::A1.with(AxiomSet::A3), Open),
+        ];
+        for (axioms, expected) in rows {
+            assert_eq!(
+                fig5_complexity(axioms),
+                expected,
+                "axioms {axioms} misclassified"
+            );
+        }
+    }
+
+    #[test]
+    fn degenerate_sets_classify_constant() {
+        // Consistency: every degenerate axiom set must be O(1) in Fig 5.
+        for bits in 0u8..32 {
+            let s = AxiomSet(bits);
+            if s.is_degenerate() {
+                assert_eq!(fig5_complexity(s), PlanComplexity::Constant, "{s}");
+            }
+        }
+    }
+}

@@ -1,0 +1,462 @@
+//! Concrete aggregation operators and their declared axioms.
+//!
+//! The paper's examples: top-k, max, min, sum, count, product, and
+//! Bloom-filter unions/intersections ("these aggregates can be combined
+//! with each other to compute other useful aggregates such as mean and
+//! variance"). Each operator declares its axiom set; the
+//! [`check_axioms`] harness verifies every declared axiom on sample
+//! values, so a wrong declaration fails tests rather than silently
+//! corrupting plan sharing.
+
+use crate::algebra::AxiomSet;
+use crate::bloom::BloomFilter;
+use crate::topk::KList;
+
+/// A binary aggregation operator with declared algebraic properties.
+pub trait AggregateOp {
+    /// The value domain `Z`.
+    type Value: Clone + PartialEq + std::fmt::Debug;
+
+    /// Operator name for reports.
+    fn name(&self) -> &'static str;
+
+    /// The axioms this operator satisfies.
+    fn axioms(&self) -> AxiomSet;
+
+    /// `a ⊕ b`.
+    fn combine(&self, a: &Self::Value, b: &Self::Value) -> Self::Value;
+
+    /// The identity element, if A2 is declared.
+    fn identity(&self) -> Option<Self::Value> {
+        None
+    }
+}
+
+/// Top-k aggregation over ordered items (the paper's central operator):
+/// semilattice with identity.
+#[derive(Debug, Clone, Copy)]
+pub struct TopKOp {
+    /// The slot count `k`.
+    pub k: usize,
+}
+
+impl AggregateOp for TopKOp {
+    type Value = KList<i64>;
+
+    fn name(&self) -> &'static str {
+        "top-k"
+    }
+
+    fn axioms(&self) -> AxiomSet {
+        AxiomSet::SEMILATTICE_WITH_IDENTITY
+    }
+
+    fn combine(&self, a: &Self::Value, b: &Self::Value) -> Self::Value {
+        a.merge(b)
+    }
+
+    fn identity(&self) -> Option<Self::Value> {
+        Some(KList::empty(self.k))
+    }
+}
+
+/// Maximum: semilattice (identity only with a least element; we use
+/// `i64::MIN` as a practical identity).
+#[derive(Debug, Clone, Copy)]
+pub struct MaxOp;
+
+impl AggregateOp for MaxOp {
+    type Value = i64;
+
+    fn name(&self) -> &'static str {
+        "max"
+    }
+
+    fn axioms(&self) -> AxiomSet {
+        AxiomSet::SEMILATTICE_WITH_IDENTITY
+    }
+
+    fn combine(&self, a: &i64, b: &i64) -> i64 {
+        *a.max(b)
+    }
+
+    fn identity(&self) -> Option<i64> {
+        Some(i64::MIN)
+    }
+}
+
+/// Minimum: the dual semilattice.
+#[derive(Debug, Clone, Copy)]
+pub struct MinOp;
+
+impl AggregateOp for MinOp {
+    type Value = i64;
+
+    fn name(&self) -> &'static str {
+        "min"
+    }
+
+    fn axioms(&self) -> AxiomSet {
+        AxiomSet::SEMILATTICE_WITH_IDENTITY
+    }
+
+    fn combine(&self, a: &i64, b: &i64) -> i64 {
+        *a.min(b)
+    }
+
+    fn identity(&self) -> Option<i64> {
+        Some(i64::MAX)
+    }
+}
+
+/// Sum over ℤ: Abelian group — Figure 5 row 7, one of the NP-complete
+/// divisible classes.
+#[derive(Debug, Clone, Copy)]
+pub struct SumOp;
+
+impl AggregateOp for SumOp {
+    type Value = i64;
+
+    fn name(&self) -> &'static str {
+        "sum"
+    }
+
+    fn axioms(&self) -> AxiomSet {
+        AxiomSet::A1
+            .with(AxiomSet::A2)
+            .with(AxiomSet::A4)
+            .with(AxiomSet::A5)
+    }
+
+    fn combine(&self, a: &i64, b: &i64) -> i64 {
+        a.wrapping_add(*b)
+    }
+
+    fn identity(&self) -> Option<i64> {
+        Some(0)
+    }
+}
+
+/// Count: isomorphic to sum of ones (the per-leaf value is each input's
+/// contribution, 1).
+#[derive(Debug, Clone, Copy)]
+pub struct CountOp;
+
+impl AggregateOp for CountOp {
+    type Value = u64;
+
+    fn name(&self) -> &'static str {
+        "count"
+    }
+
+    fn axioms(&self) -> AxiomSet {
+        AxiomSet::A1.with(AxiomSet::A2).with(AxiomSet::A4)
+    }
+
+    fn combine(&self, a: &u64, b: &u64) -> u64 {
+        a.wrapping_add(*b)
+    }
+
+    fn identity(&self) -> Option<u64> {
+        Some(0)
+    }
+}
+
+/// Product over ℤ: commutative monoid (no division within ℤ).
+#[derive(Debug, Clone, Copy)]
+pub struct ProductOp;
+
+impl AggregateOp for ProductOp {
+    type Value = i64;
+
+    fn name(&self) -> &'static str {
+        "product"
+    }
+
+    fn axioms(&self) -> AxiomSet {
+        AxiomSet::A1.with(AxiomSet::A2).with(AxiomSet::A4)
+    }
+
+    fn combine(&self, a: &i64, b: &i64) -> i64 {
+        a.wrapping_mul(*b)
+    }
+
+    fn identity(&self) -> Option<i64> {
+        Some(1)
+    }
+}
+
+/// Boolean OR: the two-element semilattice.
+#[derive(Debug, Clone, Copy)]
+pub struct BoolOrOp;
+
+impl AggregateOp for BoolOrOp {
+    type Value = bool;
+
+    fn name(&self) -> &'static str {
+        "or"
+    }
+
+    fn axioms(&self) -> AxiomSet {
+        AxiomSet::SEMILATTICE_WITH_IDENTITY
+    }
+
+    fn combine(&self, a: &bool, b: &bool) -> bool {
+        *a || *b
+    }
+
+    fn identity(&self) -> Option<bool> {
+        Some(false)
+    }
+}
+
+/// XOR over u64: Abelian group where every element is its own inverse —
+/// divisible but *not* idempotent.
+#[derive(Debug, Clone, Copy)]
+pub struct XorOp;
+
+impl AggregateOp for XorOp {
+    type Value = u64;
+
+    fn name(&self) -> &'static str {
+        "xor"
+    }
+
+    fn axioms(&self) -> AxiomSet {
+        AxiomSet::A1
+            .with(AxiomSet::A2)
+            .with(AxiomSet::A4)
+            .with(AxiomSet::A5)
+    }
+
+    fn combine(&self, a: &u64, b: &u64) -> u64 {
+        a ^ b
+    }
+
+    fn identity(&self) -> Option<u64> {
+        Some(0)
+    }
+}
+
+/// Bloom-filter union: semilattice with identity (the empty filter).
+#[derive(Debug, Clone, Copy)]
+pub struct BloomUnionOp {
+    /// Filter size in bits.
+    pub m_bits: usize,
+    /// Hash count.
+    pub hashes: u32,
+}
+
+impl AggregateOp for BloomUnionOp {
+    type Value = BloomFilter;
+
+    fn name(&self) -> &'static str {
+        "bloom-union"
+    }
+
+    fn axioms(&self) -> AxiomSet {
+        AxiomSet::SEMILATTICE_WITH_IDENTITY
+    }
+
+    fn combine(&self, a: &BloomFilter, b: &BloomFilter) -> BloomFilter {
+        a.union(b)
+    }
+
+    fn identity(&self) -> Option<BloomFilter> {
+        Some(BloomFilter::new(self.m_bits, self.hashes))
+    }
+}
+
+/// A report from [`check_axioms`]: which declared axioms were violated on
+/// the sample set.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct AxiomReport {
+    /// Human-readable violations; empty means all declared axioms held.
+    pub violations: Vec<String>,
+}
+
+impl AxiomReport {
+    /// True iff no declared axiom was violated.
+    pub fn ok(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// Verifies every axiom the operator declares against the sample values.
+/// (A5's `∃` half cannot be refuted on finite samples; we check the
+/// uniqueness half — no two distinct sample values solve `a ⊕ c = b` —
+/// which is the part the degeneracy arguments rely on.)
+pub fn check_axioms<O: AggregateOp>(op: &O, samples: &[O::Value]) -> AxiomReport {
+    let mut violations = Vec::new();
+    let axioms = op.axioms();
+    if axioms.associative() {
+        for a in samples {
+            for b in samples {
+                for c in samples {
+                    let left = op.combine(&op.combine(a, b), c);
+                    let right = op.combine(a, &op.combine(b, c));
+                    if left != right {
+                        violations.push(format!("{}: associativity fails", op.name()));
+                    }
+                }
+            }
+        }
+    }
+    if axioms.has_identity() {
+        match op.identity() {
+            None => violations.push(format!("{}: A2 declared but no identity", op.name())),
+            Some(e) => {
+                for a in samples {
+                    if op.combine(a, &e) != *a || op.combine(&e, a) != *a {
+                        violations.push(format!("{}: identity fails", op.name()));
+                    }
+                }
+            }
+        }
+    }
+    if axioms.idempotent() {
+        for a in samples {
+            if op.combine(a, a) != *a {
+                violations.push(format!("{}: idempotence fails", op.name()));
+            }
+        }
+    }
+    if axioms.commutative() {
+        for a in samples {
+            for b in samples {
+                if op.combine(a, b) != op.combine(b, a) {
+                    violations.push(format!("{}: commutativity fails", op.name()));
+                }
+            }
+        }
+    }
+    if axioms.divisible() {
+        // Uniqueness check: for each (a, b), at most one sample c solves
+        // a ⊕ c = b and at most one sample d solves d ⊕ a = b.
+        for a in samples {
+            for b in samples {
+                let right_solutions = samples
+                    .iter()
+                    .filter(|c| op.combine(a, c) == *b)
+                    .count();
+                let left_solutions = samples
+                    .iter()
+                    .filter(|d| op.combine(d, a) == *b)
+                    .count();
+                if right_solutions > 1 || left_solutions > 1 {
+                    violations.push(format!("{}: divisibility uniqueness fails", op.name()));
+                }
+            }
+        }
+    }
+    violations.sort();
+    violations.dedup();
+    AxiomReport { violations }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn declared_axioms_hold_for_integer_ops() {
+        let ints = [-7i64, -1, 0, 1, 2, 5];
+        assert!(check_axioms(&MaxOp, &ints).ok());
+        assert!(check_axioms(&MinOp, &ints).ok());
+        assert!(check_axioms(&SumOp, &ints).ok());
+        assert!(check_axioms(&ProductOp, &ints).ok());
+        let uints = [0u64, 1, 2, 9];
+        assert!(check_axioms(&CountOp, &uints).ok());
+        assert!(check_axioms(&XorOp, &uints).ok());
+        assert!(check_axioms(&BoolOrOp, &[false, true]).ok());
+    }
+
+    #[test]
+    fn topk_axioms_hold() {
+        let op = TopKOp { k: 3 };
+        let samples = [
+            KList::from_items(3, [1i64, 5, 9]),
+            KList::from_items(3, [2i64, 5]),
+            KList::empty(3),
+            KList::from_items(3, [-4i64, 7, 7, 0]),
+        ];
+        assert!(check_axioms(&op, &samples).ok());
+    }
+
+    #[test]
+    fn bloom_union_axioms_hold() {
+        let op = BloomUnionOp {
+            m_bits: 128,
+            hashes: 3,
+        };
+        let mut a = BloomFilter::new(128, 3);
+        a.insert(1);
+        let mut b = BloomFilter::new(128, 3);
+        b.insert(2);
+        b.insert(3);
+        let samples = [a, b, BloomFilter::new(128, 3)];
+        assert!(check_axioms(&op, &samples).ok());
+    }
+
+    #[test]
+    fn harness_catches_false_declarations() {
+        /// Subtraction claiming to be a commutative semigroup.
+        struct BadOp;
+        impl AggregateOp for BadOp {
+            type Value = i64;
+            fn name(&self) -> &'static str {
+                "sub"
+            }
+            fn axioms(&self) -> AxiomSet {
+                AxiomSet::A1.with(AxiomSet::A4)
+            }
+            fn combine(&self, a: &i64, b: &i64) -> i64 {
+                a - b
+            }
+        }
+        let report = check_axioms(&BadOp, &[0, 1, 2]);
+        assert!(!report.ok());
+        assert!(report.violations.iter().any(|v| v.contains("assoc")));
+        assert!(report.violations.iter().any(|v| v.contains("commut")));
+    }
+
+    #[test]
+    fn harness_catches_missing_identity() {
+        struct NoIdOp;
+        impl AggregateOp for NoIdOp {
+            type Value = i64;
+            fn name(&self) -> &'static str {
+                "no-id"
+            }
+            fn axioms(&self) -> AxiomSet {
+                AxiomSet::A2
+            }
+            fn combine(&self, a: &i64, _b: &i64) -> i64 {
+                *a
+            }
+        }
+        let report = check_axioms(&NoIdOp, &[1]);
+        assert!(!report.ok());
+    }
+
+    #[test]
+    fn max_is_not_divisible() {
+        // Sanity: max declares no A5, and indeed many c solve
+        // max(5, c) = 5 — the uniqueness check would fail if declared.
+        struct MaxClaimingA5;
+        impl AggregateOp for MaxClaimingA5 {
+            type Value = i64;
+            fn name(&self) -> &'static str {
+                "max-a5"
+            }
+            fn axioms(&self) -> AxiomSet {
+                AxiomSet::A5
+            }
+            fn combine(&self, a: &i64, b: &i64) -> i64 {
+                *a.max(b)
+            }
+        }
+        let report = check_axioms(&MaxClaimingA5, &[1, 2, 5]);
+        assert!(!report.ok());
+    }
+}

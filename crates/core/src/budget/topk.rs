@@ -1,0 +1,332 @@
+//! Top-k winner determination under budget uncertainty.
+//!
+//! Winner determination needs the advertisers with the k highest values
+//! of `b̂_i · c_i` — but each `b̂_i` is only available as interval bounds
+//! that are expensive to tighten. This module runs the selection with
+//! *lazy refinement*: every candidate starts at depth 0 (pure Hoeffding
+//! bounds); only candidates whose intervals still overlap a selection or
+//! ranking boundary get refined deeper, and candidates whose upper bound
+//! falls below the k-th lower bound are eliminated outright — the same
+//! "quickly eliminate unlikely contenders" scheduling idea the paper
+//! credits to Ré–Dalvi–Suciu's multisimulation.
+//!
+//! Exact `b̂` values are computed only for the k winners afterwards (the
+//! paper: "there are only k winning advertisers at this point, so the
+//! amount of computation is a lot less").
+
+use ssa_auction::ids::AdvertiserId;
+use ssa_auction::score::Score;
+use ssa_stats::interval::Interval;
+
+use super::{BudgetContext, ThrottledBidRefiner};
+
+/// One contender in an uncertain top-k selection.
+#[derive(Debug, Clone)]
+pub struct UncertainCandidate {
+    /// The advertiser.
+    pub advertiser: AdvertiserId,
+    /// The advertiser-specific CTR factor `c_i` scaling the throttled bid
+    /// into a score.
+    pub factor: f64,
+    /// The bound refiner over the advertiser's throttled bid.
+    pub refiner: ThrottledBidRefiner,
+}
+
+impl UncertainCandidate {
+    /// Builds a candidate from a budget context.
+    pub fn new(advertiser: AdvertiserId, factor: f64, ctx: &BudgetContext) -> Self {
+        UncertainCandidate {
+            advertiser,
+            factor,
+            refiner: ctx.refiner(),
+        }
+    }
+
+    fn score_bounds(&self, depth: usize) -> Interval {
+        self.refiner.bounds(depth).scale(self.factor.max(0.0))
+    }
+}
+
+/// Statistics from one uncertain top-k run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct UncertainTopKStats {
+    /// Total bound evaluations performed.
+    pub bound_evaluations: u64,
+    /// The deepest refinement depth any candidate reached.
+    pub max_depth_used: usize,
+    /// Candidates eliminated without ever being refined past depth 0.
+    pub eliminated_at_depth_zero: usize,
+}
+
+/// A ranked winner with its exact throttled score (computed only for
+/// winners).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UncertainWinner {
+    /// The advertiser.
+    pub advertiser: AdvertiserId,
+    /// The exact score `b̂_i · c_i`.
+    pub score: Score,
+}
+
+/// Finds the ranked top-k candidates by `b̂_i · c_i` using lazy bound
+/// refinement. Ties (exactly equal scores) break by advertiser id.
+pub fn top_k_uncertain(
+    candidates: &[UncertainCandidate],
+    k: usize,
+) -> (Vec<UncertainWinner>, UncertainTopKStats) {
+    let mut stats = UncertainTopKStats::default();
+    if k == 0 || candidates.is_empty() {
+        return (Vec::new(), stats);
+    }
+
+    // Per-candidate state: current depth and score bounds.
+    let mut depth: Vec<usize> = vec![0; candidates.len()];
+    let mut bounds: Vec<Interval> = candidates
+        .iter()
+        .map(|c| {
+            stats.bound_evaluations += 1;
+            c.score_bounds(0)
+        })
+        .collect();
+    let mut alive: Vec<usize> = (0..candidates.len()).collect();
+    let mut was_refined: Vec<bool> = vec![false; candidates.len()];
+
+    loop {
+        // Order alive candidates by (lower bound desc, id asc).
+        alive.sort_by(|&a, &b| {
+            bounds[b]
+                .lo()
+                .total_cmp(&bounds[a].lo())
+                .then(candidates[a].advertiser.cmp(&candidates[b].advertiser))
+        });
+        let kk = k.min(alive.len());
+
+        // Eliminate candidates whose best case is below the k-th worst
+        // case (they can never enter the top k).
+        if alive.len() > kk {
+            let kth_lo = bounds[alive[kk - 1]].lo();
+            let before = alive.len();
+            alive.retain(|&c| {
+                let keep = bounds[c].hi() >= kth_lo;
+                if !keep && !was_refined[c] {
+                    stats.eliminated_at_depth_zero += 1;
+                }
+                keep
+            });
+            if alive.len() != before {
+                continue;
+            }
+        }
+
+        // Check the separation chain needed for a certain ranked top-k:
+        // each of the first kk−1 strictly above its successor, and the
+        // kk-th strictly above every survivor below it.
+        let mut violators: Vec<usize> = Vec::new();
+        for i in 0..kk {
+            let upper_idx = alive[i];
+            let lo = bounds[upper_idx].lo();
+            let below = if i + 1 < kk {
+                &alive[i + 1..i + 2]
+            } else {
+                &alive[kk..]
+            };
+            for &lower_idx in below {
+                let overlap = bounds[lower_idx].hi() >= lo
+                    && !(bounds[upper_idx].is_exact()
+                        && bounds[lower_idx].is_exact());
+                if overlap {
+                    violators.push(upper_idx);
+                    violators.push(lower_idx);
+                }
+            }
+        }
+        violators.sort_unstable();
+        violators.dedup();
+        // Refine violators that still can be refined. Full-depth bounds
+        // are exact, and exact-tied pairs are excluded from the violator
+        // set above, so every violator pair has at least one refinable
+        // member and the loop always makes progress.
+        for &c in &violators {
+            if depth[c] < candidates[c].refiner.max_depth() {
+                depth[c] += 1;
+                was_refined[c] = true;
+                bounds[c] = candidates[c].score_bounds(depth[c]);
+                stats.bound_evaluations += 1;
+                stats.max_depth_used = stats.max_depth_used.max(depth[c]);
+            }
+        }
+        if violators.is_empty() {
+            break;
+        }
+    }
+
+    // The loop exits only when the first kk alive candidates (by lower
+    // bound) are pairwise separated from their successors — i.e. that
+    // prefix IS the ranked top-k, exact ties resolved by id through the
+    // sort. Exact values are computed for the winners only.
+    let kk = k.min(alive.len());
+    let winners = alive[..kk]
+        .iter()
+        .map(|&c| {
+            let exact = candidates[c].refiner.exact();
+            UncertainWinner {
+                advertiser: candidates[c].advertiser,
+                score: Score::new(exact.to_f64() * candidates[c].factor.max(0.0)),
+            }
+        })
+        .filter(|w| !w.score.is_zero())
+        .collect();
+    (winners, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssa_auction::money::Money;
+    use proptest::prelude::*;
+
+    use crate::budget::OutstandingAd;
+
+    fn ctx(
+        bid_units: f64,
+        budget_units: f64,
+        m: u64,
+        outstanding: &[(f64, f64)],
+    ) -> BudgetContext {
+        BudgetContext {
+            bid: Money::from_f64(bid_units),
+            remaining_budget: Money::from_f64(budget_units),
+            auctions_in_round: m,
+            outstanding: outstanding
+                .iter()
+                .map(|&(p, c)| OutstandingAd::new(Money::from_f64(p), c))
+                .collect(),
+        }
+    }
+
+    fn cand(id: u32, factor: f64, c: &BudgetContext) -> UncertainCandidate {
+        UncertainCandidate::new(AdvertiserId(id), factor, c)
+    }
+
+    /// Naive reference: exact throttled scores, full sort.
+    fn naive(cands: &[UncertainCandidate], k: usize) -> Vec<AdvertiserId> {
+        let mut scored: Vec<(AdvertiserId, f64)> = cands
+            .iter()
+            .map(|c| {
+                (
+                    c.advertiser,
+                    c.refiner.exact().to_f64() * c.factor.max(0.0),
+                )
+            })
+            .collect();
+        scored.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+        scored
+            .into_iter()
+            .filter(|&(_, s)| s > 0.0)
+            .take(k)
+            .map(|(a, _)| a)
+            .collect()
+    }
+
+    #[test]
+    fn selects_and_ranks_clear_winners() {
+        let candidates = vec![
+            cand(0, 1.0, &ctx(5.0, 1000.0, 1, &[])), // score 5
+            cand(1, 1.0, &ctx(1.0, 1000.0, 1, &[])), // score 1
+            cand(2, 2.0, &ctx(2.0, 1000.0, 1, &[])), // score 4
+            cand(3, 1.0, &ctx(0.5, 1000.0, 1, &[])), // score 0.5
+        ];
+        let (winners, stats) = top_k_uncertain(&candidates, 2);
+        let ids: Vec<u32> = winners.iter().map(|w| w.advertiser.0).collect();
+        assert_eq!(ids, vec![0, 2]);
+        assert_eq!(stats.max_depth_used, 0, "certain bids need no refinement");
+    }
+
+    #[test]
+    fn budget_pressure_reorders_winners() {
+        // Advertiser 0 bids more but is nearly broke with a pending debt;
+        // advertiser 1 overtakes after throttling.
+        let a0 = ctx(5.0, 2.0, 1, &[(1.9, 0.99)]); // b̂ ≈ 0.12
+        let a1 = ctx(3.0, 1000.0, 1, &[]); // b̂ = 3
+        let candidates = vec![cand(0, 1.0, &a0), cand(1, 1.0, &a1)];
+        let (winners, _) = top_k_uncertain(&candidates, 1);
+        assert_eq!(winners[0].advertiser, AdvertiserId(1));
+    }
+
+    #[test]
+    fn zero_score_candidates_are_dropped() {
+        let candidates = vec![
+            cand(0, 1.0, &ctx(2.0, 0.0, 1, &[])), // broke
+            cand(1, 0.0, &ctx(2.0, 10.0, 1, &[])), // zero factor
+            cand(2, 1.0, &ctx(2.0, 10.0, 1, &[])),
+        ];
+        let (winners, _) = top_k_uncertain(&candidates, 3);
+        assert_eq!(winners.len(), 1);
+        assert_eq!(winners[0].advertiser, AdvertiserId(2));
+    }
+
+    #[test]
+    fn far_apart_candidates_eliminate_cheaply() {
+        // 1 strong candidate, many weak ones with uncertainty: the weak
+        // ones must be eliminated without deep refinement.
+        let mut candidates = vec![cand(0, 2.0, &ctx(9.0, 1000.0, 1, &[]))];
+        for i in 1..12 {
+            candidates.push(cand(
+                i,
+                0.1,
+                &ctx(1.0, 2.0, 1, &[(1.0, 0.5), (0.5, 0.5)]),
+            ));
+        }
+        let (winners, stats) = top_k_uncertain(&candidates, 1);
+        assert_eq!(winners[0].advertiser, AdvertiserId(0));
+        assert!(
+            stats.eliminated_at_depth_zero >= 10,
+            "weak candidates should fall at depth 0, got {}",
+            stats.eliminated_at_depth_zero
+        );
+    }
+
+    #[test]
+    fn empty_and_zero_k() {
+        let (w, _) = top_k_uncertain(&[], 3);
+        assert!(w.is_empty());
+        let candidates = vec![cand(0, 1.0, &ctx(1.0, 10.0, 1, &[]))];
+        let (w, _) = top_k_uncertain(&candidates, 0);
+        assert!(w.is_empty());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+        /// Lazy selection returns exactly the naive exact-computation
+        /// ranking.
+        #[test]
+        fn lazy_matches_naive(
+            specs in proptest::collection::vec(
+                (1u64..8, 1u64..16, 0usize..4), 1..8),
+            factors in proptest::collection::vec(1u32..30, 8),
+            prices in proptest::collection::vec(1u64..6, 4),
+            probs in proptest::collection::vec(0.1f64..=0.9, 4),
+            k in 1usize..4,
+        ) {
+            let candidates: Vec<UncertainCandidate> = specs
+                .iter()
+                .enumerate()
+                .map(|(i, &(bid, budget, n_out))| {
+                    let outs: Vec<(f64, f64)> = (0..n_out)
+                        .map(|j| (prices[j] as f64, probs[j]))
+                        .collect();
+                    cand(
+                        i as u32,
+                        factors[i] as f64 / 10.0,
+                        &ctx(bid as f64, budget as f64, 2, &outs),
+                    )
+                })
+                .collect();
+            let (winners, _) = top_k_uncertain(&candidates, k);
+            let got: Vec<AdvertiserId> =
+                winners.iter().map(|w| w.advertiser).collect();
+            let want = naive(&candidates, k);
+            prop_assert_eq!(got, want);
+        }
+    }
+}

@@ -1,0 +1,241 @@
+//! Automated bidding programs.
+//!
+//! Section II-C motivates re-evaluating aggregate queries *every round*:
+//! "the values of the variables change rapidly since advertisers are
+//! constantly updating their bids using external search engine optimizers
+//! or automated bidding programs in order to achieve complex advertising
+//! goals such as staying in a given slot during specific hours of the
+//! day, staying a certain number of slots above a competitor, dividing
+//! one's budget across a set of keywords so as to maximize the
+//! return-on-investment".
+//!
+//! This module provides those bid dynamics: per-advertiser strategies the
+//! engine consults at the start of every round. Deterministic — no
+//! randomness beyond the simulation's own seeds.
+
+use ssa_auction::ids::SlotIndex;
+use ssa_auction::money::Money;
+
+/// What an advertiser's program can observe after a round (its own
+/// outcomes only, as on real platforms).
+#[derive(Debug, Clone, Default)]
+pub struct RoundFeedback {
+    /// The best (lowest-index) slot won in any auction last round, if
+    /// any.
+    pub best_slot: Option<SlotIndex>,
+    /// Number of auctions entered.
+    pub auctions_entered: u64,
+    /// Number of auctions won.
+    pub auctions_won: u64,
+    /// Amount actually charged (settled) so far.
+    pub settled_spend: Money,
+    /// The daily budget.
+    pub budget: Money,
+    /// Rounds elapsed.
+    pub round: u64,
+}
+
+/// A bid-update strategy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum BidStrategy {
+    /// Never changes the bid.
+    Static,
+    /// Chases a target slot: raises the bid (multiplicatively) while
+    /// doing worse than `target`, lowers it while doing better — the
+    /// "staying in a given slot" goal.
+    TargetSlot {
+        /// The slot to sit in.
+        target: SlotIndex,
+        /// Multiplicative step, e.g. 0.05 for ±5% updates.
+        step: f64,
+        /// Never bid above this.
+        max_bid: Money,
+    },
+    /// Paces budget across the day: scales the bid down when spend runs
+    /// ahead of schedule and back up when behind — the
+    /// "dividing one's budget ... to maximize ROI" goal.
+    BudgetPacing {
+        /// The planning horizon in rounds.
+        horizon: u64,
+        /// Multiplicative step per round.
+        step: f64,
+    },
+}
+
+/// One advertiser's bidding program state.
+#[derive(Debug, Clone)]
+pub struct BiddingProgram {
+    /// The strategy.
+    pub strategy: BidStrategy,
+    /// The advertiser's valuation ceiling (the bid it would place with no
+    /// strategy) — strategies modulate below/around this.
+    pub base_bid: Money,
+    current: Money,
+}
+
+impl BiddingProgram {
+    /// Creates a program starting at `base_bid`.
+    pub fn new(strategy: BidStrategy, base_bid: Money) -> Self {
+        BiddingProgram {
+            strategy,
+            base_bid,
+            current: base_bid,
+        }
+    }
+
+    /// The current bid.
+    pub fn current_bid(&self) -> Money {
+        self.current
+    }
+
+    /// Updates the bid given last round's feedback; returns the new bid.
+    pub fn update(&mut self, feedback: &RoundFeedback) -> Money {
+        match self.strategy {
+            BidStrategy::Static => {}
+            BidStrategy::TargetSlot {
+                target,
+                step,
+                max_bid,
+            } => {
+                let doing_better = feedback
+                    .best_slot
+                    .is_some_and(|s| s.index() < target.index());
+                let doing_worse = feedback
+                    .best_slot
+                    .map_or(feedback.auctions_entered > 0, |s| {
+                        s.index() > target.index()
+                    });
+                if doing_worse {
+                    self.current = Money::from_f64(self.current.to_f64() * (1.0 + step))
+                        .min(max_bid);
+                } else if doing_better {
+                    self.current = Money::from_f64(self.current.to_f64() * (1.0 - step));
+                }
+            }
+            BidStrategy::BudgetPacing { horizon, step } => {
+                if feedback.budget.is_zero() || horizon == 0 {
+                    return self.current;
+                }
+                let elapsed = (feedback.round.min(horizon)) as f64 / horizon as f64;
+                let spent = feedback.settled_spend.to_f64() / feedback.budget.to_f64();
+                if spent > elapsed {
+                    // Ahead of schedule: slow down.
+                    self.current = Money::from_f64(self.current.to_f64() * (1.0 - step));
+                } else {
+                    // Behind: speed back up, never above the valuation.
+                    self.current = Money::from_f64(self.current.to_f64() * (1.0 + step))
+                        .min(self.base_bid);
+                }
+            }
+        }
+        self.current
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn feedback(best_slot: Option<u8>, entered: u64) -> RoundFeedback {
+        RoundFeedback {
+            best_slot: best_slot.map(SlotIndex),
+            auctions_entered: entered,
+            auctions_won: best_slot.is_some() as u64,
+            settled_spend: Money::ZERO,
+            budget: Money::from_units(10),
+            round: 1,
+        }
+    }
+
+    #[test]
+    fn static_never_moves() {
+        let mut p = BiddingProgram::new(BidStrategy::Static, Money::from_units(2));
+        assert_eq!(p.update(&feedback(None, 3)), Money::from_units(2));
+        assert_eq!(p.update(&feedback(Some(0), 3)), Money::from_units(2));
+    }
+
+    #[test]
+    fn target_slot_raises_when_losing_and_lowers_when_overshooting() {
+        let mut p = BiddingProgram::new(
+            BidStrategy::TargetSlot {
+                target: SlotIndex(1),
+                step: 0.1,
+                max_bid: Money::from_units(100),
+            },
+            Money::from_units(2),
+        );
+        // Lost everything: raise.
+        let up = p.update(&feedback(None, 2));
+        assert!(up > Money::from_units(2));
+        // Sitting above target (slot 0 < 1): lower.
+        let down = p.update(&feedback(Some(0), 2));
+        assert!(down < up);
+        // Exactly on target: hold.
+        let hold = p.update(&feedback(Some(1), 2));
+        assert_eq!(hold, down);
+    }
+
+    #[test]
+    fn target_slot_respects_cap() {
+        let mut p = BiddingProgram::new(
+            BidStrategy::TargetSlot {
+                target: SlotIndex(0),
+                step: 0.5,
+                max_bid: Money::from_units(3),
+            },
+            Money::from_units(2),
+        );
+        for _ in 0..10 {
+            p.update(&feedback(None, 1));
+        }
+        assert_eq!(p.current_bid(), Money::from_units(3));
+    }
+
+    #[test]
+    fn pacing_slows_when_ahead_of_schedule() {
+        let mut p = BiddingProgram::new(
+            BidStrategy::BudgetPacing {
+                horizon: 100,
+                step: 0.2,
+            },
+            Money::from_units(2),
+        );
+        let fb = RoundFeedback {
+            best_slot: Some(SlotIndex(0)),
+            auctions_entered: 1,
+            auctions_won: 1,
+            settled_spend: Money::from_units(9), // 90% spent...
+            budget: Money::from_units(10),
+            round: 10, // ...after 10% of the day
+        };
+        let slowed = p.update(&fb);
+        assert!(slowed < Money::from_units(2));
+        // Behind schedule recovers, but never above the valuation.
+        let fb_behind = RoundFeedback {
+            settled_spend: Money::ZERO,
+            round: 90,
+            ..fb
+        };
+        let mut last = slowed;
+        for _ in 0..20 {
+            last = p.update(&fb_behind);
+        }
+        assert_eq!(last, Money::from_units(2), "capped at base bid");
+    }
+
+    #[test]
+    fn pacing_handles_zero_budget() {
+        let mut p = BiddingProgram::new(
+            BidStrategy::BudgetPacing {
+                horizon: 10,
+                step: 0.2,
+            },
+            Money::from_units(2),
+        );
+        let fb = RoundFeedback {
+            budget: Money::ZERO,
+            ..feedback(None, 0)
+        };
+        assert_eq!(p.update(&fb), Money::from_units(2));
+    }
+}

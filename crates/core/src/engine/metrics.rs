@@ -1,0 +1,85 @@
+//! Engine metrics.
+
+use ssa_auction::money::Money;
+
+/// Counters accumulated over a simulation run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct EngineMetrics {
+    /// Rounds executed.
+    pub rounds: u64,
+    /// Phrase auctions resolved.
+    pub auctions: u64,
+    /// Ads displayed.
+    pub impressions: u64,
+    /// Clicks that landed (within the expiry window).
+    pub clicks: u64,
+    /// Revenue actually collected.
+    pub revenue: Money,
+    /// Payments forgiven because the click landed after the budget was
+    /// exhausted (the naive policy's leak; Section IV's "lost revenue").
+    pub forgiven: Money,
+    /// Clicks whose payment was partially or fully forgiven.
+    pub clicks_beyond_budget: u64,
+    /// Top-k aggregation operations performed (shared-plan strategy).
+    pub aggregation_ops: u64,
+    /// Advertiser entries scanned (unshared strategy).
+    pub advertisers_scanned: u64,
+    /// Merge-network operator invocations (shared-sort strategy).
+    pub merge_invocations: u64,
+    /// TA sorted-access stages (shared-sort strategy).
+    pub ta_stages: u64,
+    /// Throttled-bid bound evaluations (bounded budget policy).
+    pub bound_evaluations: u64,
+    /// Total expected value (Σ d_j · score) of the assignments made.
+    pub expected_value: f64,
+    /// Wall-clock time spent resolving winner determination, in
+    /// nanoseconds.
+    pub resolution_nanos: u128,
+}
+
+impl EngineMetrics {
+    /// Merges another metrics block into this one.
+    pub fn absorb(&mut self, other: &EngineMetrics) {
+        self.rounds += other.rounds;
+        self.auctions += other.auctions;
+        self.impressions += other.impressions;
+        self.clicks += other.clicks;
+        self.revenue = self.revenue.saturating_add(other.revenue);
+        self.forgiven = self.forgiven.saturating_add(other.forgiven);
+        self.clicks_beyond_budget += other.clicks_beyond_budget;
+        self.aggregation_ops += other.aggregation_ops;
+        self.advertisers_scanned += other.advertisers_scanned;
+        self.merge_invocations += other.merge_invocations;
+        self.ta_stages += other.ta_stages;
+        self.bound_evaluations += other.bound_evaluations;
+        self.expected_value += other.expected_value;
+        self.resolution_nanos += other.resolution_nanos;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn absorb_accumulates() {
+        let mut a = EngineMetrics {
+            rounds: 1,
+            revenue: Money::from_units(2),
+            expected_value: 1.5,
+            ..Default::default()
+        };
+        let b = EngineMetrics {
+            rounds: 2,
+            revenue: Money::from_units(3),
+            expected_value: 0.5,
+            clicks: 7,
+            ..Default::default()
+        };
+        a.absorb(&b);
+        assert_eq!(a.rounds, 3);
+        assert_eq!(a.revenue, Money::from_units(5));
+        assert_eq!(a.clicks, 7);
+        assert!((a.expected_value - 2.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,943 @@
+//! The round-based auction engine.
+//!
+//! Ties the whole pipeline together, as the paper's introduction lays it
+//! out: queries are batched into rounds; each round, the occurring bid
+//! phrases' auctions are resolved *together* through one of three
+//! winner-determination strategies (independent scans, the Section II
+//! shared aggregation plan, or the Section III shared sort + TA); winners
+//! are priced; their ads await clicks with a delay (creating Section IV's
+//! budget uncertainty); and clicks settle against budgets under a
+//! configurable policy (naive or throttled).
+
+pub mod bidding;
+pub mod gaming;
+pub mod metrics;
+
+use std::time::Instant;
+
+use ssa_auction::ids::{AdvertiserId, PhraseId, SlotIndex};
+use ssa_auction::instance::{AuctionEntry, AuctionInstance};
+use ssa_auction::money::Money;
+use ssa_auction::pricing::{price_assignment, PricingRule};
+use ssa_auction::score::Score;
+use ssa_auction::winner::{assignment_from_ranking, Assignment};
+use ssa_setcover::BitSet;
+use ssa_workload::clicks::{ClickOutcome, ClickSimulator};
+use ssa_workload::rounds::RoundSampler;
+use ssa_workload::Workload;
+
+use crate::budget::topk::{top_k_uncertain, UncertainCandidate};
+use crate::budget::{BudgetContext, OutstandingAd};
+use crate::plan::{PlanDag, PlanProblem, SharedPlanner};
+use crate::sort::planner::{build_shared_sort_plan_bucketed, SortPlan};
+use crate::sort::ta::threshold_top_k;
+use crate::topk::{KList, ScoredAd, ScoredTopKOp};
+
+pub use metrics::EngineMetrics;
+
+/// How budgets are enforced at winner-determination time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BudgetPolicy {
+    /// Ignore outstanding ads: advertisers bid full strength while any
+    /// settled budget remains; over-budget clicks are forgiven. The
+    /// gameable baseline of Section IV.
+    Ignore,
+    /// Throttle bids with the exact expected-value computation.
+    #[default]
+    ThrottleExact,
+    /// Throttle bids using lazily refined Hoeffding bounds (exact values
+    /// computed only for winners).
+    ThrottleBounds,
+}
+
+/// How winner determination is computed across the round's auctions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SharingStrategy {
+    /// Independent top-k scan per phrase (the baseline).
+    #[default]
+    Unshared,
+    /// The Section II shared top-k aggregation plan (requires
+    /// phrase-independent advertiser factors, i.e. a workload generated
+    /// with zero phrase-factor jitter).
+    SharedAggregation,
+    /// The Section III shared merge-sort network + Threshold Algorithm
+    /// (handles phrase-specific factors).
+    SharedSort,
+}
+
+/// Engine configuration.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Slot-specific CTR factors `d_j`, descending; `len()` = k.
+    pub slot_factors: Vec<f64>,
+    /// Pricing rule applied after winner determination.
+    pub pricing: PricingRule,
+    /// Budget enforcement policy.
+    pub budget_policy: BudgetPolicy,
+    /// Winner-determination sharing strategy.
+    pub sharing: SharingStrategy,
+    /// Mean click delay in rounds (geometric).
+    pub mean_click_delay_rounds: f64,
+    /// Outstanding ads expire (never click) after this many rounds.
+    pub click_expiry_rounds: u32,
+    /// Click prices are rounded down to a multiple of this increment at
+    /// display time (real platforms bill in whole cents). Besides realism
+    /// this keeps the exact budget convolution's support proportional to
+    /// `budget / increment` instead of `2^l`. Zero disables rounding.
+    pub billing_increment: Money,
+    /// Worker threads for per-phrase TA under `SharedSort` (> 1 switches
+    /// to the lock-per-operator concurrent merge network). Results are
+    /// identical to the sequential path; only wall-clock changes.
+    pub ta_threads: usize,
+    /// RNG seed for round sampling and click simulation.
+    pub seed: u64,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            slot_factors: vec![0.3, 0.2, 0.1],
+            pricing: PricingRule::GeneralizedSecondPrice,
+            budget_policy: BudgetPolicy::ThrottleExact,
+            sharing: SharingStrategy::Unshared,
+            mean_click_delay_rounds: 3.0,
+            click_expiry_rounds: 20,
+            billing_increment: Money::from_micros(10_000), // one cent
+            ta_threads: 1,
+            seed: 7,
+        }
+    }
+}
+
+/// An ad displayed in some earlier round, still awaiting its click.
+#[derive(Debug, Clone)]
+struct PendingAd {
+    price: Money,
+    display_ctr: f64,
+    age: u32,
+    /// Predetermined fate: rounds-from-display when the click lands.
+    clicks_at_age: Option<u32>,
+}
+
+/// Per-advertiser budget ledger.
+#[derive(Debug, Clone)]
+struct Ledger {
+    budget: Money,
+    settled_spend: Money,
+    pending: Vec<PendingAd>,
+}
+
+impl Ledger {
+    fn remaining(&self) -> Money {
+        self.budget.saturating_sub(self.settled_spend)
+    }
+}
+
+/// The simulation engine.
+pub struct Engine {
+    workload: Workload,
+    config: EngineConfig,
+    ledgers: Vec<Ledger>,
+    /// Each advertiser's current per-click bid; starts at the workload's
+    /// bid and evolves when bidding programs are installed.
+    current_bids: Vec<Money>,
+    /// Optional per-advertiser bidding programs (Section II-C's dynamic
+    /// bid premise).
+    programs: Option<Vec<bidding::BiddingProgram>>,
+    sampler: RoundSampler,
+    clicker: ClickSimulator,
+    /// Offline shared-aggregation plan (strategy SharedAggregation).
+    plan: Option<PlanDag>,
+    /// Offline shared-sort plan (strategy SharedSort).
+    sort_plan: Option<SortPlan>,
+    /// Per phrase, advertisers by descending `c_i^q` (TA's second list).
+    c_orders: Vec<Vec<(AdvertiserId, f64)>>,
+    metrics: EngineMetrics,
+}
+
+/// One phrase auction's resolution.
+#[derive(Debug, Clone)]
+pub struct AuctionOutcome {
+    /// The phrase.
+    pub phrase: PhraseId,
+    /// The slot assignment.
+    pub assignment: Assignment,
+}
+
+impl Engine {
+    /// Builds an engine, compiling the offline shared plans the strategy
+    /// needs.
+    ///
+    /// # Panics
+    /// Panics if `SharedAggregation` is requested for a workload with
+    /// phrase-specific factors (the Section III setting), where top-k
+    /// aggregates cannot be shared.
+    pub fn new(workload: Workload, config: EngineConfig) -> Self {
+        let n = workload.advertiser_count();
+        let m = workload.phrase_count();
+        let rates = workload.search_rates();
+        let plan = match config.sharing {
+            SharingStrategy::SharedAggregation => {
+                assert!(
+                    phrase_factors_are_uniform(&workload),
+                    "SharedAggregation requires phrase-independent advertiser factors; \
+                     use SharedSort for jittered workloads"
+                );
+                let queries: Vec<BitSet> = workload
+                    .interest
+                    .iter()
+                    .map(|ids| BitSet::from_elements(n, ids.iter().map(|a| a.index())))
+                    .collect();
+                // Empty phrases cannot be bound in a plan; the engine
+                // resolves them trivially, so substitute a harmless
+                // singleton for planning.
+                let queries = queries
+                    .into_iter()
+                    .map(|q| {
+                        if q.is_empty() {
+                            BitSet::singleton(n, 0)
+                        } else {
+                            q
+                        }
+                    })
+                    .collect();
+                let problem = PlanProblem::new(n, queries, Some(rates.clone()));
+                Some(SharedPlanner::fragments_only().plan(&problem))
+            }
+            _ => None,
+        };
+        let sort_plan = match config.sharing {
+            SharingStrategy::SharedSort => {
+                let interest: Vec<BitSet> = workload
+                    .interest
+                    .iter()
+                    .map(|ids| BitSet::from_elements(n, ids.iter().map(|a| a.index())))
+                    .collect();
+                Some(build_shared_sort_plan_bucketed(n, &interest, &rates))
+            }
+            _ => None,
+        };
+        let c_orders = (0..m)
+            .map(|q| {
+                let phrase = PhraseId::from_index(q);
+                let mut order: Vec<(AdvertiserId, f64)> = workload.interest[q]
+                    .iter()
+                    .map(|&a| {
+                        (
+                            a,
+                            workload
+                                .phrase_factor(phrase, a)
+                                .expect("interested advertiser has a factor"),
+                        )
+                    })
+                    .collect();
+                order.sort_by(|x, y| y.1.total_cmp(&x.1).then(x.0.cmp(&y.0)));
+                order
+            })
+            .collect();
+        let ledgers = workload
+            .advertisers
+            .iter()
+            .map(|a| Ledger {
+                budget: a.budget,
+                settled_spend: Money::ZERO,
+                pending: Vec::new(),
+            })
+            .collect();
+        let sampler = RoundSampler::new(rates, config.seed);
+        let clicker = ClickSimulator::new(
+            config.seed.wrapping_add(1),
+            config.mean_click_delay_rounds,
+            config.click_expiry_rounds,
+        );
+        let current_bids = workload.advertisers.iter().map(|a| a.bid).collect();
+        Engine {
+            workload,
+            config,
+            ledgers,
+            current_bids,
+            programs: None,
+            sampler,
+            clicker,
+            plan,
+            sort_plan,
+            c_orders,
+            metrics: EngineMetrics::default(),
+        }
+    }
+
+    /// Installs per-advertiser bidding programs; their current bids
+    /// replace the static workload bids from the next round on.
+    ///
+    /// # Panics
+    /// Panics unless exactly one program per advertiser is supplied.
+    pub fn set_bidding_programs(&mut self, programs: Vec<bidding::BiddingProgram>) {
+        assert_eq!(
+            programs.len(),
+            self.workload.advertiser_count(),
+            "one bidding program per advertiser"
+        );
+        for (bid, p) in self.current_bids.iter_mut().zip(&programs) {
+            *bid = p.current_bid();
+        }
+        self.programs = Some(programs);
+    }
+
+    /// The advertisers' current bids.
+    pub fn current_bids(&self) -> &[Money] {
+        &self.current_bids
+    }
+
+    /// The accumulated metrics.
+    pub fn metrics(&self) -> &EngineMetrics {
+        &self.metrics
+    }
+
+    /// The workload under simulation.
+    pub fn workload(&self) -> &Workload {
+        &self.workload
+    }
+
+    /// Runs `rounds` rounds and returns the final metrics.
+    pub fn run(&mut self, rounds: usize) -> EngineMetrics {
+        for _ in 0..rounds {
+            self.run_round();
+        }
+        self.metrics.clone()
+    }
+
+    /// Executes one round end to end; returns the auctions resolved.
+    pub fn run_round(&mut self) -> Vec<AuctionOutcome> {
+        self.metrics.rounds += 1;
+        let occurring = self.sampler.next_round();
+
+        // Per-advertiser auction participation count m_i this round.
+        let mut m_i = vec![0u64; self.workload.advertiser_count()];
+        for &q in &occurring {
+            for a in &self.workload.interest[q.index()] {
+                m_i[a.index()] += 1;
+            }
+        }
+
+        // Effective (possibly throttled) bids.
+        let started = Instant::now();
+        let effective_bids = self.effective_bids(&m_i);
+
+        // Winner determination for every occurring phrase.
+        let outcomes: Vec<AuctionOutcome> = match self.config.sharing {
+            SharingStrategy::Unshared => self.resolve_unshared(&occurring, &effective_bids),
+            SharingStrategy::SharedAggregation => {
+                self.resolve_shared_plan(&occurring, &effective_bids)
+            }
+            SharingStrategy::SharedSort => self.resolve_shared_sort(&occurring, &effective_bids),
+        };
+        self.metrics.resolution_nanos += started.elapsed().as_nanos();
+        self.metrics.auctions += occurring.len() as u64;
+
+        // Pricing + display.
+        for outcome in &outcomes {
+            self.display_winners(outcome, &effective_bids);
+        }
+
+        // Settle clicks and age pending ads.
+        self.settle_round();
+
+        // Let bidding programs react to this round's outcomes.
+        if self.programs.is_some() {
+            self.apply_bidding_programs(&m_i, &outcomes);
+        }
+        outcomes
+    }
+
+    /// Feeds each advertiser's program its round feedback and adopts the
+    /// updated bids for the next round.
+    fn apply_bidding_programs(&mut self, m_i: &[u64], outcomes: &[AuctionOutcome]) {
+        let n = self.workload.advertiser_count();
+        let mut best_slot: Vec<Option<SlotIndex>> = vec![None; n];
+        let mut won = vec![0u64; n];
+        for outcome in outcomes {
+            for w in outcome.assignment.winners() {
+                let i = w.advertiser.index();
+                won[i] += 1;
+                best_slot[i] = Some(match best_slot[i] {
+                    Some(prev) if prev <= w.slot => prev,
+                    _ => w.slot,
+                });
+            }
+        }
+        let programs = self.programs.as_mut().expect("checked by caller");
+        for (i, program) in programs.iter_mut().enumerate() {
+            let feedback = bidding::RoundFeedback {
+                best_slot: best_slot[i],
+                auctions_entered: m_i[i],
+                auctions_won: won[i],
+                settled_spend: self.ledgers[i].settled_spend,
+                budget: self.ledgers[i].budget,
+                round: self.metrics.rounds,
+            };
+            self.current_bids[i] = program.update(&feedback);
+        }
+    }
+
+    fn effective_bids(&mut self, m_i: &[u64]) -> Vec<Money> {
+        let policy = self.config.budget_policy;
+        self.workload
+            .advertisers
+            .iter()
+            .enumerate()
+            .map(|(i, adv)| {
+                if m_i[i] == 0 {
+                    return Money::ZERO;
+                }
+                let ledger = &self.ledgers[i];
+                let _ = adv;
+                match policy {
+                    BudgetPolicy::Ignore => {
+                        if ledger.remaining().is_zero() {
+                            Money::ZERO
+                        } else {
+                            self.current_bids[i]
+                        }
+                    }
+                    BudgetPolicy::ThrottleExact | BudgetPolicy::ThrottleBounds => {
+                        // ThrottleBounds defers exactness to the
+                        // uncertain top-k; for plan/sort strategies (which
+                        // need concrete leaf values) both policies
+                        // evaluate exactly here.
+                        self.budget_context(i, m_i[i]).throttled_bid_exact()
+                    }
+                }
+            })
+            .collect()
+    }
+
+    fn budget_context(&self, advertiser: usize, m: u64) -> BudgetContext {
+        let ledger = &self.ledgers[advertiser];
+        BudgetContext {
+            bid: self.current_bids[advertiser],
+            remaining_budget: ledger.remaining(),
+            auctions_in_round: m,
+            outstanding: ledger
+                .pending
+                .iter()
+                .map(|p| {
+                    OutstandingAd::new(
+                        p.price,
+                        self.clicker.residual_ctr(p.display_ctr, p.age),
+                    )
+                })
+                .collect(),
+        }
+    }
+
+    /// Baseline: independent scan per phrase. Under `ThrottleBounds`,
+    /// selection runs on lazily refined bounds instead of the exact
+    /// throttled bids.
+    fn resolve_unshared(
+        &mut self,
+        occurring: &[PhraseId],
+        effective_bids: &[Money],
+    ) -> Vec<AuctionOutcome> {
+        let k = self.config.slot_factors.len();
+        let mut out = Vec::with_capacity(occurring.len());
+        for &phrase in occurring {
+            let q = phrase.index();
+            let interest = &self.workload.interest[q];
+            self.metrics.advertisers_scanned += interest.len() as u64;
+            let ranked: Vec<(AdvertiserId, Score)> = if self.config.budget_policy
+                == BudgetPolicy::ThrottleBounds
+            {
+                // m_i for participants of this phrase were computed for
+                // the whole round; rebuild candidates with bound refiners.
+                let candidates: Vec<UncertainCandidate> = interest
+                    .iter()
+                    .enumerate()
+                    .map(|(pos, &a)| {
+                        let factor = self.workload.phrase_factors[q][pos];
+                        let m = 1.max(
+                            occurring
+                                .iter()
+                                .filter(|&&p| {
+                                    self.workload.interest[p.index()]
+                                        .binary_search(&a)
+                                        .is_ok()
+                                })
+                                .count() as u64,
+                        );
+                        UncertainCandidate::new(a, factor, &self.budget_context(a.index(), m))
+                    })
+                    .collect();
+                let (winners, stats) = top_k_uncertain(&candidates, k);
+                self.metrics.bound_evaluations += stats.bound_evaluations;
+                winners.into_iter().map(|w| (w.advertiser, w.score)).collect()
+            } else {
+                let mut top: KList<ScoredAd> = KList::empty(k);
+                for (pos, &a) in interest.iter().enumerate() {
+                    let factor = self.workload.phrase_factors[q][pos];
+                    let score = Score::expected_value(effective_bids[a.index()], factor);
+                    top.insert(ScoredAd::new(a, score));
+                }
+                top.items().iter().map(|s| (s.advertiser, s.score)).collect()
+            };
+            out.push(AuctionOutcome {
+                phrase,
+                assignment: assignment_from_ranking(&ranked, k),
+            });
+        }
+        out
+    }
+
+    /// Section II: evaluate the offline shared plan once for the round.
+    fn resolve_shared_plan(
+        &mut self,
+        occurring: &[PhraseId],
+        effective_bids: &[Money],
+    ) -> Vec<AuctionOutcome> {
+        let plan = self.plan.as_ref().expect("plan compiled at startup");
+        let k = self.config.slot_factors.len();
+        let op = ScoredTopKOp { k };
+        // Leaves: singleton k-lists of each advertiser's current score.
+        let leaf_values: Vec<KList<ScoredAd>> = self
+            .workload
+            .advertisers
+            .iter()
+            .enumerate()
+            .map(|(i, adv)| {
+                let score =
+                    Score::expected_value(effective_bids[i], adv.base_factor);
+                KList::singleton(k, ScoredAd::new(adv.id, score))
+            })
+            .collect();
+        let mut flags = vec![false; self.workload.phrase_count()];
+        for &p in occurring {
+            flags[p.index()] = true;
+        }
+        let (results, ops) = plan.evaluate(&op, &leaf_values, &flags);
+        self.metrics.aggregation_ops += ops as u64;
+        occurring
+            .iter()
+            .map(|&phrase| {
+                let ranked: Vec<(AdvertiserId, Score)> = results[phrase.index()]
+                    .as_ref()
+                    .map(|list| {
+                        list.items()
+                            .iter()
+                            // Guard against the empty-phrase placeholder
+                            // leaf: only advertisers actually interested
+                            // in the phrase may win it.
+                            .filter(|s| {
+                                self.workload.interest[phrase.index()]
+                                    .binary_search(&s.advertiser)
+                                    .is_ok()
+                            })
+                            .map(|s| (s.advertiser, s.score))
+                            .collect()
+                    })
+                    .unwrap_or_default();
+                AuctionOutcome {
+                    phrase,
+                    assignment: assignment_from_ranking(&ranked, k),
+                }
+            })
+            .collect()
+    }
+
+    /// Section III: shared merge network + TA per occurring phrase,
+    /// sequentially or across `ta_threads` workers over the concurrent
+    /// network (identical results either way).
+    fn resolve_shared_sort(
+        &mut self,
+        occurring: &[PhraseId],
+        effective_bids: &[Money],
+    ) -> Vec<AuctionOutcome> {
+        let sort_plan = self.sort_plan.as_ref().expect("sort plan compiled");
+        let k = self.config.slot_factors.len();
+        if self.config.ta_threads > 1 {
+            let (net, roots) =
+                crate::sort::concurrent::ConcurrentMergeNetwork::from_plan(
+                    sort_plan,
+                    effective_bids,
+                );
+            let jobs: Vec<crate::sort::concurrent::TaJob> = occurring
+                .iter()
+                .map(|p| (roots[p.index()], self.c_orders[p.index()].clone(), k))
+                .collect();
+            let workload = &self.workload;
+            let outcomes = crate::sort::concurrent::resolve_parallel(
+                &net,
+                &jobs,
+                |_, a| effective_bids[a.index()],
+                |j, a| workload.phrase_factor(occurring[j], a).unwrap_or(0.0),
+                self.config.ta_threads,
+            );
+            let mut out = Vec::with_capacity(occurring.len());
+            for (&phrase, outcome) in occurring.iter().zip(outcomes) {
+                self.metrics.ta_stages += outcome.stages as u64;
+                out.push(AuctionOutcome {
+                    phrase,
+                    assignment: assignment_from_ranking(&outcome.top_k, k),
+                });
+            }
+            self.metrics.merge_invocations += net.invocations();
+            return out;
+        }
+        let (mut net, roots) = sort_plan.instantiate(effective_bids);
+        let mut out = Vec::with_capacity(occurring.len());
+        for &phrase in occurring {
+            let q = phrase.index();
+            let c_order = &self.c_orders[q];
+            let workload = &self.workload;
+            let outcome = threshold_top_k(
+                &mut net,
+                roots[q],
+                c_order,
+                |a| effective_bids[a.index()],
+                |a| workload.phrase_factor(phrase, a).unwrap_or(0.0),
+                k,
+            );
+            self.metrics.ta_stages += outcome.stages as u64;
+            out.push(AuctionOutcome {
+                phrase,
+                assignment: assignment_from_ranking(&outcome.top_k, k),
+            });
+        }
+        self.metrics.merge_invocations += net.invocations();
+        out
+    }
+
+    /// Prices an assignment and displays the winning ads.
+    fn display_winners(&mut self, outcome: &AuctionOutcome, effective_bids: &[Money]) {
+        let q = outcome.phrase.index();
+        let entries: Vec<AuctionEntry> = self.workload.interest[q]
+            .iter()
+            .enumerate()
+            .map(|(pos, &a)| {
+                AuctionEntry::new(
+                    a,
+                    effective_bids[a.index()],
+                    self.workload.phrase_factors[q][pos],
+                )
+            })
+            .collect();
+        let instance = AuctionInstance::new(entries, self.config.slot_factors.clone())
+            .expect("engine factors are valid");
+        let priced = price_assignment(&instance, &outcome.assignment, self.config.pricing);
+        for slot in priced {
+            let factor = self
+                .workload
+                .phrase_factor(outcome.phrase, slot.advertiser)
+                .unwrap_or(0.0);
+            let display_ctr =
+                (factor * self.config.slot_factors[slot.slot.index()]).clamp(0.0, 1.0);
+            let fate = self.clicker.impression(display_ctr);
+            let billed_price = slot
+                .price_per_click
+                .round_down_to(self.config.billing_increment);
+            self.metrics.impressions += 1;
+            self.metrics.expected_value += display_ctr * billed_price.to_f64();
+            let ledger = &mut self.ledgers[slot.advertiser.index()];
+            ledger.pending.push(PendingAd {
+                price: billed_price,
+                display_ctr,
+                age: 0,
+                clicks_at_age: match fate {
+                    ClickOutcome::ClickAfter { delay } => Some(delay),
+                    ClickOutcome::NoClick => None,
+                },
+            });
+        }
+    }
+
+    /// Ages pending ads, lands due clicks, and settles payments.
+    fn settle_round(&mut self) {
+        let expiry = self.config.click_expiry_rounds;
+        for ledger in &mut self.ledgers {
+            let mut still_pending = Vec::with_capacity(ledger.pending.len());
+            for mut ad in ledger.pending.drain(..) {
+                ad.age += 1;
+                match ad.clicks_at_age {
+                    Some(at) if ad.age >= at => {
+                        // Click lands now: charge up to the remaining
+                        // budget, forgive the rest.
+                        self.metrics.clicks += 1;
+                        let remaining = ledger.budget.saturating_sub(ledger.settled_spend);
+                        let charged = ad.price.min(remaining);
+                        let forgiven = ad.price.saturating_sub(charged);
+                        ledger.settled_spend += charged;
+                        self.metrics.revenue = self.metrics.revenue.saturating_add(charged);
+                        if !forgiven.is_zero() {
+                            self.metrics.forgiven =
+                                self.metrics.forgiven.saturating_add(forgiven);
+                            self.metrics.clicks_beyond_budget += 1;
+                        }
+                    }
+                    _ if ad.age >= expiry => {
+                        // Expired unclicked; drop.
+                    }
+                    _ => still_pending.push(ad),
+                }
+            }
+            ledger.pending = still_pending;
+        }
+    }
+}
+
+/// True iff every advertiser's factor is identical across all phrases it
+/// participates in (the Section II separability-across-phrases premise).
+fn phrase_factors_are_uniform(workload: &Workload) -> bool {
+    for q in 0..workload.phrase_count() {
+        for (pos, a) in workload.interest[q].iter().enumerate() {
+            let base = workload.advertisers[a.index()].base_factor;
+            if (workload.phrase_factors[q][pos] - base).abs() > 1e-12 {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssa_workload::WorkloadConfig;
+
+    fn small_workload(jitter: f64, seed: u64) -> Workload {
+        Workload::generate(&WorkloadConfig {
+            advertisers: 60,
+            phrases: 6,
+            topics: 3,
+            phrase_factor_jitter: jitter,
+            seed,
+            ..WorkloadConfig::default()
+        })
+    }
+
+    fn config(sharing: SharingStrategy, policy: BudgetPolicy) -> EngineConfig {
+        EngineConfig {
+            sharing,
+            budget_policy: policy,
+            ..EngineConfig::default()
+        }
+    }
+
+    /// All three sharing strategies must produce identical assignments on
+    /// a jitter-free workload round by round (same seed → same rounds).
+    #[test]
+    fn strategies_agree_on_assignments() {
+        let strategies = [
+            SharingStrategy::Unshared,
+            SharingStrategy::SharedAggregation,
+            SharingStrategy::SharedSort,
+        ];
+        let mut all: Vec<Vec<AuctionOutcome>> = Vec::new();
+        for s in strategies {
+            let mut engine = Engine::new(
+                small_workload(0.0, 42),
+                config(s, BudgetPolicy::ThrottleExact),
+            );
+            let mut outcomes = Vec::new();
+            for _ in 0..10 {
+                outcomes.extend(engine.run_round());
+            }
+            all.push(outcomes);
+        }
+        assert_eq!(all[0].len(), all[1].len());
+        assert_eq!(all[0].len(), all[2].len());
+        for ((a, b), c) in all[0].iter().zip(&all[1]).zip(&all[2]) {
+            assert_eq!(a.phrase, b.phrase);
+            assert_eq!(
+                a.assignment, b.assignment,
+                "unshared vs shared-plan mismatch on {}",
+                a.phrase
+            );
+            assert_eq!(
+                a.assignment, c.assignment,
+                "unshared vs shared-sort mismatch on {}",
+                a.phrase
+            );
+        }
+    }
+
+    #[test]
+    fn shared_sort_handles_jittered_factors() {
+        let mut unshared = Engine::new(
+            small_workload(0.4, 9),
+            config(SharingStrategy::Unshared, BudgetPolicy::ThrottleExact),
+        );
+        let mut shared = Engine::new(
+            small_workload(0.4, 9),
+            config(SharingStrategy::SharedSort, BudgetPolicy::ThrottleExact),
+        );
+        for _ in 0..8 {
+            let a = unshared.run_round();
+            let b = shared.run_round();
+            assert_eq!(a.len(), b.len());
+            for (x, y) in a.iter().zip(&b) {
+                assert_eq!(x.assignment, y.assignment, "phrase {}", x.phrase);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "SharedAggregation requires")]
+    fn shared_aggregation_rejects_jitter() {
+        Engine::new(
+            small_workload(0.4, 9),
+            config(SharingStrategy::SharedAggregation, BudgetPolicy::Ignore),
+        );
+    }
+
+    #[test]
+    fn bounds_policy_matches_exact_policy() {
+        let mut exact = Engine::new(
+            small_workload(0.0, 5),
+            config(SharingStrategy::Unshared, BudgetPolicy::ThrottleExact),
+        );
+        let mut bounds = Engine::new(
+            small_workload(0.0, 5),
+            config(SharingStrategy::Unshared, BudgetPolicy::ThrottleBounds),
+        );
+        for round in 0..6 {
+            let a = exact.run_round();
+            let b = bounds.run_round();
+            for (x, y) in a.iter().zip(&b) {
+                assert_eq!(
+                    x.assignment, y.assignment,
+                    "round {round} phrase {}",
+                    x.phrase
+                );
+            }
+        }
+        assert!(bounds.metrics().bound_evaluations > 0);
+    }
+
+    #[test]
+    fn revenue_never_exceeds_total_budgets() {
+        let workload = small_workload(0.0, 11);
+        let total_budget: Money = workload.advertisers.iter().map(|a| a.budget).sum();
+        for policy in [BudgetPolicy::Ignore, BudgetPolicy::ThrottleExact] {
+            let mut engine = Engine::new(
+                small_workload(0.0, 11),
+                config(SharingStrategy::Unshared, policy),
+            );
+            let m = engine.run(50);
+            assert!(
+                m.revenue <= total_budget,
+                "{policy:?} collected {} over budget {total_budget}",
+                m.revenue
+            );
+        }
+    }
+
+    #[test]
+    fn metrics_accumulate_sensibly() {
+        let mut engine = Engine::new(
+            small_workload(0.0, 3),
+            config(SharingStrategy::SharedAggregation, BudgetPolicy::ThrottleExact),
+        );
+        let m = engine.run(20);
+        assert_eq!(m.rounds, 20);
+        assert!(m.auctions > 0, "phrases must occur");
+        assert!(m.impressions > 0);
+        assert!(m.aggregation_ops > 0);
+        assert_eq!(m.advertisers_scanned, 0, "no scans under shared plan");
+    }
+
+    #[test]
+    fn parallel_ta_matches_sequential_engine() {
+        let run = |threads: usize| {
+            let mut engine = Engine::new(
+                small_workload(0.3, 44),
+                EngineConfig {
+                    sharing: SharingStrategy::SharedSort,
+                    ta_threads: threads,
+                    seed: 6,
+                    ..EngineConfig::default()
+                },
+            );
+            let mut all = Vec::new();
+            for _ in 0..8 {
+                all.extend(engine.run_round());
+            }
+            (all, engine.metrics().clone())
+        };
+        let (seq, seq_m) = run(1);
+        let (par, par_m) = run(4);
+        assert_eq!(seq.len(), par.len());
+        for (a, b) in seq.iter().zip(&par) {
+            assert_eq!(a.assignment, b.assignment, "phrase {}", a.phrase);
+        }
+        assert_eq!(seq_m.ta_stages, par_m.ta_stages);
+        assert_eq!(seq_m.revenue, par_m.revenue);
+    }
+
+    #[test]
+    fn bidding_programs_move_bids_and_stay_consistent_across_strategies() {
+        use super::bidding::{BidStrategy, BiddingProgram};
+        use ssa_auction::ids::SlotIndex;
+
+        let build = |sharing: SharingStrategy| {
+            let w = small_workload(0.0, 77);
+            let programs: Vec<BiddingProgram> = w
+                .advertisers
+                .iter()
+                .enumerate()
+                .map(|(i, a)| {
+                    let strategy = match i % 3 {
+                        0 => BidStrategy::Static,
+                        1 => BidStrategy::TargetSlot {
+                            target: SlotIndex(0),
+                            step: 0.05,
+                            max_bid: Money::from_units(50),
+                        },
+                        _ => BidStrategy::BudgetPacing {
+                            horizon: 40,
+                            step: 0.05,
+                        },
+                    };
+                    BiddingProgram::new(strategy, a.bid)
+                })
+                .collect();
+            let mut engine = Engine::new(
+                w,
+                EngineConfig {
+                    sharing,
+                    budget_policy: BudgetPolicy::Ignore,
+                    seed: 19,
+                    ..EngineConfig::default()
+                },
+            );
+            engine.set_bidding_programs(programs);
+            engine
+        };
+        let mut a = build(SharingStrategy::Unshared);
+        let mut b = build(SharingStrategy::SharedAggregation);
+        let initial = a.current_bids().to_vec();
+        for round in 0..15 {
+            let oa = a.run_round();
+            let ob = b.run_round();
+            for (x, y) in oa.iter().zip(&ob) {
+                assert_eq!(x.assignment, y.assignment, "round {round}");
+            }
+            assert_eq!(a.current_bids(), b.current_bids(), "round {round}");
+        }
+        assert_ne!(
+            a.current_bids(),
+            &initial[..],
+            "dynamic strategies must actually move bids"
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = || {
+            let mut engine = Engine::new(
+                small_workload(0.0, 13),
+                config(SharingStrategy::Unshared, BudgetPolicy::ThrottleExact),
+            );
+            let m = engine.run(15);
+            (m.revenue, m.clicks, m.impressions)
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,331 @@
+//! Shared winner determination without separability (Section V).
+//!
+//! For non-separable CTRs, single-auction winner determination prunes the
+//! advertiser–slot bipartite graph to the advertisers with the k highest
+//! edges *per slot* and runs the Hungarian algorithm
+//! ([`ssa_auction::nonseparable`]). The paper's Section V observes that
+//! this pruning step is itself a family of top-k queries — one per
+//! (phrase, slot) — and that "we can use the shared top-k algorithms
+//! presented in this paper to find the top k advertisers for each slot in
+//! the graph-pruning step".
+//!
+//! Since the edge weight `b_i · ctr_ij` of an advertiser in a fixed slot
+//! `j` is the same in every phrase auction (only the *interest sets*
+//! differ by phrase), one shared aggregation plan over the phrase
+//! interest sets serves all slots: evaluate it `k` times, once per slot's
+//! weight vector, and feed each phrase's per-slot top-k lists into the
+//! pruned matching.
+
+use ssa_auction::ctr::CtrModel;
+use ssa_auction::ids::{AdvertiserId, SlotIndex};
+use ssa_auction::money::Money;
+use ssa_auction::score::Score;
+use ssa_auction::winner::{Assignment, RankedWinner};
+use ssa_setcover::BitSet;
+
+use crate::plan::{PlanDag, PlanProblem, SharedPlanner};
+use crate::topk::{KList, ScoredAd, ScoredTopKOp};
+
+/// A compiled shared non-separable resolver for one round structure.
+#[derive(Debug, Clone)]
+pub struct SharedNonSeparable {
+    plan: PlanDag,
+    advertiser_count: usize,
+    k: usize,
+}
+
+/// One phrase's resolution plus the work accounting.
+#[derive(Debug, Clone)]
+pub struct SharedNonSepOutcome {
+    /// Slot assignments per occurring phrase (`None` for phrases that did
+    /// not occur).
+    pub assignments: Vec<Option<Assignment>>,
+    /// Top-k aggregation operations spent in the shared pruning step.
+    pub aggregation_ops: usize,
+    /// The per-slot scans an unshared system would have performed
+    /// (`k · Σ_occurring |I_q|`).
+    pub unshared_scan_baseline: usize,
+}
+
+impl SharedNonSeparable {
+    /// Compiles the shared plan over the phrase interest sets.
+    pub fn new(
+        advertiser_count: usize,
+        interest: &[BitSet],
+        search_rates: &[f64],
+        k: usize,
+    ) -> Self {
+        let queries: Vec<BitSet> = interest
+            .iter()
+            .map(|q| {
+                if q.is_empty() {
+                    BitSet::singleton(advertiser_count, 0)
+                } else {
+                    q.clone()
+                }
+            })
+            .collect();
+        let problem = PlanProblem::new(advertiser_count, queries, Some(search_rates.to_vec()));
+        SharedNonSeparable {
+            plan: SharedPlanner::fragments_only().plan(&problem),
+            advertiser_count,
+            k,
+        }
+    }
+
+    /// Resolves a round: for each occurring phrase, prune via the shared
+    /// per-slot top-k plans and run the maximum-weight matching on the
+    /// pruned graph.
+    pub fn resolve_round<M: CtrModel>(
+        &self,
+        model: &M,
+        bids: &[Money],
+        interest: &[BitSet],
+        occurring: &[bool],
+    ) -> SharedNonSepOutcome {
+        assert_eq!(bids.len(), self.advertiser_count, "one bid per advertiser");
+        assert_eq!(occurring.len(), interest.len(), "one flag per phrase");
+        assert_eq!(model.slot_count(), self.k, "model must cover k slots");
+        let op = ScoredTopKOp { k: self.k };
+
+        // One shared-plan evaluation per slot; `slot_tops[j][q]` is the
+        // top-k of slot j's edge weights within phrase q's interest set.
+        let mut aggregation_ops = 0usize;
+        let mut slot_tops: Vec<Vec<Option<KList<ScoredAd>>>> = Vec::with_capacity(self.k);
+        for j in 0..self.k {
+            let slot = SlotIndex(j as u8);
+            let leaves: Vec<KList<ScoredAd>> = (0..self.advertiser_count)
+                .map(|i| {
+                    let adv = AdvertiserId::from_index(i);
+                    let weight = model.ctr(adv, slot).value() * bids[i].to_f64();
+                    KList::singleton(self.k, ScoredAd::new(adv, Score::new(weight)))
+                })
+                .collect();
+            let (results, ops) = self.plan.evaluate(&op, &leaves, occurring);
+            aggregation_ops += ops;
+            slot_tops.push(results);
+        }
+
+        // Per occurring phrase: candidates = union of its k slot lists,
+        // then the pruned maximum-weight matching.
+        let mut assignments = Vec::with_capacity(interest.len());
+        for (q, (&occ, iq)) in occurring.iter().zip(interest).enumerate() {
+            if !occ || iq.is_empty() {
+                assignments.push(None);
+                continue;
+            }
+            let mut candidates: Vec<AdvertiserId> = Vec::new();
+            for tops in slot_tops.iter() {
+                if let Some(list) = &tops[q] {
+                    for s in list.items() {
+                        // Guard against the empty-phrase placeholder leaf.
+                        if iq.contains(s.advertiser.index())
+                            && !candidates.contains(&s.advertiser)
+                        {
+                            candidates.push(s.advertiser);
+                        }
+                    }
+                }
+            }
+            candidates.sort_unstable();
+            let weights: Vec<Vec<f64>> = (0..self.k)
+                .map(|j| {
+                    candidates
+                        .iter()
+                        .map(|&a| {
+                            model.ctr(a, SlotIndex(j as u8)).value() * bids[a.index()].to_f64()
+                        })
+                        .collect()
+                })
+                .collect();
+            let matching = ssa_auction::assignment::max_weight_assignment(&weights);
+            let winners: Vec<RankedWinner> = matching
+                .row_to_col
+                .iter()
+                .enumerate()
+                .filter_map(|(j, col)| {
+                    col.and_then(|c| {
+                        let w = weights[j][c];
+                        (w > 0.0).then(|| RankedWinner {
+                            slot: SlotIndex(j as u8),
+                            advertiser: candidates[c],
+                            score: Score::new(w),
+                        })
+                    })
+                })
+                .collect();
+            assignments.push(Some(Assignment::from_winners(winners)));
+        }
+
+        let unshared_scan_baseline = self.k
+            * interest
+                .iter()
+                .zip(occurring)
+                .filter(|(_, &occ)| occ)
+                .map(|(iq, _)| iq.len())
+                .sum::<usize>();
+        SharedNonSepOutcome {
+            assignments,
+            aggregation_ops,
+            unshared_scan_baseline,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use ssa_auction::ctr::CtrMatrix;
+    use ssa_auction::nonseparable::{determine_winners_nonseparable, NonSeparableBid};
+
+    /// Per-phrase unshared reference.
+    fn reference(
+        matrix: &CtrMatrix,
+        bids: &[Money],
+        interest: &[BitSet],
+        occurring: &[bool],
+    ) -> Vec<Option<f64>> {
+        interest
+            .iter()
+            .zip(occurring)
+            .map(|(iq, &occ)| {
+                if !occ || iq.is_empty() {
+                    return None;
+                }
+                let phrase_bids: Vec<NonSeparableBid> = iq
+                    .iter()
+                    .map(|i| NonSeparableBid {
+                        advertiser: AdvertiserId::from_index(i),
+                        bid: bids[i],
+                    })
+                    .collect();
+                Some(determine_winners_nonseparable(matrix, &phrase_bids).expected_value)
+            })
+            .collect()
+    }
+
+    fn assignment_value(
+        assignment: &Assignment,
+        matrix: &CtrMatrix,
+        bids: &[Money],
+    ) -> f64 {
+        assignment
+            .winners()
+            .iter()
+            .map(|w| {
+                matrix.ctr(w.advertiser, w.slot).value() * bids[w.advertiser.index()].to_f64()
+            })
+            .sum()
+    }
+
+    #[test]
+    fn matches_per_phrase_resolution() {
+        let k = 3;
+        let n = 12;
+        let rows: Vec<Vec<f64>> = (0..n)
+            .map(|i| {
+                (0..k)
+                    .map(|j| ((i * 5 + j * 11 + 3) % 17) as f64 / 17.0)
+                    .collect()
+            })
+            .collect();
+        let matrix = CtrMatrix::new(rows).unwrap();
+        let bids: Vec<Money> = (0..n)
+            .map(|i| Money::from_f64(1.0 + (i % 5) as f64 * 0.7))
+            .collect();
+        let interest = vec![
+            BitSet::from_elements(n, 0..8),
+            BitSet::from_elements(n, 4..12),
+            BitSet::from_elements(n, (0..n).filter(|i| i % 2 == 0)),
+        ];
+        let rates = vec![0.8, 0.8, 0.6];
+        let shared = SharedNonSeparable::new(n, &interest, &rates, k);
+        let occurring = vec![true, true, true];
+        let outcome = shared.resolve_round(&matrix, &bids, &interest, &occurring);
+        let want = reference(&matrix, &bids, &interest, &occurring);
+        for (q, (got, want)) in outcome.assignments.iter().zip(&want).enumerate() {
+            let got_v = got.as_ref().map(|a| assignment_value(a, &matrix, &bids));
+            match (got_v, want) {
+                (Some(g), Some(w)) => {
+                    assert!((g - w).abs() < 1e-9, "phrase {q}: {g} vs {w}")
+                }
+                (None, None) => {}
+                other => panic!("phrase {q}: {other:?}"),
+            }
+        }
+        assert!(outcome.aggregation_ops > 0);
+        assert!(
+            outcome.aggregation_ops < outcome.unshared_scan_baseline,
+            "sharing must beat {} scans (got {} ops)",
+            outcome.unshared_scan_baseline,
+            outcome.aggregation_ops
+        );
+    }
+
+    #[test]
+    fn skips_non_occurring_and_empty_phrases() {
+        let k = 2;
+        let n = 6;
+        let matrix =
+            CtrMatrix::new((0..n).map(|i| vec![0.1 * (i + 1) as f64, 0.05]).collect())
+                .unwrap();
+        let bids = vec![Money::from_units(1); n];
+        let interest = vec![
+            BitSet::from_elements(n, 0..4),
+            BitSet::new(n),
+            BitSet::from_elements(n, 2..6),
+        ];
+        let shared = SharedNonSeparable::new(n, &interest, &[0.5; 3], k);
+        let outcome = shared.resolve_round(&matrix, &bids, &interest, &[true, true, false]);
+        assert!(outcome.assignments[0].is_some());
+        assert!(outcome.assignments[1].is_none(), "empty phrase");
+        assert!(outcome.assignments[2].is_none(), "did not occur");
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        /// The shared pruning pipeline is lossless: per-phrase objective
+        /// values equal the unshared per-phrase resolution.
+        #[test]
+        fn shared_pruning_is_lossless(
+            n in 4usize..10,
+            k in 1usize..4,
+            ctr_seed in proptest::collection::vec(0u8..=100, 40),
+            bid_seed in proptest::collection::vec(1u8..50, 10),
+            sets in proptest::collection::vec(
+                proptest::collection::btree_set(0usize..10, 1..8), 1..4),
+            occ in proptest::collection::vec(any::<bool>(), 4),
+        ) {
+            let rows: Vec<Vec<f64>> = (0..n)
+                .map(|i| (0..k).map(|j| ctr_seed[(i * 4 + j) % 40] as f64 / 100.0).collect())
+                .collect();
+            let matrix = CtrMatrix::new(rows).unwrap();
+            let bids: Vec<Money> = (0..n)
+                .map(|i| Money::from_f64(bid_seed[i % 10] as f64 / 10.0))
+                .collect();
+            let interest: Vec<BitSet> = sets
+                .iter()
+                .map(|s| BitSet::from_elements(n, s.iter().copied().filter(|&v| v < n)))
+                .collect();
+            // Drop phrases that became empty after filtering.
+            let interest: Vec<BitSet> =
+                interest.into_iter().filter(|s| !s.is_empty()).collect();
+            prop_assume!(!interest.is_empty());
+            let m = interest.len();
+            let occurring: Vec<bool> = (0..m).map(|q| occ[q % occ.len()]).collect();
+            let shared = SharedNonSeparable::new(n, &interest, &vec![0.5; m], k);
+            let outcome = shared.resolve_round(&matrix, &bids, &interest, &occurring);
+            let want = reference(&matrix, &bids, &interest, &occurring);
+            for (q, (got, want)) in outcome.assignments.iter().zip(&want).enumerate() {
+                let got_v = got.as_ref().map(|a| assignment_value(a, &matrix, &bids));
+                match (got_v, want) {
+                    (Some(g), Some(w)) =>
+                        prop_assert!((g - w).abs() < 1e-9, "phrase {}: {} vs {}", q, g, w),
+                    (None, None) => {}
+                    other => prop_assert!(false, "phrase {}: {:?}", q, other),
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,162 @@
+//! The probabilistic cost model.
+//!
+//! "A node is materialized in a given round if it is used to compute the
+//! result for a bid phrase that occurs in that round. … the probability of
+//! node v being materialized is `1 − Π_{q: v⇝q} (1 − sr_q)`. Thus, by
+//! linearity of expectation, the total expected cost of a plan is
+//! `Σ_v (1 − Π_{q: v⇝q} (1 − sr_q))`."
+
+use super::{PlanDag, PlanProblem};
+
+/// The expected number of internal nodes materialized per round, under
+/// independent Bernoulli query occurrence with the given search rates.
+///
+/// # Panics
+/// Panics if `search_rates.len()` differs from the plan's query count.
+pub fn expected_cost(plan: &PlanDag, search_rates: &[f64]) -> f64 {
+    assert_eq!(
+        search_rates.len(),
+        plan.query_count(),
+        "one search rate per bound query"
+    );
+    let reach = plan.reach_sets();
+    let mut total = 0.0;
+    for node_reach in &reach[plan.var_count()..] {
+        let mut none_occur = 1.0;
+        for q in node_reach.iter() {
+            none_occur *= 1.0 - search_rates[q];
+        }
+        total += 1.0 - none_occur;
+    }
+    total
+}
+
+/// The expected cost of resolving every query independently (no sharing):
+/// each occurring query `q` pays `|X_q| − 1` pairwise aggregations, so the
+/// expectation is `Σ_q sr_q (|X_q| − 1)`.
+pub fn unshared_expected_cost(problem: &PlanProblem) -> f64 {
+    problem
+        .queries
+        .iter()
+        .zip(&problem.search_rates)
+        .map(|(set, &sr)| sr * (set.len().saturating_sub(1)) as f64)
+        .sum()
+}
+
+/// The number of internal nodes actually materialized for one concrete
+/// round (the per-round realization of [`expected_cost`]).
+pub fn materialized_cost(plan: &PlanDag, occurring: &[bool]) -> usize {
+    assert_eq!(occurring.len(), plan.query_count());
+    let reach = plan.reach_sets();
+    (plan.var_count()..plan.nodes().len())
+        .filter(|&idx| reach[idx].iter().any(|q| occurring[q]))
+        .count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use ssa_setcover::BitSet;
+
+    fn bs(n: usize, elems: &[usize]) -> BitSet {
+        BitSet::from_elements(n, elems.iter().copied())
+    }
+
+    /// Shared plan over queries {0,1,2} and {0,1,3} sharing node {0,1}.
+    fn shared_plan() -> PlanDag {
+        let mut plan = PlanDag::new(4);
+        let ab = plan.merge(0, 1);
+        let abc = plan.merge(ab, 2);
+        let abd = plan.merge(ab, 3);
+        plan.bind_query(&plan.nodes()[abc].vars.clone());
+        plan.bind_query(&plan.nodes()[abd].vars.clone());
+        plan
+    }
+
+    #[test]
+    fn deterministic_rates_count_all_nodes() {
+        let plan = shared_plan();
+        assert_eq!(expected_cost(&plan, &[1.0, 1.0]), 3.0);
+        assert_eq!(expected_cost(&plan, &[0.0, 0.0]), 0.0);
+    }
+
+    #[test]
+    fn hand_computed_expectation() {
+        let plan = shared_plan();
+        // sr = (0.5, 0.5): shared node {0,1} materializes with
+        // 1 − 0.25 = 0.75; each query node with 0.5. Total 1.75.
+        let got = expected_cost(&plan, &[0.5, 0.5]);
+        assert!((got - 1.75).abs() < 1e-12, "{got}");
+    }
+
+    #[test]
+    fn unshared_baseline() {
+        let problem = super::super::PlanProblem::new(
+            4,
+            vec![bs(4, &[0, 1, 2]), bs(4, &[0, 1, 3])],
+            Some(vec![0.5, 0.5]),
+        );
+        // Each query scans 3 advertisers → 2 ops; expectation 0.5·2 + 0.5·2.
+        assert!((unshared_expected_cost(&problem) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn shared_plan_beats_unshared_at_high_rates() {
+        let plan = shared_plan();
+        let problem = super::super::PlanProblem::new(
+            4,
+            vec![bs(4, &[0, 1, 2]), bs(4, &[0, 1, 3])],
+            Some(vec![0.9, 0.9]),
+        );
+        let shared = expected_cost(&plan, &problem.search_rates);
+        let unshared = unshared_expected_cost(&problem);
+        assert!(
+            shared < unshared,
+            "shared {shared} should beat unshared {unshared}"
+        );
+    }
+
+    #[test]
+    fn materialized_cost_per_round() {
+        let plan = shared_plan();
+        assert_eq!(materialized_cost(&plan, &[true, true]), 3);
+        assert_eq!(materialized_cost(&plan, &[true, false]), 2);
+        assert_eq!(materialized_cost(&plan, &[false, false]), 0);
+    }
+
+    #[test]
+    fn monte_carlo_matches_expectation() {
+        let plan = shared_plan();
+        let rates = [0.3, 0.7];
+        let expected = expected_cost(&plan, &rates);
+        let mut rng = StdRng::seed_from_u64(99);
+        let trials = 100_000;
+        let mut total = 0usize;
+        for _ in 0..trials {
+            let occurring: Vec<bool> = rates.iter().map(|&r| rng.random::<f64>() < r).collect();
+            total += materialized_cost(&plan, &occurring);
+        }
+        let mc = total as f64 / trials as f64;
+        assert!((mc - expected).abs() < 0.02, "MC {mc} vs expected {expected}");
+    }
+
+    proptest! {
+        /// Expected cost is monotone in every search rate and bounded by
+        /// the total node count.
+        #[test]
+        fn expectation_bounds_and_monotonicity(
+            r1 in 0.0f64..=1.0,
+            r2 in 0.0f64..=1.0,
+            bump in 0.0f64..=0.5,
+        ) {
+            let plan = shared_plan();
+            let base = expected_cost(&plan, &[r1, r2]);
+            prop_assert!(base >= 0.0 && base <= plan.total_cost() as f64 + 1e-12);
+            let bumped = expected_cost(&plan, &[(r1 + bump).min(1.0), r2]);
+            prop_assert!(bumped + 1e-12 >= base);
+        }
+    }
+}

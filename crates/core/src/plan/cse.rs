@@ -1,0 +1,214 @@
+//! The non-associative baseline: common-subexpression sharing.
+//!
+//! "Without using information about the algebraic properties of ⊕, we can
+//! only share work between queries in a rather limited manner by reusing
+//! the results of sub-expressions used to compute the queries." For the
+//! Figure 5 rows with A1 = N, this *is* the optimal strategy (no
+//! reassociation is available, so a plan can only materialize the given
+//! parse trees), and it runs in polynomial time via hash-consing — Cocke's
+//! classic global common subexpression elimination, which the paper cites.
+//!
+//! Canonicalization under the remaining axioms (A4 sorts children, A3
+//! collapses equal children) happens before hashing, so e.g. `x ⊕ y` and
+//! `y ⊕ x` share under a commutative operator.
+
+use std::collections::HashMap;
+
+use crate::algebra::expr::{CanonTree, Expr};
+use crate::algebra::AxiomSet;
+
+/// A CSE plan: the distinct canonical subexpressions, topologically
+/// ordered, plus which node computes each input expression.
+#[derive(Debug, Clone)]
+pub struct CsePlan {
+    /// Distinct internal (operator) nodes in creation order; values are
+    /// `(left, right)` indices into a combined node space where indices
+    /// `0..var_count` would be variables — here nodes are keyed by
+    /// canonical trees instead, so children are `NodeRef`s.
+    pub nodes: Vec<(NodeRef, NodeRef)>,
+    /// The node computing each input expression.
+    pub roots: Vec<NodeRef>,
+}
+
+/// Reference to a variable or an internal CSE node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NodeRef {
+    /// Variable leaf.
+    Var(usize),
+    /// Internal node index into [`CsePlan::nodes`].
+    Node(usize),
+}
+
+impl CsePlan {
+    /// Total cost (number of ⊕ nodes) — the quantity Figure 5's PTIME
+    /// rows minimize.
+    pub fn total_cost(&self) -> usize {
+        self.nodes.len()
+    }
+}
+
+/// Builds the optimal syntactic-sharing plan for the expressions under
+/// the axiom set. Polynomial: one hash-cons pass over every
+/// subexpression.
+///
+/// For degenerate axiom sets (Figure 5's O(1) rows) every expression is
+/// equivalent to every other; the plan has at most one node per input
+/// expression *shape* but the cost reported is 0 — nothing needs
+/// computing beyond a constant.
+pub fn cse_plan(exprs: &[Expr], axioms: AxiomSet) -> CsePlan {
+    if axioms.is_degenerate() {
+        return CsePlan {
+            nodes: Vec::new(),
+            roots: exprs.iter().map(|_| NodeRef::Var(0)).collect(),
+        };
+    }
+    let mut interned: HashMap<CanonTree, NodeRef> = HashMap::new();
+    let mut nodes: Vec<(NodeRef, NodeRef)> = Vec::new();
+    let roots = exprs
+        .iter()
+        .map(|e| intern(e, axioms, &mut interned, &mut nodes))
+        .collect();
+    CsePlan { nodes, roots }
+}
+
+fn intern(
+    expr: &Expr,
+    axioms: AxiomSet,
+    interned: &mut HashMap<CanonTree, NodeRef>,
+    nodes: &mut Vec<(NodeRef, NodeRef)>,
+) -> NodeRef {
+    match expr {
+        Expr::Var(v) => NodeRef::Var(*v),
+        Expr::Op(a, b) => {
+            let ra = intern(a, axioms, interned, nodes);
+            let rb = intern(b, axioms, interned, nodes);
+            // Canonical key of this subexpression under the axioms.
+            let key = canon_of(expr, axioms);
+            if let CanonTree::Var(v) = key {
+                // Idempotence collapsed the node to a variable.
+                return NodeRef::Var(v);
+            }
+            if let Some(&r) = interned.get(&key) {
+                return r;
+            }
+            // A3 collapse below the root may make ra == rb with the key
+            // still an Op (e.g. (x⊕y)⊕(y⊕x) under A3+A4 canonicalizes to
+            // x⊕y): reuse the child instead of emitting a no-op node.
+            if axioms.idempotent() && ra == rb {
+                interned.insert(key, ra);
+                return ra;
+            }
+            let idx = nodes.len();
+            nodes.push((ra, rb));
+            let r = NodeRef::Node(idx);
+            interned.insert(key, r);
+            r
+        }
+    }
+}
+
+fn canon_of(expr: &Expr, axioms: AxiomSet) -> CanonTree {
+    match expr.canon_key(axioms) {
+        crate::algebra::expr::CanonKey::Tree(t) => t,
+        // Associative axiom sets never reach here (cse is the
+        // non-associative planner), but handle them by re-canonicalizing
+        // structurally so the function is total.
+        _ => structural(expr, axioms),
+    }
+}
+
+fn structural(expr: &Expr, axioms: AxiomSet) -> CanonTree {
+    match expr {
+        Expr::Var(v) => CanonTree::Var(*v),
+        Expr::Op(a, b) => {
+            let ca = structural(a, axioms);
+            let cb = structural(b, axioms);
+            if axioms.idempotent() && ca == cb {
+                return ca;
+            }
+            let (l, r) = if axioms.commutative() && cb < ca {
+                (cb, ca)
+            } else {
+                (ca, cb)
+            };
+            CanonTree::Op(Box::new(l), Box::new(r))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn x(v: usize) -> Expr {
+        Expr::Var(v)
+    }
+
+    #[test]
+    fn identical_subtrees_shared() {
+        // (x0 ⊕ x1) and (x0 ⊕ x1) ⊕ x2 share the inner node.
+        let e1 = Expr::op(x(0), x(1));
+        let e2 = Expr::op(Expr::op(x(0), x(1)), x(2));
+        let plan = cse_plan(&[e1, e2], AxiomSet::NONE);
+        assert_eq!(plan.total_cost(), 2);
+        assert_eq!(plan.roots[0], NodeRef::Node(0));
+        assert_eq!(plan.roots[1], NodeRef::Node(1));
+    }
+
+    #[test]
+    fn no_sharing_without_axioms_for_reordered() {
+        let e1 = Expr::op(x(0), x(1));
+        let e2 = Expr::op(x(1), x(0));
+        let plan = cse_plan(&[e1.clone(), e2.clone()], AxiomSet::NONE);
+        assert_eq!(plan.total_cost(), 2, "x⊕y and y⊕x differ syntactically");
+        // With commutativity they share.
+        let plan = cse_plan(&[e1, e2], AxiomSet::A4);
+        assert_eq!(plan.total_cost(), 1);
+        assert_eq!(plan.roots[0], plan.roots[1]);
+    }
+
+    #[test]
+    fn idempotence_collapses_self_merge() {
+        let e = Expr::op(x(0), x(0));
+        let plan = cse_plan(&[e], AxiomSet::A3);
+        assert_eq!(plan.total_cost(), 0, "x⊕x = x needs no node");
+        assert_eq!(plan.roots[0], NodeRef::Var(0));
+    }
+
+    #[test]
+    fn idempotent_commutative_deep_collapse() {
+        // (x⊕y) ⊕ (y⊕x) under A3+A4 = x⊕y: one node.
+        let e = Expr::op(Expr::op(x(0), x(1)), Expr::op(x(1), x(0)));
+        let plan = cse_plan(&[e], AxiomSet::A3.with(AxiomSet::A4));
+        assert_eq!(plan.total_cost(), 1);
+    }
+
+    #[test]
+    fn degenerate_algebra_costs_nothing() {
+        let e = Expr::op(Expr::op(x(0), x(1)), x(2));
+        let ax = AxiomSet::A2.with(AxiomSet::A3).with(AxiomSet::A5);
+        let plan = cse_plan(&[e], ax);
+        assert_eq!(plan.total_cost(), 0);
+    }
+
+    #[test]
+    fn shared_middle_subtrees() {
+        // Three queries share a middle subtree (x1 ⊕ x2).
+        let mid = Expr::op(x(1), x(2));
+        let e1 = Expr::op(x(0), mid.clone());
+        let e2 = Expr::op(mid.clone(), x(3));
+        let e3 = mid.clone();
+        let plan = cse_plan(&[e1, e2, e3], AxiomSet::NONE);
+        // Nodes: mid, e1, e2 — e3 is mid itself.
+        assert_eq!(plan.total_cost(), 3);
+        assert_eq!(plan.roots[2], NodeRef::Node(0));
+    }
+
+    #[test]
+    fn cost_is_number_of_distinct_subexpressions() {
+        // A balanced tree over 4 variables evaluated twice costs 3, not 6.
+        let t = Expr::op(Expr::op(x(0), x(1)), Expr::op(x(2), x(3)));
+        let plan = cse_plan(&[t.clone(), t], AxiomSet::NONE);
+        assert_eq!(plan.total_cost(), 3);
+    }
+}

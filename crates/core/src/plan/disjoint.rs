@@ -1,0 +1,179 @@
+//! Shared plans for non-idempotent aggregates (Section VII).
+//!
+//! The paper's ongoing-work section extends shared aggregation beyond
+//! top-k to the aggregates bidding programs want — "sum, average, and
+//! count aggregates over bid phrases". Those operators are commutative
+//! monoids but *not* idempotent, so a plan node may feed a query only if
+//! the node sets used for that query **partition** its variable set:
+//! overlapping unions would double-count inputs.
+//!
+//! [`DisjointPlanner`] mirrors the Section II-D two-stage heuristic under
+//! that constraint: stage 1 (fragments) is unchanged — fragments are
+//! equivalence classes and therefore already disjoint — while stage 2
+//! completes each query with a greedy *disjoint* cover (a partition), in
+//! descending search-rate order so probable queries get first pick of the
+//! shared blocks. The resulting [`PlanDag`] contains no overlapping
+//! merges, which is exactly the property
+//! [`PlanDag::evaluate`](super::PlanDag::evaluate) demands of
+//! non-idempotent operators.
+
+use ssa_setcover::greedy::greedy_disjoint_cover;
+use ssa_setcover::BitSet;
+
+use super::fragments::build_fragment_plan;
+use super::{PlanDag, PlanProblem};
+
+/// The Section VII planner for sum/count/product-style aggregates.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DisjointPlanner;
+
+impl DisjointPlanner {
+    /// Builds a disjoint-merge plan computing every query. The plan
+    /// validates and `has_overlapping_merges()` is false, so evaluation
+    /// with any commutative monoid is exact.
+    pub fn plan(&self, problem: &PlanProblem) -> PlanDag {
+        let (mut plan, _fragments, _per_query) = build_fragment_plan(problem);
+        // Most-probable queries first, as in the idempotent planner.
+        let mut order: Vec<usize> = (0..problem.query_count()).collect();
+        order.sort_by(|&a, &b| {
+            problem.search_rates[b]
+                .total_cmp(&problem.search_rates[a])
+                .then(a.cmp(&b))
+        });
+        for q in order {
+            let target = &problem.queries[q];
+            if plan.node_for(target).is_some() {
+                continue;
+            }
+            let sets: Vec<BitSet> = plan.nodes().iter().map(|n| n.vars.clone()).collect();
+            let cover = greedy_disjoint_cover(target, &sets)
+                .expect("singleton leaves always allow a partition");
+            plan.merge_chain(&cover.chosen);
+        }
+        for q in &problem.queries {
+            plan.bind_query(q);
+        }
+        debug_assert_eq!(plan.validate(), Ok(()));
+        debug_assert!(!plan.has_overlapping_merges());
+        plan
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algebra::ops::{CountOp, SumOp};
+    use crate::plan::cost::{expected_cost, unshared_expected_cost};
+    use crate::plan::SharedPlanner;
+    use proptest::prelude::*;
+
+    fn bs(n: usize, elems: &[usize]) -> BitSet {
+        BitSet::from_elements(n, elems.iter().copied())
+    }
+
+    #[test]
+    fn produces_disjoint_valid_plans() {
+        let problem = PlanProblem::new(
+            8,
+            vec![
+                bs(8, &[0, 1, 2, 3, 4, 5]),
+                bs(8, &[0, 1, 2, 3, 6, 7]),
+                bs(8, &[0, 1, 2, 3]),
+            ],
+            Some(vec![0.9, 0.7, 0.5]),
+        );
+        let plan = DisjointPlanner.plan(&problem);
+        assert_eq!(plan.validate(), Ok(()));
+        assert!(!plan.has_overlapping_merges());
+        assert_eq!(plan.query_count(), 3);
+    }
+
+    #[test]
+    fn sum_evaluation_matches_naive() {
+        let problem = PlanProblem::new(
+            6,
+            vec![bs(6, &[0, 1, 2, 3]), bs(6, &[0, 1, 4, 5]), bs(6, &[2, 3])],
+            None,
+        );
+        let plan = DisjointPlanner.plan(&problem);
+        let leaves: Vec<i64> = vec![1, 2, 4, 8, 16, 32];
+        let (results, ops) = plan.evaluate(&SumOp, &leaves, &[true, true, true]);
+        assert_eq!(results[0], Some(1 + 2 + 4 + 8));
+        assert_eq!(results[1], Some(1 + 2 + 16 + 32));
+        assert_eq!(results[2], Some(4 + 8));
+        // Sharing happened: the {0,1} and {2,3} fragments are computed
+        // once. Naive would need 3 + 3 + 1 = 7 ops.
+        assert!(ops < 7, "ops {ops} should beat naive 7");
+    }
+
+    #[test]
+    fn count_queries_for_bidding_programs() {
+        // Section VII's motivating use: "the total number of users who
+        // have searched for one of a set of bid phrases" — counts over
+        // phrase sets. Model phrases as variables with per-phrase counts.
+        let problem = PlanProblem::new(
+            5,
+            vec![bs(5, &[0, 1, 2]), bs(5, &[1, 2, 3, 4]), bs(5, &[1, 2])],
+            None,
+        );
+        let plan = DisjointPlanner.plan(&problem);
+        let counts: Vec<u64> = vec![10, 20, 30, 40, 50];
+        let (results, _) = plan.evaluate(&CountOp, &counts, &[true, true, true]);
+        assert_eq!(results[0], Some(60));
+        assert_eq!(results[1], Some(140));
+        assert_eq!(results[2], Some(50));
+    }
+
+    #[test]
+    fn disjoint_shares_less_than_idempotent_but_beats_unshared() {
+        // Overlapping-but-not-nested queries: the idempotent planner can
+        // reuse overlapping unions, the disjoint one cannot — but
+        // fragments still buy it real sharing.
+        let problem = PlanProblem::new(
+            12,
+            vec![
+                bs(12, &[0, 1, 2, 3, 4, 5, 6, 7]),
+                bs(12, &[0, 1, 2, 3, 8, 9]),
+                bs(12, &[0, 1, 2, 3, 10, 11]),
+            ],
+            Some(vec![0.9, 0.9, 0.9]),
+        );
+        let disjoint = DisjointPlanner.plan(&problem);
+        let idempotent = SharedPlanner::full().plan(&problem);
+        let unshared = unshared_expected_cost(&problem);
+        let d_cost = expected_cost(&disjoint, &problem.search_rates);
+        let i_cost = expected_cost(&idempotent, &problem.search_rates);
+        assert!(d_cost < unshared, "disjoint {d_cost} vs unshared {unshared}");
+        assert!(
+            i_cost <= d_cost + 1e-9,
+            "idempotent sharing {i_cost} should be at least as good as disjoint {d_cost}"
+        );
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        /// The disjoint planner always yields overlap-free valid plans
+        /// whose sum evaluation matches a naive scan.
+        #[test]
+        fn disjoint_plans_are_always_exact_for_sums(
+            sets in proptest::collection::vec(
+                proptest::collection::btree_set(0usize..9, 1..7), 1..6),
+            values in proptest::collection::vec(-50i64..50, 9),
+        ) {
+            let queries: Vec<BitSet> = sets
+                .iter()
+                .map(|s| BitSet::from_elements(9, s.iter().copied()))
+                .collect();
+            let problem = PlanProblem::new(9, queries.clone(), None);
+            let plan = DisjointPlanner.plan(&problem);
+            prop_assert_eq!(plan.validate(), Ok(()));
+            prop_assert!(!plan.has_overlapping_merges());
+            let occurring = vec![true; queries.len()];
+            let (results, _) = plan.evaluate(&SumOp, &values, &occurring);
+            for (q, set) in queries.iter().enumerate() {
+                let naive: i64 = set.iter().map(|v| values[v]).sum();
+                prop_assert_eq!(results[q], Some(naive), "query {}", q);
+            }
+        }
+    }
+}

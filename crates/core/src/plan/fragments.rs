@@ -1,0 +1,234 @@
+//! Stage 1 of the heuristic: fragment identification.
+//!
+//! "We group together all variables that occur in the same set of query
+//! expressions. We associate with each variable a bit string of length m,
+//! where the i-th bit indicates whether or not the variable occurs in the
+//! i-th query expression. … These groups are equivalence classes of
+//! variables and are called fragments [Krishnamurthy–Wu–Franklin]. Note
+//! that even though there are 2^m possible fragments, only O(n) will be
+//! non-empty. We can safely aggregate elements within a fragment since no
+//! sharing occurs across fragments."
+
+use std::collections::HashMap;
+
+use ssa_setcover::BitSet;
+
+use super::{PlanDag, PlanProblem};
+
+/// One fragment: a maximal group of variables sharing a query signature.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Fragment {
+    /// The variables in the fragment.
+    pub vars: BitSet,
+    /// The query-membership signature (bit `i` set iff the variables
+    /// occur in query `i`).
+    pub signature: BitSet,
+}
+
+/// The output of fragment identification.
+#[derive(Debug, Clone)]
+pub struct Fragments {
+    /// Non-empty fragments, in deterministic order (by smallest member
+    /// variable).
+    pub fragments: Vec<Fragment>,
+    /// `per_query[q]` = indices (into `fragments`) of the fragments that
+    /// partition query `q`'s variable set.
+    pub per_query: Vec<Vec<usize>>,
+}
+
+/// Groups variables into fragments. `O(m·n)` with hashed signatures (the
+/// paper notes the `log n` index factor disappears with a hash table).
+///
+/// Variables that occur in no query are dropped: they can never
+/// contribute to any aggregate.
+pub fn identify_fragments(problem: &PlanProblem) -> Fragments {
+    let n = problem.var_count;
+    let m = problem.query_count();
+    // Signature per variable.
+    let mut groups: HashMap<BitSet, BitSet> = HashMap::new();
+    for v in 0..n {
+        let mut signature = BitSet::new(m);
+        for (q, set) in problem.queries.iter().enumerate() {
+            if set.contains(v) {
+                signature.insert(q);
+            }
+        }
+        if signature.is_empty() {
+            continue;
+        }
+        groups
+            .entry(signature)
+            .or_insert_with(|| BitSet::new(n))
+            .insert(v);
+    }
+    let mut fragments: Vec<Fragment> = groups
+        .into_iter()
+        .map(|(signature, vars)| Fragment { vars, signature })
+        .collect();
+    fragments.sort_by_key(|f| f.vars.first().expect("fragment nonempty"));
+
+    let per_query = (0..m)
+        .map(|q| {
+            fragments
+                .iter()
+                .enumerate()
+                .filter(|(_, f)| f.signature.contains(q))
+                .map(|(i, _)| i)
+                .collect()
+        })
+        .collect();
+    Fragments {
+        fragments,
+        per_query,
+    }
+}
+
+/// Builds the stage-1 plan: every multi-variable fragment is aggregated by
+/// a left-deep chain. Returns the plan plus, per query, the plan-node
+/// indices of its fragments (the starting points for stage 2). Queries
+/// that consist of a single fragment already have their node and are
+/// *not* yet bound (binding happens when the planner finishes).
+pub fn build_fragment_plan(problem: &PlanProblem) -> (PlanDag, Fragments, Vec<Vec<usize>>) {
+    let fragments = identify_fragments(problem);
+    let mut plan = PlanDag::new(problem.var_count);
+    let fragment_nodes: Vec<usize> = fragments
+        .fragments
+        .iter()
+        .map(|f| {
+            let leaves: Vec<usize> = f.vars.iter().collect();
+            plan.merge_chain(&leaves)
+        })
+        .collect();
+    let per_query_nodes = fragments
+        .per_query
+        .iter()
+        .map(|frs| frs.iter().map(|&f| fragment_nodes[f]).collect())
+        .collect();
+    (plan, fragments, per_query_nodes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn bs(n: usize, elems: &[usize]) -> BitSet {
+        BitSet::from_elements(n, elems.iter().copied())
+    }
+
+    /// The hiking-boots example's structure in miniature: vars 0-1 in both
+    /// queries, var 2 only in q0, var 3 only in q1, var 4 in neither.
+    fn mini_problem() -> PlanProblem {
+        PlanProblem::new(
+            5,
+            vec![bs(5, &[0, 1, 2]), bs(5, &[0, 1, 3])],
+            None,
+        )
+    }
+
+    #[test]
+    fn fragments_partition_by_signature() {
+        let f = identify_fragments(&mini_problem());
+        assert_eq!(f.fragments.len(), 3);
+        let shared = &f.fragments[0];
+        assert_eq!(shared.vars, bs(5, &[0, 1]));
+        assert_eq!(shared.signature, bs(2, &[0, 1]));
+        assert_eq!(f.fragments[1].vars, bs(5, &[2]));
+        assert_eq!(f.fragments[1].signature, bs(2, &[0]));
+        assert_eq!(f.fragments[2].vars, bs(5, &[3]));
+        // Variable 4 occurs nowhere and is dropped.
+        for frag in &f.fragments {
+            assert!(!frag.vars.contains(4));
+        }
+    }
+
+    #[test]
+    fn per_query_fragments_partition_each_query() {
+        let problem = mini_problem();
+        let f = identify_fragments(&problem);
+        for (q, frs) in f.per_query.iter().enumerate() {
+            let mut union = BitSet::new(5);
+            let mut total = 0;
+            for &i in frs {
+                union.union_with(&f.fragments[i].vars);
+                total += f.fragments[i].vars.len();
+            }
+            assert_eq!(union, problem.queries[q], "query {q} union");
+            assert_eq!(total, problem.queries[q].len(), "query {q} disjoint");
+        }
+    }
+
+    #[test]
+    fn fragment_plan_has_chain_costs() {
+        let problem = mini_problem();
+        let (plan, f, per_query_nodes) = build_fragment_plan(&problem);
+        // One multi-var fragment of size 2 → 1 internal node; singleton
+        // fragments reuse their leaves.
+        assert_eq!(plan.total_cost(), 1);
+        assert_eq!(f.fragments.len(), 3);
+        assert!(plan.validate().is_ok());
+        // Per-query nodes exist and union correctly.
+        for (q, nodes) in per_query_nodes.iter().enumerate() {
+            let mut union = BitSet::new(5);
+            for &idx in nodes {
+                union.union_with(&plan.nodes()[idx].vars);
+            }
+            assert_eq!(union, problem.queries[q]);
+        }
+    }
+
+    #[test]
+    fn identical_queries_collapse_to_one_fragment() {
+        let problem = PlanProblem::new(
+            3,
+            vec![bs(3, &[0, 1, 2]), bs(3, &[0, 1, 2])],
+            None,
+        );
+        let f = identify_fragments(&problem);
+        assert_eq!(f.fragments.len(), 1);
+        let (plan, _, _) = build_fragment_plan(&problem);
+        // Chain of 3 vars = 2 nodes, shared by both queries.
+        assert_eq!(plan.total_cost(), 2);
+    }
+
+    #[test]
+    fn no_shared_variables_yields_per_query_fragments() {
+        let problem = PlanProblem::new(4, vec![bs(4, &[0, 1]), bs(4, &[2, 3])], None);
+        let f = identify_fragments(&problem);
+        assert_eq!(f.fragments.len(), 2);
+        assert_eq!(f.per_query[0], vec![0]);
+        assert_eq!(f.per_query[1], vec![1]);
+    }
+
+    proptest! {
+        /// Fragments always partition each query exactly, and every
+        /// fragment's signature matches its variables' membership.
+        #[test]
+        fn fragments_are_a_partition(
+            sets in proptest::collection::vec(
+                proptest::collection::btree_set(0usize..10, 1..8), 1..6),
+        ) {
+            let queries: Vec<BitSet> = sets
+                .iter()
+                .map(|s| BitSet::from_elements(10, s.iter().copied()))
+                .collect();
+            let problem = PlanProblem::new(10, queries.clone(), None);
+            let f = identify_fragments(&problem);
+            // Disjointness of fragments.
+            for i in 0..f.fragments.len() {
+                for j in (i + 1)..f.fragments.len() {
+                    prop_assert!(f.fragments[i].vars.is_disjoint(&f.fragments[j].vars));
+                }
+            }
+            // Partition per query.
+            for (q, set) in queries.iter().enumerate() {
+                let mut union = BitSet::new(10);
+                for &i in &f.per_query[q] {
+                    prop_assert!(f.fragments[i].vars.is_subset(set));
+                    union.union_with(&f.fragments[i].vars);
+                }
+                prop_assert_eq!(&union, set);
+            }
+        }
+    }
+}

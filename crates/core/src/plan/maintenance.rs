@@ -1,0 +1,325 @@
+//! Plan maintenance under churn.
+//!
+//! "Coming up with a new plan on the fly at every round is not practical
+//! given the latency requirement of winner determination. Instead, we try
+//! to find a single plan offline that works well 'on average'"
+//! (Section II-B). But interest sets churn — advertisers add bid phrases,
+//! exhaust budgets, join the market (44% of advertisers joined within two
+//! years, per the paper's introduction) — so the offline plan degrades.
+//!
+//! [`PlanMaintainer`] implements the pragmatic middle ground:
+//!
+//! * **Patch**: when a query's interest set changes, extend the existing
+//!   plan with a greedy cover of the new set and rebind the query — a
+//!   few merges, no global replanning. Stale nodes stay in the DAG but
+//!   cost nothing at runtime: a node no live query reaches has
+//!   materialization probability 0 under the Section II-B cost model.
+//! * **Replan**: when accumulated patches bloat the plan past a
+//!   configurable factor of the last full plan's size, rebuild from
+//!   scratch offline.
+
+use ssa_setcover::BitSet;
+
+use super::cost::expected_cost;
+use super::{PlanDag, PlanProblem, SharedPlanner};
+
+/// What a maintenance operation did.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum MaintenanceAction {
+    /// The plan was patched in place (`new_nodes` merges added).
+    Patched {
+        /// Internal nodes added by the patch.
+        new_nodes: usize,
+    },
+    /// The bloat threshold tripped and the plan was rebuilt.
+    Replanned {
+        /// Total cost before the rebuild (including stale nodes).
+        before: usize,
+        /// Total cost after.
+        after: usize,
+    },
+}
+
+/// Maintenance statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MaintenanceStats {
+    /// Interest-set patches applied since construction.
+    pub patches: usize,
+    /// Full replans performed.
+    pub replans: usize,
+}
+
+/// Keeps a shared plan serviceable while its problem churns.
+#[derive(Debug, Clone)]
+pub struct PlanMaintainer {
+    problem: PlanProblem,
+    plan: PlanDag,
+    planner: SharedPlanner,
+    /// Replan when `total_cost > bloat_factor × cost at last replan`.
+    bloat_factor: f64,
+    cost_at_last_replan: usize,
+    stats: MaintenanceStats,
+}
+
+impl PlanMaintainer {
+    /// Builds the initial plan.
+    ///
+    /// # Panics
+    /// Panics if `bloat_factor < 1.0`.
+    pub fn new(problem: PlanProblem, planner: SharedPlanner, bloat_factor: f64) -> Self {
+        assert!(bloat_factor >= 1.0, "bloat factor must be ≥ 1");
+        let plan = planner.plan(&problem);
+        let cost_at_last_replan = plan.total_cost().max(1);
+        PlanMaintainer {
+            problem,
+            plan,
+            planner,
+            bloat_factor,
+            cost_at_last_replan,
+            stats: MaintenanceStats::default(),
+        }
+    }
+
+    /// The current (always complete and valid) plan.
+    pub fn plan(&self) -> &PlanDag {
+        &self.plan
+    }
+
+    /// The current problem.
+    pub fn problem(&self) -> &PlanProblem {
+        &self.problem
+    }
+
+    /// Maintenance counters.
+    pub fn stats(&self) -> MaintenanceStats {
+        self.stats
+    }
+
+    /// The plan's expected per-round cost under the current search rates.
+    pub fn expected_cost(&self) -> f64 {
+        expected_cost(&self.plan, &self.problem.search_rates)
+    }
+
+    /// Updates a query's search rate (no structural change; the plan
+    /// stays as is — rates only affect the cost model).
+    ///
+    /// # Panics
+    /// Panics on a bad query index or rate.
+    pub fn update_search_rate(&mut self, q: usize, rate: f64) {
+        assert!(q < self.problem.query_count(), "query out of range");
+        assert!(
+            rate.is_finite() && (0.0..=1.0).contains(&rate),
+            "rate out of range"
+        );
+        self.problem.search_rates[q] = rate;
+    }
+
+    /// Replaces query `q`'s interest set, patching the plan: a greedy
+    /// cover of the new set is merged in (reusing any existing nodes) and
+    /// the query is rebound. Replans instead when the patched plan would
+    /// exceed the bloat threshold.
+    ///
+    /// # Panics
+    /// Panics on a bad query index, wrong universe, or an empty set.
+    pub fn update_interest(&mut self, q: usize, new_set: BitSet) -> MaintenanceAction {
+        assert!(q < self.problem.query_count(), "query out of range");
+        assert_eq!(
+            new_set.capacity(),
+            self.problem.var_count,
+            "universe mismatch"
+        );
+        assert!(!new_set.is_empty(), "interest set cannot be empty");
+        self.problem.queries[q] = new_set.clone();
+        self.stats.patches += 1;
+
+        // Patch: greedy-cover the new set from existing nodes and chain.
+        let before = self.plan.total_cost();
+        let sets: Vec<BitSet> = self.plan.nodes().iter().map(|n| n.vars.clone()).collect();
+        let cover = ssa_setcover::greedy_cover(&new_set, &sets)
+            .expect("leaves always cover the target");
+        let node = self.plan.merge_chain(&cover.chosen);
+        self.plan.rebind_query(q, node);
+        let new_nodes = self.plan.total_cost() - before;
+
+        // Bloat check.
+        let limit = (self.cost_at_last_replan as f64 * self.bloat_factor).ceil() as usize;
+        if self.plan.total_cost() > limit {
+            let before_replan = self.plan.total_cost();
+            self.plan = self.planner.plan(&self.problem);
+            self.cost_at_last_replan = self.plan.total_cost().max(1);
+            self.stats.replans += 1;
+            MaintenanceAction::Replanned {
+                before: before_replan,
+                after: self.plan.total_cost(),
+            }
+        } else {
+            MaintenanceAction::Patched { new_nodes }
+        }
+    }
+
+    /// Forces a full rebuild now.
+    pub fn force_replan(&mut self) {
+        self.plan = self.planner.plan(&self.problem);
+        self.cost_at_last_replan = self.plan.total_cost().max(1);
+        self.stats.replans += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topk::{KList, ScoredAd, ScoredTopKOp};
+    use ssa_auction::ids::AdvertiserId;
+    use ssa_auction::score::Score;
+    use proptest::prelude::*;
+
+    fn bs(n: usize, elems: &[usize]) -> BitSet {
+        BitSet::from_elements(n, elems.iter().copied())
+    }
+
+    fn maintainer(bloat: f64) -> PlanMaintainer {
+        let problem = PlanProblem::new(
+            8,
+            vec![bs(8, &[0, 1, 2, 3]), bs(8, &[0, 1, 4, 5]), bs(8, &[6, 7])],
+            Some(vec![0.8, 0.6, 0.4]),
+        );
+        PlanMaintainer::new(problem, SharedPlanner::fragments_only(), bloat)
+    }
+
+    /// Evaluates the maintained plan and checks every query against a
+    /// naive scan.
+    fn assert_plan_correct(m: &PlanMaintainer) {
+        let k = 3;
+        let leaves: Vec<KList<ScoredAd>> = (0..m.problem().var_count)
+            .map(|i| {
+                KList::singleton(
+                    k,
+                    ScoredAd::new(AdvertiserId::from_index(i), Score::new((i + 1) as f64)),
+                )
+            })
+            .collect();
+        let occurring = vec![true; m.problem().query_count()];
+        let (results, _) = m.plan().evaluate(&ScoredTopKOp { k }, &leaves, &occurring);
+        for (q, set) in m.problem().queries.iter().enumerate() {
+            let mut naive: KList<ScoredAd> = KList::empty(k);
+            for v in set.iter() {
+                naive.insert(ScoredAd::new(
+                    AdvertiserId::from_index(v),
+                    Score::new((v + 1) as f64),
+                ));
+            }
+            assert_eq!(
+                results[q].as_ref().unwrap().items(),
+                naive.items(),
+                "query {q}"
+            );
+        }
+        assert_eq!(m.plan().validate(), Ok(()));
+    }
+
+    #[test]
+    fn patches_keep_the_plan_correct() {
+        let mut m = maintainer(100.0); // never replan
+        assert_plan_correct(&m);
+        // Advertiser 6 joins query 0; advertiser 1 leaves it.
+        let act = m.update_interest(0, bs(8, &[0, 2, 3, 6]));
+        assert!(matches!(act, MaintenanceAction::Patched { .. }));
+        assert_plan_correct(&m);
+        // Query 2 grows.
+        m.update_interest(2, bs(8, &[4, 5, 6, 7]));
+        assert_plan_correct(&m);
+        assert_eq!(m.stats().patches, 2);
+        assert_eq!(m.stats().replans, 0);
+    }
+
+    #[test]
+    fn stale_nodes_cost_nothing() {
+        let mut m = maintainer(100.0);
+        let fresh_cost = m.expected_cost();
+        // Shrink query 0 so parts of the old plan go stale.
+        m.update_interest(0, bs(8, &[0, 1]));
+        // The expected cost may only count live nodes, so it must not
+        // exceed the old cost plus the (small) patch.
+        let patched_cost = m.expected_cost();
+        assert!(
+            patched_cost <= fresh_cost + 1.0,
+            "stale nodes should be free: {patched_cost} vs {fresh_cost}"
+        );
+        assert_plan_correct(&m);
+    }
+
+    #[test]
+    fn bloat_triggers_replan() {
+        let mut m = maintainer(1.2);
+        let mut replanned = false;
+        for round in 0..20 {
+            // Rotate query 0's membership to force fresh nodes.
+            let a = round % 6;
+            let act = m.update_interest(0, bs(8, &[a, a + 1, a + 2]));
+            if matches!(act, MaintenanceAction::Replanned { .. }) {
+                replanned = true;
+                break;
+            }
+        }
+        assert!(replanned, "persistent churn must eventually replan");
+        assert!(m.stats().replans >= 1);
+        assert_plan_correct(&m);
+    }
+
+    #[test]
+    fn replanned_plan_is_tighter_than_bloated_one() {
+        let mut m = maintainer(1.5);
+        let mut last_replan = None;
+        for round in 0..30 {
+            let a = round % 5;
+            if let MaintenanceAction::Replanned { before, after } =
+                m.update_interest(1, bs(8, &[a, a + 1, a + 3]))
+            {
+                last_replan = Some((before, after));
+            }
+        }
+        let (before, after) = last_replan.expect("churn forces at least one replan");
+        assert!(after < before, "replan must shed stale nodes: {after} vs {before}");
+    }
+
+    #[test]
+    fn rate_updates_do_not_touch_structure() {
+        let mut m = maintainer(1.2);
+        let nodes_before = m.plan().total_cost();
+        let cost_before = m.expected_cost();
+        m.update_search_rate(0, 0.1);
+        assert_eq!(m.plan().total_cost(), nodes_before);
+        assert!(m.expected_cost() < cost_before, "lower rate, lower cost");
+    }
+
+    #[test]
+    fn force_replan_resets_baseline() {
+        let mut m = maintainer(10.0);
+        m.update_interest(0, bs(8, &[2, 3, 4]));
+        m.force_replan();
+        assert_eq!(m.stats().replans, 1);
+        assert_plan_correct(&m);
+    }
+
+    #[test]
+    #[should_panic(expected = "bloat factor")]
+    fn rejects_sub_unit_bloat_factor() {
+        maintainer(0.5);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        /// Arbitrary churn sequences keep the plan valid and correct.
+        #[test]
+        fn random_churn_preserves_correctness(
+            updates in proptest::collection::vec(
+                (0usize..3, proptest::collection::btree_set(0usize..8, 1..6)), 1..12),
+        ) {
+            let mut m = maintainer(1.3);
+            for (q, set) in updates {
+                m.update_interest(q, BitSet::from_elements(8, set.iter().copied()));
+            }
+            assert_plan_correct(&m);
+        }
+    }
+}

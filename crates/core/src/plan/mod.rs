@@ -1,0 +1,530 @@
+//! Shared aggregation plans (Section II).
+//!
+//! An *A-plan* for a set of aggregate queries is a DAG in which each leaf
+//! is a variable (an advertiser's current bid/score), each internal node
+//! has in-degree 2 and aggregates its two children, and every query is
+//! A-equivalent to some node's label. Under the semilattice axioms of the
+//! top-k operator, Lemma 1 lets us identify every node with its *variable
+//! set*, which is how [`PlanDag`] stores labels.
+//!
+//! Submodules:
+//!
+//! * [`cost`] — total/extra cost and the probabilistic expected
+//!   materialization cost `Σ_v (1 − Π_{q: v⇝q} (1 − sr_q))`;
+//! * [`fragments`] — stage 1 of the paper's heuristic (group variables by
+//!   query-membership signature);
+//! * [`greedy`] — stage 2 (greedy completion by expected greedy coverage
+//!   gain) and the [`SharedPlanner`] facade;
+//! * [`cse`] — the non-associative baseline planner (syntactic sharing
+//!   only), polynomial per Figure 5 row 1;
+//! * [`optimal`] — exhaustive minimum-cost planner for small instances;
+//! * [`reduction`] — the executable set-cover constructions behind
+//!   Theorems 2 and 3.
+
+pub mod cost;
+pub mod cse;
+pub mod disjoint;
+pub mod fragments;
+pub mod greedy;
+pub mod maintenance;
+pub mod optimal;
+pub mod reduction;
+
+pub use disjoint::DisjointPlanner;
+pub use greedy::SharedPlanner;
+
+use std::collections::HashMap;
+
+use ssa_setcover::BitSet;
+
+use crate::algebra::ops::AggregateOp;
+
+/// One node of a shared plan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlanNode {
+    /// The set of variables this node aggregates (its label's canonical
+    /// form, per Lemma 1).
+    pub vars: BitSet,
+    /// The two children, for internal nodes; `None` for variable leaves.
+    pub children: Option<(usize, usize)>,
+}
+
+/// A shared aggregation plan over `var_count` variables.
+///
+/// Nodes `0..var_count` are the variable leaves. Internal nodes are
+/// deduplicated by variable set: merging two nodes whose union already
+/// exists returns the existing node (the semilattice identification).
+#[derive(Debug, Clone)]
+pub struct PlanDag {
+    var_count: usize,
+    nodes: Vec<PlanNode>,
+    by_set: HashMap<BitSet, usize>,
+    /// `queries[q]` = index of the node computing query `q`.
+    queries: Vec<usize>,
+}
+
+impl PlanDag {
+    /// An empty plan: just the variable leaves.
+    pub fn new(var_count: usize) -> Self {
+        let mut nodes = Vec::with_capacity(var_count);
+        let mut by_set = HashMap::with_capacity(var_count);
+        for v in 0..var_count {
+            let set = BitSet::singleton(var_count, v);
+            by_set.insert(set.clone(), v);
+            nodes.push(PlanNode {
+                vars: set,
+                children: None,
+            });
+        }
+        PlanDag {
+            var_count,
+            nodes,
+            by_set,
+            queries: Vec::new(),
+        }
+    }
+
+    /// Number of variables.
+    #[inline]
+    pub fn var_count(&self) -> usize {
+        self.var_count
+    }
+
+    /// All nodes; indices `0..var_count` are leaves.
+    #[inline]
+    pub fn nodes(&self) -> &[PlanNode] {
+        &self.nodes
+    }
+
+    /// The node computing each bound query.
+    #[inline]
+    pub fn query_nodes(&self) -> &[usize] {
+        &self.queries
+    }
+
+    /// Number of bound queries.
+    #[inline]
+    pub fn query_count(&self) -> usize {
+        self.queries.len()
+    }
+
+    /// Looks up a node by its variable set.
+    pub fn node_for(&self, vars: &BitSet) -> Option<usize> {
+        self.by_set.get(vars).copied()
+    }
+
+    /// Merges two existing nodes, returning the node whose variable set is
+    /// the union. Deduplicates: if a node with that set exists, it is
+    /// returned unchanged (no new cost).
+    ///
+    /// # Panics
+    /// Panics if either index is out of range.
+    pub fn merge(&mut self, a: usize, b: usize) -> usize {
+        assert!(a < self.nodes.len() && b < self.nodes.len(), "bad node id");
+        let union = self.nodes[a].vars.union(&self.nodes[b].vars);
+        if let Some(&idx) = self.by_set.get(&union) {
+            return idx;
+        }
+        let idx = self.nodes.len();
+        self.by_set.insert(union.clone(), idx);
+        self.nodes.push(PlanNode {
+            vars: union,
+            children: Some((a, b)),
+        });
+        idx
+    }
+
+    /// Aggregates a list of existing nodes left-to-right (a chain),
+    /// returning the final node. Deduplication applies at every step.
+    ///
+    /// # Panics
+    /// Panics on an empty list.
+    pub fn merge_chain(&mut self, nodes: &[usize]) -> usize {
+        assert!(!nodes.is_empty(), "cannot chain zero nodes");
+        let mut acc = nodes[0];
+        for &n in &nodes[1..] {
+            acc = self.merge(acc, n);
+        }
+        acc
+    }
+
+    /// Rebinds an already-bound query to a different node (plan
+    /// maintenance after an interest-set change).
+    ///
+    /// # Panics
+    /// Panics on a bad query or node index.
+    pub fn rebind_query(&mut self, q: usize, node: usize) {
+        assert!(q < self.queries.len(), "query out of range");
+        assert!(node < self.nodes.len(), "node out of range");
+        self.queries[q] = node;
+    }
+
+    /// Binds the next query (appending) to the node computing `vars`.
+    ///
+    /// # Panics
+    /// Panics if no node has this variable set — the plan is incomplete.
+    pub fn bind_query(&mut self, vars: &BitSet) -> usize {
+        let idx = self
+            .node_for(vars)
+            .expect("query bound before its node exists");
+        self.queries.push(idx);
+        idx
+    }
+
+    /// Total cost: the number of internal (in-degree 2) nodes — "the
+    /// number of nodes with non-zero in-degree", i.e. top-k aggregation
+    /// operations materializable per round.
+    pub fn total_cost(&self) -> usize {
+        self.nodes.len() - self.var_count
+    }
+
+    /// Extra cost: total cost minus the base cost `|E|` (queries that are
+    /// not bare variables).
+    pub fn extra_cost(&self) -> usize {
+        let base = self
+            .queries
+            .iter()
+            .filter(|&&idx| idx >= self.var_count)
+            .count();
+        self.total_cost().saturating_sub(base)
+    }
+
+    /// Validates the A-plan invariants: every internal node's variable set
+    /// is the union of its children's; children precede parents; every
+    /// bound query points at a node with exactly its variable set.
+    pub fn validate(&self) -> Result<(), String> {
+        for (idx, node) in self.nodes.iter().enumerate() {
+            match node.children {
+                None => {
+                    if idx >= self.var_count {
+                        return Err(format!("internal node {idx} has no children"));
+                    }
+                    if node.vars.len() != 1 {
+                        return Err(format!("leaf {idx} is not a singleton"));
+                    }
+                }
+                Some((a, b)) => {
+                    if idx < self.var_count {
+                        return Err(format!("leaf {idx} has children"));
+                    }
+                    if a >= idx || b >= idx {
+                        return Err(format!("node {idx} references later node"));
+                    }
+                    let union = self.nodes[a].vars.union(&self.nodes[b].vars);
+                    if union != node.vars {
+                        return Err(format!("node {idx} label is not its children's union"));
+                    }
+                }
+            }
+        }
+        for (q, &idx) in self.queries.iter().enumerate() {
+            if idx >= self.nodes.len() {
+                return Err(format!("query {q} bound to missing node"));
+            }
+        }
+        Ok(())
+    }
+
+    /// True iff some internal node merges children with overlapping
+    /// variable sets. Such plans are only correct for idempotent
+    /// operators (duplicates collapse); non-idempotent evaluation rejects
+    /// them.
+    pub fn has_overlapping_merges(&self) -> bool {
+        self.nodes.iter().any(|n| match n.children {
+            Some((a, b)) => !self.nodes[a].vars.is_disjoint(&self.nodes[b].vars),
+            None => false,
+        })
+    }
+
+    /// For each node, the set of *bound queries* it feeds (`v ⇝ q`):
+    /// query-node sets seeded, then propagated down to children. Returned
+    /// as bit sets over query indices.
+    pub fn reach_sets(&self) -> Vec<BitSet> {
+        let m = self.queries.len();
+        let mut reach: Vec<BitSet> = (0..self.nodes.len()).map(|_| BitSet::new(m)).collect();
+        for (q, &idx) in self.queries.iter().enumerate() {
+            reach[idx].insert(q);
+        }
+        // Children inherit every query their parent feeds; process parents
+        // before children (indices descend since children precede parents).
+        for idx in (0..self.nodes.len()).rev() {
+            if let Some((a, b)) = self.nodes[idx].children {
+                let r = reach[idx].clone();
+                reach[a].union_with(&r);
+                reach[b].union_with(&r);
+            }
+        }
+        reach
+    }
+
+    /// Evaluates the plan for one round.
+    ///
+    /// `leaves[v]` is variable `v`'s current value; `occurring[q]` says
+    /// whether query `q`'s bid phrase occurs this round. Only nodes needed
+    /// by occurring queries are materialized (the cost model's notion of
+    /// materialization). Returns per-query results (`None` for phrases
+    /// that did not occur) and the number of ⊕ applications performed.
+    ///
+    /// # Panics
+    /// Panics if the operator is not idempotent but the plan contains
+    /// overlapping merges, or if input lengths disagree.
+    pub fn evaluate<O: AggregateOp>(
+        &self,
+        op: &O,
+        leaves: &[O::Value],
+        occurring: &[bool],
+    ) -> (Vec<Option<O::Value>>, usize) {
+        assert_eq!(leaves.len(), self.var_count, "one value per variable");
+        assert_eq!(occurring.len(), self.queries.len(), "one flag per query");
+        if !op.axioms().idempotent() {
+            assert!(
+                !self.has_overlapping_merges(),
+                "plan has overlapping merges; operator {} is not idempotent",
+                op.name()
+            );
+        }
+        let mut memo: Vec<Option<O::Value>> = vec![None; self.nodes.len()];
+        for (v, value) in leaves.iter().enumerate() {
+            memo[v] = Some(value.clone());
+        }
+        let mut ops = 0usize;
+        // Mark needed nodes (descendants of occurring query nodes).
+        let mut needed = vec![false; self.nodes.len()];
+        let mut stack: Vec<usize> = self
+            .queries
+            .iter()
+            .zip(occurring)
+            .filter(|(_, &occ)| occ)
+            .map(|(&idx, _)| idx)
+            .collect();
+        while let Some(idx) = stack.pop() {
+            if needed[idx] {
+                continue;
+            }
+            needed[idx] = true;
+            if let Some((a, b)) = self.nodes[idx].children {
+                stack.push(a);
+                stack.push(b);
+            }
+        }
+        // Materialize in index order (children precede parents).
+        for idx in self.var_count..self.nodes.len() {
+            if !needed[idx] || memo[idx].is_some() {
+                continue;
+            }
+            let (a, b) = self.nodes[idx].children.expect("internal node");
+            let value = op.combine(
+                memo[a].as_ref().expect("child computed"),
+                memo[b].as_ref().expect("child computed"),
+            );
+            ops += 1;
+            memo[idx] = Some(value);
+        }
+        let results = self
+            .queries
+            .iter()
+            .zip(occurring)
+            .map(|(&idx, &occ)| if occ { memo[idx].clone() } else { None })
+            .collect();
+        (results, ops)
+    }
+}
+
+/// A shared-aggregation problem instance: queries as variable sets (the
+/// Lemma 1 canonical form) plus their search rates.
+#[derive(Debug, Clone)]
+pub struct PlanProblem {
+    /// Universe size (number of variables / advertisers).
+    pub var_count: usize,
+    /// Query variable sets `X_q`.
+    pub queries: Vec<BitSet>,
+    /// Per-query search rates `sr_q` (probability the phrase occurs in a
+    /// round).
+    pub search_rates: Vec<f64>,
+}
+
+impl PlanProblem {
+    /// Builds a problem; rates default to 1.0 (the deterministic case of
+    /// Section II-C) when `search_rates` is `None`.
+    ///
+    /// # Panics
+    /// Panics if inputs are inconsistent (wrong universe, rate counts,
+    /// rates out of `[0,1]`, or an empty query).
+    pub fn new(var_count: usize, queries: Vec<BitSet>, search_rates: Option<Vec<f64>>) -> Self {
+        for (q, set) in queries.iter().enumerate() {
+            assert_eq!(set.capacity(), var_count, "query {q} universe mismatch");
+            assert!(!set.is_empty(), "query {q} is empty");
+        }
+        let search_rates = search_rates.unwrap_or_else(|| vec![1.0; queries.len()]);
+        assert_eq!(search_rates.len(), queries.len(), "one rate per query");
+        for (q, &r) in search_rates.iter().enumerate() {
+            assert!(
+                r.is_finite() && (0.0..=1.0).contains(&r),
+                "query {q} rate {r} out of range"
+            );
+        }
+        PlanProblem {
+            var_count,
+            queries,
+            search_rates,
+        }
+    }
+
+    /// Number of queries `m`.
+    pub fn query_count(&self) -> usize {
+        self.queries.len()
+    }
+
+    /// Total input size `Σ_q |X_q|` (the paper's running-time parameter).
+    pub fn total_query_size(&self) -> usize {
+        self.queries.iter().map(BitSet::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algebra::ops::{MaxOp, SumOp, TopKOp};
+    use crate::topk::KList;
+
+    fn bs(n: usize, elems: &[usize]) -> BitSet {
+        BitSet::from_elements(n, elems.iter().copied())
+    }
+
+    #[test]
+    fn merge_dedups_by_var_set() {
+        let mut plan = PlanDag::new(4);
+        let ab = plan.merge(0, 1);
+        let ab2 = plan.merge(1, 0);
+        assert_eq!(ab, ab2, "union {{0,1}} must be a single node");
+        assert_eq!(plan.total_cost(), 1);
+        let abc = plan.merge(ab, 2);
+        assert_eq!(plan.total_cost(), 2);
+        assert_eq!(plan.nodes()[abc].vars, bs(4, &[0, 1, 2]));
+        assert!(plan.validate().is_ok());
+    }
+
+    #[test]
+    fn merge_chain_reuses_prefixes() {
+        let mut plan = PlanDag::new(4);
+        plan.merge_chain(&[0, 1, 2]);
+        let before = plan.total_cost();
+        plan.merge_chain(&[0, 1, 2, 3]); // shares the {0,1} and {0,1,2} prefixes
+        assert_eq!(plan.total_cost(), before + 1);
+    }
+
+    #[test]
+    fn cost_accounting() {
+        let mut plan = PlanDag::new(3);
+        let ab = plan.merge(0, 1);
+        let abc = plan.merge(ab, 2);
+        plan.queries.push(abc);
+        // total 2, base 1 (one non-variable query) → extra 1 (node ab).
+        assert_eq!(plan.total_cost(), 2);
+        assert_eq!(plan.extra_cost(), 1);
+        // A query bound to a bare variable adds no base cost.
+        plan.queries.push(0);
+        assert_eq!(plan.extra_cost(), 1);
+    }
+
+    #[test]
+    fn bind_query_finds_node() {
+        let mut plan = PlanDag::new(3);
+        let ab = plan.merge(0, 1);
+        let idx = plan.bind_query(&bs(3, &[0, 1]));
+        assert_eq!(idx, ab);
+    }
+
+    #[test]
+    #[should_panic(expected = "before its node exists")]
+    fn bind_query_rejects_missing() {
+        let mut plan = PlanDag::new(3);
+        plan.bind_query(&bs(3, &[0, 1]));
+    }
+
+    #[test]
+    fn reach_sets_propagate_to_descendants() {
+        let mut plan = PlanDag::new(4);
+        let ab = plan.merge(0, 1);
+        let abc = plan.merge(ab, 2);
+        let abd = plan.merge(ab, 3);
+        plan.queries = vec![abc, abd];
+        let reach = plan.reach_sets();
+        // ab feeds both queries; leaf 2 only query 0; leaf 3 only query 1.
+        assert_eq!(reach[ab], bs(2, &[0, 1]));
+        assert_eq!(reach[2], bs(2, &[0]));
+        assert_eq!(reach[3], bs(2, &[1]));
+        assert_eq!(reach[abc], bs(2, &[0]));
+    }
+
+    #[test]
+    fn evaluate_topk_matches_direct() {
+        let op = TopKOp { k: 2 };
+        let mut plan = PlanDag::new(4);
+        let ab = plan.merge(0, 1);
+        let abc = plan.merge(ab, 2);
+        let abd = plan.merge(ab, 3);
+        plan.queries = vec![abc, abd];
+        let leaves: Vec<KList<i64>> = [10i64, 40, 20, 30]
+            .iter()
+            .map(|&v| KList::singleton(2, v))
+            .collect();
+        let (results, ops) = plan.evaluate(&op, &leaves, &[true, true]);
+        assert_eq!(results[0].as_ref().unwrap().items(), &[40, 20]);
+        assert_eq!(results[1].as_ref().unwrap().items(), &[40, 30]);
+        assert_eq!(ops, 3, "ab shared once, plus two query merges");
+    }
+
+    #[test]
+    fn evaluate_skips_non_occurring_queries() {
+        let op = MaxOp;
+        let mut plan = PlanDag::new(4);
+        let ab = plan.merge(0, 1);
+        let cd = plan.merge(2, 3);
+        let abcd = plan.merge(ab, cd);
+        plan.queries = vec![ab, abcd];
+        let leaves = vec![1i64, 2, 3, 4];
+        let (results, ops) = plan.evaluate(&op, &leaves, &[true, false]);
+        assert_eq!(results[0], Some(2));
+        assert_eq!(results[1], None);
+        assert_eq!(ops, 1, "only ab materialized");
+    }
+
+    #[test]
+    fn evaluate_rejects_nonidempotent_on_overlap() {
+        let mut plan = PlanDag::new(3);
+        let ab = plan.merge(0, 1);
+        let bc = plan.merge(1, 2);
+        let abc = plan.merge(ab, bc); // overlapping at variable 1
+        plan.queries = vec![abc];
+        assert!(plan.has_overlapping_merges());
+        let plan2 = plan.clone();
+        let result = std::panic::catch_unwind(move || {
+            plan2.evaluate(&SumOp, &[1i64, 2, 3], &[true]);
+        });
+        assert!(result.is_err(), "sum over overlapping plan must panic");
+        // Max (idempotent) is fine and correct.
+        let (results, _) = plan.evaluate(&MaxOp, &[1i64, 2, 3], &[true]);
+        assert_eq!(results[0], Some(3));
+    }
+
+    #[test]
+    fn plan_problem_validation() {
+        let q = vec![bs(3, &[0, 1]), bs(3, &[2])];
+        let p = PlanProblem::new(3, q, Some(vec![0.5, 1.0]));
+        assert_eq!(p.query_count(), 2);
+        assert_eq!(p.total_query_size(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "rate")]
+    fn plan_problem_rejects_bad_rate() {
+        PlanProblem::new(2, vec![bs(2, &[0])], Some(vec![1.5]));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn plan_problem_rejects_empty_query() {
+        PlanProblem::new(2, vec![BitSet::new(2)], None);
+    }
+}

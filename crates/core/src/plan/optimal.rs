@@ -1,0 +1,272 @@
+//! Exhaustive minimum-cost planning (small instances only).
+//!
+//! Theorem 2 shows min-cost A-plans are NP-hard to find, so any exact
+//! planner is exponential; this one exists to (a) measure how close the
+//! Section II-D heuristic gets on small instances (ablation E9) and (b)
+//! exhibit the exponential scaling the Figure 5 NP-complete rows predict.
+//!
+//! The search is iterative-deepening DFS over *node collections*: a state
+//! is the set of variable sets available; an action unions two existing
+//! sets (the new set must fit inside some query — supersets of every query
+//! are useless); the goal is every query's set being available. Action
+//! count = total plan cost.
+
+use std::collections::HashSet;
+
+use ssa_setcover::BitSet;
+
+use super::{PlanDag, PlanProblem};
+
+/// Result of an exact search.
+#[derive(Debug, Clone)]
+pub struct OptimalPlan {
+    /// The minimum total cost (number of internal nodes).
+    pub total_cost: usize,
+    /// The union steps, in order; replay with [`replay`] to obtain a
+    /// `PlanDag`.
+    pub steps: Vec<(BitSet, BitSet)>,
+}
+
+/// Search effort cap: number of DFS node expansions before giving up.
+const DEFAULT_NODE_BUDGET: u64 = 50_000_000;
+
+/// Finds a minimum-total-cost plan for the problem (search rates are
+/// ignored: with all `sr_q = 1` expected cost equals total cost, which is
+/// the setting of the paper's hardness results). Returns `None` if the
+/// node budget is exhausted before the search completes.
+pub fn optimal_plan(problem: &PlanProblem) -> Option<OptimalPlan> {
+    optimal_plan_with_budget(problem, DEFAULT_NODE_BUDGET)
+}
+
+/// [`optimal_plan`] with an explicit node budget.
+pub fn optimal_plan_with_budget(problem: &PlanProblem, budget: u64) -> Option<OptimalPlan> {
+    let queries: Vec<BitSet> = dedup_queries(problem);
+    // Lower bound: every non-variable query needs a node; upper bound:
+    // build each query as its own chain.
+    let base: usize = queries.iter().filter(|q| q.len() > 1).count();
+    let naive: usize = queries.iter().map(|q| q.len().saturating_sub(1)).sum();
+    let mut expansions = 0u64;
+    for limit in base..=naive {
+        let mut search = Search {
+            queries: &queries,
+            limit,
+            expansions: &mut expansions,
+            budget,
+            visited: HashSet::new(),
+            steps: Vec::new(),
+        };
+        let leaves: Vec<BitSet> = (0..problem.var_count)
+            .map(|v| BitSet::singleton(problem.var_count, v))
+            .collect();
+        match search.dfs(leaves) {
+            Outcome::Found(steps) => {
+                return Some(OptimalPlan {
+                    total_cost: limit,
+                    steps,
+                })
+            }
+            Outcome::Exhausted => return None,
+            Outcome::NotFound => {}
+        }
+    }
+    // naive bound is always achievable, so we must have returned.
+    unreachable!("chain plans always reach the goal within the naive bound")
+}
+
+fn dedup_queries(problem: &PlanProblem) -> Vec<BitSet> {
+    let mut out: Vec<BitSet> = Vec::new();
+    for q in &problem.queries {
+        if !out.contains(q) {
+            out.push(q.clone());
+        }
+    }
+    out
+}
+
+enum Outcome {
+    Found(Vec<(BitSet, BitSet)>),
+    NotFound,
+    Exhausted,
+}
+
+struct Search<'a> {
+    queries: &'a [BitSet],
+    limit: usize,
+    expansions: &'a mut u64,
+    budget: u64,
+    visited: HashSet<Vec<BitSet>>,
+    steps: Vec<(BitSet, BitSet)>,
+}
+
+impl Search<'_> {
+    fn dfs(&mut self, available: Vec<BitSet>) -> Outcome {
+        *self.expansions += 1;
+        if *self.expansions > self.budget {
+            return Outcome::Exhausted;
+        }
+        let missing: Vec<&BitSet> = self
+            .queries
+            .iter()
+            .filter(|q| !available.contains(q))
+            .collect();
+        if missing.is_empty() {
+            return Outcome::Found(self.steps.clone());
+        }
+        let used = self.steps.len();
+        // Admissible bound: each missing query needs at least one more
+        // node (its own).
+        if used + missing.len() > self.limit {
+            return Outcome::NotFound;
+        }
+        // Canonical state for memoization: internal sets, sorted.
+        let mut key: Vec<BitSet> = available.clone();
+        key.sort_by(|a, b| {
+            a.iter()
+                .collect::<Vec<_>>()
+                .cmp(&b.iter().collect::<Vec<_>>())
+        });
+        if !self.visited.insert(key) {
+            return Outcome::NotFound;
+        }
+
+        // Candidate unions, deduplicated.
+        let mut seen: HashSet<BitSet> = HashSet::new();
+        let mut exhausted = false;
+        for i in 0..available.len() {
+            for j in (i + 1)..available.len() {
+                let w = available[i].union(&available[j]);
+                if available.contains(&w) || seen.contains(&w) {
+                    continue;
+                }
+                if !self.queries.iter().any(|q| w.is_subset(q)) {
+                    continue;
+                }
+                seen.insert(w.clone());
+                self.steps
+                    .push((available[i].clone(), available[j].clone()));
+                let mut next = available.clone();
+                next.push(w);
+                match self.dfs(next) {
+                    Outcome::Found(steps) => return Outcome::Found(steps),
+                    Outcome::Exhausted => exhausted = true,
+                    Outcome::NotFound => {}
+                }
+                self.steps.pop();
+                if exhausted {
+                    return Outcome::Exhausted;
+                }
+            }
+        }
+        Outcome::NotFound
+    }
+}
+
+/// Replays an optimal search result into a concrete [`PlanDag`], binding
+/// the problem's queries.
+pub fn replay(problem: &PlanProblem, optimal: &OptimalPlan) -> PlanDag {
+    let mut plan = PlanDag::new(problem.var_count);
+    for (a, b) in &optimal.steps {
+        let ia = plan.node_for(a).expect("step operand exists");
+        let ib = plan.node_for(b).expect("step operand exists");
+        plan.merge(ia, ib);
+    }
+    for q in &problem.queries {
+        plan.bind_query(q);
+    }
+    plan
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::greedy::SharedPlanner;
+
+    fn bs(n: usize, elems: &[usize]) -> BitSet {
+        BitSet::from_elements(n, elems.iter().copied())
+    }
+
+    #[test]
+    fn single_query_needs_len_minus_one() {
+        let problem = PlanProblem::new(4, vec![bs(4, &[0, 1, 2, 3])], None);
+        let opt = optimal_plan(&problem).unwrap();
+        assert_eq!(opt.total_cost, 3);
+        let plan = replay(&problem, &opt);
+        assert_eq!(plan.validate(), Ok(()));
+        assert_eq!(plan.total_cost(), 3);
+    }
+
+    #[test]
+    fn shared_prefix_is_found() {
+        // {0,1,2} and {0,1,3}: optimal shares {0,1}: cost 3 (not 4).
+        let problem =
+            PlanProblem::new(4, vec![bs(4, &[0, 1, 2]), bs(4, &[0, 1, 3])], None);
+        let opt = optimal_plan(&problem).unwrap();
+        assert_eq!(opt.total_cost, 3);
+    }
+
+    #[test]
+    fn disjoint_queries_cannot_share() {
+        let problem = PlanProblem::new(4, vec![bs(4, &[0, 1]), bs(4, &[2, 3])], None);
+        let opt = optimal_plan(&problem).unwrap();
+        assert_eq!(opt.total_cost, 2);
+    }
+
+    #[test]
+    fn variable_queries_cost_nothing() {
+        let problem = PlanProblem::new(3, vec![bs(3, &[0])], None);
+        let opt = optimal_plan(&problem).unwrap();
+        assert_eq!(opt.total_cost, 0);
+    }
+
+    #[test]
+    fn heuristic_never_beats_optimal_and_often_matches() {
+        // Small instance battery: heuristic cost >= optimal cost.
+        let cases: Vec<Vec<BitSet>> = vec![
+            vec![bs(6, &[0, 1, 2]), bs(6, &[1, 2, 3]), bs(6, &[2, 3, 4])],
+            vec![bs(6, &[0, 1, 2, 3]), bs(6, &[0, 1]), bs(6, &[2, 3])],
+            vec![bs(6, &[0, 1, 2, 3, 4, 5]), bs(6, &[0, 1, 2]), bs(6, &[3, 4, 5])],
+            vec![bs(6, &[0, 2, 4]), bs(6, &[1, 3, 5])],
+        ];
+        for queries in cases {
+            let problem = PlanProblem::new(6, queries, None);
+            let opt = optimal_plan(&problem).unwrap();
+            let heur = SharedPlanner::full().plan(&problem);
+            assert!(
+                heur.total_cost() >= opt.total_cost,
+                "heuristic {} below optimal {} — optimality bug",
+                heur.total_cost(),
+                opt.total_cost
+            );
+        }
+    }
+
+    #[test]
+    fn subsuming_structure_is_exploited() {
+        // {0,1}, {0,1,2}, {0,1,2,3}: optimal is one chain, cost 3.
+        let problem = PlanProblem::new(
+            4,
+            vec![bs(4, &[0, 1]), bs(4, &[0, 1, 2]), bs(4, &[0, 1, 2, 3])],
+            None,
+        );
+        let opt = optimal_plan(&problem).unwrap();
+        assert_eq!(opt.total_cost, 3);
+        // And the heuristic finds it too.
+        let heur = SharedPlanner::full().plan(&problem);
+        assert_eq!(heur.total_cost(), 3);
+    }
+
+    #[test]
+    fn budget_exhaustion_returns_none() {
+        let problem = PlanProblem::new(
+            8,
+            vec![
+                bs(8, &[0, 1, 2, 3, 4]),
+                bs(8, &[1, 2, 3, 4, 5]),
+                bs(8, &[2, 3, 4, 5, 6]),
+                bs(8, &[3, 4, 5, 6, 7]),
+            ],
+            None,
+        );
+        assert!(optimal_plan_with_budget(&problem, 10).is_none());
+    }
+}

@@ -1,0 +1,360 @@
+//! A thread-safe shared merge network.
+//!
+//! One round can carry many phrase auctions, and each runs its own
+//! Threshold Algorithm against the *same* shared merge network. The
+//! sequential [`MergeNetwork`](super::MergeNetwork) requires `&mut self`;
+//! this variant wraps every operator in its own `parking_lot` mutex so
+//! multiple TA drivers can pull concurrently, and resolves a whole round
+//! across a [`crossbeam`] scoped thread pool.
+//!
+//! Lock discipline: a pull holds at most a chain of locks running
+//! *downward* (parent before child) along DAG edges, and node indices
+//! strictly decrease along that chain (children are created before
+//! parents), so lock acquisition order is globally consistent and
+//! deadlock-free — even when two phrases' pulls meet at a shared
+//! operator.
+
+use parking_lot::Mutex;
+
+use ssa_auction::ids::AdvertiserId;
+use ssa_auction::money::Money;
+
+use super::planner::SortPlan;
+use super::SortItem;
+
+/// One parallel TA job: `(network root, c-order, k)`.
+pub type TaJob = (usize, Vec<(AdvertiserId, f64)>, usize);
+
+#[derive(Debug)]
+enum Slot {
+    Leaf {
+        item: SortItem,
+    },
+    Merge {
+        left: usize,
+        right: usize,
+        left_pos: usize,
+        right_pos: usize,
+    },
+}
+
+#[derive(Debug)]
+struct Node {
+    slot: Slot,
+    emitted: Vec<SortItem>,
+    exhausted: bool,
+}
+
+/// A merge network whose operators are individually locked, allowing
+/// concurrent pulls from `&self`.
+#[derive(Debug)]
+pub struct ConcurrentMergeNetwork {
+    nodes: Vec<Mutex<Node>>,
+    invocations: std::sync::atomic::AtomicU64,
+}
+
+impl ConcurrentMergeNetwork {
+    /// Instantiates a concurrent network for a sort plan, mirroring
+    /// [`SortPlan::instantiate`]. Returns the network plus per-phrase
+    /// roots (`usize::MAX` for empty phrases).
+    pub fn from_plan(plan: &SortPlan, bids: &[Money]) -> (Self, Vec<usize>) {
+        assert_eq!(bids.len(), plan.advertiser_count, "one bid per advertiser");
+        let nodes: Vec<Mutex<Node>> = plan
+            .nodes
+            .iter()
+            .enumerate()
+            .map(|(idx, n)| {
+                Mutex::new(match n.children {
+                    None => Node {
+                        slot: Slot::Leaf {
+                            item: SortItem {
+                                bid: bids[idx],
+                                advertiser: AdvertiserId::from_index(idx),
+                            },
+                        },
+                        emitted: Vec::new(),
+                        exhausted: false,
+                    },
+                    Some((a, b)) => Node {
+                        slot: Slot::Merge {
+                            left: a,
+                            right: b,
+                            left_pos: 0,
+                            right_pos: 0,
+                        },
+                        emitted: Vec::new(),
+                        exhausted: false,
+                    },
+                })
+            })
+            .collect();
+        (
+            ConcurrentMergeNetwork {
+                nodes,
+                invocations: std::sync::atomic::AtomicU64::new(0),
+            },
+            plan.roots.clone(),
+        )
+    }
+
+    /// Total merge-operator invocations so far.
+    pub fn invocations(&self) -> u64 {
+        self.invocations.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// The `index`-th item of the stream under `node` (`&self`: safe to
+    /// call from many threads).
+    pub fn get(&self, node: usize, index: usize) -> Option<SortItem> {
+        let mut guard = self.nodes[node].lock();
+        while guard.emitted.len() <= index && !guard.exhausted {
+            match guard.slot {
+                Slot::Leaf { item } => {
+                    if guard.emitted.is_empty() {
+                        guard.emitted.push(item);
+                    } else {
+                        guard.exhausted = true;
+                    }
+                }
+                Slot::Merge {
+                    left,
+                    right,
+                    left_pos,
+                    right_pos,
+                } => {
+                    // Child pulls acquire strictly smaller-indexed locks
+                    // while this node's lock is held: consistent downward
+                    // order, no deadlock.
+                    let l = self.get(left, left_pos);
+                    let r = self.get(right, right_pos);
+                    let take_left = match (l, r) {
+                        (Some(a), Some(b)) => a > b,
+                        (Some(_), None) => true,
+                        (None, Some(_)) => false,
+                        (None, None) => {
+                            guard.exhausted = true;
+                            continue;
+                        }
+                    };
+                    self.invocations
+                        .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    let item = if take_left { l.unwrap() } else { r.unwrap() };
+                    if let Slot::Merge {
+                        left_pos,
+                        right_pos,
+                        ..
+                    } = &mut guard.slot
+                    {
+                        if take_left {
+                            *left_pos += 1;
+                        } else {
+                            *right_pos += 1;
+                        }
+                    }
+                    guard.emitted.push(item);
+                }
+            }
+        }
+        guard.emitted.get(index).copied()
+    }
+}
+
+/// Resolves every occurring phrase's TA concurrently over one shared
+/// network, with `threads` workers (crossbeam scoped threads).
+///
+/// `jobs[j] = (root, c_order, k)`; returns one
+/// [`TaOutcome`](super::ta::TaOutcome) per job, in job order.
+pub fn resolve_parallel<BF, FF>(
+    net: &ConcurrentMergeNetwork,
+    jobs: &[TaJob],
+    bid_of: BF,
+    factor_of: FF,
+    threads: usize,
+) -> Vec<super::ta::TaOutcome>
+where
+    BF: Fn(usize, AdvertiserId) -> Money + Sync,
+    FF: Fn(usize, AdvertiserId) -> f64 + Sync,
+{
+    let threads = threads.max(1);
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let results: Vec<Mutex<Option<super::ta::TaOutcome>>> =
+        jobs.iter().map(|_| Mutex::new(None)).collect();
+
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..threads.min(jobs.len().max(1)) {
+            scope.spawn(|_| loop {
+                let j = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if j >= jobs.len() {
+                    break;
+                }
+                let (root, ref c_order, k) = jobs[j];
+                let outcome = if root == usize::MAX {
+                    super::ta::TaOutcome {
+                        top_k: Vec::new(),
+                        stages: 0,
+                        stopped_early: false,
+                    }
+                } else {
+                    super::ta::threshold_top_k_on(
+                        |i| net.get(root, i),
+                        c_order,
+                        |a| bid_of(j, a),
+                        |a| factor_of(j, a),
+                        k,
+                    )
+                };
+                *results[j].lock() = Some(outcome);
+            });
+        }
+    })
+    .expect("TA worker panicked");
+
+    results
+        .into_iter()
+        .map(|m| m.into_inner().expect("every job resolved"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sort::planner::build_shared_sort_plan_bucketed;
+    use crate::sort::ta::threshold_top_k;
+    use ssa_setcover::BitSet;
+    use ssa_workload::{Workload, WorkloadConfig};
+
+    fn workload() -> Workload {
+        Workload::generate(&WorkloadConfig {
+            advertisers: 300,
+            phrases: 10,
+            topics: 4,
+            phrase_factor_jitter: 0.3,
+            seed: 21,
+            ..WorkloadConfig::default()
+        })
+    }
+
+    #[test]
+    fn concurrent_network_matches_sequential() {
+        let w = workload();
+        let n = w.advertiser_count();
+        let rates = w.search_rates();
+        let interest: Vec<BitSet> = w
+            .interest
+            .iter()
+            .map(|ids| BitSet::from_elements(n, ids.iter().map(|a| a.index())))
+            .collect();
+        let plan = build_shared_sort_plan_bucketed(n, &interest, &rates);
+        let bids: Vec<Money> = w.advertisers.iter().map(|a| a.bid).collect();
+        let k = 4;
+
+        // Sequential reference.
+        let (mut seq_net, seq_roots) = plan.instantiate(&bids);
+        let mut sequential = Vec::new();
+        #[allow(clippy::needless_range_loop)] // q indexes roots, interest, factors
+        for q in 0..w.phrase_count() {
+            let phrase = ssa_auction::ids::PhraseId::from_index(q);
+            let mut c_order: Vec<(AdvertiserId, f64)> = w.interest[q]
+                .iter()
+                .map(|&a| (a, w.phrase_factor(phrase, a).unwrap()))
+                .collect();
+            c_order.sort_by(|x, y| y.1.total_cmp(&x.1).then(x.0.cmp(&y.0)));
+            sequential.push(threshold_top_k(
+                &mut seq_net,
+                seq_roots[q],
+                &c_order,
+                |a| bids[a.index()],
+                |a| w.phrase_factor(phrase, a).unwrap_or(0.0),
+                k,
+            ));
+        }
+
+        // Concurrent run over 4 threads.
+        let (net, roots) = ConcurrentMergeNetwork::from_plan(&plan, &bids);
+        let jobs: Vec<TaJob> = (0..w.phrase_count())
+            .map(|q| {
+                let phrase = ssa_auction::ids::PhraseId::from_index(q);
+                let mut c_order: Vec<(AdvertiserId, f64)> = w.interest[q]
+                    .iter()
+                    .map(|&a| (a, w.phrase_factor(phrase, a).unwrap()))
+                    .collect();
+                c_order.sort_by(|x, y| y.1.total_cmp(&x.1).then(x.0.cmp(&y.0)));
+                (roots[q], c_order, k)
+            })
+            .collect();
+        let w_ref = &w;
+        let bids_ref = &bids;
+        let parallel = resolve_parallel(
+            &net,
+            &jobs,
+            |_, a| bids_ref[a.index()],
+            |j, a| {
+                w_ref
+                    .phrase_factor(ssa_auction::ids::PhraseId::from_index(j), a)
+                    .unwrap_or(0.0)
+            },
+            4,
+        );
+
+        for (q, (s, p)) in sequential.iter().zip(&parallel).enumerate() {
+            assert_eq!(s.top_k, p.top_k, "phrase {q} winners differ");
+        }
+        assert!(net.invocations() > 0);
+    }
+
+    #[test]
+    fn concurrent_pulls_share_caches() {
+        // Two consumers drain overlapping streams concurrently; the
+        // shared prefix must be computed once (invocations bounded by the
+        // sequential drain count).
+        let w = workload();
+        let n = w.advertiser_count();
+        let interest: Vec<BitSet> = w
+            .interest
+            .iter()
+            .map(|ids| BitSet::from_elements(n, ids.iter().map(|a| a.index())))
+            .collect();
+        let plan = build_shared_sort_plan_bucketed(n, &interest, &w.search_rates());
+        let bids: Vec<Money> = w.advertisers.iter().map(|a| a.bid).collect();
+
+        let (mut seq_net, seq_roots) = plan.instantiate(&bids);
+        for &root in seq_roots.iter() {
+            if root != usize::MAX {
+                let mut i = 0;
+                while seq_net.get(root, i).is_some() {
+                    i += 1;
+                }
+            }
+        }
+        let sequential_invocations = seq_net.invocations();
+
+        let (net, roots) = ConcurrentMergeNetwork::from_plan(&plan, &bids);
+        crossbeam::thread::scope(|scope| {
+            for &root in roots.iter().filter(|&&r| r != usize::MAX) {
+                let net = &net;
+                scope.spawn(move |_| {
+                    let mut i = 0;
+                    while net.get(root, i).is_some() {
+                        i += 1;
+                    }
+                });
+            }
+        })
+        .expect("drain worker panicked");
+        assert_eq!(
+            net.invocations(),
+            sequential_invocations,
+            "concurrent caching must not duplicate merge work"
+        );
+    }
+
+    #[test]
+    fn empty_jobs_and_sentinel_roots() {
+        let plan = build_shared_sort_plan_bucketed(2, &[BitSet::new(2)], &[0.5]);
+        let bids = vec![Money::from_units(1); 2];
+        let (net, roots) = ConcurrentMergeNetwork::from_plan(&plan, &bids);
+        assert_eq!(roots[0], usize::MAX);
+        let jobs = vec![(roots[0], Vec::new(), 3)];
+        let out = resolve_parallel(&net, &jobs, |_, _| Money::ZERO, |_, _| 0.0, 2);
+        assert!(out[0].top_k.is_empty());
+    }
+}

@@ -1,0 +1,605 @@
+//! The shared merge-sort planner (Section III-C).
+//!
+//! "We propose the following simple bottom-up greedy heuristic … that
+//! starts out with the leaf nodes, each corresponding to a distinct
+//! advertiser, and successively merges the two nodes that would lead to
+//! the largest savings in expected cost. … At any point, we can merge
+//! nodes u and v into a new node w only if `Q_u ∩ Q_v ≠ ∅`,
+//! `I_u ∩ I_v = ∅`, and `|I_u| = |I_v|`. We then set `Q_w = Q_u ∩ Q_v`
+//! and `I_w = I_u ∪ I_v`."
+//!
+//! One refinement over the paper's sketch: a node that has been given a
+//! parent for the phrases in `Q_w` may still need parents for its *other*
+//! phrases, so each node carries a `remaining` phrase set (initialized to
+//! its serving set, shrunk every time a parent adopts it). Merging is
+//! driven by `remaining` sets; this keeps every per-phrase structure a
+//! true tree (one parent per node per phrase). After no positive-savings
+//! merge exists, each phrase's surviving roots are folded together
+//! smallest-first so every phrase ends with a single root (these final
+//! merges are the unshared tail every plan needs; the paper's
+//! power-of-two sizing assumption is relaxed here, as its Section III-B
+//! says the discussion "generalizes to arbitrary cardinalities in a
+//! straightforward way").
+
+use ssa_auction::ids::AdvertiserId;
+use ssa_auction::money::Money;
+use ssa_setcover::BitSet;
+
+use super::MergeNetwork;
+
+/// One node of a shared merge-sort plan.
+#[derive(Debug, Clone)]
+pub struct SortPlanNode {
+    /// Advertisers below this node (`I_v`).
+    pub advertisers: BitSet,
+    /// Phrases whose merge tree contains this node (`Q_v` at creation).
+    pub serves: BitSet,
+    /// Phrases for which this node still lacks a parent.
+    pub remaining: BitSet,
+    /// Children (`None` for advertiser leaves).
+    pub children: Option<(usize, usize)>,
+}
+
+/// A shared merge-sort plan across phrases.
+#[derive(Debug, Clone)]
+pub struct SortPlan {
+    /// Advertiser universe size.
+    pub advertiser_count: usize,
+    /// Plan nodes; `0..advertiser_count` are leaves (in advertiser
+    /// order), except that advertisers interested in no phrase get a
+    /// placeholder leaf serving nothing.
+    pub nodes: Vec<SortPlanNode>,
+    /// Per phrase, the root node sorting `I_q`.
+    pub roots: Vec<usize>,
+}
+
+impl SortPlan {
+    /// The expected full-sort cost
+    /// `Σ_v |I_v| (1 − Π_{q: v ⇝ q} (1 − sr_q))` (Section III-B).
+    pub fn expected_cost(&self, search_rates: &[f64]) -> f64 {
+        self.nodes
+            .iter()
+            .filter(|n| n.children.is_some())
+            .map(|n| {
+                let mut none = 1.0;
+                for q in n.serves.iter() {
+                    none *= 1.0 - search_rates[q];
+                }
+                n.advertisers.len() as f64 * (1.0 - none)
+            })
+            .sum()
+    }
+
+    /// The unshared baseline: an independent merge-sort tree per phrase,
+    /// expected cost `Σ_q sr_q · (full merge-sort cost of |I_q|)` where a
+    /// balanced tree over `s` leaves costs `Σ_v |I_v| ≈ s·⌈log₂ s⌉`.
+    pub fn unshared_expected_cost(interest: &[BitSet], search_rates: &[f64]) -> f64 {
+        interest
+            .iter()
+            .zip(search_rates)
+            .map(|(iq, &sr)| {
+                let s = iq.len();
+                sr * balanced_merge_cost(s) as f64
+            })
+            .sum()
+    }
+
+    /// Instantiates the runtime network for this plan given each
+    /// advertiser's bid. Returns the network plus per-phrase root ids in
+    /// the network's node space.
+    pub fn instantiate(&self, bids: &[Money]) -> (MergeNetwork, Vec<usize>) {
+        assert_eq!(bids.len(), self.advertiser_count, "one bid per advertiser");
+        let mut net = MergeNetwork::new();
+        let mut net_id = Vec::with_capacity(self.nodes.len());
+        for (idx, node) in self.nodes.iter().enumerate() {
+            match node.children {
+                None => {
+                    let adv = AdvertiserId::from_index(idx);
+                    net_id.push(net.leaf(adv, bids[idx]));
+                }
+                Some((a, b)) => {
+                    net_id.push(net.merge(net_id[a], net_id[b]));
+                }
+            }
+        }
+        let roots = self
+            .roots
+            .iter()
+            .map(|&r| if r == usize::MAX { usize::MAX } else { net_id[r] })
+            .collect();
+        (net, roots)
+    }
+}
+
+/// Total operator cost of a balanced merge-sort over `s` leaves:
+/// `Σ_v |I_v|` over internal nodes.
+fn balanced_merge_cost(s: usize) -> usize {
+    if s <= 1 {
+        return 0;
+    }
+    let half = s / 2;
+    balanced_merge_cost(half) + balanced_merge_cost(s - half) + s
+}
+
+/// The expected number of queries in `Q_w` occurring beyond the first —
+/// the paper's savings weight
+/// `Σ_i [ (Π_{j<i} (1 − sr_j)) · sr_i · (Σ_{j>i} sr_j) ]`.
+pub fn expected_beyond_first(rates: &[f64]) -> f64 {
+    let n = rates.len();
+    let mut total = 0.0;
+    let mut none_before = 1.0;
+    for i in 0..n {
+        let after: f64 = rates[i + 1..].iter().sum();
+        total += none_before * rates[i] * after;
+        none_before *= 1.0 - rates[i];
+    }
+    total
+}
+
+/// Builds the per-advertiser leaf nodes (node index = advertiser index).
+fn leaf_nodes(advertiser_count: usize, interest: &[BitSet]) -> Vec<SortPlanNode> {
+    let m = interest.len();
+    (0..advertiser_count)
+        .map(|i| {
+            let mut serves = BitSet::new(m);
+            for (q, iq) in interest.iter().enumerate() {
+                if iq.contains(i) {
+                    serves.insert(q);
+                }
+            }
+            SortPlanNode {
+                advertisers: BitSet::singleton(advertiser_count, i),
+                serves: serves.clone(),
+                remaining: serves,
+                children: None,
+            }
+        })
+        .collect()
+}
+
+/// Folds each phrase's surviving roots until one root per phrase remains,
+/// smallest nodes first; returns the per-phrase roots.
+fn complete_per_phrase(nodes: &mut Vec<SortPlanNode>, m: usize) -> Vec<usize> {
+    let mut roots = Vec::with_capacity(m);
+    for q in 0..m {
+        loop {
+            let mut owners: Vec<usize> = (0..nodes.len())
+                .filter(|&v| nodes[v].remaining.contains(q))
+                .collect();
+            match owners.len() {
+                0 => {
+                    roots.push(usize::MAX);
+                    break;
+                }
+                1 => {
+                    roots.push(owners[0]);
+                    break;
+                }
+                _ => {
+                    owners.sort_by_key(|&v| (nodes[v].advertisers.len(), v));
+                    adopt(nodes, owners[0], owners[1]);
+                }
+            }
+        }
+    }
+    roots
+}
+
+/// The Section III-C greedy planner, considering every node pair at every
+/// step (the paper's formulation). Quadratic in the node count per step —
+/// intended for up to a few hundred advertisers; use
+/// [`build_shared_sort_plan_bucketed`] at scale.
+///
+/// `interest[q]` is `I_q` over an advertiser universe of size `n`;
+/// `search_rates[q]` is `sr_q`.
+pub fn build_shared_sort_plan(
+    advertiser_count: usize,
+    interest: &[BitSet],
+    search_rates: &[f64],
+) -> SortPlan {
+    let m = interest.len();
+    assert_eq!(search_rates.len(), m, "one rate per phrase");
+    for (q, iq) in interest.iter().enumerate() {
+        assert_eq!(
+            iq.capacity(),
+            advertiser_count,
+            "interest set {q} universe mismatch"
+        );
+    }
+
+    let mut nodes = leaf_nodes(advertiser_count, interest);
+
+    // Greedy phase: merge the pair with the largest expected savings
+    // |I_w| · E[beyond-first occurrences of Q_w].
+    loop {
+        let active: Vec<usize> = (0..nodes.len())
+            .filter(|&v| !nodes[v].remaining.is_empty())
+            .collect();
+        let mut best: Option<(f64, usize, usize)> = None;
+        for (ai, &u) in active.iter().enumerate() {
+            for &v in &active[ai + 1..] {
+                if nodes[u].advertisers.len() != nodes[v].advertisers.len() {
+                    continue;
+                }
+                if !nodes[u].advertisers.is_disjoint(&nodes[v].advertisers) {
+                    continue;
+                }
+                let qw = nodes[u].remaining.intersection(&nodes[v].remaining);
+                if qw.is_empty() {
+                    continue;
+                }
+                let rates: Vec<f64> = qw.iter().map(|q| search_rates[q]).collect();
+                let size = nodes[u].advertisers.len() + nodes[v].advertisers.len();
+                let savings = size as f64 * expected_beyond_first(&rates);
+                if savings > 0.0 && best.is_none_or(|(s, _, _)| savings > s) {
+                    best = Some((savings, u, v));
+                }
+            }
+        }
+        match best {
+            Some((_, u, v)) => {
+                adopt(&mut nodes, u, v);
+            }
+            None => break,
+        }
+    }
+
+    // Completion phase: fold each phrase's surviving roots, smallest
+    // first, until one root per phrase remains (empty phrases get a
+    // sentinel root).
+    let roots = complete_per_phrase(&mut nodes, m);
+
+    SortPlan {
+        advertiser_count,
+        nodes,
+        roots,
+    }
+}
+
+/// A scalable variant of the Section III-C planner.
+///
+/// Advertisers with the same phrase signature are interchangeable, so the
+/// quadratic pair search over leaves is wasted work. This variant:
+///
+/// 1. groups advertisers into *fragments* by signature (exactly the
+///    Section II-D stage-1 idea, applied to sorting),
+/// 2. merge-sorts each fragment with a balanced tree (every internal node
+///    serves the whole signature; for a fixed leaf set a balanced tree
+///    minimizes `Σ_v |I_v|`),
+/// 3. runs the paper's greedy savings rule across the fragment roots and
+///    their merge results (a small node set), with the equal-size
+///    constraint relaxed as in the completion phase,
+/// 4. completes each phrase as usual.
+pub fn build_shared_sort_plan_bucketed(
+    advertiser_count: usize,
+    interest: &[BitSet],
+    search_rates: &[f64],
+) -> SortPlan {
+    let m = interest.len();
+    assert_eq!(search_rates.len(), m, "one rate per phrase");
+    for (q, iq) in interest.iter().enumerate() {
+        assert_eq!(
+            iq.capacity(),
+            advertiser_count,
+            "interest set {q} universe mismatch"
+        );
+    }
+    let mut nodes = leaf_nodes(advertiser_count, interest);
+
+    // Stage 1: fragments by signature (ignoring advertisers in no
+    // phrase).
+    let mut groups: std::collections::HashMap<BitSet, Vec<usize>> =
+        std::collections::HashMap::new();
+    for (i, node) in nodes.iter().enumerate().take(advertiser_count) {
+        if !node.serves.is_empty() {
+            groups.entry(node.serves.clone()).or_default().push(i);
+        }
+    }
+    let mut group_list: Vec<(BitSet, Vec<usize>)> = groups.into_iter().collect();
+    group_list.sort_by_key(|(_, members)| members[0]);
+
+    // Stage 2: balanced tree per fragment.
+    let mut frontier: Vec<usize> = Vec::new();
+    for (_, members) in &group_list {
+        let mut level = members.clone();
+        while level.len() > 1 {
+            let mut next = Vec::with_capacity(level.len().div_ceil(2));
+            for pair in level.chunks(2) {
+                if pair.len() == 2 {
+                    next.push(adopt(&mut nodes, pair[0], pair[1]));
+                } else {
+                    next.push(pair[0]);
+                }
+            }
+            level = next;
+        }
+        frontier.push(level[0]);
+    }
+
+    // Stage 3: greedy savings rule across the (small) frontier.
+    loop {
+        let active: Vec<usize> = frontier
+            .iter()
+            .copied()
+            .filter(|&v| !nodes[v].remaining.is_empty())
+            .collect();
+        let mut best: Option<(f64, usize, usize)> = None;
+        for (ai, &u) in active.iter().enumerate() {
+            for &v in &active[ai + 1..] {
+                if !nodes[u].advertisers.is_disjoint(&nodes[v].advertisers) {
+                    continue;
+                }
+                let qw = nodes[u].remaining.intersection(&nodes[v].remaining);
+                if qw.is_empty() {
+                    continue;
+                }
+                let rates: Vec<f64> = qw.iter().map(|q| search_rates[q]).collect();
+                let size = nodes[u].advertisers.len() + nodes[v].advertisers.len();
+                let savings = size as f64 * expected_beyond_first(&rates);
+                if savings > 0.0 && best.is_none_or(|(s, _, _)| savings > s) {
+                    best = Some((savings, u, v));
+                }
+            }
+        }
+        match best {
+            Some((_, u, v)) => {
+                let w = adopt(&mut nodes, u, v);
+                frontier.push(w);
+            }
+            None => break,
+        }
+    }
+
+    let roots = complete_per_phrase(&mut nodes, m);
+    SortPlan {
+        advertiser_count,
+        nodes,
+        roots,
+    }
+}
+
+/// Merges `u` and `v` into a new node adopting them for the phrases in
+/// `remaining(u) ∩ remaining(v)`.
+fn adopt(nodes: &mut Vec<SortPlanNode>, u: usize, v: usize) -> usize {
+    let qw = nodes[u].remaining.intersection(&nodes[v].remaining);
+    debug_assert!(!qw.is_empty(), "merge without a common phrase");
+    debug_assert!(
+        nodes[u].advertisers.is_disjoint(&nodes[v].advertisers),
+        "advertiser sets must be disjoint"
+    );
+    let iw = nodes[u].advertisers.union(&nodes[v].advertisers);
+    nodes[u].remaining.difference_with(&qw);
+    nodes[v].remaining.difference_with(&qw);
+    let idx = nodes.len();
+    nodes.push(SortPlanNode {
+        advertisers: iw,
+        serves: qw.clone(),
+        remaining: qw,
+        children: Some((u, v)),
+    });
+    idx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn bs(n: usize, elems: &[usize]) -> BitSet {
+        BitSet::from_elements(n, elems.iter().copied())
+    }
+
+    fn plan_roots_sort_correctly(
+        plan: &SortPlan,
+        interest: &[BitSet],
+        bids: &[Money],
+    ) {
+        let (mut net, roots) = plan.instantiate(bids);
+        for (q, iq) in interest.iter().enumerate() {
+            if iq.is_empty() {
+                continue;
+            }
+            let got: Vec<u32> = {
+                let mut out = Vec::new();
+                let mut i = 0;
+                while let Some(item) = net.get(roots[q], i) {
+                    out.push(item.advertiser.0);
+                    i += 1;
+                }
+                out
+            };
+            let mut want: Vec<usize> = iq.iter().collect();
+            want.sort_by(|&a, &b| {
+                bids[b].cmp(&bids[a]).then(a.cmp(&b))
+            });
+            let want: Vec<u32> = want.iter().map(|&a| a as u32).collect();
+            assert_eq!(got, want, "phrase {q} stream mismatch");
+        }
+    }
+
+    #[test]
+    fn expected_beyond_first_formula() {
+        // One query: nothing beyond the first. Two certain queries: 1.
+        assert_eq!(expected_beyond_first(&[1.0]), 0.0);
+        assert_eq!(expected_beyond_first(&[1.0, 1.0]), 1.0);
+        assert_eq!(expected_beyond_first(&[]), 0.0);
+        // Two queries p each: E[beyond first] = p^2 (both occur).
+        let p = 0.3;
+        let got = expected_beyond_first(&[p, p]);
+        assert!((got - p * p).abs() < 1e-12, "{got}");
+    }
+
+    #[test]
+    fn shared_block_is_built_once() {
+        // Two phrases sharing advertisers {0,1}; exclusive {2} and {3}.
+        let interest = vec![bs(4, &[0, 1, 2]), bs(4, &[0, 1, 3])];
+        let plan = build_shared_sort_plan(4, &interest, &[0.9, 0.9]);
+        // The shared pair {0,1} should be a single node serving both.
+        let shared = plan
+            .nodes
+            .iter()
+            .find(|n| n.advertisers == bs(4, &[0, 1]))
+            .expect("shared node exists");
+        assert_eq!(shared.serves.len(), 2, "serves both phrases");
+        let bids: Vec<Money> = [4u64, 3, 2, 1]
+            .iter()
+            .map(|&u| Money::from_units(u))
+            .collect();
+        plan_roots_sort_correctly(&plan, &interest, &bids);
+    }
+
+    #[test]
+    fn disjoint_phrases_share_nothing() {
+        let interest = vec![bs(4, &[0, 1]), bs(4, &[2, 3])];
+        let plan = build_shared_sort_plan(4, &interest, &[0.5, 0.5]);
+        for n in plan.nodes.iter().filter(|n| n.children.is_some()) {
+            assert_eq!(n.serves.len(), 1, "no operator can serve both");
+        }
+        let bids: Vec<Money> = [1u64, 2, 3, 4]
+            .iter()
+            .map(|&u| Money::from_units(u))
+            .collect();
+        plan_roots_sort_correctly(&plan, &interest, &bids);
+    }
+
+    #[test]
+    fn empty_phrase_gets_sentinel_root() {
+        let interest = vec![bs(2, &[0, 1]), BitSet::new(2)];
+        let plan = build_shared_sort_plan(2, &interest, &[1.0, 0.5]);
+        assert_eq!(plan.roots[1], usize::MAX);
+        assert_ne!(plan.roots[0], usize::MAX);
+    }
+
+    #[test]
+    fn expected_cost_drops_with_sharing() {
+        // Heavy overlap: shared plan must beat independent sorts.
+        let interest = vec![
+            bs(8, &[0, 1, 2, 3, 4, 5]),
+            bs(8, &[0, 1, 2, 3, 6, 7]),
+            bs(8, &[0, 1, 2, 3, 4, 6]),
+        ];
+        let rates = [0.9, 0.9, 0.9];
+        let plan = build_shared_sort_plan(8, &interest, &rates);
+        let shared = plan.expected_cost(&rates);
+        let unshared = SortPlan::unshared_expected_cost(&interest, &rates);
+        assert!(
+            shared < unshared,
+            "shared {shared} should beat unshared {unshared}"
+        );
+    }
+
+    #[test]
+    fn singleton_phrase_needs_no_merges() {
+        let interest = vec![bs(3, &[1])];
+        let plan = build_shared_sort_plan(3, &interest, &[1.0]);
+        assert_eq!(plan.roots[0], 1, "the leaf itself is the root");
+        assert_eq!(plan.expected_cost(&[1.0]), 0.0);
+    }
+
+    #[test]
+    fn bucketed_planner_matches_structure_and_scales() {
+        // Bucketed and exhaustive planners may produce different trees,
+        // but both sort correctly and share the fragment blocks.
+        let interest = vec![bs(6, &[0, 1, 2, 3]), bs(6, &[0, 1, 4, 5])];
+        let rates = [0.9, 0.9];
+        let bucketed = build_shared_sort_plan_bucketed(6, &interest, &rates);
+        let shared = bucketed
+            .nodes
+            .iter()
+            .find(|n| n.advertisers == bs(6, &[0, 1]))
+            .expect("shared fragment node exists");
+        assert_eq!(shared.serves.len(), 2);
+        let bids: Vec<Money> = (0..6).map(|i| Money::from_units(10 - i as u64)).collect();
+        plan_roots_sort_correctly(&bucketed, &interest, &bids);
+    }
+
+    #[test]
+    fn bucketed_planner_handles_thousands_of_advertisers() {
+        use std::time::Instant;
+        let n = 5000;
+        let m = 12;
+        // Topic-like signatures: advertiser i is interested in the
+        // phrases with q % 4 == i % 4, plus generalists (i % 5 == 0) in
+        // everything.
+        let interest: Vec<BitSet> = (0..m)
+            .map(|q| {
+                BitSet::from_elements(
+                    n,
+                    (0..n).filter(|i| i % 5 == 0 || q % 4 == i % 4),
+                )
+            })
+            .collect();
+        let rates = vec![0.5; m];
+        let started = Instant::now();
+        let plan = build_shared_sort_plan_bucketed(n, &interest, &rates);
+        assert!(
+            started.elapsed().as_secs_f64() < 10.0,
+            "bucketed planner must scale"
+        );
+        for (q, iq) in interest.iter().enumerate() {
+            assert_eq!(&plan.nodes[plan.roots[q]].advertisers, iq);
+        }
+    }
+
+    #[test]
+    fn bucketed_expected_cost_beats_unshared() {
+        let interest = vec![
+            bs(8, &[0, 1, 2, 3, 4, 5]),
+            bs(8, &[0, 1, 2, 3, 6, 7]),
+            bs(8, &[0, 1, 2, 3, 4, 6]),
+        ];
+        let rates = [0.9, 0.9, 0.9];
+        let plan = build_shared_sort_plan_bucketed(8, &interest, &rates);
+        assert!(
+            plan.expected_cost(&rates) < SortPlan::unshared_expected_cost(&interest, &rates)
+        );
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+        /// The bucketed planner's streams also match independent sorts.
+        #[test]
+        fn bucketed_streams_match_independent_sorts(
+            sets in proptest::collection::vec(
+                proptest::collection::btree_set(0usize..8, 0..8), 1..5),
+            bid_raw in proptest::collection::vec(0u64..100, 8),
+            rates in proptest::collection::vec(0.1f64..=1.0, 5),
+        ) {
+            let interest: Vec<BitSet> = sets
+                .iter()
+                .map(|s| BitSet::from_elements(8, s.iter().copied()))
+                .collect();
+            let m = interest.len();
+            let plan = build_shared_sort_plan_bucketed(8, &interest, &rates[..m]);
+            let bids: Vec<Money> = bid_raw.iter().map(|&b| Money::from_micros(b)).collect();
+            plan_roots_sort_correctly(&plan, &interest, &bids);
+        }
+
+        /// Every phrase's stream equals an independent sort of `I_q`, for
+        /// random interests and bids.
+        #[test]
+        fn plan_streams_match_independent_sorts(
+            sets in proptest::collection::vec(
+                proptest::collection::btree_set(0usize..8, 0..8), 1..5),
+            bid_raw in proptest::collection::vec(0u64..100, 8),
+            rates in proptest::collection::vec(0.1f64..=1.0, 5),
+        ) {
+            let interest: Vec<BitSet> = sets
+                .iter()
+                .map(|s| BitSet::from_elements(8, s.iter().copied()))
+                .collect();
+            let m = interest.len();
+            let plan = build_shared_sort_plan(8, &interest, &rates[..m]);
+            let bids: Vec<Money> = bid_raw.iter().map(|&b| Money::from_micros(b)).collect();
+            plan_roots_sort_correctly(&plan, &interest, &bids);
+            // Tree sanity: every phrase root's advertiser set is I_q.
+            for (q, iq) in interest.iter().enumerate() {
+                if iq.is_empty() {
+                    prop_assert_eq!(plan.roots[q], usize::MAX);
+                } else {
+                    prop_assert_eq!(&plan.nodes[plan.roots[q]].advertisers, iq);
+                }
+            }
+        }
+    }
+}

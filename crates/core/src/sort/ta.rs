@@ -1,0 +1,305 @@
+//! The Threshold Algorithm (Fagin–Lotem–Naor) driver.
+//!
+//! For bid phrase `q`, two descending sorted access paths exist: the
+//! advertisers by `c_i^q` (precomputed — "click-through rates are
+//! recalculated only occasionally … the ordering can be treated as fixed")
+//! and the advertisers by `b_i`, supplied on demand by the shared merge
+//! network. At stage `s` both lists advance one position; every newly seen
+//! advertiser's full score `b_i · c_i^q` is resolved by random access, and
+//! the algorithm "terminates early at the first stage where all top k
+//! values are no less than the threshold" `b_{i_s} · c_{j_s}`.
+//!
+//! TA is instance-optimal among algorithms that avoid wild guesses, which
+//! is precisely why the shared network only needs to supply a *prefix* of
+//! each phrase's sorted order.
+
+use std::collections::HashSet;
+
+use ssa_auction::ids::AdvertiserId;
+use ssa_auction::money::Money;
+use ssa_auction::score::Score;
+
+use crate::topk::{KList, ScoredAd};
+
+use super::MergeNetwork;
+
+/// The result of one per-phrase TA run.
+#[derive(Debug, Clone)]
+pub struct TaOutcome {
+    /// The top-k advertisers by `b_i · c_i^q`, best first.
+    pub top_k: Vec<(AdvertiserId, Score)>,
+    /// Stages executed (= sorted-access depth on each list).
+    pub stages: usize,
+    /// True iff the threshold fired before a list was exhausted.
+    pub stopped_early: bool,
+}
+
+/// Runs TA for one phrase.
+///
+/// * `net`/`root` — the shared bid-sorted stream (`usize::MAX` = empty
+///   phrase);
+/// * `c_order` — advertisers interested in the phrase, by descending
+///   `c_i^q` (ties arbitrary but fixed);
+/// * `bid_of`/`factor_of` — random access to the two attributes;
+/// * `k` — how many winners to find.
+pub fn threshold_top_k(
+    net: &mut MergeNetwork,
+    root: usize,
+    c_order: &[(AdvertiserId, f64)],
+    bid_of: impl Fn(AdvertiserId) -> Money,
+    factor_of: impl Fn(AdvertiserId) -> f64,
+    k: usize,
+) -> TaOutcome {
+    if root == usize::MAX {
+        return TaOutcome {
+            top_k: Vec::new(),
+            stages: 0,
+            stopped_early: false,
+        };
+    }
+    threshold_top_k_on(|i| net.get(root, i), c_order, bid_of, factor_of, k)
+}
+
+/// [`threshold_top_k`] over an arbitrary descending bid stream: `stream(i)`
+/// returns the `i`-th largest bid item, or `None` past the end. This is
+/// the entry point the concurrent network uses (its streams are `&self`
+/// closures over per-node locks).
+pub fn threshold_top_k_on(
+    mut stream: impl FnMut(usize) -> Option<super::SortItem>,
+    c_order: &[(AdvertiserId, f64)],
+    bid_of: impl Fn(AdvertiserId) -> Money,
+    factor_of: impl Fn(AdvertiserId) -> f64,
+    k: usize,
+) -> TaOutcome {
+    let mut top: KList<ScoredAd> = KList::empty(k);
+    let mut seen: HashSet<AdvertiserId> = HashSet::new();
+    let mut stages = 0usize;
+    let mut stopped_early = false;
+
+    if k == 0 {
+        return TaOutcome {
+            top_k: Vec::new(),
+            stages: 0,
+            stopped_early: false,
+        };
+    }
+
+    loop {
+        let bid_item = stream(stages);
+        let c_item = c_order.get(stages).copied();
+        if bid_item.is_none() || c_item.is_none() {
+            // One list exhausted ⇒ every interested advertiser has been
+            // seen through it ⇒ all scores are known. Done, exactly.
+            break;
+        }
+        stages += 1;
+        let bid_item = bid_item.expect("checked above");
+        let (c_adv, _c_val) = c_item.expect("checked above");
+
+        for adv in [bid_item.advertiser, c_adv] {
+            if seen.insert(adv) {
+                let score = Score::expected_value(bid_of(adv), factor_of(adv));
+                top.insert(ScoredAd::new(adv, score));
+            }
+        }
+
+        // Threshold: best possible score of any unseen advertiser. The
+        // paper stops at `kth ≥ τ`; we require strict `>` because our
+        // top-k order breaks score ties by advertiser id, and an unseen
+        // advertiser tied exactly at τ with a lower id could otherwise be
+        // missed. (At `kth = τ` the scan continues and exhausts a list,
+        // which resolves ties exactly.)
+        let threshold = Score::expected_value(bid_item.bid, factor_of_pos(c_order, stages - 1));
+        if let Some(kth) = top.kth() {
+            if kth.score > threshold {
+                stopped_early = true;
+                break;
+            }
+        }
+    }
+
+    TaOutcome {
+        top_k: top
+            .items()
+            .iter()
+            .map(|s| (s.advertiser, s.score))
+            .collect(),
+        stages,
+        stopped_early,
+    }
+}
+
+fn factor_of_pos(c_order: &[(AdvertiserId, f64)], pos: usize) -> f64 {
+    c_order[pos].1
+}
+
+/// Reference implementation: full scan over `I_q` (what a system without
+/// TA would do). Used for differential testing and as the unshared
+/// baseline in the experiments.
+pub fn naive_top_k(
+    interest: &[AdvertiserId],
+    bid_of: impl Fn(AdvertiserId) -> Money,
+    factor_of: impl Fn(AdvertiserId) -> f64,
+    k: usize,
+) -> Vec<(AdvertiserId, Score)> {
+    let mut top: KList<ScoredAd> = KList::empty(k);
+    for &adv in interest {
+        top.insert(ScoredAd::new(
+            adv,
+            Score::expected_value(bid_of(adv), factor_of(adv)),
+        ));
+    }
+    top.items()
+        .iter()
+        .map(|s| (s.advertiser, s.score))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Builds a single-phrase environment: bids + factors for n
+    /// advertisers, balanced merge network over all of them.
+    fn single_phrase(
+        bids: &[u64],
+        factors: &[f64],
+    ) -> (MergeNetwork, usize, Vec<(AdvertiserId, f64)>) {
+        let mut net = MergeNetwork::new();
+        let mut level: Vec<usize> = bids
+            .iter()
+            .enumerate()
+            .map(|(i, &b)| net.leaf(AdvertiserId::from_index(i), Money::from_micros(b)))
+            .collect();
+        while level.len() > 1 {
+            let mut next = Vec::new();
+            for pair in level.chunks(2) {
+                next.push(if pair.len() == 2 {
+                    net.merge(pair[0], pair[1])
+                } else {
+                    pair[0]
+                });
+            }
+            level = next;
+        }
+        let root = level[0];
+        let mut c_order: Vec<(AdvertiserId, f64)> = factors
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| (AdvertiserId::from_index(i), c))
+            .collect();
+        c_order.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+        (net, root, c_order)
+    }
+
+    fn run(
+        bids: &[u64],
+        factors: &[f64],
+        k: usize,
+    ) -> (TaOutcome, Vec<(AdvertiserId, Score)>) {
+        let (mut net, root, c_order) = single_phrase(bids, factors);
+        let bids_v = bids.to_vec();
+        let factors_v = factors.to_vec();
+        let outcome = threshold_top_k(
+            &mut net,
+            root,
+            &c_order,
+            |a| Money::from_micros(bids_v[a.index()]),
+            |a| factors_v[a.index()],
+            k,
+        );
+        let interest: Vec<AdvertiserId> =
+            (0..bids.len()).map(AdvertiserId::from_index).collect();
+        let naive = naive_top_k(
+            &interest,
+            |a| Money::from_micros(bids_v[a.index()]),
+            |a| factors_v[a.index()],
+            k,
+        );
+        (outcome, naive)
+    }
+
+    #[test]
+    fn matches_naive_on_small_instance() {
+        let (outcome, naive) = run(&[100, 50, 80, 20], &[0.5, 1.5, 1.0, 2.0], 2);
+        assert_eq!(outcome.top_k, naive);
+    }
+
+    #[test]
+    fn early_termination_on_aligned_lists() {
+        // The same advertiser dominates both lists: TA stops almost
+        // immediately instead of scanning all 16.
+        let n = 16;
+        let bids: Vec<u64> = (0..n).map(|i| 1000 - (i as u64) * 50).collect();
+        let factors: Vec<f64> = (0..n).map(|i| 2.0 - i as f64 * 0.1).collect();
+        let (outcome, naive) = run(&bids, &factors, 2);
+        assert_eq!(outcome.top_k, naive);
+        assert!(outcome.stopped_early, "aligned lists must trigger early stop");
+        assert!(
+            outcome.stages < n,
+            "stages {} should be below n={n}",
+            outcome.stages
+        );
+    }
+
+    #[test]
+    fn anti_correlated_lists_need_deep_scans() {
+        // Bids ascending while factors descend: the winner by product sits
+        // in the middle; TA must dig deeper but stay correct.
+        let n = 12;
+        let bids: Vec<u64> = (0..n).map(|i| 10 + (i as u64) * 10).collect();
+        let factors: Vec<f64> = (0..n).map(|i| 1.2 - i as f64 * 0.1).collect();
+        let (outcome, naive) = run(&bids, &factors, 3);
+        assert_eq!(outcome.top_k, naive);
+    }
+
+    #[test]
+    fn k_zero_and_empty_phrase() {
+        let (mut net, root, c_order) = single_phrase(&[10, 20], &[1.0, 1.0]);
+        let out = threshold_top_k(
+            &mut net,
+            root,
+            &c_order,
+            |_| Money::from_units(1),
+            |_| 1.0,
+            0,
+        );
+        assert!(out.top_k.is_empty());
+        let out = threshold_top_k(
+            &mut net,
+            usize::MAX,
+            &[],
+            |_| Money::from_units(1),
+            |_| 1.0,
+            3,
+        );
+        assert!(out.top_k.is_empty());
+        assert_eq!(out.stages, 0);
+    }
+
+    #[test]
+    fn k_larger_than_interest() {
+        let (outcome, naive) = run(&[5, 9], &[1.0, 1.0], 10);
+        assert_eq!(outcome.top_k.len(), 2);
+        assert_eq!(outcome.top_k, naive);
+    }
+
+    proptest! {
+        /// TA always returns exactly the naive top-k (same order, same
+        /// scores) — the instance-optimality claim's correctness half.
+        #[test]
+        fn ta_matches_naive(
+            bids in proptest::collection::vec(0u64..1000, 1..24),
+            factors_raw in proptest::collection::vec(0u32..300, 24),
+            k in 1usize..6,
+        ) {
+            let factors: Vec<f64> = factors_raw[..bids.len()]
+                .iter()
+                .map(|&f| f as f64 / 100.0)
+                .collect();
+            let (outcome, naive) = run(&bids, &factors, k);
+            prop_assert_eq!(outcome.top_k, naive);
+        }
+    }
+}

@@ -1,0 +1,367 @@
+//! A compact fixed-capacity bit set.
+//!
+//! Element sets in this workspace — advertiser interest sets `I_q`,
+//! expression variable sets (Lemma 1 canonical forms), fragment signatures
+//! — are dense subsets of a small universe `[n]`. A `Vec<u64>`-backed bit
+//! set gives O(n/64) unions/intersections, which is what makes the plan
+//! search and the greedy covering inner loops fast.
+
+use std::fmt;
+use std::hash::{Hash, Hasher};
+
+const BITS: usize = 64;
+
+/// A set of `usize` elements drawn from a fixed universe `0..capacity`.
+///
+/// All binary operations require equal capacities; this is asserted in
+/// debug builds and is an API contract (a set is meaningless outside its
+/// universe).
+#[derive(Clone, PartialEq, Eq)]
+pub struct BitSet {
+    blocks: Box<[u64]>,
+    capacity: usize,
+}
+
+impl BitSet {
+    /// An empty set over the universe `0..capacity`.
+    pub fn new(capacity: usize) -> Self {
+        BitSet {
+            blocks: vec![0u64; capacity.div_ceil(BITS)].into_boxed_slice(),
+            capacity,
+        }
+    }
+
+    /// The full set `{0, …, capacity-1}`.
+    pub fn full(capacity: usize) -> Self {
+        let mut s = BitSet::new(capacity);
+        for i in 0..capacity {
+            s.insert(i);
+        }
+        s
+    }
+
+    /// Builds a set from element indices.
+    ///
+    /// # Panics
+    /// Panics if an element is `>= capacity`.
+    pub fn from_elements<I: IntoIterator<Item = usize>>(capacity: usize, elements: I) -> Self {
+        let mut s = BitSet::new(capacity);
+        for e in elements {
+            s.insert(e);
+        }
+        s
+    }
+
+    /// A singleton set.
+    pub fn singleton(capacity: usize, element: usize) -> Self {
+        BitSet::from_elements(capacity, [element])
+    }
+
+    /// The universe size this set lives in.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Inserts an element. Returns true if it was newly inserted.
+    ///
+    /// # Panics
+    /// Panics if `element >= capacity`.
+    #[inline]
+    pub fn insert(&mut self, element: usize) -> bool {
+        assert!(element < self.capacity, "element {element} out of universe");
+        let block = &mut self.blocks[element / BITS];
+        let mask = 1u64 << (element % BITS);
+        let fresh = *block & mask == 0;
+        *block |= mask;
+        fresh
+    }
+
+    /// Removes an element. Returns true if it was present.
+    #[inline]
+    pub fn remove(&mut self, element: usize) -> bool {
+        assert!(element < self.capacity, "element {element} out of universe");
+        let block = &mut self.blocks[element / BITS];
+        let mask = 1u64 << (element % BITS);
+        let present = *block & mask != 0;
+        *block &= !mask;
+        present
+    }
+
+    /// Membership test.
+    #[inline]
+    pub fn contains(&self, element: usize) -> bool {
+        element < self.capacity && self.blocks[element / BITS] & (1u64 << (element % BITS)) != 0
+    }
+
+    /// Number of elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.blocks.iter().map(|b| b.count_ones() as usize).sum()
+    }
+
+    /// True iff the set has no elements.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.blocks.iter().all(|&b| b == 0)
+    }
+
+    fn check_compatible(&self, other: &BitSet) {
+        debug_assert_eq!(
+            self.capacity, other.capacity,
+            "bit sets over different universes"
+        );
+    }
+
+    /// In-place union.
+    pub fn union_with(&mut self, other: &BitSet) {
+        self.check_compatible(other);
+        for (a, b) in self.blocks.iter_mut().zip(other.blocks.iter()) {
+            *a |= b;
+        }
+    }
+
+    /// New set: `self ∪ other`.
+    pub fn union(&self, other: &BitSet) -> BitSet {
+        let mut out = self.clone();
+        out.union_with(other);
+        out
+    }
+
+    /// In-place intersection.
+    pub fn intersect_with(&mut self, other: &BitSet) {
+        self.check_compatible(other);
+        for (a, b) in self.blocks.iter_mut().zip(other.blocks.iter()) {
+            *a &= b;
+        }
+    }
+
+    /// New set: `self ∩ other`.
+    pub fn intersection(&self, other: &BitSet) -> BitSet {
+        let mut out = self.clone();
+        out.intersect_with(other);
+        out
+    }
+
+    /// In-place difference (`self \ other`).
+    pub fn difference_with(&mut self, other: &BitSet) {
+        self.check_compatible(other);
+        for (a, b) in self.blocks.iter_mut().zip(other.blocks.iter()) {
+            *a &= !b;
+        }
+    }
+
+    /// New set: `self \ other`.
+    pub fn difference(&self, other: &BitSet) -> BitSet {
+        let mut out = self.clone();
+        out.difference_with(other);
+        out
+    }
+
+    /// `|self ∩ other|` without allocating.
+    pub fn intersection_len(&self, other: &BitSet) -> usize {
+        self.check_compatible(other);
+        self.blocks
+            .iter()
+            .zip(other.blocks.iter())
+            .map(|(a, b)| (a & b).count_ones() as usize)
+            .sum()
+    }
+
+    /// `|self \ other|` without allocating.
+    pub fn difference_len(&self, other: &BitSet) -> usize {
+        self.check_compatible(other);
+        self.blocks
+            .iter()
+            .zip(other.blocks.iter())
+            .map(|(a, b)| (a & !b).count_ones() as usize)
+            .sum()
+    }
+
+    /// True iff the sets share no elements.
+    pub fn is_disjoint(&self, other: &BitSet) -> bool {
+        self.check_compatible(other);
+        self.blocks
+            .iter()
+            .zip(other.blocks.iter())
+            .all(|(a, b)| a & b == 0)
+    }
+
+    /// True iff `self ⊆ other`.
+    pub fn is_subset(&self, other: &BitSet) -> bool {
+        self.check_compatible(other);
+        self.blocks
+            .iter()
+            .zip(other.blocks.iter())
+            .all(|(a, b)| a & !b == 0)
+    }
+
+    /// Iterates over elements in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.blocks.iter().enumerate().flat_map(|(i, &block)| {
+            BlockBits {
+                block,
+                base: i * BITS,
+            }
+        })
+    }
+
+    /// The smallest element, if any.
+    pub fn first(&self) -> Option<usize> {
+        for (i, &block) in self.blocks.iter().enumerate() {
+            if block != 0 {
+                return Some(i * BITS + block.trailing_zeros() as usize);
+            }
+        }
+        None
+    }
+
+    /// Removes all elements.
+    pub fn clear(&mut self) {
+        for b in self.blocks.iter_mut() {
+            *b = 0;
+        }
+    }
+}
+
+struct BlockBits {
+    block: u64,
+    base: usize,
+}
+
+impl Iterator for BlockBits {
+    type Item = usize;
+
+    #[inline]
+    fn next(&mut self) -> Option<usize> {
+        if self.block == 0 {
+            None
+        } else {
+            let tz = self.block.trailing_zeros() as usize;
+            self.block &= self.block - 1;
+            Some(self.base + tz)
+        }
+    }
+}
+
+impl Hash for BitSet {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        // Capacity is deliberately excluded: two sets with the same
+        // elements hash alike regardless of universe padding, which is
+        // irrelevant here because all comparisons are same-universe.
+        self.blocks.hash(state);
+    }
+}
+
+impl fmt::Debug for BitSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
+    }
+}
+
+impl FromIterator<usize> for BitSet {
+    /// Collects into a set whose capacity is `max element + 1`.
+    fn from_iter<I: IntoIterator<Item = usize>>(iter: I) -> Self {
+        let elements: Vec<usize> = iter.into_iter().collect();
+        let capacity = elements.iter().max().map_or(0, |&m| m + 1);
+        BitSet::from_elements(capacity, elements)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn insert_contains_remove() {
+        let mut s = BitSet::new(130);
+        assert!(s.insert(0));
+        assert!(s.insert(64));
+        assert!(s.insert(129));
+        assert!(!s.insert(64), "double insert reports false");
+        assert!(s.contains(0) && s.contains(64) && s.contains(129));
+        assert!(!s.contains(1));
+        assert_eq!(s.len(), 3);
+        assert!(s.remove(64));
+        assert!(!s.remove(64));
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn iter_ascending() {
+        let s = BitSet::from_elements(200, [150, 3, 64, 63, 65]);
+        let v: Vec<usize> = s.iter().collect();
+        assert_eq!(v, vec![3, 63, 64, 65, 150]);
+        assert_eq!(s.first(), Some(3));
+        assert_eq!(BitSet::new(10).first(), None);
+    }
+
+    #[test]
+    fn set_algebra() {
+        let a = BitSet::from_elements(100, [1, 2, 3, 70]);
+        let b = BitSet::from_elements(100, [2, 3, 4]);
+        assert_eq!(a.union(&b), BitSet::from_elements(100, [1, 2, 3, 4, 70]));
+        assert_eq!(a.intersection(&b), BitSet::from_elements(100, [2, 3]));
+        assert_eq!(a.difference(&b), BitSet::from_elements(100, [1, 70]));
+        assert_eq!(a.intersection_len(&b), 2);
+        assert_eq!(a.difference_len(&b), 2);
+        assert!(!a.is_disjoint(&b));
+        assert!(a.is_disjoint(&BitSet::from_elements(100, [5, 99])));
+        assert!(BitSet::from_elements(100, [2, 3]).is_subset(&a));
+        assert!(!a.is_subset(&b));
+        assert!(BitSet::new(100).is_subset(&a), "empty set is subset of all");
+    }
+
+    #[test]
+    fn full_and_clear() {
+        let mut s = BitSet::full(70);
+        assert_eq!(s.len(), 70);
+        assert!(s.contains(69));
+        s.clear();
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of universe")]
+    fn insert_out_of_range_panics() {
+        BitSet::new(10).insert(10);
+    }
+
+    #[test]
+    fn from_iterator_sizes_universe() {
+        let s: BitSet = [5usize, 2, 9].into_iter().collect();
+        assert_eq!(s.capacity(), 10);
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn contains_is_false_beyond_capacity() {
+        let s = BitSet::new(10);
+        assert!(!s.contains(1000));
+    }
+
+    proptest! {
+        /// Differential test against BTreeSet for all the set algebra.
+        #[test]
+        fn matches_btreeset(
+            xs in proptest::collection::btree_set(0usize..128, 0..40),
+            ys in proptest::collection::btree_set(0usize..128, 0..40),
+        ) {
+            let a = BitSet::from_elements(128, xs.iter().copied());
+            let b = BitSet::from_elements(128, ys.iter().copied());
+            let union: BTreeSet<usize> = xs.union(&ys).copied().collect();
+            let inter: BTreeSet<usize> = xs.intersection(&ys).copied().collect();
+            let diff: BTreeSet<usize> = xs.difference(&ys).copied().collect();
+            prop_assert_eq!(a.union(&b).iter().collect::<BTreeSet<_>>(), union);
+            prop_assert_eq!(a.intersection(&b).iter().collect::<BTreeSet<_>>(), inter.clone());
+            prop_assert_eq!(a.difference(&b).iter().collect::<BTreeSet<_>>(), diff.clone());
+            prop_assert_eq!(a.intersection_len(&b), inter.len());
+            prop_assert_eq!(a.difference_len(&b), diff.len());
+            prop_assert_eq!(a.is_subset(&b), xs.is_subset(&ys));
+            prop_assert_eq!(a.is_disjoint(&b), xs.is_disjoint(&ys));
+            prop_assert_eq!(a.len(), xs.len());
+        }
+    }
+}

@@ -1,0 +1,130 @@
+//! Set cover problem instances.
+
+use crate::bitset::BitSet;
+
+/// A set cover instance: a universe `0..universe_size` and a collection of
+/// candidate subsets.
+#[derive(Debug, Clone)]
+pub struct SetCoverInstance {
+    universe_size: usize,
+    sets: Vec<BitSet>,
+}
+
+impl SetCoverInstance {
+    /// Builds an instance.
+    ///
+    /// # Panics
+    /// Panics if any candidate set's capacity differs from
+    /// `universe_size`.
+    pub fn new(universe_size: usize, sets: Vec<BitSet>) -> Self {
+        for (i, s) in sets.iter().enumerate() {
+            assert_eq!(
+                s.capacity(),
+                universe_size,
+                "candidate set {i} has a different universe"
+            );
+        }
+        SetCoverInstance {
+            universe_size,
+            sets,
+        }
+    }
+
+    /// Universe size `|U|`.
+    #[inline]
+    pub fn universe_size(&self) -> usize {
+        self.universe_size
+    }
+
+    /// The full universe as a set.
+    pub fn universe(&self) -> BitSet {
+        BitSet::full(self.universe_size)
+    }
+
+    /// The candidate sets.
+    #[inline]
+    pub fn sets(&self) -> &[BitSet] {
+        &self.sets
+    }
+
+    /// True iff the union of all candidates is the whole universe (the
+    /// set-cover problem's standing assumption `∪ S = U`).
+    pub fn is_coverable(&self) -> bool {
+        let mut acc = BitSet::new(self.universe_size);
+        for s in &self.sets {
+            acc.union_with(s);
+        }
+        acc.len() == self.universe_size
+    }
+
+    /// The classic family on which greedy set cover is `Θ(log n)` worse
+    /// than optimal: universe of size `2^(t+1) - 2`, two disjoint "rows"
+    /// that cover it with 2 sets, plus column sets of sizes
+    /// `2^t, 2^(t-1), …, 1` duplicated across the rows that greedy
+    /// prefers. Used by the inapproximability experiments (Theorem 3).
+    pub fn greedy_adversarial(t: u32) -> Self {
+        let half = (1usize << t) - 1; // 2^t - 1 elements per row
+        let n = 2 * half;
+        let row0 = BitSet::from_elements(n, 0..half);
+        let row1 = BitSet::from_elements(n, half..n);
+        let mut sets = vec![row0, row1];
+        // Column blocks: sizes 2^(t-1), 2^(t-2), ..., 1, each spanning both
+        // rows (size doubled), laid out left to right.
+        let mut offset = 0usize;
+        let mut width = 1usize << (t - 1);
+        while width >= 1 {
+            let block: Vec<usize> = (offset..offset + width)
+                .chain(half + offset..half + offset + width)
+                .collect();
+            sets.push(BitSet::from_elements(n, block));
+            offset += width;
+            if width == 1 {
+                break;
+            }
+            width /= 2;
+        }
+        SetCoverInstance::new(n, sets)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coverable_detects_gaps() {
+        let inst = SetCoverInstance::new(
+            4,
+            vec![
+                BitSet::from_elements(4, [0, 1]),
+                BitSet::from_elements(4, [2]),
+            ],
+        );
+        assert!(!inst.is_coverable());
+        let inst = SetCoverInstance::new(
+            4,
+            vec![
+                BitSet::from_elements(4, [0, 1]),
+                BitSet::from_elements(4, [2, 3]),
+            ],
+        );
+        assert!(inst.is_coverable());
+    }
+
+    #[test]
+    fn adversarial_instance_shape() {
+        let inst = SetCoverInstance::greedy_adversarial(3);
+        assert_eq!(inst.universe_size(), 14); // 2 * (2^3 - 1)
+        assert!(inst.is_coverable());
+        // Two rows + columns of width 4, 2, 1.
+        assert_eq!(inst.sets().len(), 5);
+        // The two rows alone cover the universe.
+        assert_eq!(inst.sets()[0].union(&inst.sets()[1]).len(), 14);
+    }
+
+    #[test]
+    #[should_panic(expected = "different universe")]
+    fn rejects_mismatched_universe() {
+        SetCoverInstance::new(4, vec![BitSet::new(5)]);
+    }
+}

@@ -1,0 +1,419 @@
+//! The random variable `S_l = Σ X_j` of outstanding-ad debts.
+//!
+//! Each term `X_j` is `π_j` (an integer amount in money micro-units) with
+//! probability `ctr_j`, else `0`, independently across `j`. The exact
+//! distribution is computed by convolution, optionally *capped* at a
+//! budget `β`: values at or above the cap are collapsed into a single
+//! atom, which is lossless for every quantity Section IV needs (they all
+//! factor through `min(β, S_l)`) and bounds the support size by `β`,
+//! realizing the paper's `O(min(2^l, β))` exact-computation cost.
+
+
+/// One outstanding ad's payment variable: worth `price` with probability
+/// `probability`, else zero.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Term {
+    /// The price `π_j` set at auction time, in money micro-units.
+    pub price: u64,
+    /// The probability `ctr_j` that the ad still gets clicked.
+    pub probability: f64,
+}
+
+impl Term {
+    /// Creates a term; the probability is clamped into `[0, 1]`.
+    pub fn new(price: u64, probability: f64) -> Self {
+        let p = if probability.is_nan() {
+            0.0
+        } else {
+            probability.clamp(0.0, 1.0)
+        };
+        Term {
+            price,
+            probability: p,
+        }
+    }
+}
+
+/// The sum of independent scaled Bernoulli terms.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct BernoulliSum {
+    terms: Vec<Term>,
+}
+
+impl BernoulliSum {
+    /// Creates the sum from its terms.
+    pub fn new(terms: Vec<Term>) -> Self {
+        BernoulliSum { terms }
+    }
+
+    /// The empty sum (identically zero).
+    pub fn empty() -> Self {
+        BernoulliSum { terms: Vec::new() }
+    }
+
+    /// The terms.
+    #[inline]
+    pub fn terms(&self) -> &[Term] {
+        &self.terms
+    }
+
+    /// Number of outstanding ads `l`.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// True iff there are no outstanding ads.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// The mean `μ_l = Σ ctr_j · π_j`.
+    pub fn mean(&self) -> f64 {
+        self.terms
+            .iter()
+            .map(|t| t.probability * t.price as f64)
+            .sum()
+    }
+
+    /// The variance `Σ ctr_j (1 − ctr_j) π_j²`.
+    pub fn variance(&self) -> f64 {
+        self.terms
+            .iter()
+            .map(|t| t.probability * (1.0 - t.probability) * (t.price as f64).powi(2))
+            .sum()
+    }
+
+    /// The maximum possible value `ω_l = Σ π_j`.
+    pub fn max_value(&self) -> u64 {
+        self.terms.iter().map(|t| t.price).sum()
+    }
+
+    /// `Σ π_j²` — the Hoeffding denominator.
+    pub fn sum_sq(&self) -> f64 {
+        self.terms.iter().map(|t| (t.price as f64).powi(2)).sum()
+    }
+
+    /// Exact distribution by convolution. Support may be up to `2^l`
+    /// atoms; use [`BernoulliSum::distribution_capped`] when a budget cap
+    /// is available.
+    pub fn distribution(&self) -> Distribution {
+        self.distribution_inner(None)
+    }
+
+    /// Exact distribution of `min(cap, S_l)`: all mass at or above `cap`
+    /// collapses into the single atom `cap`, bounding the support by
+    /// `cap + 1` distinct values.
+    pub fn distribution_capped(&self, cap: u64) -> Distribution {
+        self.distribution_inner(Some(cap))
+    }
+
+    fn distribution_inner(&self, cap: Option<u64>) -> Distribution {
+        let clip = |v: u64| cap.map_or(v, |c| v.min(c));
+        // Sorted-vec convolution: per term, merge the "no click" copy with
+        // the shifted-and-clipped "click" copy. Both inputs are sorted, so
+        // this is a linear two-pointer merge — much cheaper than a tree
+        // per step, and the support stays bounded by the cap when prices
+        // share a billing grain.
+        let mut pmf: Vec<(u64, f64)> = vec![(0, 1.0)];
+        let mut shifted: Vec<(u64, f64)> = Vec::new();
+        for t in &self.terms {
+            if t.probability == 0.0 || t.price == 0 {
+                // A zero-probability or zero-price term never changes the
+                // distribution of the (possibly capped) sum.
+                continue;
+            }
+            shifted.clear();
+            shifted.reserve(pmf.len());
+            for &(v, p) in &pmf {
+                let s = clip(v.saturating_add(t.price));
+                match shifted.last_mut() {
+                    // Clipping can collapse the tail into one atom.
+                    Some(last) if last.0 == s => last.1 += p * t.probability,
+                    _ => shifted.push((s, p * t.probability)),
+                }
+            }
+            if t.probability >= 1.0 {
+                std::mem::swap(&mut pmf, &mut shifted);
+                continue;
+            }
+            let q = 1.0 - t.probability;
+            let mut next = Vec::with_capacity(pmf.len() + shifted.len());
+            let (mut i, mut j) = (0usize, 0usize);
+            while i < pmf.len() || j < shifted.len() {
+                match (pmf.get(i), shifted.get(j)) {
+                    (Some(&(va, pa)), Some(&(vb, pb))) => {
+                        if va < vb {
+                            next.push((va, pa * q));
+                            i += 1;
+                        } else if vb < va {
+                            next.push((vb, pb));
+                            j += 1;
+                        } else {
+                            next.push((va, pa * q + pb));
+                            i += 1;
+                            j += 1;
+                        }
+                    }
+                    (Some(&(va, pa)), None) => {
+                        next.push((va, pa * q));
+                        i += 1;
+                    }
+                    (None, Some(&(vb, pb))) => {
+                        next.push((vb, pb));
+                        j += 1;
+                    }
+                    (None, None) => unreachable!(),
+                }
+            }
+            pmf = next;
+        }
+        Distribution { support: pmf }
+    }
+
+    /// Draws one sample of `S_l` (testing / simulation helper). The `unit`
+    /// values must be i.i.d. uniform in `[0, 1)`, one per term.
+    pub fn sample_with(&self, unit: &[f64]) -> u64 {
+        assert_eq!(unit.len(), self.terms.len(), "one uniform draw per term");
+        self.terms
+            .iter()
+            .zip(unit)
+            .map(|(t, &u)| if u < t.probability { t.price } else { 0 })
+            .sum()
+    }
+}
+
+/// A finite discrete distribution over money micro-unit values, sorted by
+/// value; probabilities sum to 1 (up to floating-point error).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Distribution {
+    support: Vec<(u64, f64)>,
+}
+
+impl Distribution {
+    /// The point mass at zero.
+    pub fn zero() -> Self {
+        Distribution {
+            support: vec![(0, 1.0)],
+        }
+    }
+
+    /// The (value, probability) atoms in ascending value order.
+    #[inline]
+    pub fn support(&self) -> &[(u64, f64)] {
+        &self.support
+    }
+
+    /// `Pr(S < x)`.
+    pub fn pr_less(&self, x: f64) -> f64 {
+        self.support
+            .iter()
+            .take_while(|&&(v, _)| (v as f64) < x)
+            .map(|&(_, p)| p)
+            .sum()
+    }
+
+    /// `Pr(x ≤ S < y)`.
+    pub fn pr_range(&self, x: f64, y: f64) -> f64 {
+        if y <= x {
+            return 0.0;
+        }
+        self.support
+            .iter()
+            .filter(|&&(v, _)| (v as f64) >= x && (v as f64) < y)
+            .map(|&(_, p)| p)
+            .sum()
+    }
+
+    /// `E[S]`.
+    pub fn expectation(&self) -> f64 {
+        self.support.iter().map(|&(v, p)| v as f64 * p).sum()
+    }
+
+    /// `E[S · 1{x ≤ S < y}]` — the truncated first moment the throttled
+    /// bid formula needs.
+    pub fn expectation_indicator(&self, x: f64, y: f64) -> f64 {
+        if y <= x {
+            return 0.0;
+        }
+        self.support
+            .iter()
+            .filter(|&&(v, _)| (v as f64) >= x && (v as f64) < y)
+            .map(|&(v, p)| v as f64 * p)
+            .sum()
+    }
+
+    /// `E[min(c, S)]`.
+    pub fn expectation_min_with(&self, c: u64) -> f64 {
+        self.support
+            .iter()
+            .map(|&(v, p)| v.min(c) as f64 * p)
+            .sum()
+    }
+
+    /// `E[f(S)]` for an arbitrary function of the (possibly capped) value.
+    pub fn expectation_of<F: Fn(u64) -> f64>(&self, f: F) -> f64 {
+        self.support.iter().map(|&(v, p)| f(v) * p).sum()
+    }
+
+    /// Total probability mass (≈ 1; exposed for validation).
+    pub fn total_mass(&self) -> f64 {
+        self.support.iter().map(|&(_, p)| p).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn sum(terms: &[(u64, f64)]) -> BernoulliSum {
+        BernoulliSum::new(terms.iter().map(|&(v, p)| Term::new(v, p)).collect())
+    }
+
+    #[test]
+    fn empty_sum_is_zero() {
+        let s = BernoulliSum::empty();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.max_value(), 0);
+        let d = s.distribution();
+        assert_eq!(d.support(), &[(0, 1.0)]);
+        assert_eq!(d.pr_less(0.5), 1.0);
+        assert_eq!(d.pr_less(0.0), 0.0);
+    }
+
+    #[test]
+    fn single_term_distribution() {
+        let d = sum(&[(10, 0.3)]).distribution();
+        assert_eq!(d.support().len(), 2);
+        assert!((d.pr_less(10.0) - 0.7).abs() < 1e-12);
+        assert!((d.expectation() - 3.0).abs() < 1e-12);
+        assert!((d.expectation_min_with(5) - 0.3 * 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn two_term_distribution_enumerates_outcomes() {
+        let d = sum(&[(10, 0.5), (20, 0.25)]).distribution();
+        // Outcomes: 0 (0.375), 10 (0.375), 20 (0.125), 30 (0.125)
+        let expected = [
+            (0u64, 0.375),
+            (10, 0.375),
+            (20, 0.125),
+            (30, 0.125),
+        ];
+        for ((v, p), (ev, ep)) in d.support().iter().zip(expected.iter()) {
+            assert_eq!(v, ev);
+            assert!((p - ep).abs() < 1e-12);
+        }
+        assert!((d.total_mass() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn capped_distribution_collapses_tail() {
+        let d = sum(&[(10, 0.5), (20, 0.25)]).distribution_capped(15);
+        // Values 20 and 30 collapse into 15: mass 0.25.
+        assert_eq!(d.support().len(), 3);
+        assert_eq!(d.support()[2].0, 15);
+        assert!((d.support()[2].1 - 0.25).abs() < 1e-12);
+        // E[min(15, S)] must agree with the uncapped computation.
+        let full = sum(&[(10, 0.5), (20, 0.25)]).distribution();
+        assert!((d.expectation_min_with(15) - full.expectation_min_with(15)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_terms_are_skipped() {
+        let d = sum(&[(0, 0.9), (10, 0.0), (5, 1.0)]).distribution();
+        assert_eq!(d.support(), &[(5, 1.0)]);
+    }
+
+    #[test]
+    fn moments_match_formulas() {
+        let s = sum(&[(10, 0.3), (7, 0.8), (2, 0.5)]);
+        assert!((s.mean() - (3.0 + 5.6 + 1.0)).abs() < 1e-12);
+        let var = 0.3 * 0.7 * 100.0 + 0.8 * 0.2 * 49.0 + 0.5 * 0.5 * 4.0;
+        assert!((s.variance() - var).abs() < 1e-12);
+        assert_eq!(s.max_value(), 19);
+        assert!((s.sum_sq() - (100.0 + 49.0 + 4.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn indicator_expectation() {
+        let d = sum(&[(10, 0.5), (20, 0.25)]).distribution();
+        // E[S · 1{10 ≤ S < 30}] = 10·0.375 + 20·0.125 = 6.25
+        assert!((d.expectation_indicator(10.0, 30.0) - 6.25).abs() < 1e-12);
+        assert_eq!(d.expectation_indicator(10.0, 10.0), 0.0);
+        assert_eq!(d.expectation_indicator(30.0, 10.0), 0.0);
+    }
+
+    #[test]
+    fn monte_carlo_agrees_with_exact() {
+        let s = sum(&[(10, 0.3), (25, 0.6), (5, 0.9), (40, 0.1)]);
+        let d = s.distribution();
+        let mut rng = StdRng::seed_from_u64(42);
+        let trials = 200_000;
+        let mut acc = 0.0;
+        let mut below_20 = 0usize;
+        for _ in 0..trials {
+            let u: Vec<f64> = (0..s.len()).map(|_| rng.random::<f64>()).collect();
+            let v = s.sample_with(&u);
+            acc += v as f64;
+            if (v as f64) < 20.0 {
+                below_20 += 1;
+            }
+        }
+        let mc_mean = acc / trials as f64;
+        assert!((mc_mean - d.expectation()).abs() < 0.2, "mean off: {mc_mean}");
+        let mc_p = below_20 as f64 / trials as f64;
+        assert!((mc_p - d.pr_less(20.0)).abs() < 0.01, "cdf off: {mc_p}");
+    }
+
+    proptest! {
+        /// The distribution's mean and variance match the closed forms,
+        /// and total mass is 1.
+        #[test]
+        fn distribution_consistency(
+            prices in proptest::collection::vec(0u64..50, 0..8),
+            probs in proptest::collection::vec(0.0f64..=1.0, 8),
+        ) {
+            let terms: Vec<(u64, f64)> = prices
+                .iter()
+                .zip(&probs)
+                .map(|(&v, &p)| (v, p))
+                .collect();
+            let s = sum(&terms);
+            let d = s.distribution();
+            prop_assert!((d.total_mass() - 1.0).abs() < 1e-9);
+            prop_assert!((d.expectation() - s.mean()).abs() < 1e-6);
+            let second: f64 = d.support().iter().map(|&(v, p)| (v as f64).powi(2) * p).sum();
+            let var = second - d.expectation().powi(2);
+            prop_assert!((var - s.variance()).abs() < 1e-6);
+        }
+
+        /// Capping never changes `Pr(S < x)` for x below the cap, nor
+        /// `E[min(c, S)]` for c at or below the cap.
+        #[test]
+        fn capping_is_lossless_below_cap(
+            prices in proptest::collection::vec(1u64..30, 1..7),
+            probs in proptest::collection::vec(0.05f64..=0.95, 7),
+            cap in 1u64..40,
+        ) {
+            let terms: Vec<(u64, f64)> = prices
+                .iter()
+                .zip(&probs)
+                .map(|(&v, &p)| (v, p))
+                .collect();
+            let s = sum(&terms);
+            let full = s.distribution();
+            let capped = s.distribution_capped(cap);
+            for x in [0.5, cap as f64 * 0.5, cap as f64] {
+                prop_assert!((full.pr_less(x) - capped.pr_less(x)).abs() < 1e-9);
+            }
+            prop_assert!(
+                (full.expectation_min_with(cap) - capped.expectation_min_with(cap)).abs() < 1e-9
+            );
+        }
+    }
+}

@@ -1,0 +1,309 @@
+//! Hoeffding-style bounds for `Pr(S_l < x)`.
+//!
+//! Section IV-B of the paper derives upper and lower bounds for the CDF of
+//! the outstanding-debt sum from Hoeffding's inequality, using only the
+//! summary statistics `μ_l = E[S_l]`, `ω_l = Σ π_j` (the maximum value),
+//! and `Σ π_j²` (the Hoeffding denominator).
+//!
+//! ## Soundness fix
+//!
+//! The paper's displayed formulas clamp the mid-range branches with
+//! `max(0.5, …)` / `min(0.5, …)`. Those clamps assert that the median of
+//! `S_l` equals its mean, which is false for asymmetric Bernoulli sums
+//! (see the `paper_literal_clamp_is_unsound` test for a one-term
+//! counterexample). [`Clamp::Sound`] drops the clamps; the paper-literal
+//! behaviour remains available as [`Clamp::PaperLiteral`] for the
+//! reproduction experiments.
+
+use crate::bernoulli_sum::BernoulliSum;
+use crate::interval::Interval;
+
+/// Which variant of the mid-range clamp to apply.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Clamp {
+    /// Sound bounds: `max(0, 1 − e^…)` and `min(1, e^…)`.
+    #[default]
+    Sound,
+    /// The formulas exactly as printed in the paper, including the
+    /// (unsound) `0.5` clamps and the `ω ≤ x ⇒ Pr = 1` lower-bound case.
+    PaperLiteral,
+}
+
+/// Summary statistics of a (suffix of a) Bernoulli sum, sufficient for the
+/// Hoeffding bounds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SumStats {
+    /// Mean `μ`.
+    pub mean: f64,
+    /// Maximum possible value `ω`.
+    pub max_value: f64,
+    /// `Σ π_j²`.
+    pub sum_sq: f64,
+}
+
+impl SumStats {
+    /// Statistics of a full sum.
+    pub fn of(sum: &BernoulliSum) -> Self {
+        SumStats {
+            mean: sum.mean(),
+            max_value: sum.max_value() as f64,
+            sum_sq: sum.sum_sq(),
+        }
+    }
+
+    /// Statistics of the suffix `terms[from..]` — what remains unexpanded
+    /// during bound refinement.
+    pub fn of_suffix(sum: &BernoulliSum, from: usize) -> Self {
+        let terms = &sum.terms()[from.min(sum.len())..];
+        SumStats {
+            mean: terms.iter().map(|t| t.probability * t.price as f64).sum(),
+            max_value: terms.iter().map(|t| t.price as f64).sum(),
+            sum_sq: terms.iter().map(|t| (t.price as f64).powi(2)).sum(),
+        }
+    }
+}
+
+/// Bounds `Pr(S < x)` from the summary statistics alone.
+///
+/// Always sound for [`Clamp::Sound`]: the true probability lies in the
+/// returned interval for every distribution with these statistics.
+pub fn pr_less_bounds(stats: SumStats, x: f64, clamp: Clamp) -> Interval {
+    let SumStats {
+        mean,
+        max_value,
+        sum_sq,
+    } = stats;
+
+    // S ≥ 0 surely: Pr(S < x) = 0 for x ≤ 0.
+    if x <= 0.0 {
+        return Interval::ZERO;
+    }
+    // S ≤ ω surely: Pr(S < x) = 1 for x > ω. (The paper uses ω ≤ x for
+    // this case in the lower bound, which is wrong at equality when the
+    // sum has an atom at ω; we use the strict version for Sound.)
+    match clamp {
+        Clamp::Sound => {
+            if x > max_value {
+                return Interval::exact(1.0);
+            }
+        }
+        Clamp::PaperLiteral => {
+            if max_value <= x {
+                return Interval::exact(1.0);
+            }
+        }
+    }
+    if sum_sq <= 0.0 {
+        // All prices zero: S ≡ 0 < x (x > 0 here).
+        return Interval::exact(1.0);
+    }
+
+    let lower = if x >= mean {
+        let raw = 1.0 - (-2.0 * (x - mean).powi(2) / sum_sq).exp();
+        match clamp {
+            Clamp::Sound => raw.max(0.0),
+            Clamp::PaperLiteral => raw.max(0.5),
+        }
+    } else {
+        0.0
+    };
+    let upper = if x > mean {
+        1.0
+    } else {
+        let raw = (-2.0 * (mean - x).powi(2) / sum_sq).exp();
+        match clamp {
+            Clamp::Sound => raw.min(1.0),
+            Clamp::PaperLiteral => raw.min(0.5),
+        }
+    };
+    if lower <= upper {
+        Interval::new(lower, upper)
+    } else {
+        // Only reachable under PaperLiteral when its unsound clamps cross.
+        Interval::new(upper, lower)
+    }
+}
+
+/// Bounds `Pr(x ≤ S < y)` from CDF bounds at `x` and `y`, following the
+/// paper: lower = `max(0, min(1, Pr_lo(S<y) − Pr_hi(S<x)))`, upper =
+/// `max(0, min(1, Pr_hi(S<y) − Pr_lo(S<x)))`.
+pub fn pr_range_from_cdf(at_x: Interval, at_y: Interval) -> Interval {
+    let lo = (at_y.lo() - at_x.hi()).clamp(0.0, 1.0);
+    let hi = (at_y.hi() - at_x.lo()).clamp(0.0, 1.0);
+    Interval::new(lo.min(hi), hi)
+}
+
+/// Bounds `E[S · 1{x ≤ S < y}]` given bounds on `Pr(x ≤ S < y)` and the
+/// sum's maximum possible value `ω`: every value in the window lies in
+/// `[max(0,x), min(y, ω)]`, so the truncated moment lies in
+/// `[max(0,x) · Pr_lo, min(y, ω) · Pr_hi]`. The window is genuinely empty
+/// (moment exactly zero) when `y ≤ max(0,x)` or `ω < max(0,x)`.
+pub fn truncated_moment_from_range(
+    x: f64,
+    y: f64,
+    max_value: f64,
+    pr_range: Interval,
+) -> Interval {
+    let x_eff = x.max(0.0);
+    if y <= x_eff || max_value < x_eff {
+        return Interval::ZERO;
+    }
+    let lo = x_eff * pr_range.lo();
+    let hi = y.min(max_value) * pr_range.hi();
+    Interval::new(lo.min(hi), hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bernoulli_sum::Term;
+    use proptest::prelude::*;
+
+    fn sum(terms: &[(u64, f64)]) -> BernoulliSum {
+        BernoulliSum::new(terms.iter().map(|&(v, p)| Term::new(v, p)).collect())
+    }
+
+    #[test]
+    fn trivial_cases() {
+        let s = sum(&[(10, 0.5)]);
+        let st = SumStats::of(&s);
+        assert_eq!(pr_less_bounds(st, 0.0, Clamp::Sound), Interval::ZERO);
+        assert_eq!(pr_less_bounds(st, -3.0, Clamp::Sound), Interval::ZERO);
+        assert_eq!(
+            pr_less_bounds(st, 10.5, Clamp::Sound),
+            Interval::exact(1.0)
+        );
+    }
+
+    #[test]
+    fn all_zero_prices() {
+        let s = sum(&[(0, 0.5), (0, 0.9)]);
+        let st = SumStats::of(&s);
+        assert_eq!(pr_less_bounds(st, 0.5, Clamp::Sound), Interval::exact(1.0));
+        assert_eq!(pr_less_bounds(st, 0.0, Clamp::Sound), Interval::ZERO);
+    }
+
+    /// The paper's `ω ≤ x ⇒ 1` and 0.5 clamps are unsound: one ad with
+    /// ctr 0.9, price 1. At x = μ = 0.9, Pr(S < 0.9) = Pr(S=0) = 0.1, but
+    /// the paper-literal lower bound is max(0.5, 0) = 0.5 > 0.1.
+    #[test]
+    fn paper_literal_clamp_is_unsound() {
+        let s = sum(&[(1, 0.9)]);
+        let st = SumStats::of(&s);
+        let exact = s.distribution().pr_less(0.9);
+        assert!((exact - 0.1).abs() < 1e-12);
+        let literal = pr_less_bounds(st, 0.9, Clamp::PaperLiteral);
+        assert!(
+            literal.lo() > exact,
+            "paper-literal lower bound {} should exceed the true value {exact}",
+            literal.lo()
+        );
+        let sound = pr_less_bounds(st, 0.9, Clamp::Sound);
+        assert!(sound.contains(exact));
+    }
+
+    #[test]
+    fn suffix_stats() {
+        let s = sum(&[(10, 0.5), (4, 0.25)]);
+        let st = SumStats::of_suffix(&s, 1);
+        assert!((st.mean - 1.0).abs() < 1e-12);
+        assert!((st.max_value - 4.0).abs() < 1e-12);
+        assert!((st.sum_sq - 16.0).abs() < 1e-12);
+        let empty = SumStats::of_suffix(&s, 2);
+        assert_eq!(empty.mean, 0.0);
+        let clamped = SumStats::of_suffix(&s, 99);
+        assert_eq!(clamped.mean, 0.0);
+    }
+
+    #[test]
+    fn range_bounds_compose() {
+        let at_x = Interval::new(0.2, 0.4);
+        let at_y = Interval::new(0.7, 0.9);
+        let r = pr_range_from_cdf(at_x, at_y);
+        assert!((r.lo() - 0.3).abs() < 1e-12);
+        assert!((r.hi() - 0.7).abs() < 1e-12);
+        // Degenerate: y-bounds below x-bounds clamp to 0.
+        let r = pr_range_from_cdf(Interval::new(0.8, 0.9), Interval::new(0.1, 0.2));
+        assert_eq!(r.lo(), 0.0);
+        assert_eq!(r.hi(), 0.0);
+    }
+
+    #[test]
+    fn truncated_moment_bounds() {
+        let r = Interval::new(0.25, 0.5);
+        let m = truncated_moment_from_range(2.0, 4.0, 100.0, r);
+        assert!((m.lo() - 0.5).abs() < 1e-12);
+        assert!((m.hi() - 2.0).abs() < 1e-12);
+        // Negative x clamps to 0 on the lower side.
+        let m = truncated_moment_from_range(-3.0, 4.0, 100.0, r);
+        assert_eq!(m.lo(), 0.0);
+        assert_eq!(
+            truncated_moment_from_range(5.0, 4.0, 100.0, r),
+            Interval::ZERO
+        );
+        // ω below the window: moment is exactly zero.
+        assert_eq!(
+            truncated_moment_from_range(5.0, 9.0, 4.0, r),
+            Interval::ZERO
+        );
+        // Mass exactly at ω = x stays representable: window [20, 21) with
+        // ω = 20 must NOT collapse to zero.
+        let m = truncated_moment_from_range(20.0, 21.0, 20.0, Interval::new(0.0, 0.2));
+        assert!((m.hi() - 4.0).abs() < 1e-12);
+    }
+
+    proptest! {
+        /// Sound CDF bounds always contain the exact probability.
+        #[test]
+        fn sound_bounds_contain_truth(
+            prices in proptest::collection::vec(0u64..40, 1..8),
+            probs in proptest::collection::vec(0.0f64..=1.0, 8),
+            x_raw in 0u64..200,
+        ) {
+            let terms: Vec<(u64, f64)> = prices
+                .iter()
+                .zip(&probs)
+                .map(|(&v, &p)| (v, p))
+                .collect();
+            let s = sum(&terms);
+            let x = x_raw as f64 * 0.5;
+            let exact = s.distribution().pr_less(x);
+            let bounds = pr_less_bounds(SumStats::of(&s), x, Clamp::Sound);
+            prop_assert!(
+                bounds.lo() - 1e-9 <= exact && exact <= bounds.hi() + 1e-9,
+                "Pr(S<{x}) = {exact} outside [{}, {}]", bounds.lo(), bounds.hi()
+            );
+        }
+
+        /// Range and truncated-moment bounds contain the exact values.
+        #[test]
+        fn sound_range_bounds_contain_truth(
+            prices in proptest::collection::vec(1u64..30, 1..7),
+            probs in proptest::collection::vec(0.05f64..=0.95, 7),
+            x_raw in 0u64..60,
+            span in 1u64..60,
+        ) {
+            let terms: Vec<(u64, f64)> = prices
+                .iter()
+                .zip(&probs)
+                .map(|(&v, &p)| (v, p))
+                .collect();
+            let s = sum(&terms);
+            let x = x_raw as f64;
+            let y = x + span as f64;
+            let st = SumStats::of(&s);
+            let d = s.distribution();
+            let range = pr_range_from_cdf(
+                pr_less_bounds(st, x, Clamp::Sound),
+                pr_less_bounds(st, y, Clamp::Sound),
+            );
+            let exact_range = d.pr_range(x, y);
+            prop_assert!(range.lo() - 1e-9 <= exact_range && exact_range <= range.hi() + 1e-9);
+            let moment = truncated_moment_from_range(x, y, st.max_value, range);
+            let exact_moment = d.expectation_indicator(x, y);
+            prop_assert!(
+                moment.lo() - 1e-9 <= exact_moment && exact_moment <= moment.hi() + 1e-9
+            );
+        }
+    }
+}

@@ -1,0 +1,210 @@
+//! Closed-interval arithmetic.
+//!
+//! All bound computations in the budget-uncertainty machinery manipulate
+//! closed intervals `[lo, hi]` that are guaranteed to contain the true
+//! value. The operations here are the minimal monotone calculus the
+//! paper's Section IV-B derivations need: addition, scaling by a
+//! non-negative constant, subtraction (anti-monotone in the subtrahend),
+//! products with probability intervals, clamping, and intersection.
+
+/// A closed interval `[lo, hi]` with `lo ≤ hi`, both finite.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Interval {
+    lo: f64,
+    hi: f64,
+}
+
+impl Interval {
+    /// The degenerate interval `[v, v]`.
+    #[inline]
+    pub fn exact(v: f64) -> Self {
+        assert!(v.is_finite(), "interval endpoint must be finite");
+        Interval { lo: v, hi: v }
+    }
+
+    /// Constructs `[lo, hi]`.
+    ///
+    /// # Panics
+    /// Panics if `lo > hi` or either endpoint is non-finite.
+    #[inline]
+    pub fn new(lo: f64, hi: f64) -> Self {
+        assert!(lo.is_finite() && hi.is_finite(), "endpoints must be finite");
+        assert!(lo <= hi, "invalid interval [{lo}, {hi}]");
+        Interval { lo, hi }
+    }
+
+    /// The unit interval `[0, 1]` — the vacuous probability bound.
+    pub const UNIT: Interval = Interval { lo: 0.0, hi: 1.0 };
+    /// The zero interval.
+    pub const ZERO: Interval = Interval { lo: 0.0, hi: 0.0 };
+
+    /// Lower endpoint.
+    #[inline]
+    pub fn lo(self) -> f64 {
+        self.lo
+    }
+
+    /// Upper endpoint.
+    #[inline]
+    pub fn hi(self) -> f64 {
+        self.hi
+    }
+
+    /// Width `hi − lo`; the uncertainty remaining.
+    #[inline]
+    pub fn width(self) -> f64 {
+        self.hi - self.lo
+    }
+
+    /// True iff the interval is a single point.
+    #[inline]
+    pub fn is_exact(self) -> bool {
+        self.lo == self.hi
+    }
+
+    /// Midpoint (a best single guess).
+    #[inline]
+    pub fn midpoint(self) -> f64 {
+        0.5 * (self.lo + self.hi)
+    }
+
+    /// True iff `v` lies in the interval.
+    #[inline]
+    pub fn contains(self, v: f64) -> bool {
+        self.lo <= v && v <= self.hi
+    }
+
+    /// Interval sum.
+    ///
+    /// Named methods rather than `std::ops` impls on purpose: interval
+    /// arithmetic is *conservative* (`sub` widens), and spelling the
+    /// calls out keeps that visible at use sites.
+    #[inline]
+    #[allow(clippy::should_implement_trait)]
+    pub fn add(self, rhs: Interval) -> Interval {
+        Interval::new(self.lo + rhs.lo, self.hi + rhs.hi)
+    }
+
+    /// Interval difference `self − rhs` (anti-monotone in `rhs`).
+    #[inline]
+    #[allow(clippy::should_implement_trait)]
+    pub fn sub(self, rhs: Interval) -> Interval {
+        Interval::new(self.lo - rhs.hi, self.hi - rhs.lo)
+    }
+
+    /// Scale by a non-negative constant.
+    ///
+    /// # Panics
+    /// Panics if `c < 0` (the calculus here never needs sign flips).
+    #[inline]
+    pub fn scale(self, c: f64) -> Interval {
+        assert!(c >= 0.0 && c.is_finite(), "scale must be non-negative");
+        Interval::new(self.lo * c, self.hi * c)
+    }
+
+    /// Product of two non-negative intervals (e.g. value × probability).
+    ///
+    /// # Panics
+    /// Panics if either interval extends below zero.
+    #[inline]
+    pub fn mul_nonneg(self, rhs: Interval) -> Interval {
+        assert!(
+            self.lo >= 0.0 && rhs.lo >= 0.0,
+            "mul_nonneg requires non-negative intervals"
+        );
+        Interval::new(self.lo * rhs.lo, self.hi * rhs.hi)
+    }
+
+    /// Clamps both endpoints into `[min, max]`.
+    #[inline]
+    pub fn clamp(self, min: f64, max: f64) -> Interval {
+        Interval::new(self.lo.clamp(min, max), self.hi.clamp(min, max))
+    }
+
+    /// Intersection of two intervals known to bound the same value; the
+    /// result is the tighter combination. Returns the degenerate
+    /// best-guess interval if they are disjoint due to floating-point
+    /// slop.
+    pub fn intersect(self, rhs: Interval) -> Interval {
+        let lo = self.lo.max(rhs.lo);
+        let hi = self.hi.min(rhs.hi);
+        if lo <= hi {
+            Interval { lo, hi }
+        } else {
+            // Disjoint bounds on the same quantity can only be numeric
+            // noise; collapse to the midpoint of the overlap gap.
+            let m = 0.5 * (lo + hi);
+            Interval { lo: m, hi: m }
+        }
+    }
+
+    /// True iff every point of `self` is strictly below every point of
+    /// `rhs` — the comparison test the top-k tournament uses.
+    #[inline]
+    pub fn strictly_below(self, rhs: Interval) -> bool {
+        self.hi < rhs.lo
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_enforce_invariants() {
+        let i = Interval::new(1.0, 2.0);
+        assert_eq!(i.lo(), 1.0);
+        assert_eq!(i.hi(), 2.0);
+        assert_eq!(i.width(), 1.0);
+        assert!(Interval::exact(3.0).is_exact());
+        assert_eq!(Interval::exact(3.0).midpoint(), 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid interval")]
+    fn rejects_inverted() {
+        Interval::new(2.0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn rejects_nan() {
+        Interval::new(f64::NAN, 1.0);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Interval::new(1.0, 2.0);
+        let b = Interval::new(0.5, 1.0);
+        assert_eq!(a.add(b), Interval::new(1.5, 3.0));
+        assert_eq!(a.sub(b), Interval::new(0.0, 1.5));
+        assert_eq!(a.scale(2.0), Interval::new(2.0, 4.0));
+        assert_eq!(a.mul_nonneg(b), Interval::new(0.5, 2.0));
+        assert_eq!(a.clamp(1.5, 1.8), Interval::new(1.5, 1.8));
+    }
+
+    #[test]
+    fn sub_is_conservative() {
+        // x ∈ [1,2], y ∈ [0.5,1] → x−y ∈ [0, 1.5]; check endpoints hit.
+        let d = Interval::new(1.0, 2.0).sub(Interval::new(0.5, 1.0));
+        assert!(d.contains(2.0 - 0.5));
+        assert!(d.contains(1.0 - 1.0));
+    }
+
+    #[test]
+    fn intersect_tightens() {
+        let a = Interval::new(0.0, 2.0);
+        let b = Interval::new(1.0, 3.0);
+        assert_eq!(a.intersect(b), Interval::new(1.0, 2.0));
+        // Disjoint-by-noise collapses sanely.
+        let c = Interval::new(0.0, 1.0).intersect(Interval::new(1.0 + 1e-12, 2.0));
+        assert!(c.is_exact());
+    }
+
+    #[test]
+    fn comparisons() {
+        assert!(Interval::new(0.0, 1.0).strictly_below(Interval::new(1.5, 2.0)));
+        assert!(!Interval::new(0.0, 1.0).strictly_below(Interval::new(0.9, 2.0)));
+        assert!(Interval::UNIT.contains(0.5));
+    }
+}

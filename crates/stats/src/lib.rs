@@ -1,0 +1,45 @@
+#![warn(missing_docs)]
+
+//! Probability substrate for budget uncertainty (Section IV of the paper).
+//!
+//! An advertiser with `l` outstanding ads owes a random amount
+//! `S_l = Σ_{j=1}^{l} X_j`, where `X_j` is `π_j` (the price set for a click
+//! on outstanding ad `j`) with probability `ctr_j` and `0` otherwise, all
+//! independent. Winner determination needs to *compare* functions of these
+//! sums across advertisers without necessarily evaluating them exactly.
+//!
+//! This crate provides:
+//!
+//! * [`Interval`] — closed-interval arithmetic with a
+//!   `lo ≤ hi` invariant, the currency of all bound computations;
+//! * [`BernoulliSum`] — the random variable
+//!   `S_l`, with an exact capped-convolution distribution (the paper's
+//!   `O(min(2^l, β))` path) and a Monte-Carlo sampler for testing;
+//! * [`hoeffding`] — the paper's Hoeffding-style tail bounds for
+//!   `Pr(S_l < x)`;
+//! * [`refine`] — the paper's bound-tightening recursion that expands out
+//!   the largest-price terms one at a time, falling back to Hoeffding
+//!   bounds on the unexpanded remainder.
+//!
+//! ## Deviation from the paper
+//!
+//! The paper's displayed bounds clamp with `max(0.5, …)` (lower) and
+//! `min(0.5, …)` (upper). Those clamps are **unsound**: for a single
+//! outstanding ad with `ctr = 0.9`, `π = 1`, we have
+//! `Pr(S < μ) = Pr(S = 0) = 0.1 < 0.5`, violating the claimed lower bound
+//! of `0.5` at `x = μ`. (A median-vs-mean argument does not hold for these
+//! asymmetric sums.) We therefore implement the sound versions —
+//! `max(0, 1 − exp(…))` and `min(1, exp(…))` — by default, and keep the
+//! paper-literal clamps available as [`hoeffding::Clamp::PaperLiteral`]
+//! so the deviation is demonstrable; `hoeffding::tests` exhibits the
+//! counterexample.
+
+pub mod bernoulli_sum;
+pub mod hoeffding;
+pub mod interval;
+pub mod refine;
+
+pub use bernoulli_sum::{BernoulliSum, Distribution, Term};
+pub use hoeffding::Clamp;
+pub use interval::Interval;
+pub use refine::Refiner;

@@ -1,0 +1,267 @@
+//! Query arrival streams and round batching.
+//!
+//! The introduction sizes the opportunity: "there were over 300,000
+//! music-related searches per day …, giving an average of over 1
+//! music-related search every 1/3 seconds. If we batched auctions into
+//! rounds consisting of 2/3 second intervals (well within the limits of
+//! user tolerance studies), then we would expect to see 2 music-related
+//! auctions per round." And the tradeoff: "choosing a coarser granularity
+//! will lead to higher sharing … \[but\] will also increase the latency."
+//!
+//! This module provides a merged Poisson arrival stream over bid phrases
+//! and a fixed-window batcher that turns it into rounds, reporting the
+//! latency each query pays for being batched.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use ssa_auction::ids::PhraseId;
+
+/// One query arrival, already mapped to its bid phrase.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QueryArrival {
+    /// Arrival time in seconds from stream start.
+    pub time: f64,
+    /// The matched bid phrase.
+    pub phrase: PhraseId,
+}
+
+/// Generates a Poisson stream at `queries_per_second`, with each query's
+/// phrase drawn from the (normalized) `phrase_weights`. Deterministic per
+/// seed.
+///
+/// # Panics
+/// Panics if the rate is non-positive or the weights are empty/all-zero.
+pub fn poisson_stream(
+    phrase_weights: &[f64],
+    queries_per_second: f64,
+    duration_secs: f64,
+    seed: u64,
+) -> Vec<QueryArrival> {
+    assert!(
+        queries_per_second > 0.0 && queries_per_second.is_finite(),
+        "rate must be positive"
+    );
+    assert!(!phrase_weights.is_empty(), "need at least one phrase");
+    let total_weight: f64 = phrase_weights.iter().sum();
+    assert!(total_weight > 0.0, "weights must not all be zero");
+    let mut cumulative = Vec::with_capacity(phrase_weights.len());
+    let mut acc = 0.0;
+    for &w in phrase_weights {
+        assert!(w >= 0.0, "weights must be non-negative");
+        acc += w;
+        cumulative.push(acc);
+    }
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Vec::new();
+    let mut t = 0.0f64;
+    loop {
+        // Exponential inter-arrival via inverse CDF.
+        let u: f64 = 1.0 - rng.random::<f64>();
+        t += -u.ln() / queries_per_second;
+        if t >= duration_secs {
+            return out;
+        }
+        let pick = rng.random::<f64>() * total_weight;
+        let q = cumulative.partition_point(|&c| c <= pick);
+        out.push(QueryArrival {
+            time: t,
+            phrase: PhraseId::from_index(q.min(phrase_weights.len() - 1)),
+        });
+    }
+}
+
+/// One batched round.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchedRound {
+    /// The round's resolution instant (window end).
+    pub resolve_at: f64,
+    /// Every query in the round, in arrival order (duplicates kept: two
+    /// queries for the same phrase share one auction's winner-
+    /// determination work but are both served).
+    pub queries: Vec<QueryArrival>,
+    /// The distinct phrases auctioned this round, ascending.
+    pub distinct_phrases: Vec<PhraseId>,
+}
+
+impl BatchedRound {
+    /// Latency added to each query by batching: resolve time minus
+    /// arrival.
+    pub fn added_latencies(&self) -> impl Iterator<Item = f64> + '_ {
+        self.queries.iter().map(move |q| self.resolve_at - q.time)
+    }
+
+    /// The sharing opportunity: queries served per winner-determination
+    /// problem solved.
+    pub fn queries_per_auction(&self) -> f64 {
+        if self.distinct_phrases.is_empty() {
+            0.0
+        } else {
+            self.queries.len() as f64 / self.distinct_phrases.len() as f64
+        }
+    }
+}
+
+/// Batches arrivals into fixed windows of `window_secs`. Empty windows
+/// are skipped (nothing to resolve).
+pub fn batch(arrivals: &[QueryArrival], window_secs: f64) -> Vec<BatchedRound> {
+    assert!(window_secs > 0.0, "window must be positive");
+    let mut rounds: Vec<BatchedRound> = Vec::new();
+    for &arrival in arrivals {
+        let window_index = (arrival.time / window_secs).floor() as u64;
+        let resolve_at = (window_index + 1) as f64 * window_secs;
+        match rounds.last_mut() {
+            Some(r) if (r.resolve_at - resolve_at).abs() < 1e-12 => r.queries.push(arrival),
+            _ => rounds.push(BatchedRound {
+                resolve_at,
+                queries: vec![arrival],
+                distinct_phrases: Vec::new(),
+            }),
+        }
+    }
+    for r in &mut rounds {
+        let mut phrases: Vec<PhraseId> = r.queries.iter().map(|q| q.phrase).collect();
+        phrases.sort_unstable();
+        phrases.dedup();
+        r.distinct_phrases = phrases;
+    }
+    rounds
+}
+
+/// Summary statistics for a batching configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BatchingStats {
+    /// Number of non-empty rounds.
+    pub rounds: usize,
+    /// Total queries.
+    pub queries: usize,
+    /// Total distinct-phrase auctions resolved.
+    pub auctions: usize,
+    /// Mean latency added by batching, seconds.
+    pub mean_added_latency: f64,
+    /// Maximum latency added, seconds.
+    pub max_added_latency: f64,
+    /// Mean queries served per auction resolved (the sharing win).
+    pub mean_queries_per_auction: f64,
+}
+
+/// Computes [`BatchingStats`] for a batched stream.
+pub fn batching_stats(rounds: &[BatchedRound]) -> BatchingStats {
+    let queries: usize = rounds.iter().map(|r| r.queries.len()).sum();
+    let auctions: usize = rounds.iter().map(|r| r.distinct_phrases.len()).sum();
+    let mut lat_sum = 0.0;
+    let mut lat_max = 0.0f64;
+    for r in rounds {
+        for l in r.added_latencies() {
+            lat_sum += l;
+            lat_max = lat_max.max(l);
+        }
+    }
+    BatchingStats {
+        rounds: rounds.len(),
+        queries,
+        auctions,
+        mean_added_latency: if queries > 0 {
+            lat_sum / queries as f64
+        } else {
+            0.0
+        },
+        max_added_latency: lat_max,
+        mean_queries_per_auction: if auctions > 0 {
+            queries as f64 / auctions as f64
+        } else {
+            0.0
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn poisson_rate_is_respected() {
+        let arrivals = poisson_stream(&[1.0, 1.0], 10.0, 1000.0, 7);
+        let rate = arrivals.len() as f64 / 1000.0;
+        assert!((rate - 10.0).abs() < 0.5, "empirical rate {rate}");
+        assert!(arrivals.windows(2).all(|w| w[0].time <= w[1].time));
+    }
+
+    #[test]
+    fn phrase_mix_follows_weights() {
+        let arrivals = poisson_stream(&[3.0, 1.0], 20.0, 2000.0, 9);
+        let first = arrivals
+            .iter()
+            .filter(|a| a.phrase == PhraseId(0))
+            .count() as f64;
+        let share = first / arrivals.len() as f64;
+        assert!((share - 0.75).abs() < 0.03, "share {share}");
+    }
+
+    /// The introduction's arithmetic: ~1 query per 1/3 s batched into
+    /// 2/3 s rounds gives about 2 queries per round.
+    #[test]
+    fn intro_music_example() {
+        let qps = 3.0; // one per 1/3 second
+        let duration = 5000.0;
+        let window = 2.0 / 3.0;
+        let arrivals = poisson_stream(&[1.0], qps, duration, 11);
+        let rounds = batch(&arrivals, window);
+        let stats = batching_stats(&rounds);
+        // Unconditional mean over all windows (empty ones included) is
+        // qps · window = 2; conditional on being non-empty it is
+        // 2/(1 − e⁻²) ≈ 2.31.
+        let total_windows = duration / window;
+        let per_window = stats.queries as f64 / total_windows;
+        assert!(
+            (per_window - 2.0).abs() < 0.1,
+            "expected ≈2 queries per window, got {per_window}"
+        );
+        let per_nonempty = stats.queries as f64 / stats.rounds as f64;
+        let want = 2.0 / (1.0 - (-2.0f64).exp());
+        assert!(
+            (per_nonempty - want).abs() < 0.1,
+            "non-empty-round mean {per_nonempty} vs {want}"
+        );
+        // Added latency stays within the window — far under the 2.2 s
+        // tolerance the paper cites.
+        assert!(stats.max_added_latency <= 2.0 / 3.0 + 1e-9);
+    }
+
+    #[test]
+    fn batching_windows_and_latency() {
+        let arrivals = vec![
+            QueryArrival { time: 0.1, phrase: PhraseId(0) },
+            QueryArrival { time: 0.4, phrase: PhraseId(1) },
+            QueryArrival { time: 0.4, phrase: PhraseId(0) },
+            QueryArrival { time: 1.7, phrase: PhraseId(0) },
+        ];
+        let rounds = batch(&arrivals, 0.5);
+        assert_eq!(rounds.len(), 2);
+        assert_eq!(rounds[0].queries.len(), 3);
+        assert_eq!(rounds[0].distinct_phrases.len(), 2);
+        assert!((rounds[0].resolve_at - 0.5).abs() < 1e-12);
+        assert!((rounds[1].resolve_at - 2.0).abs() < 1e-12);
+        let lats: Vec<f64> = rounds[0].added_latencies().collect();
+        assert!((lats[0] - 0.4).abs() < 1e-12);
+        assert!((lats[1] - 0.1).abs() < 1e-12);
+        assert!((rounds[0].queries_per_auction() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wider_windows_increase_sharing_and_latency() {
+        let arrivals = poisson_stream(&[2.0, 1.0, 1.0, 0.5], 12.0, 500.0, 5);
+        let narrow = batching_stats(&batch(&arrivals, 0.2));
+        let wide = batching_stats(&batch(&arrivals, 1.5));
+        assert!(wide.mean_queries_per_auction > narrow.mean_queries_per_auction);
+        assert!(wide.mean_added_latency > narrow.mean_added_latency);
+        assert_eq!(narrow.queries, wide.queries, "no queries lost");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_bad_rate() {
+        poisson_stream(&[1.0], 0.0, 1.0, 0);
+    }
+}

@@ -1,0 +1,150 @@
+//! Delayed-click simulation.
+//!
+//! Section IV's budget uncertainty exists because "an advertiser may well
+//! be interested in a new auction before he has to pay for his winnings
+//! from a previous auction". We model each displayed ad as clicking with
+//! its display CTR, after a geometric number of rounds; unclicked ads
+//! expire after a deadline, matching the paper's remark that `ctr_j`
+//! "reaches 0 after a specified time limit has passed; this will enable us
+//! to discard outstanding ads that have received no clicks in a long
+//! time".
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::dist::Geometric;
+
+/// The eventual fate of one ad impression, decided at display time (the
+/// simulator plays the role of the user population).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClickOutcome {
+    /// The ad will be clicked `delay` rounds after display (≥ 1).
+    ClickAfter {
+        /// Rounds until the click lands.
+        delay: u32,
+    },
+    /// The ad will never be clicked.
+    NoClick,
+}
+
+/// Simulates user clicks on displayed ads.
+#[derive(Debug, Clone)]
+pub struct ClickSimulator {
+    rng: StdRng,
+    delay: Geometric,
+    /// Geometric delay parameter, kept for the residual-CTR computation.
+    delay_p: f64,
+    /// Ads unclicked after this many rounds never click (the paper's
+    /// outstanding-ad expiry deadline).
+    pub expiry_rounds: u32,
+}
+
+impl ClickSimulator {
+    /// Builds a simulator: clicks land after a geometric delay with mean
+    /// `mean_delay_rounds`, capped at `expiry_rounds`.
+    pub fn new(seed: u64, mean_delay_rounds: f64, expiry_rounds: u32) -> Self {
+        let p = if mean_delay_rounds <= 1.0 {
+            1.0
+        } else {
+            1.0 / mean_delay_rounds
+        };
+        ClickSimulator {
+            rng: StdRng::seed_from_u64(seed),
+            delay: Geometric::new(p),
+            delay_p: p,
+            expiry_rounds,
+        }
+    }
+
+    /// Decides the fate of one impression with click probability `ctr`.
+    pub fn impression(&mut self, ctr: f64) -> ClickOutcome {
+        let clicked = self.rng.random::<f64>() < ctr.clamp(0.0, 1.0);
+        if !clicked {
+            return ClickOutcome::NoClick;
+        }
+        let delay = self.delay.sample(&mut self.rng);
+        if delay > self.expiry_rounds {
+            // The user would have clicked, but past the expiry deadline
+            // the system discards the outstanding ad — economically a
+            // no-click (the provider charges nothing).
+            ClickOutcome::NoClick
+        } else {
+            ClickOutcome::ClickAfter { delay }
+        }
+    }
+
+    /// The residual click probability of an ad displayed `age` rounds ago
+    /// with display-time CTR `ctr` that has not clicked yet: `ctr_j` as a
+    /// decreasing function of elapsed time, reaching 0 at expiry. This is
+    /// what winner determination plugs into the `S_l` terms.
+    pub fn residual_ctr(&self, ctr: f64, age: u32) -> f64 {
+        if age >= self.expiry_rounds {
+            return 0.0;
+        }
+        // The delay is geometric with parameter p; conditional on not
+        // having clicked in the first `age` rounds, the probability of a
+        // click before expiry decays accordingly.
+        let p = self.delay_p;
+        let remaining = self.expiry_rounds - age;
+        let pr_click_eventually = ctr.clamp(0.0, 1.0);
+        // Pr(click in (age, expiry] | no click ≤ age)
+        //   = ctr · q^age · (1 − q^remaining) / (1 − ctr · (1 − q^age))
+        let q: f64 = 1.0 - p;
+        let numer = pr_click_eventually * q.powi(age as i32) * (1.0 - q.powi(remaining as i32));
+        let denom = 1.0 - pr_click_eventually * (1.0 - q.powi(age as i32));
+        if denom <= 0.0 {
+            0.0
+        } else {
+            (numer / denom).clamp(0.0, 1.0)
+        }
+    }
+
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn impressions_click_at_ctr_rate() {
+        let mut sim = ClickSimulator::new(21, 3.0, 100);
+        let n = 100_000;
+        let clicks = (0..n)
+            .filter(|_| matches!(sim.impression(0.3), ClickOutcome::ClickAfter { .. }))
+            .count();
+        let rate = clicks as f64 / n as f64;
+        assert!((rate - 0.3).abs() < 0.01, "click rate {rate}");
+    }
+
+    #[test]
+    fn zero_ctr_never_clicks() {
+        let mut sim = ClickSimulator::new(1, 3.0, 100);
+        for _ in 0..100 {
+            assert_eq!(sim.impression(0.0), ClickOutcome::NoClick);
+        }
+    }
+
+    #[test]
+    fn delays_are_positive_and_capped() {
+        let mut sim = ClickSimulator::new(5, 4.0, 10);
+        for _ in 0..10_000 {
+            if let ClickOutcome::ClickAfter { delay } = sim.impression(1.0) {
+                assert!((1..=10).contains(&delay));
+            }
+        }
+    }
+
+    #[test]
+    fn residual_ctr_decreases_with_age_and_expires() {
+        let sim = ClickSimulator::new(5, 4.0, 10);
+        let mut prev = sim.residual_ctr(0.5, 0);
+        assert!(prev > 0.0 && prev <= 0.5);
+        for age in 1..10 {
+            let cur = sim.residual_ctr(0.5, age);
+            assert!(cur <= prev + 1e-12, "age {age}: {cur} > {prev}");
+            prev = cur;
+        }
+        assert_eq!(sim.residual_ctr(0.5, 10), 0.0);
+        assert_eq!(sim.residual_ctr(0.5, 11), 0.0);
+    }
+}

@@ -1,0 +1,193 @@
+//! Sampling distributions, built from scratch on top of `rand`'s uniform
+//! source (the sanctioned dependency set has `rand` but not `rand_distr`).
+
+use rand::Rng;
+
+/// A Zipf distribution over ranks `0..n`: rank `r` has weight
+/// `1 / (r+1)^exponent`. Sampling is inverse-CDF with binary search over
+/// the precomputed cumulative weights — `O(log n)` per sample.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cumulative: Vec<f64>,
+}
+
+impl Zipf {
+    /// Builds a Zipf sampler over `n` ranks.
+    ///
+    /// # Panics
+    /// Panics if `n == 0` or the exponent is not finite and non-negative.
+    pub fn new(n: usize, exponent: f64) -> Self {
+        assert!(n > 0, "Zipf needs at least one rank");
+        assert!(
+            exponent.is_finite() && exponent >= 0.0,
+            "exponent must be finite and non-negative"
+        );
+        let mut cumulative = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for r in 0..n {
+            acc += 1.0 / ((r + 1) as f64).powf(exponent);
+            cumulative.push(acc);
+        }
+        Zipf { cumulative }
+    }
+
+    /// The normalized probability of rank `r`.
+    pub fn probability(&self, r: usize) -> f64 {
+        let total = *self.cumulative.last().expect("nonempty");
+        let prev = if r == 0 { 0.0 } else { self.cumulative[r - 1] };
+        (self.cumulative[r] - prev) / total
+    }
+
+    /// Draws a rank.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let total = *self.cumulative.last().expect("nonempty");
+        let u = rng.random::<f64>() * total;
+        self.cumulative.partition_point(|&c| c <= u)
+    }
+}
+
+/// A log-normal distribution, sampled with Box–Muller.
+#[derive(Debug, Clone, Copy)]
+pub struct LogNormal {
+    /// Mean of the underlying normal.
+    pub mu: f64,
+    /// Standard deviation of the underlying normal.
+    pub sigma: f64,
+}
+
+impl LogNormal {
+    /// Builds a sampler for `exp(N(mu, sigma²))`.
+    ///
+    /// # Panics
+    /// Panics if `sigma` is negative or either parameter is non-finite.
+    pub fn new(mu: f64, sigma: f64) -> Self {
+        assert!(mu.is_finite() && sigma.is_finite() && sigma >= 0.0);
+        LogNormal { mu, sigma }
+    }
+
+    /// Draws one standard-normal deviate via Box–Muller.
+    fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+        // u ∈ (0, 1] to keep ln(u) finite.
+        let u = 1.0 - rng.random::<f64>();
+        let v = rng.random::<f64>();
+        (-2.0 * u.ln()).sqrt() * (std::f64::consts::TAU * v).cos()
+    }
+
+    /// Draws a log-normal value.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        (self.mu + self.sigma * Self::standard_normal(rng)).exp()
+    }
+}
+
+/// A geometric distribution over `{1, 2, …}` with success probability
+/// `p`: the number of rounds until a pending click lands.
+#[derive(Debug, Clone, Copy)]
+pub struct Geometric {
+    p: f64,
+}
+
+impl Geometric {
+    /// Builds a sampler; `p` is clamped into `(0, 1]`.
+    pub fn new(p: f64) -> Self {
+        let p = if p.is_nan() { 1.0 } else { p.clamp(1e-9, 1.0) };
+        Geometric { p }
+    }
+
+    /// Draws the trial index of the first success (≥ 1).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u32 {
+        if self.p >= 1.0 {
+            return 1;
+        }
+        let u = 1.0 - rng.random::<f64>(); // (0, 1]
+        let k = (u.ln() / (1.0 - self.p).ln()).ceil();
+        k.max(1.0).min(u32::MAX as f64) as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zipf_probabilities_sum_to_one_and_decay() {
+        let z = Zipf::new(10, 1.0);
+        let total: f64 = (0..10).map(|r| z.probability(r)).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+        for r in 1..10 {
+            assert!(z.probability(r) <= z.probability(r - 1));
+        }
+    }
+
+    #[test]
+    fn zipf_exponent_zero_is_uniform() {
+        let z = Zipf::new(4, 0.0);
+        for r in 0..4 {
+            assert!((z.probability(r) - 0.25).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn zipf_sampling_matches_pmf() {
+        let z = Zipf::new(5, 1.2);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut counts = [0usize; 5];
+        let trials = 100_000;
+        for _ in 0..trials {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        for (r, &count) in counts.iter().enumerate() {
+            let freq = count as f64 / trials as f64;
+            assert!(
+                (freq - z.probability(r)).abs() < 0.01,
+                "rank {r}: {freq} vs {}",
+                z.probability(r)
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rank")]
+    fn zipf_rejects_empty() {
+        Zipf::new(0, 1.0);
+    }
+
+    #[test]
+    fn lognormal_moments_roughly_match() {
+        let d = LogNormal::new(0.0, 0.5);
+        let mut rng = StdRng::seed_from_u64(11);
+        let n = 200_000;
+        let mean: f64 = (0..n).map(|_| d.sample(&mut rng)).sum::<f64>() / n as f64;
+        let expected = (0.125f64).exp(); // exp(sigma^2 / 2)
+        assert!(
+            (mean - expected).abs() < 0.02,
+            "sample mean {mean} vs {expected}"
+        );
+    }
+
+    #[test]
+    fn lognormal_is_positive() {
+        let d = LogNormal::new(-1.0, 2.0);
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            assert!(d.sample(&mut rng) > 0.0);
+        }
+    }
+
+    #[test]
+    fn geometric_mean_is_one_over_p() {
+        let g = Geometric::new(0.25);
+        let mut rng = StdRng::seed_from_u64(5);
+        let n = 100_000;
+        let mean: f64 = (0..n).map(|_| g.sample(&mut rng) as f64).sum::<f64>() / n as f64;
+        assert!((mean - 4.0).abs() < 0.1, "mean {mean}");
+    }
+
+    #[test]
+    fn geometric_certain_click_is_immediate() {
+        let g = Geometric::new(1.0);
+        let mut rng = StdRng::seed_from_u64(5);
+        assert_eq!(g.sample(&mut rng), 1);
+    }
+}

@@ -1,0 +1,392 @@
+//! Topic-model workload generation.
+//!
+//! Phrases belong to topics; each advertiser picks a set of topics and is
+//! interested in every phrase of those topics (generalists pick many
+//! topics, specialists one). This induces the overlapping interest sets
+//! `I_q` that shared winner determination exploits.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use ssa_auction::ids::{AdvertiserId, PhraseId, TopicId};
+use ssa_auction::money::Money;
+
+use crate::dist::{LogNormal, Zipf};
+
+/// Workload generation parameters.
+#[derive(Debug, Clone)]
+pub struct WorkloadConfig {
+    /// Number of advertisers `n`.
+    pub advertisers: usize,
+    /// Number of bid phrases.
+    pub phrases: usize,
+    /// Number of topics grouping the phrases.
+    pub topics: usize,
+    /// Fraction of advertisers that are generalists (interested in many
+    /// topics) as opposed to single-topic specialists.
+    pub generalist_fraction: f64,
+    /// Topics a generalist is interested in.
+    pub generalist_topics: usize,
+    /// Zipf exponent for phrase search rates (0 = uniform).
+    pub search_rate_zipf_exponent: f64,
+    /// Search rate assigned to the most popular phrase; the Zipf tail
+    /// scales down from this.
+    pub max_search_rate: f64,
+    /// Log-normal parameters for per-click bids, in currency units.
+    pub bid_mu: f64,
+    /// Log-normal sigma for bids.
+    pub bid_sigma: f64,
+    /// Log-normal parameters for daily budgets, in currency units.
+    pub budget_mu: f64,
+    /// Log-normal sigma for budgets.
+    pub budget_sigma: f64,
+    /// Standard deviation of the per-phrase perturbation applied to an
+    /// advertiser's CTR factor (0 = identical factor for all phrases, the
+    /// Section II separable setting; > 0 produces the Section III setting
+    /// where `c_i^q` varies by phrase).
+    pub phrase_factor_jitter: f64,
+    /// RNG seed: everything is deterministic given the config.
+    pub seed: u64,
+}
+
+impl Default for WorkloadConfig {
+    fn default() -> Self {
+        WorkloadConfig {
+            advertisers: 1000,
+            phrases: 20,
+            topics: 5,
+            generalist_fraction: 0.4,
+            generalist_topics: 3,
+            search_rate_zipf_exponent: 1.0,
+            max_search_rate: 0.9,
+            bid_mu: 0.0,   // median bid 1.00
+            bid_sigma: 0.6,
+            budget_mu: 3.0, // median budget ~20
+            budget_sigma: 0.8,
+            phrase_factor_jitter: 0.0,
+            seed: 0xACE_0FBA5E,
+        }
+    }
+}
+
+/// A generated advertiser.
+#[derive(Debug, Clone)]
+pub struct AdvertiserProfile {
+    /// Identifier (dense).
+    pub id: AdvertiserId,
+    /// Per-click bid `b_i` (shared across phrases, as Section III
+    /// requires).
+    pub bid: Money,
+    /// Daily budget `β_i`.
+    pub budget: Money,
+    /// Base advertiser CTR factor `c_i`.
+    pub base_factor: f64,
+    /// Topics the advertiser is interested in.
+    pub topics: Vec<TopicId>,
+}
+
+/// A generated bid phrase.
+#[derive(Debug, Clone)]
+pub struct PhraseProfile {
+    /// Identifier (dense).
+    pub id: PhraseId,
+    /// The topic this phrase belongs to.
+    pub topic: TopicId,
+    /// Probability `sr_q` that the phrase occurs in a round.
+    pub search_rate: f64,
+}
+
+/// A complete synthetic workload.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// The advertisers.
+    pub advertisers: Vec<AdvertiserProfile>,
+    /// The bid phrases.
+    pub phrases: Vec<PhraseProfile>,
+    /// `interest[q]` = sorted advertiser ids interested in phrase `q`
+    /// (the paper's `I_q`).
+    pub interest: Vec<Vec<AdvertiserId>>,
+    /// `phrase_factor[q][position]` = `c_i^q` for the advertiser at
+    /// `interest[q][position]`.
+    pub phrase_factors: Vec<Vec<f64>>,
+}
+
+impl Workload {
+    /// Generates a workload from the config. Deterministic per seed.
+    pub fn generate(config: &WorkloadConfig) -> Self {
+        assert!(config.topics > 0, "need at least one topic");
+        assert!(config.phrases > 0, "need at least one phrase");
+        let mut rng = StdRng::seed_from_u64(config.seed);
+
+        let bid_dist = LogNormal::new(config.bid_mu, config.bid_sigma);
+        let budget_dist = LogNormal::new(config.budget_mu, config.budget_sigma);
+
+        // Advertisers.
+        let mut advertisers = Vec::with_capacity(config.advertisers);
+        for i in 0..config.advertisers {
+            let generalist = rng.random::<f64>() < config.generalist_fraction;
+            let topic_count = if generalist {
+                config.generalist_topics.clamp(1, config.topics)
+            } else {
+                1
+            };
+            // Sample distinct topics.
+            let mut topics: Vec<TopicId> = Vec::with_capacity(topic_count);
+            while topics.len() < topic_count {
+                let t = TopicId(rng.random_range(0..config.topics as u32));
+                if !topics.contains(&t) {
+                    topics.push(t);
+                }
+            }
+            topics.sort();
+            advertisers.push(AdvertiserProfile {
+                id: AdvertiserId::from_index(i),
+                bid: Money::from_f64(bid_dist.sample(&mut rng)),
+                budget: Money::from_f64(budget_dist.sample(&mut rng)),
+                base_factor: rng.random_range(0.5..1.5),
+                topics,
+            });
+        }
+
+        // Phrases: topic round-robin, Zipf search rates by phrase rank.
+        let zipf = Zipf::new(config.phrases, config.search_rate_zipf_exponent);
+        let head = zipf.probability(0).max(f64::MIN_POSITIVE);
+        let mut phrases = Vec::with_capacity(config.phrases);
+        for q in 0..config.phrases {
+            let rate = (config.max_search_rate * zipf.probability(q) / head).clamp(0.0, 1.0);
+            phrases.push(PhraseProfile {
+                id: PhraseId::from_index(q),
+                topic: TopicId((q % config.topics) as u32),
+                search_rate: rate,
+            });
+        }
+
+        // Interest sets: advertiser i is interested in phrase q iff q's
+        // topic is among i's topics.
+        let mut interest: Vec<Vec<AdvertiserId>> = vec![Vec::new(); config.phrases];
+        for adv in &advertisers {
+            for phrase in &phrases {
+                if adv.topics.contains(&phrase.topic) {
+                    interest[phrase.id.index()].push(adv.id);
+                }
+            }
+        }
+
+        // Per-phrase CTR factors: base factor times a log-normal jitter.
+        let jitter = LogNormal::new(0.0, config.phrase_factor_jitter.max(0.0));
+        let phrase_factors = interest
+            .iter()
+            .map(|advs| {
+                advs.iter()
+                    .map(|a| {
+                        let base = advertisers[a.index()].base_factor;
+                        if config.phrase_factor_jitter > 0.0 {
+                            base * jitter.sample(&mut rng)
+                        } else {
+                            base
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+
+        Workload {
+            advertisers,
+            phrases,
+            interest,
+            phrase_factors,
+        }
+    }
+
+    /// Number of advertisers.
+    pub fn advertiser_count(&self) -> usize {
+        self.advertisers.len()
+    }
+
+    /// Number of phrases.
+    pub fn phrase_count(&self) -> usize {
+        self.phrases.len()
+    }
+
+    /// The `c_i^q` factor for `advertiser` in `phrase`'s auctions, or
+    /// `None` if the advertiser is not interested in the phrase.
+    pub fn phrase_factor(&self, phrase: PhraseId, advertiser: AdvertiserId) -> Option<f64> {
+        let q = phrase.index();
+        self.interest[q]
+            .binary_search(&advertiser)
+            .ok()
+            .map(|pos| self.phrase_factors[q][pos])
+    }
+
+    /// All per-phrase search rates, indexed by phrase.
+    pub fn search_rates(&self) -> Vec<f64> {
+        self.phrases.iter().map(|p| p.search_rate).collect()
+    }
+
+    /// Mean interest-set overlap between distinct phrase pairs (Jaccard),
+    /// a workload diagnostic the sharing experiments sweep.
+    pub fn mean_pairwise_jaccard(&self) -> f64 {
+        let m = self.interest.len();
+        if m < 2 {
+            return 0.0;
+        }
+        let mut total = 0.0;
+        let mut pairs = 0usize;
+        for a in 0..m {
+            for b in (a + 1)..m {
+                let sa: std::collections::BTreeSet<_> = self.interest[a].iter().collect();
+                let sb: std::collections::BTreeSet<_> = self.interest[b].iter().collect();
+                let inter = sa.intersection(&sb).count();
+                let union = sa.union(&sb).count();
+                if union > 0 {
+                    total += inter as f64 / union as f64;
+                }
+                pairs += 1;
+            }
+        }
+        total / pairs as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_config() -> WorkloadConfig {
+        WorkloadConfig {
+            advertisers: 200,
+            phrases: 10,
+            topics: 4,
+            ..WorkloadConfig::default()
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = Workload::generate(&small_config());
+        let b = Workload::generate(&small_config());
+        assert_eq!(a.advertisers.len(), b.advertisers.len());
+        for (x, y) in a.advertisers.iter().zip(&b.advertisers) {
+            assert_eq!(x.bid, y.bid);
+            assert_eq!(x.topics, y.topics);
+        }
+        assert_eq!(a.interest, b.interest);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = Workload::generate(&small_config());
+        let b = Workload::generate(&WorkloadConfig {
+            seed: 99,
+            ..small_config()
+        });
+        assert!(
+            a.advertisers.iter().zip(&b.advertisers).any(|(x, y)| x.bid != y.bid),
+            "different seeds should produce different bids"
+        );
+    }
+
+    #[test]
+    fn interest_sets_follow_topics() {
+        let w = Workload::generate(&small_config());
+        for phrase in &w.phrases {
+            for adv_id in &w.interest[phrase.id.index()] {
+                let adv = &w.advertisers[adv_id.index()];
+                assert!(
+                    adv.topics.contains(&phrase.topic),
+                    "{adv_id} listed for {} without the topic",
+                    phrase.id
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn interest_sets_are_sorted_and_queryable() {
+        let w = Workload::generate(&small_config());
+        for q in 0..w.phrase_count() {
+            let ids = &w.interest[q];
+            assert!(ids.windows(2).all(|p| p[0] < p[1]), "sorted, unique");
+            if let Some(&first) = ids.first() {
+                assert!(w
+                    .phrase_factor(PhraseId::from_index(q), first)
+                    .is_some());
+            }
+        }
+        // Not-interested advertiser yields None.
+        let w2 = Workload::generate(&WorkloadConfig {
+            advertisers: 1,
+            topics: 2,
+            generalist_fraction: 0.0,
+            ..small_config()
+        });
+        let lonely = w2.advertisers[0].id;
+        let uninterested: Vec<usize> = (0..w2.phrase_count())
+            .filter(|&q| !w2.interest[q].contains(&lonely))
+            .collect();
+        assert!(!uninterested.is_empty());
+        for q in uninterested {
+            assert!(w2.phrase_factor(PhraseId::from_index(q), lonely).is_none());
+        }
+    }
+
+    #[test]
+    fn search_rates_are_zipf_shaped() {
+        let w = Workload::generate(&small_config());
+        let rates = w.search_rates();
+        assert!((rates[0] - 0.9).abs() < 1e-9, "head rate = max_search_rate");
+        for pair in rates.windows(2) {
+            assert!(pair[0] >= pair[1], "rates decay with rank");
+        }
+        assert!(rates.iter().all(|&r| (0.0..=1.0).contains(&r)));
+    }
+
+    #[test]
+    fn jitter_produces_phrase_specific_factors() {
+        let config = WorkloadConfig {
+            phrase_factor_jitter: 0.5,
+            ..small_config()
+        };
+        let w = Workload::generate(&config);
+        // Find an advertiser interested in two phrases and compare factors.
+        let mut found_difference = false;
+        'outer: for a in 0..w.advertiser_count() {
+            let id = AdvertiserId::from_index(a);
+            let mut seen: Option<f64> = None;
+            for q in 0..w.phrase_count() {
+                if let Some(f) = w.phrase_factor(PhraseId::from_index(q), id) {
+                    if let Some(prev) = seen {
+                        if (prev - f).abs() > 1e-12 {
+                            found_difference = true;
+                            break 'outer;
+                        }
+                    }
+                    seen = Some(f);
+                }
+            }
+        }
+        assert!(found_difference, "jitter should vary factors across phrases");
+    }
+
+    #[test]
+    fn zero_jitter_keeps_factors_identical_across_phrases() {
+        let w = Workload::generate(&small_config());
+        for a in 0..w.advertiser_count() {
+            let id = AdvertiserId::from_index(a);
+            let factors: Vec<f64> = (0..w.phrase_count())
+                .filter_map(|q| w.phrase_factor(PhraseId::from_index(q), id))
+                .collect();
+            for f in &factors {
+                assert!((f - w.advertisers[a].base_factor).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn overlap_diagnostic_in_unit_range() {
+        let w = Workload::generate(&small_config());
+        let j = w.mean_pairwise_jaccard();
+        assert!((0.0..=1.0).contains(&j), "jaccard {j}");
+        assert!(j > 0.0, "topic model should give some overlap");
+    }
+}

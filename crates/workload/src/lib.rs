@@ -1,0 +1,35 @@
+#![warn(missing_docs)]
+
+//! Synthetic sponsored-search workloads.
+//!
+//! The paper has no public dataset; its motivating structure is that
+//! *related bid phrases share interested advertisers* (general shoe stores
+//! bid on both "hiking boots" and "high-heels"; sports stores only on the
+//! former). This crate generates workloads with exactly that structure:
+//!
+//! * [`topics`](generator): phrases belong to topics; advertisers are
+//!   interested in one or more topics (generalists span many, specialists
+//!   few), which induces overlapping per-phrase interest sets `I_q`;
+//! * Zipf-distributed per-phrase search rates `sr_q` (a handful of head
+//!   phrases occur nearly every round, a long tail rarely), implemented
+//!   from scratch in [`dist`];
+//! * log-normal bids and budgets ([`dist::LogNormal`], Box–Muller);
+//! * Bernoulli round occurrence (the paper's model: "the event that a bid
+//!   phrase occurs in a round is an independent Bernoulli trial") in
+//!   [`rounds`];
+//! * delayed-click simulation for the Section IV budget-uncertainty
+//!   experiments ([`clicks`]): each displayed ad clicks with its CTR, after
+//!   a geometric number of rounds;
+//! * the paper's named scenarios ([`scenarios`]): the Figure 4 protocol
+//!   (10 coin-flip queries over 20 advertisers) and the Section II-B
+//!   hiking-boots/high-heels example (200/40/30 stores).
+
+pub mod arrivals;
+pub mod clicks;
+pub mod dist;
+pub mod generator;
+pub mod rounds;
+pub mod scenarios;
+
+pub use generator::{AdvertiserProfile, PhraseProfile, Workload, WorkloadConfig};
+pub use rounds::RoundSampler;

@@ -1,0 +1,100 @@
+//! Round sampling.
+//!
+//! The paper batches auctions into rounds and models phrase occurrence as
+//! independent Bernoulli trials: "the event that a bid phrase occurs in a
+//! round is an independent Bernoulli trial whose probability is known. We
+//! call the probability that bid phrase q occurs its search rate."
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use ssa_auction::ids::PhraseId;
+
+/// Samples, per round, which bid phrases occur.
+#[derive(Debug, Clone)]
+pub struct RoundSampler {
+    search_rates: Vec<f64>,
+    rng: StdRng,
+}
+
+impl RoundSampler {
+    /// Builds a sampler over the given per-phrase search rates.
+    ///
+    /// # Panics
+    /// Panics if a rate is outside `[0, 1]` or NaN.
+    pub fn new(search_rates: Vec<f64>, seed: u64) -> Self {
+        for (q, &r) in search_rates.iter().enumerate() {
+            assert!(
+                r.is_finite() && (0.0..=1.0).contains(&r),
+                "search rate for phrase {q} out of range: {r}"
+            );
+        }
+        RoundSampler {
+            search_rates,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Number of phrases.
+    pub fn phrase_count(&self) -> usize {
+        self.search_rates.len()
+    }
+
+    /// Draws the set of phrases occurring in the next round, in ascending
+    /// phrase order.
+    pub fn next_round(&mut self) -> Vec<PhraseId> {
+        let rates = &self.search_rates;
+        let rng = &mut self.rng;
+        (0..rates.len())
+            .filter(|&q| rng.random::<f64>() < rates[q])
+            .map(PhraseId::from_index)
+            .collect()
+    }
+
+    /// Draws `n` rounds.
+    pub fn rounds(&mut self, n: usize) -> Vec<Vec<PhraseId>> {
+        (0..n).map(|_| self.next_round()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn occurrence_frequency_matches_rates() {
+        let mut sampler = RoundSampler::new(vec![0.9, 0.5, 0.1, 0.0, 1.0], 17);
+        let n = 50_000;
+        let mut counts = [0usize; 5];
+        for _ in 0..n {
+            for q in sampler.next_round() {
+                counts[q.index()] += 1;
+            }
+        }
+        let freqs: Vec<f64> = counts.iter().map(|&c| c as f64 / n as f64).collect();
+        for (q, (&f, &r)) in freqs.iter().zip(&[0.9, 0.5, 0.1, 0.0, 1.0]).enumerate() {
+            assert!((f - r).abs() < 0.01, "phrase {q}: freq {f} vs rate {r}");
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = RoundSampler::new(vec![0.5; 8], 3);
+        let mut b = RoundSampler::new(vec![0.5; 8], 3);
+        assert_eq!(a.rounds(20), b.rounds(20));
+    }
+
+    #[test]
+    fn rounds_are_sorted() {
+        let mut s = RoundSampler::new(vec![0.7; 16], 9);
+        for round in s.rounds(50) {
+            assert!(round.windows(2).all(|p| p[0] < p[1]));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_bad_rate() {
+        RoundSampler::new(vec![1.5], 0);
+    }
+}

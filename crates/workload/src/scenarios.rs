@@ -1,0 +1,106 @@
+//! The paper's named workload scenarios.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use ssa_auction::ids::AdvertiserId;
+
+/// The Figure 4 protocol: "a set of 10 top-k queries over 20 advertisers.
+/// The queries were chosen by flipping coins to determine whether each
+/// advertiser would be in the list of top-k contenders, discarding
+/// duplicate queries."
+///
+/// Returns the interest set of each query (exactly `queries` distinct,
+/// nonempty sets over `advertisers` advertisers). Deterministic per seed.
+pub fn fig4_coinflip_queries(
+    advertisers: usize,
+    queries: usize,
+    seed: u64,
+) -> Vec<Vec<AdvertiserId>> {
+    assert!(advertisers > 0 && queries > 0);
+    assert!(
+        queries < (1usize << advertisers.min(30)),
+        "cannot draw {queries} distinct subsets of {advertisers} advertisers"
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut chosen: Vec<Vec<AdvertiserId>> = Vec::with_capacity(queries);
+    while chosen.len() < queries {
+        let set: Vec<AdvertiserId> = (0..advertisers)
+            .filter(|_| rng.random::<bool>())
+            .map(AdvertiserId::from_index)
+            .collect();
+        // Discard duplicates (and the useless empty query).
+        if !set.is_empty() && !chosen.contains(&set) {
+            chosen.push(set);
+        }
+    }
+    chosen
+}
+
+/// The Section II-B example: two phrases ("hiking boots", "high-heels"),
+/// 200 general shoe stores interested in both, 40 sports stores in the
+/// first only, 30 upscale fashion stores in the second only.
+///
+/// Returns `(interest_hiking_boots, interest_high_heels)` with advertiser
+/// ids laid out as: 0..200 general, 200..240 sports, 240..270 fashion.
+pub fn hiking_boots_high_heels() -> (Vec<AdvertiserId>, Vec<AdvertiserId>) {
+    let general = 0..200u32;
+    let sports = 200..240u32;
+    let fashion = 240..270u32;
+    let hiking: Vec<AdvertiserId> = general
+        .clone()
+        .chain(sports)
+        .map(AdvertiserId)
+        .collect();
+    let heels: Vec<AdvertiserId> = general.chain(fashion).map(AdvertiserId).collect();
+    (hiking, heels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig4_protocol_shape() {
+        let queries = fig4_coinflip_queries(20, 10, 42);
+        assert_eq!(queries.len(), 10);
+        for (i, q) in queries.iter().enumerate() {
+            assert!(!q.is_empty());
+            assert!(q.iter().all(|a| a.index() < 20));
+            assert!(q.windows(2).all(|p| p[0] < p[1]), "sorted");
+            for other in &queries[..i] {
+                assert_ne!(q, other, "duplicate queries must be discarded");
+            }
+        }
+    }
+
+    #[test]
+    fn fig4_is_deterministic() {
+        assert_eq!(
+            fig4_coinflip_queries(20, 10, 7),
+            fig4_coinflip_queries(20, 10, 7)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct subsets")]
+    fn fig4_rejects_impossible_request() {
+        fig4_coinflip_queries(2, 10, 0);
+    }
+
+    #[test]
+    fn hiking_boots_counts_match_paper() {
+        let (hiking, heels) = hiking_boots_high_heels();
+        assert_eq!(hiking.len(), 240);
+        assert_eq!(heels.len(), 230);
+        let shared = hiking.iter().filter(|a| heels.contains(a)).count();
+        assert_eq!(shared, 200);
+        // Scanning separately: 240 + 230 = 470; via the three groups:
+        // 200 + 40 + 30 = 270, i.e. ~40% fewer (the paper's number, with
+        // merge costs ignored as in the paper's illustration).
+        let separate = hiking.len() + heels.len();
+        let grouped = 200 + 40 + 30;
+        let savings = 1.0 - grouped as f64 / separate as f64;
+        assert!((savings - 0.4255).abs() < 0.01, "savings {savings}");
+    }
+}

@@ -1,0 +1,65 @@
+//! Budget uncertainty: throttled bids and the gaming demonstration.
+//!
+//! Shows (1) one advertiser's throttled bid being pinned down by
+//! successively deeper Hoeffding-bound refinement, and (2) the
+//! Section IV revenue leak when budget uncertainty is ignored, plugged by
+//! throttling.
+//!
+//! Run with: `cargo run --example budget_throttling`
+
+use ssa::auction::money::Money;
+use ssa::core::budget::{compare_throttled, BudgetContext, OutstandingAd};
+use ssa::core::engine::gaming::run_gaming_comparison;
+
+fn main() {
+    // An advertiser with budget 10, bid 3, in 2 auctions this round, with
+    // four outstanding ads awaiting clicks.
+    let ctx = BudgetContext {
+        bid: Money::from_f64(3.0),
+        remaining_budget: Money::from_f64(10.0),
+        auctions_in_round: 2,
+        outstanding: vec![
+            OutstandingAd::new(Money::from_f64(4.0), 0.5),
+            OutstandingAd::new(Money::from_f64(3.0), 0.25),
+            OutstandingAd::new(Money::from_f64(2.0), 0.8),
+            OutstandingAd::new(Money::from_f64(1.0), 0.6),
+        ],
+    };
+    println!("Throttled-bid refinement (b=3.00, β=10.00, m=2, 4 outstanding ads):");
+    let refiner = ctx.refiner();
+    for depth in 0..=refiner.max_depth() {
+        let b = refiner.bounds(depth);
+        println!(
+            "  depth {depth}: b̂ ∈ [{:.4}, {:.4}]  (width {:.4})",
+            b.lo() / 1e6,
+            b.hi() / 1e6,
+            b.width() / 1e6
+        );
+    }
+    println!("  exact: {}", ctx.throttled_bid_exact());
+
+    // Comparing two advertisers usually terminates early.
+    let rival = BudgetContext {
+        remaining_budget: Money::from_f64(30.0),
+        ..ctx.clone()
+    };
+    let outcome = compare_throttled(&ctx.refiner(), &rival.refiner());
+    println!(
+        "\nComparison vs a rival with β=30.00 resolved at depth {} ({:?})",
+        outcome.depth_used, outcome.ordering
+    );
+
+    // The gaming demonstration: naive vs throttled over 200 rounds.
+    println!("\nGaming demonstration (identical workload, 200 rounds):");
+    let report = run_gaming_comparison(2024, 200);
+    for p in [&report.naive, &report.throttled] {
+        println!(
+            "  {:?}: revenue {}  forgiven {}  clicks {} ({} beyond budget)",
+            p.policy, p.revenue, p.forgiven, p.clicks, p.clicks_beyond_budget
+        );
+    }
+    println!(
+        "  naive policy gives away {:.1}% of click value",
+        100.0 * report.naive_leak_fraction()
+    );
+}

@@ -1,0 +1,55 @@
+//! End-to-end engine simulation comparing the three winner-determination
+//! strategies on one workload.
+//!
+//! Run with: `cargo run --release --example engine_simulation`
+
+use ssa::core::engine::{BudgetPolicy, Engine, EngineConfig, SharingStrategy};
+use ssa::workload::{Workload, WorkloadConfig};
+
+fn main() {
+    let rounds = 200;
+    let make_workload = || {
+        Workload::generate(&WorkloadConfig {
+            advertisers: 2000,
+            phrases: 16,
+            topics: 4,
+            seed: 7,
+            ..WorkloadConfig::default()
+        })
+    };
+
+    println!(
+        "{:<20} {:>10} {:>12} {:>12} {:>12} {:>12} {:>10}",
+        "strategy", "auctions", "scans", "agg ops", "merge inv", "revenue", "ms total"
+    );
+    for sharing in [
+        SharingStrategy::Unshared,
+        SharingStrategy::SharedAggregation,
+        SharingStrategy::SharedSort,
+    ] {
+        let mut engine = Engine::new(
+            make_workload(),
+            EngineConfig {
+                sharing,
+                budget_policy: BudgetPolicy::ThrottleExact,
+                seed: 1234,
+                ..EngineConfig::default()
+            },
+        );
+        let m = engine.run(rounds);
+        println!(
+            "{:<20} {:>10} {:>12} {:>12} {:>12} {:>12} {:>10.1}",
+            format!("{sharing:?}"),
+            m.auctions,
+            m.advertisers_scanned,
+            m.aggregation_ops,
+            m.merge_invocations,
+            m.revenue.to_string(),
+            m.resolution_nanos as f64 / 1e6,
+        );
+    }
+    println!(
+        "\n(The three strategies produce identical assignments; the work \
+         columns show what sharing saves.)"
+    );
+}

@@ -1,0 +1,98 @@
+//! Non-separable winner determination with shared graph pruning
+//! (Section V), plus dynamic bids from automated bidding programs.
+//!
+//! Run with: `cargo run --release --example nonseparable_demo`
+
+use ssa::auction::ctr::CtrMatrix;
+use ssa::auction::ids::AdvertiserId;
+use ssa::auction::money::Money;
+use ssa::auction::nonseparable::{determine_winners_nonseparable, NonSeparableBid};
+use ssa::core::nonsep::SharedNonSeparable;
+use ssa::setcover::BitSet;
+use ssa::workload::{Workload, WorkloadConfig};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    let k = 4;
+    let w = Workload::generate(&WorkloadConfig {
+        advertisers: 600,
+        phrases: 10,
+        topics: 4,
+        seed: 12,
+        ..WorkloadConfig::default()
+    });
+    let n = w.advertiser_count();
+
+    // A genuinely non-separable CTR matrix: each advertiser has its own
+    // slot-response curve (some ads do relatively better in low slots).
+    let mut rng = StdRng::seed_from_u64(5);
+    let rows: Vec<Vec<f64>> = (0..n)
+        .map(|_| {
+            let base: f64 = rng.random_range(0.05..0.5);
+            let decay: f64 = rng.random_range(0.5..1.1);
+            (0..k)
+                .map(|j| (base * decay.powi(j as i32)).clamp(0.0, 1.0))
+                .collect()
+        })
+        .collect();
+    let matrix = CtrMatrix::new(rows).unwrap();
+    let bids: Vec<Money> = w.advertisers.iter().map(|a| a.bid).collect();
+    let interest: Vec<BitSet> = w
+        .interest
+        .iter()
+        .map(|ids| BitSet::from_elements(n, ids.iter().map(|a| a.index())))
+        .collect();
+
+    // Shared pruning across the whole round.
+    let shared = SharedNonSeparable::new(n, &interest, &w.search_rates(), k);
+    let occurring = vec![true; w.phrase_count()];
+    let outcome = shared.resolve_round(&matrix, &bids, &interest, &occurring);
+
+    println!(
+        "Round of {} non-separable auctions over {} advertisers (k = {k}):",
+        w.phrase_count(),
+        n
+    );
+    println!(
+        "  shared pruning used {} top-k merges vs {} per-slot scans unshared ({:.0}% saved)",
+        outcome.aggregation_ops,
+        outcome.unshared_scan_baseline,
+        100.0 * (1.0 - outcome.aggregation_ops as f64 / outcome.unshared_scan_baseline as f64)
+    );
+
+    // Spot-check one phrase against the unshared pipeline.
+    let q = 0;
+    let phrase_bids: Vec<NonSeparableBid> = w.interest[q]
+        .iter()
+        .map(|&a| NonSeparableBid {
+            advertiser: a,
+            bid: bids[a.index()],
+        })
+        .collect();
+    let reference = determine_winners_nonseparable(&matrix, &phrase_bids);
+    let shared_assignment = outcome.assignments[q].as_ref().expect("phrase occurred");
+    println!("\nphrase 0 slate (shared pruning):");
+    for wnr in shared_assignment.winners() {
+        println!(
+            "  {} -> {} (expected realized bid {:.4})",
+            wnr.slot, wnr.advertiser, wnr.score
+        );
+    }
+    let shared_value: f64 = shared_assignment
+        .winners()
+        .iter()
+        .map(|x| matrix_value(&matrix, x.advertiser, x.slot.index(), &bids))
+        .sum();
+    println!(
+        "  objective: shared {shared_value:.4} vs per-phrase Hungarian {:.4}",
+        reference.expected_value
+    );
+}
+
+fn matrix_value(matrix: &CtrMatrix, a: AdvertiserId, slot: usize, bids: &[Money]) -> f64 {
+    use ssa::auction::ctr::CtrModel;
+    use ssa::auction::ids::SlotIndex;
+    matrix.ctr(a, SlotIndex(slot as u8)).value() * bids[a.index()].to_f64()
+}

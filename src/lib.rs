@@ -1,0 +1,20 @@
+#![warn(missing_docs)]
+
+//! Umbrella crate for the Shared Winner Determination reproduction.
+//!
+//! Re-exports the workspace crates under one roof so examples, integration
+//! tests, and downstream users can depend on a single package:
+//!
+//! * [`auction`] — auction substrate: domain types, CTR models, single-
+//!   auction winner determination (separable and non-separable), pricing.
+//! * [`setcover`] — set cover solvers (greedy approximation, exact).
+//! * [`stats`] — Bernoulli-sum distributions and Hoeffding bound machinery.
+//! * [`workload`] — synthetic sponsored-search workload generation.
+//! * [`core`] — the paper's contribution: shared aggregation plans, shared
+//!   sorting, budget-uncertainty throttling, and the round-based engine.
+
+pub use ssa_auction as auction;
+pub use ssa_core as core;
+pub use ssa_setcover as setcover;
+pub use ssa_stats as stats;
+pub use ssa_workload as workload;

@@ -1,0 +1,126 @@
+//! Integration tests pinning the paper's quantitative claims, spanning
+//! all workspace crates through the umbrella API.
+
+use ssa::auction::ids::{AdvertiserId, SlotIndex};
+use ssa::auction::{determine_winners, AuctionInstance};
+use ssa::core::algebra::{fig5_complexity, AxiomSet, PlanComplexity};
+use ssa::core::engine::gaming::run_gaming_comparison;
+use ssa::core::plan::cost::{expected_cost, materialized_cost, unshared_expected_cost};
+use ssa::core::plan::{PlanProblem, SharedPlanner};
+use ssa::setcover::BitSet;
+use ssa::workload::scenarios::{fig4_coinflip_queries, hiking_boots_high_heels};
+
+/// E1 — the Figure 1–3 worked example: "winner determination assigns
+/// slot 1 to advertiser A and slot 2 to advertiser B".
+#[test]
+fn e1_worked_example() {
+    let instance = AuctionInstance::paper_example();
+    let assignment = determine_winners(&instance);
+    assert_eq!(
+        assignment.advertiser_in_slot(SlotIndex(0)),
+        Some(AdvertiserId(0)),
+        "slot 1 goes to A"
+    );
+    assert_eq!(
+        assignment.advertiser_in_slot(SlotIndex(1)),
+        Some(AdvertiserId(1)),
+        "slot 2 goes to B"
+    );
+    assert_eq!(assignment.slot_of(AdvertiserId(2)), None, "C loses");
+}
+
+/// E4 — the Section II-B example: grouping into general/sports/fashion
+/// stores lets the system "scan 40% fewer advertisers".
+#[test]
+fn e4_hiking_boots_savings() {
+    let (hiking, heels) = hiking_boots_high_heels();
+    let n = 270;
+    let queries = vec![
+        BitSet::from_elements(n, hiking.iter().map(|a| a.index())),
+        BitSet::from_elements(n, heels.iter().map(|a| a.index())),
+    ];
+    let problem = PlanProblem::new(n, queries, None);
+    let plan = SharedPlanner::full().plan(&problem);
+    plan.validate().expect("valid plan");
+
+    // Per-round aggregate operations when both phrases occur.
+    let shared_ops = materialized_cost(&plan, &[true, true]);
+    let unshared_ops = (hiking.len() - 1) + (heels.len() - 1);
+    let savings = 1.0 - shared_ops as f64 / unshared_ops as f64;
+    assert!(
+        (0.38..=0.46).contains(&savings),
+        "expected ≈40% savings, got {:.1}% ({shared_ops} vs {unshared_ops})",
+        savings * 100.0
+    );
+}
+
+/// E2 protocol — the Figure 4 setup yields strictly cheaper plans than
+/// the unshared baseline across the whole probability sweep, with the
+/// expected cost increasing in the query probability.
+#[test]
+fn e2_fig4_shared_plan_dominates() {
+    let queries = fig4_coinflip_queries(20, 10, 42);
+    let sets: Vec<BitSet> = queries
+        .iter()
+        .map(|q| BitSet::from_elements(20, q.iter().map(|a| a.index())))
+        .collect();
+    let mut last_cost = 0.0;
+    for step in 1..=10 {
+        let sr = step as f64 / 10.0;
+        let problem = PlanProblem::new(20, sets.clone(), Some(vec![sr; sets.len()]));
+        let plan = SharedPlanner::full().plan(&problem);
+        let shared = expected_cost(&plan, &problem.search_rates);
+        let unshared = unshared_expected_cost(&problem);
+        assert!(
+            shared <= unshared + 1e-9,
+            "sr={sr}: shared {shared} vs unshared {unshared}"
+        );
+        assert!(
+            shared >= last_cost - 1e-9,
+            "expected cost must grow with sr (got {shared} after {last_cost})"
+        );
+        last_cost = shared;
+    }
+}
+
+/// E3 spot checks — the Figure 5 complexity taxonomy.
+#[test]
+fn e3_fig5_taxonomy() {
+    // The top-k operator's class (row 8) is NP-complete.
+    assert_eq!(
+        fig5_complexity(AxiomSet::SEMILATTICE_WITH_IDENTITY),
+        PlanComplexity::NpComplete
+    );
+    // Sum (Abelian group, row 7) is NP-complete too.
+    let sum = AxiomSet::A1
+        .with(AxiomSet::A2)
+        .with(AxiomSet::A4)
+        .with(AxiomSet::A5);
+    assert_eq!(fig5_complexity(sum), PlanComplexity::NpComplete);
+    // Non-associative operators (row 1) are polynomial.
+    assert_eq!(fig5_complexity(AxiomSet::NONE), PlanComplexity::Ptime);
+    // Degenerate divisible+idempotent classes are O(1).
+    let degenerate = AxiomSet::A1.with(AxiomSet::A3).with(AxiomSet::A5);
+    assert_eq!(fig5_complexity(degenerate), PlanComplexity::Constant);
+}
+
+/// E7 — ignoring budget uncertainty leaks revenue; throttling recovers
+/// most of it (Section IV's gaming demonstration).
+#[test]
+fn e7_gaming_leak_and_fix() {
+    let report = run_gaming_comparison(7, 120);
+    assert!(
+        report.naive.clicks_beyond_budget > 0,
+        "naive policy must deliver over-budget clicks"
+    );
+    assert!(
+        report.throttled.forgiven < report.naive.forgiven,
+        "throttling must shrink forgiven payments"
+    );
+    assert!(
+        report.throttled.revenue > report.naive.revenue,
+        "throttling must recover revenue: {} vs {}",
+        report.throttled.revenue,
+        report.naive.revenue
+    );
+}

@@ -1,0 +1,163 @@
+//! Cross-crate pipeline tests: workload interest sets → shared plans →
+//! evaluation, against naive references.
+
+use ssa::auction::ids::AdvertiserId;
+use ssa::auction::score::Score;
+use ssa::core::plan::cost::{expected_cost, unshared_expected_cost};
+use ssa::core::plan::optimal::optimal_plan;
+use ssa::core::plan::{PlanProblem, SharedPlanner};
+use ssa::core::topk::{KList, ScoredAd, ScoredTopKOp};
+use ssa::setcover::BitSet;
+use ssa::workload::{Workload, WorkloadConfig};
+
+fn problem_from_workload(w: &Workload) -> PlanProblem {
+    let n = w.advertiser_count();
+    let queries: Vec<BitSet> = w
+        .interest
+        .iter()
+        .map(|ids| BitSet::from_elements(n, ids.iter().map(|a| a.index())))
+        .collect();
+    PlanProblem::new(n, queries, Some(w.search_rates()))
+}
+
+/// Plan evaluation returns exactly the per-phrase naive top-k for every
+/// phrase of a generated workload.
+#[test]
+fn plan_evaluation_matches_naive_topk() {
+    let w = Workload::generate(&WorkloadConfig {
+        advertisers: 150,
+        phrases: 10,
+        topics: 5,
+        seed: 77,
+        ..WorkloadConfig::default()
+    });
+    let problem = problem_from_workload(&w);
+    let plan = SharedPlanner::full().plan(&problem);
+    let k = 5;
+
+    let leaves: Vec<KList<ScoredAd>> = w
+        .advertisers
+        .iter()
+        .map(|a| {
+            KList::singleton(
+                k,
+                ScoredAd::new(a.id, Score::expected_value(a.bid, a.base_factor)),
+            )
+        })
+        .collect();
+    let occurring = vec![true; w.phrase_count()];
+    let (results, ops) = plan.evaluate(&ScoredTopKOp { k }, &leaves, &occurring);
+    assert!(ops > 0);
+
+    #[allow(clippy::needless_range_loop)] // q indexes results and interest together
+    for q in 0..w.phrase_count() {
+        let got: Vec<AdvertiserId> = results[q]
+            .as_ref()
+            .unwrap()
+            .items()
+            .iter()
+            .map(|s| s.advertiser)
+            .collect();
+        // Naive: scan the interest set.
+        let mut naive: KList<ScoredAd> = KList::empty(k);
+        for &a in &w.interest[q] {
+            let adv = &w.advertisers[a.index()];
+            naive.insert(ScoredAd::new(
+                a,
+                Score::expected_value(adv.bid, adv.base_factor),
+            ));
+        }
+        let want: Vec<AdvertiserId> = naive.items().iter().map(|s| s.advertiser).collect();
+        assert_eq!(got, want, "phrase {q}");
+    }
+}
+
+/// Partial rounds: evaluating with only a subset of phrases occurring
+/// materializes strictly less work than a full round.
+#[test]
+fn partial_rounds_cost_less() {
+    let w = Workload::generate(&WorkloadConfig {
+        advertisers: 200,
+        phrases: 12,
+        topics: 4,
+        seed: 13,
+        ..WorkloadConfig::default()
+    });
+    let problem = problem_from_workload(&w);
+    let plan = SharedPlanner::fragments_only().plan(&problem);
+    let k = 3;
+    let leaves: Vec<KList<ScoredAd>> = w
+        .advertisers
+        .iter()
+        .map(|a| {
+            KList::singleton(
+                k,
+                ScoredAd::new(a.id, Score::expected_value(a.bid, a.base_factor)),
+            )
+        })
+        .collect();
+    let all = vec![true; w.phrase_count()];
+    let mut some = vec![false; w.phrase_count()];
+    some[0] = true;
+    some[1] = true;
+    let (_, full_ops) = plan.evaluate(&ScoredTopKOp { k }, &leaves, &all);
+    let (_, partial_ops) = plan.evaluate(&ScoredTopKOp { k }, &leaves, &some);
+    assert!(
+        partial_ops < full_ops,
+        "partial {partial_ops} must be below full {full_ops}"
+    );
+}
+
+/// The heuristic stays within a small factor of optimal on instances the
+/// exact planner can solve.
+#[test]
+fn heuristic_close_to_optimal_on_small_instances() {
+    let mut ratios = Vec::new();
+    for seed in 0..4u64 {
+        let w = Workload::generate(&WorkloadConfig {
+            advertisers: 6,
+            phrases: 3,
+            topics: 2,
+            seed,
+            ..WorkloadConfig::default()
+        });
+        let problem = problem_from_workload(&w);
+        let Some(opt) = optimal_plan(&problem) else {
+            continue;
+        };
+        let heur = SharedPlanner::full().plan(&problem);
+        assert!(heur.total_cost() >= opt.total_cost);
+        if opt.total_cost > 0 {
+            ratios.push(heur.total_cost() as f64 / opt.total_cost as f64);
+        }
+    }
+    assert!(!ratios.is_empty(), "at least one instance must be solvable");
+    let worst = ratios.iter().cloned().fold(0.0f64, f64::max);
+    assert!(worst <= 1.5, "heuristic/optimal worst ratio {worst}");
+}
+
+/// Sharing monotonicity: more topic overlap (fewer topics) yields larger
+/// expected savings from sharing.
+#[test]
+fn savings_grow_with_overlap() {
+    let savings = |topics: usize| {
+        let w = Workload::generate(&WorkloadConfig {
+            advertisers: 300,
+            phrases: 12,
+            topics,
+            seed: 5,
+            ..WorkloadConfig::default()
+        });
+        let problem = problem_from_workload(&w);
+        let plan = SharedPlanner::fragments_only().plan(&problem);
+        let shared = expected_cost(&plan, &problem.search_rates);
+        let unshared = unshared_expected_cost(&problem);
+        1.0 - shared / unshared
+    };
+    let tight = savings(2); // heavy overlap
+    let loose = savings(12); // phrases mostly disjoint
+    assert!(
+        tight > loose,
+        "overlap 2-topic savings {tight:.3} must exceed 12-topic {loose:.3}"
+    );
+}

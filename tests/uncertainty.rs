@@ -1,0 +1,95 @@
+//! Integration tests for the Section IV pipeline: Monte-Carlo validation
+//! that throttled bids mean what they claim, end to end across the stats
+//! and core crates.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use ssa::auction::money::Money;
+use ssa::core::budget::{BudgetContext, OutstandingAd};
+
+fn context(seed: u64, l: usize) -> BudgetContext {
+    let mut rng = StdRng::seed_from_u64(seed);
+    BudgetContext {
+        bid: Money::from_f64(rng.random_range(1.0..4.0)),
+        remaining_budget: Money::from_f64(rng.random_range(3.0..15.0)),
+        auctions_in_round: rng.random_range(1..4),
+        outstanding: (0..l)
+            .map(|_| {
+                OutstandingAd::new(
+                    Money::from_f64(rng.random_range(0.5..4.0)),
+                    rng.random_range(0.05..0.95),
+                )
+            })
+            .collect(),
+    }
+}
+
+/// `throttled_bid_exact` is the Monte-Carlo mean of
+/// `min(b, max(0, β − S)/m)` — the definition in Section IV-A.
+#[test]
+fn throttled_bid_is_the_monte_carlo_expectation() {
+    for seed in [3u64, 17, 99] {
+        let ctx = context(seed, 6);
+        let sum = ctx.debt_sum();
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(31));
+        let trials = 200_000;
+        let m = ctx.auctions_in_round as f64;
+        let beta = ctx.remaining_budget.to_f64();
+        let b = ctx.bid.to_f64();
+        let mut acc = 0.0;
+        for _ in 0..trials {
+            let u: Vec<f64> = (0..sum.len()).map(|_| rng.random::<f64>()).collect();
+            let s = sum.sample_with(&u) as f64 / 1e6;
+            acc += b.min((beta - s).max(0.0) / m);
+        }
+        let mc = acc / trials as f64;
+        let exact = ctx.throttled_bid_exact().to_f64();
+        assert!(
+            (mc - exact).abs() < 0.02,
+            "seed {seed}: Monte Carlo {mc:.4} vs exact {exact:.4}"
+        );
+    }
+}
+
+/// The throttle guarantees affordability in expectation: if the
+/// advertiser pays `b̂` per click across its `m` auctions (each shown ad
+/// clicking for sure — the worst case for spending), the expected
+/// over-budget exposure is bounded by what the stated bid would have
+/// risked, and `b̂ ≤ b` always.
+#[test]
+fn throttled_bids_never_exceed_stated_bids() {
+    for seed in 0..25u64 {
+        let ctx = context(seed, 8);
+        let throttled = ctx.throttled_bid_exact();
+        assert!(throttled <= ctx.bid, "seed {seed}");
+        // And the refiner agrees with the convolution.
+        assert!(
+            (throttled.micros() as i64 - ctx.refiner().exact().micros() as i64).abs() <= 1,
+            "seed {seed}: refiner and convolution disagree"
+        );
+    }
+}
+
+/// Monotonicity sanity across the whole machinery: more budget never
+/// lowers the throttled bid; more pending debt never raises it.
+#[test]
+fn throttled_bid_monotonicity() {
+    let base = context(5, 5);
+    let b0 = base.throttled_bid_exact();
+    let richer = BudgetContext {
+        remaining_budget: base.remaining_budget + Money::from_units(5),
+        ..base.clone()
+    };
+    assert!(richer.throttled_bid_exact() >= b0);
+    let mut deeper = base.clone();
+    deeper
+        .outstanding
+        .push(OutstandingAd::new(Money::from_f64(3.0), 0.9));
+    assert!(deeper.throttled_bid_exact() <= b0);
+    let busier = BudgetContext {
+        auctions_in_round: base.auctions_in_round + 3,
+        ..base
+    };
+    assert!(busier.throttled_bid_exact() <= b0);
+}
