@@ -118,10 +118,17 @@ impl Money {
     }
 
     /// Multiplies by a probability-like factor in `[0, 1]`, rounding to the
-    /// nearest micro. Factors outside `[0, 1]` are clamped.
+    /// nearest micro. Factors outside `[0, 1]` are clamped (`NaN` acts as
+    /// zero). The result never exceeds the original amount, even where the
+    /// `f64` product loses precision (amounts above 2⁵³ micros).
     pub fn scale(self, factor: f64) -> Money {
         let f = factor.clamp(0.0, 1.0);
-        Money((self.0 as f64 * f).round() as u64)
+        if f >= 1.0 {
+            return self;
+        }
+        // A factor within one ulp of 1.0 can still round the product above
+        // `self` for very large amounts; clamp to keep scaling contractive.
+        Money(((self.0 as f64 * f).round() as u64).min(self.0))
     }
 
     /// Rounds down to a multiple of `increment` (e.g. billing in whole
@@ -150,6 +157,9 @@ impl Money {
 
 impl Add for Money {
     type Output = Money;
+    /// Panicking addition; use [`Money::saturating_add`] /
+    /// [`Money::checked_add`] when the sum may exceed [`Money::MAX`]
+    /// (≈ 18.4 trillion units).
     #[inline]
     fn add(self, rhs: Money) -> Money {
         Money(
@@ -289,5 +299,94 @@ mod tests {
             Money::from_units(1).min(Money::from_units(2)),
             Money::from_units(1)
         );
+    }
+
+    #[test]
+    #[should_panic(expected = "overflowed")]
+    fn strict_add_panics_on_overflow() {
+        let _ = Money::MAX + Money::from_micros(1);
+    }
+
+    #[test]
+    #[should_panic(expected = "overflow")]
+    fn from_units_panics_on_overflow() {
+        let _ = Money::from_units(u64::MAX);
+    }
+
+    use proptest::prelude::*;
+
+    proptest! {
+        /// The non-panicking arithmetic is total over the full micro
+        /// domain and agrees with raw `u64` arithmetic on micros.
+        #[test]
+        fn checked_and_saturating_ops_match_raw_micros(a in any::<u64>(), b in any::<u64>()) {
+            let (ma, mb) = (Money::from_micros(a), Money::from_micros(b));
+            prop_assert_eq!(ma.saturating_add(mb).micros(), a.saturating_add(b));
+            prop_assert_eq!(ma.saturating_sub(mb).micros(), a.saturating_sub(b));
+            prop_assert_eq!(ma.checked_add(mb).map(Money::micros), a.checked_add(b));
+            prop_assert_eq!(ma.checked_sub(mb).map(Money::micros), a.checked_sub(b));
+        }
+
+        /// `Ord`, `min`, and `max` are exactly the micro ordering.
+        #[test]
+        fn ordering_matches_micros(a in any::<u64>(), b in any::<u64>()) {
+            let (ma, mb) = (Money::from_micros(a), Money::from_micros(b));
+            prop_assert_eq!(ma.cmp(&mb), a.cmp(&b));
+            prop_assert_eq!(ma.min(mb).micros(), a.min(b));
+            prop_assert_eq!(ma.max(mb).micros(), a.max(b));
+        }
+
+        /// `scale` never panics on rounding edges (clamping out-of-range
+        /// and non-finite factors) and never exceeds the original amount.
+        #[test]
+        fn scale_is_total_and_contractive(
+            micros in any::<u64>(),
+            factor in -2.0f64..3.0,
+        ) {
+            let m = Money::from_micros(micros);
+            let scaled = m.scale(factor);
+            prop_assert!(scaled <= m);
+            if factor >= 1.0 {
+                prop_assert_eq!(scaled, m);
+            }
+            if factor <= 0.0 {
+                prop_assert_eq!(scaled, Money::ZERO);
+            }
+            prop_assert_eq!(m.scale(f64::NAN), Money::ZERO);
+        }
+
+        /// `round_down_to` yields the greatest multiple of the increment
+        /// not exceeding the amount.
+        #[test]
+        fn round_down_is_greatest_multiple(
+            micros in any::<u64>(),
+            increment in 1u64..5_000_000,
+        ) {
+            let inc = Money::from_micros(increment);
+            let rounded = Money::from_micros(micros).round_down_to(inc);
+            prop_assert_eq!(rounded.micros() % increment, 0);
+            prop_assert!(rounded.micros() <= micros);
+            prop_assert!(micros - rounded.micros() < increment);
+        }
+
+        /// `div_n` is floor division: `n` parts never reassemble to more
+        /// than the original, and fall short by less than `n` micros.
+        #[test]
+        fn div_n_is_floor_division(micros in any::<u64>(), n in 1u64..1000) {
+            let part = Money::from_micros(micros).div_n(n).micros();
+            prop_assert_eq!(part, micros / n);
+            prop_assert!(part.checked_mul(n).unwrap() <= micros);
+            prop_assert!(micros - part * n < n);
+        }
+
+        /// `from_f64` round-trips within half a micro for amounts that fit
+        /// comfortably in the f64 mantissa.
+        #[test]
+        fn from_f64_roundtrip(micros in 0u64..1_000_000_000_000) {
+            let m = Money::from_micros(micros);
+            let rt = Money::from_f64(m.to_f64());
+            let diff = rt.micros().abs_diff(micros);
+            prop_assert!(diff <= 1, "{micros} -> {} (diff {diff})", rt.micros());
+        }
     }
 }

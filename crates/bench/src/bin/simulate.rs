@@ -12,10 +12,7 @@ fn main() {
     match args.first().map(String::as_str) {
         Some("--default") => {
             let spec = SimulationSpec::default();
-            println!(
-                "{}",
-                serde_json::to_string_pretty(&spec).expect("spec serializes")
-            );
+            println!("{}", spec.to_json());
         }
         Some(path) => {
             let json = match std::fs::read_to_string(path) {

@@ -4,17 +4,16 @@
 //! engine knobs, horizon — so simulations are reproducible from a config
 //! file checked into an experiments repo.
 
-use serde::{Deserialize, Serialize};
+use crate::json::{self, Value};
 
 use ssa_auction::money::Money;
 use ssa_auction::pricing::PricingRule;
 use ssa_core::engine::{BudgetPolicy, Engine, EngineConfig, EngineMetrics, SharingStrategy};
 use ssa_workload::{Workload, WorkloadConfig};
 
-/// Workload knobs (mirrors [`WorkloadConfig`] with serde-friendly
-/// defaults).
-#[derive(Debug, Clone, Serialize, Deserialize)]
-#[serde(default)]
+/// Workload knobs (mirrors [`WorkloadConfig`] with JSON-friendly
+/// defaults; every field may be omitted from the config file).
+#[derive(Debug, Clone)]
 pub struct WorkloadSpec {
     /// Number of advertisers.
     pub advertisers: usize,
@@ -68,8 +67,7 @@ impl WorkloadSpec {
 }
 
 /// One simulation to run.
-#[derive(Debug, Clone, Serialize, Deserialize)]
-#[serde(default)]
+#[derive(Debug, Clone)]
 pub struct SimulationSpec {
     /// Workload shape.
     pub workload: WorkloadSpec,
@@ -122,10 +120,146 @@ impl std::fmt::Display for ConfigError {
 
 impl std::error::Error for ConfigError {}
 
+fn field<'v>(v: &'v Value, key: &str) -> Option<&'v Value> {
+    v.get(key)
+}
+
+fn usize_field(v: &Value, key: &str, default: usize) -> Result<usize, ConfigError> {
+    match field(v, key) {
+        None => Ok(default),
+        Some(x) => x
+            .as_u64()
+            .map(|n| n as usize)
+            .ok_or_else(|| ConfigError(format!("field '{key}' must be a non-negative integer"))),
+    }
+}
+
+fn u64_field(v: &Value, key: &str, default: u64) -> Result<u64, ConfigError> {
+    match field(v, key) {
+        None => Ok(default),
+        Some(x) => x
+            .as_u64()
+            .ok_or_else(|| ConfigError(format!("field '{key}' must be a non-negative integer"))),
+    }
+}
+
+fn f64_field(v: &Value, key: &str, default: f64) -> Result<f64, ConfigError> {
+    match field(v, key) {
+        None => Ok(default),
+        Some(x) => x
+            .as_f64()
+            .ok_or_else(|| ConfigError(format!("field '{key}' must be a number"))),
+    }
+}
+
+fn string_field(v: &Value, key: &str, default: &str) -> Result<String, ConfigError> {
+    match field(v, key) {
+        None => Ok(default.to_string()),
+        Some(x) => x
+            .as_str()
+            .map(str::to_string)
+            .ok_or_else(|| ConfigError(format!("field '{key}' must be a string"))),
+    }
+}
+
+impl WorkloadSpec {
+    fn from_value(v: &Value) -> Result<Self, ConfigError> {
+        let d = WorkloadSpec::default();
+        Ok(WorkloadSpec {
+            advertisers: usize_field(v, "advertisers", d.advertisers)?,
+            phrases: usize_field(v, "phrases", d.phrases)?,
+            topics: usize_field(v, "topics", d.topics)?,
+            generalist_fraction: f64_field(v, "generalist_fraction", d.generalist_fraction)?,
+            search_rate_zipf_exponent: f64_field(
+                v,
+                "search_rate_zipf_exponent",
+                d.search_rate_zipf_exponent,
+            )?,
+            max_search_rate: f64_field(v, "max_search_rate", d.max_search_rate)?,
+            phrase_factor_jitter: f64_field(v, "phrase_factor_jitter", d.phrase_factor_jitter)?,
+            seed: u64_field(v, "seed", d.seed)?,
+        })
+    }
+
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("advertisers".into(), Value::from(self.advertisers)),
+            ("phrases".into(), Value::from(self.phrases)),
+            ("topics".into(), Value::from(self.topics)),
+            ("generalist_fraction".into(), Value::from(self.generalist_fraction)),
+            (
+                "search_rate_zipf_exponent".into(),
+                Value::from(self.search_rate_zipf_exponent),
+            ),
+            ("max_search_rate".into(), Value::from(self.max_search_rate)),
+            ("phrase_factor_jitter".into(), Value::from(self.phrase_factor_jitter)),
+            ("seed".into(), Value::from(self.seed)),
+        ])
+    }
+}
+
 impl SimulationSpec {
-    /// Parses a spec from JSON.
+    /// Parses a spec from JSON. Unknown fields are ignored and missing
+    /// fields fall back to [`SimulationSpec::default`], matching the
+    /// behavior of the original `#[serde(default)]` derive.
     pub fn from_json(json: &str) -> Result<Self, ConfigError> {
-        serde_json::from_str(json).map_err(|e| ConfigError(e.to_string()))
+        let v = json::parse(json).map_err(|e| ConfigError(e.to_string()))?;
+        if !matches!(v, Value::Object(_)) {
+            return Err(ConfigError("config must be a JSON object".to_string()));
+        }
+        let d = SimulationSpec::default();
+        let workload = match v.get("workload") {
+            None => d.workload,
+            Some(w) => WorkloadSpec::from_value(w)?,
+        };
+        let slot_factors = match v.get("slot_factors") {
+            None => d.slot_factors,
+            Some(x) => x
+                .as_array()
+                .and_then(|items| items.iter().map(Value::as_f64).collect::<Option<Vec<_>>>())
+                .ok_or_else(|| ConfigError("field 'slot_factors' must be an array of numbers".to_string()))?,
+        };
+        Ok(SimulationSpec {
+            workload,
+            rounds: usize_field(&v, "rounds", d.rounds)?,
+            slot_factors,
+            pricing: string_field(&v, "pricing", &d.pricing)?,
+            budget_policy: string_field(&v, "budget_policy", &d.budget_policy)?,
+            sharing: string_field(&v, "sharing", &d.sharing)?,
+            mean_click_delay_rounds: f64_field(
+                &v,
+                "mean_click_delay_rounds",
+                d.mean_click_delay_rounds,
+            )?,
+            click_expiry_rounds: u64_field(&v, "click_expiry_rounds", u64::from(d.click_expiry_rounds))?
+                as u32,
+            ta_threads: usize_field(&v, "ta_threads", d.ta_threads)?,
+            seed: u64_field(&v, "seed", d.seed)?,
+        })
+    }
+
+    /// Renders the spec as pretty-printed JSON (round-trips through
+    /// [`SimulationSpec::from_json`]).
+    pub fn to_json(&self) -> String {
+        Value::Object(vec![
+            ("workload".into(), self.workload.to_value()),
+            ("rounds".into(), Value::from(self.rounds)),
+            (
+                "slot_factors".into(),
+                Value::Array(self.slot_factors.iter().map(|&f| Value::from(f)).collect()),
+            ),
+            ("pricing".into(), Value::from(self.pricing.as_str())),
+            ("budget_policy".into(), Value::from(self.budget_policy.as_str())),
+            ("sharing".into(), Value::from(self.sharing.as_str())),
+            (
+                "mean_click_delay_rounds".into(),
+                Value::from(self.mean_click_delay_rounds),
+            ),
+            ("click_expiry_rounds".into(), Value::from(self.click_expiry_rounds)),
+            ("ta_threads".into(), Value::from(self.ta_threads)),
+            ("seed".into(), Value::from(self.seed)),
+        ])
+        .to_string_pretty()
     }
 
     fn pricing_rule(&self) -> Result<PricingRule, ConfigError> {
@@ -233,9 +367,12 @@ mod tests {
         assert_eq!(spec.rounds, 3);
         assert_eq!(spec.sharing, "unshared");
         assert_eq!(spec.pricing, "gsp");
-        let full = serde_json::to_string(&spec).unwrap();
+        let full = spec.to_json();
         let back = SimulationSpec::from_json(&full).unwrap();
         assert_eq!(back.rounds, spec.rounds);
+        assert_eq!(back.sharing, spec.sharing);
+        assert_eq!(back.slot_factors, spec.slot_factors);
+        assert_eq!(back.workload.advertisers, spec.workload.advertisers);
     }
 
     #[test]

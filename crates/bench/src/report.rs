@@ -5,10 +5,10 @@ use std::fmt::Write as _;
 use std::fs;
 use std::path::Path;
 
-use serde::Serialize;
+use crate::json::Value;
 
 /// A simple column-oriented results table.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Table {
     /// Experiment identifier (e.g. "fig4").
     pub id: String,
@@ -89,15 +89,31 @@ impl Table {
         out
     }
 
+    /// JSON rendering (same shape real serde_json would derive).
+    pub fn to_json(&self) -> String {
+        let rows: Vec<Value> = self
+            .rows
+            .iter()
+            .map(|r| Value::Array(r.iter().map(|c| Value::from(c.as_str())).collect()))
+            .collect();
+        Value::Object(vec![
+            ("id".to_string(), Value::from(self.id.as_str())),
+            ("title".to_string(), Value::from(self.title.as_str())),
+            (
+                "columns".to_string(),
+                Value::Array(self.columns.iter().map(|c| Value::from(c.as_str())).collect()),
+            ),
+            ("rows".to_string(), Value::Array(rows)),
+        ])
+        .to_string_pretty()
+    }
+
     /// Prints to stdout and persists CSV + JSON under `dir`.
     pub fn emit(&self, dir: &Path) -> std::io::Result<()> {
         println!("{}", self.render());
         fs::create_dir_all(dir)?;
         fs::write(dir.join(format!("{}.csv", self.id)), self.to_csv())?;
-        fs::write(
-            dir.join(format!("{}.json", self.id)),
-            serde_json::to_string_pretty(self).expect("table serializes"),
-        )?;
+        fs::write(dir.join(format!("{}.json", self.id)), self.to_json())?;
         Ok(())
     }
 }

@@ -1,4 +1,8 @@
 //! Canonical experiment setups shared between benches and the harness.
+//!
+//! Workload-derived constructions delegate to `ssa_testkit::gen` — the
+//! same generators the differential corpus runs on — so benches measure
+//! exactly the instances the oracle has vetted.
 
 use ssa_core::plan::PlanProblem;
 use ssa_setcover::BitSet;
@@ -18,13 +22,7 @@ pub fn fig4_problem(advertisers: usize, queries: usize, sr: f64, seed: u64) -> P
 
 /// A plan problem derived from a topic-model workload's interest sets.
 pub fn workload_problem(w: &Workload) -> PlanProblem {
-    let n = w.advertiser_count();
-    let queries: Vec<BitSet> = w
-        .interest
-        .iter()
-        .map(|ids| BitSet::from_elements(n, ids.iter().map(|a| a.index())))
-        .collect();
-    PlanProblem::new(n, queries, Some(w.search_rates()))
+    ssa_testkit::gen::plan_problem(w)
 }
 
 /// The standard sweep workload for sharing experiments.
@@ -40,11 +38,7 @@ pub fn sweep_workload(advertisers: usize, phrases: usize, topics: usize, seed: u
 
 /// Interest sets of a workload as bit sets.
 pub fn interest_sets(w: &Workload) -> Vec<BitSet> {
-    let n = w.advertiser_count();
-    w.interest
-        .iter()
-        .map(|ids| BitSet::from_elements(n, ids.iter().map(|a| a.index())))
-        .collect()
+    ssa_testkit::gen::interest_sets(w)
 }
 
 #[cfg(test)]

@@ -133,6 +133,24 @@ impl Ledger {
     }
 }
 
+/// A point-in-time view of one advertiser's budget state, as the *next*
+/// round's winner determination will see it: current bid, remaining
+/// (settled) budget, and the outstanding ads with their residual click
+/// probabilities already applied.
+///
+/// External verification harnesses (the `ssa-testkit` differential
+/// oracle) use these to recompute throttled bids independently of the
+/// engine and cross-check [`Engine::last_effective_bids`].
+#[derive(Debug, Clone)]
+pub struct BudgetSnapshot {
+    /// The advertiser's current per-click bid `b_i`.
+    pub bid: Money,
+    /// Remaining budget `β_i` (budget minus settled spend).
+    pub remaining_budget: Money,
+    /// Outstanding ads awaiting clicks, residual CTRs applied.
+    pub outstanding: Vec<OutstandingAd>,
+}
+
 /// The simulation engine.
 pub struct Engine {
     workload: Workload,
@@ -152,6 +170,9 @@ pub struct Engine {
     sort_plan: Option<SortPlan>,
     /// Per phrase, advertisers by descending `c_i^q` (TA's second list).
     c_orders: Vec<Vec<(AdvertiserId, f64)>>,
+    /// The effective (possibly throttled) bids of the most recent round,
+    /// kept for external verification.
+    last_effective_bids: Vec<Money>,
     metrics: EngineMetrics,
 }
 
@@ -262,6 +283,7 @@ impl Engine {
             plan,
             sort_plan,
             c_orders,
+            last_effective_bids: Vec::new(),
             metrics: EngineMetrics::default(),
         }
     }
@@ -298,6 +320,42 @@ impl Engine {
         &self.workload
     }
 
+    /// The engine configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// The effective (throttled) bids used by the most recent round's
+    /// winner determination; empty before the first round.
+    pub fn last_effective_bids(&self) -> &[Money] {
+        &self.last_effective_bids
+    }
+
+    /// Snapshots every advertiser's budget state as the *next* call to
+    /// [`Engine::run_round`] will see it. Taken together with
+    /// [`Engine::last_effective_bids`], this lets an external oracle
+    /// replay one round's throttled-bid computation exactly.
+    pub fn budget_snapshots(&self) -> Vec<BudgetSnapshot> {
+        self.ledgers
+            .iter()
+            .enumerate()
+            .map(|(i, ledger)| BudgetSnapshot {
+                bid: self.current_bids[i],
+                remaining_budget: ledger.remaining(),
+                outstanding: ledger
+                    .pending
+                    .iter()
+                    .map(|p| {
+                        OutstandingAd::new(
+                            p.price,
+                            self.clicker.residual_ctr(p.display_ctr, p.age),
+                        )
+                    })
+                    .collect(),
+            })
+            .collect()
+    }
+
     /// Runs `rounds` rounds and returns the final metrics.
     pub fn run(&mut self, rounds: usize) -> EngineMetrics {
         for _ in 0..rounds {
@@ -322,6 +380,7 @@ impl Engine {
         // Effective (possibly throttled) bids.
         let started = Instant::now();
         let effective_bids = self.effective_bids(&m_i);
+        self.last_effective_bids = effective_bids.clone();
 
         // Winner determination for every occurring phrase.
         let outcomes: Vec<AuctionOutcome> = match self.config.sharing {

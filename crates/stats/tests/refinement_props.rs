@@ -1,0 +1,115 @@
+//! Soundness properties of the lazy Hoeffding refinement against the
+//! exact convolution: intervals are well-formed at every depth, deeper
+//! refinement never widens a bound, and the exact value computed from the
+//! full `BernoulliSum` distribution lies inside every level.
+
+use proptest::prelude::*;
+use ssa_stats::{BernoulliSum, Clamp, Refiner, Term};
+
+/// Numerical slack for interval membership: the exact value and the
+/// bounds are computed by different floating-point expression trees.
+const EPS: f64 = 1e-9;
+
+fn sum_from(prices: &[u64], probs: &[f64]) -> BernoulliSum {
+    BernoulliSum::new(
+        prices
+            .iter()
+            .zip(probs)
+            .map(|(&price, &p)| Term::new(price, p))
+            .collect(),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// At every depth `0..=max_depth`, `pr_less` returns a well-formed
+    /// probability interval that contains the exact CDF value, and the
+    /// interval width never grows as depth increases.
+    #[test]
+    fn pr_less_refines_soundly(
+        prices in proptest::collection::vec(1u64..2_000_000, 0..7),
+        probs in proptest::collection::vec(0.0f64..=1.0, 7),
+        x_scale in -0.2f64..1.4,
+    ) {
+        let sum = sum_from(&prices, &probs);
+        // Thresholds spanning below-support through above-support.
+        let x = x_scale * (sum.max_value() as f64 + 1.0);
+        let exact = sum.distribution().pr_less(x);
+        let r = Refiner::new(sum, Clamp::Sound);
+        let mut prev_width = f64::INFINITY;
+        for depth in 0..=r.max_depth() {
+            let b = r.pr_less(x, depth);
+            prop_assert!(b.lo() <= b.hi() + EPS, "inverted at depth {depth}: {b:?}");
+            prop_assert!((0.0..=1.0).contains(&b.lo()) && (0.0..=1.0).contains(&b.hi()),
+                "outside [0,1] at depth {depth}: {b:?}");
+            prop_assert!(b.lo() - EPS <= exact && exact <= b.hi() + EPS,
+                "exact {exact} escapes {b:?} at depth {depth}");
+            prop_assert!(b.width() <= prev_width + EPS,
+                "refinement widened at depth {depth}: {} > {prev_width}", b.width());
+            prev_width = b.width();
+        }
+        // Full depth pins the CDF exactly (up to float noise).
+        let full = r.pr_less(x, r.max_depth());
+        prop_assert!(full.width() <= 1e-9, "full depth not exact: {full:?}");
+    }
+
+    /// The truncated first moment `E[S · 1{x ≤ S < y}]` obeys the same
+    /// three properties, with the exact value computed from the full
+    /// distribution.
+    #[test]
+    fn truncated_moment_refines_soundly(
+        prices in proptest::collection::vec(1u64..2_000_000, 0..6),
+        probs in proptest::collection::vec(0.05f64..=1.0, 6),
+        x_scale in -0.2f64..1.2,
+        span in 0.0f64..1.2,
+    ) {
+        let sum = sum_from(&prices, &probs);
+        let top = sum.max_value() as f64 + 1.0;
+        let x = x_scale * top;
+        let y = x + span * top;
+        let exact = sum
+            .distribution()
+            .expectation_of(|v| {
+                let v = v as f64;
+                if x <= v && v < y { v } else { 0.0 }
+            });
+        let r = Refiner::new(sum, Clamp::Sound);
+        // Moments live on the price scale; scale the membership slack up.
+        let eps = EPS * top.max(1.0);
+        let mut prev_width = f64::INFINITY;
+        for depth in 0..=r.max_depth() {
+            let b = r.truncated_moment(x, y, depth);
+            prop_assert!(b.lo() <= b.hi() + eps, "inverted at depth {depth}: {b:?}");
+            prop_assert!(b.lo() - eps <= exact && exact <= b.hi() + eps,
+                "exact {exact} escapes {b:?} at depth {depth}");
+            prop_assert!(b.width() <= prev_width + eps,
+                "refinement widened at depth {depth}");
+            prev_width = b.width();
+        }
+    }
+
+    /// Depth is allowed to exceed `max_depth` and saturates there instead
+    /// of panicking or changing the answer.
+    #[test]
+    fn depth_saturates(
+        prices in proptest::collection::vec(1u64..1_000_000, 0..5),
+        probs in proptest::collection::vec(0.0f64..=1.0, 5),
+    ) {
+        let sum = sum_from(&prices, &probs);
+        let x = sum.mean() + 0.5;
+        let r = Refiner::new(sum, Clamp::Sound);
+        let at_max = r.pr_less(x, r.max_depth());
+        let beyond = r.pr_less(x, r.max_depth() + 7);
+        prop_assert_eq!(at_max, beyond);
+    }
+}
+
+#[test]
+fn empty_sum_is_exact_at_depth_zero() {
+    let r = Refiner::new(BernoulliSum::empty(), Clamp::Sound);
+    assert_eq!(r.max_depth(), 0);
+    let b = r.pr_less(0.5, 0);
+    assert!(b.is_exact());
+    assert_eq!(b.lo(), 1.0, "an empty sum is 0 with certainty, and 0 < 0.5");
+}

@@ -1,0 +1,916 @@
+//! Differential runners and invariant checkers.
+//!
+//! Each check derives a workload from a `u64` seed, executes it through
+//! one of the optimized evaluation paths *and* through the naive oracle,
+//! and reports a [`Divergence`] on any mismatch. A divergence always
+//! carries the reproducing seed, so any failure — in CI or in a soak run
+//! — is a one-liner to replay.
+
+use std::fmt;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use ssa_auction::ids::{AdvertiserId, PhraseId};
+use ssa_auction::money::Money;
+use ssa_auction::score::Score;
+use ssa_core::algebra::expr::Expr;
+use ssa_core::algebra::ops::{check_axioms, AggregateOp, BloomUnionOp};
+use ssa_core::algebra::AxiomSet;
+use ssa_core::budget::compare_throttled;
+use ssa_core::engine::{
+    AuctionOutcome, BudgetPolicy, BudgetSnapshot, Engine, EngineConfig, SharingStrategy,
+};
+use ssa_core::plan::cost::{expected_cost, unshared_expected_cost};
+use ssa_core::plan::cse::{cse_plan, CsePlan, NodeRef};
+use ssa_core::plan::{DisjointPlanner, PlanDag, SharedPlanner};
+use ssa_core::sort::concurrent::{resolve_parallel, ConcurrentMergeNetwork, TaJob};
+use ssa_core::sort::planner::{build_shared_sort_plan, build_shared_sort_plan_bucketed, SortPlan};
+use ssa_core::sort::ta::{naive_top_k, threshold_top_k};
+use ssa_core::topk::{KList, ScoredAd, ScoredTopKOp};
+use ssa_workload::{Workload, WorkloadConfig};
+
+use crate::gen::{self, Profile};
+use crate::oracle;
+
+/// Rounds each dynamic (engine) check simulates per seed.
+const ROUNDS: usize = 4;
+
+/// Score tolerance (in currency units) for the bounds-vs-exact budget
+/// policy comparison: the lazy refiner pins throttled bids to within one
+/// micro, so genuinely tied candidates may legitimately swap.
+const SCORE_EPS: f64 = 1e-4;
+
+/// A reproducible mismatch between an optimized path and the oracle.
+#[derive(Debug, Clone)]
+pub struct Divergence {
+    /// The seed whose workload exposed the mismatch.
+    pub seed: u64,
+    /// Which check failed.
+    pub check: &'static str,
+    /// Human-readable description of the mismatch.
+    pub detail: String,
+}
+
+impl Divergence {
+    fn new(check: &'static str, seed: u64, detail: impl Into<String>) -> Self {
+        Divergence {
+            seed,
+            check,
+            detail: detail.into(),
+        }
+    }
+}
+
+impl fmt::Display for Divergence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{}] seed {}: {}\n  reproduce with: cargo run -p ssa-testkit --bin testkit -- --seed {}",
+            self.check, self.seed, self.detail, self.seed
+        )
+    }
+}
+
+/// A workload-parameterized check (the shape the soak binary's minimizer
+/// drives).
+pub type WorkloadCheck = fn(&WorkloadConfig, u64) -> Result<(), Divergence>;
+
+/// All workload-driven differential checks, with the profile each derives
+/// its config from.
+pub const WORKLOAD_CHECKS: &[(&str, Profile, WorkloadCheck)] = &[
+    ("engine-separable", Profile::TightBudgets, check_engine_separable_with),
+    ("engine-nonseparable", Profile::NonSeparable, check_engine_nonseparable_with),
+    ("plan-paths", Profile::Separable, check_plan_paths_with),
+    ("shared-sort", Profile::NonSeparable, check_shared_sort_with),
+];
+
+/// Seed-only invariant checks (no workload involved).
+pub const SEED_CHECKS: &[(&str, fn(u64) -> Result<(), Divergence>)] = &[
+    ("budget-bounds", check_budget_bounds),
+    ("algebra", check_algebra),
+];
+
+/// Runs every check for one seed and collects all divergences.
+pub fn run_all(seed: u64) -> Vec<Divergence> {
+    let mut out = Vec::new();
+    for (_, profile, f) in WORKLOAD_CHECKS {
+        let cfg = gen::workload_config(seed, *profile);
+        if let Err(d) = f(&cfg, seed) {
+            out.push(d);
+        }
+    }
+    for (_, f) in SEED_CHECKS {
+        if let Err(d) = f(seed) {
+            out.push(d);
+        }
+    }
+    out
+}
+
+fn engine_config(
+    sharing: SharingStrategy,
+    policy: BudgetPolicy,
+    ta_threads: usize,
+    seed: u64,
+) -> EngineConfig {
+    EngineConfig {
+        sharing,
+        budget_policy: policy,
+        ta_threads,
+        // Decorrelate round/click randomness from workload generation.
+        seed: seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(0xe61e),
+        ..EngineConfig::default()
+    }
+}
+
+/// Replays one engine round through the oracle: recomputes the effective
+/// (throttled) bids from the pre-round budget snapshots, then resolves
+/// every occurring phrase independently, and compares bids, assignments,
+/// and prices against what the engine produced.
+fn oracle_check_round(
+    check: &'static str,
+    w: &Workload,
+    engine: &Engine,
+    snapshots: &[BudgetSnapshot],
+    outcomes: &[AuctionOutcome],
+    seed: u64,
+    round: usize,
+) -> Result<(), Divergence> {
+    let cfg = engine.config();
+    let occurring: Vec<PhraseId> = outcomes.iter().map(|o| o.phrase).collect();
+    let m_i = oracle::auction_counts(w, &occurring);
+    let want_bids = oracle::effective_bids(snapshots, &m_i, cfg.budget_policy);
+    let got_bids = engine.last_effective_bids();
+    if want_bids != got_bids {
+        let i = want_bids
+            .iter()
+            .zip(got_bids)
+            .position(|(a, b)| a != b)
+            .unwrap_or(0);
+        return Err(Divergence::new(
+            check,
+            seed,
+            format!(
+                "round {round}: effective bid of advertiser {i} is {} but the oracle's \
+                 exact throttled bid is {} (m_i = {})",
+                got_bids[i], want_bids[i], m_i[i]
+            ),
+        ));
+    }
+    for outcome in outcomes {
+        let want = oracle::phrase_assignment(w, outcome.phrase, &want_bids, &cfg.slot_factors);
+        if want != outcome.assignment {
+            return Err(Divergence::new(
+                check,
+                seed,
+                format!(
+                    "round {round} phrase {}: engine assignment {:?} but independent \
+                     per-phrase scan gives {:?}",
+                    outcome.phrase, outcome.assignment, want
+                ),
+            ));
+        }
+        let want_prices = oracle::phrase_prices(
+            w,
+            outcome.phrase,
+            &want_bids,
+            &want,
+            &cfg.slot_factors,
+            cfg.pricing,
+        );
+        let got_prices = oracle::phrase_prices(
+            w,
+            outcome.phrase,
+            got_bids,
+            &outcome.assignment,
+            &cfg.slot_factors,
+            cfg.pricing,
+        );
+        let same = want_prices.len() == got_prices.len()
+            && want_prices.iter().zip(&got_prices).all(|(a, b)| {
+                a.slot == b.slot
+                    && a.advertiser == b.advertiser
+                    && a.price_per_click == b.price_per_click
+            });
+        if !same {
+            return Err(Divergence::new(
+                check,
+                seed,
+                format!(
+                    "round {round} phrase {}: prices diverge — engine {:?}, oracle {:?}",
+                    outcome.phrase, got_prices, want_prices
+                ),
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Outcome of a variant-vs-reference round comparison.
+enum Agreement {
+    /// Bit-for-bit identical.
+    Exact,
+    /// Identical up to swaps of advertisers whose scores tie within
+    /// [`SCORE_EPS`] (only permitted for the bounds-based budget policy).
+    TieSwapped,
+}
+
+fn compare_outcomes(
+    check: &'static str,
+    variant: &'static str,
+    w: &Workload,
+    reference: &[AuctionOutcome],
+    got: &[AuctionOutcome],
+    oracle_bids: &[Money],
+    tolerant: bool,
+    seed: u64,
+    round: usize,
+) -> Result<Agreement, Divergence> {
+    if reference.len() != got.len()
+        || reference
+            .iter()
+            .zip(got)
+            .any(|(a, b)| a.phrase != b.phrase)
+    {
+        return Err(Divergence::new(
+            check,
+            seed,
+            format!(
+                "round {round} [{variant}]: occurring phrase sets differ \
+                 (reference {:?}, variant {:?})",
+                reference.iter().map(|o| o.phrase).collect::<Vec<_>>(),
+                got.iter().map(|o| o.phrase).collect::<Vec<_>>()
+            ),
+        ));
+    }
+    let mut agreement = Agreement::Exact;
+    for (a, b) in reference.iter().zip(got) {
+        if a.assignment == b.assignment {
+            continue;
+        }
+        if !tolerant {
+            return Err(Divergence::new(
+                check,
+                seed,
+                format!(
+                    "round {round} phrase {} [{variant}]: assignments differ — \
+                     reference {:?}, variant {:?}",
+                    a.phrase, a.assignment, b.assignment
+                ),
+            ));
+        }
+        // Tolerant path: same slot count, and any differing slot must be a
+        // tie within SCORE_EPS under the oracle's exact bids.
+        let wa = a.assignment.winners();
+        let wb = b.assignment.winners();
+        let score_of = |adv: AdvertiserId| {
+            oracle_bids[adv.index()].to_f64()
+                * w.phrase_factor(a.phrase, adv).unwrap_or(0.0)
+        };
+        let tie_ok = wa.len() == wb.len()
+            && wa.iter().zip(wb).all(|(x, y)| {
+                x.advertiser == y.advertiser
+                    || (score_of(x.advertiser) - score_of(y.advertiser)).abs() <= SCORE_EPS
+            });
+        if !tie_ok {
+            return Err(Divergence::new(
+                check,
+                seed,
+                format!(
+                    "round {round} phrase {} [{variant}]: assignments differ beyond \
+                     score ties — reference {:?}, variant {:?}",
+                    a.phrase, a.assignment, b.assignment
+                ),
+            ));
+        }
+        agreement = Agreement::TieSwapped;
+    }
+    Ok(agreement)
+}
+
+struct Variant {
+    name: &'static str,
+    engine: Engine,
+    tolerant: bool,
+    /// Set after a tolerated tie-swap: the variant's ledgers have
+    /// legitimately drifted from the reference's, so later rounds are no
+    /// longer comparable.
+    desynced: bool,
+}
+
+fn run_engine_diff(
+    check: &'static str,
+    w: &Workload,
+    mut reference: Engine,
+    mut variants: Vec<Variant>,
+    seed: u64,
+) -> Result<(), Divergence> {
+    for round in 0..ROUNDS {
+        let snapshots = reference.budget_snapshots();
+        let ref_out = reference.run_round();
+        oracle_check_round(check, w, &reference, &snapshots, &ref_out, seed, round)?;
+        let oracle_bids = reference.last_effective_bids().to_vec();
+        for v in &mut variants {
+            let out = v.engine.run_round();
+            if v.desynced {
+                continue;
+            }
+            match compare_outcomes(
+                check,
+                v.name,
+                w,
+                &ref_out,
+                &out,
+                &oracle_bids,
+                v.tolerant,
+                seed,
+                round,
+            )? {
+                Agreement::Exact => {}
+                Agreement::TieSwapped => v.desynced = true,
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Differential check over a separable (jitter-free) workload: the
+/// unshared scan, the Section II shared aggregation plan, the Section III
+/// shared sort (sequential and parallel), and the bounds-based budget
+/// policy must all produce the reference outcomes; the reference itself
+/// is replayed against the naive oracle each round. The `Ignore` budget
+/// policy gets its own oracle replay.
+pub fn check_engine_separable_with(cfg: &WorkloadConfig, seed: u64) -> Result<(), Divergence> {
+    const CHECK: &str = "engine-separable";
+    let w = Workload::generate(cfg);
+    let reference = Engine::new(
+        w.clone(),
+        engine_config(SharingStrategy::Unshared, BudgetPolicy::ThrottleExact, 1, seed),
+    );
+    let variants = vec![
+        Variant {
+            name: "shared-plan",
+            engine: Engine::new(
+                w.clone(),
+                engine_config(
+                    SharingStrategy::SharedAggregation,
+                    BudgetPolicy::ThrottleExact,
+                    1,
+                    seed,
+                ),
+            ),
+            tolerant: false,
+            desynced: false,
+        },
+        Variant {
+            name: "shared-sort",
+            engine: Engine::new(
+                w.clone(),
+                engine_config(SharingStrategy::SharedSort, BudgetPolicy::ThrottleExact, 1, seed),
+            ),
+            tolerant: false,
+            desynced: false,
+        },
+        Variant {
+            name: "shared-sort-parallel",
+            engine: Engine::new(
+                w.clone(),
+                engine_config(SharingStrategy::SharedSort, BudgetPolicy::ThrottleExact, 2, seed),
+            ),
+            tolerant: false,
+            desynced: false,
+        },
+        Variant {
+            name: "throttle-bounds",
+            engine: Engine::new(
+                w.clone(),
+                engine_config(SharingStrategy::Unshared, BudgetPolicy::ThrottleBounds, 1, seed),
+            ),
+            tolerant: true,
+            desynced: false,
+        },
+    ];
+    run_engine_diff(CHECK, &w, reference, variants, seed)?;
+
+    // The budget-ignoring baseline has different semantics, so it is only
+    // replayed against the oracle, not against the throttled reference.
+    let mut ignore = Engine::new(
+        w.clone(),
+        engine_config(SharingStrategy::Unshared, BudgetPolicy::Ignore, 1, seed),
+    );
+    for round in 0..ROUNDS {
+        let snapshots = ignore.budget_snapshots();
+        let out = ignore.run_round();
+        oracle_check_round(CHECK, &w, &ignore, &snapshots, &out, seed, round)?;
+    }
+    Ok(())
+}
+
+/// Seed-only wrapper for [`check_engine_separable_with`].
+pub fn check_engine_separable(seed: u64) -> Result<(), Divergence> {
+    check_engine_separable_with(&gen::workload_config(seed, Profile::TightBudgets), seed)
+}
+
+/// Differential check over a non-separable (phrase-jittered) workload:
+/// the shared sort — sequential and parallel — against the unshared scan,
+/// with the oracle replaying the reference.
+pub fn check_engine_nonseparable_with(cfg: &WorkloadConfig, seed: u64) -> Result<(), Divergence> {
+    const CHECK: &str = "engine-nonseparable";
+    let w = Workload::generate(cfg);
+    let reference = Engine::new(
+        w.clone(),
+        engine_config(SharingStrategy::Unshared, BudgetPolicy::ThrottleExact, 1, seed),
+    );
+    let variants = vec![
+        Variant {
+            name: "shared-sort",
+            engine: Engine::new(
+                w.clone(),
+                engine_config(SharingStrategy::SharedSort, BudgetPolicy::ThrottleExact, 1, seed),
+            ),
+            tolerant: false,
+            desynced: false,
+        },
+        Variant {
+            name: "shared-sort-parallel",
+            engine: Engine::new(
+                w.clone(),
+                engine_config(SharingStrategy::SharedSort, BudgetPolicy::ThrottleExact, 2, seed),
+            ),
+            tolerant: false,
+            desynced: false,
+        },
+        Variant {
+            name: "throttle-bounds",
+            engine: Engine::new(
+                w.clone(),
+                engine_config(SharingStrategy::Unshared, BudgetPolicy::ThrottleBounds, 1, seed),
+            ),
+            tolerant: true,
+            desynced: false,
+        },
+    ];
+    run_engine_diff(CHECK, &w, reference, variants, seed)
+}
+
+/// Seed-only wrapper for [`check_engine_nonseparable_with`].
+pub fn check_engine_nonseparable(seed: u64) -> Result<(), Divergence> {
+    check_engine_nonseparable_with(&gen::workload_config(seed, Profile::NonSeparable), seed)
+}
+
+/// Evaluates a CSE plan (the non-associative sharing baseline) bottom-up.
+fn eval_cse(plan: &CsePlan, op: &ScoredTopKOp, leaves: &[KList<ScoredAd>]) -> Vec<KList<ScoredAd>> {
+    fn resolve(
+        r: NodeRef,
+        values: &[KList<ScoredAd>],
+        leaves: &[KList<ScoredAd>],
+    ) -> KList<ScoredAd> {
+        match r {
+            NodeRef::Var(v) => leaves[v].clone(),
+            NodeRef::Node(i) => values[i].clone(),
+        }
+    }
+    let mut values: Vec<KList<ScoredAd>> = Vec::with_capacity(plan.nodes.len());
+    for &(a, b) in &plan.nodes {
+        let va = resolve(a, &values, leaves);
+        let vb = resolve(b, &values, leaves);
+        values.push(op.combine(&va, &vb));
+    }
+    plan.roots
+        .iter()
+        .map(|&r| resolve(r, &values, leaves))
+        .collect()
+}
+
+fn ranked_ids(list: &KList<ScoredAd>) -> Vec<AdvertiserId> {
+    list.items().iter().map(|s| s.advertiser).collect()
+}
+
+/// Static differential check of the shared-aggregation machinery: the
+/// greedy planner, the fragments-only planner, the disjoint planner, and
+/// the CSE baseline are each evaluated on the same leaf scores and
+/// compared per phrase against the oracle ranking; plan invariants
+/// (`validate`, cost sanity) are asserted along the way.
+pub fn check_plan_paths_with(cfg: &WorkloadConfig, seed: u64) -> Result<(), Divergence> {
+    const CHECK: &str = "plan-paths";
+    let w = Workload::generate(cfg);
+    let (problem, kept) = gen::plan_problem_nonempty(&w);
+    if problem.query_count() == 0 {
+        return Ok(());
+    }
+    let k = 3usize;
+    let op = ScoredTopKOp { k };
+    let bids: Vec<Money> = w.advertisers.iter().map(|a| a.bid).collect();
+    let leaves: Vec<KList<ScoredAd>> = w
+        .advertisers
+        .iter()
+        .map(|a| {
+            KList::singleton(k, ScoredAd::new(a.id, Score::expected_value(a.bid, a.base_factor)))
+        })
+        .collect();
+    let expected: Vec<Vec<AdvertiserId>> = kept
+        .iter()
+        .map(|&q| {
+            oracle::phrase_ranking(&w, PhraseId::from_index(q), &bids)
+                .into_iter()
+                .take(k)
+                .collect()
+        })
+        .collect();
+
+    let planners: [(&str, PlanDag); 3] = [
+        ("greedy", SharedPlanner::full().plan(&problem)),
+        ("fragments", SharedPlanner::fragments_only().plan(&problem)),
+        ("disjoint", DisjointPlanner.plan(&problem)),
+    ];
+    let unshared = unshared_expected_cost(&problem);
+    for (name, plan) in &planners {
+        if let Err(e) = plan.validate() {
+            return Err(Divergence::new(
+                CHECK,
+                seed,
+                format!("{name} plan fails validation: {e}"),
+            ));
+        }
+        let cost = expected_cost(plan, &problem.search_rates);
+        if cost > unshared + 1e-9 {
+            return Err(Divergence::new(
+                CHECK,
+                seed,
+                format!(
+                    "{name} plan expected cost {cost:.6} exceeds unshared cost {unshared:.6}"
+                ),
+            ));
+        }
+        let occurring = vec![true; problem.query_count()];
+        let (results, _) = plan.evaluate(&op, &leaves, &occurring);
+        for (i, result) in results.iter().enumerate() {
+            let got = ranked_ids(result.as_ref().expect("occurring query evaluated"));
+            if got != expected[i] {
+                return Err(Divergence::new(
+                    CHECK,
+                    seed,
+                    format!(
+                        "{name} plan: phrase {} top-{k} is {:?} but the oracle scan \
+                         gives {:?}",
+                        kept[i], got, expected[i]
+                    ),
+                ));
+            }
+        }
+    }
+
+    // The CSE baseline: left-deep parse trees, shared only syntactically
+    // (under A3+A4 canonicalization), evaluated with the same operator.
+    let exprs: Vec<Expr> = problem
+        .queries
+        .iter()
+        .map(|set| Expr::chain(&set.iter().collect::<Vec<usize>>()))
+        .collect();
+    let cse = cse_plan(&exprs, AxiomSet::A3.with(AxiomSet::A4));
+    let roots = eval_cse(&cse, &op, &leaves);
+    for (i, root) in roots.iter().enumerate() {
+        let got = ranked_ids(root);
+        if got != expected[i] {
+            return Err(Divergence::new(
+                CHECK,
+                seed,
+                format!(
+                    "cse baseline: phrase {} top-{k} is {:?} but the oracle scan gives {:?}",
+                    kept[i], got, expected[i]
+                ),
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Seed-only wrapper for [`check_plan_paths_with`].
+pub fn check_plan_paths(seed: u64) -> Result<(), Divergence> {
+    check_plan_paths_with(&gen::workload_config(seed, Profile::Separable), seed)
+}
+
+/// Static differential check of the shared-sort machinery: the quadratic
+/// and the bucketed planners, each resolved per phrase with the Threshold
+/// Algorithm (sequentially and through the concurrent network), against
+/// the naive full scan and the oracle.
+pub fn check_shared_sort_with(cfg: &WorkloadConfig, seed: u64) -> Result<(), Divergence> {
+    const CHECK: &str = "shared-sort";
+    let w = Workload::generate(cfg);
+    let n = w.advertiser_count();
+    let interest = gen::interest_sets(&w);
+    let rates = w.search_rates();
+    let bids: Vec<Money> = w.advertisers.iter().map(|a| a.bid).collect();
+    let k = 3usize;
+
+    let c_orders: Vec<Vec<(AdvertiserId, f64)>> = (0..w.phrase_count())
+        .map(|q| {
+            let phrase = PhraseId::from_index(q);
+            let mut order: Vec<(AdvertiserId, f64)> = w.interest[q]
+                .iter()
+                .map(|&a| (a, w.phrase_factor(phrase, a).expect("interested")))
+                .collect();
+            order.sort_by(|x, y| y.1.total_cmp(&x.1).then(x.0.cmp(&y.0)));
+            order
+        })
+        .collect();
+
+    let expected: Vec<Vec<(AdvertiserId, Score)>> = (0..w.phrase_count())
+        .map(|q| {
+            let phrase = PhraseId::from_index(q);
+            naive_top_k(
+                &w.interest[q],
+                |a| bids[a.index()],
+                |a| w.phrase_factor(phrase, a).unwrap_or(0.0),
+                k,
+            )
+        })
+        .collect();
+    // Cross-check the naive scan itself against the oracle's full ranking.
+    for (q, exp) in expected.iter().enumerate() {
+        let ranking = oracle::phrase_ranking(&w, PhraseId::from_index(q), &bids);
+        let prefix: Vec<AdvertiserId> = ranking.into_iter().take(exp.len()).collect();
+        let got: Vec<AdvertiserId> = exp.iter().map(|&(a, _)| a).collect();
+        if got != prefix {
+            return Err(Divergence::new(
+                CHECK,
+                seed,
+                format!("naive scan and oracle ranking disagree on phrase {q}"),
+            ));
+        }
+    }
+
+    let plans: [(&str, SortPlan); 2] = [
+        ("greedy", build_shared_sort_plan(n, &interest, &rates)),
+        ("bucketed", build_shared_sort_plan_bucketed(n, &interest, &rates)),
+    ];
+    for (name, plan) in &plans {
+        // The sort planners are heuristics: greedy merging plus the
+        // smallest-first completion phase can exceed the *balanced-tree*
+        // unshared baseline on adversarial overlap patterns, so unlike
+        // aggregation plans there is no `cost ≤ unshared` guarantee to
+        // assert. What is guaranteed: the cost model is finite,
+        // non-negative, and zero exactly when no phrase needs a merge.
+        let cost = plan.expected_cost(&rates);
+        let unshared = SortPlan::unshared_expected_cost(&interest, &rates);
+        if !cost.is_finite() || cost < 0.0 || !unshared.is_finite() || unshared < 0.0 {
+            return Err(Divergence::new(
+                CHECK,
+                seed,
+                format!(
+                    "{name} sort plan has malformed expected cost {cost} (unshared {unshared})"
+                ),
+            ));
+        }
+        if unshared == 0.0 && cost > 0.0 {
+            return Err(Divergence::new(
+                CHECK,
+                seed,
+                format!("{name} sort plan costs {cost} on a workload with no merges to do"),
+            ));
+        }
+        let (mut net, roots) = plan.instantiate(&bids);
+        for q in 0..w.phrase_count() {
+            let phrase = PhraseId::from_index(q);
+            let outcome = threshold_top_k(
+                &mut net,
+                roots[q],
+                &c_orders[q],
+                |a| bids[a.index()],
+                |a| w.phrase_factor(phrase, a).unwrap_or(0.0),
+                k,
+            );
+            if outcome.top_k != expected[q] {
+                return Err(Divergence::new(
+                    CHECK,
+                    seed,
+                    format!(
+                        "{name} plan, TA on phrase {q}: got {:?}, naive scan {:?}",
+                        outcome.top_k, expected[q]
+                    ),
+                ));
+            }
+        }
+        // The concurrent network must agree item for item.
+        let (cnet, croots) = ConcurrentMergeNetwork::from_plan(plan, &bids);
+        let jobs: Vec<TaJob> = (0..w.phrase_count())
+            .map(|q| (croots[q], c_orders[q].clone(), k))
+            .collect();
+        let outcomes = resolve_parallel(
+            &cnet,
+            &jobs,
+            |_, a| bids[a.index()],
+            |q, a| w.phrase_factor(PhraseId::from_index(q), a).unwrap_or(0.0),
+            2,
+        );
+        for (q, outcome) in outcomes.iter().enumerate() {
+            if outcome.top_k != expected[q] {
+                return Err(Divergence::new(
+                    CHECK,
+                    seed,
+                    format!(
+                        "{name} plan, parallel TA on phrase {q}: got {:?}, naive scan {:?}",
+                        outcome.top_k, expected[q]
+                    ),
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Seed-only wrapper for [`check_shared_sort_with`].
+pub fn check_shared_sort(seed: u64) -> Result<(), Divergence> {
+    check_shared_sort_with(&gen::workload_config(seed, Profile::NonSeparable), seed)
+}
+
+/// Hoeffding-bound soundness over random budget states: at every
+/// refinement depth the interval is well-formed, contains the exact
+/// convolution value, and never widens; at full depth it pins the value;
+/// and bound-based comparisons agree with exact comparisons.
+pub fn check_budget_bounds(seed: u64) -> Result<(), Divergence> {
+    const CHECK: &str = "budget-bounds";
+    let contexts: Vec<_> = (0..6u64)
+        .map(|i| gen::budget_context(seed.wrapping_mul(131).wrapping_add(i)))
+        .collect();
+    for (i, c) in contexts.iter().enumerate() {
+        let exact = c.throttled_bid_exact().micros() as f64;
+        let r = c.refiner();
+        let mut prev_width = f64::INFINITY;
+        for depth in 0..=r.max_depth() {
+            let b = r.bounds(depth);
+            if b.lo() > b.hi() {
+                return Err(Divergence::new(
+                    CHECK,
+                    seed,
+                    format!("context {i} depth {depth}: interval inverted [{}, {}]", b.lo(), b.hi()),
+                ));
+            }
+            if !(b.lo() - 2.0 <= exact && exact <= b.hi() + 2.0) {
+                return Err(Divergence::new(
+                    CHECK,
+                    seed,
+                    format!(
+                        "context {i} depth {depth}: exact throttled bid {exact} outside \
+                         bound [{}, {}]",
+                        b.lo(),
+                        b.hi()
+                    ),
+                ));
+            }
+            if b.width() > prev_width + 1e-6 {
+                return Err(Divergence::new(
+                    CHECK,
+                    seed,
+                    format!(
+                        "context {i} depth {depth}: refinement widened the bound \
+                         ({} > {prev_width})",
+                        b.width()
+                    ),
+                ));
+            }
+            prev_width = b.width();
+        }
+        let via_bounds = r.exact().micros() as i64;
+        if (via_bounds - exact as i64).abs() > 1 {
+            return Err(Divergence::new(
+                CHECK,
+                seed,
+                format!(
+                    "context {i}: full-depth bounds give {via_bounds} micros, \
+                     convolution gives {exact}"
+                ),
+            ));
+        }
+    }
+    // Pairwise: lazy comparison must agree with exact ordering whenever
+    // the exact values are not a rounding-level tie.
+    for i in 0..contexts.len() {
+        for j in (i + 1)..contexts.len() {
+            let (a, b) = (&contexts[i], &contexts[j]);
+            let ea = a.throttled_bid_exact().micros() as i64;
+            let eb = b.throttled_bid_exact().micros() as i64;
+            if (ea - eb).abs() <= 2 {
+                continue;
+            }
+            let out = compare_throttled(&a.refiner(), &b.refiner());
+            if out.ordering != ea.cmp(&eb) {
+                return Err(Divergence::new(
+                    CHECK,
+                    seed,
+                    format!(
+                        "contexts {i} vs {j}: lazy comparison says {:?} but exact \
+                         micros are {ea} vs {eb}",
+                        out.ordering
+                    ),
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Algebra axioms A1–A5 for the k-list and Bloom-filter merge operators,
+/// on randomized samples: every *declared* axiom must hold on all sample
+/// combinations, A5 must not be declared for either semilattice, and a
+/// concrete witness shows divisibility genuinely fails for top-k.
+pub fn check_algebra(seed: u64) -> Result<(), Divergence> {
+    const CHECK: &str = "algebra";
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xa19e_b5a5);
+    for k in 1..=3usize {
+        let op = ScoredTopKOp { k };
+        let samples: Vec<KList<ScoredAd>> =
+            (0..6).map(|_| gen::scored_klist(&mut rng, k)).collect();
+        let report = check_axioms(&op, &samples);
+        if !report.ok() {
+            return Err(Divergence::new(
+                CHECK,
+                seed,
+                format!("top-{k} axioms violated: {:?}", report.violations),
+            ));
+        }
+        if op.axioms().divisible() {
+            return Err(Divergence::new(
+                CHECK,
+                seed,
+                "top-k must not declare divisibility (A5)",
+            ));
+        }
+    }
+    // A5 witness: with k = 1, merging can only keep the maximum, so
+    // `hi ⊕ c = lo` has no solution when lo < hi — divisibility fails.
+    let op1 = ScoredTopKOp { k: 1 };
+    let hi = KList::singleton(1, ScoredAd::new(AdvertiserId::from_index(0), Score::new(9.0)));
+    let lo = KList::singleton(1, ScoredAd::new(AdvertiserId::from_index(1), Score::new(1.0)));
+    let mut witnesses: Vec<KList<ScoredAd>> =
+        (0..8).map(|_| gen::scored_klist(&mut rng, 1)).collect();
+    witnesses.push(lo.clone());
+    if witnesses.iter().any(|c| op1.combine(&hi, c) == lo) {
+        return Err(Divergence::new(
+            CHECK,
+            seed,
+            "top-1 merge solved hi ⊕ c = lo with lo < hi — merge is not keeping the max",
+        ));
+    }
+
+    let bloom_op = BloomUnionOp {
+        m_bits: 128,
+        hashes: 3,
+    };
+    let samples: Vec<_> = (0..6).map(|_| gen::bloom_filter(&mut rng, 128, 3)).collect();
+    let report = check_axioms(&bloom_op, &samples);
+    if !report.ok() {
+        return Err(Divergence::new(
+            CHECK,
+            seed,
+            format!("bloom-union axioms violated: {:?}", report.violations),
+        ));
+    }
+    if bloom_op.axioms().divisible() {
+        return Err(Divergence::new(
+            CHECK,
+            seed,
+            "bloom-union must not declare divisibility (A5)",
+        ));
+    }
+    // Intersection is a semilattice too (no practical identity): check
+    // A1/A3/A4 directly.
+    for a in &samples {
+        if a.intersection(a) != *a {
+            return Err(Divergence::new(CHECK, seed, "bloom-intersection not idempotent"));
+        }
+        for b in &samples {
+            if a.intersection(b) != b.intersection(a) {
+                return Err(Divergence::new(CHECK, seed, "bloom-intersection not commutative"));
+            }
+            for c in &samples {
+                if a.intersection(b).intersection(c) != a.intersection(&b.intersection(c)) {
+                    return Err(Divergence::new(CHECK, seed, "bloom-intersection not associative"));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_all_is_clean_on_a_few_seeds() {
+        for seed in [0u64, 1, 2] {
+            let ds = run_all(seed);
+            assert!(ds.is_empty(), "seed {seed}: {:?}", ds);
+        }
+    }
+
+    #[test]
+    fn divergence_display_carries_the_seed() {
+        let d = Divergence::new("demo", 42, "something diverged");
+        let s = d.to_string();
+        assert!(s.contains("seed 42"));
+        assert!(s.contains("--seed 42"));
+    }
+}

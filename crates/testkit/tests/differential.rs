@@ -1,0 +1,29 @@
+//! The fixed differential corpus run in CI.
+//!
+//! 200 seeds by default; set `TESTKIT_SEEDS` to widen locally, e.g.
+//! `TESTKIT_SEEDS=2000 cargo test -p ssa-testkit --release`.
+
+use ssa_testkit::diff;
+
+fn corpus_size() -> u64 {
+    std::env::var("TESTKIT_SEEDS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(200)
+}
+
+#[test]
+fn corpus_has_zero_divergence() {
+    let mut failures = Vec::new();
+    for seed in 0..corpus_size() {
+        for d in diff::run_all(seed) {
+            failures.push(d.to_string());
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "{} divergence(s):\n{}",
+        failures.len(),
+        failures.join("\n")
+    );
+}

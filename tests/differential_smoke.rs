@@ -1,0 +1,21 @@
+//! Root-level smoke test for the differential-oracle harness: a handful
+//! of seeds through every check, so plain `cargo test -q` exercises the
+//! oracle even without running the full `ssa-testkit` corpus.
+
+use ssa_testkit::run_all;
+
+#[test]
+fn a_few_seeds_through_every_differential_check() {
+    for seed in [3u64, 1009, 90210] {
+        let divergences = run_all(seed);
+        assert!(
+            divergences.is_empty(),
+            "seed {seed} diverged:\n{}",
+            divergences
+                .iter()
+                .map(|d| d.to_string())
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+    }
+}

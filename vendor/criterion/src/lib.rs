@@ -1,0 +1,315 @@
+//! Offline stand-in for [`criterion`](https://crates.io/crates/criterion).
+//!
+//! Implements the API subset the workspace's benches use —
+//! [`criterion_group!`], [`criterion_main!`], [`Criterion`],
+//! [`BenchmarkId`], `benchmark_group` / `bench_function` /
+//! `bench_with_input`, and [`black_box`] — with a deliberately simple
+//! measurement loop: warm up once, then time a handful of iterations and
+//! print mean wall-clock time per iteration. No statistics, plots, or
+//! baselines; the numbers are coarse but the benches stay runnable (and
+//! compiled under `cargo bench`) without network access.
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 10,
+            measurement_time: Duration::from_millis(500),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the target number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the time budget per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: None,
+        }
+    }
+
+    /// Benchmarks a single function.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = id.into_benchmark_id().label;
+        run_one(&label, self.sample_size, self.measurement_time, &mut f);
+        self
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(1));
+        self
+    }
+
+    /// Sets the time budget for this group (accepted, loosely honored).
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.criterion.measurement_time = d;
+        self
+    }
+
+    fn effective_samples(&self) -> usize {
+        self.sample_size.unwrap_or(self.criterion.sample_size)
+    }
+
+    /// Benchmarks a closure under this group.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into_benchmark_id().label);
+        run_one(
+            &label,
+            self.effective_samples(),
+            self.criterion.measurement_time,
+            &mut f,
+        );
+        self
+    }
+
+    /// Benchmarks a closure that receives an input by reference.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.into_benchmark_id().label);
+        run_one(
+            &label,
+            self.effective_samples(),
+            self.criterion.measurement_time,
+            &mut |b| f(b, input),
+        );
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Identifier for one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter` identifier.
+    pub fn new(name: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            label: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// Identifier carrying only a parameter.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+/// Conversion into [`BenchmarkId`] (mirrors criterion's blanket accepts).
+pub trait IntoBenchmarkId {
+    /// Converts `self` into a [`BenchmarkId`].
+    fn into_benchmark_id(self) -> BenchmarkId;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        self
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId {
+            label: self.to_string(),
+        }
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId { label: self }
+    }
+}
+
+/// Timing harness handed to each benchmark closure.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`, accumulating into this bencher's measurement.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed += start.elapsed();
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    label: &str,
+    samples: usize,
+    budget: Duration,
+    f: &mut F,
+) {
+    // Warm-up / calibration: one iteration, timed.
+    let mut calibrate = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut calibrate);
+    let per_iter = calibrate.elapsed.max(Duration::from_nanos(1));
+    // Fit the requested samples into the budget, ≥1 iteration per sample.
+    let per_sample = budget / samples as u32;
+    let iters = (per_sample.as_nanos() / per_iter.as_nanos()).clamp(1, 1_000_000) as u64;
+
+    let mut total = Duration::ZERO;
+    let mut total_iters = 0u64;
+    for _ in 0..samples {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        total += b.elapsed;
+        total_iters += b.iters;
+    }
+    let mean_ns = total.as_nanos() as f64 / total_iters.max(1) as f64;
+    println!("bench: {label:<56} {:>14} /iter ({total_iters} iters)", format_ns(mean_ns));
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Declares a group of benchmark functions (both criterion forms).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the benchmark binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sum_to(n: u64) -> u64 {
+        (0..n).sum()
+    }
+
+    #[test]
+    fn harness_runs_groups_and_functions() {
+        let mut c = Criterion::default()
+            .sample_size(2)
+            .measurement_time(Duration::from_millis(5));
+        c.bench_function("standalone", |b| b.iter(|| sum_to(black_box(100))));
+        let mut g = c.benchmark_group("group");
+        g.sample_size(2);
+        g.bench_function(BenchmarkId::new("sum", 10), |b| {
+            b.iter(|| sum_to(black_box(10)))
+        });
+        g.bench_with_input(BenchmarkId::from_parameter(50), &50u64, |b, &n| {
+            b.iter(|| sum_to(n))
+        });
+        g.finish();
+    }
+
+    mod grouped {
+        use super::super::*;
+
+        fn bench_demo(c: &mut Criterion) {
+            c.bench_function("demo", |b| b.iter(|| 1 + 1));
+        }
+
+        criterion_group! {
+            name = block_form;
+            config = Criterion::default().sample_size(2).measurement_time(Duration::from_millis(2));
+            targets = bench_demo
+        }
+        criterion_group!(list_form, bench_demo);
+
+        #[test]
+        fn both_group_forms_execute() {
+            block_form();
+            list_form();
+        }
+    }
+}

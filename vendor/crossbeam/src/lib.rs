@@ -1,0 +1,60 @@
+//! Offline stand-in for [`crossbeam`](https://crates.io/crates/crossbeam),
+//! providing `crossbeam::thread::scope` on top of `std::thread::scope`
+//! (stable since Rust 1.63).
+//!
+//! Semantics difference: if a spawned thread panics, `std::thread::scope`
+//! re-raises the panic when the scope exits, whereas crossbeam returns
+//! `Err`. Every workspace call site immediately `.expect()`s the result,
+//! so the observable behavior (test failure with the panic message) is
+//! the same.
+
+#![warn(missing_docs)]
+
+/// Scoped threads (subset of `crossbeam::thread`).
+pub mod thread {
+    /// Handle passed to the closure given to [`scope`]; `spawn` launches a
+    /// worker that may borrow from the enclosing scope.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped worker. The closure receives the underlying
+        /// `std::thread::Scope` (crossbeam passes the scope itself; every
+        /// workspace call site ignores the argument).
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&'scope std::thread::Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            inner.spawn(move || f(inner))
+        }
+    }
+
+    /// Runs `f` with a scope in which borrowing spawns are allowed; joins
+    /// all workers before returning.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn std::any::Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+
+        #[test]
+        fn scoped_threads_borrow_and_join() {
+            let counter = AtomicUsize::new(0);
+            super::scope(|scope| {
+                for _ in 0..8 {
+                    scope.spawn(|_| counter.fetch_add(1, Ordering::Relaxed));
+                }
+            })
+            .expect("no worker panicked");
+            assert_eq!(counter.load(Ordering::Relaxed), 8);
+        }
+    }
+}

@@ -1,0 +1,534 @@
+//! Offline stand-in for the [`proptest`](https://crates.io/crates/proptest)
+//! crate, implementing the subset this workspace uses:
+//!
+//! * the [`proptest!`] macro (with `#![proptest_config(..)]` headers),
+//! * [`prop_assert!`], [`prop_assert_eq!`], [`prop_assert_ne!`],
+//!   [`prop_assume!`],
+//! * integer / float range strategies (`0usize..9`, `0.0f64..=1.0`),
+//! * [`any::<T>()`](prelude::any), [`Just`](strategy::Just),
+//! * [`collection::vec`] and [`collection::btree_set`].
+//!
+//! Differences from real proptest: generation is plain random sampling
+//! (no shrinking — the failing inputs are printed verbatim together with
+//! the per-test seed), and the RNG is this workspace's vendored
+//! xoshiro256**. Case counts honor `ProptestConfig::with_cases` and the
+//! `PROPTEST_CASES` environment variable (the latter takes precedence, so
+//! local runs can widen the search: `PROPTEST_CASES=10000 cargo test`).
+
+#![warn(missing_docs)]
+
+use rand::rngs::StdRng;
+
+/// Test-case generation configuration (subset of proptest's).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of accepted cases each property must pass.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+
+    /// Cases to actually run: `PROPTEST_CASES` env var wins over the
+    /// configured count.
+    pub fn effective_cases(&self) -> u32 {
+        std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(self.cases)
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Why a generated case did not pass.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// `prop_assume!` rejected the inputs; the runner draws a fresh case.
+    Reject,
+    /// A `prop_assert!` failed.
+    Fail(String),
+}
+
+/// Result type each property body evaluates to.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Strategies: how to generate values.
+pub mod strategy {
+    use super::StdRng;
+    use rand::Rng;
+
+    /// A value generator (flattened from proptest's `Strategy`; no
+    /// shrinking).
+    pub trait Strategy {
+        /// The generated type.
+        type Value: std::fmt::Debug + Clone;
+        /// Draws one value.
+        fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            O: std::fmt::Debug + Clone,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// Strategy produced by [`Strategy::prop_map`].
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        O: std::fmt::Debug + Clone,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+        fn generate(&self, rng: &mut StdRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// Always generates a clone of the wrapped value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T>(pub T);
+
+    impl<T: std::fmt::Debug + Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut StdRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut StdRng) -> $t {
+                    rng.random_range(self.clone())
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut StdRng) -> $t {
+                    rng.random_range(self.clone())
+                }
+            }
+        )*};
+    }
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f64);
+
+    /// Uniform full-domain strategy for `T` (proptest's `any::<T>()`).
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any<T>(std::marker::PhantomData<T>);
+
+    /// Builds an [`Any`] strategy.
+    pub fn any<T>() -> Any<T> {
+        Any(std::marker::PhantomData)
+    }
+
+    macro_rules! impl_any {
+        ($($t:ty),*) => {$(
+            impl Strategy for Any<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut StdRng) -> $t {
+                    rng.random()
+                }
+            }
+        )*};
+    }
+    impl_any!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, bool, f64, f32);
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        };
+    }
+    impl_tuple_strategy!(A);
+    impl_tuple_strategy!(A, B);
+    impl_tuple_strategy!(A, B, C);
+    impl_tuple_strategy!(A, B, C, D);
+    impl_tuple_strategy!(A, B, C, D, E);
+    impl_tuple_strategy!(A, B, C, D, E, F);
+}
+
+/// Collection strategies (`proptest::collection`).
+pub mod collection {
+    use super::strategy::Strategy;
+    use super::StdRng;
+    use rand::Rng;
+
+    /// A size specification: fixed or a half-open range.
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize, // exclusive
+    }
+
+    impl SizeRange {
+        fn draw(&self, rng: &mut StdRng) -> usize {
+            if self.lo + 1 >= self.hi {
+                self.lo
+            } else {
+                rng.random_range(self.lo..self.hi)
+            }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n + 1 }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange { lo: r.start, hi: r.end }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            SizeRange { lo: *r.start(), hi: *r.end() + 1 }
+        }
+    }
+
+    /// Strategy for `Vec<T>` with element strategy `S`.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Generates vectors whose length is drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut StdRng) -> Self::Value {
+            let n = self.size.draw(rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Strategy for `BTreeSet<T>`.
+    #[derive(Debug, Clone)]
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Generates sets whose cardinality is drawn from `size` (best-effort
+    /// when the element domain is too small: retries a bounded number of
+    /// times, then settles for what it has — mirroring proptest, the set
+    /// may come out smaller than requested only if duplicates dominate).
+    pub fn btree_set<S>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        BTreeSetStrategy { element, size: size.into() }
+    }
+
+    impl<S> Strategy for BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        type Value = std::collections::BTreeSet<S::Value>;
+        fn generate(&self, rng: &mut StdRng) -> Self::Value {
+            let target = self.size.draw(rng);
+            let mut out = std::collections::BTreeSet::new();
+            let mut attempts = 0usize;
+            while out.len() < target && attempts < target.saturating_mul(20) + 50 {
+                out.insert(self.element.generate(rng));
+                attempts += 1;
+            }
+            out
+        }
+    }
+}
+
+/// Runner internals used by the [`proptest!`] expansion. Not part of the
+/// mimicked API surface.
+pub mod runner {
+    use super::{ProptestConfig, StdRng, TestCaseError};
+    use rand::SeedableRng;
+
+    /// Derives the deterministic per-test base seed: `PROPTEST_SEED` env
+    /// var if set, else a stable FNV-1a hash of the test path.
+    pub fn base_seed(test_path: &str) -> u64 {
+        if let Ok(s) = std::env::var("PROPTEST_SEED") {
+            if let Ok(v) = s.parse::<u64>() {
+                return v;
+            }
+        }
+        let mut h: u64 = 0xcbf29ce484222325;
+        for b in test_path.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        h
+    }
+
+    /// Drives one property: draws cases until `cases` of them are
+    /// accepted, panicking on the first failure with the offending inputs
+    /// and the seed that reproduces them.
+    pub fn run<G, T, F>(test_path: &str, config: &ProptestConfig, generate: G, mut check: F)
+    where
+        G: Fn(&mut StdRng) -> T,
+        T: std::fmt::Debug + Clone,
+        F: FnMut(T) -> Result<(), TestCaseError>,
+    {
+        let cases = config.effective_cases();
+        let seed = base_seed(test_path);
+        let mut accepted = 0u32;
+        let mut case_index = 0u64;
+        let mut rejected = 0u64;
+        while accepted < cases {
+            // One rng per case, derived from (seed, case index), so any
+            // failing case is reproducible in isolation.
+            let mut rng = StdRng::seed_from_u64(seed ^ case_index.wrapping_mul(0x9e3779b97f4a7c15));
+            let inputs = generate(&mut rng);
+            match check(inputs.clone()) {
+                Ok(()) => accepted += 1,
+                Err(TestCaseError::Reject) => {
+                    rejected += 1;
+                    let limit = 256 + 10 * u64::from(cases);
+                    assert!(
+                        rejected <= limit,
+                        "{test_path}: too many prop_assume! rejections ({rejected} > {limit})"
+                    );
+                }
+                Err(TestCaseError::Fail(msg)) => {
+                    panic!(
+                        "{test_path}: property failed at case {case_index} \
+                         (base seed {seed}, set PROPTEST_SEED={seed} to reproduce)\n\
+                         inputs: {inputs:#?}\n{msg}"
+                    );
+                }
+            }
+            case_index += 1;
+        }
+    }
+}
+
+/// Everything the workspace imports via `use proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, ProptestConfig,
+        TestCaseError, TestCaseResult,
+    };
+}
+
+/// Asserts a condition inside a property, recording the failure (with
+/// formatted message) instead of unwinding immediately.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::Fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($left), stringify!($right), l, r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}\n{}",
+            stringify!($left), stringify!($right), l, r, format!($($fmt)*)
+        );
+    }};
+}
+
+/// Asserts inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($left), stringify!($right), l
+        );
+    }};
+}
+
+/// Discards the current case unless the condition holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::Reject);
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        $crate::prop_assume!($cond)
+    };
+}
+
+/// Declares property tests. Mirrors proptest's surface:
+///
+/// ```text
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test]
+///     fn my_property(x in 0usize..10, v in collection::vec(0i64..5, 1..4)) {
+///         prop_assert!(x < 10);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:pat in $strategy:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                #[allow(unused_imports)]
+                use $crate::strategy::Strategy as _;
+                let config: $crate::ProptestConfig = $config;
+                let path = concat!(module_path!(), "::", stringify!($name));
+                $crate::runner::run(
+                    path,
+                    &config,
+                    |rng| ($($crate::strategy::Strategy::generate(&($strategy), rng),)+),
+                    |inputs| -> $crate::TestCaseResult {
+                        let ($($arg,)+) = inputs;
+                        $body
+                        #[allow(unreachable_code)]
+                        ::core::result::Result::Ok(())
+                    },
+                );
+            }
+        )*
+    };
+    (
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:pat in $strategy:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::ProptestConfig::default())]
+            $(
+                $(#[$meta])*
+                fn $name($($arg in $strategy),+) $body
+            )*
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn ranges_respected(x in 3usize..9, y in -5i64..=5, f in 0.0f64..=1.0) {
+            prop_assert!((3..9).contains(&x));
+            prop_assert!((-5..=5).contains(&y));
+            prop_assert!((0.0..=1.0).contains(&f));
+        }
+
+        #[test]
+        fn collections_sized(
+            v in collection::vec(0u8..=100, 2..6),
+            s in collection::btree_set(0usize..50, 1..5),
+        ) {
+            prop_assert!((2..6).contains(&v.len()));
+            prop_assert!(v.iter().all(|&x| x <= 100));
+            prop_assert!(!s.is_empty() && s.len() < 5);
+        }
+
+        #[test]
+        fn assume_rejects(x in 0usize..100) {
+            prop_assume!(x % 2 == 0);
+            prop_assert!(x % 2 == 0);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn default_config_compiles(b in any::<bool>(), (lo, hi) in (0u32..10, 10u32..20)) {
+            let _ = b;
+            prop_assert!(lo < hi);
+        }
+    }
+
+    #[test]
+    fn failure_reports_inputs_and_seed() {
+        let result = std::panic::catch_unwind(|| {
+            crate::runner::run(
+                "demo::always_fails",
+                &ProptestConfig::with_cases(4),
+                |rng| (crate::strategy::Strategy::generate(&(0usize..10), rng),),
+                |(_x,)| -> TestCaseResult {
+                    prop_assert!(false, "forced failure");
+                    Ok(())
+                },
+            );
+        });
+        let err = *result.unwrap_err().downcast::<String>().unwrap();
+        assert!(err.contains("forced failure") && err.contains("PROPTEST_SEED="), "{err}");
+    }
+
+    #[test]
+    fn just_strategy_and_prop_map() {
+        use crate::strategy::{Just, Strategy};
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        assert_eq!(Just(41usize).generate(&mut rng), 41);
+        let doubled = (0usize..5).prop_map(|x| x * 2);
+        for _ in 0..20 {
+            assert!(doubled.generate(&mut rng) % 2 == 0);
+        }
+    }
+}

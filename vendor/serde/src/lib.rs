@@ -1,0 +1,22 @@
+//! Offline stand-in for [`serde`](https://crates.io/crates/serde).
+//!
+//! The workspace derives `Serialize`/`Deserialize` on its domain types so
+//! an online build against real serde works unchanged; in this offline
+//! image the derives expand to nothing and the traits are inert markers.
+//! Actual JSON encoding/decoding in the workspace (the `ssa-bench` report
+//! and config paths) is hand-rolled in `ssa_bench::json` and does not go
+//! through these traits.
+
+#![warn(missing_docs)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Inert marker standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Inert marker standing in for `serde::Deserialize<'de>`.
+pub trait Deserialize<'de>: Sized {}
+
+/// Inert marker standing in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T: for<'de> Deserialize<'de>> DeserializeOwned for T {}

@@ -1,0 +1,21 @@
+//! No-op `Serialize` / `Deserialize` derive macros.
+//!
+//! These exist so `#[derive(Serialize, Deserialize)]` and `#[serde(..)]`
+//! attributes across the workspace compile without the real `serde_derive`
+//! (unavailable in the offline build image). They expand to nothing: the
+//! types get no trait impls, and nothing in the workspace requires the
+//! impls — JSON handling is hand-rolled in `ssa_bench::json`.
+
+use proc_macro::TokenStream;
+
+/// Expands to nothing; accepts (and ignores) `#[serde(..)]` attributes.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands to nothing; accepts (and ignores) `#[serde(..)]` attributes.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
