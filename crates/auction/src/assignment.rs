@@ -182,7 +182,11 @@ mod tests {
     #[test]
     fn square_classic() {
         // Classic example: optimum picks the anti-diagonal here.
-        let w = vec![vec![1.0, 2.0, 3.0], vec![3.0, 3.0, 3.0], vec![3.0, 3.0, 2.0]];
+        let w = vec![
+            vec![1.0, 2.0, 3.0],
+            vec![3.0, 3.0, 3.0],
+            vec![3.0, 3.0, 2.0],
+        ];
         let m = max_weight_assignment(&w);
         assert_eq!(m.total_weight, 9.0);
         assert_eq!(m.matched_count(), 3);

@@ -133,11 +133,7 @@ fn edge_matrix<M: CtrModel>(
 
 /// Per-slot top-k pruning over expressive edge weights (ties by
 /// advertiser id), exactly as in the per-click pipeline.
-fn prune<M: CtrModel>(
-    model: &M,
-    purchases: &PurchaseRates,
-    bids: &[ExpressiveBid],
-) -> Vec<usize> {
+fn prune<M: CtrModel>(model: &M, purchases: &PurchaseRates, bids: &[ExpressiveBid]) -> Vec<usize> {
     let k = model.slot_count();
     let mut keep: BTreeSet<usize> = BTreeSet::new();
     for j in 0..k {
@@ -322,12 +318,7 @@ mod tests {
 
     #[test]
     fn vcg_charges_are_individually_rational() {
-        let matrix = CtrMatrix::new(vec![
-            vec![0.5, 0.2],
-            vec![0.4, 0.3],
-            vec![0.2, 0.2],
-        ])
-        .unwrap();
+        let matrix = CtrMatrix::new(vec![vec![0.5, 0.2], vec![0.4, 0.3], vec![0.2, 0.2]]).unwrap();
         let purchases = PurchaseRates::new(vec![0.5, 0.9, 0.2]);
         let bids = vec![
             bid(0, BidBasis::PerClick, 2.0),

@@ -144,7 +144,11 @@ mod tests {
     #[test]
     fn rejects_bad_entry_factor() {
         let err = AuctionInstance::new(
-            vec![AuctionEntry::new(AdvertiserId(0), Money::from_units(1), -1.0)],
+            vec![AuctionEntry::new(
+                AdvertiserId(0),
+                Money::from_units(1),
+                -1.0,
+            )],
             vec![0.3],
         )
         .unwrap_err();

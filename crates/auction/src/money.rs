@@ -269,8 +269,14 @@ mod tests {
     #[test]
     fn round_down_to_increment() {
         let cent = Money::from_micros(10_000);
-        assert_eq!(Money::from_micros(123_456).round_down_to(cent).micros(), 120_000);
-        assert_eq!(Money::from_micros(120_000).round_down_to(cent).micros(), 120_000);
+        assert_eq!(
+            Money::from_micros(123_456).round_down_to(cent).micros(),
+            120_000
+        );
+        assert_eq!(
+            Money::from_micros(120_000).round_down_to(cent).micros(),
+            120_000
+        );
         assert_eq!(Money::from_micros(9_999).round_down_to(cent), Money::ZERO);
         let m = Money::from_micros(777);
         assert_eq!(m.round_down_to(Money::ZERO), m, "zero increment is a no-op");

@@ -67,7 +67,8 @@ fn top_k_for_slot<M: CtrModel>(
     idx.sort_by(|&a, &b| {
         let wa = Score::new(edge_weight(model, &bids[a], slot));
         let wb = Score::new(edge_weight(model, &bids[b], slot));
-        wb.cmp(&wa).then(bids[a].advertiser.cmp(&bids[b].advertiser))
+        wb.cmp(&wa)
+            .then(bids[a].advertiser.cmp(&bids[b].advertiser))
     });
     idx.truncate(k);
     idx

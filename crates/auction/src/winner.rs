@@ -46,7 +46,11 @@ impl Assignment {
     pub fn from_winners(mut winners: Vec<RankedWinner>) -> Self {
         winners.sort_by_key(|w| w.slot);
         for pair in winners.windows(2) {
-            assert!(pair[0].slot != pair[1].slot, "slot {} assigned twice", pair[0].slot);
+            assert!(
+                pair[0].slot != pair[1].slot,
+                "slot {} assigned twice",
+                pair[0].slot
+            );
         }
         let mut advertisers: Vec<AdvertiserId> = winners.iter().map(|w| w.advertiser).collect();
         advertisers.sort_unstable();
@@ -297,11 +301,8 @@ mod tests {
                 vec![0.5, 0.25, 0.1],
             )
             .unwrap(),
-            AuctionInstance::new(
-                vec![entry(0, 1.0, 1.0), entry(1, 1.0, 1.0)],
-                vec![0.3, 0.3],
-            )
-            .unwrap(),
+            AuctionInstance::new(vec![entry(0, 1.0, 1.0), entry(1, 1.0, 1.0)], vec![0.3, 0.3])
+                .unwrap(),
         ];
         for inst in cases {
             let fast = determine_winners(&inst).expected_value(&inst);

@@ -23,11 +23,7 @@ fn bench_planners(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::new("workload_fragments", format!("n{n}_m{m}")),
             &(),
-            |b, ()| {
-                b.iter(|| {
-                    black_box(SharedPlanner::fragments_only().plan(black_box(&problem)))
-                })
-            },
+            |b, ()| b.iter(|| black_box(SharedPlanner::fragments_only().plan(black_box(&problem)))),
         );
     }
     group.finish();

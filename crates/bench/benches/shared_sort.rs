@@ -44,29 +44,25 @@ fn bench_ta_vs_naive(c: &mut Criterion) {
             })
             .collect();
 
-        group.bench_with_input(
-            BenchmarkId::new("shared_sort_ta", n),
-            &(),
-            |b, ()| {
-                b.iter(|| {
-                    let (mut net, roots) = plan.instantiate(&bids);
-                    let mut out = Vec::new();
-                    for q in 0..w.phrase_count() {
-                        let phrase = PhraseId::from_index(q);
-                        let r = threshold_top_k(
-                            &mut net,
-                            roots[q],
-                            &c_orders[q],
-                            |a| bids[a.index()],
-                            |a| w.phrase_factor(phrase, a).unwrap_or(0.0),
-                            k,
-                        );
-                        out.push(r.top_k);
-                    }
-                    black_box(out)
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("shared_sort_ta", n), &(), |b, ()| {
+            b.iter(|| {
+                let (mut net, roots) = plan.instantiate(&bids);
+                let mut out = Vec::new();
+                for q in 0..w.phrase_count() {
+                    let phrase = PhraseId::from_index(q);
+                    let r = threshold_top_k(
+                        &mut net,
+                        roots[q],
+                        &c_orders[q],
+                        |a| bids[a.index()],
+                        |a| w.phrase_factor(phrase, a).unwrap_or(0.0),
+                        k,
+                    );
+                    out.push(r.top_k);
+                }
+                black_box(out)
+            })
+        });
         group.bench_with_input(BenchmarkId::new("naive_scan", n), &(), |b, ()| {
             b.iter(|| {
                 let mut out = Vec::new();

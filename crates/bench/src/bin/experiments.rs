@@ -15,6 +15,7 @@
 //! experiments batching       # E10b: round granularity vs sharing and added latency
 //! experiments clamps         # ablation: paper-literal vs sound Hoeffding clamps
 //! experiments sort-ablation  # ablation: exhaustive vs bucketed sort planner
+//! experiments executor       # round-executor thread scaling (BENCH_round_executor.json)
 //! experiments all            # everything above
 //! ```
 //!
@@ -25,7 +26,10 @@ use std::path::PathBuf;
 use std::time::Instant;
 
 use ssa_auction::money::Money;
-use ssa_bench::setups::{fig4_problem, interest_sets, sweep_workload, workload_problem};
+use ssa_bench::json::Value;
+use ssa_bench::setups::{
+    executor_workload, fig4_problem, interest_sets, sweep_workload, workload_problem,
+};
 use ssa_bench::Table;
 use ssa_core::algebra::expr::Expr;
 use ssa_core::algebra::{fig5_complexity, AxiomSet, PlanComplexity};
@@ -36,7 +40,7 @@ use ssa_core::plan::cost::{expected_cost, unshared_expected_cost};
 use ssa_core::plan::cse::cse_plan;
 use ssa_core::plan::optimal::optimal_plan_with_budget;
 use ssa_core::plan::reduction::{closed_plan_problem_from_set_cover, min_plan_cover};
-use ssa_core::plan::{PlanProblem, SharedPlanner};
+use ssa_core::plan::{PlanProblem, PlannerMode, SharedPlanner};
 use ssa_core::sort::planner::{build_shared_sort_plan_bucketed, SortPlan};
 use ssa_core::sort::ta::threshold_top_k;
 use ssa_setcover::{BitSet, SetCoverInstance};
@@ -71,6 +75,7 @@ fn main() {
         "batching" => batching(),
         "clamps" => clamps(quick),
         "sort-ablation" => sort_ablation(quick),
+        "executor" => executor(quick),
         "all" => {
             fig4(quick);
             fig5(quick);
@@ -84,6 +89,7 @@ fn main() {
             batching();
             clamps(quick);
             sort_ablation(quick);
+            executor(quick);
         }
         other => {
             eprintln!("unknown experiment '{other}'");
@@ -102,7 +108,13 @@ fn fig4(quick: bool) {
     let mut table = Table::new(
         "fig4",
         "expected plan cost vs query probability (10 queries, 20 advertisers)",
-        &["sr", "shared(full)", "shared(fragments)", "unshared", "savings%"],
+        &[
+            "sr",
+            "shared(full)",
+            "shared(fragments)",
+            "unshared",
+            "savings%",
+        ],
     );
     for step in 0..=20 {
         let sr = step as f64 / 20.0;
@@ -269,7 +281,9 @@ fn overlap() {
     let mut table = Table::new(
         "overlap",
         "advertisers scanned per round: shared fragments vs independent scans",
-        &["general", "sports", "fashion", "shared", "unshared", "savings%"],
+        &[
+            "general", "sports", "fashion", "shared", "unshared", "savings%",
+        ],
     );
     // The paper's exact instance first, then a sweep over the shared
     // block's size.
@@ -322,7 +336,14 @@ fn sharing_sweep(quick: bool) {
         "sharing_sweep",
         "winner-determination work per strategy (topic workload)",
         &[
-            "n", "phrases", "topics", "strategy", "scans", "agg ops", "merge inv", "ms",
+            "n",
+            "phrases",
+            "topics",
+            "strategy",
+            "scans",
+            "agg ops",
+            "merge inv",
+            "ms",
         ],
     );
     let shapes: &[(usize, usize, usize)] = if quick {
@@ -342,6 +363,10 @@ fn sharing_sweep(quick: bool) {
                     sharing,
                     budget_policy: BudgetPolicy::Ignore,
                     seed: 23,
+                    // The full Section II-D planner enumerates advertiser
+                    // pairs; at 10k advertisers that swamps the experiment,
+                    // so the sweep sticks to the fragments-only stage.
+                    planner: PlannerMode::FragmentsOnly,
                     ..EngineConfig::default()
                 },
             );
@@ -354,7 +379,7 @@ fn sharing_sweep(quick: bool) {
                 metrics.advertisers_scanned.to_string(),
                 metrics.aggregation_ops.to_string(),
                 metrics.merge_invocations.to_string(),
-                format!("{:.1}", metrics.resolution_nanos as f64 / 1e6),
+                format!("{:.1}", metrics.resolution_nanos() as f64 / 1e6),
             ]);
         }
     }
@@ -440,7 +465,11 @@ fn gaming(quick: bool) {
             "leak %",
         ],
     );
-    let horizons: &[usize] = if quick { &[50, 100] } else { &[50, 100, 200, 400] };
+    let horizons: &[usize] = if quick {
+        &[50, 100]
+    } else {
+        &[50, 100, 200, 400]
+    };
     for &rounds in horizons {
         let report = run_gaming_comparison(2024, rounds);
         let leak = 100.0 * report.naive_leak_fraction();
@@ -480,7 +509,11 @@ fn bounds(quick: bool) {
         ],
     );
     let mut rng = StdRng::seed_from_u64(99);
-    let sizes: &[usize] = if quick { &[4, 8, 12] } else { &[4, 8, 12, 16, 20] };
+    let sizes: &[usize] = if quick {
+        &[4, 8, 12]
+    } else {
+        &[4, 8, 12, 16, 20]
+    };
     let pool_size = if quick { 16 } else { 30 };
     for &l in sizes {
         // A realistic advertiser population: most budgets are healthy
@@ -558,7 +591,13 @@ fn ablation(quick: bool) {
         "ablation",
         "planner stages vs exact optimum (small instances, sr = 1)",
         &[
-            "seed", "vars", "queries", "optimal", "full", "fragments", "full/opt",
+            "seed",
+            "vars",
+            "queries",
+            "optimal",
+            "full",
+            "fragments",
+            "full/opt",
         ],
     );
     let shapes: &[(usize, usize)] = if quick {
@@ -597,12 +636,15 @@ fn ablation(quick: bool) {
 fn latency(quick: bool) {
     let mut table = Table::new(
         "latency",
-        "mean winner-determination latency per round vs expected batch size",
+        "per-stage winner-determination latency per round vs expected batch size",
         &[
             "max search rate",
             "mean phrases/round",
-            "unshared ms/round",
-            "shared-plan ms/round",
+            "unshared wd ms/round",
+            "shared-plan wd ms/round",
+            "throttle ms/round",
+            "settle ms/round",
+            "max-round wd ms",
         ],
     );
     let rounds = if quick { 15 } else { 40 };
@@ -619,24 +661,33 @@ fn latency(quick: bool) {
         };
         let expected_batch: f64 = make().search_rates().iter().sum();
         let mut per_strategy = Vec::new();
-        for sharing in [SharingStrategy::Unshared, SharingStrategy::SharedAggregation] {
+        for sharing in [
+            SharingStrategy::Unshared,
+            SharingStrategy::SharedAggregation,
+        ] {
             let mut engine = Engine::new(
                 make(),
                 EngineConfig {
                     sharing,
                     budget_policy: BudgetPolicy::Ignore,
                     seed: 77,
+                    // Fragments-only: the full planner's pairwise merge
+                    // search is too slow at this advertiser count.
+                    planner: PlannerMode::FragmentsOnly,
                     ..EngineConfig::default()
                 },
             );
-            let metrics = engine.run(rounds);
-            per_strategy.push(metrics.resolution_nanos as f64 / 1e6 / rounds as f64);
+            per_strategy.push(engine.run(rounds));
         }
+        let per_round = |nanos: u128| nanos as f64 / 1e6 / rounds as f64;
         table.push(vec![
             format!("{max_rate:.2}"),
             format!("{expected_batch:.1}"),
-            format!("{:.3}", per_strategy[0]),
-            format!("{:.3}", per_strategy[1]),
+            format!("{:.3}", per_round(per_strategy[0].wd_nanos)),
+            format!("{:.3}", per_round(per_strategy[1].wd_nanos)),
+            format!("{:.3}", per_round(per_strategy[0].throttle_nanos)),
+            format!("{:.3}", per_round(per_strategy[0].settle_nanos)),
+            format!("{:.3}", per_strategy[0].max_round_wd_nanos as f64 / 1e6),
         ]);
     }
     table.emit(&out_dir()).expect("write results");
@@ -788,9 +839,8 @@ fn sort_ablation(quick: bool) {
         let exhaustive = build_shared_sort_plan(n, &interest, &rates);
         let t_ex = t0.elapsed().as_secs_f64() * 1e3;
         let t1 = Instant::now();
-        let bucketed = ssa_core::sort::planner::build_shared_sort_plan_bucketed(
-            n, &interest, &rates,
-        );
+        let bucketed =
+            ssa_core::sort::planner::build_shared_sort_plan_bucketed(n, &interest, &rates);
         let t_bu = t1.elapsed().as_secs_f64() * 1e3;
         table.push(vec![
             n.to_string(),
@@ -802,4 +852,105 @@ fn sort_ablation(quick: bool) {
         ]);
     }
     table.emit(&out_dir()).expect("write results");
+}
+
+/// Round-executor thread scaling: Unshared + ThrottleExact on a large
+/// workload at `wd_threads` 1 vs 4, with per-stage timings. The parallel
+/// executor is bit-identical to the sequential one (the differential
+/// corpus asserts this), so this experiment measures wall-clock only.
+/// Besides the usual `results/executor.{csv,json}` table it records the
+/// headline run as `BENCH_round_executor.json` at the repo root.
+fn executor(quick: bool) {
+    let advertisers = if quick { 1_000 } else { 10_000 };
+    let rounds = if quick { 5 } else { 20 };
+    let mut table = Table::new(
+        "executor",
+        "round-executor thread scaling (unshared, throttle-exact)",
+        &[
+            "wd_threads",
+            "throttle ms",
+            "wd ms",
+            "settle ms",
+            "max-round wd ms",
+            "wd speedup",
+        ],
+    );
+    let mut runs = Vec::new();
+    for threads in [1usize, 4] {
+        let mut engine = Engine::new(
+            executor_workload(advertisers, 19),
+            EngineConfig {
+                sharing: SharingStrategy::Unshared,
+                budget_policy: BudgetPolicy::ThrottleExact,
+                wd_threads: threads,
+                seed: 29,
+                ..EngineConfig::default()
+            },
+        );
+        runs.push((threads, engine.run(rounds)));
+    }
+    let base_wd = runs[0].1.wd_nanos as f64;
+    for (threads, m) in &runs {
+        table.push(vec![
+            threads.to_string(),
+            format!("{:.1}", m.throttle_nanos as f64 / 1e6),
+            format!("{:.1}", m.wd_nanos as f64 / 1e6),
+            format!("{:.1}", m.settle_nanos as f64 / 1e6),
+            format!("{:.1}", m.max_round_wd_nanos as f64 / 1e6),
+            format!("{:.2}", base_wd / m.wd_nanos as f64),
+        ]);
+    }
+    table.emit(&out_dir()).expect("write results");
+
+    let host_threads = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    let run_values: Vec<Value> = runs
+        .iter()
+        .map(|(threads, m)| {
+            Value::Object(vec![
+                ("wd_threads".into(), Value::from(*threads)),
+                (
+                    "throttle_ms".into(),
+                    Value::from(m.throttle_nanos as f64 / 1e6),
+                ),
+                ("wd_ms".into(), Value::from(m.wd_nanos as f64 / 1e6)),
+                ("settle_ms".into(), Value::from(m.settle_nanos as f64 / 1e6)),
+                (
+                    "max_round_wd_ms".into(),
+                    Value::from(m.max_round_wd_nanos as f64 / 1e6),
+                ),
+                ("impressions".into(), Value::from(m.impressions)),
+                (
+                    "revenue_micros".into(),
+                    Value::from(m.revenue.micros() as f64),
+                ),
+            ])
+        })
+        .collect();
+    let doc = Value::Object(vec![
+        ("benchmark".into(), Value::from("round_executor")),
+        ("host_threads".into(), Value::from(host_threads)),
+        ("advertisers".into(), Value::from(advertisers)),
+        ("phrases".into(), Value::from(24usize)),
+        ("rounds".into(), Value::from(rounds)),
+        ("sharing".into(), Value::from("unshared")),
+        ("budget_policy".into(), Value::from("throttle-exact")),
+        (
+            "wd_speedup_4_over_1".into(),
+            Value::from(base_wd / runs[1].1.wd_nanos as f64),
+        ),
+        (
+            "note".into(),
+            Value::from(format!(
+                "parallel executor is bit-identical to sequential (differential \
+                 corpus); wall-clock speedup requires multiple host cores and \
+                 this host exposes {host_threads}"
+            )),
+        ),
+        ("runs".into(), Value::Array(run_values)),
+    ]);
+    std::fs::write("BENCH_round_executor.json", doc.to_string_pretty())
+        .expect("write BENCH_round_executor.json");
+    println!("wrote BENCH_round_executor.json (host threads: {host_threads})");
 }

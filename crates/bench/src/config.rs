@@ -9,6 +9,7 @@ use crate::json::{self, Value};
 use ssa_auction::money::Money;
 use ssa_auction::pricing::PricingRule;
 use ssa_core::engine::{BudgetPolicy, Engine, EngineConfig, EngineMetrics, SharingStrategy};
+use ssa_core::plan::PlannerMode;
 use ssa_workload::{Workload, WorkloadConfig};
 
 /// Workload knobs (mirrors [`WorkloadConfig`] with JSON-friendly
@@ -87,6 +88,15 @@ pub struct SimulationSpec {
     pub click_expiry_rounds: u32,
     /// TA worker threads (shared-sort only).
     pub ta_threads: usize,
+    /// Round-executor worker threads (all strategies; bit-identical
+    /// results for any value).
+    pub wd_threads: usize,
+    /// Shared-aggregation planner stage: `"full"` (Section II-D) or
+    /// `"fragments-only"` (E9 ablation). The engine defaults to the full
+    /// heuristic, but its pairwise completion is intractable past a few
+    /// hundred advertisers, so this CLI — whose default workload has
+    /// 1000 — defaults to `"fragments-only"`.
+    pub planner: String,
     /// Engine RNG seed.
     pub seed: u64,
 }
@@ -103,6 +113,8 @@ impl Default for SimulationSpec {
             mean_click_delay_rounds: 3.0,
             click_expiry_rounds: 20,
             ta_threads: 1,
+            wd_threads: 1,
+            planner: "fragments-only".to_string(),
             seed: 7,
         }
     }
@@ -186,13 +198,19 @@ impl WorkloadSpec {
             ("advertisers".into(), Value::from(self.advertisers)),
             ("phrases".into(), Value::from(self.phrases)),
             ("topics".into(), Value::from(self.topics)),
-            ("generalist_fraction".into(), Value::from(self.generalist_fraction)),
+            (
+                "generalist_fraction".into(),
+                Value::from(self.generalist_fraction),
+            ),
             (
                 "search_rate_zipf_exponent".into(),
                 Value::from(self.search_rate_zipf_exponent),
             ),
             ("max_search_rate".into(), Value::from(self.max_search_rate)),
-            ("phrase_factor_jitter".into(), Value::from(self.phrase_factor_jitter)),
+            (
+                "phrase_factor_jitter".into(),
+                Value::from(self.phrase_factor_jitter),
+            ),
             ("seed".into(), Value::from(self.seed)),
         ])
     }
@@ -217,7 +235,9 @@ impl SimulationSpec {
             Some(x) => x
                 .as_array()
                 .and_then(|items| items.iter().map(Value::as_f64).collect::<Option<Vec<_>>>())
-                .ok_or_else(|| ConfigError("field 'slot_factors' must be an array of numbers".to_string()))?,
+                .ok_or_else(|| {
+                    ConfigError("field 'slot_factors' must be an array of numbers".to_string())
+                })?,
         };
         Ok(SimulationSpec {
             workload,
@@ -231,9 +251,14 @@ impl SimulationSpec {
                 "mean_click_delay_rounds",
                 d.mean_click_delay_rounds,
             )?,
-            click_expiry_rounds: u64_field(&v, "click_expiry_rounds", u64::from(d.click_expiry_rounds))?
-                as u32,
+            click_expiry_rounds: u64_field(
+                &v,
+                "click_expiry_rounds",
+                u64::from(d.click_expiry_rounds),
+            )? as u32,
             ta_threads: usize_field(&v, "ta_threads", d.ta_threads)?,
+            wd_threads: usize_field(&v, "wd_threads", d.wd_threads)?,
+            planner: string_field(&v, "planner", &d.planner)?,
             seed: u64_field(&v, "seed", d.seed)?,
         })
     }
@@ -249,14 +274,22 @@ impl SimulationSpec {
                 Value::Array(self.slot_factors.iter().map(|&f| Value::from(f)).collect()),
             ),
             ("pricing".into(), Value::from(self.pricing.as_str())),
-            ("budget_policy".into(), Value::from(self.budget_policy.as_str())),
+            (
+                "budget_policy".into(),
+                Value::from(self.budget_policy.as_str()),
+            ),
             ("sharing".into(), Value::from(self.sharing.as_str())),
             (
                 "mean_click_delay_rounds".into(),
                 Value::from(self.mean_click_delay_rounds),
             ),
-            ("click_expiry_rounds".into(), Value::from(self.click_expiry_rounds)),
+            (
+                "click_expiry_rounds".into(),
+                Value::from(self.click_expiry_rounds),
+            ),
             ("ta_threads".into(), Value::from(self.ta_threads)),
+            ("wd_threads".into(), Value::from(self.wd_threads)),
+            ("planner".into(), Value::from(self.planner.as_str())),
             ("seed".into(), Value::from(self.seed)),
         ])
         .to_string_pretty()
@@ -289,6 +322,14 @@ impl SimulationSpec {
         }
     }
 
+    fn planner_mode(&self) -> Result<PlannerMode, ConfigError> {
+        match self.planner.as_str() {
+            "full" => Ok(PlannerMode::Full),
+            "fragments-only" => Ok(PlannerMode::FragmentsOnly),
+            other => Err(ConfigError(format!("unknown planner mode '{other}'"))),
+        }
+    }
+
     /// Builds the engine.
     pub fn build_engine(&self) -> Result<Engine, ConfigError> {
         if self.slot_factors.is_empty() {
@@ -305,6 +346,8 @@ impl SimulationSpec {
                 click_expiry_rounds: self.click_expiry_rounds,
                 billing_increment: Money::from_micros(10_000),
                 ta_threads: self.ta_threads,
+                wd_threads: self.wd_threads,
+                planner: self.planner_mode()?,
                 seed: self.seed,
             },
         ))
@@ -322,7 +365,8 @@ pub fn render_metrics(m: &EngineMetrics) -> String {
     format!(
         "rounds: {}\nauctions: {}\nimpressions: {}\nclicks: {}\nrevenue: {}\nforgiven: {}\n\
          clicks beyond budget: {}\nadvertisers scanned: {}\naggregation ops: {}\n\
-         merge invocations: {}\nta stages: {}\nresolution ms: {:.2}",
+         merge invocations: {}\nta stages: {}\nthrottle ms: {:.2}\nwd ms: {:.2}\n\
+         settle ms: {:.2}\nresolution ms: {:.2}",
         m.rounds,
         m.auctions,
         m.impressions,
@@ -334,7 +378,10 @@ pub fn render_metrics(m: &EngineMetrics) -> String {
         m.aggregation_ops,
         m.merge_invocations,
         m.ta_stages,
-        m.resolution_nanos as f64 / 1e6,
+        m.throttle_nanos as f64 / 1e6,
+        m.wd_nanos as f64 / 1e6,
+        m.settle_nanos as f64 / 1e6,
+        m.resolution_nanos() as f64 / 1e6,
     )
 }
 
@@ -397,6 +444,22 @@ mod tests {
             ..SimulationSpec::default()
         };
         assert!(spec.build_engine().is_err());
+        let spec = SimulationSpec {
+            planner: "psychic".to_string(),
+            ..SimulationSpec::default()
+        };
+        assert!(spec.build_engine().is_err());
+    }
+
+    #[test]
+    fn executor_fields_round_trip() {
+        let spec = SimulationSpec::from_json(r#"{"wd_threads": 4, "planner": "fragments-only"}"#)
+            .expect("executor fields parse");
+        assert_eq!(spec.wd_threads, 4);
+        assert_eq!(spec.planner, "fragments-only");
+        let back = SimulationSpec::from_json(&spec.to_json()).unwrap();
+        assert_eq!(back.wd_threads, 4);
+        assert_eq!(back.planner, "fragments-only");
     }
 
     #[test]

@@ -57,7 +57,11 @@ impl Table {
             .map(|(i, c)| format!("{:>w$}", c, w = widths[i]))
             .collect();
         let _ = writeln!(out, "{}", header.join("  "));
-        let _ = writeln!(out, "{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+        let _ = writeln!(
+            out,
+            "{}",
+            "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len())
+        );
         for row in &self.rows {
             let cells: Vec<String> = row
                 .iter()
@@ -101,7 +105,12 @@ impl Table {
             ("title".to_string(), Value::from(self.title.as_str())),
             (
                 "columns".to_string(),
-                Value::Array(self.columns.iter().map(|c| Value::from(c.as_str())).collect()),
+                Value::Array(
+                    self.columns
+                        .iter()
+                        .map(|c| Value::from(c.as_str()))
+                        .collect(),
+                ),
             ),
             ("rows".to_string(), Value::Array(rows)),
         ])

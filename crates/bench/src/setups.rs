@@ -41,6 +41,20 @@ pub fn interest_sets(w: &Workload) -> Vec<BitSet> {
     ssa_testkit::gen::interest_sets(w)
 }
 
+/// The round-executor benchmark workload: a large unshared-style
+/// instance (many advertisers, busy phrases) where per-advertiser
+/// throttling and per-phrase top-k scans dominate the round.
+pub fn executor_workload(advertisers: usize, seed: u64) -> Workload {
+    Workload::generate(&WorkloadConfig {
+        advertisers,
+        phrases: 24,
+        topics: 6,
+        max_search_rate: 0.9,
+        seed,
+        ..WorkloadConfig::default()
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

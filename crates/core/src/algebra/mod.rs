@@ -279,10 +279,7 @@ mod tests {
             // Row 4: N N Y * Y → PTIME.
             (AxiomSet::A3.with(AxiomSet::A5), Ptime),
             // Row 5: N Y Y * Y → O(1).
-            (
-                AxiomSet::A2.with(AxiomSet::A3).with(AxiomSet::A5),
-                Constant,
-            ),
+            (AxiomSet::A2.with(AxiomSet::A3).with(AxiomSet::A5), Constant),
             // Row 6: Y * N Y N → NP-complete.
             (AxiomSet::A1.with(AxiomSet::A4), NpComplete),
             (
@@ -299,12 +296,12 @@ mod tests {
             ),
             // Row 8: Y * Y Y N → NP-complete (the semilattice case).
             (AxiomSet::SEMILATTICE_WITH_IDENTITY, NpComplete),
-            (AxiomSet::A1.with(AxiomSet::A3).with(AxiomSet::A4), NpComplete),
-            // Row 9: Y * Y * Y → O(1).
             (
-                AxiomSet::A1.with(AxiomSet::A3).with(AxiomSet::A5),
-                Constant,
+                AxiomSet::A1.with(AxiomSet::A3).with(AxiomSet::A4),
+                NpComplete,
             ),
+            // Row 9: Y * Y * Y → O(1).
+            (AxiomSet::A1.with(AxiomSet::A3).with(AxiomSet::A5), Constant),
             (
                 AxiomSet::A1
                     .with(AxiomSet::A3)

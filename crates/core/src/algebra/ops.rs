@@ -335,14 +335,8 @@ pub fn check_axioms<O: AggregateOp>(op: &O, samples: &[O::Value]) -> AxiomReport
         // a ⊕ c = b and at most one sample d solves d ⊕ a = b.
         for a in samples {
             for b in samples {
-                let right_solutions = samples
-                    .iter()
-                    .filter(|c| op.combine(a, c) == *b)
-                    .count();
-                let left_solutions = samples
-                    .iter()
-                    .filter(|d| op.combine(d, a) == *b)
-                    .count();
+                let right_solutions = samples.iter().filter(|c| op.combine(a, c) == *b).count();
+                let left_solutions = samples.iter().filter(|d| op.combine(d, a) == *b).count();
                 if right_solutions > 1 || left_solutions > 1 {
                     violations.push(format!("{}: divisibility uniqueness fails", op.name()));
                 }

@@ -156,9 +156,7 @@ mod tests {
         for key in 0..1000u64 {
             f.insert(key);
         }
-        let fps = (1_000_000u64..1_010_000)
-            .filter(|&k| f.contains(k))
-            .count();
+        let fps = (1_000_000u64..1_010_000).filter(|&k| f.contains(k)).count();
         let rate = fps as f64 / 10_000.0;
         assert!(rate < 0.05, "false positive rate {rate} too high");
     }

@@ -215,10 +215,7 @@ pub struct ComparisonOutcome {
 /// winner-determination primitive: "we use Hoeffding bounds to compute
 /// successively tighter upper and lower bounds … until the upper bound
 /// is lower than the lower bound for the other".
-pub fn compare_throttled(
-    a: &ThrottledBidRefiner,
-    b: &ThrottledBidRefiner,
-) -> ComparisonOutcome {
+pub fn compare_throttled(a: &ThrottledBidRefiner, b: &ThrottledBidRefiner) -> ComparisonOutcome {
     let max_depth = a.max_depth().max(b.max_depth());
     for depth in 0..=max_depth {
         let ia = a.bounds(depth);
@@ -256,12 +253,7 @@ mod tests {
     use super::*;
     use proptest::prelude::*;
 
-    fn ctx(
-        bid_units: f64,
-        budget_units: f64,
-        m: u64,
-        outstanding: &[(f64, f64)],
-    ) -> BudgetContext {
+    fn ctx(bid_units: f64, budget_units: f64, m: u64, outstanding: &[(f64, f64)]) -> BudgetContext {
         BudgetContext {
             bid: Money::from_f64(bid_units),
             remaining_budget: Money::from_f64(budget_units),

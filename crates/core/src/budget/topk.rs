@@ -12,13 +12,27 @@
 //!
 //! Exact `b̂` values are computed only for the k winners afterwards (the
 //! paper: "there are only k winning advertisers at this point, so the
-//! amount of computation is a lot less").
+//! amount of computation is a lot less"), via the budget-capped
+//! convolution — polynomial in the outstanding-ad count, unlike interval
+//! refinement whose cost doubles per depth level. The same convolution
+//! finishes off candidates still contested at [`SNAP_DEPTH`]: past that
+//! point one exact evaluation is cheaper than any further halving of the
+//! interval, and without the cap a pair of near-tied heavy advertisers
+//! (the common case late in a simulation, when winners have accumulated
+//! many outstanding ads) forces `O(2^l)` work per auction.
 
 use ssa_auction::ids::AdvertiserId;
+use ssa_auction::money::Money;
 use ssa_auction::score::Score;
 use ssa_stats::interval::Interval;
 
 use super::{BudgetContext, ThrottledBidRefiner};
+
+/// Refinement depth past which a contested candidate is finished off
+/// with one exact convolution instead of ever-deeper interval bounds.
+/// A bound evaluation at depth `d` costs `O(2^d)`; the capped
+/// convolution is polynomial, so by this depth it is the cheaper move.
+const SNAP_DEPTH: usize = 12;
 
 /// One contender in an uncertain top-k selection.
 #[derive(Debug, Clone)]
@@ -30,6 +44,9 @@ pub struct UncertainCandidate {
     pub factor: f64,
     /// The bound refiner over the advertiser's throttled bid.
     pub refiner: ThrottledBidRefiner,
+    /// The budget context, kept for the exact-convolution evaluations
+    /// (winners, and candidates still contested at [`SNAP_DEPTH`]).
+    ctx: BudgetContext,
 }
 
 impl UncertainCandidate {
@@ -39,11 +56,23 @@ impl UncertainCandidate {
             advertiser,
             factor,
             refiner: ctx.refiner(),
+            ctx: ctx.clone(),
         }
+    }
+
+    /// The exact throttled bid, via the budget-capped convolution.
+    pub fn exact_bid(&self) -> Money {
+        self.ctx.throttled_bid_exact()
     }
 
     fn score_bounds(&self, depth: usize) -> Interval {
         self.refiner.bounds(depth).scale(self.factor.max(0.0))
+    }
+
+    /// The exact score in the same space as [`score_bounds`] — money
+    /// micro-units scaled by the factor, NOT currency units.
+    fn exact_score_micros(&self) -> f64 {
+        self.exact_bid().micros() as f64 * self.factor.max(0.0)
     }
 }
 
@@ -52,6 +81,8 @@ impl UncertainCandidate {
 pub struct UncertainTopKStats {
     /// Total bound evaluations performed.
     pub bound_evaluations: u64,
+    /// Exact throttled-bid computations performed (winners only).
+    pub exact_evaluations: u64,
     /// The deepest refinement depth any candidate reached.
     pub max_depth_used: usize,
     /// Candidates eliminated without ever being refined past depth 0.
@@ -64,6 +95,8 @@ pub struct UncertainTopKStats {
 pub struct UncertainWinner {
     /// The advertiser.
     pub advertiser: AdvertiserId,
+    /// The exact throttled bid `b̂_i` (before the CTR factor).
+    pub bid: Money,
     /// The exact score `b̂_i · c_i`.
     pub score: Score,
 }
@@ -132,8 +165,7 @@ pub fn top_k_uncertain(
             };
             for &lower_idx in below {
                 let overlap = bounds[lower_idx].hi() >= lo
-                    && !(bounds[upper_idx].is_exact()
-                        && bounds[lower_idx].is_exact());
+                    && !(bounds[upper_idx].is_exact() && bounds[lower_idx].is_exact());
                 if overlap {
                     violators.push(upper_idx);
                     violators.push(lower_idx);
@@ -142,17 +174,23 @@ pub fn top_k_uncertain(
         }
         violators.sort_unstable();
         violators.dedup();
-        // Refine violators that still can be refined. Full-depth bounds
-        // are exact, and exact-tied pairs are excluded from the violator
-        // set above, so every violator pair has at least one refinable
-        // member and the loop always makes progress.
+        // Refine violators that still can be refined; a violator already
+        // at the depth cap collapses to its exact convolution value
+        // instead. Exact-tied pairs are excluded from the violator set
+        // above, so every violator pair has at least one member that
+        // deepens or snaps and the loop always makes progress.
         for &c in &violators {
-            if depth[c] < candidates[c].refiner.max_depth() {
+            let cap = candidates[c].refiner.max_depth().min(SNAP_DEPTH);
+            if depth[c] < cap {
                 depth[c] += 1;
                 was_refined[c] = true;
                 bounds[c] = candidates[c].score_bounds(depth[c]);
                 stats.bound_evaluations += 1;
                 stats.max_depth_used = stats.max_depth_used.max(depth[c]);
+            } else if !bounds[c].is_exact() {
+                bounds[c] = Interval::exact(candidates[c].exact_score_micros());
+                was_refined[c] = true;
+                stats.exact_evaluations += 1;
             }
         }
         if violators.is_empty() {
@@ -163,14 +201,16 @@ pub fn top_k_uncertain(
     // The loop exits only when the first kk alive candidates (by lower
     // bound) are pairwise separated from their successors — i.e. that
     // prefix IS the ranked top-k, exact ties resolved by id through the
-    // sort. Exact values are computed for the winners only.
+    // sort. Exact bids are then computed for the winners.
     let kk = k.min(alive.len());
     let winners = alive[..kk]
         .iter()
         .map(|&c| {
-            let exact = candidates[c].refiner.exact();
+            let exact = candidates[c].exact_bid();
+            stats.exact_evaluations += 1;
             UncertainWinner {
                 advertiser: candidates[c].advertiser,
+                bid: exact,
                 score: Score::new(exact.to_f64() * candidates[c].factor.max(0.0)),
             }
         })
@@ -182,17 +222,12 @@ pub fn top_k_uncertain(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ssa_auction::money::Money;
     use proptest::prelude::*;
+    use ssa_auction::money::Money;
 
     use crate::budget::OutstandingAd;
 
-    fn ctx(
-        bid_units: f64,
-        budget_units: f64,
-        m: u64,
-        outstanding: &[(f64, f64)],
-    ) -> BudgetContext {
+    fn ctx(bid_units: f64, budget_units: f64, m: u64, outstanding: &[(f64, f64)]) -> BudgetContext {
         BudgetContext {
             bid: Money::from_f64(bid_units),
             remaining_budget: Money::from_f64(budget_units),
@@ -212,12 +247,7 @@ mod tests {
     fn naive(cands: &[UncertainCandidate], k: usize) -> Vec<AdvertiserId> {
         let mut scored: Vec<(AdvertiserId, f64)> = cands
             .iter()
-            .map(|c| {
-                (
-                    c.advertiser,
-                    c.refiner.exact().to_f64() * c.factor.max(0.0),
-                )
-            })
+            .map(|c| (c.advertiser, c.exact_bid().to_f64() * c.factor.max(0.0)))
             .collect();
         scored.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
         scored
@@ -240,6 +270,12 @@ mod tests {
         let ids: Vec<u32> = winners.iter().map(|w| w.advertiser.0).collect();
         assert_eq!(ids, vec![0, 2]);
         assert_eq!(stats.max_depth_used, 0, "certain bids need no refinement");
+        assert_eq!(
+            winners[0].bid,
+            Money::from_f64(5.0),
+            "winners carry their exact throttled bid"
+        );
+        assert_eq!(stats.exact_evaluations, 2, "one exact pass per winner");
     }
 
     #[test]
@@ -256,7 +292,7 @@ mod tests {
     #[test]
     fn zero_score_candidates_are_dropped() {
         let candidates = vec![
-            cand(0, 1.0, &ctx(2.0, 0.0, 1, &[])), // broke
+            cand(0, 1.0, &ctx(2.0, 0.0, 1, &[])),  // broke
             cand(1, 0.0, &ctx(2.0, 10.0, 1, &[])), // zero factor
             cand(2, 1.0, &ctx(2.0, 10.0, 1, &[])),
         ];
@@ -271,11 +307,7 @@ mod tests {
         // ones must be eliminated without deep refinement.
         let mut candidates = vec![cand(0, 2.0, &ctx(9.0, 1000.0, 1, &[]))];
         for i in 1..12 {
-            candidates.push(cand(
-                i,
-                0.1,
-                &ctx(1.0, 2.0, 1, &[(1.0, 0.5), (0.5, 0.5)]),
-            ));
+            candidates.push(cand(i, 0.1, &ctx(1.0, 2.0, 1, &[(1.0, 0.5), (0.5, 0.5)])));
         }
         let (winners, stats) = top_k_uncertain(&candidates, 1);
         assert_eq!(winners[0].advertiser, AdvertiserId(0));

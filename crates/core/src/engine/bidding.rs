@@ -106,8 +106,8 @@ impl BiddingProgram {
                         s.index() > target.index()
                     });
                 if doing_worse {
-                    self.current = Money::from_f64(self.current.to_f64() * (1.0 + step))
-                        .min(max_bid);
+                    self.current =
+                        Money::from_f64(self.current.to_f64() * (1.0 + step)).min(max_bid);
                 } else if doing_better {
                     self.current = Money::from_f64(self.current.to_f64() * (1.0 - step));
                 }
@@ -123,8 +123,8 @@ impl BiddingProgram {
                     self.current = Money::from_f64(self.current.to_f64() * (1.0 - step));
                 } else {
                     // Behind: speed back up, never above the valuation.
-                    self.current = Money::from_f64(self.current.to_f64() * (1.0 + step))
-                        .min(self.base_bid);
+                    self.current =
+                        Money::from_f64(self.current.to_f64() * (1.0 + step)).min(self.base_bid);
                 }
             }
         }

@@ -68,9 +68,9 @@ pub fn gaming_workload(seed: u64) -> Workload {
         phrases: 4,
         topics: 2,
         max_search_rate: 0.95,
-        bid_mu: 0.4,     // median bid ~1.5
+        bid_mu: 0.4, // median bid ~1.5
         bid_sigma: 0.4,
-        budget_mu: 1.2,  // median budget ~3.3: a handful of clicks
+        budget_mu: 1.2, // median budget ~3.3: a handful of clicks
         budget_sigma: 0.5,
         ..WorkloadConfig::default()
     })

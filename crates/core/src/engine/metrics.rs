@@ -3,6 +3,11 @@
 use ssa_auction::money::Money;
 
 /// Counters accumulated over a simulation run.
+///
+/// Wall-clock time is recorded per round-executor stage: *throttle*
+/// (effective-bid computation), *wd* (winner determination proper), and
+/// *settle* (pricing, ad display, and click settlement). Each stage also
+/// tracks its worst single round, so tail latency survives aggregation.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct EngineMetrics {
     /// Rounds executed.
@@ -30,15 +35,31 @@ pub struct EngineMetrics {
     pub ta_stages: u64,
     /// Throttled-bid bound evaluations (bounded budget policy).
     pub bound_evaluations: u64,
+    /// Exact throttled-bid computations (the Section IV convolution, or a
+    /// full-depth bound refinement pinning the same value). Under
+    /// `Unshared` + `ThrottleBounds` only priced winners and runners-up
+    /// pay this cost; every other throttling path pays it once per
+    /// participating advertiser per round.
+    pub exact_throttle_evaluations: u64,
     /// Total expected value (Σ d_j · score) of the assignments made.
     pub expected_value: f64,
-    /// Wall-clock time spent resolving winner determination, in
-    /// nanoseconds.
-    pub resolution_nanos: u128,
+    /// Wall-clock nanoseconds computing effective (throttled) bids.
+    pub throttle_nanos: u128,
+    /// Wall-clock nanoseconds in winner determination proper.
+    pub wd_nanos: u128,
+    /// Wall-clock nanoseconds pricing, displaying, and settling clicks.
+    pub settle_nanos: u128,
+    /// Worst single-round throttle-stage latency, in nanoseconds.
+    pub max_round_throttle_nanos: u128,
+    /// Worst single-round winner-determination latency, in nanoseconds.
+    pub max_round_wd_nanos: u128,
+    /// Worst single-round settle-stage latency, in nanoseconds.
+    pub max_round_settle_nanos: u128,
 }
 
 impl EngineMetrics {
-    /// Merges another metrics block into this one.
+    /// Merges another metrics block into this one: counters and stage
+    /// totals add, per-round maxima take the max.
     pub fn absorb(&mut self, other: &EngineMetrics) {
         self.rounds += other.rounds;
         self.auctions += other.auctions;
@@ -52,8 +73,39 @@ impl EngineMetrics {
         self.merge_invocations += other.merge_invocations;
         self.ta_stages += other.ta_stages;
         self.bound_evaluations += other.bound_evaluations;
+        self.exact_throttle_evaluations += other.exact_throttle_evaluations;
         self.expected_value += other.expected_value;
-        self.resolution_nanos += other.resolution_nanos;
+        self.throttle_nanos += other.throttle_nanos;
+        self.wd_nanos += other.wd_nanos;
+        self.settle_nanos += other.settle_nanos;
+        self.max_round_throttle_nanos = self
+            .max_round_throttle_nanos
+            .max(other.max_round_throttle_nanos);
+        self.max_round_wd_nanos = self.max_round_wd_nanos.max(other.max_round_wd_nanos);
+        self.max_round_settle_nanos = self
+            .max_round_settle_nanos
+            .max(other.max_round_settle_nanos);
+    }
+
+    /// Total resolution time (throttle + winner determination), the
+    /// pre-split `resolution_nanos` aggregate.
+    pub fn resolution_nanos(&self) -> u128 {
+        self.throttle_nanos + self.wd_nanos
+    }
+
+    /// A copy with every wall-clock field zeroed, for comparing the
+    /// deterministic counters of two runs (e.g. `wd_threads` 1 vs 4)
+    /// where only timing may legitimately differ.
+    pub fn without_timing(&self) -> EngineMetrics {
+        EngineMetrics {
+            throttle_nanos: 0,
+            wd_nanos: 0,
+            settle_nanos: 0,
+            max_round_throttle_nanos: 0,
+            max_round_wd_nanos: 0,
+            max_round_settle_nanos: 0,
+            ..self.clone()
+        }
     }
 }
 
@@ -81,5 +133,55 @@ mod tests {
         assert_eq!(a.revenue, Money::from_units(5));
         assert_eq!(a.clicks, 7);
         assert!((a.expected_value - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn absorb_sums_stage_totals_and_maxes_round_latency() {
+        let mut a = EngineMetrics {
+            throttle_nanos: 10,
+            wd_nanos: 100,
+            settle_nanos: 5,
+            max_round_throttle_nanos: 8,
+            max_round_wd_nanos: 60,
+            max_round_settle_nanos: 5,
+            ..Default::default()
+        };
+        let b = EngineMetrics {
+            throttle_nanos: 20,
+            wd_nanos: 40,
+            settle_nanos: 15,
+            max_round_throttle_nanos: 20,
+            max_round_wd_nanos: 40,
+            max_round_settle_nanos: 2,
+            ..Default::default()
+        };
+        a.absorb(&b);
+        assert_eq!(a.throttle_nanos, 30);
+        assert_eq!(a.wd_nanos, 140);
+        assert_eq!(a.settle_nanos, 20);
+        assert_eq!(a.max_round_throttle_nanos, 20);
+        assert_eq!(a.max_round_wd_nanos, 60);
+        assert_eq!(a.max_round_settle_nanos, 5);
+        assert_eq!(a.resolution_nanos(), 170);
+    }
+
+    #[test]
+    fn without_timing_ignores_wall_clock_only() {
+        let a = EngineMetrics {
+            rounds: 3,
+            clicks: 4,
+            wd_nanos: 999,
+            max_round_settle_nanos: 7,
+            ..Default::default()
+        };
+        let b = EngineMetrics {
+            rounds: 3,
+            clicks: 4,
+            wd_nanos: 123,
+            throttle_nanos: 55,
+            ..Default::default()
+        };
+        assert_ne!(a, b);
+        assert_eq!(a.without_timing(), b.without_timing());
     }
 }

@@ -28,7 +28,8 @@ use ssa_workload::Workload;
 
 use crate::budget::topk::{top_k_uncertain, UncertainCandidate};
 use crate::budget::{BudgetContext, OutstandingAd};
-use crate::plan::{PlanDag, PlanProblem, SharedPlanner};
+use crate::exec;
+use crate::plan::{LevelSchedule, PlanDag, PlanProblem, PlannerMode, SharedPlanner};
 use crate::sort::planner::{build_shared_sort_plan_bucketed, SortPlan};
 use crate::sort::ta::threshold_top_k;
 use crate::topk::{KList, ScoredAd, ScoredTopKOp};
@@ -88,7 +89,19 @@ pub struct EngineConfig {
     /// Worker threads for per-phrase TA under `SharedSort` (> 1 switches
     /// to the lock-per-operator concurrent merge network). Results are
     /// identical to the sequential path; only wall-clock changes.
+    /// Superseded by [`EngineConfig::wd_threads`], which covers every
+    /// strategy; the larger of the two drives `SharedSort`.
     pub ta_threads: usize,
+    /// Worker threads for the round executor's hot stages: per-advertiser
+    /// bid throttling, per-phrase `Unshared` scans, level-parallel
+    /// `SharedAggregation` plan evaluation, and (together with
+    /// `ta_threads`) the concurrent `SharedSort` TA. Results are
+    /// bit-identical for every thread count; only wall-clock changes.
+    pub wd_threads: usize,
+    /// Planner stage used to compile the `SharedAggregation` plan: the
+    /// full Section II-D heuristic (fragments + greedy set-cover
+    /// completion) by default, or fragments-only for the E9 ablation.
+    pub planner: PlannerMode,
     /// RNG seed for round sampling and click simulation.
     pub seed: u64,
 }
@@ -104,6 +117,8 @@ impl Default for EngineConfig {
             click_expiry_rounds: 20,
             billing_increment: Money::from_micros(10_000), // one cent
             ta_threads: 1,
+            wd_threads: 1,
+            planner: PlannerMode::Full,
             seed: 7,
         }
     }
@@ -141,7 +156,7 @@ impl Ledger {
 /// External verification harnesses (the `ssa-testkit` differential
 /// oracle) use these to recompute throttled bids independently of the
 /// engine and cross-check [`Engine::last_effective_bids`].
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct BudgetSnapshot {
     /// The advertiser's current per-click bid `b_i`.
     pub bid: Money,
@@ -164,8 +179,15 @@ pub struct Engine {
     programs: Option<Vec<bidding::BiddingProgram>>,
     sampler: RoundSampler,
     clicker: ClickSimulator,
-    /// Offline shared-aggregation plan (strategy SharedAggregation).
+    /// Offline shared-aggregation plan (strategy SharedAggregation);
+    /// `None` also when every phrase's interest set is empty.
     plan: Option<PlanDag>,
+    /// The plan's topological level schedule, computed once for
+    /// level-parallel evaluation under `wd_threads > 1`.
+    plan_schedule: Option<LevelSchedule>,
+    /// Per phrase, the plan query index it is bound to (`None` for
+    /// empty-interest phrases, which resolve trivially).
+    plan_query_index: Vec<Option<usize>>,
     /// Offline shared-sort plan (strategy SharedSort).
     sort_plan: Option<SortPlan>,
     /// Per phrase, advertisers by descending `c_i^q` (TA's second list).
@@ -197,6 +219,7 @@ impl Engine {
         let n = workload.advertiser_count();
         let m = workload.phrase_count();
         let rates = workload.search_rates();
+        let mut plan_query_index: Vec<Option<usize>> = vec![None; m];
         let plan = match config.sharing {
             SharingStrategy::SharedAggregation => {
                 assert!(
@@ -204,29 +227,32 @@ impl Engine {
                     "SharedAggregation requires phrase-independent advertiser factors; \
                      use SharedSort for jittered workloads"
                 );
-                let queries: Vec<BitSet> = workload
-                    .interest
-                    .iter()
-                    .map(|ids| BitSet::from_elements(n, ids.iter().map(|a| a.index())))
-                    .collect();
-                // Empty phrases cannot be bound in a plan; the engine
-                // resolves them trivially, so substitute a harmless
-                // singleton for planning.
-                let queries = queries
-                    .into_iter()
-                    .map(|q| {
-                        if q.is_empty() {
-                            BitSet::singleton(n, 0)
-                        } else {
-                            q
-                        }
-                    })
-                    .collect();
-                let problem = PlanProblem::new(n, queries, Some(rates.clone()));
-                Some(SharedPlanner::fragments_only().plan(&problem))
+                // Empty phrases cannot be bound in a plan (and would
+                // pollute its cost model); drop them from the problem and
+                // resolve them trivially at round time.
+                let mut queries: Vec<BitSet> = Vec::with_capacity(m);
+                let mut query_rates: Vec<f64> = Vec::with_capacity(m);
+                for (q, ids) in workload.interest.iter().enumerate() {
+                    if ids.is_empty() {
+                        continue;
+                    }
+                    plan_query_index[q] = Some(queries.len());
+                    queries.push(BitSet::from_elements(n, ids.iter().map(|a| a.index())));
+                    query_rates.push(rates[q]);
+                }
+                if queries.is_empty() {
+                    None
+                } else {
+                    let problem = PlanProblem::new(n, queries, Some(query_rates));
+                    let planner = SharedPlanner {
+                        mode: config.planner,
+                    };
+                    Some(planner.plan(&problem))
+                }
             }
             _ => None,
         };
+        let plan_schedule = plan.as_ref().map(PlanDag::level_schedule);
         let sort_plan = match config.sharing {
             SharingStrategy::SharedSort => {
                 let interest: Vec<BitSet> = workload
@@ -281,6 +307,8 @@ impl Engine {
             sampler,
             clicker,
             plan,
+            plan_schedule,
+            plan_query_index,
             sort_plan,
             c_orders,
             last_effective_bids: Vec::new(),
@@ -326,7 +354,14 @@ impl Engine {
     }
 
     /// The effective (throttled) bids used by the most recent round's
-    /// winner determination; empty before the first round.
+    /// winner determination and pricing; empty before the first round.
+    ///
+    /// Under `Unshared` + `ThrottleBounds` the engine never computes the
+    /// whole population's exact convolutions (Section IV-B's point):
+    /// entries are exact for each phrase's ranked winners and runner-up
+    /// (everything pricing reads) and zero for everyone else. All other
+    /// strategy/policy combinations hold every participant's effective
+    /// bid, which is what the differential oracle replays.
     pub fn last_effective_bids(&self) -> &[Money] {
         &self.last_effective_bids
     }
@@ -346,10 +381,7 @@ impl Engine {
                     .pending
                     .iter()
                     .map(|p| {
-                        OutstandingAd::new(
-                            p.price,
-                            self.clicker.residual_ctr(p.display_ctr, p.age),
-                        )
+                        OutstandingAd::new(p.price, self.clicker.residual_ctr(p.display_ctr, p.age))
                     })
                     .collect(),
             })
@@ -377,29 +409,43 @@ impl Engine {
             }
         }
 
-        // Effective (possibly throttled) bids.
+        // Stage 1 — throttle: effective (possibly throttled) bids.
         let started = Instant::now();
-        let effective_bids = self.effective_bids(&m_i);
-        self.last_effective_bids = effective_bids.clone();
+        let (mut effective_bids, exact_evaluations) = self.effective_bids(&m_i);
+        let throttle_nanos = started.elapsed().as_nanos();
+        self.metrics.exact_throttle_evaluations += exact_evaluations;
+        self.metrics.throttle_nanos += throttle_nanos;
+        self.metrics.max_round_throttle_nanos =
+            self.metrics.max_round_throttle_nanos.max(throttle_nanos);
 
-        // Winner determination for every occurring phrase.
+        // Stage 2 — winner determination for every occurring phrase. The
+        // unshared bounds path backfills its winners' exact bids into
+        // `effective_bids`, so the snapshot is taken afterwards.
+        let started = Instant::now();
         let outcomes: Vec<AuctionOutcome> = match self.config.sharing {
-            SharingStrategy::Unshared => self.resolve_unshared(&occurring, &effective_bids),
+            SharingStrategy::Unshared => {
+                self.resolve_unshared(&occurring, &mut effective_bids, &m_i)
+            }
             SharingStrategy::SharedAggregation => {
                 self.resolve_shared_plan(&occurring, &effective_bids)
             }
             SharingStrategy::SharedSort => self.resolve_shared_sort(&occurring, &effective_bids),
         };
-        self.metrics.resolution_nanos += started.elapsed().as_nanos();
+        let wd_nanos = started.elapsed().as_nanos();
+        self.metrics.wd_nanos += wd_nanos;
+        self.metrics.max_round_wd_nanos = self.metrics.max_round_wd_nanos.max(wd_nanos);
         self.metrics.auctions += occurring.len() as u64;
+        self.last_effective_bids = effective_bids.clone();
 
-        // Pricing + display.
+        // Stage 3 — settle: pricing + display, then click settlement.
+        let started = Instant::now();
         for outcome in &outcomes {
             self.display_winners(outcome, &effective_bids);
         }
-
-        // Settle clicks and age pending ads.
         self.settle_round();
+        let settle_nanos = started.elapsed().as_nanos();
+        self.metrics.settle_nanos += settle_nanos;
+        self.metrics.max_round_settle_nanos = self.metrics.max_round_settle_nanos.max(settle_nanos);
 
         // Let bidding programs react to this round's outcomes.
         if self.programs.is_some() {
@@ -438,36 +484,46 @@ impl Engine {
         }
     }
 
-    fn effective_bids(&mut self, m_i: &[u64]) -> Vec<Money> {
+    /// Stage-1 effective bids for every advertiser, plus the number of
+    /// exact throttled-bid convolutions performed.
+    ///
+    /// Under `Unshared` + `ThrottleBounds` the whole stage is skipped:
+    /// the unshared resolver selects winners on lazily refined bounds and
+    /// only its winners' exact bids are ever computed (backfilled there).
+    fn effective_bids(&self, m_i: &[u64]) -> (Vec<Money>, u64) {
+        let n = self.workload.advertiser_count();
         let policy = self.config.budget_policy;
-        self.workload
-            .advertisers
-            .iter()
-            .enumerate()
-            .map(|(i, adv)| {
-                if m_i[i] == 0 {
-                    return Money::ZERO;
-                }
-                let ledger = &self.ledgers[i];
-                let _ = adv;
-                match policy {
-                    BudgetPolicy::Ignore => {
-                        if ledger.remaining().is_zero() {
-                            Money::ZERO
-                        } else {
-                            self.current_bids[i]
-                        }
-                    }
-                    BudgetPolicy::ThrottleExact | BudgetPolicy::ThrottleBounds => {
-                        // ThrottleBounds defers exactness to the
-                        // uncertain top-k; for plan/sort strategies (which
-                        // need concrete leaf values) both policies
-                        // evaluate exactly here.
-                        self.budget_context(i, m_i[i]).throttled_bid_exact()
+        if policy == BudgetPolicy::ThrottleBounds
+            && self.config.sharing == SharingStrategy::Unshared
+        {
+            return (vec![Money::ZERO; n], 0);
+        }
+        let bids = exec::parallel_map(n, self.config.wd_threads, |i| {
+            if m_i[i] == 0 {
+                return Money::ZERO;
+            }
+            match policy {
+                BudgetPolicy::Ignore => {
+                    if self.ledgers[i].remaining().is_zero() {
+                        Money::ZERO
+                    } else {
+                        self.current_bids[i]
                     }
                 }
-            })
-            .collect()
+                BudgetPolicy::ThrottleExact | BudgetPolicy::ThrottleBounds => {
+                    // Plan/sort strategies need concrete leaf values, so
+                    // ThrottleBounds also evaluates exactly here.
+                    self.budget_context(i, m_i[i]).throttled_bid_exact()
+                }
+            }
+        });
+        let exact_evaluations = match policy {
+            BudgetPolicy::Ignore => 0,
+            BudgetPolicy::ThrottleExact | BudgetPolicy::ThrottleBounds => {
+                m_i.iter().filter(|&&m| m > 0).count() as u64
+            }
+        };
+        (bids, exact_evaluations)
     }
 
     fn budget_context(&self, advertiser: usize, m: u64) -> BudgetContext {
@@ -480,80 +536,122 @@ impl Engine {
                 .pending
                 .iter()
                 .map(|p| {
-                    OutstandingAd::new(
-                        p.price,
-                        self.clicker.residual_ctr(p.display_ctr, p.age),
-                    )
+                    OutstandingAd::new(p.price, self.clicker.residual_ctr(p.display_ctr, p.age))
                 })
                 .collect(),
         }
     }
 
-    /// Baseline: independent scan per phrase. Under `ThrottleBounds`,
-    /// selection runs on lazily refined bounds instead of the exact
-    /// throttled bids.
+    /// Baseline: independent scan per phrase, fanned out over
+    /// `wd_threads` workers. Under `ThrottleBounds`, selection runs on
+    /// lazily refined bounds instead of the exact throttled bids; exact
+    /// values are computed only for each phrase's ranked top `k + 1` (the
+    /// winners plus the runner-up pricing reads) and backfilled into
+    /// `effective_bids`.
     fn resolve_unshared(
         &mut self,
         occurring: &[PhraseId],
-        effective_bids: &[Money],
+        effective_bids: &mut [Money],
+        m_i: &[u64],
     ) -> Vec<AuctionOutcome> {
         let k = self.config.slot_factors.len();
-        let mut out = Vec::with_capacity(occurring.len());
-        for &phrase in occurring {
-            let q = phrase.index();
-            let interest = &self.workload.interest[q];
-            self.metrics.advertisers_scanned += interest.len() as u64;
-            let ranked: Vec<(AdvertiserId, Score)> = if self.config.budget_policy
-                == BudgetPolicy::ThrottleBounds
-            {
-                // m_i for participants of this phrase were computed for
-                // the whole round; rebuild candidates with bound refiners.
-                let candidates: Vec<UncertainCandidate> = interest
-                    .iter()
-                    .enumerate()
-                    .map(|(pos, &a)| {
-                        let factor = self.workload.phrase_factors[q][pos];
-                        let m = 1.max(
-                            occurring
-                                .iter()
-                                .filter(|&&p| {
-                                    self.workload.interest[p.index()]
-                                        .binary_search(&a)
-                                        .is_ok()
-                                })
-                                .count() as u64,
-                        );
-                        UncertainCandidate::new(a, factor, &self.budget_context(a.index(), m))
-                    })
-                    .collect();
-                let (winners, stats) = top_k_uncertain(&candidates, k);
-                self.metrics.bound_evaluations += stats.bound_evaluations;
-                winners.into_iter().map(|w| (w.advertiser, w.score)).collect()
-            } else {
-                let mut top: KList<ScoredAd> = KList::empty(k);
-                for (pos, &a) in interest.iter().enumerate() {
-                    let factor = self.workload.phrase_factors[q][pos];
-                    let score = Score::expected_value(effective_bids[a.index()], factor);
-                    top.insert(ScoredAd::new(a, score));
+        let bounds_mode = self.config.budget_policy == BudgetPolicy::ThrottleBounds;
+
+        /// One phrase's result, carried back from the worker.
+        struct PhraseResolution {
+            ranked: Vec<(AdvertiserId, Score)>,
+            /// Exact throttled bids of the ranked advertisers
+            /// (`ThrottleBounds` only).
+            exact_bids: Vec<(AdvertiserId, Money)>,
+            scanned: u64,
+            bound_evaluations: u64,
+            exact_evaluations: u64,
+        }
+
+        let resolutions: Vec<PhraseResolution> = {
+            let this = &*self;
+            let bids: &[Money] = effective_bids;
+            exec::parallel_map(occurring.len(), this.config.wd_threads, |j| {
+                let q = occurring[j].index();
+                let interest = &this.workload.interest[q];
+                if bounds_mode {
+                    // `m_i` was computed once for the whole round; no
+                    // per-(phrase, candidate) rescan of `occurring`.
+                    let candidates: Vec<UncertainCandidate> = interest
+                        .iter()
+                        .enumerate()
+                        .map(|(pos, &a)| {
+                            let factor = this.workload.phrase_factors[q][pos];
+                            let ctx = this.budget_context(a.index(), m_i[a.index()]);
+                            UncertainCandidate::new(a, factor, &ctx)
+                        })
+                        .collect();
+                    // k + 1: pricing needs the runner-up's exact score.
+                    let (winners, stats) = top_k_uncertain(&candidates, k + 1);
+                    PhraseResolution {
+                        ranked: winners.iter().map(|w| (w.advertiser, w.score)).collect(),
+                        exact_bids: winners.iter().map(|w| (w.advertiser, w.bid)).collect(),
+                        scanned: interest.len() as u64,
+                        bound_evaluations: stats.bound_evaluations,
+                        exact_evaluations: stats.exact_evaluations,
+                    }
+                } else {
+                    let mut top: KList<ScoredAd> = KList::empty(k);
+                    for (pos, &a) in interest.iter().enumerate() {
+                        let factor = this.workload.phrase_factors[q][pos];
+                        let score = Score::expected_value(bids[a.index()], factor);
+                        top.insert(ScoredAd::new(a, score));
+                    }
+                    PhraseResolution {
+                        ranked: top
+                            .items()
+                            .iter()
+                            .map(|s| (s.advertiser, s.score))
+                            .collect(),
+                        exact_bids: Vec::new(),
+                        scanned: interest.len() as u64,
+                        bound_evaluations: 0,
+                        exact_evaluations: 0,
+                    }
                 }
-                top.items().iter().map(|s| (s.advertiser, s.score)).collect()
-            };
+            })
+        };
+
+        let mut out = Vec::with_capacity(occurring.len());
+        for (&phrase, res) in occurring.iter().zip(resolutions) {
+            self.metrics.advertisers_scanned += res.scanned;
+            self.metrics.bound_evaluations += res.bound_evaluations;
+            self.metrics.exact_throttle_evaluations += res.exact_evaluations;
+            for (a, bid) in res.exact_bids {
+                effective_bids[a.index()] = bid;
+            }
             out.push(AuctionOutcome {
                 phrase,
-                assignment: assignment_from_ranking(&ranked, k),
+                assignment: assignment_from_ranking(&res.ranked, k),
             });
         }
         out
     }
 
-    /// Section II: evaluate the offline shared plan once for the round.
+    /// Section II: evaluate the offline shared plan once for the round,
+    /// level-parallel across `wd_threads` workers when configured.
     fn resolve_shared_plan(
         &mut self,
         occurring: &[PhraseId],
         effective_bids: &[Money],
     ) -> Vec<AuctionOutcome> {
-        let plan = self.plan.as_ref().expect("plan compiled at startup");
         let k = self.config.slot_factors.len();
+        let Some(plan) = self.plan.as_ref() else {
+            // Every phrase had an empty interest set (or there are no
+            // advertisers at all): every auction resolves empty.
+            return occurring
+                .iter()
+                .map(|&phrase| AuctionOutcome {
+                    phrase,
+                    assignment: assignment_from_ranking(&[], k),
+                })
+                .collect();
+        };
         let op = ScoredTopKOp { k };
         // Leaves: singleton k-lists of each advertiser's current score.
         let leaf_values: Vec<KList<ScoredAd>> = self
@@ -562,33 +660,36 @@ impl Engine {
             .iter()
             .enumerate()
             .map(|(i, adv)| {
-                let score =
-                    Score::expected_value(effective_bids[i], adv.base_factor);
+                let score = Score::expected_value(effective_bids[i], adv.base_factor);
                 KList::singleton(k, ScoredAd::new(adv.id, score))
             })
             .collect();
-        let mut flags = vec![false; self.workload.phrase_count()];
+        let mut flags = vec![false; plan.query_count()];
         for &p in occurring {
-            flags[p.index()] = true;
+            if let Some(qi) = self.plan_query_index[p.index()] {
+                flags[qi] = true;
+            }
         }
-        let (results, ops) = plan.evaluate(&op, &leaf_values, &flags);
+        let (results, ops) = if self.config.wd_threads > 1 {
+            let schedule = self
+                .plan_schedule
+                .as_ref()
+                .expect("schedule computed with plan");
+            plan.evaluate_parallel(&op, &leaf_values, &flags, schedule, self.config.wd_threads)
+        } else {
+            plan.evaluate(&op, &leaf_values, &flags)
+        };
         self.metrics.aggregation_ops += ops as u64;
         occurring
             .iter()
             .map(|&phrase| {
-                let ranked: Vec<(AdvertiserId, Score)> = results[phrase.index()]
-                    .as_ref()
+                // A query node's variable set is exactly the phrase's
+                // interest set, so every ranked advertiser is interested.
+                let ranked: Vec<(AdvertiserId, Score)> = self.plan_query_index[phrase.index()]
+                    .and_then(|qi| results[qi].as_ref())
                     .map(|list| {
                         list.items()
                             .iter()
-                            // Guard against the empty-phrase placeholder
-                            // leaf: only advertisers actually interested
-                            // in the phrase may win it.
-                            .filter(|s| {
-                                self.workload.interest[phrase.index()]
-                                    .binary_search(&s.advertiser)
-                                    .is_ok()
-                            })
                             .map(|s| (s.advertiser, s.score))
                             .collect()
                     })
@@ -602,8 +703,8 @@ impl Engine {
     }
 
     /// Section III: shared merge network + TA per occurring phrase,
-    /// sequentially or across `ta_threads` workers over the concurrent
-    /// network (identical results either way).
+    /// sequentially or across `max(ta_threads, wd_threads)` workers over
+    /// the concurrent network (identical results either way).
     fn resolve_shared_sort(
         &mut self,
         occurring: &[PhraseId],
@@ -611,12 +712,12 @@ impl Engine {
     ) -> Vec<AuctionOutcome> {
         let sort_plan = self.sort_plan.as_ref().expect("sort plan compiled");
         let k = self.config.slot_factors.len();
-        if self.config.ta_threads > 1 {
-            let (net, roots) =
-                crate::sort::concurrent::ConcurrentMergeNetwork::from_plan(
-                    sort_plan,
-                    effective_bids,
-                );
+        let threads = self.config.ta_threads.max(self.config.wd_threads);
+        if threads > 1 {
+            let (net, roots) = crate::sort::concurrent::ConcurrentMergeNetwork::from_plan(
+                sort_plan,
+                effective_bids,
+            );
             let jobs: Vec<crate::sort::concurrent::TaJob> = occurring
                 .iter()
                 .map(|p| (roots[p.index()], self.c_orders[p.index()].clone(), k))
@@ -627,7 +728,7 @@ impl Engine {
                 &jobs,
                 |_, a| effective_bids[a.index()],
                 |j, a| workload.phrase_factor(occurring[j], a).unwrap_or(0.0),
-                self.config.ta_threads,
+                threads,
             );
             let mut out = Vec::with_capacity(occurring.len());
             for (&phrase, outcome) in occurring.iter().zip(outcomes) {
@@ -725,8 +826,7 @@ impl Engine {
                         ledger.settled_spend += charged;
                         self.metrics.revenue = self.metrics.revenue.saturating_add(charged);
                         if !forgiven.is_zero() {
-                            self.metrics.forgiven =
-                                self.metrics.forgiven.saturating_add(forgiven);
+                            self.metrics.forgiven = self.metrics.forgiven.saturating_add(forgiven);
                             self.metrics.clicks_beyond_budget += 1;
                         }
                     }
@@ -868,6 +968,209 @@ mod tests {
             }
         }
         assert!(bounds.metrics().bound_evaluations > 0);
+        // The bounds engine must not pay whole-population convolutions:
+        // exact values are computed per phrase for at most k+1 winners,
+        // strictly fewer than the exact engine's per-participant pass.
+        assert!(bounds.metrics().exact_throttle_evaluations > 0);
+        assert!(
+            bounds.metrics().exact_throttle_evaluations
+                < exact.metrics().exact_throttle_evaluations,
+            "bounds {} should undercut exact {}",
+            bounds.metrics().exact_throttle_evaluations,
+            exact.metrics().exact_throttle_evaluations
+        );
+        assert_eq!(exact.metrics().bound_evaluations, 0);
+    }
+
+    /// Regression for the deleted per-(phrase, candidate) rescan of
+    /// `occurring`: the round-level `m_i` is the same participation count
+    /// the rescan produced, so bound-refined winners are unchanged.
+    #[test]
+    fn participation_counts_match_the_deleted_rescan() {
+        let mut engine = Engine::new(
+            small_workload(0.0, 21),
+            config(SharingStrategy::Unshared, BudgetPolicy::ThrottleBounds),
+        );
+        engine.run(5); // build up pending ads so throttling is non-trivial
+        let occurring: Vec<PhraseId> = (0..engine.workload.phrase_count())
+            .map(PhraseId::from_index)
+            .collect();
+        let mut m_i = vec![0u64; engine.workload.advertiser_count()];
+        for &q in &occurring {
+            for a in &engine.workload.interest[q.index()] {
+                m_i[a.index()] += 1;
+            }
+        }
+        let k = engine.config.slot_factors.len();
+        for &phrase in &occurring {
+            let q = phrase.index();
+            let build = |count: &dyn Fn(AdvertiserId) -> u64| -> Vec<UncertainCandidate> {
+                engine.workload.interest[q]
+                    .iter()
+                    .enumerate()
+                    .map(|(pos, &a)| {
+                        let factor = engine.workload.phrase_factors[q][pos];
+                        UncertainCandidate::new(
+                            a,
+                            factor,
+                            &engine.budget_context(a.index(), count(a)),
+                        )
+                    })
+                    .collect()
+            };
+            let fast = build(&|a: AdvertiserId| m_i[a.index()]);
+            let rescan = build(&|a: AdvertiserId| {
+                1.max(
+                    occurring
+                        .iter()
+                        .filter(|&&p| {
+                            engine.workload.interest[p.index()]
+                                .binary_search(&a)
+                                .is_ok()
+                        })
+                        .count() as u64,
+                )
+            });
+            let (w_fast, _) = top_k_uncertain(&fast, k + 1);
+            let (w_rescan, _) = top_k_uncertain(&rescan, k + 1);
+            assert_eq!(w_fast, w_rescan, "phrase {phrase}");
+        }
+    }
+
+    /// The parallel round executor must be bit-identical to the
+    /// sequential one for every strategy × policy combination.
+    #[test]
+    fn wd_threads_bit_identical_across_strategies() {
+        for sharing in [
+            SharingStrategy::Unshared,
+            SharingStrategy::SharedAggregation,
+            SharingStrategy::SharedSort,
+        ] {
+            for policy in [
+                BudgetPolicy::Ignore,
+                BudgetPolicy::ThrottleExact,
+                BudgetPolicy::ThrottleBounds,
+            ] {
+                let run = |threads: usize| {
+                    let mut engine = Engine::new(
+                        small_workload(0.0, 31),
+                        EngineConfig {
+                            sharing,
+                            budget_policy: policy,
+                            wd_threads: threads,
+                            ..EngineConfig::default()
+                        },
+                    );
+                    let mut all = Vec::new();
+                    for _ in 0..8 {
+                        all.extend(engine.run_round());
+                    }
+                    (
+                        all,
+                        engine.metrics().without_timing(),
+                        engine.budget_snapshots(),
+                        engine.last_effective_bids().to_vec(),
+                    )
+                };
+                let (seq, seq_m, seq_snap, seq_bids) = run(1);
+                let (par, par_m, par_snap, par_bids) = run(4);
+                let label = format!("{sharing:?}/{policy:?}");
+                assert_eq!(seq.len(), par.len(), "{label}");
+                for (a, b) in seq.iter().zip(&par) {
+                    assert_eq!(a.phrase, b.phrase, "{label}");
+                    assert_eq!(a.assignment, b.assignment, "{label} phrase {}", a.phrase);
+                }
+                assert_eq!(seq_m, par_m, "{label} metrics");
+                assert_eq!(seq_snap, par_snap, "{label} budget snapshots");
+                assert_eq!(seq_bids, par_bids, "{label} effective bids");
+            }
+        }
+    }
+
+    /// The engine's default plan uses the full Section II-D heuristic,
+    /// whose greedy completion should not cost more than fragments-only
+    /// on a typical workload.
+    #[test]
+    fn default_planner_cost_at_most_fragments_only() {
+        use crate::plan::cost::expected_cost;
+        let w = small_workload(0.0, 42);
+        let rates = w.search_rates();
+        let full = Engine::new(
+            w.clone(),
+            config(SharingStrategy::SharedAggregation, BudgetPolicy::Ignore),
+        );
+        let frag = Engine::new(
+            w,
+            EngineConfig {
+                sharing: SharingStrategy::SharedAggregation,
+                budget_policy: BudgetPolicy::Ignore,
+                planner: PlannerMode::FragmentsOnly,
+                ..EngineConfig::default()
+            },
+        );
+        assert_eq!(full.config().planner, PlannerMode::Full, "default is full");
+        let full_cost = expected_cost(full.plan.as_ref().unwrap(), &rates);
+        let frag_cost = expected_cost(frag.plan.as_ref().unwrap(), &rates);
+        assert!(
+            full_cost <= frag_cost,
+            "full {full_cost} vs fragments-only {frag_cost}"
+        );
+        // Both engines still resolve identically — plans differ only in cost.
+        let mut full = full;
+        let mut frag = frag;
+        for _ in 0..5 {
+            let a = full.run_round();
+            let b = frag.run_round();
+            for (x, y) in a.iter().zip(&b) {
+                assert_eq!(x.assignment, y.assignment);
+            }
+        }
+    }
+
+    /// Zero-advertiser workloads and empty-interest phrases must resolve
+    /// trivially instead of planting a fake advertiser-0 leaf (which
+    /// panicked when `n == 0`).
+    #[test]
+    fn empty_phrases_and_zero_advertisers_resolve_trivially() {
+        // n == 0: every strategy runs, no winners, no revenue.
+        for sharing in [
+            SharingStrategy::Unshared,
+            SharingStrategy::SharedAggregation,
+            SharingStrategy::SharedSort,
+        ] {
+            let w = Workload::generate(&WorkloadConfig {
+                advertisers: 0,
+                phrases: 4,
+                topics: 2,
+                ..WorkloadConfig::default()
+            });
+            let mut engine = Engine::new(w, config(sharing, BudgetPolicy::ThrottleExact));
+            let m = engine.run(5);
+            assert_eq!(m.impressions, 0, "{sharing:?}");
+            assert!(m.revenue.is_zero(), "{sharing:?}");
+        }
+        // One emptied phrase: it resolves empty, others are unaffected.
+        let mut w = small_workload(0.0, 8);
+        w.interest[0].clear();
+        w.phrase_factors[0].clear();
+        let mut engine = Engine::new(
+            w,
+            config(
+                SharingStrategy::SharedAggregation,
+                BudgetPolicy::ThrottleExact,
+            ),
+        );
+        let mut saw_other_winners = false;
+        for _ in 0..10 {
+            for outcome in engine.run_round() {
+                if outcome.phrase.index() == 0 {
+                    assert!(outcome.assignment.winners().is_empty());
+                } else if !outcome.assignment.winners().is_empty() {
+                    saw_other_winners = true;
+                }
+            }
+        }
+        assert!(saw_other_winners, "non-empty phrases still resolve");
     }
 
     #[test]
@@ -892,7 +1195,10 @@ mod tests {
     fn metrics_accumulate_sensibly() {
         let mut engine = Engine::new(
             small_workload(0.0, 3),
-            config(SharingStrategy::SharedAggregation, BudgetPolicy::ThrottleExact),
+            config(
+                SharingStrategy::SharedAggregation,
+                BudgetPolicy::ThrottleExact,
+            ),
         );
         let m = engine.run(20);
         assert_eq!(m.rounds, 20);

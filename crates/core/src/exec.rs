@@ -1,0 +1,88 @@
+//! Deterministic scoped-worker fan-out shared by the round executor.
+//!
+//! Every parallel stage of the engine (per-advertiser throttling,
+//! per-phrase unshared scans, level-parallel plan evaluation) reduces to
+//! the same shape: `jobs` independent computations whose results must
+//! come back *in job order*, bit-identical to a sequential loop. This
+//! module provides that primitive once, using the same work-stealing
+//! pattern proven in `sort::concurrent::resolve_parallel`: an atomic
+//! next-job counter, one mutex-guarded result slot per job, and the
+//! vendored `crossbeam` scoped threads. Each job index is claimed by
+//! exactly one worker and computed from the same inputs a sequential loop
+//! would see, so thread count affects wall-clock only, never results.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use parking_lot::Mutex;
+
+/// Computes `f(0), …, f(jobs - 1)` and returns the results in job order.
+///
+/// With `threads <= 1` (or at most one job) this is a plain sequential
+/// map; otherwise `min(threads, jobs)` scoped workers drain an atomic job
+/// counter. Results are identical either way — `f` must be a pure
+/// function of its index (it is `Fn`, not `FnMut`, so the type system
+/// already rules out cross-job mutation).
+///
+/// # Panics
+/// Propagates any panic raised by `f`.
+pub fn parallel_map<T, F>(jobs: usize, threads: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if threads <= 1 || jobs <= 1 {
+        return (0..jobs).map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<T>>> = (0..jobs).map(|_| Mutex::new(None)).collect();
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..threads.min(jobs) {
+            scope.spawn(|_| loop {
+                let j = next.fetch_add(1, Ordering::Relaxed);
+                if j >= jobs {
+                    break;
+                }
+                let value = f(j);
+                *slots[j].lock() = Some(value);
+            });
+        }
+    })
+    .expect("executor worker panicked");
+    slots
+        .into_iter()
+        .map(|slot| slot.into_inner().expect("every job index was claimed"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_arrive_in_job_order() {
+        let out = parallel_map(100, 4, |i| i * i);
+        assert_eq!(out, (0..100).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sequential_and_parallel_agree() {
+        let inputs: Vec<u64> = (0..57).map(|i| i * 31 % 17).collect();
+        let f = |i: usize| inputs[i].wrapping_mul(0x9e37_79b9).rotate_left(7);
+        let seq = parallel_map(inputs.len(), 1, f);
+        let par = parallel_map(inputs.len(), 4, f);
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn empty_and_single_job() {
+        assert_eq!(parallel_map(0, 4, |i| i), Vec::<usize>::new());
+        assert_eq!(parallel_map(1, 4, |i| i + 1), vec![1]);
+    }
+
+    #[test]
+    fn borrows_from_enclosing_scope() {
+        let data = vec![1u32, 2, 3, 4, 5];
+        let doubled = parallel_map(data.len(), 3, |i| data[i] * 2);
+        assert_eq!(doubled, vec![2, 4, 6, 8, 10]);
+    }
+}

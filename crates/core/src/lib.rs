@@ -32,11 +32,14 @@
 //! * [`engine`] — the round-based auction engine tying it together:
 //!   batching, per-round shared evaluation, pricing, delayed clicks,
 //!   budget settlement, and automated bidding programs.
+//! * [`exec`] — the deterministic scoped-worker fan-out behind the
+//!   engine's parallel round executor (`wd_threads`).
 
 pub mod algebra;
 pub mod bloom;
 pub mod budget;
 pub mod engine;
+pub mod exec;
 pub mod nonsep;
 pub mod plan;
 pub mod sort;

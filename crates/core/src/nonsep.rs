@@ -119,8 +119,7 @@ impl SharedNonSeparable {
                 if let Some(list) = &tops[q] {
                     for s in list.items() {
                         // Guard against the empty-phrase placeholder leaf.
-                        if iq.contains(s.advertiser.index())
-                            && !candidates.contains(&s.advertiser)
+                        if iq.contains(s.advertiser.index()) && !candidates.contains(&s.advertiser)
                         {
                             candidates.push(s.advertiser);
                         }
@@ -205,17 +204,11 @@ mod tests {
             .collect()
     }
 
-    fn assignment_value(
-        assignment: &Assignment,
-        matrix: &CtrMatrix,
-        bids: &[Money],
-    ) -> f64 {
+    fn assignment_value(assignment: &Assignment, matrix: &CtrMatrix, bids: &[Money]) -> f64 {
         assignment
             .winners()
             .iter()
-            .map(|w| {
-                matrix.ctr(w.advertiser, w.slot).value() * bids[w.advertiser.index()].to_f64()
-            })
+            .map(|w| matrix.ctr(w.advertiser, w.slot).value() * bids[w.advertiser.index()].to_f64())
             .sum()
     }
 
@@ -268,8 +261,7 @@ mod tests {
         let k = 2;
         let n = 6;
         let matrix =
-            CtrMatrix::new((0..n).map(|i| vec![0.1 * (i + 1) as f64, 0.05]).collect())
-                .unwrap();
+            CtrMatrix::new((0..n).map(|i| vec![0.1 * (i + 1) as f64, 0.05]).collect()).unwrap();
         let bids = vec![Money::from_units(1); n];
         let interest = vec![
             BitSet::from_elements(n, 0..4),

@@ -140,7 +140,10 @@ mod tests {
             total += materialized_cost(&plan, &occurring);
         }
         let mc = total as f64 / trials as f64;
-        assert!((mc - expected).abs() < 0.02, "MC {mc} vs expected {expected}");
+        assert!(
+            (mc - expected).abs() < 0.02,
+            "MC {mc} vs expected {expected}"
+        );
     }
 
     proptest! {

@@ -143,7 +143,10 @@ mod tests {
         let unshared = unshared_expected_cost(&problem);
         let d_cost = expected_cost(&disjoint, &problem.search_rates);
         let i_cost = expected_cost(&idempotent, &problem.search_rates);
-        assert!(d_cost < unshared, "disjoint {d_cost} vs unshared {unshared}");
+        assert!(
+            d_cost < unshared,
+            "disjoint {d_cost} vs unshared {unshared}"
+        );
         assert!(
             i_cost <= d_cost + 1e-9,
             "idempotent sharing {i_cost} should be at least as good as disjoint {d_cost}"

@@ -119,11 +119,7 @@ mod tests {
     /// The hiking-boots example's structure in miniature: vars 0-1 in both
     /// queries, var 2 only in q0, var 3 only in q1, var 4 in neither.
     fn mini_problem() -> PlanProblem {
-        PlanProblem::new(
-            5,
-            vec![bs(5, &[0, 1, 2]), bs(5, &[0, 1, 3])],
-            None,
-        )
+        PlanProblem::new(5, vec![bs(5, &[0, 1, 2]), bs(5, &[0, 1, 3])], None)
     }
 
     #[test]
@@ -179,11 +175,7 @@ mod tests {
 
     #[test]
     fn identical_queries_collapse_to_one_fragment() {
-        let problem = PlanProblem::new(
-            3,
-            vec![bs(3, &[0, 1, 2]), bs(3, &[0, 1, 2])],
-            None,
-        );
+        let problem = PlanProblem::new(3, vec![bs(3, &[0, 1, 2]), bs(3, &[0, 1, 2])], None);
         let f = identify_fragments(&problem);
         assert_eq!(f.fragments.len(), 1);
         let (plan, _, _) = build_fragment_plan(&problem);

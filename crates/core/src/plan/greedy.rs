@@ -98,8 +98,8 @@ fn complete_by_cover_chains(plan: &mut PlanDag, problem: &PlanProblem) {
             continue;
         }
         let sets = node_sets(plan);
-        let cover = ssa_setcover::greedy_cover(target, &sets)
-            .expect("leaves always cover the target");
+        let cover =
+            ssa_setcover::greedy_cover(target, &sets).expect("leaves always cover the target");
         plan.merge_chain(&cover.chosen);
     }
 }
@@ -120,8 +120,8 @@ fn complete_greedy(plan: &mut PlanDag, problem: &PlanProblem) {
         let baseline: Vec<(usize, usize)> = uncovered
             .iter()
             .map(|&q| {
-                let size = greedy_cover_size(&problem.queries[q], &sets)
-                    .expect("leaves always cover");
+                let size =
+                    greedy_cover_size(&problem.queries[q], &sets).expect("leaves always cover");
                 (q, size)
             })
             .collect();
@@ -138,10 +138,7 @@ fn complete_greedy(plan: &mut PlanDag, problem: &PlanProblem) {
                     continue;
                 }
                 // Useless unless w fits inside some uncovered query.
-                if !uncovered
-                    .iter()
-                    .any(|&q| w.is_subset(&problem.queries[q]))
-                {
+                if !uncovered.iter().any(|&q| w.is_subset(&problem.queries[q])) {
                     continue;
                 }
                 seen.insert(w.clone());
@@ -160,8 +157,8 @@ fn complete_greedy(plan: &mut PlanDag, problem: &PlanProblem) {
                 if !w.is_subset(&problem.queries[q]) {
                     continue;
                 }
-                let new_size = greedy_cover_size(&problem.queries[q], &with_w)
-                    .expect("still coverable");
+                let new_size =
+                    greedy_cover_size(&problem.queries[q], &with_w).expect("still coverable");
                 gain += problem.search_rates[q] * (base_size as f64 - new_size as f64);
             }
             let forms_query = uncovered.iter().any(|&q| *w == problem.queries[q]);
@@ -313,8 +310,14 @@ mod tests {
         let full_cost = expected_cost(&full, &problem.search_rates);
         let frag_cost = expected_cost(&frag, &problem.search_rates);
         let unshared = unshared_expected_cost(&problem);
-        assert!(full_cost < unshared, "full {full_cost} vs unshared {unshared}");
-        assert!(frag_cost < unshared, "frag {frag_cost} vs unshared {unshared}");
+        assert!(
+            full_cost < unshared,
+            "full {full_cost} vs unshared {unshared}"
+        );
+        assert!(
+            frag_cost < unshared,
+            "frag {frag_cost} vs unshared {unshared}"
+        );
         assert!(
             (full_cost - frag_cost).abs() / frag_cost < 0.25,
             "modes should land close: full {full_cost} vs frag {frag_cost}"
@@ -343,11 +346,7 @@ mod tests {
 
     #[test]
     fn duplicate_queries_share_one_node() {
-        let problem = PlanProblem::new(
-            4,
-            vec![bs(4, &[0, 1, 2]), bs(4, &[0, 1, 2])],
-            None,
-        );
+        let problem = PlanProblem::new(4, vec![bs(4, &[0, 1, 2]), bs(4, &[0, 1, 2])], None);
         let plan = SharedPlanner::full().plan(&problem);
         assert_complete(&plan, &problem);
         assert_eq!(plan.total_cost(), 2, "computed once");

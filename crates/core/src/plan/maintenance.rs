@@ -135,8 +135,8 @@ impl PlanMaintainer {
         // Patch: greedy-cover the new set from existing nodes and chain.
         let before = self.plan.total_cost();
         let sets: Vec<BitSet> = self.plan.nodes().iter().map(|n| n.vars.clone()).collect();
-        let cover = ssa_setcover::greedy_cover(&new_set, &sets)
-            .expect("leaves always cover the target");
+        let cover =
+            ssa_setcover::greedy_cover(&new_set, &sets).expect("leaves always cover the target");
         let node = self.plan.merge_chain(&cover.chosen);
         self.plan.rebind_query(q, node);
         let new_nodes = self.plan.total_cost() - before;
@@ -169,9 +169,9 @@ impl PlanMaintainer {
 mod tests {
     use super::*;
     use crate::topk::{KList, ScoredAd, ScoredTopKOp};
+    use proptest::prelude::*;
     use ssa_auction::ids::AdvertiserId;
     use ssa_auction::score::Score;
-    use proptest::prelude::*;
 
     fn bs(n: usize, elems: &[usize]) -> BitSet {
         BitSet::from_elements(n, elems.iter().copied())
@@ -279,7 +279,10 @@ mod tests {
             }
         }
         let (before, after) = last_replan.expect("churn forces at least one replan");
-        assert!(after < before, "replan must shed stale nodes: {after} vs {before}");
+        assert!(
+            after < before,
+            "replan must shed stale nodes: {after} vs {before}"
+        );
     }
 
     #[test]

@@ -198,8 +198,7 @@ mod tests {
     #[test]
     fn shared_prefix_is_found() {
         // {0,1,2} and {0,1,3}: optimal shares {0,1}: cost 3 (not 4).
-        let problem =
-            PlanProblem::new(4, vec![bs(4, &[0, 1, 2]), bs(4, &[0, 1, 3])], None);
+        let problem = PlanProblem::new(4, vec![bs(4, &[0, 1, 2]), bs(4, &[0, 1, 3])], None);
         let opt = optimal_plan(&problem).unwrap();
         assert_eq!(opt.total_cost, 3);
     }
@@ -224,7 +223,11 @@ mod tests {
         let cases: Vec<Vec<BitSet>> = vec![
             vec![bs(6, &[0, 1, 2]), bs(6, &[1, 2, 3]), bs(6, &[2, 3, 4])],
             vec![bs(6, &[0, 1, 2, 3]), bs(6, &[0, 1]), bs(6, &[2, 3])],
-            vec![bs(6, &[0, 1, 2, 3, 4, 5]), bs(6, &[0, 1, 2]), bs(6, &[3, 4, 5])],
+            vec![
+                bs(6, &[0, 1, 2, 3, 4, 5]),
+                bs(6, &[0, 1, 2]),
+                bs(6, &[3, 4, 5]),
+            ],
             vec![bs(6, &[0, 2, 4]), bs(6, &[1, 3, 5])],
         ];
         for queries in cases {

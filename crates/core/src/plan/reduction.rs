@@ -75,11 +75,7 @@ pub fn extract_cover(plan: &PlanDag, problem: &PlanProblem) -> Vec<BitSet> {
     let root = plan
         .node_for(&universe)
         .expect("plan computes the universal query");
-    let query_sets: Vec<&BitSet> = problem
-        .queries
-        .iter()
-        .filter(|q| **q != universe)
-        .collect();
+    let query_sets: Vec<&BitSet> = problem.queries.iter().filter(|q| **q != universe).collect();
     let mut cover: Vec<BitSet> = Vec::new();
     let mut stack = vec![root];
     while let Some(idx) = stack.pop() {
@@ -136,10 +132,7 @@ mod tests {
 
     #[test]
     fn construction_shapes() {
-        let inst = SetCoverInstance::new(
-            4,
-            vec![bs(4, &[0, 1]), bs(4, &[2, 3]), bs(4, &[1, 2])],
-        );
+        let inst = SetCoverInstance::new(4, vec![bs(4, &[0, 1]), bs(4, &[2, 3]), bs(4, &[1, 2])]);
         let p = plan_problem_from_set_cover(&inst);
         assert_eq!(p.query_count(), 4); // 3 sets + universe
         let closed = closed_plan_problem_from_set_cover(&inst);
@@ -163,7 +156,12 @@ mod tests {
         let instances = vec![
             SetCoverInstance::new(
                 5,
-                vec![bs(5, &[0, 1]), bs(5, &[2, 3]), bs(5, &[3, 4]), bs(5, &[1, 2])],
+                vec![
+                    bs(5, &[0, 1]),
+                    bs(5, &[2, 3]),
+                    bs(5, &[3, 4]),
+                    bs(5, &[1, 2]),
+                ],
             ),
             SetCoverInstance::new(
                 6,
@@ -192,7 +190,12 @@ mod tests {
     fn extracted_cover_is_valid() {
         let inst = SetCoverInstance::new(
             5,
-            vec![bs(5, &[0, 1]), bs(5, &[2, 3]), bs(5, &[3, 4]), bs(5, &[1, 2])],
+            vec![
+                bs(5, &[0, 1]),
+                bs(5, &[2, 3]),
+                bs(5, &[3, 4]),
+                bs(5, &[1, 2]),
+            ],
         );
         let problem = plan_problem_from_set_cover(&inst);
         let opt = optimal_plan(&problem).expect("small instance");

@@ -189,7 +189,9 @@ impl MergeNetwork {
                 self.invocations += 1;
                 let item = if take_left { l.unwrap() } else { r.unwrap() };
                 if let NetNodeKind::Merge {
-                    left_pos, right_pos, ..
+                    left_pos,
+                    right_pos,
+                    ..
                 } = &mut self.nodes[node].kind
                 {
                     if take_left {

@@ -105,7 +105,13 @@ impl SortPlan {
         let roots = self
             .roots
             .iter()
-            .map(|&r| if r == usize::MAX { usize::MAX } else { net_id[r] })
+            .map(|&r| {
+                if r == usize::MAX {
+                    usize::MAX
+                } else {
+                    net_id[r]
+                }
+            })
             .collect();
         (net, roots)
     }
@@ -389,11 +395,7 @@ mod tests {
         BitSet::from_elements(n, elems.iter().copied())
     }
 
-    fn plan_roots_sort_correctly(
-        plan: &SortPlan,
-        interest: &[BitSet],
-        bids: &[Money],
-    ) {
+    fn plan_roots_sort_correctly(plan: &SortPlan, interest: &[BitSet], bids: &[Money]) {
         let (mut net, roots) = plan.instantiate(bids);
         for (q, iq) in interest.iter().enumerate() {
             if iq.is_empty() {
@@ -409,9 +411,7 @@ mod tests {
                 out
             };
             let mut want: Vec<usize> = iq.iter().collect();
-            want.sort_by(|&a, &b| {
-                bids[b].cmp(&bids[a]).then(a.cmp(&b))
-            });
+            want.sort_by(|&a, &b| bids[b].cmp(&bids[a]).then(a.cmp(&b)));
             let want: Vec<u32> = want.iter().map(|&a| a as u32).collect();
             assert_eq!(got, want, "phrase {q} stream mismatch");
         }
@@ -522,12 +522,7 @@ mod tests {
         // phrases with q % 4 == i % 4, plus generalists (i % 5 == 0) in
         // everything.
         let interest: Vec<BitSet> = (0..m)
-            .map(|q| {
-                BitSet::from_elements(
-                    n,
-                    (0..n).filter(|i| i % 5 == 0 || q % 4 == i % 4),
-                )
-            })
+            .map(|q| BitSet::from_elements(n, (0..n).filter(|i| i % 5 == 0 || q % 4 == i % 4)))
             .collect();
         let rates = vec![0.5; m];
         let started = Instant::now();
@@ -550,9 +545,7 @@ mod tests {
         ];
         let rates = [0.9, 0.9, 0.9];
         let plan = build_shared_sort_plan_bucketed(8, &interest, &rates);
-        assert!(
-            plan.expected_cost(&rates) < SortPlan::unshared_expected_cost(&interest, &rates)
-        );
+        assert!(plan.expected_cost(&rates) < SortPlan::unshared_expected_cost(&interest, &rates));
     }
 
     proptest! {

@@ -193,11 +193,7 @@ mod tests {
         (net, root, c_order)
     }
 
-    fn run(
-        bids: &[u64],
-        factors: &[f64],
-        k: usize,
-    ) -> (TaOutcome, Vec<(AdvertiserId, Score)>) {
+    fn run(bids: &[u64], factors: &[f64], k: usize) -> (TaOutcome, Vec<(AdvertiserId, Score)>) {
         let (mut net, root, c_order) = single_phrase(bids, factors);
         let bids_v = bids.to_vec();
         let factors_v = factors.to_vec();
@@ -209,8 +205,7 @@ mod tests {
             |a| factors_v[a.index()],
             k,
         );
-        let interest: Vec<AdvertiserId> =
-            (0..bids.len()).map(AdvertiserId::from_index).collect();
+        let interest: Vec<AdvertiserId> = (0..bids.len()).map(AdvertiserId::from_index).collect();
         let naive = naive_top_k(
             &interest,
             |a| Money::from_micros(bids_v[a.index()]),
@@ -235,7 +230,10 @@ mod tests {
         let factors: Vec<f64> = (0..n).map(|i| 2.0 - i as f64 * 0.1).collect();
         let (outcome, naive) = run(&bids, &factors, 2);
         assert_eq!(outcome.top_k, naive);
-        assert!(outcome.stopped_early, "aligned lists must trigger early stop");
+        assert!(
+            outcome.stopped_early,
+            "aligned lists must trigger early stop"
+        );
         assert!(
             outcome.stages < n,
             "stages {} should be below n={n}",

@@ -198,12 +198,13 @@ impl BitSet {
 
     /// Iterates over elements in ascending order.
     pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
-        self.blocks.iter().enumerate().flat_map(|(i, &block)| {
-            BlockBits {
+        self.blocks
+            .iter()
+            .enumerate()
+            .flat_map(|(i, &block)| BlockBits {
                 block,
                 base: i * BITS,
-            }
-        })
+            })
     }
 
     /// The smallest element, if any.

@@ -45,11 +45,7 @@ pub fn exact_min_cover(target: &BitSet, candidates: &[BitSet]) -> Option<Vec<usi
     impl Search<'_> {
         fn run(&mut self, uncovered: &BitSet, chosen: &mut Vec<usize>) {
             if uncovered.is_empty() {
-                if self
-                    .best
-                    .as_ref()
-                    .is_none_or(|b| chosen.len() < b.len())
-                {
+                if self.best.as_ref().is_none_or(|b| chosen.len() < b.len()) {
                     self.best = Some(chosen.clone());
                 }
                 return;

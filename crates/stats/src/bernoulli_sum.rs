@@ -8,7 +8,6 @@
 //! factor through `min(β, S_l)`) and bounds the support size by `β`,
 //! realizing the paper's `O(min(2^l, β))` exact-computation cost.
 
-
 /// One outstanding ad's payment variable: worth `price` with probability
 /// `probability`, else zero.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -246,10 +245,7 @@ impl Distribution {
 
     /// `E[min(c, S)]`.
     pub fn expectation_min_with(&self, c: u64) -> f64 {
-        self.support
-            .iter()
-            .map(|&(v, p)| v.min(c) as f64 * p)
-            .sum()
+        self.support.iter().map(|&(v, p)| v.min(c) as f64 * p).sum()
     }
 
     /// `E[f(S)]` for an arbitrary function of the (possibly capped) value.
@@ -298,12 +294,7 @@ mod tests {
     fn two_term_distribution_enumerates_outcomes() {
         let d = sum(&[(10, 0.5), (20, 0.25)]).distribution();
         // Outcomes: 0 (0.375), 10 (0.375), 20 (0.125), 30 (0.125)
-        let expected = [
-            (0u64, 0.375),
-            (10, 0.375),
-            (20, 0.125),
-            (30, 0.125),
-        ];
+        let expected = [(0u64, 0.375), (10, 0.375), (20, 0.125), (30, 0.125)];
         for ((v, p), (ev, ep)) in d.support().iter().zip(expected.iter()) {
             assert_eq!(v, ev);
             assert!((p - ep).abs() < 1e-12);
@@ -365,7 +356,10 @@ mod tests {
             }
         }
         let mc_mean = acc / trials as f64;
-        assert!((mc_mean - d.expectation()).abs() < 0.2, "mean off: {mc_mean}");
+        assert!(
+            (mc_mean - d.expectation()).abs() < 0.2,
+            "mean off: {mc_mean}"
+        );
         let mc_p = below_20 as f64 / trials as f64;
         assert!((mc_p - d.pr_less(20.0)).abs() < 0.01, "cdf off: {mc_p}");
     }

@@ -138,12 +138,7 @@ pub fn pr_range_from_cdf(at_x: Interval, at_y: Interval) -> Interval {
 /// `[max(0,x), min(y, ω)]`, so the truncated moment lies in
 /// `[max(0,x) · Pr_lo, min(y, ω) · Pr_hi]`. The window is genuinely empty
 /// (moment exactly zero) when `y ≤ max(0,x)` or `ω < max(0,x)`.
-pub fn truncated_moment_from_range(
-    x: f64,
-    y: f64,
-    max_value: f64,
-    pr_range: Interval,
-) -> Interval {
+pub fn truncated_moment_from_range(x: f64, y: f64, max_value: f64, pr_range: Interval) -> Interval {
     let x_eff = x.max(0.0);
     if y <= x_eff || max_value < x_eff {
         return Interval::ZERO;
@@ -169,10 +164,7 @@ mod tests {
         let st = SumStats::of(&s);
         assert_eq!(pr_less_bounds(st, 0.0, Clamp::Sound), Interval::ZERO);
         assert_eq!(pr_less_bounds(st, -3.0, Clamp::Sound), Interval::ZERO);
-        assert_eq!(
-            pr_less_bounds(st, 10.5, Clamp::Sound),
-            Interval::exact(1.0)
-        );
+        assert_eq!(pr_less_bounds(st, 10.5, Clamp::Sound), Interval::exact(1.0));
     }
 
     #[test]

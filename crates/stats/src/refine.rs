@@ -119,8 +119,7 @@ impl Refiner {
     /// Like [`Refiner::truncated_moment`], reporting the work done.
     pub fn truncated_moment_costed(&self, x: f64, y: f64, depth: usize) -> CostedBound {
         let mut leaves = 0u64;
-        let interval =
-            self.truncated_moment_rec(0, x, y, depth.min(self.max_depth()), &mut leaves);
+        let interval = self.truncated_moment_rec(0, x, y, depth.min(self.max_depth()), &mut leaves);
         CostedBound { interval, leaves }
     }
 

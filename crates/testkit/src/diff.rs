@@ -79,10 +79,19 @@ pub type WorkloadCheck = fn(&WorkloadConfig, u64) -> Result<(), Divergence>;
 /// All workload-driven differential checks, with the profile each derives
 /// its config from.
 pub const WORKLOAD_CHECKS: &[(&str, Profile, WorkloadCheck)] = &[
-    ("engine-separable", Profile::TightBudgets, check_engine_separable_with),
-    ("engine-nonseparable", Profile::NonSeparable, check_engine_nonseparable_with),
+    (
+        "engine-separable",
+        Profile::TightBudgets,
+        check_engine_separable_with,
+    ),
+    (
+        "engine-nonseparable",
+        Profile::NonSeparable,
+        check_engine_nonseparable_with,
+    ),
     ("plan-paths", Profile::Separable, check_plan_paths_with),
     ("shared-sort", Profile::NonSeparable, check_shared_sort_with),
+    ("wd-threads", Profile::TightBudgets, check_wd_threads_with),
 ];
 
 /// Seed-only invariant checks (no workload involved).
@@ -119,7 +128,9 @@ fn engine_config(
         budget_policy: policy,
         ta_threads,
         // Decorrelate round/click randomness from workload generation.
-        seed: seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(0xe61e),
+        seed: seed
+            .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+            .wrapping_add(0xe61e),
         ..EngineConfig::default()
     }
 }
@@ -227,11 +238,7 @@ fn compare_outcomes(
     seed: u64,
     round: usize,
 ) -> Result<Agreement, Divergence> {
-    if reference.len() != got.len()
-        || reference
-            .iter()
-            .zip(got)
-            .any(|(a, b)| a.phrase != b.phrase)
+    if reference.len() != got.len() || reference.iter().zip(got).any(|(a, b)| a.phrase != b.phrase)
     {
         return Err(Divergence::new(
             check,
@@ -265,8 +272,7 @@ fn compare_outcomes(
         let wa = a.assignment.winners();
         let wb = b.assignment.winners();
         let score_of = |adv: AdvertiserId| {
-            oracle_bids[adv.index()].to_f64()
-                * w.phrase_factor(a.phrase, adv).unwrap_or(0.0)
+            oracle_bids[adv.index()].to_f64() * w.phrase_factor(a.phrase, adv).unwrap_or(0.0)
         };
         let tie_ok = wa.len() == wb.len()
             && wa.iter().zip(wb).all(|(x, y)| {
@@ -346,7 +352,12 @@ pub fn check_engine_separable_with(cfg: &WorkloadConfig, seed: u64) -> Result<()
     let w = Workload::generate(cfg);
     let reference = Engine::new(
         w.clone(),
-        engine_config(SharingStrategy::Unshared, BudgetPolicy::ThrottleExact, 1, seed),
+        engine_config(
+            SharingStrategy::Unshared,
+            BudgetPolicy::ThrottleExact,
+            1,
+            seed,
+        ),
     );
     let variants = vec![
         Variant {
@@ -367,7 +378,12 @@ pub fn check_engine_separable_with(cfg: &WorkloadConfig, seed: u64) -> Result<()
             name: "shared-sort",
             engine: Engine::new(
                 w.clone(),
-                engine_config(SharingStrategy::SharedSort, BudgetPolicy::ThrottleExact, 1, seed),
+                engine_config(
+                    SharingStrategy::SharedSort,
+                    BudgetPolicy::ThrottleExact,
+                    1,
+                    seed,
+                ),
             ),
             tolerant: false,
             desynced: false,
@@ -376,7 +392,12 @@ pub fn check_engine_separable_with(cfg: &WorkloadConfig, seed: u64) -> Result<()
             name: "shared-sort-parallel",
             engine: Engine::new(
                 w.clone(),
-                engine_config(SharingStrategy::SharedSort, BudgetPolicy::ThrottleExact, 2, seed),
+                engine_config(
+                    SharingStrategy::SharedSort,
+                    BudgetPolicy::ThrottleExact,
+                    2,
+                    seed,
+                ),
             ),
             tolerant: false,
             desynced: false,
@@ -385,7 +406,12 @@ pub fn check_engine_separable_with(cfg: &WorkloadConfig, seed: u64) -> Result<()
             name: "throttle-bounds",
             engine: Engine::new(
                 w.clone(),
-                engine_config(SharingStrategy::Unshared, BudgetPolicy::ThrottleBounds, 1, seed),
+                engine_config(
+                    SharingStrategy::Unshared,
+                    BudgetPolicy::ThrottleBounds,
+                    1,
+                    seed,
+                ),
             ),
             tolerant: true,
             desynced: false,
@@ -420,14 +446,24 @@ pub fn check_engine_nonseparable_with(cfg: &WorkloadConfig, seed: u64) -> Result
     let w = Workload::generate(cfg);
     let reference = Engine::new(
         w.clone(),
-        engine_config(SharingStrategy::Unshared, BudgetPolicy::ThrottleExact, 1, seed),
+        engine_config(
+            SharingStrategy::Unshared,
+            BudgetPolicy::ThrottleExact,
+            1,
+            seed,
+        ),
     );
     let variants = vec![
         Variant {
             name: "shared-sort",
             engine: Engine::new(
                 w.clone(),
-                engine_config(SharingStrategy::SharedSort, BudgetPolicy::ThrottleExact, 1, seed),
+                engine_config(
+                    SharingStrategy::SharedSort,
+                    BudgetPolicy::ThrottleExact,
+                    1,
+                    seed,
+                ),
             ),
             tolerant: false,
             desynced: false,
@@ -436,7 +472,12 @@ pub fn check_engine_nonseparable_with(cfg: &WorkloadConfig, seed: u64) -> Result
             name: "shared-sort-parallel",
             engine: Engine::new(
                 w.clone(),
-                engine_config(SharingStrategy::SharedSort, BudgetPolicy::ThrottleExact, 2, seed),
+                engine_config(
+                    SharingStrategy::SharedSort,
+                    BudgetPolicy::ThrottleExact,
+                    2,
+                    seed,
+                ),
             ),
             tolerant: false,
             desynced: false,
@@ -445,7 +486,12 @@ pub fn check_engine_nonseparable_with(cfg: &WorkloadConfig, seed: u64) -> Result
             name: "throttle-bounds",
             engine: Engine::new(
                 w.clone(),
-                engine_config(SharingStrategy::Unshared, BudgetPolicy::ThrottleBounds, 1, seed),
+                engine_config(
+                    SharingStrategy::Unshared,
+                    BudgetPolicy::ThrottleBounds,
+                    1,
+                    seed,
+                ),
             ),
             tolerant: true,
             desynced: false,
@@ -457,6 +503,102 @@ pub fn check_engine_nonseparable_with(cfg: &WorkloadConfig, seed: u64) -> Result
 /// Seed-only wrapper for [`check_engine_nonseparable_with`].
 pub fn check_engine_nonseparable(seed: u64) -> Result<(), Divergence> {
     check_engine_nonseparable_with(&gen::workload_config(seed, Profile::NonSeparable), seed)
+}
+
+/// Differential check of the parallel round executor: for every sharing
+/// strategy × budget policy, an engine running with `wd_threads = 4` must
+/// be *bit-identical* to one with `wd_threads = 1` — same auction
+/// outcomes, same metrics counters (wall-clock fields excluded), same
+/// budget snapshots, same effective bids.
+pub fn check_wd_threads_with(cfg: &WorkloadConfig, seed: u64) -> Result<(), Divergence> {
+    const CHECK: &str = "wd-threads";
+    // SharedAggregation requires a jitter-free workload; pin it so one
+    // workload serves all nine combinations.
+    let mut cfg = cfg.clone();
+    cfg.phrase_factor_jitter = 0.0;
+    let w = Workload::generate(&cfg);
+    for sharing in [
+        SharingStrategy::Unshared,
+        SharingStrategy::SharedAggregation,
+        SharingStrategy::SharedSort,
+    ] {
+        for policy in [
+            BudgetPolicy::Ignore,
+            BudgetPolicy::ThrottleExact,
+            BudgetPolicy::ThrottleBounds,
+        ] {
+            let run = |threads: usize| {
+                let mut ec = engine_config(sharing, policy, 1, seed);
+                ec.wd_threads = threads;
+                let mut engine = Engine::new(w.clone(), ec);
+                let mut outcomes = Vec::new();
+                for _ in 0..ROUNDS {
+                    outcomes.extend(engine.run_round());
+                }
+                let snapshots = engine.budget_snapshots();
+                let bids = engine.last_effective_bids().to_vec();
+                let metrics = engine.metrics().without_timing();
+                (outcomes, metrics, snapshots, bids)
+            };
+            let (seq, seq_m, seq_snap, seq_bids) = run(1);
+            let (par, par_m, par_snap, par_bids) = run(4);
+            let label = format!("{sharing:?}/{policy:?}");
+            if seq.len() != par.len() {
+                return Err(Divergence::new(
+                    CHECK,
+                    seed,
+                    format!(
+                        "[{label}] outcome counts differ: {} sequential vs {} parallel",
+                        seq.len(),
+                        par.len()
+                    ),
+                ));
+            }
+            for (a, b) in seq.iter().zip(&par) {
+                if a.phrase != b.phrase || a.assignment != b.assignment {
+                    return Err(Divergence::new(
+                        CHECK,
+                        seed,
+                        format!(
+                            "[{label}] phrase {} resolves differently: sequential {:?}, \
+                             parallel {:?}",
+                            a.phrase, a.assignment, b.assignment
+                        ),
+                    ));
+                }
+            }
+            if seq_m != par_m {
+                return Err(Divergence::new(
+                    CHECK,
+                    seed,
+                    format!(
+                        "[{label}] metrics counters differ: sequential {seq_m:?}, \
+                         parallel {par_m:?}"
+                    ),
+                ));
+            }
+            if seq_snap != par_snap {
+                return Err(Divergence::new(
+                    CHECK,
+                    seed,
+                    format!("[{label}] budget snapshots differ after {ROUNDS} rounds"),
+                ));
+            }
+            if seq_bids != par_bids {
+                return Err(Divergence::new(
+                    CHECK,
+                    seed,
+                    format!("[{label}] effective bids differ after {ROUNDS} rounds"),
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Seed-only wrapper for [`check_wd_threads_with`].
+pub fn check_wd_threads(seed: u64) -> Result<(), Divergence> {
+    check_wd_threads_with(&gen::workload_config(seed, Profile::TightBudgets), seed)
 }
 
 /// Evaluates a CSE plan (the non-associative sharing baseline) bottom-up.
@@ -506,7 +648,10 @@ pub fn check_plan_paths_with(cfg: &WorkloadConfig, seed: u64) -> Result<(), Dive
         .advertisers
         .iter()
         .map(|a| {
-            KList::singleton(k, ScoredAd::new(a.id, Score::expected_value(a.bid, a.base_factor)))
+            KList::singleton(
+                k,
+                ScoredAd::new(a.id, Score::expected_value(a.bid, a.base_factor)),
+            )
         })
         .collect();
     let expected: Vec<Vec<AdvertiserId>> = kept
@@ -538,9 +683,7 @@ pub fn check_plan_paths_with(cfg: &WorkloadConfig, seed: u64) -> Result<(), Dive
             return Err(Divergence::new(
                 CHECK,
                 seed,
-                format!(
-                    "{name} plan expected cost {cost:.6} exceeds unshared cost {unshared:.6}"
-                ),
+                format!("{name} plan expected cost {cost:.6} exceeds unshared cost {unshared:.6}"),
             ));
         }
         let occurring = vec![true; problem.query_count()];
@@ -643,7 +786,10 @@ pub fn check_shared_sort_with(cfg: &WorkloadConfig, seed: u64) -> Result<(), Div
 
     let plans: [(&str, SortPlan); 2] = [
         ("greedy", build_shared_sort_plan(n, &interest, &rates)),
-        ("bucketed", build_shared_sort_plan_bucketed(n, &interest, &rates)),
+        (
+            "bucketed",
+            build_shared_sort_plan_bucketed(n, &interest, &rates),
+        ),
     ];
     for (name, plan) in &plans {
         // The sort planners are heuristics: greedy merging plus the
@@ -744,7 +890,11 @@ pub fn check_budget_bounds(seed: u64) -> Result<(), Divergence> {
                 return Err(Divergence::new(
                     CHECK,
                     seed,
-                    format!("context {i} depth {depth}: interval inverted [{}, {}]", b.lo(), b.hi()),
+                    format!(
+                        "context {i} depth {depth}: interval inverted [{}, {}]",
+                        b.lo(),
+                        b.hi()
+                    ),
                 ));
             }
             if !(b.lo() - 2.0 <= exact && exact <= b.hi() + 2.0) {
@@ -841,8 +991,14 @@ pub fn check_algebra(seed: u64) -> Result<(), Divergence> {
     // A5 witness: with k = 1, merging can only keep the maximum, so
     // `hi ⊕ c = lo` has no solution when lo < hi — divisibility fails.
     let op1 = ScoredTopKOp { k: 1 };
-    let hi = KList::singleton(1, ScoredAd::new(AdvertiserId::from_index(0), Score::new(9.0)));
-    let lo = KList::singleton(1, ScoredAd::new(AdvertiserId::from_index(1), Score::new(1.0)));
+    let hi = KList::singleton(
+        1,
+        ScoredAd::new(AdvertiserId::from_index(0), Score::new(9.0)),
+    );
+    let lo = KList::singleton(
+        1,
+        ScoredAd::new(AdvertiserId::from_index(1), Score::new(1.0)),
+    );
     let mut witnesses: Vec<KList<ScoredAd>> =
         (0..8).map(|_| gen::scored_klist(&mut rng, 1)).collect();
     witnesses.push(lo.clone());
@@ -858,7 +1014,9 @@ pub fn check_algebra(seed: u64) -> Result<(), Divergence> {
         m_bits: 128,
         hashes: 3,
     };
-    let samples: Vec<_> = (0..6).map(|_| gen::bloom_filter(&mut rng, 128, 3)).collect();
+    let samples: Vec<_> = (0..6)
+        .map(|_| gen::bloom_filter(&mut rng, 128, 3))
+        .collect();
     let report = check_axioms(&bloom_op, &samples);
     if !report.ok() {
         return Err(Divergence::new(
@@ -878,15 +1036,27 @@ pub fn check_algebra(seed: u64) -> Result<(), Divergence> {
     // A1/A3/A4 directly.
     for a in &samples {
         if a.intersection(a) != *a {
-            return Err(Divergence::new(CHECK, seed, "bloom-intersection not idempotent"));
+            return Err(Divergence::new(
+                CHECK,
+                seed,
+                "bloom-intersection not idempotent",
+            ));
         }
         for b in &samples {
             if a.intersection(b) != b.intersection(a) {
-                return Err(Divergence::new(CHECK, seed, "bloom-intersection not commutative"));
+                return Err(Divergence::new(
+                    CHECK,
+                    seed,
+                    "bloom-intersection not commutative",
+                ));
             }
             for c in &samples {
                 if a.intersection(b).intersection(c) != a.intersection(&b.intersection(c)) {
-                    return Err(Divergence::new(CHECK, seed, "bloom-intersection not associative"));
+                    return Err(Divergence::new(
+                        CHECK,
+                        seed,
+                        "bloom-intersection not associative",
+                    ));
                 }
             }
         }

@@ -144,7 +144,11 @@ pub fn interest_sets(w: &Workload) -> Vec<BitSet> {
 /// empty queries); use [`plan_problem_nonempty`] when the workload may
 /// contain orphan phrases.
 pub fn plan_problem(w: &Workload) -> PlanProblem {
-    PlanProblem::new(w.advertiser_count(), interest_sets(w), Some(w.search_rates()))
+    PlanProblem::new(
+        w.advertiser_count(),
+        interest_sets(w),
+        Some(w.search_rates()),
+    )
 }
 
 /// Like [`plan_problem`], but silently drops phrases nobody is interested
@@ -174,7 +178,11 @@ mod tests {
 
     #[test]
     fn workloads_are_reproducible_per_seed() {
-        for profile in [Profile::Separable, Profile::TightBudgets, Profile::NonSeparable] {
+        for profile in [
+            Profile::Separable,
+            Profile::TightBudgets,
+            Profile::NonSeparable,
+        ] {
             let a = workload(17, profile);
             let b = workload(17, profile);
             assert_eq!(a.interest, b.interest);
@@ -187,8 +195,14 @@ mod tests {
 
     #[test]
     fn profiles_control_jitter() {
-        assert_eq!(workload_config(3, Profile::Separable).phrase_factor_jitter, 0.0);
-        assert_eq!(workload_config(3, Profile::TightBudgets).phrase_factor_jitter, 0.0);
+        assert_eq!(
+            workload_config(3, Profile::Separable).phrase_factor_jitter,
+            0.0
+        );
+        assert_eq!(
+            workload_config(3, Profile::TightBudgets).phrase_factor_jitter,
+            0.0
+        );
         assert!(workload_config(3, Profile::NonSeparable).phrase_factor_jitter > 0.0);
     }
 

@@ -160,7 +160,11 @@ mod tests {
         ];
         let bids = effective_bids(&snaps, &[0, 3], BudgetPolicy::ThrottleExact);
         assert_eq!(bids[0], Money::ZERO);
-        assert_eq!(bids[1], Money::from_units(2), "unconstrained passes through");
+        assert_eq!(
+            bids[1],
+            Money::from_units(2),
+            "unconstrained passes through"
+        );
     }
 
     #[test]

@@ -191,10 +191,7 @@ mod tests {
     #[test]
     fn phrase_mix_follows_weights() {
         let arrivals = poisson_stream(&[3.0, 1.0], 20.0, 2000.0, 9);
-        let first = arrivals
-            .iter()
-            .filter(|a| a.phrase == PhraseId(0))
-            .count() as f64;
+        let first = arrivals.iter().filter(|a| a.phrase == PhraseId(0)).count() as f64;
         let share = first / arrivals.len() as f64;
         assert!((share - 0.75).abs() < 0.03, "share {share}");
     }
@@ -232,10 +229,22 @@ mod tests {
     #[test]
     fn batching_windows_and_latency() {
         let arrivals = vec![
-            QueryArrival { time: 0.1, phrase: PhraseId(0) },
-            QueryArrival { time: 0.4, phrase: PhraseId(1) },
-            QueryArrival { time: 0.4, phrase: PhraseId(0) },
-            QueryArrival { time: 1.7, phrase: PhraseId(0) },
+            QueryArrival {
+                time: 0.1,
+                phrase: PhraseId(0),
+            },
+            QueryArrival {
+                time: 0.4,
+                phrase: PhraseId(1),
+            },
+            QueryArrival {
+                time: 0.4,
+                phrase: PhraseId(0),
+            },
+            QueryArrival {
+                time: 1.7,
+                phrase: PhraseId(0),
+            },
         ];
         let rounds = batch(&arrivals, 0.5);
         assert_eq!(rounds.len(), 2);

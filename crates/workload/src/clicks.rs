@@ -98,7 +98,6 @@ impl ClickSimulator {
             (numer / denom).clamp(0.0, 1.0)
         }
     }
-
 }
 
 #[cfg(test)]

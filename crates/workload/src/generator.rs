@@ -59,7 +59,7 @@ impl Default for WorkloadConfig {
             generalist_topics: 3,
             search_rate_zipf_exponent: 1.0,
             max_search_rate: 0.9,
-            bid_mu: 0.0,   // median bid 1.00
+            bid_mu: 0.0, // median bid 1.00
             bid_sigma: 0.6,
             budget_mu: 3.0, // median budget ~20
             budget_sigma: 0.8,
@@ -281,7 +281,10 @@ mod tests {
             ..small_config()
         });
         assert!(
-            a.advertisers.iter().zip(&b.advertisers).any(|(x, y)| x.bid != y.bid),
+            a.advertisers
+                .iter()
+                .zip(&b.advertisers)
+                .any(|(x, y)| x.bid != y.bid),
             "different seeds should produce different bids"
         );
     }
@@ -308,9 +311,7 @@ mod tests {
             let ids = &w.interest[q];
             assert!(ids.windows(2).all(|p| p[0] < p[1]), "sorted, unique");
             if let Some(&first) = ids.first() {
-                assert!(w
-                    .phrase_factor(PhraseId::from_index(q), first)
-                    .is_some());
+                assert!(w.phrase_factor(PhraseId::from_index(q), first).is_some());
             }
         }
         // Not-interested advertiser yields None.
@@ -365,7 +366,10 @@ mod tests {
                 }
             }
         }
-        assert!(found_difference, "jitter should vary factors across phrases");
+        assert!(
+            found_difference,
+            "jitter should vary factors across phrases"
+        );
     }
 
     #[test]

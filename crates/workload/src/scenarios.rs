@@ -47,11 +47,7 @@ pub fn hiking_boots_high_heels() -> (Vec<AdvertiserId>, Vec<AdvertiserId>) {
     let general = 0..200u32;
     let sports = 200..240u32;
     let fashion = 240..270u32;
-    let hiking: Vec<AdvertiserId> = general
-        .clone()
-        .chain(sports)
-        .map(AdvertiserId)
-        .collect();
+    let hiking: Vec<AdvertiserId> = general.clone().chain(sports).map(AdvertiserId).collect();
     let heels: Vec<AdvertiserId> = general.chain(fashion).map(AdvertiserId).collect();
     (hiking, heels)
 }

@@ -45,7 +45,7 @@ fn main() {
             m.aggregation_ops,
             m.merge_invocations,
             m.revenue.to_string(),
-            m.resolution_nanos as f64 / 1e6,
+            m.resolution_nanos() as f64 / 1e6,
         );
     }
     println!(

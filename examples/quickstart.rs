@@ -12,8 +12,7 @@ use ssa::auction::{determine_winners, AuctionInstance, PricingRule};
 
 fn main() {
     // Figure 2: advertiser-specific factors c_i and slot factors d_j.
-    let model = SeparableCtr::new(vec![1.2, 1.1, 1.3], vec![0.3, 0.2])
-        .expect("factors are valid");
+    let model = SeparableCtr::new(vec![1.2, 1.1, 1.3], vec![0.3, 0.2]).expect("factors are valid");
 
     println!("Figure 1: separable click-through rates (ctr_ij = c_i * d_j)");
     println!("{:>14} {:>8} {:>8}", "", "slot 1", "slot 2");

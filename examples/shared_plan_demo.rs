@@ -39,7 +39,10 @@ fn main() {
     let unshared = unshared_expected_cost(&problem);
     println!("  expected ops/round shared:   {shared:.1}");
     println!("  expected ops/round unshared: {unshared:.1}");
-    println!("  expected savings: {:.1}%", 100.0 * (1.0 - shared / unshared));
+    println!(
+        "  expected savings: {:.1}%",
+        100.0 * (1.0 - shared / unshared)
+    );
     println!(
         "  ops when both phrases occur: {} (unshared: {})",
         materialized_cost(&plan, &[true, true]),
@@ -55,10 +58,7 @@ fn main() {
             let bid = Money::from_micros(1_000_000 + ((i as u64 * 7919) % 1000) * 1000);
             KList::singleton(
                 k,
-                ScoredAd::new(
-                    AdvertiserId::from_index(i),
-                    Score::expected_value(bid, 1.0),
-                ),
+                ScoredAd::new(AdvertiserId::from_index(i), Score::expected_value(bid, 1.0)),
             )
         })
         .collect();

@@ -193,14 +193,26 @@ impl Bencher {
         }
         self.elapsed += start.elapsed();
     }
+
+    /// Times `routine` on a fresh `setup()` value per iteration; only the
+    /// routine is measured.
+    pub fn iter_with_setup<I, O, S, R>(&mut self, mut setup: S, mut routine: R)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut measured = Duration::ZERO;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            measured += start.elapsed();
+        }
+        self.elapsed += measured;
+    }
 }
 
-fn run_one<F: FnMut(&mut Bencher)>(
-    label: &str,
-    samples: usize,
-    budget: Duration,
-    f: &mut F,
-) {
+fn run_one<F: FnMut(&mut Bencher)>(label: &str, samples: usize, budget: Duration, f: &mut F) {
     // Warm-up / calibration: one iteration, timed.
     let mut calibrate = Bencher {
         iters: 1,
@@ -224,7 +236,10 @@ fn run_one<F: FnMut(&mut Bencher)>(
         total_iters += b.iters;
     }
     let mean_ns = total.as_nanos() as f64 / total_iters.max(1) as f64;
-    println!("bench: {label:<56} {:>14} /iter ({total_iters} iters)", format_ns(mean_ns));
+    println!(
+        "bench: {label:<56} {:>14} /iter ({total_iters} iters)",
+        format_ns(mean_ns)
+    );
 }
 
 fn format_ns(ns: f64) -> String {
