@@ -16,6 +16,7 @@
 //! experiments clamps         # ablation: paper-literal vs sound Hoeffding clamps
 //! experiments sort-ablation  # ablation: exhaustive vs bucketed sort planner
 //! experiments executor       # round-executor thread scaling (BENCH_round_executor.json)
+//! experiments planner-scaling # planner build-time curves (BENCH_planner_scaling.json)
 //! experiments all            # everything above
 //! ```
 //!
@@ -76,6 +77,7 @@ fn main() {
         "clamps" => clamps(quick),
         "sort-ablation" => sort_ablation(quick),
         "executor" => executor(quick),
+        "planner-scaling" => planner_scaling(quick),
         "all" => {
             fig4(quick);
             fig5(quick);
@@ -90,6 +92,7 @@ fn main() {
             clamps(quick);
             sort_ablation(quick);
             executor(quick);
+            planner_scaling(quick);
         }
         other => {
             eprintln!("unknown experiment '{other}'");
@@ -363,9 +366,10 @@ fn sharing_sweep(quick: bool) {
                     sharing,
                     budget_policy: BudgetPolicy::Ignore,
                     seed: 23,
-                    // The full Section II-D planner enumerates advertiser
-                    // pairs; at 10k advertisers that swamps the experiment,
-                    // so the sweep sticks to the fragments-only stage.
+                    // The sweep measures evaluation sharing, not plan
+                    // quality, and spans up to 10k advertisers: stage-1
+                    // fragments keep the per-size baselines comparable
+                    // (see `planner-scaling` for planner build curves).
                     planner: PlannerMode::FragmentsOnly,
                     ..EngineConfig::default()
                 },
@@ -671,9 +675,6 @@ fn latency(quick: bool) {
                     sharing,
                     budget_policy: BudgetPolicy::Ignore,
                     seed: 77,
-                    // Fragments-only: the full planner's pairwise merge
-                    // search is too slow at this advertiser count.
-                    planner: PlannerMode::FragmentsOnly,
                     ..EngineConfig::default()
                 },
             );
@@ -953,4 +954,126 @@ fn executor(quick: bool) {
     std::fs::write("BENCH_round_executor.json", doc.to_string_pretty())
         .expect("write BENCH_round_executor.json");
     println!("wrote BENCH_round_executor.json (host threads: {host_threads})");
+}
+
+/// Planner build-time scaling: fragments-only vs the reference
+/// recompute-all-pairs greedy completion vs the lazy-greedy completion,
+/// on the executor workload shape (24 phrases, 6 topics). The reference
+/// loop is only timed where it is tractable; larger sizes record it as
+/// skipped. Writes `results/planner_scaling.*` plus the top-level
+/// `BENCH_planner_scaling.json` the CI smoke job uploads.
+fn planner_scaling(quick: bool) {
+    let sizes: &[usize] = if quick {
+        &[100, 300, 1_000]
+    } else {
+        &[100, 300, 1_000, 3_000]
+    };
+    let reference_limit = if quick { 100 } else { 300 };
+    let mut table = Table::new(
+        "planner_scaling",
+        "shared-plan build time vs advertiser count (24 phrases, 6 topics)",
+        &[
+            "advertisers",
+            "fragments ms",
+            "reference ms",
+            "lazy ms",
+            "fragments cost",
+            "reference cost",
+            "lazy cost",
+        ],
+    );
+    let mut runs = Vec::new();
+    for &n in sizes {
+        let w = executor_workload(n, 19);
+        let (problem, _kept) = ssa_testkit::gen::plan_problem_nonempty(&w);
+
+        let t0 = Instant::now();
+        let frag = SharedPlanner::fragments_only().plan(&problem);
+        let frag_ms = t0.elapsed().as_secs_f64() * 1e3;
+        let frag_cost = expected_cost(&frag, &problem.search_rates);
+
+        let t0 = Instant::now();
+        let lazy = SharedPlanner::full().plan(&problem);
+        let lazy_ms = t0.elapsed().as_secs_f64() * 1e3;
+        let lazy_cost = expected_cost(&lazy, &problem.search_rates);
+
+        let reference = (n <= reference_limit).then(|| {
+            let t0 = Instant::now();
+            let plan = ssa_core::plan::reference_plan(&problem);
+            let ms = t0.elapsed().as_secs_f64() * 1e3;
+            (ms, expected_cost(&plan, &problem.search_rates))
+        });
+        if let Some((_, ref_cost)) = reference {
+            // Below the exact-mode limit the lazy completion must be a
+            // step-for-step replica of the reference loop.
+            if problem.var_count <= ssa_core::plan::greedy::EXACT_COMPLETION_VAR_LIMIT {
+                assert_eq!(
+                    lazy_cost, ref_cost,
+                    "exact-mode lazy plan diverged from the reference at n={n}"
+                );
+            }
+        }
+
+        let (ref_ms_s, ref_cost_s) = match reference {
+            Some((ms, cost)) => (format!("{ms:.1}"), format!("{cost:.2}")),
+            None => ("skipped".into(), "skipped".into()),
+        };
+        table.push(vec![
+            n.to_string(),
+            format!("{frag_ms:.1}"),
+            ref_ms_s,
+            format!("{lazy_ms:.1}"),
+            format!("{frag_cost:.2}"),
+            ref_cost_s,
+            format!("{lazy_cost:.2}"),
+        ]);
+        runs.push((n, frag_ms, frag_cost, lazy_ms, lazy_cost, reference));
+    }
+    table.emit(&out_dir()).expect("write results");
+
+    let run_values: Vec<Value> = runs
+        .iter()
+        .map(|&(n, frag_ms, frag_cost, lazy_ms, lazy_cost, reference)| {
+            let mut fields = vec![
+                ("advertisers".into(), Value::from(n)),
+                ("fragments_only_ms".into(), Value::from(frag_ms)),
+                ("fragments_only_cost".into(), Value::from(frag_cost)),
+                ("lazy_greedy_ms".into(), Value::from(lazy_ms)),
+                ("lazy_greedy_cost".into(), Value::from(lazy_cost)),
+            ];
+            match reference {
+                Some((ms, cost)) => {
+                    fields.push(("reference_greedy_ms".into(), Value::from(ms)));
+                    fields.push(("reference_greedy_cost".into(), Value::from(cost)));
+                }
+                None => fields.push((
+                    "reference_greedy".into(),
+                    Value::from("skipped (intractable at this size)"),
+                )),
+            }
+            Value::Object(fields)
+        })
+        .collect();
+    let doc = Value::Object(vec![
+        ("benchmark".into(), Value::from("planner_scaling")),
+        ("phrases".into(), Value::from(24usize)),
+        ("topics".into(), Value::from(6usize)),
+        (
+            "exact_mode_var_limit".into(),
+            Value::from(ssa_core::plan::greedy::EXACT_COMPLETION_VAR_LIMIT),
+        ),
+        (
+            "note".into(),
+            Value::from(
+                "build-time curves for the shared-aggregation planner; at or \
+                 below the exact-mode limit the lazy completion produces \
+                 bit-identical plans to the reference loop (asserted here), \
+                 above it candidates are capped by overlap-signature buckets",
+            ),
+        ),
+        ("runs".into(), Value::Array(run_values)),
+    ]);
+    std::fs::write("BENCH_planner_scaling.json", doc.to_string_pretty())
+        .expect("write BENCH_planner_scaling.json");
+    println!("wrote BENCH_planner_scaling.json");
 }

@@ -91,11 +91,12 @@ pub struct SimulationSpec {
     /// Round-executor worker threads (all strategies; bit-identical
     /// results for any value).
     pub wd_threads: usize,
-    /// Shared-aggregation planner stage: `"full"` (Section II-D) or
-    /// `"fragments-only"` (E9 ablation). The engine defaults to the full
-    /// heuristic, but its pairwise completion is intractable past a few
-    /// hundred advertisers, so this CLI — whose default workload has
-    /// 1000 — defaults to `"fragments-only"`.
+    /// Shared-aggregation planner stage: `"full"` (Section II-D, the
+    /// default) or `"fragments-only"` (E9 ablation / opt-out). The lazy
+    /// completion pass makes the full heuristic tractable well past this
+    /// CLI's default 1000-advertiser workload (see
+    /// `BENCH_planner_scaling.json`), so both the engine and this CLI
+    /// default to `"full"`.
     pub planner: String,
     /// Engine RNG seed.
     pub seed: u64,
@@ -114,7 +115,7 @@ impl Default for SimulationSpec {
             click_expiry_rounds: 20,
             ta_threads: 1,
             wd_threads: 1,
-            planner: "fragments-only".to_string(),
+            planner: "full".to_string(),
             seed: 7,
         }
     }
@@ -453,6 +454,10 @@ mod tests {
 
     #[test]
     fn executor_fields_round_trip() {
+        // An omitted planner falls back to the full Section II-D heuristic;
+        // "fragments-only" stays available as an explicit opt-out.
+        let spec = SimulationSpec::from_json(r#"{"wd_threads": 4}"#).expect("fields parse");
+        assert_eq!(spec.planner, "full");
         let spec = SimulationSpec::from_json(r#"{"wd_threads": 4, "planner": "fragments-only"}"#)
             .expect("executor fields parse");
         assert_eq!(spec.wd_threads, 4);

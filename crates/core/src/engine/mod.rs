@@ -99,8 +99,10 @@ pub struct EngineConfig {
     /// bit-identical for every thread count; only wall-clock changes.
     pub wd_threads: usize,
     /// Planner stage used to compile the `SharedAggregation` plan: the
-    /// full Section II-D heuristic (fragments + greedy set-cover
-    /// completion) by default, or fragments-only for the E9 ablation.
+    /// full Section II-D heuristic (fragments + lazy-greedy completion)
+    /// by default, or fragments-only for the E9 ablation. The lazy
+    /// completion pass keeps the full heuristic tractable at 1000+
+    /// advertisers (milliseconds; see `BENCH_planner_scaling.json`).
     pub planner: PlannerMode,
     /// RNG seed for round sampling and click simulation.
     pub seed: u64,

@@ -81,7 +81,7 @@ mod tests {
 
     #[test]
     fn borrows_from_enclosing_scope() {
-        let data = vec![1u32, 2, 3, 4, 5];
+        let data = [1u32, 2, 3, 4, 5];
         let doubled = parallel_map(data.len(), 3, |i| data[i] * 2);
         assert_eq!(doubled, vec![2, 4, 6, 8, 10]);
     }

@@ -7,6 +7,7 @@
 //! `Σ_v (1 − Π_{q: v⇝q} (1 − sr_q))`."
 
 use super::{PlanDag, PlanProblem};
+use ssa_setcover::BitSet;
 
 /// The expected number of internal nodes materialized per round, under
 /// independent Bernoulli query occurrence with the given search rates.
@@ -41,6 +42,151 @@ pub fn unshared_expected_cost(problem: &PlanProblem) -> f64 {
         .zip(&problem.search_rates)
         .map(|(set, &sr)| sr * (set.len().saturating_sub(1)) as f64)
         .sum()
+}
+
+/// Incrementally maintained expected cost.
+///
+/// [`expected_cost`] rescans the whole plan — `reach_sets()` alone is
+/// `O(nodes · queries)` — which is fine for one-shot evaluation but wasteful
+/// under plan maintenance, where each update touches only the cone of a
+/// single query's bind node. This tracker keeps the per-node reach sets and
+/// materialization probabilities alive between updates and repairs exactly
+/// the nodes a change can affect:
+///
+/// * a **rebind** of query `q` from node `a` to node `b` changes reach only
+///   on the symmetric difference of the two cones (`cone(a) Δ cone(b)`),
+/// * a **rate change** for `q` changes probabilities only inside
+///   `cone(bind[q])`,
+/// * newly merged nodes are absorbed by [`IncrementalCost::extend`] with
+///   empty reach (they feed nothing until some query is rebound through
+///   them).
+///
+/// Invariant: `reach[idx]` contains `q` iff `idx ∈ cone(bind[q])` — the
+/// same relation [`PlanDag::reach_sets`] computes from scratch. Node
+/// probabilities are recomputed as fresh products over the repaired reach
+/// set (never divided out), and the total is re-summed over the stored
+/// probability vector, so repeated updates cannot accumulate
+/// floating-point drift relative to a full rescan.
+#[derive(Debug, Clone)]
+pub struct IncrementalCost {
+    rates: Vec<f64>,
+    reach: Vec<BitSet>,
+    prob: Vec<f64>,
+    var_count: usize,
+    total: f64,
+}
+
+impl IncrementalCost {
+    /// Builds the tracker with one full rescan of `plan`.
+    ///
+    /// # Panics
+    /// Panics if `search_rates.len()` differs from the plan's query count.
+    pub fn new(plan: &PlanDag, search_rates: &[f64]) -> Self {
+        assert_eq!(
+            search_rates.len(),
+            plan.query_count(),
+            "one search rate per bound query"
+        );
+        let reach = plan.reach_sets();
+        let mut tracker = IncrementalCost {
+            rates: search_rates.to_vec(),
+            prob: vec![0.0; reach.len()],
+            reach,
+            var_count: plan.var_count(),
+            total: 0.0,
+        };
+        for idx in tracker.var_count..tracker.prob.len() {
+            tracker.prob[idx] = tracker.node_prob(idx);
+        }
+        tracker.resum();
+        tracker
+    }
+
+    /// The expected cost of the tracked plan.
+    #[inline]
+    pub fn total(&self) -> f64 {
+        self.total
+    }
+
+    /// Absorbs nodes appended to `plan` since the tracker last saw it. New
+    /// nodes start with empty reach (probability zero): they cost nothing
+    /// until a rebind routes a query through them.
+    pub fn extend(&mut self, plan: &PlanDag) {
+        assert!(
+            plan.nodes().len() >= self.reach.len(),
+            "plan shrank under the tracker"
+        );
+        let m = self.rates.len();
+        for _ in self.reach.len()..plan.nodes().len() {
+            self.reach.push(BitSet::new(m));
+            self.prob.push(0.0);
+        }
+    }
+
+    /// Repairs the tracker after query `q` was rebound from `old_node` to
+    /// its current bind node. Only nodes in the symmetric difference of the
+    /// two cones are touched. Call [`IncrementalCost::extend`] first if the
+    /// rebind also created nodes.
+    ///
+    /// # Panics
+    /// Panics if the tracker has not absorbed all of `plan`'s nodes.
+    pub fn rebind(&mut self, plan: &PlanDag, q: usize, old_node: usize) {
+        assert_eq!(
+            plan.nodes().len(),
+            self.reach.len(),
+            "extend the tracker before rebinding"
+        );
+        let new_node = plan.query_nodes()[q];
+        if new_node == old_node {
+            return;
+        }
+        let old_cone = plan.cone_mask(old_node);
+        let new_cone = plan.cone_mask(new_node);
+        for idx in 0..self.reach.len() {
+            if old_cone[idx] == new_cone[idx] {
+                continue;
+            }
+            if new_cone[idx] {
+                self.reach[idx].insert(q);
+            } else {
+                self.reach[idx].remove(q);
+            }
+            if idx >= self.var_count {
+                self.prob[idx] = self.node_prob(idx);
+            }
+        }
+        self.resum();
+    }
+
+    /// Updates query `q`'s search rate, repairing probabilities only inside
+    /// the cone of its bind node.
+    pub fn set_rate(&mut self, plan: &PlanDag, q: usize, rate: f64) {
+        assert_eq!(
+            plan.nodes().len(),
+            self.reach.len(),
+            "extend the tracker before updating rates"
+        );
+        self.rates[q] = rate;
+        let cone = plan.cone_mask(plan.query_nodes()[q]);
+        for (idx, &inside) in cone.iter().enumerate().skip(self.var_count) {
+            if inside {
+                self.prob[idx] = self.node_prob(idx);
+            }
+        }
+        self.resum();
+    }
+
+    fn node_prob(&self, idx: usize) -> f64 {
+        let mut none_occur = 1.0;
+        for q in self.reach[idx].iter() {
+            none_occur *= 1.0 - self.rates[q];
+        }
+        1.0 - none_occur
+    }
+
+    fn resum(&mut self) {
+        self.total = self.prob[self.var_count..].iter().sum();
+    }
 }
 
 /// The number of internal nodes actually materialized for one concrete
@@ -146,7 +292,76 @@ mod tests {
         );
     }
 
+    #[test]
+    fn incremental_tracker_matches_rescan() {
+        let mut plan = shared_plan();
+        let mut rates = vec![0.3, 0.7];
+        let mut tracker = IncrementalCost::new(&plan, &rates);
+        assert!((tracker.total() - expected_cost(&plan, &rates)).abs() < 1e-12);
+
+        // Rate change repairs only the rebound query's cone.
+        tracker.set_rate(&plan, 0, 0.9);
+        rates[0] = 0.9;
+        assert!((tracker.total() - expected_cost(&plan, &rates)).abs() < 1e-12);
+
+        // Rebind query 1 from {0,1,3} to a fresh node {0,1,2,3}.
+        let abc = plan.query_nodes()[0];
+        let old = plan.query_nodes()[1];
+        let abcd = plan.merge(abc, old);
+        tracker.extend(&plan);
+        plan.rebind_query(1, abcd);
+        tracker.rebind(&plan, 1, old);
+        assert!((tracker.total() - expected_cost(&plan, &rates)).abs() < 1e-12);
+
+        // Rebinding back drains the abandoned node's reach to empty.
+        plan.rebind_query(1, old);
+        tracker.rebind(&plan, 1, abcd);
+        assert!((tracker.total() - expected_cost(&plan, &rates)).abs() < 1e-12);
+    }
+
     proptest! {
+        /// A tracker driven through a random churn sequence of rate
+        /// updates and rebinds stays in lockstep with the full rescan.
+        #[test]
+        fn incremental_tracker_survives_churn(
+            seed in any::<u64>(),
+            steps in 1usize..25,
+        ) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut plan = shared_plan();
+            let mut rates = vec![0.3, 0.7];
+            let mut tracker = IncrementalCost::new(&plan, &rates);
+            for _ in 0..steps {
+                let q = rng.random_range(0..rates.len());
+                if rng.random::<bool>() {
+                    let r = rng.random::<f64>();
+                    rates[q] = r;
+                    tracker.set_rate(&plan, q, r);
+                } else {
+                    // Rebind q to a random existing internal node or a
+                    // fresh merge of two random nodes.
+                    let old = plan.query_nodes()[q];
+                    let node = if rng.random::<bool>() {
+                        let n = plan.nodes().len();
+                        let a = rng.random_range(0..n);
+                        let b = rng.random_range(0..n);
+                        let merged = plan.merge(a, b);
+                        tracker.extend(&plan);
+                        merged
+                    } else {
+                        rng.random_range(plan.var_count()..plan.nodes().len())
+                    };
+                    plan.rebind_query(q, node);
+                    tracker.rebind(&plan, q, old);
+                }
+                let fresh = expected_cost(&plan, &rates);
+                prop_assert!(
+                    (tracker.total() - fresh).abs() < 1e-9,
+                    "tracker {} vs rescan {}", tracker.total(), fresh
+                );
+            }
+        }
+
         /// Expected cost is monotone in every search rate and bounded by
         /// the total node count.
         #[test]

@@ -10,12 +10,69 @@
 //! weighted by search rates (*expected greedy coverage gain*), so "the
 //! algorithm favors the covering and sharing of the queries that are more
 //! probable over rare queries".
+//!
+//! # Lazy-greedy completion
+//!
+//! The literal transcription of the rule — re-enumerate every node pair
+//! and re-run every greedy cover at every step — is quadratic per step
+//! and hangs past a few hundred advertisers. The default completion is a
+//! lazy/incremental rewrite of the same selection rule:
+//!
+//! * candidate merge pairs live in a max-heap keyed by their cached
+//!   expected coverage gain, with version-stamped entries so stale scores
+//!   are skipped on pop instead of eagerly deleted;
+//! * materializing a node `w*` can only change the baseline `|C_q|` or a
+//!   candidate's contribution for queries `q ⊇ w*`, so each step
+//!   re-evaluates only the candidates of those *affected* queries (gains
+//!   here are **not** monotone under new candidates — a new node can
+//!   *increase* another pair's gain — so pop-time revalidation alone
+//!   would be unsound; dirty-tracking by affected query is what keeps the
+//!   cached heap exact);
+//! * per-node query-signature bitsets (with a Bloom-filter pre-check)
+//!   prune pairs that share no uncovered query before any union set or
+//!   greedy cover is computed.
+//!
+//! At [`EXACT_COMPLETION_VAR_LIMIT`] or fewer variables the lazy loop
+//! keeps the exact candidate universe and replicates the reference loop
+//! *step for step* — identical merges in an identical order, hence
+//! bit-identical plans (see [`reference_plan`]). Above the limit the
+//! candidate universe is capped per node by overlap-signature buckets and
+//! gains switch to a cover-membership estimate, trading the paper's exact
+//! gain for tractability at thousands of advertisers.
 
-use ssa_setcover::greedy::greedy_cover_size;
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashMap};
+
+use ssa_setcover::greedy::{greedy_cover_refs, greedy_cover_size, greedy_cover_size_refs};
 use ssa_setcover::BitSet;
+
+use crate::bloom::BloomFilter;
 
 use super::fragments::build_fragment_plan;
 use super::{PlanDag, PlanProblem};
+
+/// Largest variable count at which the lazy completion keeps the exact
+/// candidate universe (every node pair sharing an uncovered query) and is
+/// a step-for-step replica of [`reference_plan`]. Above it, candidates
+/// are capped by overlap-signature buckets.
+pub const EXACT_COMPLETION_VAR_LIMIT: usize = 128;
+
+/// Capped mode: cover members per query used as pair sources each round
+/// (the greedy cover lists its biggest sets first, so these are the most
+/// shareable).
+const PAIR_SOURCE_CAP: usize = 12;
+
+/// Capped mode: hard step budget (beyond it the cover-chain safety net
+/// finishes the plan deterministically).
+fn capped_step_limit(query_count: usize) -> usize {
+    8 * query_count + 64
+}
+
+/// Geometry of the per-node query-signature Bloom filters: one word, two
+/// probes — enough to reject most disjoint signature pairs with a single
+/// AND.
+const SIG_BLOOM_BITS: usize = 64;
+const SIG_BLOOM_HASHES: u32 = 2;
 
 /// How much work the planner puts into sharing.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -57,9 +114,9 @@ impl SharedPlanner {
     /// returned plan is validated and has all queries bound in input
     /// order.
     pub fn plan(&self, problem: &PlanProblem) -> PlanDag {
-        let (mut plan, _fragments, _per_query) = build_fragment_plan(problem);
+        let (mut plan, _fragments, per_query) = build_fragment_plan(problem);
         match self.mode {
-            PlannerMode::Full => complete_greedy(&mut plan, problem),
+            PlannerMode::Full => complete_greedy(&mut plan, problem, &per_query),
             PlannerMode::FragmentsOnly => complete_by_cover_chains(&mut plan, problem),
         }
         for q in &problem.queries {
@@ -68,6 +125,22 @@ impl SharedPlanner {
         debug_assert_eq!(plan.validate(), Ok(()));
         plan
     }
+}
+
+/// Plans with the *reference* completion loop — the literal
+/// recompute-all-pairs-per-step transcription of Section II-D. The
+/// exact-mode lazy completion replicates its selections step for step, so
+/// this entry point exists for differential tests and benchmarks to
+/// cross-check and time the two against each other. Quadratic per step:
+/// intractable beyond a few hundred variables.
+pub fn reference_plan(problem: &PlanProblem) -> PlanDag {
+    let (mut plan, _fragments, _per_query) = build_fragment_plan(problem);
+    complete_greedy_reference(&mut plan, problem);
+    for q in &problem.queries {
+        plan.bind_query(q);
+    }
+    debug_assert_eq!(plan.validate(), Ok(()));
+    plan
 }
 
 /// Current node variable sets (cover candidates).
@@ -104,8 +177,777 @@ fn complete_by_cover_chains(plan: &mut PlanDag, problem: &PlanProblem) {
     }
 }
 
-/// The full greedy completion loop.
-fn complete_greedy(plan: &mut PlanDag, problem: &PlanProblem) {
+/// The full greedy completion: lazy-greedy, exact below
+/// [`EXACT_COMPLETION_VAR_LIMIT`] variables and signature-capped above.
+/// `fragment_nodes` holds each query's stage-1 fragment node indices (in
+/// capped mode they anchor the cover pools: fragments partition their
+/// query, so feasibility is never capped away).
+fn complete_greedy(plan: &mut PlanDag, problem: &PlanProblem, fragment_nodes: &[Vec<usize>]) {
+    if problem.var_count <= EXACT_COMPLETION_VAR_LIMIT {
+        ExactLazy::run(plan, problem);
+    } else {
+        CappedLazy::run(plan, problem, fragment_nodes);
+    }
+}
+
+/// A max-heap entry. Ordering mirrors the reference selection rule:
+/// query-forming candidates first, then highest cached gain, ties to the
+/// lexicographically smallest generating pair (the reference loop's
+/// enumeration order keeps the first of equals).
+#[derive(Debug)]
+struct HeapEntry {
+    forms_query: bool,
+    gain: f64,
+    pair: (usize, usize),
+    id: u32,
+    version: u32,
+}
+
+impl PartialEq for HeapEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+
+impl Eq for HeapEntry {}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.forms_query
+            .cmp(&other.forms_query)
+            .then(self.gain.total_cmp(&other.gain))
+            .then(other.pair.cmp(&self.pair))
+            .then(self.id.cmp(&other.id))
+            .then(self.version.cmp(&other.version))
+    }
+}
+
+/// One candidate union `w = vars(i) ∪ vars(j)` awaiting materialization
+/// (exact mode).
+struct Candidate {
+    /// The union set.
+    w: BitSet,
+    /// Lexicographically smallest generating pair seen so far.
+    pair: (usize, usize),
+    /// Per-query gain contributions `sr_q · (|C_q| − |C_q with w|)`,
+    /// ascending by query so the cached total re-sums in the reference
+    /// loop's floating-point order. Zero contributions are kept: the term
+    /// sequence must match a fresh rescan exactly.
+    contribs: Vec<(usize, f64)>,
+    /// Cached total gain (sum of `contribs`).
+    gain: f64,
+    /// Whether `w` equals some uncovered query (picked with priority —
+    /// the paper treats its extra cost as zero).
+    forms_query: bool,
+    /// Bumped whenever the cached score changes; older heap entries are
+    /// stale and skipped on pop.
+    version: u32,
+    alive: bool,
+    /// Queued for re-scoring in this step's flush.
+    dirty: bool,
+}
+
+/// Exact lazy completion state. Invariants tying it to the reference
+/// loop:
+///
+/// * `sets[q]` lists every current node whose variable set is inside
+///   `X_q`, ascending — restricted to subsets of `X_q`, the reference
+///   loop's cover-candidate filter keeps exactly these, in this order,
+///   so covers computed over `sets[q]` make identical greedy choices.
+/// * a pair `(i, j)` is a useful candidate iff its union fits inside an
+///   uncovered query, which forces both `i, j ⊆ X_q`; every such node
+///   carries `q` in its signature (queries only leave signatures by
+///   becoming covered, and covered queries never return), so enumerating
+///   pairs of signature-overlapping participants reproduces the
+///   reference candidate universe exactly.
+/// * a new node `w*` changes `|C_q|`-based quantities only for queries
+///   `q ⊇ w*`; everything else keeps its cached score, which a fresh
+///   rescan would reproduce bit for bit.
+struct ExactLazy<'a> {
+    problem: &'a PlanProblem,
+    /// Mirror of the plan's node variable sets.
+    node_vars: Vec<BitSet>,
+    /// Per node: the queries (uncovered at the node's creation) whose
+    /// interest set contains it. A stale superset — members are filtered
+    /// against `covered` at every use.
+    node_sig: Vec<BitSet>,
+    /// Bloom filter over the same signature (cheap first-stage overlap
+    /// test before the exact intersection).
+    node_bloom: Vec<BloomFilter>,
+    covered: Vec<bool>,
+    uncovered_left: usize,
+    /// Per query: current subset nodes, ascending (cover candidates and
+    /// pair sources).
+    sets: Vec<Vec<usize>>,
+    /// Per query: cached greedy cover size `|C_q|` (the gain baseline).
+    base: Vec<usize>,
+    /// Per query: candidates whose union fits inside it.
+    bucket: Vec<Vec<u32>>,
+    /// Nodes with a non-empty signature, ascending (global pair pool).
+    participants: Vec<usize>,
+    cands: Vec<Candidate>,
+    /// Exact dedup: one candidate per distinct union set.
+    by_union: HashMap<BitSet, u32>,
+    heap: BinaryHeap<HeapEntry>,
+    /// Worklist of candidates to re-score and re-push this step.
+    dirty: Vec<u32>,
+}
+
+impl<'a> ExactLazy<'a> {
+    fn run(plan: &mut PlanDag, problem: &'a PlanProblem) {
+        let m = problem.query_count();
+        // Iteration guard mirroring the reference loop: Σ_q |X_q| steps
+        // plus slack, then a guaranteed-progress safety net.
+        let max_steps = problem.total_query_size() + m + 4;
+        let mut state = ExactLazy {
+            problem,
+            node_vars: Vec::new(),
+            node_sig: Vec::new(),
+            node_bloom: Vec::new(),
+            covered: vec![false; m],
+            uncovered_left: m,
+            sets: vec![Vec::new(); m],
+            base: vec![0; m],
+            bucket: vec![Vec::new(); m],
+            participants: Vec::new(),
+            cands: Vec::new(),
+            by_union: HashMap::new(),
+            heap: BinaryHeap::new(),
+            dirty: Vec::new(),
+        };
+        state.absorb(plan, 0);
+        for _ in 0..max_steps {
+            if state.uncovered_left == 0 {
+                return;
+            }
+            let before = plan.nodes().len();
+            match state.pop_best() {
+                Some(id) => {
+                    let (i, j) = state.cands[id as usize].pair;
+                    plan.merge(i, j);
+                }
+                None => {
+                    let q = state.most_probable_uncovered();
+                    let chain = state.fallback_chain(q);
+                    plan.merge_chain(&chain);
+                }
+            }
+            state.absorb(plan, before);
+        }
+        // Safety net: if the step budget ran out, finish deterministically.
+        complete_by_cover_chains(plan, problem);
+    }
+
+    /// Borrowed cover-candidate list for `q`: its subset nodes in
+    /// ascending order, plus `extra` appended last — the same feasible
+    /// sequence (and therefore the same greedy choices and tie-breaks)
+    /// as the reference loop's scan over all node sets.
+    fn cover_refs<'b>(&'b self, q: usize, extra: Option<&'b BitSet>) -> Vec<&'b BitSet> {
+        let mut refs: Vec<&BitSet> = Vec::with_capacity(self.sets[q].len() + 1);
+        for &i in &self.sets[q] {
+            refs.push(&self.node_vars[i]);
+        }
+        if let Some(w) = extra {
+            refs.push(w);
+        }
+        refs
+    }
+
+    fn cover_size(&self, q: usize, extra: Option<&BitSet>) -> usize {
+        greedy_cover_size_refs(&self.problem.queries[q], &self.cover_refs(q, extra))
+            .expect("a query's own leaves always cover it")
+    }
+
+    /// The greedy cover of `q` as node indices, for the fallback chain.
+    fn fallback_chain(&self, q: usize) -> Vec<usize> {
+        let cover = greedy_cover_refs(&self.problem.queries[q], &self.cover_refs(q, None))
+            .expect("a query's own leaves always cover it");
+        cover.chosen.iter().map(|&pos| self.sets[q][pos]).collect()
+    }
+
+    fn most_probable_uncovered(&self) -> usize {
+        (0..self.problem.query_count())
+            .filter(|&q| !self.covered[q])
+            .max_by(|&a, &b| {
+                self.problem.search_rates[a]
+                    .total_cmp(&self.problem.search_rates[b])
+                    .then(b.cmp(&a))
+            })
+            .expect("called with uncovered queries remaining")
+    }
+
+    fn mark_dirty(&mut self, id: u32) {
+        if !self.cands[id as usize].dirty {
+            self.cands[id as usize].dirty = true;
+            self.dirty.push(id);
+        }
+    }
+
+    /// Registers the pair `(i, j)` — either refreshing the generating
+    /// pair of an existing candidate or scoring a fresh one. Pruning
+    /// ladder: Bloom signature AND, exact signature intersection, exact
+    /// union probes, and only then greedy covers.
+    fn consider_pair(&mut self, plan: &PlanDag, i: usize, j: usize) {
+        if !self.node_bloom[i].intersects(&self.node_bloom[j]) {
+            return; // definitely no shared query
+        }
+        let sig = self.node_sig[i].intersection(&self.node_sig[j]);
+        let mut w: Option<BitSet> = None;
+        let mut qs: Vec<usize> = Vec::new();
+        for q in sig.iter() {
+            if self.covered[q] {
+                continue;
+            }
+            let wref = w.get_or_insert_with(|| self.node_vars[i].union(&self.node_vars[j]));
+            if wref.is_subset(&self.problem.queries[q]) {
+                qs.push(q);
+            }
+        }
+        let Some(w) = w else { return };
+        if qs.is_empty() || plan.node_for(&w).is_some() {
+            return;
+        }
+        if let Some(&id) = self.by_union.get(&w) {
+            // Known union: keep the lexicographically smallest generator.
+            if self.cands[id as usize].alive && (i, j) < self.cands[id as usize].pair {
+                self.cands[id as usize].pair = (i, j);
+                self.mark_dirty(id);
+            }
+            return;
+        }
+        let mut contribs = Vec::with_capacity(qs.len());
+        let mut forms_query = false;
+        for &q in &qs {
+            let size = self.cover_size(q, Some(&w));
+            let gain = self.problem.search_rates[q] * (self.base[q] as f64 - size as f64);
+            contribs.push((q, gain));
+            forms_query |= w == self.problem.queries[q];
+        }
+        let id = self.cands.len() as u32;
+        self.by_union.insert(w.clone(), id);
+        for &q in &qs {
+            self.bucket[q].push(id);
+        }
+        self.cands.push(Candidate {
+            w,
+            pair: (i, j),
+            contribs,
+            gain: 0.0,
+            forms_query,
+            version: 0,
+            alive: true,
+            dirty: true,
+        });
+        self.dirty.push(id);
+    }
+
+    /// Folds the plan nodes `from..` into the incremental state: mirrors
+    /// them, retires covered queries and materialized candidates,
+    /// re-scores only the affected queries' candidates, pairs the new
+    /// nodes against the pool, and publishes refreshed gains.
+    fn absorb(&mut self, plan: &PlanDag, from: usize) {
+        let m = self.problem.query_count();
+        let mut affected = BitSet::new(m);
+        for idx in from..plan.nodes().len() {
+            let vars = plan.nodes()[idx].vars.clone();
+            let mut sig = BitSet::new(m);
+            let mut bloom = BloomFilter::new(SIG_BLOOM_BITS, SIG_BLOOM_HASHES);
+            for (q, query) in self.problem.queries.iter().enumerate() {
+                if !self.covered[q] && vars.is_subset(query) {
+                    sig.insert(q);
+                    bloom.insert(q as u64);
+                    self.sets[q].push(idx);
+                    affected.insert(q);
+                }
+            }
+            if !sig.is_empty() {
+                self.participants.push(idx);
+            }
+            self.node_vars.push(vars);
+            self.node_sig.push(sig);
+            self.node_bloom.push(bloom);
+        }
+        // Retire queries the new nodes completed, and drop their
+        // contributions (a candidate equal to the covered query must be
+        // the covering node itself, so `forms_query` flags stay valid).
+        for q in affected.iter() {
+            if self.covered[q] || plan.node_for(&self.problem.queries[q]).is_none() {
+                continue;
+            }
+            self.covered[q] = true;
+            self.uncovered_left -= 1;
+            let bucket = std::mem::take(&mut self.bucket[q]);
+            for id in bucket {
+                if !self.cands[id as usize].alive {
+                    continue;
+                }
+                self.cands[id as usize].contribs.retain(|&(cq, _)| cq != q);
+                if self.cands[id as usize].contribs.is_empty() {
+                    self.kill(id);
+                } else {
+                    self.mark_dirty(id);
+                }
+            }
+        }
+        // Candidates whose union just materialized are no longer pairs.
+        for idx in from..self.node_vars.len() {
+            if let Some(&id) = self.by_union.get(&self.node_vars[idx]) {
+                self.kill(id);
+            }
+        }
+        // Re-baseline the affected queries and re-score their candidates
+        // (only these can have changed: covers see new sets only for
+        // queries that contain a new node).
+        for q in affected.iter() {
+            if self.covered[q] {
+                continue;
+            }
+            self.base[q] = self.cover_size(q, None);
+            for bi in 0..self.bucket[q].len() {
+                let id = self.bucket[q][bi];
+                if !self.cands[id as usize].alive {
+                    continue;
+                }
+                let w = self.cands[id as usize].w.clone();
+                let size = self.cover_size(q, Some(&w));
+                let gain = self.problem.search_rates[q] * (self.base[q] as f64 - size as f64);
+                let c = &mut self.cands[id as usize];
+                let slot = c
+                    .contribs
+                    .iter_mut()
+                    .find(|e| e.0 == q)
+                    .expect("bucket membership implies a contribution");
+                slot.1 = gain;
+                self.mark_dirty(id);
+            }
+        }
+        // Pair each new node against every earlier pool member (new-new
+        // pairs included: the earlier new node is already in the pool).
+        for idx in from..self.node_vars.len() {
+            if self.node_sig[idx].is_empty() {
+                continue;
+            }
+            for pi in 0..self.participants.len() {
+                let p = self.participants[pi];
+                if p >= idx {
+                    break;
+                }
+                self.consider_pair(plan, p, idx);
+            }
+        }
+        self.flush_dirty();
+    }
+
+    fn kill(&mut self, id: u32) {
+        if self.cands[id as usize].alive {
+            self.cands[id as usize].alive = false;
+            let w = self.cands[id as usize].w.clone();
+            self.by_union.remove(&w);
+        }
+    }
+
+    /// Re-sums dirty candidates' gains and pushes fresh heap entries.
+    /// Gains are recomputed from scratch over the ascending-query
+    /// contribution list — the same floating-point op sequence as the
+    /// reference loop's rescan, so cached and fresh scores are
+    /// bit-identical.
+    fn flush_dirty(&mut self) {
+        let list = std::mem::take(&mut self.dirty);
+        for id in list {
+            let c = &mut self.cands[id as usize];
+            c.dirty = false;
+            if !c.alive {
+                continue;
+            }
+            let mut gain = 0.0;
+            for &(_, g) in &c.contribs {
+                gain += g;
+            }
+            c.gain = gain;
+            c.version += 1;
+            self.heap.push(HeapEntry {
+                forms_query: c.forms_query,
+                gain,
+                pair: c.pair,
+                id,
+                version: c.version,
+            });
+        }
+    }
+
+    /// Pops the best live candidate if the reference rule would take it:
+    /// any query-forming pair, else the top gain when positive. Stale
+    /// entries (dead or re-scored since push) are discarded lazily. A
+    /// rejected top is re-pushed so the pool survives the fallback step.
+    fn pop_best(&mut self) -> Option<u32> {
+        while let Some(top) = self.heap.pop() {
+            let c = &self.cands[top.id as usize];
+            if !c.alive || c.version != top.version {
+                continue;
+            }
+            if c.forms_query || c.gain > 0.0 {
+                return Some(top.id);
+            }
+            self.heap.push(top);
+            return None;
+        }
+        None
+    }
+}
+
+/// A candidate pair in capped mode. Gains are the cover-membership
+/// estimate (see [`CappedLazy`]), so no per-query contribution list is
+/// kept.
+struct CappedCandidate {
+    w: BitSet,
+    pair: (usize, usize),
+    gain: f64,
+    forms_query: bool,
+    version: u32,
+    alive: bool,
+    dirty: bool,
+}
+
+/// Signature-capped lazy completion for large instances (variable count
+/// above [`EXACT_COMPLETION_VAR_LIMIT`]).
+///
+/// Exact per-candidate greedy covers are what make the reference rule
+/// expensive, so capped mode replaces them with the dominant term of the
+/// true gain: merging two *current cover members* of query `q` shrinks
+/// `|C_q|` by one, so a pair is scored `Σ rate_q` over the queries whose
+/// greedy covers use both endpoints (tracked per node as a cover-
+/// signature bitset with a Bloom pre-check). The candidate universe is
+/// capped per query to pairs of its [`PAIR_SOURCE_CAP`] first cover
+/// members — the greedy cover lists its biggest, most shareable sets
+/// first — instead of all O(n²) node pairs. Cover pools are anchored on
+/// the stage-1 fragment nodes (which partition each query, so capping
+/// never loses feasibility) plus every node merged during completion.
+struct CappedLazy<'a> {
+    problem: &'a PlanProblem,
+    node_vars: Vec<BitSet>,
+    covered: Vec<bool>,
+    uncovered_left: usize,
+    /// Per query: cover-candidate pool (fragment nodes + completion
+    /// nodes inside the query), ascending.
+    sets: Vec<Vec<usize>>,
+    /// Per query: its current greedy cover, in selection order.
+    cover: Vec<Vec<usize>>,
+    /// Per node: the uncovered queries whose current cover uses it.
+    csig: Vec<BitSet>,
+    /// Bloom mirror of `csig` (rebuilt on change; signatures are tiny).
+    csig_bloom: Vec<BloomFilter>,
+    /// Per node: candidates generated from it, for dirty propagation.
+    node_cands: Vec<Vec<u32>>,
+    cands: Vec<CappedCandidate>,
+    by_union: HashMap<BitSet, u32>,
+    heap: BinaryHeap<HeapEntry>,
+    dirty: Vec<u32>,
+}
+
+impl<'a> CappedLazy<'a> {
+    fn run(plan: &mut PlanDag, problem: &'a PlanProblem, fragment_nodes: &[Vec<usize>]) {
+        let m = problem.query_count();
+        let max_steps = (problem.total_query_size() + m + 4).min(capped_step_limit(m));
+        let mut state = CappedLazy {
+            problem,
+            node_vars: plan.nodes().iter().map(|n| n.vars.clone()).collect(),
+            covered: vec![false; m],
+            uncovered_left: m,
+            sets: vec![Vec::new(); m],
+            cover: vec![Vec::new(); m],
+            csig: vec![BitSet::new(m); plan.nodes().len()],
+            csig_bloom: vec![
+                BloomFilter::new(SIG_BLOOM_BITS, SIG_BLOOM_HASHES);
+                plan.nodes().len()
+            ],
+            node_cands: vec![Vec::new(); plan.nodes().len()],
+            cands: Vec::new(),
+            by_union: HashMap::new(),
+            heap: BinaryHeap::new(),
+            dirty: Vec::new(),
+        };
+        for (q, frag_pool) in fragment_nodes.iter().enumerate().take(m) {
+            if plan.node_for(&problem.queries[q]).is_some() {
+                state.covered[q] = true;
+                state.uncovered_left -= 1;
+                continue;
+            }
+            let mut pool = frag_pool.clone();
+            pool.sort_unstable();
+            pool.dedup();
+            state.sets[q] = pool;
+            state.recompute_cover(q);
+        }
+        for q in 0..m {
+            if !state.covered[q] {
+                state.generate_pairs(plan, q);
+            }
+        }
+        state.flush_dirty();
+        for _ in 0..max_steps {
+            if state.uncovered_left == 0 {
+                return;
+            }
+            let before = plan.nodes().len();
+            match state.pop_best() {
+                Some(id) => {
+                    let (i, j) = state.cands[id as usize].pair;
+                    plan.merge(i, j);
+                }
+                None => {
+                    let q = state.most_probable_uncovered();
+                    let chain = state.cover[q].clone();
+                    plan.merge_chain(&chain);
+                }
+            }
+            state.absorb(plan, before);
+        }
+        complete_by_cover_chains(plan, problem);
+    }
+
+    /// Recomputes `q`'s greedy cover over its pool and maintains the
+    /// cover-signature bitsets of nodes entering or leaving it. Touched
+    /// nodes' candidates are queued for re-scoring.
+    fn recompute_cover(&mut self, q: usize) {
+        let old = std::mem::take(&mut self.cover[q]);
+        for &i in &old {
+            self.csig[i].remove(q);
+        }
+        let chosen = {
+            let refs: Vec<&BitSet> = self.sets[q].iter().map(|&i| &self.node_vars[i]).collect();
+            let cover = greedy_cover_refs(&self.problem.queries[q], &refs)
+                .expect("fragment nodes partition their query");
+            cover
+                .chosen
+                .iter()
+                .map(|&pos| self.sets[q][pos])
+                .collect::<Vec<usize>>()
+        };
+        for &i in &chosen {
+            self.csig[i].insert(q);
+        }
+        for &i in old.iter().chain(&chosen) {
+            self.rebuild_bloom(i);
+            for ci in 0..self.node_cands[i].len() {
+                let id = self.node_cands[i][ci];
+                self.mark_dirty(id);
+            }
+        }
+        self.cover[q] = chosen;
+    }
+
+    fn rebuild_bloom(&mut self, i: usize) {
+        let mut bloom = BloomFilter::new(SIG_BLOOM_BITS, SIG_BLOOM_HASHES);
+        for q in self.csig[i].iter() {
+            bloom.insert(q as u64);
+        }
+        self.csig_bloom[i] = bloom;
+    }
+
+    /// Candidate pairs from `q`'s current cover: all pairs among its
+    /// first [`PAIR_SOURCE_CAP`] members (the signature bucket cap).
+    fn generate_pairs(&mut self, plan: &PlanDag, q: usize) {
+        let sources: Vec<usize> = self.cover[q]
+            .iter()
+            .take(PAIR_SOURCE_CAP)
+            .copied()
+            .collect();
+        for a in 0..sources.len() {
+            for b in (a + 1)..sources.len() {
+                let (i, j) = if sources[a] < sources[b] {
+                    (sources[a], sources[b])
+                } else {
+                    (sources[b], sources[a])
+                };
+                self.consider_pair(plan, i, j);
+            }
+        }
+    }
+
+    /// Scores `(i, j)` by cover membership: the rate-weighted count of
+    /// uncovered queries whose greedy covers use both endpoints.
+    fn score(&self, i: usize, j: usize, w: &BitSet) -> (f64, bool) {
+        let shared = self.csig[i].intersection(&self.csig[j]);
+        let mut gain = 0.0;
+        let mut forms_query = false;
+        for q in shared.iter() {
+            if self.covered[q] {
+                continue;
+            }
+            gain += self.problem.search_rates[q];
+            forms_query |= *w == self.problem.queries[q];
+        }
+        (gain, forms_query)
+    }
+
+    fn consider_pair(&mut self, plan: &PlanDag, i: usize, j: usize) {
+        if !self.csig_bloom[i].intersects(&self.csig_bloom[j]) {
+            return; // covers definitely share no query
+        }
+        if self.csig[i].is_disjoint(&self.csig[j]) {
+            return;
+        }
+        let w = self.node_vars[i].union(&self.node_vars[j]);
+        if plan.node_for(&w).is_some() {
+            return;
+        }
+        if let Some(&id) = self.by_union.get(&w) {
+            if self.cands[id as usize].alive && (i, j) < self.cands[id as usize].pair {
+                self.cands[id as usize].pair = (i, j);
+                self.mark_dirty(id);
+            }
+            return;
+        }
+        let (gain, forms_query) = self.score(i, j, &w);
+        if gain <= 0.0 && !forms_query {
+            return;
+        }
+        let id = self.cands.len() as u32;
+        self.by_union.insert(w.clone(), id);
+        self.node_cands[i].push(id);
+        self.node_cands[j].push(id);
+        self.cands.push(CappedCandidate {
+            w,
+            pair: (i, j),
+            gain,
+            forms_query,
+            version: 0,
+            alive: true,
+            dirty: true,
+        });
+        self.dirty.push(id);
+    }
+
+    fn most_probable_uncovered(&self) -> usize {
+        (0..self.problem.query_count())
+            .filter(|&q| !self.covered[q])
+            .max_by(|&a, &b| {
+                self.problem.search_rates[a]
+                    .total_cmp(&self.problem.search_rates[b])
+                    .then(b.cmp(&a))
+            })
+            .expect("called with uncovered queries remaining")
+    }
+
+    fn mark_dirty(&mut self, id: u32) {
+        if !self.cands[id as usize].dirty {
+            self.cands[id as usize].dirty = true;
+            self.dirty.push(id);
+        }
+    }
+
+    fn kill(&mut self, id: u32) {
+        if self.cands[id as usize].alive {
+            self.cands[id as usize].alive = false;
+            let w = self.cands[id as usize].w.clone();
+            self.by_union.remove(&w);
+        }
+    }
+
+    /// Folds the plan nodes `from..` in: extends the pools of the
+    /// queries containing them, retires completed queries, recomputes
+    /// only the affected covers, and regenerates their candidate pairs.
+    fn absorb(&mut self, plan: &PlanDag, from: usize) {
+        let m = self.problem.query_count();
+        let mut affected = BitSet::new(m);
+        for idx in from..plan.nodes().len() {
+            let vars = plan.nodes()[idx].vars.clone();
+            for (q, query) in self.problem.queries.iter().enumerate() {
+                if !self.covered[q] && vars.is_subset(query) {
+                    self.sets[q].push(idx);
+                    affected.insert(q);
+                }
+            }
+            self.node_vars.push(vars);
+            self.csig.push(BitSet::new(m));
+            self.csig_bloom
+                .push(BloomFilter::new(SIG_BLOOM_BITS, SIG_BLOOM_HASHES));
+            self.node_cands.push(Vec::new());
+        }
+        for q in affected.iter() {
+            if !self.covered[q] && plan.node_for(&self.problem.queries[q]).is_some() {
+                self.covered[q] = true;
+                self.uncovered_left -= 1;
+                // Free the retired cover's signature bits so stale
+                // membership never scores again.
+                let old = std::mem::take(&mut self.cover[q]);
+                for &i in &old {
+                    self.csig[i].remove(q);
+                    self.rebuild_bloom(i);
+                    for ci in 0..self.node_cands[i].len() {
+                        let id = self.node_cands[i][ci];
+                        self.mark_dirty(id);
+                    }
+                }
+            }
+        }
+        for idx in from..self.node_vars.len() {
+            if let Some(&id) = self.by_union.get(&self.node_vars[idx]) {
+                self.kill(id);
+            }
+        }
+        for q in affected.iter() {
+            if self.covered[q] {
+                continue;
+            }
+            self.recompute_cover(q);
+            self.generate_pairs(plan, q);
+        }
+        self.flush_dirty();
+    }
+
+    /// Re-scores dirty candidates against current cover signatures and
+    /// publishes fresh heap entries.
+    fn flush_dirty(&mut self) {
+        let list = std::mem::take(&mut self.dirty);
+        for id in list {
+            self.cands[id as usize].dirty = false;
+            if !self.cands[id as usize].alive {
+                continue;
+            }
+            let (i, j) = self.cands[id as usize].pair;
+            let w = self.cands[id as usize].w.clone();
+            let (gain, forms_query) = self.score(i, j, &w);
+            let c = &mut self.cands[id as usize];
+            c.gain = gain;
+            c.forms_query = forms_query;
+            c.version += 1;
+            self.heap.push(HeapEntry {
+                forms_query,
+                gain,
+                pair: c.pair,
+                id,
+                version: c.version,
+            });
+        }
+    }
+
+    fn pop_best(&mut self) -> Option<u32> {
+        while let Some(top) = self.heap.pop() {
+            let c = &self.cands[top.id as usize];
+            if !c.alive || c.version != top.version {
+                continue;
+            }
+            if c.forms_query || c.gain > 0.0 {
+                return Some(top.id);
+            }
+            self.heap.push(top);
+            return None;
+        }
+        None
+    }
+}
+
+/// The reference greedy completion loop (recompute everything, every
+/// step). Kept verbatim as the differential-testing and benchmarking
+/// baseline for the lazy completion above.
+fn complete_greedy_reference(plan: &mut PlanDag, problem: &PlanProblem) {
     let m = problem.query_count();
     // Iteration guard: the paper bounds the run at Σ_q |X_q| steps; we add
     // slack and a guaranteed-progress fallback so the loop always ends.
@@ -357,8 +1199,88 @@ mod tests {
         );
     }
 
+    #[test]
+    fn capped_mode_engages_past_the_var_limit() {
+        // Three overlapping queries over a universe wider than the exact
+        // limit: completion must go through the signature-capped path and
+        // still produce a valid, bound, cost-sound plan.
+        let n = EXACT_COMPLETION_VAR_LIMIT + 22;
+        let shared: Vec<usize> = (0..60).collect();
+        let mut q0: Vec<usize> = shared.clone();
+        q0.extend(60..90);
+        let mut q1: Vec<usize> = shared.clone();
+        q1.extend(90..120);
+        let mut q2: Vec<usize> = shared;
+        q2.extend(120..n);
+        let problem = PlanProblem::new(
+            n,
+            vec![bs(n, &q0), bs(n, &q1), bs(n, &q2)],
+            Some(vec![0.9, 0.8, 0.7]),
+        );
+        let plan = SharedPlanner::full().plan(&problem);
+        assert_complete(&plan, &problem);
+        let naive: usize = problem.queries.iter().map(|s| s.len() - 1).sum();
+        assert!(
+            plan.total_cost() < naive,
+            "capped completion must still share: {} vs naive {naive}",
+            plan.total_cost()
+        );
+        // The 60-advertiser shared fragment is the whole point.
+        assert!(plan
+            .node_for(&bs(n, &(0..60).collect::<Vec<_>>()))
+            .is_some());
+    }
+
+    #[test]
+    fn capped_mode_is_deterministic() {
+        let n = EXACT_COMPLETION_VAR_LIMIT + 10;
+        let queries: Vec<BitSet> = (0..6)
+            .map(|k| {
+                let members: Vec<usize> = (0..n).filter(|v| (v + k) % 3 != 0).collect();
+                bs(n, &members)
+            })
+            .collect();
+        let rates = vec![0.9, 0.7, 0.6, 0.5, 0.4, 0.3];
+        let problem = PlanProblem::new(n, queries, Some(rates));
+        let a = SharedPlanner::full().plan(&problem);
+        let b = SharedPlanner::full().plan(&problem);
+        assert_eq!(a.nodes().len(), b.nodes().len());
+        for (x, y) in a.nodes().iter().zip(b.nodes()) {
+            assert_eq!(x.vars, y.vars);
+        }
+        assert_eq!(a.query_nodes(), b.query_nodes());
+    }
+
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(64))]
+        /// The lazy completion replicates the reference loop step for
+        /// step below the exact-mode limit: same nodes in the same
+        /// order, same query bindings — bit-identical plans.
+        #[test]
+        fn lazy_matches_reference_exactly(
+            sets in proptest::collection::vec(
+                proptest::collection::btree_set(0usize..14, 1..9), 1..7),
+            rates in proptest::collection::vec(0.05f64..=1.0, 7),
+        ) {
+            let queries: Vec<BitSet> = sets
+                .iter()
+                .map(|s| BitSet::from_elements(14, s.iter().copied()))
+                .collect();
+            let m = queries.len();
+            let problem = PlanProblem::new(14, queries, Some(rates[..m].to_vec()));
+            let lazy = SharedPlanner::full().plan(&problem);
+            let reference = reference_plan(&problem);
+            prop_assert_eq!(lazy.nodes().len(), reference.nodes().len());
+            for (idx, (a, b)) in lazy.nodes().iter().zip(reference.nodes()).enumerate() {
+                prop_assert_eq!(
+                    &a.vars, &b.vars,
+                    "node {} diverges from the reference", idx
+                );
+                prop_assert_eq!(a.children, b.children);
+            }
+            prop_assert_eq!(lazy.query_nodes(), reference.query_nodes());
+        }
+
         /// Both planner modes always produce a valid, complete plan whose
         /// cost never exceeds the unshared baseline at sr = 1.
         #[test]

@@ -20,7 +20,7 @@
 
 use ssa_setcover::BitSet;
 
-use super::cost::expected_cost;
+use super::cost::IncrementalCost;
 use super::{PlanDag, PlanProblem, SharedPlanner};
 
 /// What a maintenance operation did.
@@ -58,6 +58,8 @@ pub struct PlanMaintainer {
     /// Replan when `total_cost > bloat_factor × cost at last replan`.
     bloat_factor: f64,
     cost_at_last_replan: usize,
+    /// Expected-cost tracker repaired per patch instead of rescanned.
+    cost: IncrementalCost,
     stats: MaintenanceStats,
 }
 
@@ -70,12 +72,14 @@ impl PlanMaintainer {
         assert!(bloat_factor >= 1.0, "bloat factor must be ≥ 1");
         let plan = planner.plan(&problem);
         let cost_at_last_replan = plan.total_cost().max(1);
+        let cost = IncrementalCost::new(&plan, &problem.search_rates);
         PlanMaintainer {
             problem,
             plan,
             planner,
             bloat_factor,
             cost_at_last_replan,
+            cost,
             stats: MaintenanceStats::default(),
         }
     }
@@ -96,8 +100,9 @@ impl PlanMaintainer {
     }
 
     /// The plan's expected per-round cost under the current search rates.
+    /// Served from the incremental tracker — O(1), no plan rescan.
     pub fn expected_cost(&self) -> f64 {
-        expected_cost(&self.plan, &self.problem.search_rates)
+        self.cost.total()
     }
 
     /// Updates a query's search rate (no structural change; the plan
@@ -112,6 +117,7 @@ impl PlanMaintainer {
             "rate out of range"
         );
         self.problem.search_rates[q] = rate;
+        self.cost.set_rate(&self.plan, q, rate);
     }
 
     /// Replaces query `q`'s interest set, patching the plan: a greedy
@@ -137,9 +143,14 @@ impl PlanMaintainer {
         let sets: Vec<BitSet> = self.plan.nodes().iter().map(|n| n.vars.clone()).collect();
         let cover =
             ssa_setcover::greedy_cover(&new_set, &sets).expect("leaves always cover the target");
+        let old_node = self.plan.query_nodes()[q];
         let node = self.plan.merge_chain(&cover.chosen);
         self.plan.rebind_query(q, node);
         let new_nodes = self.plan.total_cost() - before;
+        // Delta-repair the cost tracker: absorb the patch's new nodes,
+        // then fix reach only on the two bind cones' symmetric difference.
+        self.cost.extend(&self.plan);
+        self.cost.rebind(&self.plan, q, old_node);
 
         // Bloat check.
         let limit = (self.cost_at_last_replan as f64 * self.bloat_factor).ceil() as usize;
@@ -147,6 +158,7 @@ impl PlanMaintainer {
             let before_replan = self.plan.total_cost();
             self.plan = self.planner.plan(&self.problem);
             self.cost_at_last_replan = self.plan.total_cost().max(1);
+            self.cost = IncrementalCost::new(&self.plan, &self.problem.search_rates);
             self.stats.replans += 1;
             MaintenanceAction::Replanned {
                 before: before_replan,
@@ -161,6 +173,7 @@ impl PlanMaintainer {
     pub fn force_replan(&mut self) {
         self.plan = self.planner.plan(&self.problem);
         self.cost_at_last_replan = self.plan.total_cost().max(1);
+        self.cost = IncrementalCost::new(&self.plan, &self.problem.search_rates);
         self.stats.replans += 1;
     }
 }
@@ -310,9 +323,29 @@ mod tests {
         maintainer(0.5);
     }
 
+    #[test]
+    fn incremental_cost_tracks_full_rescan() {
+        let mut m = maintainer(100.0); // never replan: pure patch path
+        let rescan = |m: &PlanMaintainer| {
+            super::super::cost::expected_cost(m.plan(), &m.problem().search_rates)
+        };
+        assert!((m.expected_cost() - rescan(&m)).abs() < 1e-9);
+        m.update_interest(0, bs(8, &[0, 2, 3, 6]));
+        assert!((m.expected_cost() - rescan(&m)).abs() < 1e-9);
+        m.update_search_rate(1, 0.05);
+        assert!((m.expected_cost() - rescan(&m)).abs() < 1e-9);
+        m.update_interest(2, bs(8, &[4, 5, 6, 7]));
+        m.update_interest(0, bs(8, &[1, 2]));
+        assert!((m.expected_cost() - rescan(&m)).abs() < 1e-9);
+        m.force_replan();
+        assert!((m.expected_cost() - rescan(&m)).abs() < 1e-9);
+    }
+
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(32))]
-        /// Arbitrary churn sequences keep the plan valid and correct.
+        /// Arbitrary churn sequences keep the plan valid and correct, and
+        /// the incremental cost tracker never drifts from a full rescan
+        /// (including across bloat-triggered replans).
         #[test]
         fn random_churn_preserves_correctness(
             updates in proptest::collection::vec(
@@ -321,6 +354,9 @@ mod tests {
             let mut m = maintainer(1.3);
             for (q, set) in updates {
                 m.update_interest(q, BitSet::from_elements(8, set.iter().copied()));
+                let fresh =
+                    super::super::cost::expected_cost(m.plan(), &m.problem().search_rates);
+                prop_assert!((m.expected_cost() - fresh).abs() < 1e-9);
             }
             assert_plan_correct(&m);
         }

@@ -31,7 +31,7 @@ pub mod optimal;
 pub mod reduction;
 
 pub use disjoint::DisjointPlanner;
-pub use greedy::{PlannerMode, SharedPlanner};
+pub use greedy::{reference_plan, PlannerMode, SharedPlanner};
 
 use std::collections::HashMap;
 
@@ -286,6 +286,30 @@ impl PlanDag {
             }
         }
         reach
+    }
+
+    /// Marks the cone of `root`: the node itself plus every descendant
+    /// reachable through `children` edges. The incremental cost tracker
+    /// diffs two cone masks to find exactly the nodes whose reach sets a
+    /// query rebind changes, instead of rescanning the whole plan.
+    ///
+    /// # Panics
+    /// Panics if `root` is out of range.
+    pub fn cone_mask(&self, root: usize) -> Vec<bool> {
+        assert!(root < self.nodes.len(), "node out of range");
+        let mut mask = vec![false; self.nodes.len()];
+        let mut stack = vec![root];
+        while let Some(idx) = stack.pop() {
+            if mask[idx] {
+                continue;
+            }
+            mask[idx] = true;
+            if let Some((a, b)) = self.nodes[idx].children {
+                stack.push(a);
+                stack.push(b);
+            }
+        }
+        mask
     }
 
     /// Checks the `evaluate` preconditions shared by the sequential and

@@ -35,6 +35,16 @@ impl GreedyCover {
 ///
 /// Complexity: `O(steps × |candidates| × n/64)`.
 pub fn greedy_cover(target: &BitSet, candidates: &[BitSet]) -> Option<GreedyCover> {
+    let refs: Vec<&BitSet> = candidates.iter().collect();
+    greedy_cover_refs(target, &refs)
+}
+
+/// [`greedy_cover`] over borrowed candidate sets. Selection semantics are
+/// identical — same feasibility filter, same max-gain steps, same
+/// index tie-breaks — so callers holding candidates scattered across other
+/// structures (the lazy planner's node pool) can cover without cloning
+/// them into a contiguous owned slice first.
+pub fn greedy_cover_refs(target: &BitSet, candidates: &[&BitSet]) -> Option<GreedyCover> {
     let feasible: Vec<usize> = (0..candidates.len())
         .filter(|&i| candidates[i].is_subset(target) && !candidates[i].is_empty())
         .collect();
@@ -53,7 +63,7 @@ pub fn greedy_cover(target: &BitSet, candidates: &[BitSet]) -> Option<GreedyCove
         let (gain, idx) = best?;
         chosen.push(idx);
         marginal_gains.push(gain);
-        uncovered.difference_with(&candidates[idx]);
+        uncovered.difference_with(candidates[idx]);
     }
     Some(GreedyCover {
         chosen,
@@ -66,6 +76,11 @@ pub fn greedy_cover(target: &BitSet, candidates: &[BitSet]) -> Option<GreedyCove
 /// greedy coverage.
 pub fn greedy_cover_size(target: &BitSet, candidates: &[BitSet]) -> Option<usize> {
     greedy_cover(target, candidates).map(|c| c.size())
+}
+
+/// [`greedy_cover_size`] over borrowed candidate sets.
+pub fn greedy_cover_size_refs(target: &BitSet, candidates: &[&BitSet]) -> Option<usize> {
+    greedy_cover_refs(target, candidates).map(|c| c.size())
 }
 
 /// Greedy *disjoint* cover (a partition of `target` into candidate sets):
@@ -220,6 +235,31 @@ mod tests {
     }
 
     proptest! {
+        /// The borrowed-candidate entry point is the same algorithm.
+        #[test]
+        fn refs_variant_matches_owned(
+            sets in proptest::collection::vec(
+                proptest::collection::btree_set(0usize..12, 1..6), 1..8),
+        ) {
+            let candidates: Vec<BitSet> = sets
+                .iter()
+                .map(|s| BitSet::from_elements(12, s.iter().copied()))
+                .collect();
+            let mut target = BitSet::new(12);
+            for c in &candidates {
+                target.union_with(c);
+            }
+            let refs: Vec<&BitSet> = candidates.iter().collect();
+            prop_assert_eq!(
+                greedy_cover(&target, &candidates),
+                greedy_cover_refs(&target, &refs)
+            );
+            prop_assert_eq!(
+                greedy_cover_size(&target, &candidates),
+                greedy_cover_size_refs(&target, &refs)
+            );
+        }
+
         /// Greedy is feasible whenever exact is, covers the target
         /// exactly, and respects the (1 + ln n) approximation bound.
         #[test]

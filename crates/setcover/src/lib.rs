@@ -31,5 +31,5 @@ pub mod instance;
 
 pub use bitset::BitSet;
 pub use exact::exact_min_cover;
-pub use greedy::{greedy_cover, greedy_disjoint_cover, GreedyCover};
+pub use greedy::{greedy_cover, greedy_cover_refs, greedy_disjoint_cover, GreedyCover};
 pub use instance::SetCoverInstance;

@@ -90,12 +90,20 @@ pub const WORKLOAD_CHECKS: &[(&str, Profile, WorkloadCheck)] = &[
         check_engine_nonseparable_with,
     ),
     ("plan-paths", Profile::Separable, check_plan_paths_with),
+    (
+        "plan-lazy-reference",
+        Profile::Separable,
+        check_plan_lazy_reference_with,
+    ),
     ("shared-sort", Profile::NonSeparable, check_shared_sort_with),
     ("wd-threads", Profile::TightBudgets, check_wd_threads_with),
 ];
 
+/// A seed-only invariant check (no workload involved).
+pub type SeedCheck = fn(u64) -> Result<(), Divergence>;
+
 /// Seed-only invariant checks (no workload involved).
-pub const SEED_CHECKS: &[(&str, fn(u64) -> Result<(), Divergence>)] = &[
+pub const SEED_CHECKS: &[(&str, SeedCheck)] = &[
     ("budget-bounds", check_budget_bounds),
     ("algebra", check_algebra),
 ];
@@ -227,6 +235,7 @@ enum Agreement {
     TieSwapped,
 }
 
+#[allow(clippy::too_many_arguments)] // internal helper; splitting obscures the diff report
 fn compare_outcomes(
     check: &'static str,
     variant: &'static str,
@@ -732,6 +741,76 @@ pub fn check_plan_paths_with(cfg: &WorkloadConfig, seed: u64) -> Result<(), Dive
 /// Seed-only wrapper for [`check_plan_paths_with`].
 pub fn check_plan_paths(seed: u64) -> Result<(), Divergence> {
     check_plan_paths_with(&gen::workload_config(seed, Profile::Separable), seed)
+}
+
+/// Differential check of the lazy-greedy completion against the reference
+/// recompute-all-pairs implementation it replaced: on corpus-sized
+/// instances (always within `EXACT_COMPLETION_VAR_LIMIT`) the lazy planner
+/// must reproduce the reference plan *bit for bit* — same nodes in the
+/// same order, same children, same query bindings — and therefore the same
+/// expected cost and winner sets.
+pub fn check_plan_lazy_reference_with(cfg: &WorkloadConfig, seed: u64) -> Result<(), Divergence> {
+    const CHECK: &str = "plan-lazy-reference";
+    let w = Workload::generate(cfg);
+    let (problem, _kept) = gen::plan_problem_nonempty(&w);
+    if problem.query_count() == 0 {
+        return Ok(());
+    }
+    let lazy = SharedPlanner::full().plan(&problem);
+    let reference = ssa_core::plan::reference_plan(&problem);
+    if lazy.nodes().len() != reference.nodes().len() {
+        return Err(Divergence::new(
+            CHECK,
+            seed,
+            format!(
+                "lazy plan has {} nodes, reference has {}",
+                lazy.nodes().len(),
+                reference.nodes().len()
+            ),
+        ));
+    }
+    for (idx, (ln, rn)) in lazy.nodes().iter().zip(reference.nodes()).enumerate() {
+        if ln.vars != rn.vars || ln.children != rn.children {
+            return Err(Divergence::new(
+                CHECK,
+                seed,
+                format!(
+                    "node {idx} diverges: lazy ({:?} vars, children {:?}) vs reference \
+                     ({:?} vars, children {:?})",
+                    ln.vars.len(),
+                    ln.children,
+                    rn.vars.len(),
+                    rn.children
+                ),
+            ));
+        }
+    }
+    if lazy.query_nodes() != reference.query_nodes() {
+        return Err(Divergence::new(
+            CHECK,
+            seed,
+            format!(
+                "query bindings diverge: lazy {:?} vs reference {:?}",
+                lazy.query_nodes(),
+                reference.query_nodes()
+            ),
+        ));
+    }
+    let lazy_cost = expected_cost(&lazy, &problem.search_rates);
+    let ref_cost = expected_cost(&reference, &problem.search_rates);
+    if lazy_cost != ref_cost {
+        return Err(Divergence::new(
+            CHECK,
+            seed,
+            format!("expected cost diverges: lazy {lazy_cost} vs reference {ref_cost}"),
+        ));
+    }
+    Ok(())
+}
+
+/// Seed-only wrapper for [`check_plan_lazy_reference_with`].
+pub fn check_plan_lazy_reference(seed: u64) -> Result<(), Divergence> {
+    check_plan_lazy_reference_with(&gen::workload_config(seed, Profile::Separable), seed)
 }
 
 /// Static differential check of the shared-sort machinery: the quadratic
