@@ -366,8 +366,9 @@ pub fn render_metrics(m: &EngineMetrics) -> String {
     format!(
         "rounds: {}\nauctions: {}\nimpressions: {}\nclicks: {}\nrevenue: {}\nforgiven: {}\n\
          clicks beyond budget: {}\nadvertisers scanned: {}\naggregation ops: {}\n\
-         merge invocations: {}\nta stages: {}\nthrottle ms: {:.2}\nwd ms: {:.2}\n\
-         settle ms: {:.2}\nresolution ms: {:.2}",
+         merge invocations: {}\nta stages: {}\nsort nodes invalidated: {}\n\
+         sort cache items reused: {}\nthrottle ms: {:.2}\nwd ms: {:.2}\n\
+         sort refresh ms: {:.2}\nsettle ms: {:.2}\nresolution ms: {:.2}",
         m.rounds,
         m.auctions,
         m.impressions,
@@ -379,8 +380,11 @@ pub fn render_metrics(m: &EngineMetrics) -> String {
         m.aggregation_ops,
         m.merge_invocations,
         m.ta_stages,
+        m.sort_nodes_invalidated,
+        m.sort_cache_items_reused,
         m.throttle_nanos as f64 / 1e6,
         m.wd_nanos as f64 / 1e6,
+        m.sort_refresh_nanos as f64 / 1e6,
         m.settle_nanos as f64 / 1e6,
         m.resolution_nanos() as f64 / 1e6,
     )

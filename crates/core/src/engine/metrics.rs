@@ -29,10 +29,33 @@ pub struct EngineMetrics {
     pub aggregation_ops: u64,
     /// Advertiser entries scanned (unshared strategy).
     pub advertisers_scanned: u64,
-    /// Merge-network operator invocations (shared-sort strategy).
+    /// Merge-network operator invocations (shared-sort strategy): one per
+    /// item a merge operator sends upstream, the cost the Section III-B
+    /// model bounds by `Σ_v |I_v|`. With the persistent network this
+    /// counts only *newly merged* items — prefixes cached from earlier
+    /// rounds are re-read for free — so it is expected to be far below a
+    /// fresh-per-round engine's count (that gap is the perf win, see
+    /// `sort_cache_items_reused`). Deterministic for a given workload and
+    /// seed; identical across `ta_threads`/`wd_threads` settings.
     pub merge_invocations: u64,
-    /// TA sorted-access stages (shared-sort strategy).
+    /// TA sorted-access stages (shared-sort strategy): total depth both
+    /// of TA's sorted lists were consumed to, summed over phrase
+    /// auctions. Depends only on stream contents, so it is identical
+    /// whether the network is fresh or persistent, sequential or
+    /// concurrent.
     pub ta_stages: u64,
+    /// Persistent-network nodes invalidated by cross-round refresh
+    /// (shared-sort strategy): changed leaves plus every merge operator
+    /// in their dirty cones, summed over rounds. The first round counts
+    /// the whole network (everything is built dirty). Deterministic;
+    /// identical across thread counts.
+    pub sort_nodes_invalidated: u64,
+    /// Cached merge-network items that survived refresh (shared-sort
+    /// strategy): Σ over rounds of the items still cached after dirty-cone
+    /// invalidation — merged prefixes the round's TA re-consumes without
+    /// re-merging. Zero on the first round. Deterministic; identical
+    /// across thread counts.
+    pub sort_cache_items_reused: u64,
     /// Throttled-bid bound evaluations (bounded budget policy).
     pub bound_evaluations: u64,
     /// Exact throttled-bid computations (the Section IV convolution, or a
@@ -47,6 +70,9 @@ pub struct EngineMetrics {
     pub throttle_nanos: u128,
     /// Wall-clock nanoseconds in winner determination proper.
     pub wd_nanos: u128,
+    /// Wall-clock nanoseconds diffing bids and refreshing the persistent
+    /// merge network (shared-sort strategy; included in `wd_nanos`).
+    pub sort_refresh_nanos: u128,
     /// Wall-clock nanoseconds pricing, displaying, and settling clicks.
     pub settle_nanos: u128,
     /// Worst single-round throttle-stage latency, in nanoseconds.
@@ -72,11 +98,14 @@ impl EngineMetrics {
         self.advertisers_scanned += other.advertisers_scanned;
         self.merge_invocations += other.merge_invocations;
         self.ta_stages += other.ta_stages;
+        self.sort_nodes_invalidated += other.sort_nodes_invalidated;
+        self.sort_cache_items_reused += other.sort_cache_items_reused;
         self.bound_evaluations += other.bound_evaluations;
         self.exact_throttle_evaluations += other.exact_throttle_evaluations;
         self.expected_value += other.expected_value;
         self.throttle_nanos += other.throttle_nanos;
         self.wd_nanos += other.wd_nanos;
+        self.sort_refresh_nanos += other.sort_refresh_nanos;
         self.settle_nanos += other.settle_nanos;
         self.max_round_throttle_nanos = self
             .max_round_throttle_nanos
@@ -100,6 +129,7 @@ impl EngineMetrics {
         EngineMetrics {
             throttle_nanos: 0,
             wd_nanos: 0,
+            sort_refresh_nanos: 0,
             settle_nanos: 0,
             max_round_throttle_nanos: 0,
             max_round_wd_nanos: 0,

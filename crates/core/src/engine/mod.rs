@@ -30,8 +30,10 @@ use crate::budget::topk::{top_k_uncertain, UncertainCandidate};
 use crate::budget::{BudgetContext, OutstandingAd};
 use crate::exec;
 use crate::plan::{LevelSchedule, PlanDag, PlanProblem, PlannerMode, SharedPlanner};
+use crate::sort::concurrent::{resolve_parallel_with, ConcurrentMergeNetwork, TaJob};
 use crate::sort::planner::{build_shared_sort_plan_bucketed, SortPlan};
-use crate::sort::ta::threshold_top_k;
+use crate::sort::ta::{threshold_top_k_into, TaScratch};
+use crate::sort::{MergeNetwork, RefreshStats, SortItem};
 use crate::topk::{KList, ScoredAd, ScoredTopKOp};
 
 pub use metrics::EngineMetrics;
@@ -168,6 +170,49 @@ pub struct BudgetSnapshot {
     pub outstanding: Vec<OutstandingAd>,
 }
 
+/// The persistent merge network a `SharedSort` engine keeps alive across
+/// rounds — sequential or lock-striped concurrent, fixed at construction
+/// by the configured thread count.
+enum SortNet {
+    Seq(MergeNetwork),
+    Conc(ConcurrentMergeNetwork),
+}
+
+impl SortNet {
+    fn invocations(&self) -> u64 {
+        match self {
+            SortNet::Seq(net) => net.invocations(),
+            SortNet::Conc(net) => net.invocations(),
+        }
+    }
+}
+
+/// Cross-round `SharedSort` state. The merge network lives for the
+/// lifetime of the [`SortPlan`]: each round the engine diffs the new
+/// effective bids against `prev_bids` and refreshes only the dirty cones,
+/// so untouched subtrees keep their cached merged prefixes. TA scratch
+/// (seen-sets, top-k working lists) also persists so steady-state rounds
+/// allocate nothing in those paths.
+struct SortState {
+    /// Per leaf, the merge operators a bid change there invalidates
+    /// (`SortPlan::leaf_cones`, computed once at plan-build time).
+    cones: Vec<Vec<u32>>,
+    /// The persistent network; `None` until the first round builds it
+    /// from that round's effective bids.
+    net: Option<SortNet>,
+    /// Per-phrase roots in network node space.
+    roots: Vec<usize>,
+    /// The effective bids the network currently reflects.
+    prev_bids: Vec<Money>,
+    /// Reusable bid-delta buffer.
+    changed: Vec<(usize, Money)>,
+    /// Sequential TA scratch + output buffer.
+    ta_scratch: TaScratch,
+    ta_out: Vec<(AdvertiserId, Score)>,
+    /// Concurrent TA scratch pool, one per worker.
+    ta_pool: Vec<parking_lot::Mutex<TaScratch>>,
+}
+
 /// The simulation engine.
 pub struct Engine {
     workload: Workload,
@@ -192,6 +237,8 @@ pub struct Engine {
     plan_query_index: Vec<Option<usize>>,
     /// Offline shared-sort plan (strategy SharedSort).
     sort_plan: Option<SortPlan>,
+    /// Persistent cross-round merge network + TA scratch (SharedSort).
+    sort_state: Option<SortState>,
     /// Per phrase, advertisers by descending `c_i^q` (TA's second list).
     c_orders: Vec<Vec<(AdvertiserId, f64)>>,
     /// The effective (possibly throttled) bids of the most recent round,
@@ -266,6 +313,21 @@ impl Engine {
             }
             _ => None,
         };
+        let sort_state = sort_plan.as_ref().map(|plan| {
+            let threads = config.ta_threads.max(config.wd_threads).max(1);
+            SortState {
+                cones: plan.leaf_cones(),
+                net: None,
+                roots: Vec::new(),
+                prev_bids: Vec::new(),
+                changed: Vec::new(),
+                ta_scratch: TaScratch::new(),
+                ta_out: Vec::new(),
+                ta_pool: (0..threads)
+                    .map(|_| parking_lot::Mutex::new(TaScratch::new()))
+                    .collect(),
+            }
+        });
         let c_orders = (0..m)
             .map(|q| {
                 let phrase = PhraseId::from_index(q);
@@ -312,6 +374,7 @@ impl Engine {
             plan_schedule,
             plan_query_index,
             sort_plan,
+            sort_state,
             c_orders,
             last_effective_bids: Vec::new(),
             metrics: EngineMetrics::default(),
@@ -704,67 +767,154 @@ impl Engine {
             .collect()
     }
 
-    /// Section III: shared merge network + TA per occurring phrase,
-    /// sequentially or across `max(ta_threads, wd_threads)` workers over
-    /// the concurrent network (identical results either way).
+    /// Section III: one *persistent* shared merge network + TA per
+    /// occurring phrase, sequentially or across
+    /// `max(ta_threads, wd_threads)` workers over the concurrent network
+    /// (identical results either way).
+    ///
+    /// The network is built once, on the first round, and thereafter only
+    /// *refreshed*: the new effective bids are diffed against the
+    /// previous round's and the dirty cones above changed leaves are
+    /// invalidated, leaving every untouched operator's cached merged
+    /// prefix for TA to re-consume. Outcomes are bit-identical to
+    /// fresh-per-round instantiation (pinned by the `sort-persistent`
+    /// differential-corpus check in `ssa-testkit`).
     fn resolve_shared_sort(
         &mut self,
         occurring: &[PhraseId],
         effective_bids: &[Money],
     ) -> Vec<AuctionOutcome> {
         let sort_plan = self.sort_plan.as_ref().expect("sort plan compiled");
+        let state = self
+            .sort_state
+            .as_mut()
+            .expect("sort state built with plan");
         let k = self.config.slot_factors.len();
         let threads = self.config.ta_threads.max(self.config.wd_threads);
-        if threads > 1 {
-            let (net, roots) = crate::sort::concurrent::ConcurrentMergeNetwork::from_plan(
-                sort_plan,
-                effective_bids,
-            );
-            let jobs: Vec<crate::sort::concurrent::TaJob> = occurring
-                .iter()
-                .map(|p| (roots[p.index()], self.c_orders[p.index()].clone(), k))
-                .collect();
-            let workload = &self.workload;
-            let outcomes = crate::sort::concurrent::resolve_parallel(
-                &net,
-                &jobs,
-                |_, a| effective_bids[a.index()],
-                |j, a| workload.phrase_factor(occurring[j], a).unwrap_or(0.0),
-                threads,
-            );
-            let mut out = Vec::with_capacity(occurring.len());
-            for (&phrase, outcome) in occurring.iter().zip(outcomes) {
-                self.metrics.ta_stages += outcome.stages as u64;
-                out.push(AuctionOutcome {
-                    phrase,
-                    assignment: assignment_from_ranking(&outcome.top_k, k),
-                });
+
+        // Refresh (first round: build) the persistent network.
+        let started = Instant::now();
+        let stats = match state.net.as_mut() {
+            None => {
+                let roots = if threads > 1 {
+                    let (net, roots) = ConcurrentMergeNetwork::from_plan(sort_plan, effective_bids);
+                    state.net = Some(SortNet::Conc(net));
+                    roots
+                } else {
+                    let (net, roots) = sort_plan.instantiate(effective_bids);
+                    state.net = Some(SortNet::Seq(net));
+                    roots
+                };
+                state.roots = roots;
+                state.prev_bids = effective_bids.to_vec();
+                // The whole network is built dirty; nothing was cached.
+                RefreshStats {
+                    nodes_invalidated: sort_plan.nodes.len() as u64,
+                    cache_items_reused: 0,
+                }
             }
-            self.metrics.merge_invocations += net.invocations();
-            return out;
-        }
-        let (mut net, roots) = sort_plan.instantiate(effective_bids);
+            Some(net) => {
+                state.changed.clear();
+                for (i, (&new, old)) in effective_bids
+                    .iter()
+                    .zip(state.prev_bids.iter_mut())
+                    .enumerate()
+                {
+                    if new != *old {
+                        state.changed.push((i, new));
+                        *old = new;
+                    }
+                }
+                match net {
+                    SortNet::Seq(n) => n.refresh(&state.changed, &state.cones),
+                    SortNet::Conc(n) => n.refresh(&state.changed, &state.cones),
+                }
+            }
+        };
+        self.metrics.sort_refresh_nanos += started.elapsed().as_nanos();
+        self.metrics.sort_nodes_invalidated += stats.nodes_invalidated;
+        self.metrics.sort_cache_items_reused += stats.cache_items_reused;
+
+        let net = state.net.as_mut().expect("built above");
+        let invocations_before = net.invocations();
         let mut out = Vec::with_capacity(occurring.len());
-        for &phrase in occurring {
-            let q = phrase.index();
-            let c_order = &self.c_orders[q];
-            let workload = &self.workload;
-            let outcome = threshold_top_k(
-                &mut net,
-                roots[q],
-                c_order,
-                |a| effective_bids[a.index()],
-                |a| workload.phrase_factor(phrase, a).unwrap_or(0.0),
-                k,
-            );
-            self.metrics.ta_stages += outcome.stages as u64;
-            out.push(AuctionOutcome {
-                phrase,
-                assignment: assignment_from_ranking(&outcome.top_k, k),
-            });
+        match net {
+            SortNet::Conc(net) => {
+                let jobs: Vec<TaJob<'_>> = occurring
+                    .iter()
+                    .map(|p| {
+                        (
+                            state.roots[p.index()],
+                            self.c_orders[p.index()].as_slice(),
+                            k,
+                        )
+                    })
+                    .collect();
+                let workload = &self.workload;
+                let outcomes = resolve_parallel_with(
+                    net,
+                    &jobs,
+                    |_, a| effective_bids[a.index()],
+                    |j, a| workload.phrase_factor(occurring[j], a).unwrap_or(0.0),
+                    threads,
+                    &state.ta_pool,
+                );
+                for (&phrase, outcome) in occurring.iter().zip(outcomes) {
+                    self.metrics.ta_stages += outcome.stages as u64;
+                    out.push(AuctionOutcome {
+                        phrase,
+                        assignment: assignment_from_ranking(&outcome.top_k, k),
+                    });
+                }
+            }
+            SortNet::Seq(net) => {
+                for &phrase in occurring {
+                    let q = phrase.index();
+                    let root = state.roots[q];
+                    let workload = &self.workload;
+                    let stages = if root == usize::MAX {
+                        state.ta_out.clear();
+                        0
+                    } else {
+                        let (stages, _) = threshold_top_k_into(
+                            |i| net.get(root, i),
+                            &self.c_orders[q],
+                            |a| effective_bids[a.index()],
+                            |a| workload.phrase_factor(phrase, a).unwrap_or(0.0),
+                            k,
+                            &mut state.ta_scratch,
+                            &mut state.ta_out,
+                        );
+                        stages
+                    };
+                    self.metrics.ta_stages += stages as u64;
+                    out.push(AuctionOutcome {
+                        phrase,
+                        assignment: assignment_from_ranking(&state.ta_out, k),
+                    });
+                }
+            }
         }
-        self.metrics.merge_invocations += net.invocations();
+        self.metrics.merge_invocations += net.invocations() - invocations_before;
         out
+    }
+
+    /// The persistent shared-sort network's cached stream per node (its
+    /// already merged prefixes), or `None` before the first `SharedSort`
+    /// round. An observation seam for the `ssa-testkit` differential
+    /// oracle, which asserts a fresh network's caches are prefixes of
+    /// these.
+    pub fn sort_cached_streams(&self) -> Option<Vec<Vec<SortItem>>> {
+        let state = self.sort_state.as_ref()?;
+        let plan = self.sort_plan.as_ref()?;
+        match state.net.as_ref()? {
+            SortNet::Seq(net) => Some(
+                (0..plan.nodes.len())
+                    .map(|v| net.cached(v).to_vec())
+                    .collect(),
+            ),
+            SortNet::Conc(net) => Some((0..plan.nodes.len()).map(|v| net.cached(v)).collect()),
+        }
     }
 
     /// Prices an assignment and displays the winning ads.

@@ -15,43 +15,74 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 
 use parking_lot::Mutex;
 
-/// Computes `f(0), …, f(jobs - 1)` and returns the results in job order.
-///
-/// With `threads <= 1` (or at most one job) this is a plain sequential
-/// map; otherwise `min(threads, jobs)` scoped workers drain an atomic job
-/// counter. Results are identical either way — `f` must be a pure
-/// function of its index (it is `Fn`, not `FnMut`, so the type system
-/// already rules out cross-job mutation).
-///
-/// # Panics
-/// Propagates any panic raised by `f`.
+/// Default minimum number of jobs a worker claims per dispatch. Tiny work
+/// items (a throttled-bid lookup is tens of nanoseconds) must be batched,
+/// or the atomic claim + per-slot lock dominate and parallelism *loses*
+/// to sequential — the seed `BENCH_round_executor.json` measured 4
+/// threads at 0.31× of 1 thread on exactly that failure mode.
+pub const DEFAULT_MIN_BATCH: usize = 64;
+
+/// Computes `f(0), …, f(jobs - 1)` and returns the results in job order,
+/// batching [`DEFAULT_MIN_BATCH`] jobs per worker dispatch. See
+/// [`parallel_map_batched`].
 pub fn parallel_map<T, F>(jobs: usize, threads: usize, f: F) -> Vec<T>
 where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
-    if threads <= 1 || jobs <= 1 {
+    parallel_map_batched(jobs, threads, DEFAULT_MIN_BATCH, f)
+}
+
+/// Computes `f(0), …, f(jobs - 1)` and returns the results in job order,
+/// with each worker claiming at least `min_batch` consecutive jobs per
+/// atomic dispatch.
+///
+/// With `threads <= 1` (or too few jobs to give a second worker a full
+/// batch) this is a plain sequential map; otherwise scoped workers drain
+/// an atomic cursor in chunks of
+/// `max(min_batch, jobs / (4 · threads))` — at least a batch, and at most
+/// ~4 claims per worker so stragglers still balance. Results are
+/// identical for every `threads`/`min_batch` combination — `f` must be a
+/// pure function of its index (it is `Fn`, not `FnMut`, so the type
+/// system already rules out cross-job mutation), and every result lands
+/// in its own slot.
+///
+/// # Panics
+/// Propagates any panic raised by `f`.
+pub fn parallel_map_batched<T, F>(jobs: usize, threads: usize, min_batch: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let min_batch = min_batch.max(1);
+    if threads <= 1 || jobs <= min_batch {
         return (0..jobs).map(f).collect();
     }
+    let chunk = min_batch.max(jobs / (4 * threads));
     let next = AtomicUsize::new(0);
-    let slots: Vec<Mutex<Option<T>>> = (0..jobs).map(|_| Mutex::new(None)).collect();
+    let slots: Vec<Mutex<Vec<T>>> = (0..jobs.div_ceil(chunk))
+        .map(|_| Mutex::new(Vec::new()))
+        .collect();
     crossbeam::thread::scope(|scope| {
-        for _ in 0..threads.min(jobs) {
+        for _ in 0..threads.min(slots.len()) {
             scope.spawn(|_| loop {
-                let j = next.fetch_add(1, Ordering::Relaxed);
-                if j >= jobs {
+                let start = next.fetch_add(chunk, Ordering::Relaxed);
+                if start >= jobs {
                     break;
                 }
-                let value = f(j);
-                *slots[j].lock() = Some(value);
+                let end = (start + chunk).min(jobs);
+                let values: Vec<T> = (start..end).map(&f).collect();
+                *slots[start / chunk].lock() = values;
             });
         }
     })
     .expect("executor worker panicked");
-    slots
-        .into_iter()
-        .map(|slot| slot.into_inner().expect("every job index was claimed"))
-        .collect()
+    let mut out = Vec::with_capacity(jobs);
+    for slot in slots {
+        out.append(&mut slot.into_inner());
+    }
+    debug_assert_eq!(out.len(), jobs, "every chunk was claimed");
+    out
 }
 
 #[cfg(test)]
@@ -77,6 +108,19 @@ mod tests {
     fn empty_and_single_job() {
         assert_eq!(parallel_map(0, 4, |i| i), Vec::<usize>::new());
         assert_eq!(parallel_map(1, 4, |i| i + 1), vec![1]);
+    }
+
+    #[test]
+    fn batched_chunks_agree_with_sequential() {
+        // Chunk boundaries must not reorder or drop results, for batch
+        // sizes below, at, and above the job count.
+        let want: Vec<usize> = (0..257).map(|i| i * 3 + 1).collect();
+        for min_batch in [1, 3, 64, 100, 1000] {
+            for threads in [2, 4, 7] {
+                let out = parallel_map_batched(257, threads, min_batch, |i| i * 3 + 1);
+                assert_eq!(out, want, "min_batch {min_batch} threads {threads}");
+            }
+        }
     }
 
     #[test]

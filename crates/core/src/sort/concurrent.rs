@@ -14,16 +14,20 @@
 //! deadlock-free — even when two phrases' pulls meet at a shared
 //! operator.
 
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
 use parking_lot::Mutex;
 
 use ssa_auction::ids::AdvertiserId;
 use ssa_auction::money::Money;
 
 use super::planner::SortPlan;
-use super::SortItem;
+use super::ta::TaScratch;
+use super::{RefreshStats, SortItem};
 
-/// One parallel TA job: `(network root, c-order, k)`.
-pub type TaJob = (usize, Vec<(AdvertiserId, f64)>, usize);
+/// One parallel TA job: `(network root, c-order, k)`. The c-order is
+/// borrowed so per-round job construction allocates nothing.
+pub type TaJob<'a> = (usize, &'a [(AdvertiserId, f64)], usize);
 
 #[derive(Debug)]
 enum Slot {
@@ -46,11 +50,21 @@ struct Node {
 }
 
 /// A merge network whose operators are individually locked, allowing
-/// concurrent pulls from `&self`.
+/// concurrent pulls from `&self`. Like the sequential
+/// [`MergeNetwork`](super::MergeNetwork) it is persistent across rounds:
+/// [`ConcurrentMergeNetwork::refresh`] (which takes `&mut self` — rounds
+/// are serialized even though pulls within one are not) invalidates only
+/// the dirty cones above changed leaves.
 #[derive(Debug)]
 pub struct ConcurrentMergeNetwork {
     nodes: Vec<Mutex<Node>>,
-    invocations: std::sync::atomic::AtomicU64,
+    invocations: AtomicU64,
+    /// Total items currently cached across all nodes (Σ emitted.len()).
+    cached_items: AtomicU64,
+    /// Refresh-scoped visited stamps; refresh holds `&mut self`, so these
+    /// need no lock.
+    dirty_stamps: Vec<u32>,
+    dirty_epoch: u32,
 }
 
 impl ConcurrentMergeNetwork {
@@ -88,10 +102,14 @@ impl ConcurrentMergeNetwork {
                 })
             })
             .collect();
+        let node_count = nodes.len();
         (
             ConcurrentMergeNetwork {
                 nodes,
-                invocations: std::sync::atomic::AtomicU64::new(0),
+                invocations: AtomicU64::new(0),
+                cached_items: AtomicU64::new(0),
+                dirty_stamps: vec![0; node_count],
+                dirty_epoch: 0,
             },
             plan.roots.clone(),
         )
@@ -99,7 +117,60 @@ impl ConcurrentMergeNetwork {
 
     /// Total merge-operator invocations so far.
     pub fn invocations(&self) -> u64 {
-        self.invocations.load(std::sync::atomic::Ordering::Relaxed)
+        self.invocations.load(Ordering::Relaxed)
+    }
+
+    /// Total items currently cached across all nodes.
+    pub fn cached_items(&self) -> u64 {
+        self.cached_items.load(Ordering::Relaxed)
+    }
+
+    /// A copy of the cached (already merged) prefix of `node`'s stream,
+    /// without pulling anything new. For differential harnesses.
+    pub fn cached(&self, node: usize) -> Vec<SortItem> {
+        self.nodes[node].lock().emitted.clone()
+    }
+
+    /// Cross-round dirty-cone invalidation, mirroring
+    /// [`MergeNetwork::refresh`](super::MergeNetwork::refresh) exactly:
+    /// changed leaves take their new bids, and every operator in a
+    /// changed leaf's cone drops its cache and rewinds its cursors;
+    /// everything else keeps its cached prefix. `&mut self` serializes
+    /// refresh against pulls, so the per-node mutexes are bypassed via
+    /// `get_mut`.
+    pub fn refresh(&mut self, changed: &[(usize, Money)], cones: &[Vec<u32>]) -> RefreshStats {
+        self.dirty_epoch = self.dirty_epoch.wrapping_add(1);
+        if self.dirty_epoch == 0 {
+            self.dirty_stamps.fill(0);
+            self.dirty_epoch = 1;
+        }
+        let epoch = self.dirty_epoch;
+        let mut invalidated = 0u64;
+        let mut dropped = 0u64;
+        for &(leaf, bid) in changed {
+            match &mut self.nodes[leaf].get_mut().slot {
+                Slot::Leaf { item } => item.bid = bid,
+                Slot::Merge { .. } => panic!("refresh target {leaf} is not a leaf"),
+            }
+            if self.dirty_stamps[leaf] != epoch {
+                self.dirty_stamps[leaf] = epoch;
+                invalidated += 1;
+                dropped += reset_node(self.nodes[leaf].get_mut());
+            }
+            for &cone_node in &cones[leaf] {
+                let node = cone_node as usize;
+                if self.dirty_stamps[node] != epoch {
+                    self.dirty_stamps[node] = epoch;
+                    invalidated += 1;
+                    dropped += reset_node(self.nodes[node].get_mut());
+                }
+            }
+        }
+        self.cached_items.fetch_sub(dropped, Ordering::Relaxed);
+        RefreshStats {
+            nodes_invalidated: invalidated,
+            cache_items_reused: self.cached_items(),
+        }
     }
 
     /// The `index`-th item of the stream under `node` (`&self`: safe to
@@ -111,6 +182,7 @@ impl ConcurrentMergeNetwork {
                 Slot::Leaf { item } => {
                     if guard.emitted.is_empty() {
                         guard.emitted.push(item);
+                        self.cached_items.fetch_add(1, Ordering::Relaxed);
                     } else {
                         guard.exhausted = true;
                     }
@@ -135,8 +207,7 @@ impl ConcurrentMergeNetwork {
                             continue;
                         }
                     };
-                    self.invocations
-                        .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    self.invocations.fetch_add(1, Ordering::Relaxed);
                     let item = if take_left { l.unwrap() } else { r.unwrap() };
                     if let Slot::Merge {
                         left_pos,
@@ -151,6 +222,7 @@ impl ConcurrentMergeNetwork {
                         }
                     }
                     guard.emitted.push(item);
+                    self.cached_items.fetch_add(1, Ordering::Relaxed);
                 }
             }
         }
@@ -158,14 +230,34 @@ impl ConcurrentMergeNetwork {
     }
 }
 
+/// Drops a node's cache and rewinds its cursors; returns how many cached
+/// items were dropped.
+fn reset_node(node: &mut Node) -> u64 {
+    let dropped = node.emitted.len() as u64;
+    node.emitted.clear();
+    node.exhausted = false;
+    if let Slot::Merge {
+        left_pos,
+        right_pos,
+        ..
+    } = &mut node.slot
+    {
+        *left_pos = 0;
+        *right_pos = 0;
+    }
+    dropped
+}
+
 /// Resolves every occurring phrase's TA concurrently over one shared
 /// network, with `threads` workers (crossbeam scoped threads).
 ///
 /// `jobs[j] = (root, c_order, k)`; returns one
-/// [`TaOutcome`](super::ta::TaOutcome) per job, in job order.
+/// [`TaOutcome`](super::ta::TaOutcome) per job, in job order. Allocates a
+/// fresh scratch pool; hot paths should keep one alive across rounds and
+/// call [`resolve_parallel_with`].
 pub fn resolve_parallel<BF, FF>(
     net: &ConcurrentMergeNetwork,
-    jobs: &[TaJob],
+    jobs: &[TaJob<'_>],
     bid_of: BF,
     factor_of: FF,
     threads: usize,
@@ -174,35 +266,74 @@ where
     BF: Fn(usize, AdvertiserId) -> Money + Sync,
     FF: Fn(usize, AdvertiserId) -> f64 + Sync,
 {
+    let pool: Vec<Mutex<TaScratch>> = (0..threads.max(1))
+        .map(|_| Mutex::new(TaScratch::new()))
+        .collect();
+    resolve_parallel_with(net, jobs, bid_of, factor_of, threads, &pool)
+}
+
+/// [`resolve_parallel`] with a caller-held scratch pool (one
+/// [`TaScratch`] per worker, `pool.len() >= threads`), so steady-state
+/// rounds reuse the seen-sets and top-k working lists instead of
+/// reallocating them. Worker `w` owns `pool[w]` for the whole call;
+/// results are bit-identical for any thread count.
+pub fn resolve_parallel_with<BF, FF>(
+    net: &ConcurrentMergeNetwork,
+    jobs: &[TaJob<'_>],
+    bid_of: BF,
+    factor_of: FF,
+    threads: usize,
+    pool: &[Mutex<TaScratch>],
+) -> Vec<super::ta::TaOutcome>
+where
+    BF: Fn(usize, AdvertiserId) -> Money + Sync,
+    FF: Fn(usize, AdvertiserId) -> f64 + Sync,
+{
     let threads = threads.max(1);
-    let next = std::sync::atomic::AtomicUsize::new(0);
+    assert!(pool.len() >= threads, "one scratch per worker");
+    let next = AtomicUsize::new(0);
     let results: Vec<Mutex<Option<super::ta::TaOutcome>>> =
         jobs.iter().map(|_| Mutex::new(None)).collect();
 
     crossbeam::thread::scope(|scope| {
-        for _ in 0..threads.min(jobs.len().max(1)) {
-            scope.spawn(|_| loop {
-                let j = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if j >= jobs.len() {
-                    break;
-                }
-                let (root, ref c_order, k) = jobs[j];
-                let outcome = if root == usize::MAX {
-                    super::ta::TaOutcome {
-                        top_k: Vec::new(),
-                        stages: 0,
-                        stopped_early: false,
+        for slot in pool.iter().take(threads.min(jobs.len().max(1))) {
+            let next = &next;
+            let results = &results;
+            let bid_of = &bid_of;
+            let factor_of = &factor_of;
+            scope.spawn(move |_| {
+                let mut scratch = slot.lock();
+                loop {
+                    let j = next.fetch_add(1, Ordering::Relaxed);
+                    if j >= jobs.len() {
+                        break;
                     }
-                } else {
-                    super::ta::threshold_top_k_on(
-                        |i| net.get(root, i),
-                        c_order,
-                        |a| bid_of(j, a),
-                        |a| factor_of(j, a),
-                        k,
-                    )
-                };
-                *results[j].lock() = Some(outcome);
+                    let (root, c_order, k) = jobs[j];
+                    let outcome = if root == usize::MAX {
+                        super::ta::TaOutcome {
+                            top_k: Vec::new(),
+                            stages: 0,
+                            stopped_early: false,
+                        }
+                    } else {
+                        let mut top_k = Vec::new();
+                        let (stages, stopped_early) = super::ta::threshold_top_k_into(
+                            |i| net.get(root, i),
+                            c_order,
+                            |a| bid_of(j, a),
+                            |a| factor_of(j, a),
+                            k,
+                            &mut scratch,
+                            &mut top_k,
+                        );
+                        super::ta::TaOutcome {
+                            top_k,
+                            stages,
+                            stopped_early,
+                        }
+                    };
+                    *results[j].lock() = Some(outcome);
+                }
             });
         }
     })
@@ -270,7 +401,7 @@ mod tests {
 
         // Concurrent run over 4 threads.
         let (net, roots) = ConcurrentMergeNetwork::from_plan(&plan, &bids);
-        let jobs: Vec<TaJob> = (0..w.phrase_count())
+        let c_orders: Vec<Vec<(AdvertiserId, f64)>> = (0..w.phrase_count())
             .map(|q| {
                 let phrase = ssa_auction::ids::PhraseId::from_index(q);
                 let mut c_order: Vec<(AdvertiserId, f64)> = w.interest[q]
@@ -278,8 +409,11 @@ mod tests {
                     .map(|&a| (a, w.phrase_factor(phrase, a).unwrap()))
                     .collect();
                 c_order.sort_by(|x, y| y.1.total_cmp(&x.1).then(x.0.cmp(&y.0)));
-                (roots[q], c_order, k)
+                c_order
             })
+            .collect();
+        let jobs: Vec<TaJob<'_>> = (0..w.phrase_count())
+            .map(|q| (roots[q], c_orders[q].as_slice(), k))
             .collect();
         let w_ref = &w;
         let bids_ref = &bids;
@@ -353,8 +487,66 @@ mod tests {
         let bids = vec![Money::from_units(1); 2];
         let (net, roots) = ConcurrentMergeNetwork::from_plan(&plan, &bids);
         assert_eq!(roots[0], usize::MAX);
-        let jobs = vec![(roots[0], Vec::new(), 3)];
+        let empty: Vec<(AdvertiserId, f64)> = Vec::new();
+        let jobs = vec![(roots[0], empty.as_slice(), 3)];
         let out = resolve_parallel(&net, &jobs, |_, _| Money::ZERO, |_, _| 0.0, 2);
         assert!(out[0].top_k.is_empty());
+    }
+
+    #[test]
+    fn refresh_matches_fresh_from_plan() {
+        let w = workload();
+        let n = w.advertiser_count();
+        let interest: Vec<BitSet> = w
+            .interest
+            .iter()
+            .map(|ids| BitSet::from_elements(n, ids.iter().map(|a| a.index())))
+            .collect();
+        let plan = build_shared_sort_plan_bucketed(n, &interest, &w.search_rates());
+        let cones = plan.leaf_cones();
+        let mut bids: Vec<Money> = w.advertisers.iter().map(|a| a.bid).collect();
+
+        let (mut net, roots) = ConcurrentMergeNetwork::from_plan(&plan, &bids);
+        let drain_all = |net: &ConcurrentMergeNetwork| {
+            let mut streams = Vec::new();
+            for &root in roots.iter().filter(|&&r| r != usize::MAX) {
+                let mut s = Vec::new();
+                let mut i = 0;
+                while let Some(item) = net.get(root, i) {
+                    s.push(item);
+                    i += 1;
+                }
+                streams.push(s);
+            }
+            streams
+        };
+        drain_all(&net);
+
+        // Perturb ~10% of the bids, refresh, and compare every phrase
+        // stream and every node cache against a fresh instantiation.
+        let mut changed = Vec::new();
+        for (i, bid) in bids.iter_mut().enumerate() {
+            if i % 10 == 3 {
+                *bid = Money::from_micros(bid.micros() / 2 + i as u64);
+                changed.push((i, *bid));
+            }
+        }
+        let stats = net.refresh(&changed, &cones);
+        assert!(stats.nodes_invalidated > 0);
+        assert!(stats.cache_items_reused > 0);
+        let refreshed = drain_all(&net);
+
+        let (fresh, _) = ConcurrentMergeNetwork::from_plan(&plan, &bids);
+        let fresh_streams = drain_all(&fresh);
+        assert_eq!(refreshed, fresh_streams);
+        // Persistent caches are prefix-supersets of fresh ones.
+        for node in 0..plan.nodes.len() {
+            let f = fresh.cached(node);
+            let p = net.cached(node);
+            assert!(
+                p.len() >= f.len() && p[..f.len()] == f[..],
+                "node {node}: fresh cache is not a prefix of the persistent one"
+            );
+        }
     }
 }

@@ -74,6 +74,17 @@ struct NetNode {
     exhausted: bool,
 }
 
+/// What one [`MergeNetwork::refresh`] (or its concurrent twin) did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RefreshStats {
+    /// Nodes whose cache/cursors were reset: the changed leaves plus
+    /// every operator in their dirty cones (deduplicated).
+    pub nodes_invalidated: u64,
+    /// Items still cached across the whole network *after* invalidation —
+    /// merged prefixes the next round's TA re-consumes for free.
+    pub cache_items_reused: u64,
+}
+
 /// A shared, pull-based merge-sort network.
 ///
 /// Nodes are created bottom-up ([`MergeNetwork::leaf`],
@@ -81,12 +92,25 @@ struct NetNode {
 /// largest item under a node, doing no more comparisons than needed and
 /// caching everything for other consumers ("we don't do any extra work
 /// beyond the stage where the threshold condition is met").
+///
+/// The network is also *persistent across rounds*: when only some leaf
+/// bids change, [`MergeNetwork::refresh`] invalidates just the dirty
+/// cones above the changed leaves and keeps every other operator's cached
+/// merged prefix, so the next round's pulls are O(dirty) instead of a
+/// full rebuild.
 #[derive(Debug, Clone, Default)]
 pub struct MergeNetwork {
     nodes: Vec<NetNode>,
     /// Total operator invocations (one per item sent upstream by a merge
     /// operator) — the cost the Section III-B model bounds by `|I_v|`.
     invocations: u64,
+    /// Total items currently cached across all nodes (Σ emitted.len()),
+    /// maintained incrementally so `refresh` can report reuse in O(dirty).
+    cached_items: u64,
+    /// Refresh-scoped visited stamps (one per node, epoch-compared) so
+    /// overlapping dirty cones are deduplicated without clearing a bitmap.
+    dirty_stamps: Vec<u32>,
+    dirty_epoch: u32,
 }
 
 impl MergeNetwork {
@@ -105,6 +129,7 @@ impl MergeNetwork {
             emitted: Vec::new(),
             exhausted: false,
         });
+        self.dirty_stamps.push(0);
         idx
     }
 
@@ -129,6 +154,7 @@ impl MergeNetwork {
             emitted: Vec::new(),
             exhausted: false,
         });
+        self.dirty_stamps.push(0);
         idx
     }
 
@@ -147,6 +173,90 @@ impl MergeNetwork {
         self.invocations
     }
 
+    /// The cached (already merged) prefix of `node`'s stream, without
+    /// pulling anything new. Exposed so differential harnesses can assert
+    /// a persistent network's caches against a fresh instantiation.
+    pub fn cached(&self, node: usize) -> &[SortItem] {
+        &self.nodes[node].emitted
+    }
+
+    /// Total items currently cached across all nodes.
+    pub fn cached_items(&self) -> u64 {
+        self.cached_items
+    }
+
+    /// Cross-round invalidation: applies the changed leaf bids and resets
+    /// only the *dirty cones* — each changed leaf plus every operator with
+    /// that leaf somewhere below it. Everything outside the cones keeps
+    /// its cached merged prefix, cursors, and exhausted flag, so the next
+    /// round's pulls re-consume those prefixes for free.
+    ///
+    /// `changed` lists `(leaf node id, new bid)` pairs; `cones[leaf]` must
+    /// hold the ids of every merge operator whose advertiser set contains
+    /// `leaf` (see `SortPlan::leaf_cones` — plan node ids equal network
+    /// node ids under `SortPlan::instantiate`). Whole-cone invalidation is
+    /// required for correctness: a clean parent's cursors index into its
+    /// children's caches, which a dirty child is about to rewrite.
+    ///
+    /// Streams observed after a refresh are bit-identical to a fresh
+    /// instantiation with the updated bids.
+    pub fn refresh(&mut self, changed: &[(usize, Money)], cones: &[Vec<u32>]) -> RefreshStats {
+        self.dirty_epoch = self.dirty_epoch.wrapping_add(1);
+        if self.dirty_epoch == 0 {
+            self.dirty_stamps.fill(0);
+            self.dirty_epoch = 1;
+        }
+        let mut invalidated = 0u64;
+        for &(leaf, bid) in changed {
+            match &mut self.nodes[leaf].kind {
+                NetNodeKind::Leaf { item } => item.bid = bid,
+                NetNodeKind::Merge { .. } => panic!("refresh target {leaf} is not a leaf"),
+            }
+            if self.mark_dirty(leaf) {
+                invalidated += 1;
+                self.reset_node(leaf);
+            }
+            for &cone_node in &cones[leaf] {
+                let node = cone_node as usize;
+                if self.mark_dirty(node) {
+                    invalidated += 1;
+                    self.reset_node(node);
+                }
+            }
+        }
+        RefreshStats {
+            nodes_invalidated: invalidated,
+            cache_items_reused: self.cached_items,
+        }
+    }
+
+    /// Marks `node` visited for the current refresh; true on first visit.
+    fn mark_dirty(&mut self, node: usize) -> bool {
+        if self.dirty_stamps[node] == self.dirty_epoch {
+            false
+        } else {
+            self.dirty_stamps[node] = self.dirty_epoch;
+            true
+        }
+    }
+
+    /// Drops `node`'s cache and rewinds its cursors to the initial state.
+    fn reset_node(&mut self, node: usize) {
+        let n = &mut self.nodes[node];
+        self.cached_items -= n.emitted.len() as u64;
+        n.emitted.clear();
+        n.exhausted = false;
+        if let NetNodeKind::Merge {
+            left_pos,
+            right_pos,
+            ..
+        } = &mut n.kind
+        {
+            *left_pos = 0;
+            *right_pos = 0;
+        }
+    }
+
     /// The `index`-th item (0 = largest) of the stream under `node`, or
     /// `None` if the stream has fewer items. Cached results are returned
     /// without recomputation.
@@ -163,6 +273,7 @@ impl MergeNetwork {
             NetNodeKind::Leaf { item } => {
                 if self.nodes[node].emitted.is_empty() {
                     self.nodes[node].emitted.push(item);
+                    self.cached_items += 1;
                 } else {
                     self.nodes[node].exhausted = true;
                 }
@@ -201,6 +312,7 @@ impl MergeNetwork {
                     }
                 }
                 self.nodes[node].emitted.push(item);
+                self.cached_items += 1;
             }
         }
     }
@@ -335,7 +447,140 @@ mod tests {
         assert!(net.invocations() <= 24);
     }
 
+    /// Ancestor cones computed by brute force from the network structure
+    /// (the planner derives the same thing from plan advertiser sets).
+    fn brute_force_cones(net: &MergeNetwork, leaves: usize) -> Vec<Vec<u32>> {
+        let mut below: Vec<Vec<usize>> = Vec::with_capacity(net.nodes.len());
+        for (idx, node) in net.nodes.iter().enumerate() {
+            match node.kind {
+                NetNodeKind::Leaf { .. } => below.push(vec![idx]),
+                NetNodeKind::Merge { left, right, .. } => {
+                    let mut b = below[left].clone();
+                    b.extend_from_slice(&below[right]);
+                    below.push(b);
+                }
+            }
+        }
+        (0..leaves)
+            .map(|leaf| {
+                net.nodes
+                    .iter()
+                    .enumerate()
+                    .filter(|(idx, node)| {
+                        matches!(node.kind, NetNodeKind::Merge { .. })
+                            && below[*idx].contains(&leaf)
+                    })
+                    .map(|(idx, _)| idx as u32)
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn refresh_matches_fresh_rebuild() {
+        let bids = [5u64, 9, 1, 7, 3, 8, 2, 6];
+        let (mut net, root) = net_over(&bids);
+        let cones = brute_force_cones(&net, bids.len());
+        net.drain(root);
+
+        let mut new_bids = bids;
+        new_bids[2] = 10;
+        new_bids[5] = 0;
+        let changed = vec![
+            (2usize, Money::from_micros(10)),
+            (5usize, Money::from_micros(0)),
+        ];
+        net.refresh(&changed, &cones);
+        let inv_before = net.invocations();
+        let refreshed = net.drain(root);
+        let refresh_cost = net.invocations() - inv_before;
+
+        let (mut fresh, fresh_root) = net_over(&new_bids);
+        let fresh_items = fresh.drain(fresh_root);
+        let fresh_cost = fresh.invocations();
+        assert_eq!(refreshed, fresh_items);
+        assert!(
+            refresh_cost < fresh_cost,
+            "refresh re-merged {refresh_cost} ≥ fresh {fresh_cost}: no reuse"
+        );
+    }
+
+    #[test]
+    fn refresh_invalidates_exactly_the_cone() {
+        // Balanced tree over 8 leaves: one changed leaf dirties itself
+        // plus its 3 ancestors (log₂ 8 levels).
+        let bids = [3u64, 1, 4, 1, 5, 9, 2, 6];
+        let (mut net, root) = net_over(&bids);
+        let cones = brute_force_cones(&net, bids.len());
+        net.drain(root);
+        let cached_before = net.cached_items();
+        let stats = net.refresh(&[(0, Money::from_micros(100))], &cones);
+        assert_eq!(stats.nodes_invalidated, 4, "leaf + 3 ancestors");
+        // The leaf and each ancestor had fully drained caches of sizes
+        // 1, 2, 4, 8 → 15 items dropped, the rest reused.
+        assert_eq!(stats.cache_items_reused, cached_before - 15);
+        assert_eq!(net.cached_items(), stats.cache_items_reused);
+    }
+
+    #[test]
+    fn refresh_with_no_changes_reuses_everything() {
+        let (mut net, root) = net_over(&[4, 2, 6, 8]);
+        let cones = brute_force_cones(&net, 4);
+        let items = net.drain(root);
+        let inv = net.invocations();
+        let stats = net.refresh(&[], &cones);
+        assert_eq!(stats.nodes_invalidated, 0);
+        assert_eq!(stats.cache_items_reused, net.cached_items());
+        assert_eq!(net.drain(root), items);
+        assert_eq!(
+            net.invocations(),
+            inv,
+            "no-op refresh must re-merge nothing"
+        );
+    }
+
+    #[test]
+    fn repeated_refreshes_stay_consistent() {
+        let mut bids = [7u64, 7, 7, 7, 7];
+        let (mut net, root) = net_over(&bids);
+        let cones = brute_force_cones(&net, bids.len());
+        for round in 0..10u64 {
+            let leaf = (round % bids.len() as u64) as usize;
+            bids[leaf] = round * 3 % 11;
+            net.refresh(&[(leaf, Money::from_micros(bids[leaf]))], &cones);
+            let got = net.drain(root);
+            let (mut fresh, fresh_root) = net_over(&bids);
+            assert_eq!(got, fresh.drain(fresh_root), "round {round}");
+        }
+    }
+
     proptest! {
+        /// Refreshing any leaf subset yields the same streams as a fresh
+        /// network over the updated bids, for random tree shapes.
+        #[test]
+        fn refresh_is_bit_identical_to_fresh(
+            bids in proptest::collection::vec(0u64..1000, 2..24),
+            updates in proptest::collection::vec((0usize..24, 0u64..1000), 0..8),
+            partial_drain in 0usize..24,
+        ) {
+            let (mut net, root) = net_over(&bids);
+            let cones = brute_force_cones(&net, bids.len());
+            // Pull only part of the stream so caches are at mixed depths.
+            for i in 0..partial_drain.min(bids.len()) {
+                net.get(root, i);
+            }
+            let mut new_bids = bids.clone();
+            let mut changed = Vec::new();
+            for (leaf, bid) in updates {
+                let leaf = leaf % bids.len();
+                new_bids[leaf] = bid;
+                changed.push((leaf, Money::from_micros(bid)));
+            }
+            net.refresh(&changed, &cones);
+            let (mut fresh, fresh_root) = net_over(&new_bids);
+            prop_assert_eq!(net.drain(root), fresh.drain(fresh_root));
+        }
+
         /// The network agrees with a plain sort for any bids and any
         /// random (not necessarily balanced) tree shape.
         #[test]

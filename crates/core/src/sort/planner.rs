@@ -115,6 +115,27 @@ impl SortPlan {
             .collect();
         (net, roots)
     }
+
+    /// Per leaf (advertiser index), the ids of every internal node whose
+    /// advertiser set contains it — the leaf's *cone*, i.e. exactly the
+    /// operators a bid change at that leaf invalidates. Computed once per
+    /// plan (O(Σ_v |I_v|), the same quantity the Section III-B cost model
+    /// bounds) and handed to `MergeNetwork::refresh`, which is then
+    /// O(dirty cones) instead of O(network).
+    ///
+    /// Node ids double as network node ids: [`SortPlan::instantiate`]
+    /// pushes one network node per plan node in order.
+    pub fn leaf_cones(&self) -> Vec<Vec<u32>> {
+        let mut cones: Vec<Vec<u32>> = vec![Vec::new(); self.advertiser_count];
+        for (idx, node) in self.nodes.iter().enumerate() {
+            if node.children.is_some() {
+                for leaf in node.advertisers.iter() {
+                    cones[leaf].push(idx as u32);
+                }
+            }
+        }
+        cones
+    }
 }
 
 /// Total operator cost of a balanced merge-sort over `s` leaves:

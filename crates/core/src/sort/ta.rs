@@ -13,8 +13,6 @@
 //! is precisely why the shared network only needs to supply a *prefix* of
 //! each phrase's sorted order.
 
-use std::collections::HashSet;
-
 use ssa_auction::ids::AdvertiserId;
 use ssa_auction::money::Money;
 use ssa_auction::score::Score;
@@ -32,6 +30,56 @@ pub struct TaOutcome {
     pub stages: usize,
     /// True iff the threshold fired before a list was exhausted.
     pub stopped_early: bool,
+}
+
+/// Reusable per-driver TA scratch: the seen-set and the top-k working
+/// list, both retained across runs so steady-state TA allocates nothing.
+///
+/// The seen-set is a dense epoch-stamped array indexed by advertiser:
+/// membership (both "already scored" and, since every scored advertiser
+/// is offered to the top-k list exactly once, "already considered for the
+/// top k") is one O(1) stamp compare — no hashing, no per-run clearing,
+/// no `O(stages)` rescans. The array grows to the largest advertiser
+/// index ever seen and is then reused verbatim.
+#[derive(Debug, Default)]
+pub struct TaScratch {
+    /// `stamps[i] == epoch` ⇔ advertiser `i` was seen this run.
+    stamps: Vec<u32>,
+    epoch: u32,
+    /// The working top-k list; storage retained across runs.
+    top: KList<ScoredAd>,
+}
+
+impl TaScratch {
+    /// An empty scratch; sizes itself lazily on first use.
+    pub fn new() -> Self {
+        TaScratch::default()
+    }
+
+    /// Starts a new run: bumps the epoch (implicitly clearing the
+    /// seen-set in O(1)) and resets the top-k list to bound `k`.
+    fn begin(&mut self, k: usize) {
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            self.stamps.fill(0);
+            self.epoch = 1;
+        }
+        self.top.reset(k);
+    }
+
+    /// Marks `adv` seen; true on first sighting this run.
+    fn see(&mut self, adv: AdvertiserId) -> bool {
+        let idx = adv.index();
+        if idx >= self.stamps.len() {
+            self.stamps.resize(idx + 1, 0);
+        }
+        if self.stamps[idx] == self.epoch {
+            false
+        } else {
+            self.stamps[idx] = self.epoch;
+            true
+        }
+    }
 }
 
 /// Runs TA for one phrase.
@@ -63,26 +111,57 @@ pub fn threshold_top_k(
 /// [`threshold_top_k`] over an arbitrary descending bid stream: `stream(i)`
 /// returns the `i`-th largest bid item, or `None` past the end. This is
 /// the entry point the concurrent network uses (its streams are `&self`
-/// closures over per-node locks).
+/// closures over per-node locks). Allocates its own scratch; hot paths
+/// should hold a [`TaScratch`] and call [`threshold_top_k_into`].
 pub fn threshold_top_k_on(
-    mut stream: impl FnMut(usize) -> Option<super::SortItem>,
+    stream: impl FnMut(usize) -> Option<super::SortItem>,
     c_order: &[(AdvertiserId, f64)],
     bid_of: impl Fn(AdvertiserId) -> Money,
     factor_of: impl Fn(AdvertiserId) -> f64,
     k: usize,
 ) -> TaOutcome {
-    let mut top: KList<ScoredAd> = KList::empty(k);
-    let mut seen: HashSet<AdvertiserId> = HashSet::new();
+    let mut scratch = TaScratch::new();
+    let mut top_k = Vec::new();
+    let (stages, stopped_early) = threshold_top_k_into(
+        stream,
+        c_order,
+        bid_of,
+        factor_of,
+        k,
+        &mut scratch,
+        &mut top_k,
+    );
+    TaOutcome {
+        top_k,
+        stages,
+        stopped_early,
+    }
+}
+
+/// The allocation-free TA core: like [`threshold_top_k_on`], but the
+/// seen-set and working top-k live in a caller-held [`TaScratch`] and the
+/// winners are written into `out` (cleared first, capacity retained).
+/// Once `scratch` and `out` have warmed up to the phrase sizes in play,
+/// repeated runs perform zero heap allocations.
+///
+/// Returns `(stages, stopped_early)`.
+#[allow(clippy::too_many_arguments)] // the TA signature plus two scratch outputs
+pub fn threshold_top_k_into(
+    mut stream: impl FnMut(usize) -> Option<super::SortItem>,
+    c_order: &[(AdvertiserId, f64)],
+    bid_of: impl Fn(AdvertiserId) -> Money,
+    factor_of: impl Fn(AdvertiserId) -> f64,
+    k: usize,
+    scratch: &mut TaScratch,
+    out: &mut Vec<(AdvertiserId, Score)>,
+) -> (usize, bool) {
+    out.clear();
+    if k == 0 {
+        return (0, false);
+    }
+    scratch.begin(k);
     let mut stages = 0usize;
     let mut stopped_early = false;
-
-    if k == 0 {
-        return TaOutcome {
-            top_k: Vec::new(),
-            stages: 0,
-            stopped_early: false,
-        };
-    }
 
     loop {
         let bid_item = stream(stages);
@@ -97,9 +176,12 @@ pub fn threshold_top_k_on(
         let (c_adv, _c_val) = c_item.expect("checked above");
 
         for adv in [bid_item.advertiser, c_adv] {
-            if seen.insert(adv) {
+            // One stamp compare covers both "already scored" and "already
+            // offered to the top-k list" — each advertiser is scored and
+            // inserted at most once per run.
+            if scratch.see(adv) {
                 let score = Score::expected_value(bid_of(adv), factor_of(adv));
-                top.insert(ScoredAd::new(adv, score));
+                scratch.top.insert(ScoredAd::new(adv, score));
             }
         }
 
@@ -110,7 +192,7 @@ pub fn threshold_top_k_on(
         // missed. (At `kth = τ` the scan continues and exhausts a list,
         // which resolves ties exactly.)
         let threshold = Score::expected_value(bid_item.bid, factor_of_pos(c_order, stages - 1));
-        if let Some(kth) = top.kth() {
+        if let Some(kth) = scratch.top.kth() {
             if kth.score > threshold {
                 stopped_early = true;
                 break;
@@ -118,15 +200,8 @@ pub fn threshold_top_k_on(
         }
     }
 
-    TaOutcome {
-        top_k: top
-            .items()
-            .iter()
-            .map(|s| (s.advertiser, s.score))
-            .collect(),
-        stages,
-        stopped_early,
-    }
+    out.extend(scratch.top.items().iter().map(|s| (s.advertiser, s.score)));
+    (stages, stopped_early)
 }
 
 fn factor_of_pos(c_order: &[(AdvertiserId, f64)], pos: usize) -> f64 {
@@ -274,6 +349,52 @@ mod tests {
         );
         assert!(out.top_k.is_empty());
         assert_eq!(out.stages, 0);
+    }
+
+    #[test]
+    fn all_advertisers_tie_on_bid() {
+        // Every advertiser has the same bid, so the bid stream is ordered
+        // purely by id and the threshold never strictly exceeds the k-th
+        // score until a list runs dry — the strict-`>` stop rule must keep
+        // scanning and still return exactly the naive top-k (ranked by
+        // factor, ties by id).
+        let n = 9;
+        let bids = vec![250u64; n];
+        let factors: Vec<f64> = (0..n).map(|i| [0.8, 1.3, 0.8, 2.0, 1.3][i % 5]).collect();
+        let (outcome, naive) = run(&bids, &factors, 3);
+        assert_eq!(outcome.top_k, naive);
+        // And with the factors tied too: everything ties on score, winners
+        // are the lowest ids.
+        let flat = vec![1.0; n];
+        let (outcome, naive) = run(&bids, &flat, 4);
+        assert_eq!(outcome.top_k, naive);
+        let ids: Vec<u32> = outcome.top_k.iter().map(|(a, _)| a.0).collect();
+        assert_eq!(ids, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn scratch_reuse_matches_fresh_runs() {
+        // The same TaScratch driven across phrases of different sizes and
+        // k's must behave exactly like a fresh scratch per run.
+        let mut scratch = TaScratch::new();
+        let mut out = Vec::new();
+        for (n, k) in [(7usize, 2usize), (24, 5), (3, 4), (16, 1)] {
+            let bids: Vec<u64> = (0..n).map(|i| (i as u64 * 37) % 19 * 10).collect();
+            let factors: Vec<f64> = (0..n).map(|i| 0.2 + (i as f64 * 0.7) % 1.9).collect();
+            let (mut net, root, c_order) = single_phrase(&bids, &factors);
+            let (stages, stopped) = threshold_top_k_into(
+                |i| net.get(root, i),
+                &c_order,
+                |a| Money::from_micros(bids[a.index()]),
+                |a| factors[a.index()],
+                k,
+                &mut scratch,
+                &mut out,
+            );
+            let (fresh, _) = run(&bids, &factors, k);
+            assert_eq!(out, fresh.top_k, "n={n} k={k}");
+            assert_eq!((stages, stopped), (fresh.stages, fresh.stopped_early));
+        }
     }
 
     #[test]

@@ -56,6 +56,17 @@ pub struct KList<T> {
     items: Vec<T>,
 }
 
+impl<T> Default for KList<T> {
+    /// The empty list with `k = 0`; scratch holders
+    /// [`reset`](KList::reset) it before use.
+    fn default() -> Self {
+        KList {
+            k: 0,
+            items: Vec::new(),
+        }
+    }
+}
+
 impl<T: Ord + Clone> KList<T> {
     /// The empty k-list (the operator's identity element).
     pub fn empty(k: usize) -> Self {
@@ -112,6 +123,17 @@ impl<T: Ord + Clone> KList<T> {
         } else {
             None
         }
+    }
+
+    /// Reinitializes the list in place for reuse as scratch: clears the
+    /// elements, adopts a (possibly new) bound `k`, and pre-reserves
+    /// `k + 1` slots so a subsequent run of up to `k` inserts (each of
+    /// which may momentarily hold `k + 1` elements before truncation)
+    /// never reallocates. The backing storage is retained across calls.
+    pub fn reset(&mut self, k: usize) {
+        self.k = k;
+        self.items.clear();
+        self.items.reserve(k.saturating_add(1));
     }
 
     /// The top-k merge: top k of the union of the two lists, duplicates

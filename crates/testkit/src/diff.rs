@@ -14,6 +14,7 @@ use rand::SeedableRng;
 use ssa_auction::ids::{AdvertiserId, PhraseId};
 use ssa_auction::money::Money;
 use ssa_auction::score::Score;
+use ssa_auction::winner::assignment_from_ranking;
 use ssa_core::algebra::expr::Expr;
 use ssa_core::algebra::ops::{check_axioms, AggregateOp, BloomUnionOp};
 use ssa_core::algebra::AxiomSet;
@@ -97,6 +98,11 @@ pub const WORKLOAD_CHECKS: &[(&str, Profile, WorkloadCheck)] = &[
     ),
     ("shared-sort", Profile::NonSeparable, check_shared_sort_with),
     ("wd-threads", Profile::TightBudgets, check_wd_threads_with),
+    (
+        "sort-persistent",
+        Profile::TightBudgets,
+        check_sort_persistent_with,
+    ),
 ];
 
 /// A seed-only invariant check (no workload involved).
@@ -920,7 +926,7 @@ pub fn check_shared_sort_with(cfg: &WorkloadConfig, seed: u64) -> Result<(), Div
         // The concurrent network must agree item for item.
         let (cnet, croots) = ConcurrentMergeNetwork::from_plan(plan, &bids);
         let jobs: Vec<TaJob> = (0..w.phrase_count())
-            .map(|q| (croots[q], c_orders[q].clone(), k))
+            .map(|q| (croots[q], c_orders[q].as_slice(), k))
             .collect();
         let outcomes = resolve_parallel(
             &cnet,
@@ -948,6 +954,130 @@ pub fn check_shared_sort_with(cfg: &WorkloadConfig, seed: u64) -> Result<(), Div
 /// Seed-only wrapper for [`check_shared_sort_with`].
 pub fn check_shared_sort(seed: u64) -> Result<(), Divergence> {
     check_shared_sort_with(&gen::workload_config(seed, Profile::NonSeparable), seed)
+}
+
+/// Differential check of the *persistent* shared-sort network: an engine
+/// running `SharedSort` for several rounds — its merge network built once
+/// and refreshed in place via dirty-cone invalidation — must be
+/// bit-identical to evaluating every round on a freshly instantiated
+/// network. Per round: same slot assignments, same total TA sorted-access
+/// stages, and every fresh node cache a prefix of the persistent node
+/// cache (the persistent network may retain *deeper* merged prefixes
+/// from earlier rounds, but never different ones). Exercised under both
+/// throttling policies (tight budgets make effective bids actually churn
+/// between rounds) and at 1 and 4 worker threads (sequential and
+/// concurrent network variants).
+pub fn check_sort_persistent_with(cfg: &WorkloadConfig, seed: u64) -> Result<(), Divergence> {
+    const CHECK: &str = "sort-persistent";
+    let w = Workload::generate(cfg);
+    let n = w.advertiser_count();
+    let interest = gen::interest_sets(&w);
+    let rates = w.search_rates();
+    // The same plan the engine compiles for SharedSort; instantiate()
+    // numbers network nodes identically to the plan, so node `v` of a
+    // fresh network and entry `v` of `sort_cached_streams()` are the same
+    // operator.
+    let plan = build_shared_sort_plan_bucketed(n, &interest, &rates);
+    let c_orders: Vec<Vec<(AdvertiserId, f64)>> = (0..w.phrase_count())
+        .map(|q| {
+            let phrase = PhraseId::from_index(q);
+            let mut order: Vec<(AdvertiserId, f64)> = w.interest[q]
+                .iter()
+                .map(|&a| (a, w.phrase_factor(phrase, a).expect("interested")))
+                .collect();
+            order.sort_by(|x, y| y.1.total_cmp(&x.1).then(x.0.cmp(&y.0)));
+            order
+        })
+        .collect();
+
+    for policy in [BudgetPolicy::ThrottleExact, BudgetPolicy::ThrottleBounds] {
+        for threads in [1usize, 4] {
+            let mut ec = engine_config(SharingStrategy::SharedSort, policy, threads, seed);
+            ec.wd_threads = threads;
+            let k = ec.slot_factors.len();
+            let mut engine = Engine::new(w.clone(), ec);
+            let label = format!("{policy:?}/threads {threads}");
+            for round in 0..ROUNDS {
+                let stages_before = engine.metrics().ta_stages;
+                let outcomes = engine.run_round();
+                let persistent_stages = engine.metrics().ta_stages - stages_before;
+                let bids = engine.last_effective_bids().to_vec();
+
+                // Fresh-per-round reference: instantiate from scratch on
+                // this round's effective bids and resolve the same
+                // occurring phrases.
+                let (mut fresh, roots) = plan.instantiate(&bids);
+                let mut fresh_stages = 0u64;
+                for o in &outcomes {
+                    let q = o.phrase.index();
+                    let ranked = if roots[q] == usize::MAX {
+                        Vec::new()
+                    } else {
+                        let outcome = threshold_top_k(
+                            &mut fresh,
+                            roots[q],
+                            &c_orders[q],
+                            |a| bids[a.index()],
+                            |a| w.phrase_factor(o.phrase, a).unwrap_or(0.0),
+                            k,
+                        );
+                        fresh_stages += outcome.stages as u64;
+                        outcome.top_k
+                    };
+                    let expected = assignment_from_ranking(&ranked, k);
+                    if o.assignment != expected {
+                        return Err(Divergence::new(
+                            CHECK,
+                            seed,
+                            format!(
+                                "[{label}] round {round} phrase {}: persistent network \
+                                 assigned {:?}, fresh network {expected:?}",
+                                o.phrase, o.assignment
+                            ),
+                        ));
+                    }
+                }
+                if persistent_stages != fresh_stages {
+                    return Err(Divergence::new(
+                        CHECK,
+                        seed,
+                        format!(
+                            "[{label}] round {round}: persistent TA ran {persistent_stages} \
+                             stages, fresh TA {fresh_stages}"
+                        ),
+                    ));
+                }
+
+                // Cache contents: whatever the fresh evaluation merged,
+                // the persistent network must hold bit-identically as a
+                // prefix of its (possibly deeper) cache.
+                let persistent = engine
+                    .sort_cached_streams()
+                    .expect("SharedSort engine has a network after a round");
+                for (v, p) in persistent.iter().enumerate().take(plan.nodes.len()) {
+                    let f = fresh.cached(v);
+                    if p.len() < f.len() || p[..f.len()] != f[..] {
+                        return Err(Divergence::new(
+                            CHECK,
+                            seed,
+                            format!(
+                                "[{label}] round {round} node {v}: fresh cache of \
+                                 {} items is not a prefix of persistent cache of {} items",
+                                f.len(),
+                                p.len()
+                            ),
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Seed-only wrapper for [`check_sort_persistent_with`].
+pub fn check_sort_persistent(seed: u64) -> Result<(), Divergence> {
+    check_sort_persistent_with(&gen::workload_config(seed, Profile::TightBudgets), seed)
 }
 
 /// Hoeffding-bound soundness over random budget states: at every
