@@ -18,6 +18,8 @@
 //! experiments sort-ablation  # ablation: exhaustive vs bucketed sort planner
 //! experiments executor       # round-executor thread scaling (BENCH_round_executor.json)
 //! experiments planner-scaling # planner build-time curves (BENCH_planner_scaling.json)
+//! experiments hybrid-routing # hybrid vs pure strategies on mixed workloads
+//!                            #     (BENCH_hybrid_routing.json)
 //! experiments all            # everything above
 //! ```
 //!
@@ -83,6 +85,7 @@ fn main() {
         "sort-ablation" => sort_ablation(quick),
         "executor" => executor(quick),
         "planner-scaling" => planner_scaling(quick),
+        "hybrid-routing" => hybrid_routing(quick),
         "all" => {
             fig4(quick);
             fig5(quick);
@@ -99,6 +102,7 @@ fn main() {
             sort_ablation(quick);
             executor(quick);
             planner_scaling(quick);
+            hybrid_routing(quick);
         }
         other => {
             eprintln!("unknown experiment '{other}'");
@@ -1310,4 +1314,160 @@ fn planner_scaling(quick: bool) {
     std::fs::write("BENCH_planner_scaling.json", doc.to_string_pretty())
         .expect("write BENCH_planner_scaling.json");
     println!("wrote BENCH_planner_scaling.json");
+}
+
+/// Hybrid routing on mixed workloads: per-round winner-determination cost
+/// of `Hybrid` (separable phrases on one shared-aggregation plan, the
+/// rest on a subset sort network) vs pure `SharedSort` vs `Unshared`,
+/// swept over the separable share of the phrase set. All three engines
+/// run the same rounds in lockstep under `throttle-exact` — bids churn
+/// every round, so the sort paths pay their refresh — and every round
+/// asserts the three strategies resolve identically before any timing is
+/// trusted. Writes `results/hybrid_routing.*` plus the top-level
+/// `BENCH_hybrid_routing.json` the CI `hybrid-smoke` job uploads.
+fn hybrid_routing(quick: bool) {
+    let advertisers = if quick { 800 } else { 2_000 };
+    let rounds = if quick { 5usize } else { 30 };
+    let phrases = 160usize;
+    let mixes: &[f64] = &[0.25, 0.50, 0.75];
+    let strategies: &[(&str, SharingStrategy)] = &[
+        ("hybrid", SharingStrategy::Hybrid),
+        ("shared-sort", SharingStrategy::SharedSort),
+        ("unshared", SharingStrategy::Unshared),
+    ];
+
+    let mut table = Table::new(
+        "hybrid_routing",
+        "hybrid vs pure strategies on mixed workloads (throttle-exact, lockstep-verified)",
+        &[
+            "separable %",
+            "strategy",
+            "wd ms/round",
+            "plan phrases",
+            "sort phrases",
+            "speedup vs shared-sort",
+        ],
+    );
+    let mut mix_values = Vec::new();
+
+    for &mix in mixes {
+        let w = Workload::generate(&WorkloadConfig {
+            advertisers,
+            phrases,
+            topics: 8,
+            generalist_fraction: 0.9,
+            search_rate_zipf_exponent: 0.0,
+            max_search_rate: 1.0,
+            budget_mu: 1.0,
+            phrase_factor_jitter: 0.4,
+            separable_fraction: mix,
+            seed: 11,
+            ..WorkloadConfig::default()
+        });
+        let mut engines: Vec<Engine> = strategies
+            .iter()
+            .map(|&(_, sharing)| {
+                Engine::new(
+                    w.clone(),
+                    EngineConfig {
+                        sharing,
+                        budget_policy: BudgetPolicy::ThrottleExact,
+                        slot_factors: vec![0.3, 0.25, 0.2, 0.15, 0.1, 0.05],
+                        seed: 29,
+                        ..EngineConfig::default()
+                    },
+                )
+            })
+            .collect();
+        for round in 0..rounds {
+            let reference = engines[0].run_round();
+            for (engine, &(name, _)) in engines[1..].iter_mut().zip(&strategies[1..]) {
+                let out = engine.run_round();
+                assert_eq!(
+                    reference.len(),
+                    out.len(),
+                    "round {round}: hybrid and {name} disagree on occurring phrases \
+                     (mix {mix})"
+                );
+                for (a, b) in reference.iter().zip(&out) {
+                    assert_eq!(
+                        (a.phrase, &a.assignment),
+                        (b.phrase, &b.assignment),
+                        "round {round}: hybrid and {name} resolve phrase {} differently \
+                         (mix {mix})",
+                        a.phrase
+                    );
+                }
+            }
+        }
+
+        let sort_wd = engines[1].metrics().wd_nanos as f64;
+        let mut strategy_values = Vec::new();
+        for (engine, &(name, _)) in engines.iter().zip(strategies) {
+            let m = engine.metrics();
+            let wd_ms = m.wd_nanos as f64 / 1e6 / rounds as f64;
+            table.push(vec![
+                format!("{:.0}", mix * 100.0),
+                name.to_string(),
+                format!("{wd_ms:.3}"),
+                m.phrases_routed_plan.to_string(),
+                m.phrases_routed_sort.to_string(),
+                format!("{:.2}", sort_wd / m.wd_nanos as f64),
+            ]);
+            strategy_values.push(Value::Object(vec![
+                ("strategy".into(), Value::from(name)),
+                ("wd_ms_per_round".into(), Value::from(wd_ms)),
+                (
+                    "wd_plan_ms".into(),
+                    Value::from(m.wd_plan_nanos as f64 / 1e6),
+                ),
+                (
+                    "wd_sort_ms".into(),
+                    Value::from(m.wd_sort_nanos as f64 / 1e6),
+                ),
+                (
+                    "phrases_routed_plan".into(),
+                    Value::from(m.phrases_routed_plan),
+                ),
+                (
+                    "phrases_routed_sort".into(),
+                    Value::from(m.phrases_routed_sort),
+                ),
+                (
+                    "speedup_vs_shared_sort".into(),
+                    Value::from(sort_wd / m.wd_nanos as f64),
+                ),
+            ]));
+        }
+        mix_values.push(Value::Object(vec![
+            ("separable_fraction".into(), Value::from(mix)),
+            (
+                "separable_phrases".into(),
+                Value::from(w.separable_phrase_count()),
+            ),
+            ("strategies".into(), Value::Array(strategy_values)),
+        ]));
+    }
+    table.emit(&out_dir()).expect("write results");
+
+    let doc = Value::Object(vec![
+        ("benchmark".into(), Value::from("hybrid_routing")),
+        ("advertisers".into(), Value::from(advertisers)),
+        ("phrases".into(), Value::from(phrases)),
+        ("rounds".into(), Value::from(rounds)),
+        ("budget_policy".into(), Value::from("throttle-exact")),
+        (
+            "note".into(),
+            Value::from(
+                "per-round winner-determination wall-clock on mixed workloads; every \
+                 round all strategies are asserted bit-identical before timing; hybrid \
+                 routes separable phrases to one shared-aggregation plan and the rest \
+                 to a subset sort network",
+            ),
+        ),
+        ("mixes".into(), Value::Array(mix_values)),
+    ]);
+    std::fs::write("BENCH_hybrid_routing.json", doc.to_string_pretty())
+        .expect("write BENCH_hybrid_routing.json");
+    println!("wrote BENCH_hybrid_routing.json");
 }

@@ -30,6 +30,9 @@ pub struct WorkloadSpec {
     pub max_search_rate: f64,
     /// Per-phrase CTR-factor jitter (0 = Section II separable setting).
     pub phrase_factor_jitter: f64,
+    /// Fraction of phrases exempted from jitter (kept separable and
+    /// therefore plan-eligible under `"hybrid"` sharing).
+    pub separable_fraction: f64,
     /// Workload RNG seed.
     pub seed: u64,
 }
@@ -45,6 +48,7 @@ impl Default for WorkloadSpec {
             search_rate_zipf_exponent: d.search_rate_zipf_exponent,
             max_search_rate: d.max_search_rate,
             phrase_factor_jitter: d.phrase_factor_jitter,
+            separable_fraction: d.separable_fraction,
             seed: d.seed,
         }
     }
@@ -61,6 +65,7 @@ impl WorkloadSpec {
             search_rate_zipf_exponent: self.search_rate_zipf_exponent,
             max_search_rate: self.max_search_rate,
             phrase_factor_jitter: self.phrase_factor_jitter,
+            separable_fraction: self.separable_fraction,
             seed: self.seed,
             ..WorkloadConfig::default()
         })
@@ -80,16 +85,17 @@ pub struct SimulationSpec {
     pub pricing: String,
     /// `"ignore"`, `"throttle-exact"`, or `"throttle-bounds"`.
     pub budget_policy: String,
-    /// `"unshared"`, `"shared-aggregation"`, or `"shared-sort"`.
+    /// `"unshared"`, `"shared-aggregation"`, `"shared-sort"`, or
+    /// `"hybrid"`.
     pub sharing: String,
     /// Mean click delay in rounds.
     pub mean_click_delay_rounds: f64,
     /// Outstanding-ad expiry in rounds.
     pub click_expiry_rounds: u32,
-    /// TA worker threads (shared-sort only).
-    pub ta_threads: usize,
-    /// Round-executor worker threads (all strategies; bit-identical
-    /// results for any value).
+    /// Round-executor worker threads, for every parallel stage including
+    /// the TA resolvers (bit-identical results for any value). Config
+    /// files may still say `ta_threads` — it parses as a deprecated
+    /// alias for this knob.
     pub wd_threads: usize,
     /// Shared-aggregation planner stage: `"full"` (Section II-D, the
     /// default) or `"fragments-only"` (E9 ablation / opt-out). The lazy
@@ -113,7 +119,6 @@ impl Default for SimulationSpec {
             sharing: "shared-aggregation".to_string(),
             mean_click_delay_rounds: 3.0,
             click_expiry_rounds: 20,
-            ta_threads: 1,
             wd_threads: 1,
             planner: "full".to_string(),
             seed: 7,
@@ -190,6 +195,7 @@ impl WorkloadSpec {
             )?,
             max_search_rate: f64_field(v, "max_search_rate", d.max_search_rate)?,
             phrase_factor_jitter: f64_field(v, "phrase_factor_jitter", d.phrase_factor_jitter)?,
+            separable_fraction: f64_field(v, "separable_fraction", d.separable_fraction)?,
             seed: u64_field(v, "seed", d.seed)?,
         })
     }
@@ -211,6 +217,10 @@ impl WorkloadSpec {
             (
                 "phrase_factor_jitter".into(),
                 Value::from(self.phrase_factor_jitter),
+            ),
+            (
+                "separable_fraction".into(),
+                Value::from(self.separable_fraction),
             ),
             ("seed".into(), Value::from(self.seed)),
         ])
@@ -257,8 +267,14 @@ impl SimulationSpec {
                 "click_expiry_rounds",
                 u64::from(d.click_expiry_rounds),
             )? as u32,
-            ta_threads: usize_field(&v, "ta_threads", d.ta_threads)?,
-            wd_threads: usize_field(&v, "wd_threads", d.wd_threads)?,
+            // `ta_threads` is a deprecated alias: the engine's TA knob
+            // folded into `wd_threads`, and the old engine reconciled the
+            // two by taking the maximum.
+            wd_threads: usize_field(&v, "wd_threads", d.wd_threads)?.max(usize_field(
+                &v,
+                "ta_threads",
+                0,
+            )?),
             planner: string_field(&v, "planner", &d.planner)?,
             seed: u64_field(&v, "seed", d.seed)?,
         })
@@ -288,7 +304,6 @@ impl SimulationSpec {
                 "click_expiry_rounds".into(),
                 Value::from(self.click_expiry_rounds),
             ),
-            ("ta_threads".into(), Value::from(self.ta_threads)),
             ("wd_threads".into(), Value::from(self.wd_threads)),
             ("planner".into(), Value::from(self.planner.as_str())),
             ("seed".into(), Value::from(self.seed)),
@@ -319,6 +334,7 @@ impl SimulationSpec {
             "unshared" => Ok(SharingStrategy::Unshared),
             "shared-aggregation" => Ok(SharingStrategy::SharedAggregation),
             "shared-sort" => Ok(SharingStrategy::SharedSort),
+            "hybrid" => Ok(SharingStrategy::Hybrid),
             other => Err(ConfigError(format!("unknown sharing strategy '{other}'"))),
         }
     }
@@ -346,7 +362,6 @@ impl SimulationSpec {
                 mean_click_delay_rounds: self.mean_click_delay_rounds,
                 click_expiry_rounds: self.click_expiry_rounds,
                 billing_increment: Money::from_micros(10_000),
-                ta_threads: self.ta_threads,
                 wd_threads: self.wd_threads,
                 planner: self.planner_mode()?,
                 seed: self.seed,
@@ -367,7 +382,9 @@ pub fn render_metrics(m: &EngineMetrics) -> String {
         "rounds: {}\nauctions: {}\nimpressions: {}\nclicks: {}\nrevenue: {}\nforgiven: {}\n\
          clicks beyond budget: {}\nadvertisers scanned: {}\naggregation ops: {}\n\
          merge invocations: {}\nta stages: {}\nsort nodes invalidated: {}\n\
-         sort cache items reused: {}\nthrottle ms: {:.2}\nwd ms: {:.2}\n\
+         sort cache items reused: {}\nphrases routed plan: {}\nphrases routed sort: {}\n\
+         phrases routed unshared: {}\nthrottle ms: {:.2}\nwd ms: {:.2}\n\
+         wd plan ms: {:.2}\nwd sort ms: {:.2}\nwd unshared ms: {:.2}\n\
          sort refresh ms: {:.2}\nsettle ms: {:.2}\nresolution ms: {:.2}",
         m.rounds,
         m.auctions,
@@ -382,8 +399,14 @@ pub fn render_metrics(m: &EngineMetrics) -> String {
         m.ta_stages,
         m.sort_nodes_invalidated,
         m.sort_cache_items_reused,
+        m.phrases_routed_plan,
+        m.phrases_routed_sort,
+        m.phrases_routed_unshared,
         m.throttle_nanos as f64 / 1e6,
         m.wd_nanos as f64 / 1e6,
+        m.wd_plan_nanos as f64 / 1e6,
+        m.wd_sort_nanos as f64 / 1e6,
+        m.wd_unshared_nanos as f64 / 1e6,
         m.sort_refresh_nanos as f64 / 1e6,
         m.settle_nanos as f64 / 1e6,
         m.resolution_nanos() as f64 / 1e6,
@@ -469,6 +492,50 @@ mod tests {
         let back = SimulationSpec::from_json(&spec.to_json()).unwrap();
         assert_eq!(back.wd_threads, 4);
         assert_eq!(back.planner, "fragments-only");
+    }
+
+    #[test]
+    fn ta_threads_parses_as_a_deprecated_wd_threads_alias() {
+        let spec = SimulationSpec::from_json(r#"{"ta_threads": 4}"#).expect("alias parses");
+        assert_eq!(spec.wd_threads, 4);
+        // Both given: the larger wins (the old engine reconciled the two
+        // knobs by taking the maximum).
+        let spec = SimulationSpec::from_json(r#"{"ta_threads": 2, "wd_threads": 4}"#).unwrap();
+        assert_eq!(spec.wd_threads, 4);
+        let spec = SimulationSpec::from_json(r#"{"ta_threads": 4, "wd_threads": 2}"#).unwrap();
+        assert_eq!(spec.wd_threads, 4);
+        // The rendered config speaks only the current vocabulary.
+        assert!(!spec.to_json().contains("ta_threads"));
+    }
+
+    #[test]
+    fn hybrid_sharing_and_mixed_workloads_round_trip() {
+        let spec = SimulationSpec::from_json(
+            r#"{
+                "rounds": 3,
+                "sharing": "hybrid",
+                "workload": {
+                    "advertisers": 40,
+                    "phrases": 8,
+                    "phrase_factor_jitter": 0.4,
+                    "separable_fraction": 0.5
+                }
+            }"#,
+        )
+        .expect("hybrid config parses");
+        assert_eq!(spec.sharing, "hybrid");
+        assert_eq!(spec.workload.separable_fraction, 0.5);
+        let back = SimulationSpec::from_json(&spec.to_json()).unwrap();
+        assert_eq!(back.sharing, "hybrid");
+        assert_eq!(back.workload.separable_fraction, 0.5);
+        let m = spec.run().expect("hybrid spec runs");
+        assert_eq!(m.rounds, 3);
+        assert_eq!(m.phrases_routed_plan + m.phrases_routed_sort, m.auctions);
+        assert!(m.phrases_routed_plan > 0, "no phrase went to the plan");
+        assert!(m.phrases_routed_sort > 0, "no phrase went to the sort");
+        let rendered = render_metrics(&m);
+        assert!(rendered.contains("phrases routed plan"));
+        assert!(rendered.contains("wd sort ms"));
     }
 
     #[test]

@@ -223,6 +223,54 @@ mod tests {
         assert_eq!(last, Money::from_units(2), "capped at base bid");
     }
 
+    /// When an advertiser wins several of the round's simultaneous
+    /// auctions, its feedback must aggregate them: `auctions_won` counts
+    /// every win and `best_slot` is the best slot across *all* phrases,
+    /// not the last one scanned.
+    #[test]
+    fn feedback_pins_best_slot_and_wins_across_simultaneous_auctions() {
+        use crate::engine::{AuctionOutcome, Engine, EngineConfig};
+        use ssa_auction::ids::{AdvertiserId, PhraseId};
+        use ssa_auction::score::Score;
+        use ssa_auction::winner::assignment_from_ranking;
+        use ssa_workload::{Workload, WorkloadConfig};
+
+        let w = Workload::generate(&WorkloadConfig {
+            advertisers: 3,
+            phrases: 2,
+            topics: 2,
+            ..WorkloadConfig::default()
+        });
+        let engine = Engine::new(w, EngineConfig::default());
+        let ad = AdvertiserId::from_index;
+        let score = |units| Score::expected_value(Money::from_units(units), 0.5);
+        // Phrase 0 ranks a1 > a0 > a2; phrase 1 ranks a0 > a2. So a0 wins
+        // slot 1 and slot 0 in the same round, a2 wins slot 2 and slot 1.
+        let outcomes = vec![
+            AuctionOutcome {
+                phrase: PhraseId::from_index(0),
+                assignment: assignment_from_ranking(
+                    &[(ad(1), score(9)), (ad(0), score(6)), (ad(2), score(3))],
+                    3,
+                ),
+            },
+            AuctionOutcome {
+                phrase: PhraseId::from_index(1),
+                assignment: assignment_from_ranking(&[(ad(0), score(8)), (ad(2), score(2))], 3),
+            },
+        ];
+        let m_i = [2, 1, 2];
+        let feedback = engine.collect_feedback(&m_i, &outcomes);
+        assert_eq!(feedback[0].auctions_won, 2);
+        assert_eq!(feedback[0].best_slot, Some(SlotIndex(0)));
+        assert_eq!(feedback[0].auctions_entered, 2);
+        assert_eq!(feedback[1].auctions_won, 1);
+        assert_eq!(feedback[1].best_slot, Some(SlotIndex(0)));
+        assert_eq!(feedback[2].auctions_won, 2);
+        assert_eq!(feedback[2].best_slot, Some(SlotIndex(1)));
+        assert_eq!(feedback[2].auctions_entered, 2);
+    }
+
     #[test]
     fn pacing_handles_zero_budget() {
         let mut p = BiddingProgram::new(

@@ -56,6 +56,16 @@ pub struct EngineMetrics {
     /// re-merging. Zero on the first round. Deterministic; identical
     /// across thread counts.
     pub sort_cache_items_reused: u64,
+    /// Phrase auctions routed to the shared aggregation plan
+    /// (`SharedAggregation` routes every auction here; `Hybrid` only the
+    /// separable subset).
+    pub phrases_routed_plan: u64,
+    /// Phrase auctions routed to the shared sort network (`SharedSort`
+    /// routes every auction here; `Hybrid` only the non-separable
+    /// subset).
+    pub phrases_routed_sort: u64,
+    /// Phrase auctions routed to the unshared per-phrase scan.
+    pub phrases_routed_unshared: u64,
     /// Throttled-bid bound evaluations (bounded budget policy).
     pub bound_evaluations: u64,
     /// Exact throttled-bid computations (the Section IV convolution, or a
@@ -70,6 +80,15 @@ pub struct EngineMetrics {
     pub throttle_nanos: u128,
     /// Wall-clock nanoseconds in winner determination proper.
     pub wd_nanos: u128,
+    /// Wall-clock nanoseconds in the shared-plan resolver (included in
+    /// `wd_nanos`; under `Hybrid`, the plan-routed share of the round).
+    pub wd_plan_nanos: u128,
+    /// Wall-clock nanoseconds in the shared-sort resolver, refresh
+    /// included (included in `wd_nanos`).
+    pub wd_sort_nanos: u128,
+    /// Wall-clock nanoseconds in the unshared resolver (included in
+    /// `wd_nanos`).
+    pub wd_unshared_nanos: u128,
     /// Wall-clock nanoseconds diffing bids and refreshing the persistent
     /// merge network (shared-sort strategy; included in `wd_nanos`).
     pub sort_refresh_nanos: u128,
@@ -100,11 +119,17 @@ impl EngineMetrics {
         self.ta_stages += other.ta_stages;
         self.sort_nodes_invalidated += other.sort_nodes_invalidated;
         self.sort_cache_items_reused += other.sort_cache_items_reused;
+        self.phrases_routed_plan += other.phrases_routed_plan;
+        self.phrases_routed_sort += other.phrases_routed_sort;
+        self.phrases_routed_unshared += other.phrases_routed_unshared;
         self.bound_evaluations += other.bound_evaluations;
         self.exact_throttle_evaluations += other.exact_throttle_evaluations;
         self.expected_value += other.expected_value;
         self.throttle_nanos += other.throttle_nanos;
         self.wd_nanos += other.wd_nanos;
+        self.wd_plan_nanos += other.wd_plan_nanos;
+        self.wd_sort_nanos += other.wd_sort_nanos;
+        self.wd_unshared_nanos += other.wd_unshared_nanos;
         self.sort_refresh_nanos += other.sort_refresh_nanos;
         self.settle_nanos += other.settle_nanos;
         self.max_round_throttle_nanos = self
@@ -129,6 +154,9 @@ impl EngineMetrics {
         EngineMetrics {
             throttle_nanos: 0,
             wd_nanos: 0,
+            wd_plan_nanos: 0,
+            wd_sort_nanos: 0,
+            wd_unshared_nanos: 0,
             sort_refresh_nanos: 0,
             settle_nanos: 0,
             max_round_throttle_nanos: 0,

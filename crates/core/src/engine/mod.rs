@@ -2,39 +2,41 @@
 //!
 //! Ties the whole pipeline together, as the paper's introduction lays it
 //! out: queries are batched into rounds; each round, the occurring bid
-//! phrases' auctions are resolved *together* through one of three
+//! phrases' auctions are resolved *together* through one of the
 //! winner-determination strategies (independent scans, the Section II
-//! shared aggregation plan, or the Section III shared sort + TA); winners
-//! are priced; their ads await clicks with a delay (creating Section IV's
-//! budget uncertainty); and clicks settle against budgets under a
-//! configurable policy (naive or throttled).
+//! shared aggregation plan, the Section III shared sort + TA, or a
+//! per-phrase hybrid of the two); winners are priced; their ads await
+//! clicks with a delay (creating Section IV's budget uncertainty); and
+//! clicks settle against budgets under a configurable policy (naive or
+//! throttled).
+//!
+//! Winner determination itself lives in the [`resolvers`] layer: each
+//! strategy is a [`resolvers::PhraseResolver`] owning its persistent
+//! cross-round state, and the engine only routes occurring phrases,
+//! times the stages, and settles the outcomes.
 
 pub mod bidding;
 pub mod gaming;
 pub mod metrics;
+pub mod resolvers;
 
 use std::time::Instant;
 
-use ssa_auction::ids::{AdvertiserId, PhraseId, SlotIndex};
+use ssa_auction::ids::{PhraseId, SlotIndex};
 use ssa_auction::instance::{AuctionEntry, AuctionInstance};
 use ssa_auction::money::Money;
 use ssa_auction::pricing::{price_assignment, PricingRule};
-use ssa_auction::score::Score;
-use ssa_auction::winner::{assignment_from_ranking, Assignment};
-use ssa_setcover::BitSet;
+use ssa_auction::winner::Assignment;
 use ssa_workload::clicks::{ClickOutcome, ClickSimulator};
 use ssa_workload::rounds::RoundSampler;
 use ssa_workload::Workload;
 
-use crate::budget::topk::{top_k_uncertain, UncertainCandidate};
 use crate::budget::{BudgetContext, OutstandingAd};
 use crate::exec;
-use crate::plan::{LevelSchedule, PlanDag, PlanProblem, PlannerMode, SharedPlanner};
-use crate::sort::concurrent::{resolve_parallel_with, ConcurrentMergeNetwork, TaJob};
-use crate::sort::planner::{build_shared_sort_plan_bucketed, SortPlan};
-use crate::sort::ta::{threshold_top_k_into, TaScratch};
-use crate::sort::{MergeNetwork, RefreshStats, SortItem};
-use crate::topk::{KList, ScoredAd, ScoredTopKOp};
+use crate::plan::PlannerMode;
+use crate::sort::SortItem;
+
+use resolvers::{Resolvers, RoundContext};
 
 pub use metrics::EngineMetrics;
 
@@ -66,6 +68,13 @@ pub enum SharingStrategy {
     /// The Section III shared merge-sort network + Threshold Algorithm
     /// (handles phrase-specific factors).
     SharedSort,
+    /// Per-phrase routing across both shared paths: separable phrases
+    /// (factors equal to the advertiser's base factor) compile into one
+    /// aggregation plan, the rest into one persistent sort network, each
+    /// over only its own phrase subset. Handles *mixed* workloads that
+    /// `SharedAggregation` rejects without paying the sort network for
+    /// phrases the cheaper plan can serve.
+    Hybrid,
 }
 
 /// Engine configuration.
@@ -88,17 +97,12 @@ pub struct EngineConfig {
     /// this keeps the exact budget convolution's support proportional to
     /// `budget / increment` instead of `2^l`. Zero disables rounding.
     pub billing_increment: Money,
-    /// Worker threads for per-phrase TA under `SharedSort` (> 1 switches
-    /// to the lock-per-operator concurrent merge network). Results are
-    /// identical to the sequential path; only wall-clock changes.
-    /// Superseded by [`EngineConfig::wd_threads`], which covers every
-    /// strategy; the larger of the two drives `SharedSort`.
-    pub ta_threads: usize,
     /// Worker threads for the round executor's hot stages: per-advertiser
     /// bid throttling, per-phrase `Unshared` scans, level-parallel
-    /// `SharedAggregation` plan evaluation, and (together with
-    /// `ta_threads`) the concurrent `SharedSort` TA. Results are
-    /// bit-identical for every thread count; only wall-clock changes.
+    /// `SharedAggregation` plan evaluation, and the concurrent
+    /// `SharedSort` TA (the former `ta_threads` knob, now folded in
+    /// here). Results are bit-identical for every thread count; only
+    /// wall-clock changes.
     pub wd_threads: usize,
     /// Planner stage used to compile the `SharedAggregation` plan: the
     /// full Section II-D heuristic (fragments + lazy-greedy completion)
@@ -120,7 +124,6 @@ impl Default for EngineConfig {
             mean_click_delay_rounds: 3.0,
             click_expiry_rounds: 20,
             billing_increment: Money::from_micros(10_000), // one cent
-            ta_threads: 1,
             wd_threads: 1,
             planner: PlannerMode::Full,
             seed: 7,
@@ -170,49 +173,6 @@ pub struct BudgetSnapshot {
     pub outstanding: Vec<OutstandingAd>,
 }
 
-/// The persistent merge network a `SharedSort` engine keeps alive across
-/// rounds — sequential or lock-striped concurrent, fixed at construction
-/// by the configured thread count.
-enum SortNet {
-    Seq(MergeNetwork),
-    Conc(ConcurrentMergeNetwork),
-}
-
-impl SortNet {
-    fn invocations(&self) -> u64 {
-        match self {
-            SortNet::Seq(net) => net.invocations(),
-            SortNet::Conc(net) => net.invocations(),
-        }
-    }
-}
-
-/// Cross-round `SharedSort` state. The merge network lives for the
-/// lifetime of the [`SortPlan`]: each round the engine diffs the new
-/// effective bids against `prev_bids` and refreshes only the dirty cones,
-/// so untouched subtrees keep their cached merged prefixes. TA scratch
-/// (seen-sets, top-k working lists) also persists so steady-state rounds
-/// allocate nothing in those paths.
-struct SortState {
-    /// Per leaf, the merge operators a bid change there invalidates
-    /// (`SortPlan::leaf_cones`, computed once at plan-build time).
-    cones: Vec<Vec<u32>>,
-    /// The persistent network; `None` until the first round builds it
-    /// from that round's effective bids.
-    net: Option<SortNet>,
-    /// Per-phrase roots in network node space.
-    roots: Vec<usize>,
-    /// The effective bids the network currently reflects.
-    prev_bids: Vec<Money>,
-    /// Reusable bid-delta buffer.
-    changed: Vec<(usize, Money)>,
-    /// Sequential TA scratch + output buffer.
-    ta_scratch: TaScratch,
-    ta_out: Vec<(AdvertiserId, Score)>,
-    /// Concurrent TA scratch pool, one per worker.
-    ta_pool: Vec<parking_lot::Mutex<TaScratch>>,
-}
-
 /// The simulation engine.
 pub struct Engine {
     workload: Workload,
@@ -226,24 +186,18 @@ pub struct Engine {
     programs: Option<Vec<bidding::BiddingProgram>>,
     sampler: RoundSampler,
     clicker: ClickSimulator,
-    /// Offline shared-aggregation plan (strategy SharedAggregation);
-    /// `None` also when every phrase's interest set is empty.
-    plan: Option<PlanDag>,
-    /// The plan's topological level schedule, computed once for
-    /// level-parallel evaluation under `wd_threads > 1`.
-    plan_schedule: Option<LevelSchedule>,
-    /// Per phrase, the plan query index it is bound to (`None` for
-    /// empty-interest phrases, which resolve trivially).
-    plan_query_index: Vec<Option<usize>>,
-    /// Offline shared-sort plan (strategy SharedSort).
-    sort_plan: Option<SortPlan>,
-    /// Persistent cross-round merge network + TA scratch (SharedSort).
-    sort_state: Option<SortState>,
-    /// Per phrase, advertisers by descending `c_i^q` (TA's second list).
-    c_orders: Vec<Vec<(AdvertiserId, f64)>>,
+    /// The strategy's winner-determination resolvers, each owning its
+    /// persistent cross-round state (plan DAG, merge network, scratch).
+    resolvers: Resolvers,
     /// The effective (possibly throttled) bids of the most recent round,
     /// kept for external verification.
     last_effective_bids: Vec<Money>,
+    /// The spare half of the effective-bids double buffer: each round
+    /// fills this in place, then swaps it with `last_effective_bids`, so
+    /// steady-state rounds never reallocate the population-sized vector.
+    bids_buffer: Vec<Money>,
+    /// Reusable per-advertiser participation-count scratch.
+    m_i_scratch: Vec<u64>,
     metrics: EngineMetrics,
 }
 
@@ -263,89 +217,10 @@ impl Engine {
     /// # Panics
     /// Panics if `SharedAggregation` is requested for a workload with
     /// phrase-specific factors (the Section III setting), where top-k
-    /// aggregates cannot be shared.
+    /// aggregates cannot be shared. `Hybrid` accepts any workload: it
+    /// routes exactly the separable phrases to the plan.
     pub fn new(workload: Workload, config: EngineConfig) -> Self {
-        let n = workload.advertiser_count();
-        let m = workload.phrase_count();
-        let rates = workload.search_rates();
-        let mut plan_query_index: Vec<Option<usize>> = vec![None; m];
-        let plan = match config.sharing {
-            SharingStrategy::SharedAggregation => {
-                assert!(
-                    phrase_factors_are_uniform(&workload),
-                    "SharedAggregation requires phrase-independent advertiser factors; \
-                     use SharedSort for jittered workloads"
-                );
-                // Empty phrases cannot be bound in a plan (and would
-                // pollute its cost model); drop them from the problem and
-                // resolve them trivially at round time.
-                let mut queries: Vec<BitSet> = Vec::with_capacity(m);
-                let mut query_rates: Vec<f64> = Vec::with_capacity(m);
-                for (q, ids) in workload.interest.iter().enumerate() {
-                    if ids.is_empty() {
-                        continue;
-                    }
-                    plan_query_index[q] = Some(queries.len());
-                    queries.push(BitSet::from_elements(n, ids.iter().map(|a| a.index())));
-                    query_rates.push(rates[q]);
-                }
-                if queries.is_empty() {
-                    None
-                } else {
-                    let problem = PlanProblem::new(n, queries, Some(query_rates));
-                    let planner = SharedPlanner {
-                        mode: config.planner,
-                    };
-                    Some(planner.plan(&problem))
-                }
-            }
-            _ => None,
-        };
-        let plan_schedule = plan.as_ref().map(PlanDag::level_schedule);
-        let sort_plan = match config.sharing {
-            SharingStrategy::SharedSort => {
-                let interest: Vec<BitSet> = workload
-                    .interest
-                    .iter()
-                    .map(|ids| BitSet::from_elements(n, ids.iter().map(|a| a.index())))
-                    .collect();
-                Some(build_shared_sort_plan_bucketed(n, &interest, &rates))
-            }
-            _ => None,
-        };
-        let sort_state = sort_plan.as_ref().map(|plan| {
-            let threads = config.ta_threads.max(config.wd_threads).max(1);
-            SortState {
-                cones: plan.leaf_cones(),
-                net: None,
-                roots: Vec::new(),
-                prev_bids: Vec::new(),
-                changed: Vec::new(),
-                ta_scratch: TaScratch::new(),
-                ta_out: Vec::new(),
-                ta_pool: (0..threads)
-                    .map(|_| parking_lot::Mutex::new(TaScratch::new()))
-                    .collect(),
-            }
-        });
-        let c_orders = (0..m)
-            .map(|q| {
-                let phrase = PhraseId::from_index(q);
-                let mut order: Vec<(AdvertiserId, f64)> = workload.interest[q]
-                    .iter()
-                    .map(|&a| {
-                        (
-                            a,
-                            workload
-                                .phrase_factor(phrase, a)
-                                .expect("interested advertiser has a factor"),
-                        )
-                    })
-                    .collect();
-                order.sort_by(|x, y| y.1.total_cmp(&x.1).then(x.0.cmp(&y.0)));
-                order
-            })
-            .collect();
+        let resolvers = Resolvers::for_strategy(&workload, &config);
         let ledgers = workload
             .advertisers
             .iter()
@@ -355,7 +230,7 @@ impl Engine {
                 pending: Vec::new(),
             })
             .collect();
-        let sampler = RoundSampler::new(rates, config.seed);
+        let sampler = RoundSampler::new(workload.search_rates(), config.seed);
         let clicker = ClickSimulator::new(
             config.seed.wrapping_add(1),
             config.mean_click_delay_rounds,
@@ -370,13 +245,10 @@ impl Engine {
             programs: None,
             sampler,
             clicker,
-            plan,
-            plan_schedule,
-            plan_query_index,
-            sort_plan,
-            sort_state,
-            c_orders,
+            resolvers,
             last_effective_bids: Vec::new(),
+            bids_buffer: Vec::new(),
+            m_i_scratch: Vec::new(),
             metrics: EngineMetrics::default(),
         }
     }
@@ -431,6 +303,17 @@ impl Engine {
         &self.last_effective_bids
     }
 
+    /// Which resolver each phrase is bound to: `true` means the shared
+    /// aggregation plan, `false` the shared sort network. `None` unless
+    /// the strategy is `Hybrid`. An observation seam for the
+    /// `hybrid-routing` differential check.
+    pub fn hybrid_plan_route(&self) -> Option<&[bool]> {
+        match &self.resolvers {
+            Resolvers::Hybrid { plan_route, .. } => Some(plan_route),
+            _ => None,
+        }
+    }
+
     /// Snapshots every advertiser's budget state as the *next* call to
     /// [`Engine::run_round`] will see it. Taken together with
     /// [`Engine::last_effective_bids`], this lets an external oracle
@@ -466,17 +349,22 @@ impl Engine {
         self.metrics.rounds += 1;
         let occurring = self.sampler.next_round();
 
-        // Per-advertiser auction participation count m_i this round.
-        let mut m_i = vec![0u64; self.workload.advertiser_count()];
+        // Per-advertiser auction participation count m_i this round
+        // (reused scratch; clear + resize keeps the capacity).
+        let mut m_i = std::mem::take(&mut self.m_i_scratch);
+        m_i.clear();
+        m_i.resize(self.workload.advertiser_count(), 0);
         for &q in &occurring {
             for a in &self.workload.interest[q.index()] {
                 m_i[a.index()] += 1;
             }
         }
 
-        // Stage 1 — throttle: effective (possibly throttled) bids.
+        // Stage 1 — throttle: effective (possibly throttled) bids, into
+        // the spare half of the double buffer.
         let started = Instant::now();
-        let (mut effective_bids, exact_evaluations) = self.effective_bids(&m_i);
+        let mut effective_bids = std::mem::take(&mut self.bids_buffer);
+        let exact_evaluations = self.effective_bids_into(&m_i, &mut effective_bids);
         let throttle_nanos = started.elapsed().as_nanos();
         self.metrics.exact_throttle_evaluations += exact_evaluations;
         self.metrics.throttle_nanos += throttle_nanos;
@@ -485,28 +373,49 @@ impl Engine {
 
         // Stage 2 — winner determination for every occurring phrase. The
         // unshared bounds path backfills its winners' exact bids into
-        // `effective_bids`, so the snapshot is taken afterwards.
+        // `effective_bids`, so the snapshot is taken afterwards. The
+        // resolvers borrow disjoint engine fields, so the budget accessor
+        // can read ledgers while a resolver mutates its own state.
         let started = Instant::now();
-        let outcomes: Vec<AuctionOutcome> = match self.config.sharing {
-            SharingStrategy::Unshared => {
-                self.resolve_unshared(&occurring, &mut effective_bids, &m_i)
-            }
-            SharingStrategy::SharedAggregation => {
-                self.resolve_shared_plan(&occurring, &effective_bids)
-            }
-            SharingStrategy::SharedSort => self.resolve_shared_sort(&occurring, &effective_bids),
+        let outcomes: Vec<AuctionOutcome> = {
+            let Engine {
+                ref workload,
+                ref config,
+                ref ledgers,
+                ref current_bids,
+                ref clicker,
+                ref mut resolvers,
+                ref mut metrics,
+                ..
+            } = *self;
+            let budgets =
+                |i: usize, m: u64| budget_context_parts(ledgers, current_bids, clicker, i, m);
+            let ctx = RoundContext {
+                workload,
+                k: config.slot_factors.len(),
+                wd_threads: config.wd_threads,
+                budget_policy: config.budget_policy,
+                m_i: &m_i,
+                budgets: &budgets,
+            };
+            resolvers.resolve_round(&ctx, &occurring, &mut effective_bids, metrics)
         };
         let wd_nanos = started.elapsed().as_nanos();
         self.metrics.wd_nanos += wd_nanos;
         self.metrics.max_round_wd_nanos = self.metrics.max_round_wd_nanos.max(wd_nanos);
         self.metrics.auctions += occurring.len() as u64;
-        self.last_effective_bids = effective_bids.clone();
+        std::mem::swap(&mut self.last_effective_bids, &mut effective_bids);
+        // `effective_bids` now holds last round's vector; keep it as next
+        // round's spare instead of dropping the allocation.
+        self.bids_buffer = effective_bids;
 
         // Stage 3 — settle: pricing + display, then click settlement.
         let started = Instant::now();
+        let effective_bids = std::mem::take(&mut self.last_effective_bids);
         for outcome in &outcomes {
             self.display_winners(outcome, &effective_bids);
         }
+        self.last_effective_bids = effective_bids;
         self.settle_round();
         let settle_nanos = started.elapsed().as_nanos();
         self.metrics.settle_nanos += settle_nanos;
@@ -516,12 +425,18 @@ impl Engine {
         if self.programs.is_some() {
             self.apply_bidding_programs(&m_i, &outcomes);
         }
+        self.m_i_scratch = m_i;
         outcomes
     }
 
-    /// Feeds each advertiser's program its round feedback and adopts the
-    /// updated bids for the next round.
-    fn apply_bidding_programs(&mut self, m_i: &[u64], outcomes: &[AuctionOutcome]) {
+    /// Computes each advertiser's round feedback: best slot and win count
+    /// across *all* the round's simultaneous auctions, participation, and
+    /// budget state.
+    fn collect_feedback(
+        &self,
+        m_i: &[u64],
+        outcomes: &[AuctionOutcome],
+    ) -> Vec<bidding::RoundFeedback> {
         let n = self.workload.advertiser_count();
         let mut best_slot: Vec<Option<SlotIndex>> = vec![None; n];
         let mut won = vec![0u64; n];
@@ -535,35 +450,46 @@ impl Engine {
                 });
             }
         }
-        let programs = self.programs.as_mut().expect("checked by caller");
-        for (i, program) in programs.iter_mut().enumerate() {
-            let feedback = bidding::RoundFeedback {
+        (0..n)
+            .map(|i| bidding::RoundFeedback {
                 best_slot: best_slot[i],
                 auctions_entered: m_i[i],
                 auctions_won: won[i],
                 settled_spend: self.ledgers[i].settled_spend,
                 budget: self.ledgers[i].budget,
                 round: self.metrics.rounds,
-            };
-            self.current_bids[i] = program.update(&feedback);
+            })
+            .collect()
+    }
+
+    /// Feeds each advertiser's program its round feedback and adopts the
+    /// updated bids for the next round.
+    fn apply_bidding_programs(&mut self, m_i: &[u64], outcomes: &[AuctionOutcome]) {
+        let feedback = self.collect_feedback(m_i, outcomes);
+        let programs = self.programs.as_mut().expect("checked by caller");
+        for (i, (program, fb)) in programs.iter_mut().zip(feedback).enumerate() {
+            self.current_bids[i] = program.update(&fb);
         }
     }
 
-    /// Stage-1 effective bids for every advertiser, plus the number of
-    /// exact throttled-bid convolutions performed.
+    /// Stage-1 effective bids for every advertiser, filled into `out`
+    /// (cleared first; steady-state rounds reuse its capacity). Returns
+    /// the number of exact throttled-bid convolutions performed.
     ///
     /// Under `Unshared` + `ThrottleBounds` the whole stage is skipped:
     /// the unshared resolver selects winners on lazily refined bounds and
     /// only its winners' exact bids are ever computed (backfilled there).
-    fn effective_bids(&self, m_i: &[u64]) -> (Vec<Money>, u64) {
+    fn effective_bids_into(&self, m_i: &[u64], out: &mut Vec<Money>) -> u64 {
         let n = self.workload.advertiser_count();
         let policy = self.config.budget_policy;
+        out.clear();
         if policy == BudgetPolicy::ThrottleBounds
             && self.config.sharing == SharingStrategy::Unshared
         {
-            return (vec![Money::ZERO; n], 0);
+            out.resize(n, Money::ZERO);
+            return 0;
         }
-        let bids = exec::parallel_map(n, self.config.wd_threads, |i| {
+        let bid_for = |i: usize| {
             if m_i[i] == 0 {
                 return Money::ZERO;
             }
@@ -581,340 +507,37 @@ impl Engine {
                     self.budget_context(i, m_i[i]).throttled_bid_exact()
                 }
             }
-        });
-        let exact_evaluations = match policy {
+        };
+        if self.config.wd_threads > 1 {
+            *out = exec::parallel_map(n, self.config.wd_threads, bid_for);
+        } else {
+            out.extend((0..n).map(bid_for));
+        }
+        match policy {
             BudgetPolicy::Ignore => 0,
             BudgetPolicy::ThrottleExact | BudgetPolicy::ThrottleBounds => {
                 m_i.iter().filter(|&&m| m > 0).count() as u64
             }
-        };
-        (bids, exact_evaluations)
+        }
     }
 
     fn budget_context(&self, advertiser: usize, m: u64) -> BudgetContext {
-        let ledger = &self.ledgers[advertiser];
-        BudgetContext {
-            bid: self.current_bids[advertiser],
-            remaining_budget: ledger.remaining(),
-            auctions_in_round: m,
-            outstanding: ledger
-                .pending
-                .iter()
-                .map(|p| {
-                    OutstandingAd::new(p.price, self.clicker.residual_ctr(p.display_ctr, p.age))
-                })
-                .collect(),
-        }
-    }
-
-    /// Baseline: independent scan per phrase, fanned out over
-    /// `wd_threads` workers. Under `ThrottleBounds`, selection runs on
-    /// lazily refined bounds instead of the exact throttled bids; exact
-    /// values are computed only for each phrase's ranked top `k + 1` (the
-    /// winners plus the runner-up pricing reads) and backfilled into
-    /// `effective_bids`.
-    fn resolve_unshared(
-        &mut self,
-        occurring: &[PhraseId],
-        effective_bids: &mut [Money],
-        m_i: &[u64],
-    ) -> Vec<AuctionOutcome> {
-        let k = self.config.slot_factors.len();
-        let bounds_mode = self.config.budget_policy == BudgetPolicy::ThrottleBounds;
-
-        /// One phrase's result, carried back from the worker.
-        struct PhraseResolution {
-            ranked: Vec<(AdvertiserId, Score)>,
-            /// Exact throttled bids of the ranked advertisers
-            /// (`ThrottleBounds` only).
-            exact_bids: Vec<(AdvertiserId, Money)>,
-            scanned: u64,
-            bound_evaluations: u64,
-            exact_evaluations: u64,
-        }
-
-        let resolutions: Vec<PhraseResolution> = {
-            let this = &*self;
-            let bids: &[Money] = effective_bids;
-            exec::parallel_map(occurring.len(), this.config.wd_threads, |j| {
-                let q = occurring[j].index();
-                let interest = &this.workload.interest[q];
-                if bounds_mode {
-                    // `m_i` was computed once for the whole round; no
-                    // per-(phrase, candidate) rescan of `occurring`.
-                    let candidates: Vec<UncertainCandidate> = interest
-                        .iter()
-                        .enumerate()
-                        .map(|(pos, &a)| {
-                            let factor = this.workload.phrase_factors[q][pos];
-                            let ctx = this.budget_context(a.index(), m_i[a.index()]);
-                            UncertainCandidate::new(a, factor, &ctx)
-                        })
-                        .collect();
-                    // k + 1: pricing needs the runner-up's exact score.
-                    let (winners, stats) = top_k_uncertain(&candidates, k + 1);
-                    PhraseResolution {
-                        ranked: winners.iter().map(|w| (w.advertiser, w.score)).collect(),
-                        exact_bids: winners.iter().map(|w| (w.advertiser, w.bid)).collect(),
-                        scanned: interest.len() as u64,
-                        bound_evaluations: stats.bound_evaluations,
-                        exact_evaluations: stats.exact_evaluations,
-                    }
-                } else {
-                    let mut top: KList<ScoredAd> = KList::empty(k);
-                    for (pos, &a) in interest.iter().enumerate() {
-                        let factor = this.workload.phrase_factors[q][pos];
-                        let score = Score::expected_value(bids[a.index()], factor);
-                        top.insert(ScoredAd::new(a, score));
-                    }
-                    PhraseResolution {
-                        ranked: top
-                            .items()
-                            .iter()
-                            .map(|s| (s.advertiser, s.score))
-                            .collect(),
-                        exact_bids: Vec::new(),
-                        scanned: interest.len() as u64,
-                        bound_evaluations: 0,
-                        exact_evaluations: 0,
-                    }
-                }
-            })
-        };
-
-        let mut out = Vec::with_capacity(occurring.len());
-        for (&phrase, res) in occurring.iter().zip(resolutions) {
-            self.metrics.advertisers_scanned += res.scanned;
-            self.metrics.bound_evaluations += res.bound_evaluations;
-            self.metrics.exact_throttle_evaluations += res.exact_evaluations;
-            for (a, bid) in res.exact_bids {
-                effective_bids[a.index()] = bid;
-            }
-            out.push(AuctionOutcome {
-                phrase,
-                assignment: assignment_from_ranking(&res.ranked, k),
-            });
-        }
-        out
-    }
-
-    /// Section II: evaluate the offline shared plan once for the round,
-    /// level-parallel across `wd_threads` workers when configured.
-    fn resolve_shared_plan(
-        &mut self,
-        occurring: &[PhraseId],
-        effective_bids: &[Money],
-    ) -> Vec<AuctionOutcome> {
-        let k = self.config.slot_factors.len();
-        let Some(plan) = self.plan.as_ref() else {
-            // Every phrase had an empty interest set (or there are no
-            // advertisers at all): every auction resolves empty.
-            return occurring
-                .iter()
-                .map(|&phrase| AuctionOutcome {
-                    phrase,
-                    assignment: assignment_from_ranking(&[], k),
-                })
-                .collect();
-        };
-        let op = ScoredTopKOp { k };
-        // Leaves: singleton k-lists of each advertiser's current score.
-        let leaf_values: Vec<KList<ScoredAd>> = self
-            .workload
-            .advertisers
-            .iter()
-            .enumerate()
-            .map(|(i, adv)| {
-                let score = Score::expected_value(effective_bids[i], adv.base_factor);
-                KList::singleton(k, ScoredAd::new(adv.id, score))
-            })
-            .collect();
-        let mut flags = vec![false; plan.query_count()];
-        for &p in occurring {
-            if let Some(qi) = self.plan_query_index[p.index()] {
-                flags[qi] = true;
-            }
-        }
-        let (results, ops) = if self.config.wd_threads > 1 {
-            let schedule = self
-                .plan_schedule
-                .as_ref()
-                .expect("schedule computed with plan");
-            plan.evaluate_parallel(&op, &leaf_values, &flags, schedule, self.config.wd_threads)
-        } else {
-            plan.evaluate(&op, &leaf_values, &flags)
-        };
-        self.metrics.aggregation_ops += ops as u64;
-        occurring
-            .iter()
-            .map(|&phrase| {
-                // A query node's variable set is exactly the phrase's
-                // interest set, so every ranked advertiser is interested.
-                let ranked: Vec<(AdvertiserId, Score)> = self.plan_query_index[phrase.index()]
-                    .and_then(|qi| results[qi].as_ref())
-                    .map(|list| {
-                        list.items()
-                            .iter()
-                            .map(|s| (s.advertiser, s.score))
-                            .collect()
-                    })
-                    .unwrap_or_default();
-                AuctionOutcome {
-                    phrase,
-                    assignment: assignment_from_ranking(&ranked, k),
-                }
-            })
-            .collect()
-    }
-
-    /// Section III: one *persistent* shared merge network + TA per
-    /// occurring phrase, sequentially or across
-    /// `max(ta_threads, wd_threads)` workers over the concurrent network
-    /// (identical results either way).
-    ///
-    /// The network is built once, on the first round, and thereafter only
-    /// *refreshed*: the new effective bids are diffed against the
-    /// previous round's and the dirty cones above changed leaves are
-    /// invalidated, leaving every untouched operator's cached merged
-    /// prefix for TA to re-consume. Outcomes are bit-identical to
-    /// fresh-per-round instantiation (pinned by the `sort-persistent`
-    /// differential-corpus check in `ssa-testkit`).
-    fn resolve_shared_sort(
-        &mut self,
-        occurring: &[PhraseId],
-        effective_bids: &[Money],
-    ) -> Vec<AuctionOutcome> {
-        let sort_plan = self.sort_plan.as_ref().expect("sort plan compiled");
-        let state = self
-            .sort_state
-            .as_mut()
-            .expect("sort state built with plan");
-        let k = self.config.slot_factors.len();
-        let threads = self.config.ta_threads.max(self.config.wd_threads);
-
-        // Refresh (first round: build) the persistent network.
-        let started = Instant::now();
-        let stats = match state.net.as_mut() {
-            None => {
-                let roots = if threads > 1 {
-                    let (net, roots) = ConcurrentMergeNetwork::from_plan(sort_plan, effective_bids);
-                    state.net = Some(SortNet::Conc(net));
-                    roots
-                } else {
-                    let (net, roots) = sort_plan.instantiate(effective_bids);
-                    state.net = Some(SortNet::Seq(net));
-                    roots
-                };
-                state.roots = roots;
-                state.prev_bids = effective_bids.to_vec();
-                // The whole network is built dirty; nothing was cached.
-                RefreshStats {
-                    nodes_invalidated: sort_plan.nodes.len() as u64,
-                    cache_items_reused: 0,
-                }
-            }
-            Some(net) => {
-                state.changed.clear();
-                for (i, (&new, old)) in effective_bids
-                    .iter()
-                    .zip(state.prev_bids.iter_mut())
-                    .enumerate()
-                {
-                    if new != *old {
-                        state.changed.push((i, new));
-                        *old = new;
-                    }
-                }
-                match net {
-                    SortNet::Seq(n) => n.refresh(&state.changed, &state.cones),
-                    SortNet::Conc(n) => n.refresh(&state.changed, &state.cones),
-                }
-            }
-        };
-        self.metrics.sort_refresh_nanos += started.elapsed().as_nanos();
-        self.metrics.sort_nodes_invalidated += stats.nodes_invalidated;
-        self.metrics.sort_cache_items_reused += stats.cache_items_reused;
-
-        let net = state.net.as_mut().expect("built above");
-        let invocations_before = net.invocations();
-        let mut out = Vec::with_capacity(occurring.len());
-        match net {
-            SortNet::Conc(net) => {
-                let jobs: Vec<TaJob<'_>> = occurring
-                    .iter()
-                    .map(|p| {
-                        (
-                            state.roots[p.index()],
-                            self.c_orders[p.index()].as_slice(),
-                            k,
-                        )
-                    })
-                    .collect();
-                let workload = &self.workload;
-                let outcomes = resolve_parallel_with(
-                    net,
-                    &jobs,
-                    |_, a| effective_bids[a.index()],
-                    |j, a| workload.phrase_factor(occurring[j], a).unwrap_or(0.0),
-                    threads,
-                    &state.ta_pool,
-                );
-                for (&phrase, outcome) in occurring.iter().zip(outcomes) {
-                    self.metrics.ta_stages += outcome.stages as u64;
-                    out.push(AuctionOutcome {
-                        phrase,
-                        assignment: assignment_from_ranking(&outcome.top_k, k),
-                    });
-                }
-            }
-            SortNet::Seq(net) => {
-                for &phrase in occurring {
-                    let q = phrase.index();
-                    let root = state.roots[q];
-                    let workload = &self.workload;
-                    let stages = if root == usize::MAX {
-                        state.ta_out.clear();
-                        0
-                    } else {
-                        let (stages, _) = threshold_top_k_into(
-                            |i| net.get(root, i),
-                            &self.c_orders[q],
-                            |a| effective_bids[a.index()],
-                            |a| workload.phrase_factor(phrase, a).unwrap_or(0.0),
-                            k,
-                            &mut state.ta_scratch,
-                            &mut state.ta_out,
-                        );
-                        stages
-                    };
-                    self.metrics.ta_stages += stages as u64;
-                    out.push(AuctionOutcome {
-                        phrase,
-                        assignment: assignment_from_ranking(&state.ta_out, k),
-                    });
-                }
-            }
-        }
-        self.metrics.merge_invocations += net.invocations() - invocations_before;
-        out
+        budget_context_parts(
+            &self.ledgers,
+            &self.current_bids,
+            &self.clicker,
+            advertiser,
+            m,
+        )
     }
 
     /// The persistent shared-sort network's cached stream per node (its
-    /// already merged prefixes), or `None` before the first `SharedSort`
-    /// round. An observation seam for the `ssa-testkit` differential
-    /// oracle, which asserts a fresh network's caches are prefixes of
-    /// these.
+    /// already merged prefixes), or `None` before the first round of a
+    /// strategy with a sort resolver. An observation seam for the
+    /// `ssa-testkit` differential oracle, which asserts a fresh network's
+    /// caches are prefixes of these.
     pub fn sort_cached_streams(&self) -> Option<Vec<Vec<SortItem>>> {
-        let state = self.sort_state.as_ref()?;
-        let plan = self.sort_plan.as_ref()?;
-        match state.net.as_ref()? {
-            SortNet::Seq(net) => Some(
-                (0..plan.nodes.len())
-                    .map(|v| net.cached(v).to_vec())
-                    .collect(),
-            ),
-            SortNet::Conc(net) => Some((0..plan.nodes.len()).map(|v| net.cached(v)).collect()),
-        }
+        self.resolvers.sort()?.cached_streams()
     }
 
     /// Prices an assignment and displays the winning ads.
@@ -993,468 +616,28 @@ impl Engine {
     }
 }
 
-/// True iff every advertiser's factor is identical across all phrases it
-/// participates in (the Section II separability-across-phrases premise).
-fn phrase_factors_are_uniform(workload: &Workload) -> bool {
-    for q in 0..workload.phrase_count() {
-        for (pos, a) in workload.interest[q].iter().enumerate() {
-            let base = workload.advertisers[a.index()].base_factor;
-            if (workload.phrase_factors[q][pos] - base).abs() > 1e-12 {
-                return false;
-            }
-        }
+/// [`Engine::budget_context`] over the engine's fields individually, so
+/// the round executor can hand resolvers a budget accessor while they
+/// mutably borrow their own state.
+fn budget_context_parts(
+    ledgers: &[Ledger],
+    current_bids: &[Money],
+    clicker: &ClickSimulator,
+    advertiser: usize,
+    m: u64,
+) -> BudgetContext {
+    let ledger = &ledgers[advertiser];
+    BudgetContext {
+        bid: current_bids[advertiser],
+        remaining_budget: ledger.remaining(),
+        auctions_in_round: m,
+        outstanding: ledger
+            .pending
+            .iter()
+            .map(|p| OutstandingAd::new(p.price, clicker.residual_ctr(p.display_ctr, p.age)))
+            .collect(),
     }
-    true
 }
 
 #[cfg(test)]
-mod tests {
-    use super::*;
-    use ssa_workload::WorkloadConfig;
-
-    fn small_workload(jitter: f64, seed: u64) -> Workload {
-        Workload::generate(&WorkloadConfig {
-            advertisers: 60,
-            phrases: 6,
-            topics: 3,
-            phrase_factor_jitter: jitter,
-            seed,
-            ..WorkloadConfig::default()
-        })
-    }
-
-    fn config(sharing: SharingStrategy, policy: BudgetPolicy) -> EngineConfig {
-        EngineConfig {
-            sharing,
-            budget_policy: policy,
-            ..EngineConfig::default()
-        }
-    }
-
-    /// All three sharing strategies must produce identical assignments on
-    /// a jitter-free workload round by round (same seed → same rounds).
-    #[test]
-    fn strategies_agree_on_assignments() {
-        let strategies = [
-            SharingStrategy::Unshared,
-            SharingStrategy::SharedAggregation,
-            SharingStrategy::SharedSort,
-        ];
-        let mut all: Vec<Vec<AuctionOutcome>> = Vec::new();
-        for s in strategies {
-            let mut engine = Engine::new(
-                small_workload(0.0, 42),
-                config(s, BudgetPolicy::ThrottleExact),
-            );
-            let mut outcomes = Vec::new();
-            for _ in 0..10 {
-                outcomes.extend(engine.run_round());
-            }
-            all.push(outcomes);
-        }
-        assert_eq!(all[0].len(), all[1].len());
-        assert_eq!(all[0].len(), all[2].len());
-        for ((a, b), c) in all[0].iter().zip(&all[1]).zip(&all[2]) {
-            assert_eq!(a.phrase, b.phrase);
-            assert_eq!(
-                a.assignment, b.assignment,
-                "unshared vs shared-plan mismatch on {}",
-                a.phrase
-            );
-            assert_eq!(
-                a.assignment, c.assignment,
-                "unshared vs shared-sort mismatch on {}",
-                a.phrase
-            );
-        }
-    }
-
-    #[test]
-    fn shared_sort_handles_jittered_factors() {
-        let mut unshared = Engine::new(
-            small_workload(0.4, 9),
-            config(SharingStrategy::Unshared, BudgetPolicy::ThrottleExact),
-        );
-        let mut shared = Engine::new(
-            small_workload(0.4, 9),
-            config(SharingStrategy::SharedSort, BudgetPolicy::ThrottleExact),
-        );
-        for _ in 0..8 {
-            let a = unshared.run_round();
-            let b = shared.run_round();
-            assert_eq!(a.len(), b.len());
-            for (x, y) in a.iter().zip(&b) {
-                assert_eq!(x.assignment, y.assignment, "phrase {}", x.phrase);
-            }
-        }
-    }
-
-    #[test]
-    #[should_panic(expected = "SharedAggregation requires")]
-    fn shared_aggregation_rejects_jitter() {
-        Engine::new(
-            small_workload(0.4, 9),
-            config(SharingStrategy::SharedAggregation, BudgetPolicy::Ignore),
-        );
-    }
-
-    #[test]
-    fn bounds_policy_matches_exact_policy() {
-        let mut exact = Engine::new(
-            small_workload(0.0, 5),
-            config(SharingStrategy::Unshared, BudgetPolicy::ThrottleExact),
-        );
-        let mut bounds = Engine::new(
-            small_workload(0.0, 5),
-            config(SharingStrategy::Unshared, BudgetPolicy::ThrottleBounds),
-        );
-        for round in 0..6 {
-            let a = exact.run_round();
-            let b = bounds.run_round();
-            for (x, y) in a.iter().zip(&b) {
-                assert_eq!(
-                    x.assignment, y.assignment,
-                    "round {round} phrase {}",
-                    x.phrase
-                );
-            }
-        }
-        assert!(bounds.metrics().bound_evaluations > 0);
-        // The bounds engine must not pay whole-population convolutions:
-        // exact values are computed per phrase for at most k+1 winners,
-        // strictly fewer than the exact engine's per-participant pass.
-        assert!(bounds.metrics().exact_throttle_evaluations > 0);
-        assert!(
-            bounds.metrics().exact_throttle_evaluations
-                < exact.metrics().exact_throttle_evaluations,
-            "bounds {} should undercut exact {}",
-            bounds.metrics().exact_throttle_evaluations,
-            exact.metrics().exact_throttle_evaluations
-        );
-        assert_eq!(exact.metrics().bound_evaluations, 0);
-    }
-
-    /// Regression for the deleted per-(phrase, candidate) rescan of
-    /// `occurring`: the round-level `m_i` is the same participation count
-    /// the rescan produced, so bound-refined winners are unchanged.
-    #[test]
-    fn participation_counts_match_the_deleted_rescan() {
-        let mut engine = Engine::new(
-            small_workload(0.0, 21),
-            config(SharingStrategy::Unshared, BudgetPolicy::ThrottleBounds),
-        );
-        engine.run(5); // build up pending ads so throttling is non-trivial
-        let occurring: Vec<PhraseId> = (0..engine.workload.phrase_count())
-            .map(PhraseId::from_index)
-            .collect();
-        let mut m_i = vec![0u64; engine.workload.advertiser_count()];
-        for &q in &occurring {
-            for a in &engine.workload.interest[q.index()] {
-                m_i[a.index()] += 1;
-            }
-        }
-        let k = engine.config.slot_factors.len();
-        for &phrase in &occurring {
-            let q = phrase.index();
-            let build = |count: &dyn Fn(AdvertiserId) -> u64| -> Vec<UncertainCandidate> {
-                engine.workload.interest[q]
-                    .iter()
-                    .enumerate()
-                    .map(|(pos, &a)| {
-                        let factor = engine.workload.phrase_factors[q][pos];
-                        UncertainCandidate::new(
-                            a,
-                            factor,
-                            &engine.budget_context(a.index(), count(a)),
-                        )
-                    })
-                    .collect()
-            };
-            let fast = build(&|a: AdvertiserId| m_i[a.index()]);
-            let rescan = build(&|a: AdvertiserId| {
-                1.max(
-                    occurring
-                        .iter()
-                        .filter(|&&p| {
-                            engine.workload.interest[p.index()]
-                                .binary_search(&a)
-                                .is_ok()
-                        })
-                        .count() as u64,
-                )
-            });
-            let (w_fast, _) = top_k_uncertain(&fast, k + 1);
-            let (w_rescan, _) = top_k_uncertain(&rescan, k + 1);
-            assert_eq!(w_fast, w_rescan, "phrase {phrase}");
-        }
-    }
-
-    /// The parallel round executor must be bit-identical to the
-    /// sequential one for every strategy × policy combination.
-    #[test]
-    fn wd_threads_bit_identical_across_strategies() {
-        for sharing in [
-            SharingStrategy::Unshared,
-            SharingStrategy::SharedAggregation,
-            SharingStrategy::SharedSort,
-        ] {
-            for policy in [
-                BudgetPolicy::Ignore,
-                BudgetPolicy::ThrottleExact,
-                BudgetPolicy::ThrottleBounds,
-            ] {
-                let run = |threads: usize| {
-                    let mut engine = Engine::new(
-                        small_workload(0.0, 31),
-                        EngineConfig {
-                            sharing,
-                            budget_policy: policy,
-                            wd_threads: threads,
-                            ..EngineConfig::default()
-                        },
-                    );
-                    let mut all = Vec::new();
-                    for _ in 0..8 {
-                        all.extend(engine.run_round());
-                    }
-                    (
-                        all,
-                        engine.metrics().without_timing(),
-                        engine.budget_snapshots(),
-                        engine.last_effective_bids().to_vec(),
-                    )
-                };
-                let (seq, seq_m, seq_snap, seq_bids) = run(1);
-                let (par, par_m, par_snap, par_bids) = run(4);
-                let label = format!("{sharing:?}/{policy:?}");
-                assert_eq!(seq.len(), par.len(), "{label}");
-                for (a, b) in seq.iter().zip(&par) {
-                    assert_eq!(a.phrase, b.phrase, "{label}");
-                    assert_eq!(a.assignment, b.assignment, "{label} phrase {}", a.phrase);
-                }
-                assert_eq!(seq_m, par_m, "{label} metrics");
-                assert_eq!(seq_snap, par_snap, "{label} budget snapshots");
-                assert_eq!(seq_bids, par_bids, "{label} effective bids");
-            }
-        }
-    }
-
-    /// The engine's default plan uses the full Section II-D heuristic,
-    /// whose greedy completion should not cost more than fragments-only
-    /// on a typical workload.
-    #[test]
-    fn default_planner_cost_at_most_fragments_only() {
-        use crate::plan::cost::expected_cost;
-        let w = small_workload(0.0, 42);
-        let rates = w.search_rates();
-        let full = Engine::new(
-            w.clone(),
-            config(SharingStrategy::SharedAggregation, BudgetPolicy::Ignore),
-        );
-        let frag = Engine::new(
-            w,
-            EngineConfig {
-                sharing: SharingStrategy::SharedAggregation,
-                budget_policy: BudgetPolicy::Ignore,
-                planner: PlannerMode::FragmentsOnly,
-                ..EngineConfig::default()
-            },
-        );
-        assert_eq!(full.config().planner, PlannerMode::Full, "default is full");
-        let full_cost = expected_cost(full.plan.as_ref().unwrap(), &rates);
-        let frag_cost = expected_cost(frag.plan.as_ref().unwrap(), &rates);
-        assert!(
-            full_cost <= frag_cost,
-            "full {full_cost} vs fragments-only {frag_cost}"
-        );
-        // Both engines still resolve identically — plans differ only in cost.
-        let mut full = full;
-        let mut frag = frag;
-        for _ in 0..5 {
-            let a = full.run_round();
-            let b = frag.run_round();
-            for (x, y) in a.iter().zip(&b) {
-                assert_eq!(x.assignment, y.assignment);
-            }
-        }
-    }
-
-    /// Zero-advertiser workloads and empty-interest phrases must resolve
-    /// trivially instead of planting a fake advertiser-0 leaf (which
-    /// panicked when `n == 0`).
-    #[test]
-    fn empty_phrases_and_zero_advertisers_resolve_trivially() {
-        // n == 0: every strategy runs, no winners, no revenue.
-        for sharing in [
-            SharingStrategy::Unshared,
-            SharingStrategy::SharedAggregation,
-            SharingStrategy::SharedSort,
-        ] {
-            let w = Workload::generate(&WorkloadConfig {
-                advertisers: 0,
-                phrases: 4,
-                topics: 2,
-                ..WorkloadConfig::default()
-            });
-            let mut engine = Engine::new(w, config(sharing, BudgetPolicy::ThrottleExact));
-            let m = engine.run(5);
-            assert_eq!(m.impressions, 0, "{sharing:?}");
-            assert!(m.revenue.is_zero(), "{sharing:?}");
-        }
-        // One emptied phrase: it resolves empty, others are unaffected.
-        let mut w = small_workload(0.0, 8);
-        w.interest[0].clear();
-        w.phrase_factors[0].clear();
-        let mut engine = Engine::new(
-            w,
-            config(
-                SharingStrategy::SharedAggregation,
-                BudgetPolicy::ThrottleExact,
-            ),
-        );
-        let mut saw_other_winners = false;
-        for _ in 0..10 {
-            for outcome in engine.run_round() {
-                if outcome.phrase.index() == 0 {
-                    assert!(outcome.assignment.winners().is_empty());
-                } else if !outcome.assignment.winners().is_empty() {
-                    saw_other_winners = true;
-                }
-            }
-        }
-        assert!(saw_other_winners, "non-empty phrases still resolve");
-    }
-
-    #[test]
-    fn revenue_never_exceeds_total_budgets() {
-        let workload = small_workload(0.0, 11);
-        let total_budget: Money = workload.advertisers.iter().map(|a| a.budget).sum();
-        for policy in [BudgetPolicy::Ignore, BudgetPolicy::ThrottleExact] {
-            let mut engine = Engine::new(
-                small_workload(0.0, 11),
-                config(SharingStrategy::Unshared, policy),
-            );
-            let m = engine.run(50);
-            assert!(
-                m.revenue <= total_budget,
-                "{policy:?} collected {} over budget {total_budget}",
-                m.revenue
-            );
-        }
-    }
-
-    #[test]
-    fn metrics_accumulate_sensibly() {
-        let mut engine = Engine::new(
-            small_workload(0.0, 3),
-            config(
-                SharingStrategy::SharedAggregation,
-                BudgetPolicy::ThrottleExact,
-            ),
-        );
-        let m = engine.run(20);
-        assert_eq!(m.rounds, 20);
-        assert!(m.auctions > 0, "phrases must occur");
-        assert!(m.impressions > 0);
-        assert!(m.aggregation_ops > 0);
-        assert_eq!(m.advertisers_scanned, 0, "no scans under shared plan");
-    }
-
-    #[test]
-    fn parallel_ta_matches_sequential_engine() {
-        let run = |threads: usize| {
-            let mut engine = Engine::new(
-                small_workload(0.3, 44),
-                EngineConfig {
-                    sharing: SharingStrategy::SharedSort,
-                    ta_threads: threads,
-                    seed: 6,
-                    ..EngineConfig::default()
-                },
-            );
-            let mut all = Vec::new();
-            for _ in 0..8 {
-                all.extend(engine.run_round());
-            }
-            (all, engine.metrics().clone())
-        };
-        let (seq, seq_m) = run(1);
-        let (par, par_m) = run(4);
-        assert_eq!(seq.len(), par.len());
-        for (a, b) in seq.iter().zip(&par) {
-            assert_eq!(a.assignment, b.assignment, "phrase {}", a.phrase);
-        }
-        assert_eq!(seq_m.ta_stages, par_m.ta_stages);
-        assert_eq!(seq_m.revenue, par_m.revenue);
-    }
-
-    #[test]
-    fn bidding_programs_move_bids_and_stay_consistent_across_strategies() {
-        use super::bidding::{BidStrategy, BiddingProgram};
-        use ssa_auction::ids::SlotIndex;
-
-        let build = |sharing: SharingStrategy| {
-            let w = small_workload(0.0, 77);
-            let programs: Vec<BiddingProgram> = w
-                .advertisers
-                .iter()
-                .enumerate()
-                .map(|(i, a)| {
-                    let strategy = match i % 3 {
-                        0 => BidStrategy::Static,
-                        1 => BidStrategy::TargetSlot {
-                            target: SlotIndex(0),
-                            step: 0.05,
-                            max_bid: Money::from_units(50),
-                        },
-                        _ => BidStrategy::BudgetPacing {
-                            horizon: 40,
-                            step: 0.05,
-                        },
-                    };
-                    BiddingProgram::new(strategy, a.bid)
-                })
-                .collect();
-            let mut engine = Engine::new(
-                w,
-                EngineConfig {
-                    sharing,
-                    budget_policy: BudgetPolicy::Ignore,
-                    seed: 19,
-                    ..EngineConfig::default()
-                },
-            );
-            engine.set_bidding_programs(programs);
-            engine
-        };
-        let mut a = build(SharingStrategy::Unshared);
-        let mut b = build(SharingStrategy::SharedAggregation);
-        let initial = a.current_bids().to_vec();
-        for round in 0..15 {
-            let oa = a.run_round();
-            let ob = b.run_round();
-            for (x, y) in oa.iter().zip(&ob) {
-                assert_eq!(x.assignment, y.assignment, "round {round}");
-            }
-            assert_eq!(a.current_bids(), b.current_bids(), "round {round}");
-        }
-        assert_ne!(
-            a.current_bids(),
-            &initial[..],
-            "dynamic strategies must actually move bids"
-        );
-    }
-
-    #[test]
-    fn deterministic_given_seed() {
-        let run = || {
-            let mut engine = Engine::new(
-                small_workload(0.0, 13),
-                config(SharingStrategy::Unshared, BudgetPolicy::ThrottleExact),
-            );
-            let m = engine.run(15);
-            (m.revenue, m.clicks, m.impressions)
-        };
-        assert_eq!(run(), run());
-    }
-}
+mod tests;

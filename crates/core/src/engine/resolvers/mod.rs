@@ -1,0 +1,224 @@
+//! The winner-determination resolver layer.
+//!
+//! Each of the paper's three strategies — the per-phrase unshared scan,
+//! the Section II shared top-k aggregation plan, and the Section III
+//! shared merge-sort + Threshold Algorithm — lives in its own resolver
+//! behind the common [`PhraseResolver`] trait. A resolver owns *all* of
+//! its persistent cross-round state (the compiled plan DAG and its level
+//! schedule, the persistent merge network and TA scratch pools); the
+//! engine owns only the round loop, budgets, and settlement.
+//!
+//! Resolvers are compiled over an explicit *phrase subset*, which is what
+//! makes `SharingStrategy::Hybrid` possible: separable phrases compile
+//! into one aggregation plan, the rest into one sort network, and each
+//! round the engine routes every occurring phrase to the resolver that
+//! owns it.
+
+mod plan;
+mod sort;
+mod unshared;
+
+pub use plan::PlanResolver;
+pub use sort::SortResolver;
+pub use unshared::UnsharedResolver;
+
+use std::time::Instant;
+
+use ssa_auction::ids::PhraseId;
+use ssa_auction::money::Money;
+use ssa_workload::Workload;
+
+use crate::budget::BudgetContext;
+
+use super::{AuctionOutcome, BudgetPolicy, EngineConfig, EngineMetrics, SharingStrategy};
+
+/// Per-round context handed to every resolver call: the workload, the
+/// round's participation counts, the executor knobs, and a budget-state
+/// accessor (used by the unshared bounds path to refine lazily). Borrowed
+/// from disjoint engine fields so resolvers can hold `&mut` state at the
+/// same time.
+pub struct RoundContext<'a> {
+    /// The workload under simulation.
+    pub workload: &'a Workload,
+    /// Slots per auction (`slot_factors.len()`).
+    pub k: usize,
+    /// Worker threads for the resolver's parallel stages.
+    pub wd_threads: usize,
+    /// The engine's budget enforcement policy.
+    pub budget_policy: BudgetPolicy,
+    /// Per-advertiser auction participation count this round.
+    pub m_i: &'a [u64],
+    /// Budget state of advertiser `i` participating in `m` auctions, as
+    /// the engine's throttler sees it.
+    pub budgets: &'a (dyn Fn(usize, u64) -> BudgetContext + Sync),
+}
+
+/// One winner-determination path. `prepare` runs once per round before
+/// any phrase is resolved (the sort resolver refreshes its persistent
+/// network there); `resolve` turns a batch of occurring phrases into
+/// auction outcomes, in the same phrase order.
+///
+/// `effective_bids` is mutable because the unshared bounds path computes
+/// exact throttled bids only for ranked winners and backfills them for
+/// pricing; the shared resolvers treat it as read-only.
+pub trait PhraseResolver {
+    /// Round preamble; default is a no-op.
+    fn prepare(
+        &mut self,
+        _ctx: &RoundContext<'_>,
+        _effective_bids: &[Money],
+        _metrics: &mut EngineMetrics,
+    ) {
+    }
+
+    /// Resolves `phrases` (ascending, a subset of the round's occurring
+    /// phrases) into one outcome each.
+    fn resolve(
+        &mut self,
+        ctx: &RoundContext<'_>,
+        phrases: &[PhraseId],
+        effective_bids: &mut [Money],
+        metrics: &mut EngineMetrics,
+    ) -> Vec<AuctionOutcome>;
+}
+
+/// The strategy's resolver set: one resolver for the single-strategy
+/// engines, a routed pair for [`SharingStrategy::Hybrid`].
+pub(crate) enum Resolvers {
+    Unshared(UnsharedResolver),
+    Plan(PlanResolver),
+    Sort(SortResolver),
+    Hybrid {
+        plan: PlanResolver,
+        sort: SortResolver,
+        /// Per phrase: `true` routes to the plan, `false` to the sort
+        /// network. Fixed at construction (separability is a workload
+        /// property, not a round property).
+        plan_route: Vec<bool>,
+    },
+}
+
+impl Resolvers {
+    /// Builds the strategy's resolvers, compiling their offline plans
+    /// over the phrase subsets they own.
+    pub(super) fn for_strategy(workload: &Workload, config: &EngineConfig) -> Self {
+        match config.sharing {
+            SharingStrategy::Unshared => Resolvers::Unshared(UnsharedResolver),
+            SharingStrategy::SharedAggregation => {
+                Resolvers::Plan(PlanResolver::new(workload, config.planner, None))
+            }
+            SharingStrategy::SharedSort => {
+                Resolvers::Sort(SortResolver::new(workload, None, config.wd_threads))
+            }
+            SharingStrategy::Hybrid => {
+                let plan_route: Vec<bool> = (0..workload.phrase_count())
+                    .map(|q| workload.phrase_is_separable(q))
+                    .collect();
+                let sort_route: Vec<bool> = plan_route.iter().map(|&r| !r).collect();
+                Resolvers::Hybrid {
+                    plan: PlanResolver::new(workload, config.planner, Some(&plan_route)),
+                    sort: SortResolver::new(workload, Some(&sort_route), config.wd_threads),
+                    plan_route,
+                }
+            }
+        }
+    }
+
+    /// The plan resolver, when the strategy has one (test seam).
+    #[cfg(test)]
+    pub(super) fn plan(&self) -> Option<&PlanResolver> {
+        match self {
+            Resolvers::Plan(plan) | Resolvers::Hybrid { plan, .. } => Some(plan),
+            _ => None,
+        }
+    }
+
+    /// The sort resolver, when the strategy has one.
+    pub(super) fn sort(&self) -> Option<&SortResolver> {
+        match self {
+            Resolvers::Sort(sort) | Resolvers::Hybrid { sort, .. } => Some(sort),
+            _ => None,
+        }
+    }
+
+    /// Stage 2 of one round: routes every occurring phrase to its
+    /// resolver and merges the outcomes back into occurrence order,
+    /// accounting routed-phrase counts and per-path wall-clock.
+    pub(super) fn resolve_round(
+        &mut self,
+        ctx: &RoundContext<'_>,
+        occurring: &[PhraseId],
+        effective_bids: &mut [Money],
+        metrics: &mut EngineMetrics,
+    ) -> Vec<AuctionOutcome> {
+        match self {
+            Resolvers::Unshared(resolver) => {
+                metrics.phrases_routed_unshared += occurring.len() as u64;
+                let started = Instant::now();
+                let out = resolver.resolve(ctx, occurring, effective_bids, metrics);
+                metrics.wd_unshared_nanos += started.elapsed().as_nanos();
+                out
+            }
+            Resolvers::Plan(resolver) => {
+                metrics.phrases_routed_plan += occurring.len() as u64;
+                let started = Instant::now();
+                let out = resolver.resolve(ctx, occurring, effective_bids, metrics);
+                metrics.wd_plan_nanos += started.elapsed().as_nanos();
+                out
+            }
+            Resolvers::Sort(resolver) => {
+                metrics.phrases_routed_sort += occurring.len() as u64;
+                let started = Instant::now();
+                resolver.prepare(ctx, effective_bids, metrics);
+                let out = resolver.resolve(ctx, occurring, effective_bids, metrics);
+                metrics.wd_sort_nanos += started.elapsed().as_nanos();
+                out
+            }
+            Resolvers::Hybrid {
+                plan,
+                sort,
+                plan_route,
+            } => {
+                let mut plan_phrases = Vec::new();
+                let mut sort_phrases = Vec::new();
+                for &p in occurring {
+                    if plan_route[p.index()] {
+                        plan_phrases.push(p);
+                    } else {
+                        sort_phrases.push(p);
+                    }
+                }
+                metrics.phrases_routed_plan += plan_phrases.len() as u64;
+                metrics.phrases_routed_sort += sort_phrases.len() as u64;
+
+                // The sort network refreshes every round — even when no
+                // sort phrase occurs — so its dirty-cone state tracks the
+                // bid stream exactly as a pure `SharedSort` engine's
+                // does.
+                let started = Instant::now();
+                sort.prepare(ctx, effective_bids, metrics);
+                let sort_out = sort.resolve(ctx, &sort_phrases, effective_bids, metrics);
+                metrics.wd_sort_nanos += started.elapsed().as_nanos();
+
+                let started = Instant::now();
+                let plan_out = plan.resolve(ctx, &plan_phrases, effective_bids, metrics);
+                metrics.wd_plan_nanos += started.elapsed().as_nanos();
+
+                // Both outputs follow their input order, which are
+                // subsequences of `occurring`; zip them back together.
+                let mut plan_out = plan_out.into_iter();
+                let mut sort_out = sort_out.into_iter();
+                occurring
+                    .iter()
+                    .map(|&p| {
+                        if plan_route[p.index()] {
+                            plan_out.next().expect("one outcome per plan phrase")
+                        } else {
+                            sort_out.next().expect("one outcome per sort phrase")
+                        }
+                    })
+                    .collect()
+            }
+        }
+    }
+}

@@ -1,0 +1,150 @@
+//! The Section II resolver: one shared top-k aggregation plan.
+
+use ssa_auction::ids::{AdvertiserId, PhraseId};
+use ssa_auction::score::Score;
+use ssa_auction::winner::assignment_from_ranking;
+use ssa_setcover::BitSet;
+use ssa_workload::Workload;
+
+use crate::plan::{LevelSchedule, PlanDag, PlanProblem, PlannerMode, SharedPlanner};
+use crate::topk::{KList, ScoredAd, ScoredTopKOp};
+
+use super::super::{AuctionOutcome, EngineMetrics};
+use super::{PhraseResolver, RoundContext};
+use ssa_auction::money::Money;
+
+/// Shared top-k aggregation over a (possibly strict) subset of the
+/// workload's phrases, compiled once at engine construction. Requires
+/// every bound phrase to be separable: leaves score each advertiser by
+/// its *base* factor, which is only that phrase's `c_i^q` when the factor
+/// is phrase-independent there.
+pub struct PlanResolver {
+    /// Offline shared-aggregation plan; `None` when every bound phrase's
+    /// interest set is empty.
+    plan: Option<PlanDag>,
+    /// The plan's topological level schedule, computed once for
+    /// level-parallel evaluation under `wd_threads > 1`.
+    schedule: Option<LevelSchedule>,
+    /// Per phrase, the plan query index it is bound to (`None` for
+    /// phrases outside this resolver's subset and for empty-interest
+    /// phrases, which resolve trivially).
+    query_index: Vec<Option<usize>>,
+}
+
+impl PlanResolver {
+    /// Compiles a plan over the phrases where `mask` is true (all phrases
+    /// when `mask` is `None`), dropping empty-interest phrases from the
+    /// problem (they cannot be bound in a plan and would pollute its cost
+    /// model; they resolve trivially at round time).
+    ///
+    /// # Panics
+    /// Panics if an included phrase has phrase-specific factors (the
+    /// Section III setting), where top-k aggregates cannot be shared.
+    pub fn new(workload: &Workload, planner: PlannerMode, mask: Option<&[bool]>) -> Self {
+        let n = workload.advertiser_count();
+        let m = workload.phrase_count();
+        let rates = workload.search_rates();
+        let mut query_index: Vec<Option<usize>> = vec![None; m];
+        let mut queries: Vec<BitSet> = Vec::new();
+        let mut query_rates: Vec<f64> = Vec::new();
+        for (q, ids) in workload.interest.iter().enumerate() {
+            if mask.is_some_and(|mask| !mask[q]) || ids.is_empty() {
+                continue;
+            }
+            assert!(
+                workload.phrase_is_separable(q),
+                "SharedAggregation requires phrase-independent advertiser factors; \
+                 use SharedSort or Hybrid for jittered workloads"
+            );
+            query_index[q] = Some(queries.len());
+            queries.push(BitSet::from_elements(n, ids.iter().map(|a| a.index())));
+            query_rates.push(rates[q]);
+        }
+        let plan = if queries.is_empty() {
+            None
+        } else {
+            let problem = PlanProblem::new(n, queries, Some(query_rates));
+            Some(SharedPlanner { mode: planner }.plan(&problem))
+        };
+        let schedule = plan.as_ref().map(PlanDag::level_schedule);
+        PlanResolver {
+            plan,
+            schedule,
+            query_index,
+        }
+    }
+
+    /// The compiled plan, if any phrase was bound (an observation seam
+    /// for cost assertions in tests and benches).
+    pub fn dag(&self) -> Option<&PlanDag> {
+        self.plan.as_ref()
+    }
+}
+
+impl PhraseResolver for PlanResolver {
+    fn resolve(
+        &mut self,
+        ctx: &RoundContext<'_>,
+        phrases: &[PhraseId],
+        effective_bids: &mut [Money],
+        metrics: &mut EngineMetrics,
+    ) -> Vec<AuctionOutcome> {
+        let k = ctx.k;
+        let Some(plan) = self.plan.as_ref() else {
+            // Every bound phrase had an empty interest set (or there are
+            // no advertisers at all): every auction resolves empty.
+            return phrases
+                .iter()
+                .map(|&phrase| AuctionOutcome {
+                    phrase,
+                    assignment: assignment_from_ranking(&[], k),
+                })
+                .collect();
+        };
+        let op = ScoredTopKOp { k };
+        // Leaves: singleton k-lists of each advertiser's current score.
+        let leaf_values: Vec<KList<ScoredAd>> = ctx
+            .workload
+            .advertisers
+            .iter()
+            .enumerate()
+            .map(|(i, adv)| {
+                let score = Score::expected_value(effective_bids[i], adv.base_factor);
+                KList::singleton(k, ScoredAd::new(adv.id, score))
+            })
+            .collect();
+        let mut flags = vec![false; plan.query_count()];
+        for &p in phrases {
+            if let Some(qi) = self.query_index[p.index()] {
+                flags[qi] = true;
+            }
+        }
+        let (results, ops) = if ctx.wd_threads > 1 {
+            let schedule = self.schedule.as_ref().expect("schedule computed with plan");
+            plan.evaluate_parallel(&op, &leaf_values, &flags, schedule, ctx.wd_threads)
+        } else {
+            plan.evaluate(&op, &leaf_values, &flags)
+        };
+        metrics.aggregation_ops += ops as u64;
+        phrases
+            .iter()
+            .map(|&phrase| {
+                // A query node's variable set is exactly the phrase's
+                // interest set, so every ranked advertiser is interested.
+                let ranked: Vec<(AdvertiserId, Score)> = self.query_index[phrase.index()]
+                    .and_then(|qi| results[qi].as_ref())
+                    .map(|list| {
+                        list.items()
+                            .iter()
+                            .map(|s| (s.advertiser, s.score))
+                            .collect()
+                    })
+                    .unwrap_or_default();
+                AuctionOutcome {
+                    phrase,
+                    assignment: assignment_from_ranking(&ranked, k),
+                }
+            })
+            .collect()
+    }
+}

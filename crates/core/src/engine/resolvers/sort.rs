@@ -1,0 +1,277 @@
+//! The Section III resolver: persistent shared merge network + TA.
+
+use std::time::Instant;
+
+use ssa_auction::ids::{AdvertiserId, PhraseId};
+use ssa_auction::money::Money;
+use ssa_auction::score::Score;
+use ssa_auction::winner::assignment_from_ranking;
+use ssa_setcover::BitSet;
+use ssa_workload::Workload;
+
+use crate::sort::concurrent::{resolve_parallel_with, ConcurrentMergeNetwork, TaJob};
+use crate::sort::planner::{build_shared_sort_plan_bucketed, SortPlan};
+use crate::sort::ta::{threshold_top_k_into, TaScratch};
+use crate::sort::{MergeNetwork, RefreshStats, SortItem};
+
+use super::super::{AuctionOutcome, EngineMetrics};
+use super::{PhraseResolver, RoundContext};
+
+/// The persistent merge network a sort resolver keeps alive across
+/// rounds — sequential or lock-striped concurrent, fixed at construction
+/// by the configured thread count.
+enum SortNet {
+    Seq(MergeNetwork),
+    Conc(ConcurrentMergeNetwork),
+}
+
+impl SortNet {
+    fn invocations(&self) -> u64 {
+        match self {
+            SortNet::Seq(net) => net.invocations(),
+            SortNet::Conc(net) => net.invocations(),
+        }
+    }
+}
+
+/// Shared merge-sort + Threshold Algorithm over a (possibly strict)
+/// subset of the workload's phrases. The merge network lives for the
+/// lifetime of the [`SortPlan`]: each round `prepare` diffs the new
+/// effective bids against `prev_bids` and refreshes only the dirty cones,
+/// so untouched subtrees keep their cached merged prefixes. TA scratch
+/// (seen-sets, top-k working lists) also persists so steady-state rounds
+/// allocate nothing in those paths. Outcomes are bit-identical to
+/// fresh-per-round instantiation (pinned by the `sort-persistent`
+/// differential-corpus check in `ssa-testkit`).
+pub struct SortResolver {
+    /// Offline shared-sort plan over the bound phrase subset.
+    plan: SortPlan,
+    /// Per phrase, advertisers by descending `c_i^q` (TA's second list);
+    /// empty for phrases outside this resolver's subset.
+    c_orders: Vec<Vec<(AdvertiserId, f64)>>,
+    /// Worker threads; `> 1` uses the lock-per-operator concurrent
+    /// network (identical results, only wall-clock changes).
+    threads: usize,
+    /// Per leaf, the merge operators a bid change there invalidates
+    /// (`SortPlan::leaf_cones`, computed once at plan-build time).
+    cones: Vec<Vec<u32>>,
+    /// The persistent network; `None` until the first round builds it
+    /// from that round's effective bids.
+    net: Option<SortNet>,
+    /// Per-phrase roots in network node space (`usize::MAX` for empty or
+    /// unbound phrases).
+    roots: Vec<usize>,
+    /// The effective bids the network currently reflects.
+    prev_bids: Vec<Money>,
+    /// Reusable bid-delta buffer.
+    changed: Vec<(usize, Money)>,
+    /// Sequential TA scratch + output buffer.
+    ta_scratch: TaScratch,
+    ta_out: Vec<(AdvertiserId, Score)>,
+    /// Concurrent TA scratch pool, one per worker.
+    ta_pool: Vec<parking_lot::Mutex<TaScratch>>,
+}
+
+impl SortResolver {
+    /// Compiles a sort plan over the phrases where `mask` is true (all
+    /// phrases when `mask` is `None`). Masked-out phrases keep an empty
+    /// interest set in the plan, so they root at `usize::MAX` and cost
+    /// the network nothing.
+    pub fn new(workload: &Workload, mask: Option<&[bool]>, threads: usize) -> Self {
+        let n = workload.advertiser_count();
+        let m = workload.phrase_count();
+        let included = |q: usize| mask.is_none_or(|mask| mask[q]);
+        let interest: Vec<BitSet> = workload
+            .interest
+            .iter()
+            .enumerate()
+            .map(|(q, ids)| {
+                if included(q) {
+                    BitSet::from_elements(n, ids.iter().map(|a| a.index()))
+                } else {
+                    BitSet::new(n)
+                }
+            })
+            .collect();
+        let plan = build_shared_sort_plan_bucketed(n, &interest, &workload.search_rates());
+        let c_orders = (0..m)
+            .map(|q| {
+                if !included(q) {
+                    return Vec::new();
+                }
+                let phrase = PhraseId::from_index(q);
+                let mut order: Vec<(AdvertiserId, f64)> = workload.interest[q]
+                    .iter()
+                    .map(|&a| {
+                        (
+                            a,
+                            workload
+                                .phrase_factor(phrase, a)
+                                .expect("interested advertiser has a factor"),
+                        )
+                    })
+                    .collect();
+                order.sort_by(|x, y| y.1.total_cmp(&x.1).then(x.0.cmp(&y.0)));
+                order
+            })
+            .collect();
+        let threads = threads.max(1);
+        SortResolver {
+            cones: plan.leaf_cones(),
+            plan,
+            c_orders,
+            threads,
+            net: None,
+            roots: Vec::new(),
+            prev_bids: Vec::new(),
+            changed: Vec::new(),
+            ta_scratch: TaScratch::new(),
+            ta_out: Vec::new(),
+            ta_pool: (0..threads)
+                .map(|_| parking_lot::Mutex::new(TaScratch::new()))
+                .collect(),
+        }
+    }
+
+    /// The persistent network's cached stream per node (its already
+    /// merged prefixes), or `None` before the first round. An observation
+    /// seam for the `ssa-testkit` differential oracle, which asserts a
+    /// fresh network's caches are prefixes of these.
+    pub fn cached_streams(&self) -> Option<Vec<Vec<SortItem>>> {
+        match self.net.as_ref()? {
+            SortNet::Seq(net) => Some(
+                (0..self.plan.nodes.len())
+                    .map(|v| net.cached(v).to_vec())
+                    .collect(),
+            ),
+            SortNet::Conc(net) => Some((0..self.plan.nodes.len()).map(|v| net.cached(v)).collect()),
+        }
+    }
+}
+
+impl PhraseResolver for SortResolver {
+    /// Refreshes (first round: builds) the persistent network from the
+    /// round's effective bids.
+    fn prepare(
+        &mut self,
+        _ctx: &RoundContext<'_>,
+        effective_bids: &[Money],
+        metrics: &mut EngineMetrics,
+    ) {
+        let started = Instant::now();
+        let stats = match self.net.as_mut() {
+            None => {
+                let roots = if self.threads > 1 {
+                    let (net, roots) =
+                        ConcurrentMergeNetwork::from_plan(&self.plan, effective_bids);
+                    self.net = Some(SortNet::Conc(net));
+                    roots
+                } else {
+                    let (net, roots) = self.plan.instantiate(effective_bids);
+                    self.net = Some(SortNet::Seq(net));
+                    roots
+                };
+                self.roots = roots;
+                self.prev_bids = effective_bids.to_vec();
+                // The whole network is built dirty; nothing was cached.
+                RefreshStats {
+                    nodes_invalidated: self.plan.nodes.len() as u64,
+                    cache_items_reused: 0,
+                }
+            }
+            Some(net) => {
+                self.changed.clear();
+                for (i, (&new, old)) in effective_bids
+                    .iter()
+                    .zip(self.prev_bids.iter_mut())
+                    .enumerate()
+                {
+                    if new != *old {
+                        self.changed.push((i, new));
+                        *old = new;
+                    }
+                }
+                match net {
+                    SortNet::Seq(n) => n.refresh(&self.changed, &self.cones),
+                    SortNet::Conc(n) => n.refresh(&self.changed, &self.cones),
+                }
+            }
+        };
+        metrics.sort_refresh_nanos += started.elapsed().as_nanos();
+        metrics.sort_nodes_invalidated += stats.nodes_invalidated;
+        metrics.sort_cache_items_reused += stats.cache_items_reused;
+    }
+
+    fn resolve(
+        &mut self,
+        ctx: &RoundContext<'_>,
+        phrases: &[PhraseId],
+        effective_bids: &mut [Money],
+        metrics: &mut EngineMetrics,
+    ) -> Vec<AuctionOutcome> {
+        let k = ctx.k;
+        let net = self.net.as_mut().expect("prepare builds the network");
+        let invocations_before = net.invocations();
+        let mut out = Vec::with_capacity(phrases.len());
+        match net {
+            SortNet::Conc(net) => {
+                let jobs: Vec<TaJob<'_>> = phrases
+                    .iter()
+                    .map(|p| {
+                        (
+                            self.roots[p.index()],
+                            self.c_orders[p.index()].as_slice(),
+                            k,
+                        )
+                    })
+                    .collect();
+                let workload = ctx.workload;
+                let bids: &[Money] = effective_bids;
+                let outcomes = resolve_parallel_with(
+                    net,
+                    &jobs,
+                    |_, a| bids[a.index()],
+                    |j, a| workload.phrase_factor(phrases[j], a).unwrap_or(0.0),
+                    self.threads,
+                    &self.ta_pool,
+                );
+                for (&phrase, outcome) in phrases.iter().zip(outcomes) {
+                    metrics.ta_stages += outcome.stages as u64;
+                    out.push(AuctionOutcome {
+                        phrase,
+                        assignment: assignment_from_ranking(&outcome.top_k, k),
+                    });
+                }
+            }
+            SortNet::Seq(net) => {
+                for &phrase in phrases {
+                    let q = phrase.index();
+                    let root = self.roots[q];
+                    let workload = ctx.workload;
+                    let stages = if root == usize::MAX {
+                        self.ta_out.clear();
+                        0
+                    } else {
+                        let (stages, _) = threshold_top_k_into(
+                            |i| net.get(root, i),
+                            &self.c_orders[q],
+                            |a| effective_bids[a.index()],
+                            |a| workload.phrase_factor(phrase, a).unwrap_or(0.0),
+                            k,
+                            &mut self.ta_scratch,
+                            &mut self.ta_out,
+                        );
+                        stages
+                    };
+                    metrics.ta_stages += stages as u64;
+                    out.push(AuctionOutcome {
+                        phrase,
+                        assignment: assignment_from_ranking(&self.ta_out, k),
+                    });
+                }
+            }
+        }
+        metrics.merge_invocations += net.invocations() - invocations_before;
+        out
+    }
+}

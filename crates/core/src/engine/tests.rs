@@ -1,0 +1,574 @@
+use super::*;
+use crate::budget::topk::{top_k_uncertain, UncertainCandidate};
+use ssa_auction::ids::AdvertiserId;
+use ssa_workload::WorkloadConfig;
+
+fn small_workload(jitter: f64, seed: u64) -> Workload {
+    Workload::generate(&WorkloadConfig {
+        advertisers: 60,
+        phrases: 6,
+        topics: 3,
+        phrase_factor_jitter: jitter,
+        seed,
+        ..WorkloadConfig::default()
+    })
+}
+
+/// Jittered workload with roughly half the phrases exempted, so a
+/// `Hybrid` engine exercises both of its resolvers.
+fn mixed_workload(seed: u64) -> Workload {
+    Workload::generate(&WorkloadConfig {
+        advertisers: 60,
+        phrases: 8,
+        topics: 3,
+        phrase_factor_jitter: 0.4,
+        separable_fraction: 0.5,
+        seed,
+        ..WorkloadConfig::default()
+    })
+}
+
+fn config(sharing: SharingStrategy, policy: BudgetPolicy) -> EngineConfig {
+    EngineConfig {
+        sharing,
+        budget_policy: policy,
+        ..EngineConfig::default()
+    }
+}
+
+/// All sharing strategies must produce identical assignments on a
+/// jitter-free workload round by round (same seed → same rounds).
+/// `Hybrid` routes every phrase to its plan there.
+#[test]
+fn strategies_agree_on_assignments() {
+    let strategies = [
+        SharingStrategy::Unshared,
+        SharingStrategy::SharedAggregation,
+        SharingStrategy::SharedSort,
+        SharingStrategy::Hybrid,
+    ];
+    let mut all: Vec<Vec<AuctionOutcome>> = Vec::new();
+    for s in strategies {
+        let mut engine = Engine::new(
+            small_workload(0.0, 42),
+            config(s, BudgetPolicy::ThrottleExact),
+        );
+        let mut outcomes = Vec::new();
+        for _ in 0..10 {
+            outcomes.extend(engine.run_round());
+        }
+        all.push(outcomes);
+    }
+    for pair in all.windows(2) {
+        assert_eq!(pair[0].len(), pair[1].len());
+        for (a, b) in pair[0].iter().zip(&pair[1]) {
+            assert_eq!(a.phrase, b.phrase);
+            assert_eq!(a.assignment, b.assignment, "mismatch on {}", a.phrase);
+        }
+    }
+}
+
+#[test]
+fn shared_sort_handles_jittered_factors() {
+    let mut unshared = Engine::new(
+        small_workload(0.4, 9),
+        config(SharingStrategy::Unshared, BudgetPolicy::ThrottleExact),
+    );
+    let mut shared = Engine::new(
+        small_workload(0.4, 9),
+        config(SharingStrategy::SharedSort, BudgetPolicy::ThrottleExact),
+    );
+    for _ in 0..8 {
+        let a = unshared.run_round();
+        let b = shared.run_round();
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.assignment, y.assignment, "phrase {}", x.phrase);
+        }
+    }
+}
+
+/// A `Hybrid` engine on a mixed workload must agree round by round with
+/// both a full `SharedSort` engine and the unshared baseline — same
+/// outcomes, same effective bids, same budget evolution.
+#[test]
+fn hybrid_matches_unshared_and_shared_sort_on_mixed_workloads() {
+    for policy in [BudgetPolicy::Ignore, BudgetPolicy::ThrottleExact] {
+        let mut hybrid = Engine::new(mixed_workload(23), config(SharingStrategy::Hybrid, policy));
+        let mut sort = Engine::new(
+            mixed_workload(23),
+            config(SharingStrategy::SharedSort, policy),
+        );
+        let mut unshared = Engine::new(
+            mixed_workload(23),
+            config(SharingStrategy::Unshared, policy),
+        );
+        for round in 0..10 {
+            let h = hybrid.run_round();
+            let s = sort.run_round();
+            let u = unshared.run_round();
+            assert_eq!(h.len(), s.len(), "{policy:?} round {round}");
+            for ((x, y), z) in h.iter().zip(&s).zip(&u) {
+                assert_eq!(x.phrase, y.phrase);
+                assert_eq!(
+                    x.assignment, y.assignment,
+                    "{policy:?} round {round} phrase {} vs shared-sort",
+                    x.phrase
+                );
+                assert_eq!(
+                    x.assignment, z.assignment,
+                    "{policy:?} round {round} phrase {} vs unshared",
+                    x.phrase
+                );
+            }
+            assert_eq!(
+                hybrid.last_effective_bids(),
+                sort.last_effective_bids(),
+                "{policy:?} round {round} effective bids"
+            );
+        }
+        assert_eq!(
+            hybrid.budget_snapshots(),
+            sort.budget_snapshots(),
+            "{policy:?} budget snapshots"
+        );
+    }
+}
+
+/// Hybrid's routing table is exactly the workload's separability map, and
+/// every auction lands on exactly one of the two resolvers.
+#[test]
+fn hybrid_routes_by_separability() {
+    let w = mixed_workload(17);
+    let separable: Vec<bool> = (0..w.phrase_count())
+        .map(|q| w.phrase_is_separable(q))
+        .collect();
+    let mut engine = Engine::new(
+        w,
+        config(SharingStrategy::Hybrid, BudgetPolicy::ThrottleExact),
+    );
+    assert_eq!(engine.hybrid_plan_route(), Some(&separable[..]));
+    let m = engine.run(12);
+    assert!(m.phrases_routed_plan > 0, "separable phrases must occur");
+    assert!(m.phrases_routed_sort > 0, "jittered phrases must occur");
+    assert_eq!(m.phrases_routed_plan + m.phrases_routed_sort, m.auctions);
+    assert_eq!(m.phrases_routed_unshared, 0);
+    assert!(m.aggregation_ops > 0, "plan resolver did work");
+    assert!(m.ta_stages > 0, "sort resolver did work");
+}
+
+/// On a fully separable workload Hybrid degenerates to the shared plan:
+/// nothing routes to the sort network and no merge work happens.
+#[test]
+fn hybrid_on_separable_workload_routes_everything_to_the_plan() {
+    let mut hybrid = Engine::new(
+        small_workload(0.0, 5),
+        config(SharingStrategy::Hybrid, BudgetPolicy::ThrottleExact),
+    );
+    let m = hybrid.run(10);
+    assert_eq!(m.phrases_routed_sort, 0);
+    assert_eq!(m.phrases_routed_plan, m.auctions);
+    assert_eq!(m.ta_stages, 0);
+}
+
+#[test]
+#[should_panic(expected = "SharedAggregation requires")]
+fn shared_aggregation_rejects_jitter() {
+    Engine::new(
+        small_workload(0.4, 9),
+        config(SharingStrategy::SharedAggregation, BudgetPolicy::Ignore),
+    );
+}
+
+#[test]
+fn bounds_policy_matches_exact_policy() {
+    let mut exact = Engine::new(
+        small_workload(0.0, 5),
+        config(SharingStrategy::Unshared, BudgetPolicy::ThrottleExact),
+    );
+    let mut bounds = Engine::new(
+        small_workload(0.0, 5),
+        config(SharingStrategy::Unshared, BudgetPolicy::ThrottleBounds),
+    );
+    for round in 0..6 {
+        let a = exact.run_round();
+        let b = bounds.run_round();
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(
+                x.assignment, y.assignment,
+                "round {round} phrase {}",
+                x.phrase
+            );
+        }
+    }
+    assert!(bounds.metrics().bound_evaluations > 0);
+    // The bounds engine must not pay whole-population convolutions:
+    // exact values are computed per phrase for at most k+1 winners,
+    // strictly fewer than the exact engine's per-participant pass.
+    assert!(bounds.metrics().exact_throttle_evaluations > 0);
+    assert!(
+        bounds.metrics().exact_throttle_evaluations < exact.metrics().exact_throttle_evaluations,
+        "bounds {} should undercut exact {}",
+        bounds.metrics().exact_throttle_evaluations,
+        exact.metrics().exact_throttle_evaluations
+    );
+    assert_eq!(exact.metrics().bound_evaluations, 0);
+}
+
+/// Regression for the deleted per-(phrase, candidate) rescan of
+/// `occurring`: the round-level `m_i` is the same participation count
+/// the rescan produced, so bound-refined winners are unchanged.
+#[test]
+fn participation_counts_match_the_deleted_rescan() {
+    let mut engine = Engine::new(
+        small_workload(0.0, 21),
+        config(SharingStrategy::Unshared, BudgetPolicy::ThrottleBounds),
+    );
+    engine.run(5); // build up pending ads so throttling is non-trivial
+    let occurring: Vec<PhraseId> = (0..engine.workload.phrase_count())
+        .map(PhraseId::from_index)
+        .collect();
+    let mut m_i = vec![0u64; engine.workload.advertiser_count()];
+    for &q in &occurring {
+        for a in &engine.workload.interest[q.index()] {
+            m_i[a.index()] += 1;
+        }
+    }
+    let k = engine.config.slot_factors.len();
+    for &phrase in &occurring {
+        let q = phrase.index();
+        let build = |count: &dyn Fn(AdvertiserId) -> u64| -> Vec<UncertainCandidate> {
+            engine.workload.interest[q]
+                .iter()
+                .enumerate()
+                .map(|(pos, &a)| {
+                    let factor = engine.workload.phrase_factors[q][pos];
+                    UncertainCandidate::new(a, factor, &engine.budget_context(a.index(), count(a)))
+                })
+                .collect()
+        };
+        let fast = build(&|a: AdvertiserId| m_i[a.index()]);
+        let rescan = build(&|a: AdvertiserId| {
+            1.max(
+                occurring
+                    .iter()
+                    .filter(|&&p| {
+                        engine.workload.interest[p.index()]
+                            .binary_search(&a)
+                            .is_ok()
+                    })
+                    .count() as u64,
+            )
+        });
+        let (w_fast, _) = top_k_uncertain(&fast, k + 1);
+        let (w_rescan, _) = top_k_uncertain(&rescan, k + 1);
+        assert_eq!(w_fast, w_rescan, "phrase {phrase}");
+    }
+}
+
+/// The parallel round executor must be bit-identical to the
+/// sequential one for every strategy × policy combination.
+#[test]
+fn wd_threads_bit_identical_across_strategies() {
+    for sharing in [
+        SharingStrategy::Unshared,
+        SharingStrategy::SharedAggregation,
+        SharingStrategy::SharedSort,
+        SharingStrategy::Hybrid,
+    ] {
+        for policy in [
+            BudgetPolicy::Ignore,
+            BudgetPolicy::ThrottleExact,
+            BudgetPolicy::ThrottleBounds,
+        ] {
+            let run = |threads: usize| {
+                let workload = if sharing == SharingStrategy::Hybrid {
+                    mixed_workload(31)
+                } else {
+                    small_workload(0.0, 31)
+                };
+                let mut engine = Engine::new(
+                    workload,
+                    EngineConfig {
+                        sharing,
+                        budget_policy: policy,
+                        wd_threads: threads,
+                        ..EngineConfig::default()
+                    },
+                );
+                let mut all = Vec::new();
+                for _ in 0..8 {
+                    all.extend(engine.run_round());
+                }
+                (
+                    all,
+                    engine.metrics().without_timing(),
+                    engine.budget_snapshots(),
+                    engine.last_effective_bids().to_vec(),
+                )
+            };
+            let (seq, seq_m, seq_snap, seq_bids) = run(1);
+            let (par, par_m, par_snap, par_bids) = run(4);
+            let label = format!("{sharing:?}/{policy:?}");
+            assert_eq!(seq.len(), par.len(), "{label}");
+            for (a, b) in seq.iter().zip(&par) {
+                assert_eq!(a.phrase, b.phrase, "{label}");
+                assert_eq!(a.assignment, b.assignment, "{label} phrase {}", a.phrase);
+            }
+            assert_eq!(seq_m, par_m, "{label} metrics");
+            assert_eq!(seq_snap, par_snap, "{label} budget snapshots");
+            assert_eq!(seq_bids, par_bids, "{label} effective bids");
+        }
+    }
+}
+
+/// The engine's default plan uses the full Section II-D heuristic,
+/// whose greedy completion should not cost more than fragments-only
+/// on a typical workload.
+#[test]
+fn default_planner_cost_at_most_fragments_only() {
+    use crate::plan::cost::expected_cost;
+    let w = small_workload(0.0, 42);
+    let rates = w.search_rates();
+    let full = Engine::new(
+        w.clone(),
+        config(SharingStrategy::SharedAggregation, BudgetPolicy::Ignore),
+    );
+    let frag = Engine::new(
+        w,
+        EngineConfig {
+            sharing: SharingStrategy::SharedAggregation,
+            budget_policy: BudgetPolicy::Ignore,
+            planner: PlannerMode::FragmentsOnly,
+            ..EngineConfig::default()
+        },
+    );
+    assert_eq!(full.config().planner, PlannerMode::Full, "default is full");
+    let plan_of = |e: &Engine| {
+        expected_cost(
+            e.resolvers.plan().unwrap().dag().expect("plan compiled"),
+            &rates,
+        )
+    };
+    let full_cost = plan_of(&full);
+    let frag_cost = plan_of(&frag);
+    assert!(
+        full_cost <= frag_cost,
+        "full {full_cost} vs fragments-only {frag_cost}"
+    );
+    // Both engines still resolve identically — plans differ only in cost.
+    let mut full = full;
+    let mut frag = frag;
+    for _ in 0..5 {
+        let a = full.run_round();
+        let b = frag.run_round();
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.assignment, y.assignment);
+        }
+    }
+}
+
+/// Zero-advertiser workloads and empty-interest phrases must resolve
+/// trivially instead of planting a fake advertiser-0 leaf (which
+/// panicked when `n == 0`).
+#[test]
+fn empty_phrases_and_zero_advertisers_resolve_trivially() {
+    // n == 0: every strategy runs, no winners, no revenue.
+    for sharing in [
+        SharingStrategy::Unshared,
+        SharingStrategy::SharedAggregation,
+        SharingStrategy::SharedSort,
+        SharingStrategy::Hybrid,
+    ] {
+        let w = Workload::generate(&WorkloadConfig {
+            advertisers: 0,
+            phrases: 4,
+            topics: 2,
+            ..WorkloadConfig::default()
+        });
+        let mut engine = Engine::new(w, config(sharing, BudgetPolicy::ThrottleExact));
+        let m = engine.run(5);
+        assert_eq!(m.impressions, 0, "{sharing:?}");
+        assert!(m.revenue.is_zero(), "{sharing:?}");
+    }
+    // One emptied phrase: it resolves empty, others are unaffected.
+    let mut w = small_workload(0.0, 8);
+    w.interest[0].clear();
+    w.phrase_factors[0].clear();
+    let mut engine = Engine::new(
+        w,
+        config(
+            SharingStrategy::SharedAggregation,
+            BudgetPolicy::ThrottleExact,
+        ),
+    );
+    let mut saw_other_winners = false;
+    for _ in 0..10 {
+        for outcome in engine.run_round() {
+            if outcome.phrase.index() == 0 {
+                assert!(outcome.assignment.winners().is_empty());
+            } else if !outcome.assignment.winners().is_empty() {
+                saw_other_winners = true;
+            }
+        }
+    }
+    assert!(saw_other_winners, "non-empty phrases still resolve");
+}
+
+#[test]
+fn revenue_never_exceeds_total_budgets() {
+    let workload = small_workload(0.0, 11);
+    let total_budget: Money = workload.advertisers.iter().map(|a| a.budget).sum();
+    for policy in [BudgetPolicy::Ignore, BudgetPolicy::ThrottleExact] {
+        let mut engine = Engine::new(
+            small_workload(0.0, 11),
+            config(SharingStrategy::Unshared, policy),
+        );
+        let m = engine.run(50);
+        assert!(
+            m.revenue <= total_budget,
+            "{policy:?} collected {} over budget {total_budget}",
+            m.revenue
+        );
+    }
+}
+
+#[test]
+fn metrics_accumulate_sensibly() {
+    let mut engine = Engine::new(
+        small_workload(0.0, 3),
+        config(
+            SharingStrategy::SharedAggregation,
+            BudgetPolicy::ThrottleExact,
+        ),
+    );
+    let m = engine.run(20);
+    assert_eq!(m.rounds, 20);
+    assert!(m.auctions > 0, "phrases must occur");
+    assert!(m.impressions > 0);
+    assert!(m.aggregation_ops > 0);
+    assert_eq!(m.advertisers_scanned, 0, "no scans under shared plan");
+    assert_eq!(m.phrases_routed_plan, m.auctions);
+    assert_eq!(m.phrases_routed_sort + m.phrases_routed_unshared, 0);
+}
+
+#[test]
+fn parallel_ta_matches_sequential_engine() {
+    let run = |threads: usize| {
+        let mut engine = Engine::new(
+            small_workload(0.3, 44),
+            EngineConfig {
+                sharing: SharingStrategy::SharedSort,
+                wd_threads: threads,
+                seed: 6,
+                ..EngineConfig::default()
+            },
+        );
+        let mut all = Vec::new();
+        for _ in 0..8 {
+            all.extend(engine.run_round());
+        }
+        (all, engine.metrics().clone())
+    };
+    let (seq, seq_m) = run(1);
+    let (par, par_m) = run(4);
+    assert_eq!(seq.len(), par.len());
+    for (a, b) in seq.iter().zip(&par) {
+        assert_eq!(a.assignment, b.assignment, "phrase {}", a.phrase);
+    }
+    assert_eq!(seq_m.ta_stages, par_m.ta_stages);
+    assert_eq!(seq_m.revenue, par_m.revenue);
+}
+
+/// The effective-bids double buffer must actually recycle its two
+/// vectors: after the warm-up rounds, `last_effective_bids` alternates
+/// between the same two allocations instead of cloning a fresh one per
+/// round.
+#[test]
+fn effective_bids_double_buffer_reuses_allocations() {
+    let mut engine = Engine::new(
+        small_workload(0.0, 13),
+        config(SharingStrategy::Unshared, BudgetPolicy::ThrottleExact),
+    );
+    engine.run_round();
+    let p1 = engine.last_effective_bids().as_ptr();
+    engine.run_round();
+    let p2 = engine.last_effective_bids().as_ptr();
+    engine.run_round();
+    let p3 = engine.last_effective_bids().as_ptr();
+    engine.run_round();
+    let p4 = engine.last_effective_bids().as_ptr();
+    assert_ne!(p1, p2, "two distinct buffers");
+    assert_eq!(p1, p3, "buffer A recycled");
+    assert_eq!(p2, p4, "buffer B recycled");
+}
+
+#[test]
+fn bidding_programs_move_bids_and_stay_consistent_across_strategies() {
+    use super::bidding::{BidStrategy, BiddingProgram};
+    use ssa_auction::ids::SlotIndex;
+
+    let build = |sharing: SharingStrategy| {
+        let w = small_workload(0.0, 77);
+        let programs: Vec<BiddingProgram> = w
+            .advertisers
+            .iter()
+            .enumerate()
+            .map(|(i, a)| {
+                let strategy = match i % 3 {
+                    0 => BidStrategy::Static,
+                    1 => BidStrategy::TargetSlot {
+                        target: SlotIndex(0),
+                        step: 0.05,
+                        max_bid: Money::from_units(50),
+                    },
+                    _ => BidStrategy::BudgetPacing {
+                        horizon: 40,
+                        step: 0.05,
+                    },
+                };
+                BiddingProgram::new(strategy, a.bid)
+            })
+            .collect();
+        let mut engine = Engine::new(
+            w,
+            EngineConfig {
+                sharing,
+                budget_policy: BudgetPolicy::Ignore,
+                seed: 19,
+                ..EngineConfig::default()
+            },
+        );
+        engine.set_bidding_programs(programs);
+        engine
+    };
+    let mut a = build(SharingStrategy::Unshared);
+    let mut b = build(SharingStrategy::SharedAggregation);
+    let initial = a.current_bids().to_vec();
+    for round in 0..15 {
+        let oa = a.run_round();
+        let ob = b.run_round();
+        for (x, y) in oa.iter().zip(&ob) {
+            assert_eq!(x.assignment, y.assignment, "round {round}");
+        }
+        assert_eq!(a.current_bids(), b.current_bids(), "round {round}");
+    }
+    assert_ne!(
+        a.current_bids(),
+        &initial[..],
+        "dynamic strategies must actually move bids"
+    );
+}
+
+#[test]
+fn deterministic_given_seed() {
+    let run = || {
+        let mut engine = Engine::new(
+            small_workload(0.0, 13),
+            config(SharingStrategy::Unshared, BudgetPolicy::ThrottleExact),
+        );
+        let m = engine.run(15);
+        (m.revenue, m.clicks, m.impressions)
+    };
+    assert_eq!(run(), run());
+}

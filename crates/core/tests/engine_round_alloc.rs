@@ -1,0 +1,74 @@
+//! Steady-state `run_round` must not clone the effective-bids vector (or
+//! anything else population-sized) every round.
+//!
+//! A counting global allocator wraps the system allocator. The workload's
+//! search rates are all zero, so no phrase ever occurs and every round is
+//! pure executor overhead: participation counting, the (empty) throttle
+//! stage, resolver dispatch, and settlement over empty ledgers. After the
+//! warm-up rounds have sized the m_i scratch and both halves of the
+//! effective-bids double buffer, such a round must allocate exactly
+//! nothing — before the double buffer, the per-round
+//! `last_effective_bids = effective_bids.clone()` alone allocated here.
+//!
+//! This file deliberately holds a single `#[test]`: the allocation
+//! counter is process-global, and a concurrently running test in the same
+//! binary would pollute it.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use ssa_core::engine::{Engine, EngineConfig};
+use ssa_workload::{Workload, WorkloadConfig};
+
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static COUNTER: CountingAlloc = CountingAlloc;
+
+#[test]
+fn steady_state_round_allocates_nothing() {
+    let workload = Workload::generate(&WorkloadConfig {
+        advertisers: 50,
+        phrases: 6,
+        topics: 3,
+        max_search_rate: 0.0, // no phrase ever occurs
+        ..WorkloadConfig::default()
+    });
+    let mut engine = Engine::new(workload, EngineConfig::default());
+
+    // Warm-up: sizes the m_i scratch and both bid buffers.
+    for _ in 0..3 {
+        engine.run_round();
+    }
+
+    for round in 0..10 {
+        let before = ALLOCATIONS.load(Ordering::Relaxed);
+        let outcomes = engine.run_round();
+        let allocated = ALLOCATIONS.load(Ordering::Relaxed) - before;
+        assert!(outcomes.is_empty(), "zero search rates: no auctions");
+        assert_eq!(
+            allocated, 0,
+            "steady-state round {round} performed {allocated} heap allocations"
+        );
+    }
+    assert_eq!(engine.metrics().rounds, 13);
+    assert_eq!(engine.last_effective_bids().len(), 50);
+}

@@ -90,6 +90,12 @@ fn minimize(cfg: &WorkloadConfig, seed: u64, check: WorkloadCheck) -> WorkloadCo
                 ..best.clone()
             });
         }
+        if best.separable_fraction > 0.0 {
+            candidates.push(WorkloadConfig {
+                separable_fraction: 0.0,
+                ..best.clone()
+            });
+        }
         if best.search_rate_zipf_exponent > 0.0 {
             candidates.push(WorkloadConfig {
                 search_rate_zipf_exponent: 0.0,

@@ -24,11 +24,12 @@ use ssa_core::engine::{
 };
 use ssa_core::plan::cost::{expected_cost, unshared_expected_cost};
 use ssa_core::plan::cse::{cse_plan, CsePlan, NodeRef};
-use ssa_core::plan::{DisjointPlanner, PlanDag, SharedPlanner};
+use ssa_core::plan::{DisjointPlanner, PlanDag, PlanProblem, SharedPlanner};
 use ssa_core::sort::concurrent::{resolve_parallel, ConcurrentMergeNetwork, TaJob};
 use ssa_core::sort::planner::{build_shared_sort_plan, build_shared_sort_plan_bucketed, SortPlan};
 use ssa_core::sort::ta::{naive_top_k, threshold_top_k};
 use ssa_core::topk::{KList, ScoredAd, ScoredTopKOp};
+use ssa_setcover::BitSet;
 use ssa_workload::{Workload, WorkloadConfig};
 
 use crate::gen::{self, Profile};
@@ -103,6 +104,7 @@ pub const WORKLOAD_CHECKS: &[(&str, Profile, WorkloadCheck)] = &[
         Profile::TightBudgets,
         check_sort_persistent_with,
     ),
+    ("hybrid-routing", Profile::Mixed, check_hybrid_routing_with),
 ];
 
 /// A seed-only invariant check (no workload involved).
@@ -134,13 +136,13 @@ pub fn run_all(seed: u64) -> Vec<Divergence> {
 fn engine_config(
     sharing: SharingStrategy,
     policy: BudgetPolicy,
-    ta_threads: usize,
+    wd_threads: usize,
     seed: u64,
 ) -> EngineConfig {
     EngineConfig {
         sharing,
         budget_policy: policy,
-        ta_threads,
+        wd_threads,
         // Decorrelate round/click randomness from workload generation.
         seed: seed
             .wrapping_mul(0x9e37_79b9_7f4a_7c15)
@@ -528,7 +530,8 @@ pub fn check_engine_nonseparable(seed: u64) -> Result<(), Divergence> {
 pub fn check_wd_threads_with(cfg: &WorkloadConfig, seed: u64) -> Result<(), Divergence> {
     const CHECK: &str = "wd-threads";
     // SharedAggregation requires a jitter-free workload; pin it so one
-    // workload serves all nine combinations.
+    // workload serves all twelve combinations (Hybrid routes everything
+    // to its plan here, which still exercises the routed dispatch).
     let mut cfg = cfg.clone();
     cfg.phrase_factor_jitter = 0.0;
     let w = Workload::generate(&cfg);
@@ -536,6 +539,7 @@ pub fn check_wd_threads_with(cfg: &WorkloadConfig, seed: u64) -> Result<(), Dive
         SharingStrategy::Unshared,
         SharingStrategy::SharedAggregation,
         SharingStrategy::SharedSort,
+        SharingStrategy::Hybrid,
     ] {
         for policy in [
             BudgetPolicy::Ignore,
@@ -543,8 +547,7 @@ pub fn check_wd_threads_with(cfg: &WorkloadConfig, seed: u64) -> Result<(), Dive
             BudgetPolicy::ThrottleBounds,
         ] {
             let run = |threads: usize| {
-                let mut ec = engine_config(sharing, policy, 1, seed);
-                ec.wd_threads = threads;
+                let ec = engine_config(sharing, policy, threads, seed);
                 let mut engine = Engine::new(w.clone(), ec);
                 let mut outcomes = Vec::new();
                 for _ in 0..ROUNDS {
@@ -992,8 +995,7 @@ pub fn check_sort_persistent_with(cfg: &WorkloadConfig, seed: u64) -> Result<(),
 
     for policy in [BudgetPolicy::ThrottleExact, BudgetPolicy::ThrottleBounds] {
         for threads in [1usize, 4] {
-            let mut ec = engine_config(SharingStrategy::SharedSort, policy, threads, seed);
-            ec.wd_threads = threads;
+            let ec = engine_config(SharingStrategy::SharedSort, policy, threads, seed);
             let k = ec.slot_factors.len();
             let mut engine = Engine::new(w.clone(), ec);
             let label = format!("{policy:?}/threads {threads}");
@@ -1078,6 +1080,251 @@ pub fn check_sort_persistent_with(cfg: &WorkloadConfig, seed: u64) -> Result<(),
 /// Seed-only wrapper for [`check_sort_persistent_with`].
 pub fn check_sort_persistent(seed: u64) -> Result<(), Divergence> {
     check_sort_persistent_with(&gen::workload_config(seed, Profile::TightBudgets), seed)
+}
+
+/// Differential check of per-phrase hybrid routing on a mixed workload
+/// (part separable, part jittered): a `Hybrid` engine must be
+/// *bit-identical* to a pure `SharedSort` engine — same outcomes every
+/// round, same effective bids, same budget snapshots — under both
+/// throttling policies and at 1 and 4 worker threads; its routing table
+/// must equal the workload's separability map; and every round at one
+/// thread is additionally replayed statically, plan-routed phrases
+/// against a fresh shared-aggregation evaluation over the separable
+/// subset and sort-routed phrases against a freshly instantiated subset
+/// sort network.
+pub fn check_hybrid_routing_with(cfg: &WorkloadConfig, seed: u64) -> Result<(), Divergence> {
+    const CHECK: &str = "hybrid-routing";
+    let w = Workload::generate(cfg);
+    let n = w.advertiser_count();
+    let m = w.phrase_count();
+
+    // The routing is a workload property: a phrase is plan-eligible iff
+    // all of its factors are phrase-independent.
+    let plan_route: Vec<bool> = (0..m).map(|q| w.phrase_is_separable(q)).collect();
+
+    // Static-replay material over each phrase subset, mirroring what the
+    // hybrid engine compiles at construction.
+    let rates = w.search_rates();
+    let interest = gen::interest_sets(&w);
+    let mut query_index: Vec<Option<usize>> = vec![None; m];
+    let mut queries = Vec::new();
+    let mut query_rates = Vec::new();
+    for q in 0..m {
+        if plan_route[q] && !interest[q].is_empty() {
+            query_index[q] = Some(queries.len());
+            queries.push(interest[q].clone());
+            query_rates.push(rates[q]);
+        }
+    }
+    let plan_dag = (!queries.is_empty())
+        .then(|| SharedPlanner::full().plan(&PlanProblem::new(n, queries, Some(query_rates))));
+    let sort_interest: Vec<BitSet> = interest
+        .iter()
+        .enumerate()
+        .map(|(q, set)| {
+            if plan_route[q] {
+                BitSet::new(n)
+            } else {
+                set.clone()
+            }
+        })
+        .collect();
+    let sort_plan = build_shared_sort_plan_bucketed(n, &sort_interest, &rates);
+    let c_orders: Vec<Vec<(AdvertiserId, f64)>> = (0..m)
+        .map(|q| {
+            if plan_route[q] {
+                return Vec::new();
+            }
+            let phrase = PhraseId::from_index(q);
+            let mut order: Vec<(AdvertiserId, f64)> = w.interest[q]
+                .iter()
+                .map(|&a| (a, w.phrase_factor(phrase, a).expect("interested")))
+                .collect();
+            order.sort_by(|x, y| y.1.total_cmp(&x.1).then(x.0.cmp(&y.0)));
+            order
+        })
+        .collect();
+
+    for policy in [BudgetPolicy::ThrottleExact, BudgetPolicy::ThrottleBounds] {
+        for threads in [1usize, 4] {
+            let ec = engine_config(SharingStrategy::Hybrid, policy, threads, seed);
+            let k = ec.slot_factors.len();
+            let mut hybrid = Engine::new(w.clone(), ec);
+            let mut reference = Engine::new(
+                w.clone(),
+                engine_config(SharingStrategy::SharedSort, policy, threads, seed),
+            );
+            let label = format!("{policy:?}/threads {threads}");
+
+            let routed = hybrid
+                .hybrid_plan_route()
+                .expect("hybrid engine has a route");
+            if routed != plan_route.as_slice() {
+                return Err(Divergence::new(
+                    CHECK,
+                    seed,
+                    format!(
+                        "[{label}] engine routing table disagrees with the workload's \
+                         separability map: {routed:?} vs {plan_route:?}"
+                    ),
+                ));
+            }
+
+            for round in 0..ROUNDS {
+                let hybrid_out = hybrid.run_round();
+                let ref_out = reference.run_round();
+                if hybrid_out.len() != ref_out.len()
+                    || hybrid_out
+                        .iter()
+                        .zip(&ref_out)
+                        .any(|(a, b)| a.phrase != b.phrase)
+                {
+                    return Err(Divergence::new(
+                        CHECK,
+                        seed,
+                        format!(
+                            "[{label}] round {round}: occurring phrase sets differ \
+                             (hybrid {:?}, shared-sort {:?})",
+                            hybrid_out.iter().map(|o| o.phrase).collect::<Vec<_>>(),
+                            ref_out.iter().map(|o| o.phrase).collect::<Vec<_>>()
+                        ),
+                    ));
+                }
+                for (a, b) in hybrid_out.iter().zip(&ref_out) {
+                    if a.assignment != b.assignment {
+                        return Err(Divergence::new(
+                            CHECK,
+                            seed,
+                            format!(
+                                "[{label}] round {round} phrase {} ({}-routed): hybrid \
+                                 assigned {:?}, shared-sort {:?}",
+                                a.phrase,
+                                if plan_route[a.phrase.index()] {
+                                    "plan"
+                                } else {
+                                    "sort"
+                                },
+                                a.assignment,
+                                b.assignment
+                            ),
+                        ));
+                    }
+                }
+                if hybrid.last_effective_bids() != reference.last_effective_bids() {
+                    return Err(Divergence::new(
+                        CHECK,
+                        seed,
+                        format!("[{label}] round {round}: effective bids differ"),
+                    ));
+                }
+
+                if threads > 1 {
+                    continue;
+                }
+                // Static replay on this round's (exact) effective bids:
+                // both throttling policies compute full exact bids on the
+                // non-unshared paths, so an independent evaluation over
+                // each subset must reproduce the routed assignments.
+                let bids = hybrid.last_effective_bids().to_vec();
+                let plan_results = plan_dag.as_ref().map(|dag| {
+                    let op = ScoredTopKOp { k };
+                    let leaves: Vec<KList<ScoredAd>> = w
+                        .advertisers
+                        .iter()
+                        .enumerate()
+                        .map(|(i, adv)| {
+                            KList::singleton(
+                                k,
+                                ScoredAd::new(
+                                    adv.id,
+                                    Score::expected_value(bids[i], adv.base_factor),
+                                ),
+                            )
+                        })
+                        .collect();
+                    let mut flags = vec![false; dag.query_count()];
+                    for o in &hybrid_out {
+                        if let Some(qi) = query_index[o.phrase.index()] {
+                            flags[qi] = true;
+                        }
+                    }
+                    dag.evaluate(&op, &leaves, &flags).0
+                });
+                let (mut fresh, roots) = sort_plan.instantiate(&bids);
+                for o in &hybrid_out {
+                    let q = o.phrase.index();
+                    let ranked: Vec<(AdvertiserId, Score)> = if plan_route[q] {
+                        query_index[q]
+                            .and_then(|qi| plan_results.as_ref()?[qi].as_ref())
+                            .map(|list| {
+                                list.items()
+                                    .iter()
+                                    .map(|s| (s.advertiser, s.score))
+                                    .collect()
+                            })
+                            .unwrap_or_default()
+                    } else if roots[q] == usize::MAX {
+                        Vec::new()
+                    } else {
+                        threshold_top_k(
+                            &mut fresh,
+                            roots[q],
+                            &c_orders[q],
+                            |a| bids[a.index()],
+                            |a| w.phrase_factor(o.phrase, a).unwrap_or(0.0),
+                            k,
+                        )
+                        .top_k
+                    };
+                    let want = assignment_from_ranking(&ranked, k);
+                    if o.assignment != want {
+                        return Err(Divergence::new(
+                            CHECK,
+                            seed,
+                            format!(
+                                "[{label}] round {round} phrase {} ({}-routed): hybrid \
+                                 assigned {:?}, static subset replay gives {want:?}",
+                                o.phrase,
+                                if plan_route[q] { "plan" } else { "sort" },
+                                o.assignment
+                            ),
+                        ));
+                    }
+                }
+            }
+
+            if hybrid.budget_snapshots() != reference.budget_snapshots() {
+                return Err(Divergence::new(
+                    CHECK,
+                    seed,
+                    format!("[{label}] budget snapshots differ after {ROUNDS} rounds"),
+                ));
+            }
+            let metrics = hybrid.metrics();
+            if metrics.phrases_routed_unshared != 0
+                || metrics.phrases_routed_plan + metrics.phrases_routed_sort != metrics.auctions
+            {
+                return Err(Divergence::new(
+                    CHECK,
+                    seed,
+                    format!(
+                        "[{label}] routing counters do not partition the {} auctions: \
+                         plan {}, sort {}, unshared {}",
+                        metrics.auctions,
+                        metrics.phrases_routed_plan,
+                        metrics.phrases_routed_sort,
+                        metrics.phrases_routed_unshared
+                    ),
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Seed-only wrapper for [`check_hybrid_routing_with`].
+pub fn check_hybrid_routing(seed: u64) -> Result<(), Divergence> {
+    check_hybrid_routing_with(&gen::workload_config(seed, Profile::Mixed), seed)
 }
 
 /// Hoeffding-bound soundness over random budget states: at every

@@ -30,6 +30,11 @@ pub enum Profile {
     /// Phrase-specific factors `c_i^q` (the Section III setting); only
     /// the unshared scan and the shared sort apply.
     NonSeparable,
+    /// A jittered workload where a seed-dependent fraction of phrases is
+    /// exempted from jitter (kept separable) — the hybrid-routing
+    /// setting, where part of the workload is plan-eligible and the rest
+    /// needs the sort network.
+    Mixed,
 }
 
 impl Profile {
@@ -38,6 +43,7 @@ impl Profile {
             Profile::Separable => 0x5e9a_ab1e,
             Profile::TightBudgets => 0x7164_b0d6,
             Profile::NonSeparable => 0x0055_ea7a,
+            Profile::Mixed => 0x00b1_e2d5,
         }
     }
 }
@@ -66,7 +72,13 @@ pub fn workload_config(seed: u64, profile: Profile) -> WorkloadConfig {
         },
         budget_sigma: rng.random_range(0.4..1.0),
         phrase_factor_jitter: match profile {
-            Profile::NonSeparable => rng.random_range(0.1..0.6),
+            Profile::NonSeparable | Profile::Mixed => rng.random_range(0.1..0.6),
+            _ => 0.0,
+        },
+        // Drawn last so the older profiles' configs stay byte-identical
+        // to what they generated before this knob existed.
+        separable_fraction: match profile {
+            Profile::Mixed => rng.random_range(0.25..0.75),
             _ => 0.0,
         },
         seed,
@@ -182,6 +194,7 @@ mod tests {
             Profile::Separable,
             Profile::TightBudgets,
             Profile::NonSeparable,
+            Profile::Mixed,
         ] {
             let a = workload(17, profile);
             let b = workload(17, profile);
@@ -204,6 +217,30 @@ mod tests {
             0.0
         );
         assert!(workload_config(3, Profile::NonSeparable).phrase_factor_jitter > 0.0);
+        assert!(workload_config(3, Profile::Mixed).phrase_factor_jitter > 0.0);
+    }
+
+    #[test]
+    fn mixed_profile_generates_genuinely_mixed_workloads() {
+        let cfg = workload_config(3, Profile::Mixed);
+        assert!(cfg.separable_fraction >= 0.25 && cfg.separable_fraction < 0.75);
+        assert_eq!(
+            workload_config(3, Profile::Separable).separable_fraction,
+            0.0
+        );
+        // In aggregate the profile must produce both plan-eligible
+        // (separable) and jittered phrases. (Per seed either side may
+        // round to zero on the smallest workloads, which is fine — the
+        // hybrid engine then degenerates to a pure strategy.)
+        let mut separable = 0usize;
+        let mut jittered = 0usize;
+        for seed in 0..10u64 {
+            let w = workload(seed, Profile::Mixed);
+            separable += w.separable_phrase_count();
+            jittered += w.phrase_count() - w.separable_phrase_count();
+        }
+        assert!(separable > 0, "no Mixed workload had a separable phrase");
+        assert!(jittered > 0, "no Mixed workload had a jittered phrase");
     }
 
     #[test]

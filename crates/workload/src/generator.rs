@@ -45,6 +45,15 @@ pub struct WorkloadConfig {
     /// Section II separable setting; > 0 produces the Section III setting
     /// where `c_i^q` varies by phrase).
     pub phrase_factor_jitter: f64,
+    /// Fraction of phrases exempted from factor jitter, producing *mixed*
+    /// workloads: the selected phrases keep every interested advertiser's
+    /// base factor (plan-eligible under per-phrase hybrid routing) while
+    /// the rest get phrase-specific factors. `floor(fraction * phrases)`
+    /// phrases are chosen by a seeded shuffle on an RNG stream separate
+    /// from the main one, so `0.0` (the default) reproduces pre-knob
+    /// workloads bit for bit. Ignored when `phrase_factor_jitter` is 0
+    /// (everything is already separable).
+    pub separable_fraction: f64,
     /// RNG seed: everything is deterministic given the config.
     pub seed: u64,
 }
@@ -64,6 +73,7 @@ impl Default for WorkloadConfig {
             budget_mu: 3.0, // median budget ~20
             budget_sigma: 0.8,
             phrase_factor_jitter: 0.0,
+            separable_fraction: 0.0,
             seed: 0xACE_0FBA5E,
         }
     }
@@ -172,15 +182,20 @@ impl Workload {
             }
         }
 
-        // Per-phrase CTR factors: base factor times a log-normal jitter.
+        // Per-phrase CTR factors: base factor times a log-normal jitter,
+        // except on phrases flagged separable. The flag draws come from a
+        // dedicated RNG stream so configs with `separable_fraction == 0`
+        // reproduce pre-knob workloads bit for bit.
+        let separable = separable_flags(config);
         let jitter = LogNormal::new(0.0, config.phrase_factor_jitter.max(0.0));
         let phrase_factors = interest
             .iter()
-            .map(|advs| {
+            .enumerate()
+            .map(|(q, advs)| {
                 advs.iter()
                     .map(|a| {
                         let base = advertisers[a.index()].base_factor;
-                        if config.phrase_factor_jitter > 0.0 {
+                        if config.phrase_factor_jitter > 0.0 && !separable[q] {
                             base * jitter.sample(&mut rng)
                         } else {
                             base
@@ -201,6 +216,26 @@ impl Workload {
     /// Number of advertisers.
     pub fn advertiser_count(&self) -> usize {
         self.advertisers.len()
+    }
+
+    /// True iff every advertiser interested in phrase `q` keeps its base
+    /// factor there (within 1e-12) — the per-phrase version of the
+    /// Section II separability premise. Such phrases are eligible for the
+    /// shared top-k aggregation plan; the hybrid engine routes them there
+    /// and sends the rest to the shared sort. Vacuously true for phrases
+    /// with empty interest sets.
+    pub fn phrase_is_separable(&self, q: usize) -> bool {
+        self.interest[q]
+            .iter()
+            .zip(&self.phrase_factors[q])
+            .all(|(a, &f)| (f - self.advertisers[a.index()].base_factor).abs() <= 1e-12)
+    }
+
+    /// Number of phrases satisfying [`Workload::phrase_is_separable`].
+    pub fn separable_phrase_count(&self) -> usize {
+        (0..self.phrase_count())
+            .filter(|&q| self.phrase_is_separable(q))
+            .count()
     }
 
     /// Number of phrases.
@@ -246,6 +281,29 @@ impl Workload {
         }
         total / pairs as f64
     }
+}
+
+/// Per-phrase separability flags for a config: `floor(fraction * phrases)`
+/// phrases chosen by a seeded shuffle on a dedicated RNG stream. All
+/// false when the workload has no jitter to exempt phrases from, or when
+/// the fraction selects none.
+fn separable_flags(config: &WorkloadConfig) -> Vec<bool> {
+    let m = config.phrases;
+    let mut flags = vec![false; m];
+    if config.phrase_factor_jitter <= 0.0 || config.separable_fraction <= 0.0 {
+        return flags;
+    }
+    let count = ((config.separable_fraction.min(1.0) * m as f64).floor() as usize).min(m);
+    let mut order: Vec<usize> = (0..m).collect();
+    // Fisher–Yates on a salted stream, untangled from the main generator.
+    let mut rng = StdRng::seed_from_u64(config.seed ^ 0x5e7a_ab1e_f1a6);
+    for i in (1..m).rev() {
+        order.swap(i, rng.random_range(0..=i));
+    }
+    for &q in order.iter().take(count) {
+        flags[q] = true;
+    }
+    flags
 }
 
 #[cfg(test)]
@@ -384,6 +442,59 @@ mod tests {
                 assert!((f - w.advertisers[a].base_factor).abs() < 1e-12);
             }
         }
+    }
+
+    #[test]
+    fn separable_fraction_produces_mixed_workloads() {
+        let config = WorkloadConfig {
+            phrase_factor_jitter: 0.5,
+            separable_fraction: 0.5,
+            ..small_config()
+        };
+        let w = Workload::generate(&config);
+        // Exactly floor(0.5 * 10) phrases keep base factors.
+        assert_eq!(w.separable_phrase_count(), 5);
+        for q in 0..w.phrase_count() {
+            if w.phrase_is_separable(q) {
+                for (a, &f) in w.interest[q].iter().zip(&w.phrase_factors[q]) {
+                    assert!((f - w.advertisers[a.index()].base_factor).abs() <= 1e-12);
+                }
+            } else {
+                assert!(
+                    w.interest[q]
+                        .iter()
+                        .zip(&w.phrase_factors[q])
+                        .any(|(a, &f)| {
+                            (f - w.advertisers[a.index()].base_factor).abs() > 1e-12
+                        }),
+                    "non-separable phrase {q} should carry jittered factors"
+                );
+            }
+        }
+        // Deterministic per seed.
+        let again = Workload::generate(&config);
+        assert_eq!(w.phrase_factors, again.phrase_factors);
+    }
+
+    #[test]
+    fn separable_fraction_edges() {
+        // Fraction 1.0 with jitter: every phrase stays separable.
+        let all = Workload::generate(&WorkloadConfig {
+            phrase_factor_jitter: 0.5,
+            separable_fraction: 1.0,
+            ..small_config()
+        });
+        assert_eq!(all.separable_phrase_count(), all.phrase_count());
+        // No jitter: the fraction is irrelevant, and the workload matches
+        // the plain jitter-free generation draw for draw.
+        let a = Workload::generate(&WorkloadConfig {
+            separable_fraction: 0.7,
+            ..small_config()
+        });
+        let b = Workload::generate(&small_config());
+        assert_eq!(a.phrase_factors, b.phrase_factors);
+        assert_eq!(a.interest, b.interest);
+        assert_eq!(a.separable_phrase_count(), a.phrase_count());
     }
 
     #[test]
