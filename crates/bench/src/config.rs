@@ -8,7 +8,9 @@ use crate::json::{self, Value};
 
 use ssa_auction::money::Money;
 use ssa_auction::pricing::PricingRule;
-use ssa_core::engine::{BudgetPolicy, Engine, EngineConfig, EngineMetrics, SharingStrategy};
+use ssa_core::engine::{
+    BudgetPolicy, Engine, EngineConfig, EngineMetrics, RoutingMode, SharingStrategy,
+};
 use ssa_core::plan::PlannerMode;
 use ssa_workload::{Workload, WorkloadConfig};
 
@@ -104,6 +106,14 @@ pub struct SimulationSpec {
     /// `BENCH_planner_scaling.json`), so both the engine and this CLI
     /// default to `"full"`.
     pub planner: String,
+    /// Hybrid route selection: `"static"` (the fixed separability
+    /// predicate, the default) or `"adaptive"` (cost-model seeded routing
+    /// with online phrase migration). Ignored by the single-resolver
+    /// strategies.
+    pub routing: String,
+    /// Pin the adaptive router to its cost-model seed route (no online
+    /// migration). Meaningless unless `routing` is `"adaptive"`.
+    pub route_frozen: bool,
     /// Engine RNG seed.
     pub seed: u64,
 }
@@ -121,6 +131,8 @@ impl Default for SimulationSpec {
             click_expiry_rounds: 20,
             wd_threads: 1,
             planner: "full".to_string(),
+            routing: "static".to_string(),
+            route_frozen: false,
             seed: 7,
         }
     }
@@ -167,6 +179,15 @@ fn f64_field(v: &Value, key: &str, default: f64) -> Result<f64, ConfigError> {
         Some(x) => x
             .as_f64()
             .ok_or_else(|| ConfigError(format!("field '{key}' must be a number"))),
+    }
+}
+
+fn bool_field(v: &Value, key: &str, default: bool) -> Result<bool, ConfigError> {
+    match field(v, key) {
+        None => Ok(default),
+        Some(x) => x
+            .as_bool()
+            .ok_or_else(|| ConfigError(format!("field '{key}' must be a boolean"))),
     }
 }
 
@@ -276,6 +297,8 @@ impl SimulationSpec {
                 0,
             )?),
             planner: string_field(&v, "planner", &d.planner)?,
+            routing: string_field(&v, "routing", &d.routing)?,
+            route_frozen: bool_field(&v, "route_frozen", d.route_frozen)?,
             seed: u64_field(&v, "seed", d.seed)?,
         })
     }
@@ -306,6 +329,8 @@ impl SimulationSpec {
             ),
             ("wd_threads".into(), Value::from(self.wd_threads)),
             ("planner".into(), Value::from(self.planner.as_str())),
+            ("routing".into(), Value::from(self.routing.as_str())),
+            ("route_frozen".into(), Value::from(self.route_frozen)),
             ("seed".into(), Value::from(self.seed)),
         ])
         .to_string_pretty()
@@ -347,6 +372,14 @@ impl SimulationSpec {
         }
     }
 
+    fn routing_mode(&self) -> Result<RoutingMode, ConfigError> {
+        match self.routing.as_str() {
+            "static" => Ok(RoutingMode::Static),
+            "adaptive" => Ok(RoutingMode::Adaptive),
+            other => Err(ConfigError(format!("unknown routing mode '{other}'"))),
+        }
+    }
+
     /// Builds the engine.
     pub fn build_engine(&self) -> Result<Engine, ConfigError> {
         if self.slot_factors.is_empty() {
@@ -364,6 +397,8 @@ impl SimulationSpec {
                 billing_increment: Money::from_micros(10_000),
                 wd_threads: self.wd_threads,
                 planner: self.planner_mode()?,
+                routing: self.routing_mode()?,
+                route_frozen: self.route_frozen,
                 seed: self.seed,
             },
         ))
@@ -383,7 +418,7 @@ pub fn render_metrics(m: &EngineMetrics) -> String {
          clicks beyond budget: {}\nadvertisers scanned: {}\naggregation ops: {}\n\
          merge invocations: {}\nta stages: {}\nsort nodes invalidated: {}\n\
          sort cache items reused: {}\nphrases routed plan: {}\nphrases routed sort: {}\n\
-         phrases routed unshared: {}\nthrottle ms: {:.2}\nwd ms: {:.2}\n\
+         phrases routed unshared: {}\nrouter migrations: {}\nthrottle ms: {:.2}\nwd ms: {:.2}\n\
          wd plan ms: {:.2}\nwd sort ms: {:.2}\nwd unshared ms: {:.2}\n\
          sort refresh ms: {:.2}\nsettle ms: {:.2}\nresolution ms: {:.2}",
         m.rounds,
@@ -402,6 +437,7 @@ pub fn render_metrics(m: &EngineMetrics) -> String {
         m.phrases_routed_plan,
         m.phrases_routed_sort,
         m.phrases_routed_unshared,
+        m.router_migrations,
         m.throttle_nanos as f64 / 1e6,
         m.wd_nanos as f64 / 1e6,
         m.wd_plan_nanos as f64 / 1e6,
@@ -477,6 +513,52 @@ mod tests {
             ..SimulationSpec::default()
         };
         assert!(spec.build_engine().is_err());
+        let spec = SimulationSpec {
+            routing: "vibes".to_string(),
+            ..SimulationSpec::default()
+        };
+        assert!(spec.build_engine().is_err());
+    }
+
+    #[test]
+    fn routing_fields_round_trip() {
+        // Omitted routing stays static with migration enabled.
+        let spec = SimulationSpec::from_json("{}").expect("empty config parses");
+        assert_eq!(spec.routing, "static");
+        assert!(!spec.route_frozen);
+        let spec =
+            SimulationSpec::from_json(r#"{"routing": "adaptive", "route_frozen": true}"#).unwrap();
+        assert_eq!(spec.routing, "adaptive");
+        assert!(spec.route_frozen);
+        let back = SimulationSpec::from_json(&spec.to_json()).unwrap();
+        assert_eq!(back.routing, "adaptive");
+        assert!(back.route_frozen);
+    }
+
+    #[test]
+    fn adaptive_hybrid_spec_runs_and_reports_migrations() {
+        let spec = SimulationSpec {
+            rounds: 6,
+            sharing: "hybrid".to_string(),
+            routing: "adaptive".to_string(),
+            workload: WorkloadSpec {
+                advertisers: 40,
+                phrases: 8,
+                topics: 2,
+                phrase_factor_jitter: 0.4,
+                separable_fraction: 0.5,
+                ..WorkloadSpec::default()
+            },
+            ..SimulationSpec::default()
+        };
+        let m = spec.run().expect("adaptive hybrid spec runs");
+        assert_eq!(m.rounds, 6);
+        assert_eq!(
+            m.phrases_routed_plan + m.phrases_routed_sort,
+            m.auctions,
+            "every auction routed to exactly one hybrid resolver"
+        );
+        assert!(render_metrics(&m).contains("router migrations"));
     }
 
     #[test]

@@ -60,6 +60,14 @@ impl Value {
         }
     }
 
+    /// Boolean accessor.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
     /// Array accessor.
     pub fn as_array(&self) -> Option<&[Value]> {
         match self {

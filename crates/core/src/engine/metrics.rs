@@ -66,6 +66,20 @@ pub struct EngineMetrics {
     pub phrases_routed_sort: u64,
     /// Phrase auctions routed to the unshared per-phrase scan.
     pub phrases_routed_unshared: u64,
+    /// Phrases migrated between the Hybrid resolvers by the adaptive
+    /// router (plus explicit `force_hybrid_route` calls). Always zero
+    /// under static routing. Online migrations are driven by measured
+    /// wall-clock, so this counter — and, under `RoutingMode::Adaptive`,
+    /// the `phrases_routed_*` split — is timing-dependent and zeroed by
+    /// [`EngineMetrics::without_timing`].
+    pub router_migrations: u64,
+    /// Times the adaptive router rebuilt the Hybrid sort resolver's
+    /// network: steady-state compactions onto the sort-routed subset
+    /// (shedding the full-set arena's cache footprint once the route has
+    /// held still), plus forced expansions when a migration entered a
+    /// phrase a compacted network had dropped. Timing-driven like
+    /// `router_migrations`; zeroed by [`EngineMetrics::without_timing`].
+    pub router_sort_rebuilds: u64,
     /// Throttled-bid bound evaluations (bounded budget policy).
     pub bound_evaluations: u64,
     /// Exact throttled-bid computations (the Section IV convolution, or a
@@ -80,17 +94,23 @@ pub struct EngineMetrics {
     pub throttle_nanos: u128,
     /// Wall-clock nanoseconds in winner determination proper.
     pub wd_nanos: u128,
-    /// Wall-clock nanoseconds in the shared-plan resolver (included in
-    /// `wd_nanos`; under `Hybrid`, the plan-routed share of the round).
+    /// Wall-clock nanoseconds in the shared-plan resolver's `resolve`
+    /// (included in `wd_nanos`; under `Hybrid`, the plan-routed share of
+    /// the round).
     pub wd_plan_nanos: u128,
-    /// Wall-clock nanoseconds in the shared-sort resolver, refresh
-    /// included (included in `wd_nanos`).
+    /// Wall-clock nanoseconds in the shared-sort resolver's `resolve`
+    /// *only* — network refresh is accounted separately in
+    /// `sort_refresh_nanos`, so the per-path resolver costs are directly
+    /// comparable (the adaptive router's calibration signal reads these).
+    /// Both are included in `wd_nanos`, which wraps the whole
+    /// winner-determination stage.
     pub wd_sort_nanos: u128,
     /// Wall-clock nanoseconds in the unshared resolver (included in
     /// `wd_nanos`).
     pub wd_unshared_nanos: u128,
     /// Wall-clock nanoseconds diffing bids and refreshing the persistent
-    /// merge network (shared-sort strategy; included in `wd_nanos`).
+    /// merge network (`prepare`), disjoint from `wd_sort_nanos`; included
+    /// in `wd_nanos`.
     pub sort_refresh_nanos: u128,
     /// Wall-clock nanoseconds pricing, displaying, and settling clicks.
     pub settle_nanos: u128,
@@ -122,6 +142,8 @@ impl EngineMetrics {
         self.phrases_routed_plan += other.phrases_routed_plan;
         self.phrases_routed_sort += other.phrases_routed_sort;
         self.phrases_routed_unshared += other.phrases_routed_unshared;
+        self.router_migrations += other.router_migrations;
+        self.router_sort_rebuilds += other.router_sort_rebuilds;
         self.bound_evaluations += other.bound_evaluations;
         self.exact_throttle_evaluations += other.exact_throttle_evaluations;
         self.expected_value += other.expected_value;
@@ -147,11 +169,18 @@ impl EngineMetrics {
         self.throttle_nanos + self.wd_nanos
     }
 
-    /// A copy with every wall-clock field zeroed, for comparing the
+    /// A copy with every wall-clock field — and the timing-*driven*
+    /// `router_migrations` counter — zeroed, for comparing the
     /// deterministic counters of two runs (e.g. `wd_threads` 1 vs 4)
-    /// where only timing may legitimately differ.
+    /// where only timing may legitimately differ. Note that under
+    /// `RoutingMode::Adaptive` the `phrases_routed_plan`/`_sort` split
+    /// also depends on migration history and is not comparable across
+    /// runs; checks over adaptive engines compare outcomes, not routing
+    /// counters.
     pub fn without_timing(&self) -> EngineMetrics {
         EngineMetrics {
+            router_migrations: 0,
+            router_sort_rebuilds: 0,
             throttle_nanos: 0,
             wd_nanos: 0,
             wd_plan_nanos: 0,

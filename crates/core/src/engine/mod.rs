@@ -77,6 +77,26 @@ pub enum SharingStrategy {
     Hybrid,
 }
 
+/// How `SharingStrategy::Hybrid` assigns phrases to its two shared paths.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RoutingMode {
+    /// Fixed at construction: every separable phrase to the aggregation
+    /// plan, the rest to the sort network. Deterministic, but pays the
+    /// plan's per-round sweep even on workloads where it loses.
+    #[default]
+    Static,
+    /// Cost-model routing with online phrase migration: routes are seeded
+    /// from the paper's Section II-B / III-B expected-cost marginals over
+    /// the workload's search rates, calibrated against measured per-path
+    /// wall-clock (EWMA), and phrases migrate between the resolvers at
+    /// round boundaries when the estimated saving clears a hysteresis
+    /// threshold. Auction outcomes are bit-identical to every other
+    /// strategy regardless of where a phrase is routed; only wall-clock
+    /// and routing counters depend on the (timing-driven, hence
+    /// nondeterministic) migration history.
+    Adaptive,
+}
+
 /// Engine configuration.
 #[derive(Debug, Clone)]
 pub struct EngineConfig {
@@ -88,6 +108,15 @@ pub struct EngineConfig {
     pub budget_policy: BudgetPolicy,
     /// Winner-determination sharing strategy.
     pub sharing: SharingStrategy,
+    /// Phrase-routing mode for `SharingStrategy::Hybrid` (ignored by the
+    /// single-resolver strategies).
+    pub routing: RoutingMode,
+    /// Escape hatch: pin an adaptive router to its cost-model seed route
+    /// (no online migration). Keeps `RoutingMode::Adaptive` runs fully
+    /// deterministic — the seed depends only on the workload — which the
+    /// testkit minimizer uses to shrink adaptive-routing counterexamples.
+    /// Explicit [`Engine::force_hybrid_route`] calls still apply.
+    pub route_frozen: bool,
     /// Mean click delay in rounds (geometric).
     pub mean_click_delay_rounds: f64,
     /// Outstanding ads expire (never click) after this many rounds.
@@ -121,6 +150,8 @@ impl Default for EngineConfig {
             pricing: PricingRule::GeneralizedSecondPrice,
             budget_policy: BudgetPolicy::ThrottleExact,
             sharing: SharingStrategy::Unshared,
+            routing: RoutingMode::Static,
+            route_frozen: false,
             mean_click_delay_rounds: 3.0,
             click_expiry_rounds: 20,
             billing_increment: Money::from_micros(10_000), // one cent
@@ -303,14 +334,53 @@ impl Engine {
         &self.last_effective_bids
     }
 
-    /// Which resolver each phrase is bound to: `true` means the shared
-    /// aggregation plan, `false` the shared sort network. `None` unless
-    /// the strategy is `Hybrid`. An observation seam for the
-    /// `hybrid-routing` differential check.
+    /// Which resolver each phrase is *currently* bound to: `true` means
+    /// the shared aggregation plan, `false` the shared sort network.
+    /// `None` unless the strategy is `Hybrid`. Under static routing this
+    /// is the separability map; under adaptive routing it is the router's
+    /// live route and changes as phrases migrate. An observation seam for
+    /// the `hybrid-routing` and `adaptive-routing` differential checks.
     pub fn hybrid_plan_route(&self) -> Option<&[bool]> {
         match &self.resolvers {
-            Resolvers::Hybrid { plan_route, .. } => Some(plan_route),
+            Resolvers::Hybrid { router, .. } => Some(router.route()),
             _ => None,
+        }
+    }
+
+    /// Forces phrase `phrase` onto the plan (`to_plan == true`) or sort
+    /// path of an adaptive Hybrid engine, applying the same incremental
+    /// migration the router performs at round boundaries (and counting it
+    /// in `router_migrations`). Returns `false` — and changes nothing —
+    /// when the strategy is not Hybrid, routing is not adaptive, the
+    /// phrase is not plan-eligible, or it already sits on the requested
+    /// path. A testing/operator seam: differential checks use it to make
+    /// migration rounds deterministic.
+    pub fn force_hybrid_route(&mut self, phrase: PhraseId, to_plan: bool) -> bool {
+        match &mut self.resolvers {
+            Resolvers::Hybrid {
+                plan,
+                sort,
+                router,
+                stable_boundaries,
+                ..
+            } => {
+                if !router.force_route(phrase.index(), to_plan) {
+                    return false;
+                }
+                plan.set_phrase_routed(phrase.index(), to_plan);
+                *stable_boundaries = 0;
+                if !to_plan && !sort.serves_phrase(phrase.index()) {
+                    // The forced move re-enters a phrase the steady-state
+                    // compaction dropped from the network; widen it back.
+                    resolvers::rebuild_sort(sort, &self.workload, router.route());
+                    self.metrics.router_sort_rebuilds += 1;
+                } else {
+                    sort.set_phrase_active(phrase.index(), !to_plan);
+                }
+                self.metrics.router_migrations += 1;
+                true
+            }
+            _ => false,
         }
     }
 

@@ -12,15 +12,22 @@
 //! makes `SharingStrategy::Hybrid` possible: separable phrases compile
 //! into one aggregation plan, the rest into one sort network, and each
 //! round the engine routes every occurring phrase to the resolver that
-//! owns it.
+//! owns it. Under `RoutingMode::Adaptive` the per-phrase route is not a
+//! fixed separability predicate but a [`Router`] decision: seeded from
+//! the paper's probabilistic cost models and refined online from measured
+//! per-path wall-clock, with phrases migrating between the resolvers at
+//! round boundaries.
 
 mod plan;
+mod router;
 mod sort;
 mod unshared;
 
 pub use plan::PlanResolver;
 pub use sort::SortResolver;
 pub use unshared::UnsharedResolver;
+
+pub(crate) use router::Router;
 
 use std::time::Instant;
 
@@ -30,7 +37,9 @@ use ssa_workload::Workload;
 
 use crate::budget::BudgetContext;
 
-use super::{AuctionOutcome, BudgetPolicy, EngineConfig, EngineMetrics, SharingStrategy};
+use super::{
+    AuctionOutcome, BudgetPolicy, EngineConfig, EngineMetrics, RoutingMode, SharingStrategy,
+};
 
 /// Per-round context handed to every resolver call: the workload, the
 /// round's participation counts, the executor knobs, and a budget-state
@@ -84,6 +93,7 @@ pub trait PhraseResolver {
 
 /// The strategy's resolver set: one resolver for the single-strategy
 /// engines, a routed pair for [`SharingStrategy::Hybrid`].
+#[allow(clippy::large_enum_variant)] // exactly one per Engine, never collected
 pub(crate) enum Resolvers {
     Unshared(UnsharedResolver),
     Plan(PlanResolver),
@@ -91,11 +101,52 @@ pub(crate) enum Resolvers {
     Hybrid {
         plan: PlanResolver,
         sort: SortResolver,
-        /// Per phrase: `true` routes to the plan, `false` to the sort
-        /// network. Fixed at construction (separability is a workload
-        /// property, not a round property).
-        plan_route: Vec<bool>,
+        /// Who owns each phrase: the static separability predicate, or
+        /// the adaptive cost-model router with online migration.
+        router: Router,
+        /// Reusable per-round partition buffers (hoisted so steady-state
+        /// rounds allocate nothing).
+        plan_phrases: Vec<PhraseId>,
+        sort_phrases: Vec<PhraseId>,
+        /// Consecutive occupied round boundaries without a migration.
+        /// Reaching [`COMPACT_AFTER_STABLE`] triggers the steady-state
+        /// sort-network compaction.
+        stable_boundaries: u32,
     },
+}
+
+/// Occupied round boundaries the adaptive route must hold still before
+/// the sort resolver is recompiled over exactly the sort-routed subset.
+///
+/// The adaptive engine compiles its sort network over *all* phrases so
+/// cold-start migration is a counter flip, but that generality has a
+/// standing cost: under generalist-heavy interest sets every internal
+/// node serves at least one sort-routed phrase, so even with inactive
+/// leaves deferred the live cones span the full-set arena — measurably
+/// slower (~5% wall-clock) than a subset-compiled network doing
+/// bit-identical work, purely from cache footprint. Once the router has
+/// converged, that insurance is no longer worth carrying: the network is
+/// rebuilt over the routed subset, making its shape — and its locality —
+/// identical to a statically compiled engine's. Migrations arriving
+/// after a compaction still work; one that targets a phrase the compact
+/// network dropped forces a rebuild over the widened subset instead of
+/// the usual counter flip.
+///
+/// Strictly above `EVAC_STREAK` (4): group evacuation fires on its
+/// fourth consecutive favourable boundary, so a route heading for
+/// evacuation migrates — and resets this counter — before compaction can
+/// freeze the pre-evacuation subset in.
+const COMPACT_AFTER_STABLE: u32 = 6;
+
+/// Recompiles `sort` over exactly the route's sort-routed subset and
+/// re-arms its deferral counters. The persistent network rebuilds from
+/// scratch on the next occupied sort round (an all-dirty refresh);
+/// outcomes are unaffected because merge order is bid-deterministic
+/// regardless of network shape.
+pub(super) fn rebuild_sort(sort: &mut SortResolver, workload: &Workload, plan_route: &[bool]) {
+    let mask: Vec<bool> = plan_route.iter().map(|&to_plan| !to_plan).collect();
+    *sort = SortResolver::new(workload, Some(&mask), sort.threads());
+    sort.defer_inactive_leaves(plan_route);
 }
 
 impl Resolvers {
@@ -110,15 +161,96 @@ impl Resolvers {
             SharingStrategy::SharedSort => {
                 Resolvers::Sort(SortResolver::new(workload, None, config.wd_threads))
             }
-            SharingStrategy::Hybrid => {
-                let plan_route: Vec<bool> = (0..workload.phrase_count())
-                    .map(|q| workload.phrase_is_separable(q))
-                    .collect();
-                let sort_route: Vec<bool> = plan_route.iter().map(|&r| !r).collect();
+            SharingStrategy::Hybrid => Self::hybrid(workload, config),
+        }
+    }
+
+    /// The Hybrid resolver pair. Static routing compiles each resolver
+    /// over exactly its separability subset. Adaptive routing compiles
+    /// the plan over the separable subset but the sort network over *all*
+    /// phrases (with refresh deferred to sort-routed leaves), so a later
+    /// migration in either direction is a bookkeeping update — a
+    /// search-rate toggle plan-side, a leaf activation sort-side — never
+    /// a recompile.
+    fn hybrid(workload: &Workload, config: &EngineConfig) -> Self {
+        let m = workload.phrase_count();
+        let separable: Vec<bool> = (0..m).map(|q| workload.phrase_is_separable(q)).collect();
+        let mut plan = PlanResolver::new(workload, config.planner, Some(&separable));
+        match config.routing {
+            RoutingMode::Static => {
+                let sort_route: Vec<bool> = separable.iter().map(|&r| !r).collect();
                 Resolvers::Hybrid {
-                    plan: PlanResolver::new(workload, config.planner, Some(&plan_route)),
+                    plan,
                     sort: SortResolver::new(workload, Some(&sort_route), config.wd_threads),
-                    plan_route,
+                    router: Router::fixed(separable),
+                    plan_phrases: Vec::new(),
+                    sort_phrases: Vec::new(),
+                    stable_boundaries: 0,
+                }
+            }
+            RoutingMode::Adaptive => {
+                let rates = workload.search_rates();
+                let mut sort = SortResolver::new(workload, None, config.wd_threads);
+                // Marginals in common item units: one plan node is a
+                // pairwise top-k aggregation (~2k item ops), one sort
+                // unit an item sent upstream; the plan's fixed term is
+                // its O(n) per-round leaf sweep.
+                let items_per_node = 2.0 * config.slot_factors.len().max(1) as f64;
+                let plan_marginal: Vec<f64> = plan
+                    .phrase_marginals()
+                    .iter()
+                    .map(|&nodes| nodes * items_per_node)
+                    .collect();
+                // The merge model's marginal is the upstream *traffic* a
+                // phrase adds, which collapses to zero at saturated
+                // search rates (a shared cone carries its items whether
+                // or not any one subscriber occurs). The router therefore
+                // also gets group terms — the network's expected items
+                // over the sort-routed set, and the extra items full
+                // absorption of the plan set would add — plus a ~k-item
+                // Threshold-Algorithm scan per occurrence, so both its
+                // calibration weights and its evacuation pricing stay
+                // non-degenerate where the marginals vanish.
+                let sort_marginal: Vec<f64> = sort.phrase_marginals(&rates);
+                let eligible: Vec<bool> = (0..m).map(|q| plan.is_bound(q)).collect();
+                let sort_total = sort.model_items(&rates);
+                let masked_by = |on_plan: &[bool]| -> Vec<f64> {
+                    rates
+                        .iter()
+                        .zip(on_plan)
+                        .map(|(&sr, &to_plan)| if to_plan { 0.0 } else { sr })
+                        .collect()
+                };
+                let sort_fixed = sort.model_items(&masked_by(&eligible));
+                let ta_items = config.slot_factors.len().max(1) as f64;
+                let mut router = Router::adaptive(
+                    eligible,
+                    plan_marginal,
+                    sort_marginal,
+                    rates.clone(),
+                    workload.advertiser_count() as f64,
+                    sort_fixed,
+                    sort_total - sort_fixed,
+                    ta_items,
+                    config.route_frozen,
+                );
+                // The seed may already have migrated phrases; refresh the
+                // group terms for the route it actually chose.
+                let sort_fixed = sort.model_items(&masked_by(router.route()));
+                router.set_sort_model(sort_fixed, sort_total - sort_fixed);
+                sort.defer_inactive_leaves(router.route());
+                for (q, &to_plan) in router.route().iter().enumerate() {
+                    if !to_plan {
+                        plan.set_phrase_routed(q, false);
+                    }
+                }
+                Resolvers::Hybrid {
+                    plan,
+                    sort,
+                    router,
+                    plan_phrases: Vec::new(),
+                    sort_phrases: Vec::new(),
+                    stable_boundaries: 0,
                 }
             }
         }
@@ -168,8 +300,10 @@ impl Resolvers {
             }
             Resolvers::Sort(resolver) => {
                 metrics.phrases_routed_sort += occurring.len() as u64;
-                let started = Instant::now();
+                // `prepare` (network refresh) times itself into
+                // `sort_refresh_nanos`; `wd_sort_nanos` is resolve only.
                 resolver.prepare(ctx, effective_bids, metrics);
+                let started = Instant::now();
                 let out = resolver.resolve(ctx, occurring, effective_bids, metrics);
                 metrics.wd_sort_nanos += started.elapsed().as_nanos();
                 out
@@ -177,12 +311,16 @@ impl Resolvers {
             Resolvers::Hybrid {
                 plan,
                 sort,
-                plan_route,
+                router,
+                plan_phrases,
+                sort_phrases,
+                stable_boundaries,
             } => {
-                let mut plan_phrases = Vec::new();
-                let mut sort_phrases = Vec::new();
+                plan_phrases.clear();
+                sort_phrases.clear();
+                let route = router.route();
                 for &p in occurring {
-                    if plan_route[p.index()] {
+                    if route[p.index()] {
                         plan_phrases.push(p);
                     } else {
                         sort_phrases.push(p);
@@ -191,33 +329,110 @@ impl Resolvers {
                 metrics.phrases_routed_plan += plan_phrases.len() as u64;
                 metrics.phrases_routed_sort += sort_phrases.len() as u64;
 
-                // The sort network refreshes every round — even when no
-                // sort phrase occurs — so its dirty-cone state tracks the
-                // bid stream exactly as a pure `SharedSort` engine's
-                // does.
-                let started = Instant::now();
-                sort.prepare(ctx, effective_bids, metrics);
-                let sort_out = sort.resolve(ctx, &sort_phrases, effective_bids, metrics);
-                metrics.wd_sort_nanos += started.elapsed().as_nanos();
-
-                let started = Instant::now();
-                let plan_out = plan.resolve(ctx, &plan_phrases, effective_bids, metrics);
-                metrics.wd_plan_nanos += started.elapsed().as_nanos();
+                // Static routing refreshes the sort network every round —
+                // even when no sort phrase occurs — so its dirty-cone
+                // state tracks the bid stream exactly as a pure
+                // `SharedSort` engine's does. Adaptive routing instead
+                // defers stale leaves to the next occupied round (the
+                // resolver skips inactive leaves when diffing), so an
+                // empty sort subset costs nothing.
+                if !router.is_adaptive() || !sort_phrases.is_empty() {
+                    sort.prepare(ctx, effective_bids, metrics);
+                }
+                let sort_out = if sort_phrases.is_empty() {
+                    Vec::new()
+                } else {
+                    let started = Instant::now();
+                    let out = sort.resolve(ctx, sort_phrases, effective_bids, metrics);
+                    let nanos = started.elapsed().as_nanos();
+                    metrics.wd_sort_nanos += nanos;
+                    router.observe_sort(nanos, sort_phrases);
+                    out
+                };
+                let plan_out = if plan_phrases.is_empty() {
+                    Vec::new()
+                } else {
+                    let started = Instant::now();
+                    let out = plan.resolve(ctx, plan_phrases, effective_bids, metrics);
+                    let nanos = started.elapsed().as_nanos();
+                    metrics.wd_plan_nanos += nanos;
+                    router.observe_plan(nanos, plan_phrases);
+                    out
+                };
 
                 // Both outputs follow their input order, which are
                 // subsequences of `occurring`; zip them back together.
                 let mut plan_out = plan_out.into_iter();
                 let mut sort_out = sort_out.into_iter();
-                occurring
+                let route = router.route();
+                let outcomes: Vec<AuctionOutcome> = occurring
                     .iter()
                     .map(|&p| {
-                        if plan_route[p.index()] {
+                        if route[p.index()] {
                             plan_out.next().expect("one outcome per plan phrase")
                         } else {
                             sort_out.next().expect("one outcome per sort phrase")
                         }
                     })
-                    .collect()
+                    .collect();
+
+                // Round boundary: migrate phrases whose calibrated cost
+                // on the other path clears the hysteresis margin. Each
+                // move is incremental — a search-rate toggle in the
+                // plan's cost tracker, an active-leaf count flip in the
+                // sort network (its stale cone repairs on the next
+                // refresh).
+                if !occurring.is_empty() {
+                    let mut migrated = false;
+                    let mut outgrew_network = false;
+                    for &(q, to_plan) in router.rebalance() {
+                        plan.set_phrase_routed(q, to_plan);
+                        if !to_plan && !sort.serves_phrase(q) {
+                            // The phrase enters a network that was
+                            // compacted past it; there is no leaf to
+                            // re-activate — rebuild below.
+                            outgrew_network = true;
+                        } else {
+                            sort.set_phrase_active(q, !to_plan);
+                        }
+                        metrics.router_migrations += 1;
+                        migrated = true;
+                    }
+                    // The sort path's group cost depends on which phrases
+                    // the network actively serves, so a migration
+                    // invalidates it; re-derive both terms from the model
+                    // (O(network), only on boundaries that moved
+                    // something).
+                    if migrated {
+                        *stable_boundaries = 0;
+                        if outgrew_network {
+                            rebuild_sort(sort, ctx.workload, router.route());
+                            metrics.router_sort_rebuilds += 1;
+                        }
+                        let masked: Vec<f64> = router
+                            .search_rates()
+                            .iter()
+                            .zip(router.route())
+                            .map(|(&sr, &to_plan)| if to_plan { 0.0 } else { sr })
+                            .collect();
+                        let sort_fixed = sort.model_items(&masked);
+                        let sort_total = sort.model_items(router.search_rates());
+                        router.set_sort_model(sort_fixed, sort_total - sort_fixed);
+                    } else if router.is_adaptive() {
+                        // Steady route: once it has held still long
+                        // enough, shed the full-set network's footprint
+                        // by recompiling over exactly the sort-routed
+                        // subset (see [`COMPACT_AFTER_STABLE`]).
+                        *stable_boundaries = stable_boundaries.saturating_add(1);
+                        if *stable_boundaries == COMPACT_AFTER_STABLE
+                            && sort.compiled_beyond(router.route())
+                        {
+                            rebuild_sort(sort, ctx.workload, router.route());
+                            metrics.router_sort_rebuilds += 1;
+                        }
+                    }
+                }
+                outcomes
             }
         }
     }

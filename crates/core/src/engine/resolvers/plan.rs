@@ -6,7 +6,9 @@ use ssa_auction::winner::assignment_from_ranking;
 use ssa_setcover::BitSet;
 use ssa_workload::Workload;
 
-use crate::plan::{LevelSchedule, PlanDag, PlanProblem, PlannerMode, SharedPlanner};
+use crate::plan::{
+    LevelSchedule, PlanDag, PlanMaintainer, PlanProblem, PlannerMode, SharedPlanner,
+};
 use crate::topk::{KList, ScoredAd, ScoredTopKOp};
 
 use super::super::{AuctionOutcome, EngineMetrics};
@@ -18,10 +20,20 @@ use ssa_auction::money::Money;
 /// every bound phrase to be separable: leaves score each advertiser by
 /// its *base* factor, which is only that phrase's `c_i^q` when the factor
 /// is phrase-independent there.
+///
+/// The plan lives inside a [`PlanMaintainer`], whose [`IncrementalCost`]
+/// tracker doubles as the adaptive router's plan-side cost model: routing
+/// a phrase away from the plan sets its search rate to zero (the plan's
+/// structure is untouched — an unrouted phrase simply never occurs from
+/// the plan's point of view, so its private nodes never materialize), and
+/// routing it back restores the rate. Both directions are O(cone) rate
+/// repairs, not replans.
+///
+/// [`IncrementalCost`]: crate::plan::IncrementalCost
 pub struct PlanResolver {
-    /// Offline shared-aggregation plan; `None` when every bound phrase's
-    /// interest set is empty.
-    plan: Option<PlanDag>,
+    /// Offline shared-aggregation plan plus its incremental cost tracker;
+    /// `None` when every bound phrase's interest set is empty.
+    maintainer: Option<PlanMaintainer>,
     /// The plan's topological level schedule, computed once for
     /// level-parallel evaluation under `wd_threads > 1`.
     schedule: Option<LevelSchedule>,
@@ -29,6 +41,14 @@ pub struct PlanResolver {
     /// phrases outside this resolver's subset and for empty-interest
     /// phrases, which resolve trivially).
     query_index: Vec<Option<usize>>,
+    /// Construction-time search rate per bound query, restored when a
+    /// routed-away phrase migrates back onto the plan.
+    query_rates: Vec<f64>,
+    /// Per phrase, the marginal expected cost (in expected materialized
+    /// nodes per round, Section II-B units) of serving the phrase through
+    /// this plan: the tracker's total drop when the phrase's rate is
+    /// zeroed. Zero for unbound phrases.
+    marginals: Vec<f64>,
 }
 
 impl PlanResolver {
@@ -60,24 +80,85 @@ impl PlanResolver {
             queries.push(BitSet::from_elements(n, ids.iter().map(|a| a.index())));
             query_rates.push(rates[q]);
         }
-        let plan = if queries.is_empty() {
+        let maintainer = if queries.is_empty() {
             None
         } else {
-            let problem = PlanProblem::new(n, queries, Some(query_rates));
-            Some(SharedPlanner { mode: planner }.plan(&problem))
+            let problem = PlanProblem::new(n, queries, Some(query_rates.clone()));
+            Some(PlanMaintainer::new(
+                problem,
+                SharedPlanner { mode: planner },
+                2.0,
+            ))
         };
-        let schedule = plan.as_ref().map(PlanDag::level_schedule);
-        PlanResolver {
-            plan,
+        let schedule = maintainer.as_ref().map(|m| m.plan().level_schedule());
+        let mut resolver = PlanResolver {
+            maintainer,
             schedule,
             query_index,
+            query_rates,
+            marginals: vec![0.0; m],
+        };
+        resolver.compute_marginals();
+        resolver
+    }
+
+    /// Fills `marginals` by toggling each bound query's rate to zero and
+    /// reading the incremental tracker's drop — the same delta-repair
+    /// path a live migration takes, so the seed signal and the online
+    /// bookkeeping can never disagree.
+    fn compute_marginals(&mut self) {
+        let Some(maintainer) = self.maintainer.as_mut() else {
+            return;
+        };
+        for (q, marginal) in self.marginals.iter_mut().enumerate() {
+            let Some(qi) = self.query_index[q] else {
+                continue;
+            };
+            let with = maintainer.expected_cost();
+            maintainer.update_search_rate(qi, 0.0);
+            *marginal = (with - maintainer.expected_cost()).max(0.0);
+            maintainer.update_search_rate(qi, self.query_rates[qi]);
         }
     }
 
     /// The compiled plan, if any phrase was bound (an observation seam
     /// for cost assertions in tests and benches).
     pub fn dag(&self) -> Option<&PlanDag> {
-        self.plan.as_ref()
+        self.maintainer.as_ref().map(PlanMaintainer::plan)
+    }
+
+    /// The plan's expected per-round cost under the rates of the phrases
+    /// currently routed here (served from the incremental tracker).
+    pub fn expected_cost(&self) -> f64 {
+        self.maintainer
+            .as_ref()
+            .map_or(0.0, PlanMaintainer::expected_cost)
+    }
+
+    /// True iff phrase `q` is bound to a query node of this plan (i.e.
+    /// it is separable, in this resolver's subset, and non-empty).
+    pub(crate) fn is_bound(&self, q: usize) -> bool {
+        self.query_index[q].is_some()
+    }
+
+    /// Per phrase, the marginal expected plan cost (Section II-B units:
+    /// expected materialized nodes per round); zero for unbound phrases.
+    pub(crate) fn phrase_marginals(&self) -> &[f64] {
+        &self.marginals
+    }
+
+    /// Routes phrase `q` onto (`true`) or off (`false`) this plan in the
+    /// cost model: a search-rate toggle through the maintainer, repairing
+    /// only the query's cone. No structural change — evaluation is
+    /// occurrence-driven, so a routed-away phrase's private nodes simply
+    /// never materialize. No-op for unbound phrases.
+    pub(crate) fn set_phrase_routed(&mut self, q: usize, routed: bool) {
+        let Some(qi) = self.query_index[q] else {
+            return;
+        };
+        let maintainer = self.maintainer.as_mut().expect("bound phrase has a plan");
+        let rate = if routed { self.query_rates[qi] } else { 0.0 };
+        maintainer.update_search_rate(qi, rate);
     }
 }
 
@@ -90,7 +171,7 @@ impl PhraseResolver for PlanResolver {
         metrics: &mut EngineMetrics,
     ) -> Vec<AuctionOutcome> {
         let k = ctx.k;
-        let Some(plan) = self.plan.as_ref() else {
+        let Some(plan) = self.maintainer.as_ref().map(PlanMaintainer::plan) else {
             // Every bound phrase had an empty interest set (or there are
             // no advertisers at all): every auction resolves empty.
             return phrases

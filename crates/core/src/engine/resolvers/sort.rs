@@ -63,6 +63,16 @@ pub struct SortResolver {
     roots: Vec<usize>,
     /// The effective bids the network currently reflects.
     prev_bids: Vec<Money>,
+    /// Adaptive-routing deferral: per leaf, how many *sort-routed*
+    /// phrases are interested in it. `None` (static routing) keeps every
+    /// leaf live. A leaf with count zero is skipped when diffing, so its
+    /// `prev_bids` entry — and the network above it — lags the bid
+    /// stream; no TA can observe the staleness because every node
+    /// reachable from a sort-routed phrase's root has only live leaves
+    /// beneath it. When a migration re-activates a leaf, the next
+    /// `prepare`'s diff sees the accumulated lag and repairs exactly that
+    /// leaf's dirty cone — migration costs a cone repair, not a rebuild.
+    active: Option<Vec<u32>>,
     /// Reusable bid-delta buffer.
     changed: Vec<(usize, Money)>,
     /// Sequential TA scratch + output buffer.
@@ -70,6 +80,10 @@ pub struct SortResolver {
     ta_out: Vec<(AdvertiserId, Score)>,
     /// Concurrent TA scratch pool, one per worker.
     ta_pool: Vec<parking_lot::Mutex<TaScratch>>,
+    /// Per phrase, whether this resolver's plan was compiled over it. A
+    /// phrase outside the compiled set has no root and no `c_order`;
+    /// routing it here requires rebuilding the resolver first.
+    compiled: Vec<bool>,
 }
 
 impl SortResolver {
@@ -124,13 +138,105 @@ impl SortResolver {
             net: None,
             roots: Vec::new(),
             prev_bids: Vec::new(),
+            active: None,
             changed: Vec::new(),
             ta_scratch: TaScratch::new(),
             ta_out: Vec::new(),
             ta_pool: (0..threads)
                 .map(|_| parking_lot::Mutex::new(TaScratch::new()))
                 .collect(),
+            compiled: (0..m).map(included).collect(),
         }
+    }
+
+    /// Whether this resolver's plan was compiled over phrase `q` (and so
+    /// can serve it without a rebuild).
+    pub(crate) fn serves_phrase(&self, q: usize) -> bool {
+        self.compiled[q]
+    }
+
+    /// Whether the compiled set strictly exceeds the sort-routed set —
+    /// i.e. the network still carries structure for phrases the route
+    /// sends to the plan. True means a rebuild over the routed subset
+    /// would shrink the arena.
+    pub(crate) fn compiled_beyond(&self, plan_route: &[bool]) -> bool {
+        self.compiled
+            .iter()
+            .zip(plan_route)
+            .any(|(&compiled, &to_plan)| compiled && to_plan)
+    }
+
+    /// Worker-thread count this resolver was built with.
+    pub(crate) fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Switches the resolver (typically one compiled over *all* phrases)
+    /// into deferred-leaf mode: only leaves some sort-routed phrase
+    /// (`plan_route[q] == false`) is interested in are diffed each round.
+    /// Used by the adaptive hybrid router, whose migrations need every
+    /// phrase to already have a root and `c_order` in the network —
+    /// activating a phrase is then a counter bump plus one deferred cone
+    /// repair. Must be called before the first round builds the network.
+    ///
+    /// Also repacks the plan's arena around the initially active phrases
+    /// ([`SortPlan::cluster_hot_phrases`]): the all-phrase network is up
+    /// to twice the size of the active subset's, and leaving the active
+    /// cones scattered through it measurably degrades refresh and TA
+    /// locality (~5% wall-clock against a subset-compiled network doing
+    /// bit-identical work). Clustering restores the subset network's
+    /// layout; phrases migrating in later land in the cold suffix, which
+    /// is correct just not prefix-packed.
+    pub fn defer_inactive_leaves(&mut self, plan_route: &[bool]) {
+        assert!(self.net.is_none(), "defer before the first round");
+        let hot: Vec<bool> = plan_route.iter().map(|&to_plan| !to_plan).collect();
+        self.plan.cluster_hot_phrases(&hot);
+        self.cones = self.plan.leaf_cones();
+        let mut counts = vec![0u32; self.plan.advertiser_count];
+        for (q, &to_plan) in plan_route.iter().enumerate() {
+            if !to_plan {
+                for &(a, _) in &self.c_orders[q] {
+                    counts[a.index()] += 1;
+                }
+            }
+        }
+        self.active = Some(counts);
+    }
+
+    /// Adjusts the active-leaf counts when phrase `q` migrates onto
+    /// (`active == true`) or off the sort path. Only meaningful after
+    /// [`SortResolver::defer_inactive_leaves`].
+    pub(crate) fn set_phrase_active(&mut self, q: usize, active: bool) {
+        let counts = self
+            .active
+            .as_mut()
+            .expect("deferred-leaf mode required for migration");
+        for &(a, _) in &self.c_orders[q] {
+            let count = &mut counts[a.index()];
+            if active {
+                *count += 1;
+            } else {
+                debug_assert!(*count > 0, "deactivating an inactive leaf");
+                *count -= 1;
+            }
+        }
+    }
+
+    /// Per phrase, the marginal expected merge cost (Section III-B units:
+    /// expected items sent upstream per round) of serving the phrase
+    /// through this resolver's shared schedule.
+    pub(crate) fn phrase_marginals(&self, search_rates: &[f64]) -> Vec<f64> {
+        self.plan.phrase_marginal_costs(search_rates)
+    }
+
+    /// Expected items per round through the network if exactly the
+    /// phrases with a nonzero entry in `rates` were active (the Section
+    /// III-B cost of the shared plan under those rates). The adaptive
+    /// router's group-cost terms: callers mask `rates` by the current
+    /// route to price the active network, or leave them unmasked to price
+    /// full absorption.
+    pub(crate) fn model_items(&self, rates: &[f64]) -> f64 {
+        self.plan.expected_cost(rates)
     }
 
     /// The persistent network's cached stream per node (its already
@@ -181,11 +287,17 @@ impl PhraseResolver for SortResolver {
             }
             Some(net) => {
                 self.changed.clear();
+                let active = self.active.as_deref();
                 for (i, (&new, old)) in effective_bids
                     .iter()
                     .zip(self.prev_bids.iter_mut())
                     .enumerate()
                 {
+                    // Deferred leaves keep their stale `prev_bids` entry:
+                    // the diff that matters runs when they re-activate.
+                    if active.is_some_and(|counts| counts[i] == 0) {
+                        continue;
+                    }
                     if new != *old {
                         self.changed.push((i, new));
                         *old = new;

@@ -105,6 +105,11 @@ impl PlanMaintainer {
         self.cost.total()
     }
 
+    /// Query `q`'s current search rate in the maintained problem.
+    pub fn search_rate(&self, q: usize) -> f64 {
+        self.problem.search_rates[q]
+    }
+
     /// Updates a query's search rate (no structural change; the plan
     /// stays as is — rates only affect the cost model).
     ///

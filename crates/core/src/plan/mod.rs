@@ -32,6 +32,7 @@ pub mod reduction;
 
 pub use disjoint::DisjointPlanner;
 pub use greedy::{reference_plan, PlannerMode, SharedPlanner};
+pub use maintenance::PlanMaintainer;
 
 use std::collections::HashMap;
 

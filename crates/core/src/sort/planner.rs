@@ -116,6 +116,88 @@ impl SortPlan {
         (net, roots)
     }
 
+    /// Per phrase, the marginal expected full-sort cost of serving the
+    /// phrase through this shared schedule: the difference
+    /// [`SortPlan::expected_cost`] drops by when `sr_q` is set to zero,
+    /// i.e. `Σ_{v: v serves q} |I_v| · sr_q · Π_{p ∈ Q_v, p ≠ q} (1 − sr_p)`.
+    /// Work on a node some *other* occurring phrase would pay for anyway
+    /// is attributed to nobody, so these are per-phrase lower bounds that
+    /// sum to at most the total expected cost. The adaptive hybrid router
+    /// compares them against the Section II-D plan marginals to seed
+    /// per-phrase routes.
+    pub fn phrase_marginal_costs(&self, search_rates: &[f64]) -> Vec<f64> {
+        let m = self.roots.len();
+        let mut marginals = vec![0.0; m];
+        let mut qs: Vec<usize> = Vec::new();
+        let mut prefix: Vec<f64> = Vec::new();
+        for node in self.nodes.iter().filter(|n| n.children.is_some()) {
+            qs.clear();
+            qs.extend(node.serves.iter());
+            // prefix[i] = Π_{j<i} (1 − sr_{qs[j]}); suffix runs the
+            // mirror product so each phrase gets Π over the others.
+            prefix.clear();
+            let mut acc = 1.0;
+            for &q in &qs {
+                prefix.push(acc);
+                acc *= 1.0 - search_rates[q];
+            }
+            let size = node.advertisers.len() as f64;
+            let mut suffix = 1.0;
+            for i in (0..qs.len()).rev() {
+                let q = qs[i];
+                marginals[q] += size * search_rates[q] * prefix[i] * suffix;
+                suffix *= 1.0 - search_rates[q];
+            }
+        }
+        marginals
+    }
+
+    /// Stable-partitions the internal nodes so that every node serving at
+    /// least one phrase in `hot` precedes all internal nodes serving
+    /// none. Leaves stay at `0..advertiser_count`, and within each class
+    /// the original order is kept, which preserves the children-before-
+    /// parent invariant [`SortPlan::instantiate`] relies on: a hot node's
+    /// children are hot (a parent's serving set is a subset of each
+    /// child's), and a cold node's hot children only move *earlier*.
+    ///
+    /// The adaptive hybrid resolver compiles its network over *all*
+    /// phrases but initially activates only the sort-routed subset; this
+    /// permutation packs that subset's cones into a contiguous arena
+    /// prefix — the same layout a network compiled over just the subset
+    /// would have — so the idle cones cost no locality, only memory.
+    pub fn cluster_hot_phrases(&mut self, hot: &[bool]) {
+        let n = self.advertiser_count;
+        let total = self.nodes.len();
+        let is_hot = |node: &SortPlanNode| node.serves.iter().any(|q| hot[q]);
+        let mut new_of_old: Vec<usize> = (0..total).collect();
+        let mut next = n;
+        for pass_hot in [true, false] {
+            for (idx, node) in self.nodes.iter().enumerate().skip(n) {
+                if is_hot(node) == pass_hot {
+                    new_of_old[idx] = next;
+                    next += 1;
+                }
+            }
+        }
+        debug_assert_eq!(next, total);
+        let mut permuted: Vec<Option<SortPlanNode>> = vec![None; total];
+        for (old, mut node) in self.nodes.drain(..).enumerate() {
+            if let Some((a, b)) = node.children {
+                node.children = Some((new_of_old[a], new_of_old[b]));
+            }
+            permuted[new_of_old[old]] = Some(node);
+        }
+        self.nodes = permuted
+            .into_iter()
+            .map(|node| node.expect("permutation is a bijection"))
+            .collect();
+        for root in &mut self.roots {
+            if *root != usize::MAX {
+                *root = new_of_old[*root];
+            }
+        }
+    }
+
     /// Per leaf (advertiser index), the ids of every internal node whose
     /// advertiser set contains it — the leaf's *cone*, i.e. exactly the
     /// operators a bid change at that leaf invalidates. Computed once per
@@ -510,6 +592,33 @@ mod tests {
     }
 
     #[test]
+    fn phrase_marginals_match_rate_zeroing() {
+        // The closed-form marginal must equal the expected-cost drop from
+        // zeroing that phrase's rate, phrase by phrase.
+        let interest = vec![
+            bs(8, &[0, 1, 2, 3, 4, 5]),
+            bs(8, &[0, 1, 2, 3, 6, 7]),
+            bs(8, &[0, 1, 2, 3, 4, 6]),
+            BitSet::new(8),
+        ];
+        let rates = [0.9, 0.4, 1.0, 0.0];
+        let plan = build_shared_sort_plan_bucketed(8, &interest, &rates);
+        let marginals = plan.phrase_marginal_costs(&rates);
+        let with_all = plan.expected_cost(&rates);
+        for q in 0..rates.len() {
+            let mut zeroed = rates;
+            zeroed[q] = 0.0;
+            let drop = with_all - plan.expected_cost(&zeroed);
+            assert!(
+                (marginals[q] - drop).abs() < 1e-9,
+                "phrase {q}: marginal {} vs rescan drop {drop}",
+                marginals[q]
+            );
+        }
+        assert_eq!(marginals[3], 0.0, "empty phrase costs nothing");
+    }
+
+    #[test]
     fn singleton_phrase_needs_no_merges() {
         let interest = vec![bs(3, &[1])];
         let plan = build_shared_sort_plan(3, &interest, &[1.0]);
@@ -555,6 +664,41 @@ mod tests {
         for (q, iq) in interest.iter().enumerate() {
             assert_eq!(&plan.nodes[plan.roots[q]].advertisers, iq);
         }
+    }
+
+    #[test]
+    fn cluster_hot_phrases_preserves_streams_and_prefixes() {
+        let interest = vec![
+            bs(8, &[0, 1, 2, 3, 4, 5]),
+            bs(8, &[0, 1, 2, 3, 6, 7]),
+            bs(8, &[0, 1, 2, 3, 4, 6]),
+        ];
+        let rates = [0.9, 0.9, 0.9];
+        let mut plan = build_shared_sort_plan_bucketed(8, &interest, &rates);
+        let cost_before = plan.expected_cost(&rates);
+        let hot = [false, true, false];
+        plan.cluster_hot_phrases(&hot);
+        // Leaves untouched; children always precede parents.
+        for (idx, node) in plan.nodes.iter().enumerate() {
+            match node.children {
+                None => assert!(idx < plan.advertiser_count, "leaf {idx} out of place"),
+                Some((a, b)) => assert!(a < idx && b < idx, "child after parent at {idx}"),
+            }
+        }
+        // Hot internals form a contiguous prefix of the internal range.
+        let internal_hot: Vec<bool> = plan.nodes[plan.advertiser_count..]
+            .iter()
+            .map(|n| n.serves.iter().any(|q| hot[q]))
+            .collect();
+        let first_cold = internal_hot.iter().position(|&h| !h).unwrap_or(0);
+        assert!(
+            internal_hot[first_cold..].iter().all(|&h| !h),
+            "hot internals are not a prefix: {internal_hot:?}"
+        );
+        // Semantics unchanged: same expected cost, same sorted streams.
+        assert_eq!(plan.expected_cost(&rates), cost_before);
+        let bids: Vec<Money> = (0..8).map(|i| Money::from_units(20 - i as u64)).collect();
+        plan_roots_sort_correctly(&plan, &interest, &bids);
     }
 
     #[test]

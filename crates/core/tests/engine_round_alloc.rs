@@ -17,7 +17,7 @@
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use ssa_core::engine::{Engine, EngineConfig};
+use ssa_core::engine::{Engine, EngineConfig, RoutingMode, SharingStrategy};
 use ssa_workload::{Workload, WorkloadConfig};
 
 struct CountingAlloc;
@@ -45,30 +45,57 @@ static COUNTER: CountingAlloc = CountingAlloc;
 
 #[test]
 fn steady_state_round_allocates_nothing() {
-    let workload = Workload::generate(&WorkloadConfig {
-        advertisers: 50,
-        phrases: 6,
-        topics: 3,
-        max_search_rate: 0.0, // no phrase ever occurs
-        ..WorkloadConfig::default()
-    });
-    let mut engine = Engine::new(workload, EngineConfig::default());
+    // The Hybrid engines run over a mixed (jittered, half-separable)
+    // workload so both resolvers — and the adaptive router's seeding
+    // path — are actually in play; the shared plan requires jitter-free.
+    let configs = [
+        ("shared-aggregation", 0.0, EngineConfig::default()),
+        (
+            "hybrid-static",
+            0.4,
+            EngineConfig {
+                sharing: SharingStrategy::Hybrid,
+                ..EngineConfig::default()
+            },
+        ),
+        (
+            "hybrid-adaptive",
+            0.4,
+            EngineConfig {
+                sharing: SharingStrategy::Hybrid,
+                routing: RoutingMode::Adaptive,
+                ..EngineConfig::default()
+            },
+        ),
+    ];
+    for (name, jitter, config) in configs {
+        let workload = Workload::generate(&WorkloadConfig {
+            advertisers: 50,
+            phrases: 6,
+            topics: 3,
+            phrase_factor_jitter: jitter,
+            separable_fraction: if jitter > 0.0 { 0.5 } else { 1.0 },
+            max_search_rate: 0.0, // no phrase ever occurs
+            ..WorkloadConfig::default()
+        });
+        let mut engine = Engine::new(workload, config);
 
-    // Warm-up: sizes the m_i scratch and both bid buffers.
-    for _ in 0..3 {
-        engine.run_round();
-    }
+        // Warm-up: sizes the m_i scratch and both bid buffers.
+        for _ in 0..3 {
+            engine.run_round();
+        }
 
-    for round in 0..10 {
-        let before = ALLOCATIONS.load(Ordering::Relaxed);
-        let outcomes = engine.run_round();
-        let allocated = ALLOCATIONS.load(Ordering::Relaxed) - before;
-        assert!(outcomes.is_empty(), "zero search rates: no auctions");
-        assert_eq!(
-            allocated, 0,
-            "steady-state round {round} performed {allocated} heap allocations"
-        );
+        for round in 0..10 {
+            let before = ALLOCATIONS.load(Ordering::Relaxed);
+            let outcomes = engine.run_round();
+            let allocated = ALLOCATIONS.load(Ordering::Relaxed) - before;
+            assert!(outcomes.is_empty(), "zero search rates: no auctions");
+            assert_eq!(
+                allocated, 0,
+                "[{name}] steady-state round {round} performed {allocated} heap allocations"
+            );
+        }
+        assert_eq!(engine.metrics().rounds, 13, "[{name}]");
+        assert_eq!(engine.last_effective_bids().len(), 50, "[{name}]");
     }
-    assert_eq!(engine.metrics().rounds, 13);
-    assert_eq!(engine.last_effective_bids().len(), 50);
 }

@@ -7,6 +7,7 @@
 //! — is a one-liner to replay.
 
 use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -20,7 +21,8 @@ use ssa_core::algebra::ops::{check_axioms, AggregateOp, BloomUnionOp};
 use ssa_core::algebra::AxiomSet;
 use ssa_core::budget::compare_throttled;
 use ssa_core::engine::{
-    AuctionOutcome, BudgetPolicy, BudgetSnapshot, Engine, EngineConfig, SharingStrategy,
+    AuctionOutcome, BudgetPolicy, BudgetSnapshot, Engine, EngineConfig, RoutingMode,
+    SharingStrategy,
 };
 use ssa_core::plan::cost::{expected_cost, unshared_expected_cost};
 use ssa_core::plan::cse::{cse_plan, CsePlan, NodeRef};
@@ -105,7 +107,30 @@ pub const WORKLOAD_CHECKS: &[(&str, Profile, WorkloadCheck)] = &[
         check_sort_persistent_with,
     ),
     ("hybrid-routing", Profile::Mixed, check_hybrid_routing_with),
+    (
+        "adaptive-routing",
+        Profile::Mixed,
+        check_adaptive_routing_with,
+    ),
 ];
+
+/// Escape hatch for the soak binary's minimizer: when set, the
+/// adaptive-routing check pins every adaptive engine to `route_frozen`
+/// (the cost-model seed route plus deterministic forced migrations) and
+/// skips the free-running variant whose migration schedule is
+/// wall-clock-driven. A counterexample that still reproduces under the
+/// pin is fully deterministic to replay.
+static FREEZE_ADAPTIVE_ROUTES: AtomicBool = AtomicBool::new(false);
+
+/// Sets the [adaptive-route freeze pin](FREEZE_ADAPTIVE_ROUTES).
+pub fn set_freeze_adaptive_routes(frozen: bool) {
+    FREEZE_ADAPTIVE_ROUTES.store(frozen, Ordering::Relaxed);
+}
+
+/// Reads the [adaptive-route freeze pin](FREEZE_ADAPTIVE_ROUTES).
+pub fn freeze_adaptive_routes() -> bool {
+    FREEZE_ADAPTIVE_ROUTES.load(Ordering::Relaxed)
+}
 
 /// A seed-only invariant check (no workload involved).
 pub type SeedCheck = fn(u64) -> Result<(), Divergence>;
@@ -1325,6 +1350,154 @@ pub fn check_hybrid_routing_with(cfg: &WorkloadConfig, seed: u64) -> Result<(), 
 /// Seed-only wrapper for [`check_hybrid_routing_with`].
 pub fn check_hybrid_routing(seed: u64) -> Result<(), Divergence> {
     check_hybrid_routing_with(&gen::workload_config(seed, Profile::Mixed), seed)
+}
+
+/// Differential check of *adaptive* hybrid routing: a
+/// `RoutingMode::Adaptive` engine must be bit-identical to a pure
+/// `SharedSort` engine — outcomes, effective bids, budget snapshots —
+/// and survive a naive-oracle replay of every round, under both
+/// throttling policies and at 1 and 4 worker threads, *whatever its
+/// migration history*. Two engines run per combination: a `route_frozen`
+/// one whose migrations are forced deterministically between rounds
+/// (guaranteeing rounds where a migration fired), and — unless the soak
+/// minimizer has [pinned routes](set_freeze_adaptive_routes) — a
+/// free-running one whose migration schedule is the router's own.
+pub fn check_adaptive_routing_with(cfg: &WorkloadConfig, seed: u64) -> Result<(), Divergence> {
+    const CHECK: &str = "adaptive-routing";
+    let w = Workload::generate(cfg);
+    let m = w.phrase_count();
+    // A phrase can be force-migrated iff it is plan-eligible (separable
+    // with a non-empty interest set); with none, migration assertions are
+    // vacuous (everything lives on the sort network).
+    let any_eligible = (0..m).any(|q| w.phrase_is_separable(q) && !w.interest[q].is_empty());
+
+    for policy in [BudgetPolicy::ThrottleExact, BudgetPolicy::ThrottleBounds] {
+        for threads in [1usize, 4] {
+            let mut frozen_modes = vec![true];
+            if !freeze_adaptive_routes() {
+                frozen_modes.push(false);
+            }
+            for frozen in frozen_modes {
+                let mut ec = engine_config(SharingStrategy::Hybrid, policy, threads, seed);
+                ec.routing = RoutingMode::Adaptive;
+                ec.route_frozen = frozen;
+                let mut engine = Engine::new(w.clone(), ec);
+                let mut reference = Engine::new(
+                    w.clone(),
+                    engine_config(SharingStrategy::SharedSort, policy, threads, seed),
+                );
+                let label = format!(
+                    "{policy:?}/threads {threads}/{}",
+                    if frozen {
+                        "frozen+forced"
+                    } else {
+                        "free-running"
+                    }
+                );
+                let mut forced = 0u64;
+                for round in 0..ROUNDS {
+                    let snapshots = engine.budget_snapshots();
+                    let out = engine.run_round();
+                    oracle_check_round(CHECK, &w, &engine, &snapshots, &out, seed, round)?;
+                    let ref_out = reference.run_round();
+                    if out.len() != ref_out.len()
+                        || out.iter().zip(&ref_out).any(|(a, b)| a.phrase != b.phrase)
+                    {
+                        return Err(Divergence::new(
+                            CHECK,
+                            seed,
+                            format!("[{label}] round {round}: occurring phrase sets differ"),
+                        ));
+                    }
+                    for (a, b) in out.iter().zip(&ref_out) {
+                        if a.assignment != b.assignment {
+                            return Err(Divergence::new(
+                                CHECK,
+                                seed,
+                                format!(
+                                    "[{label}] round {round} phrase {}: adaptive hybrid \
+                                     assigned {:?}, shared-sort {:?}",
+                                    a.phrase, a.assignment, b.assignment
+                                ),
+                            ));
+                        }
+                    }
+                    if engine.last_effective_bids() != reference.last_effective_bids() {
+                        return Err(Divergence::new(
+                            CHECK,
+                            seed,
+                            format!("[{label}] round {round}: effective bids differ"),
+                        ));
+                    }
+                    if frozen {
+                        // Force one migration per round boundary: flip the
+                        // first phrase the router accepts a move for. The
+                        // seed route and this scan are deterministic, so
+                        // the whole frozen variant replays exactly.
+                        let route: Vec<bool> = engine
+                            .hybrid_plan_route()
+                            .expect("hybrid engine has a route")
+                            .to_vec();
+                        let migrated = (0..m)
+                            .any(|q| engine.force_hybrid_route(PhraseId::from_index(q), !route[q]));
+                        if migrated {
+                            forced += 1;
+                        }
+                    }
+                }
+                if frozen {
+                    if any_eligible && forced == 0 {
+                        return Err(Divergence::new(
+                            CHECK,
+                            seed,
+                            format!(
+                                "[{label}] no forced migration was accepted despite \
+                                 plan-eligible phrases existing"
+                            ),
+                        ));
+                    }
+                    if engine.metrics().router_migrations != forced {
+                        return Err(Divergence::new(
+                            CHECK,
+                            seed,
+                            format!(
+                                "[{label}] router_migrations counts {} but {} forced \
+                                 migrations were applied",
+                                engine.metrics().router_migrations,
+                                forced
+                            ),
+                        ));
+                    }
+                }
+                if engine.budget_snapshots() != reference.budget_snapshots() {
+                    return Err(Divergence::new(
+                        CHECK,
+                        seed,
+                        format!("[{label}] budget snapshots differ after {ROUNDS} rounds"),
+                    ));
+                }
+                let metrics = engine.metrics();
+                if metrics.phrases_routed_unshared != 0
+                    || metrics.phrases_routed_plan + metrics.phrases_routed_sort != metrics.auctions
+                {
+                    return Err(Divergence::new(
+                        CHECK,
+                        seed,
+                        format!(
+                            "[{label}] routing counters do not partition the {} auctions",
+                            metrics.auctions
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Seed-only wrapper for [`check_adaptive_routing_with`].
+pub fn check_adaptive_routing(seed: u64) -> Result<(), Divergence> {
+    check_adaptive_routing_with(&gen::workload_config(seed, Profile::Mixed), seed)
 }
 
 /// Hoeffding-bound soundness over random budget states: at every
