@@ -95,10 +95,18 @@ pub struct SimulationSpec {
     /// Outstanding-ad expiry in rounds.
     pub click_expiry_rounds: u32,
     /// Round-executor worker threads, for every parallel stage including
-    /// the TA resolvers (bit-identical results for any value). Config
-    /// files may still say `ta_threads` — it parses as a deprecated
-    /// alias for this knob.
+    /// the TA resolvers (bit-identical results for any value). `0` means
+    /// auto: the engine resolves it to `available_parallelism()` at
+    /// construction and records the result in
+    /// `EngineMetrics::wd_threads_resolved`. Config files may still say
+    /// `ta_threads` — it parses as a deprecated alias for this knob.
     pub wd_threads: usize,
+    /// Execution shards for the pipelined round executor: `1` (default)
+    /// keeps the classic executor, `> 1` partitions phrases into that
+    /// many resolver/budget domains, `0` means auto
+    /// (`available_parallelism()`). Bit-identical outcomes for any
+    /// value.
+    pub shards: usize,
     /// Shared-aggregation planner stage: `"full"` (Section II-D, the
     /// default) or `"fragments-only"` (E9 ablation / opt-out). The lazy
     /// completion pass makes the full heuristic tractable well past this
@@ -130,6 +138,7 @@ impl Default for SimulationSpec {
             mean_click_delay_rounds: 3.0,
             click_expiry_rounds: 20,
             wd_threads: 1,
+            shards: 1,
             planner: "full".to_string(),
             routing: "static".to_string(),
             route_frozen: false,
@@ -296,6 +305,7 @@ impl SimulationSpec {
                 "ta_threads",
                 0,
             )?),
+            shards: usize_field(&v, "shards", d.shards)?,
             planner: string_field(&v, "planner", &d.planner)?,
             routing: string_field(&v, "routing", &d.routing)?,
             route_frozen: bool_field(&v, "route_frozen", d.route_frozen)?,
@@ -328,6 +338,7 @@ impl SimulationSpec {
                 Value::from(self.click_expiry_rounds),
             ),
             ("wd_threads".into(), Value::from(self.wd_threads)),
+            ("shards".into(), Value::from(self.shards)),
             ("planner".into(), Value::from(self.planner.as_str())),
             ("routing".into(), Value::from(self.routing.as_str())),
             ("route_frozen".into(), Value::from(self.route_frozen)),
@@ -396,6 +407,7 @@ impl SimulationSpec {
                 click_expiry_rounds: self.click_expiry_rounds,
                 billing_increment: Money::from_micros(10_000),
                 wd_threads: self.wd_threads,
+                shards: self.shards,
                 planner: self.planner_mode()?,
                 routing: self.routing_mode()?,
                 route_frozen: self.route_frozen,
@@ -574,6 +586,70 @@ mod tests {
         let back = SimulationSpec::from_json(&spec.to_json()).unwrap();
         assert_eq!(back.wd_threads, 4);
         assert_eq!(back.planner, "fragments-only");
+    }
+
+    #[test]
+    fn shards_round_trip_and_default() {
+        let spec = SimulationSpec::from_json("{}").expect("empty config parses");
+        assert_eq!(spec.shards, 1, "classic executor by default");
+        let spec = SimulationSpec::from_json(r#"{"shards": 4}"#).unwrap();
+        assert_eq!(spec.shards, 4);
+        let back = SimulationSpec::from_json(&spec.to_json()).unwrap();
+        assert_eq!(back.shards, 4);
+    }
+
+    #[test]
+    fn sharded_spec_matches_sequential_run() {
+        let base = SimulationSpec {
+            rounds: 6,
+            workload: WorkloadSpec {
+                advertisers: 60,
+                phrases: 8,
+                topics: 2,
+                ..WorkloadSpec::default()
+            },
+            ..SimulationSpec::default()
+        };
+        let seq = base.run().expect("sequential runs");
+        let sharded = SimulationSpec {
+            shards: 4,
+            wd_threads: 2,
+            ..base
+        }
+        .run()
+        .expect("sharded runs");
+        assert_eq!(seq.revenue, sharded.revenue);
+        assert_eq!(seq.impressions, sharded.impressions);
+        assert_eq!(seq.clicks, sharded.clicks);
+        // The affinity-aware partition may merge shards, never exceed.
+        assert!(sharded.shards_resolved >= 2 && sharded.shards_resolved <= 4);
+    }
+
+    #[test]
+    fn zero_means_auto_for_executor_knobs() {
+        let spec = SimulationSpec::from_json(r#"{"wd_threads": 0, "shards": 0}"#).unwrap();
+        assert_eq!(spec.wd_threads, 0);
+        assert_eq!(spec.shards, 0);
+        let back = SimulationSpec::from_json(&spec.to_json()).unwrap();
+        assert_eq!(back.wd_threads, 0, "auto survives the round trip");
+        assert_eq!(back.shards, 0);
+        // The engine resolves auto at construction and records it.
+        let spec = SimulationSpec {
+            wd_threads: 0,
+            shards: 0,
+            workload: WorkloadSpec {
+                advertisers: 30,
+                phrases: 4,
+                topics: 2,
+                ..WorkloadSpec::default()
+            },
+            ..SimulationSpec::default()
+        };
+        let engine = spec.build_engine().expect("auto spec builds");
+        let host = std::thread::available_parallelism().map_or(1, |p| p.get()) as u64;
+        assert_eq!(engine.metrics().wd_threads_resolved, host);
+        assert!(engine.metrics().shards_resolved >= 1);
+        assert!(engine.metrics().shards_resolved <= host.max(1));
     }
 
     #[test]

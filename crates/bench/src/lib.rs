@@ -5,6 +5,7 @@
 //! criterion benches and the `experiments` binary.
 
 pub mod config;
+pub mod host;
 pub mod json;
 pub mod report;
 pub mod setups;

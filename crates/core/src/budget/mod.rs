@@ -25,6 +25,7 @@
 //! the intervals separate; [`topk`] runs whole-auction winner
 //! determination on those lazily refined bounds.
 
+pub mod domain;
 pub mod topk;
 
 use std::cmp::Ordering;

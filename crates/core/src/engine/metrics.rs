@@ -90,6 +90,16 @@ pub struct EngineMetrics {
     pub exact_throttle_evaluations: u64,
     /// Total expected value (Σ d_j · score) of the assignments made.
     pub expected_value: f64,
+    /// Winner-determination worker threads actually in use, after
+    /// resolving `wd_threads = 0` ("auto") to `available_parallelism()`
+    /// at engine construction. Host-dependent under auto, so zeroed by
+    /// [`EngineMetrics::without_timing`].
+    pub wd_threads_resolved: u64,
+    /// Execution shards actually in use, after resolving `shards = 0`
+    /// ("auto") to `available_parallelism()` at engine construction and
+    /// clamping to the phrase count. Host-dependent under auto, so
+    /// zeroed by [`EngineMetrics::without_timing`].
+    pub shards_resolved: u64,
     /// Wall-clock nanoseconds computing effective (throttled) bids.
     pub throttle_nanos: u128,
     /// Wall-clock nanoseconds in winner determination proper.
@@ -147,6 +157,8 @@ impl EngineMetrics {
         self.bound_evaluations += other.bound_evaluations;
         self.exact_throttle_evaluations += other.exact_throttle_evaluations;
         self.expected_value += other.expected_value;
+        self.wd_threads_resolved = self.wd_threads_resolved.max(other.wd_threads_resolved);
+        self.shards_resolved = self.shards_resolved.max(other.shards_resolved);
         self.throttle_nanos += other.throttle_nanos;
         self.wd_nanos += other.wd_nanos;
         self.wd_plan_nanos += other.wd_plan_nanos;
@@ -181,6 +193,8 @@ impl EngineMetrics {
         EngineMetrics {
             router_migrations: 0,
             router_sort_rebuilds: 0,
+            wd_threads_resolved: 0,
+            shards_resolved: 0,
             throttle_nanos: 0,
             wd_nanos: 0,
             wd_plan_nanos: 0,

@@ -19,6 +19,7 @@ pub mod bidding;
 pub mod gaming;
 pub mod metrics;
 pub mod resolvers;
+pub mod shard;
 
 use std::time::Instant;
 
@@ -130,9 +131,24 @@ pub struct EngineConfig {
     /// bid throttling, per-phrase `Unshared` scans, level-parallel
     /// `SharedAggregation` plan evaluation, and the concurrent
     /// `SharedSort` TA (the former `ta_threads` knob, now folded in
-    /// here). Results are bit-identical for every thread count; only
-    /// wall-clock changes.
+    /// here). Under sharded execution (`shards > 1`) this is instead the
+    /// shard-pipeline worker-pool size. `0` means *auto*: resolved to
+    /// `std::thread::available_parallelism()` at engine construction and
+    /// recorded in `EngineMetrics::wd_threads_resolved`. Results are
+    /// bit-identical for every thread count; only wall-clock changes.
     pub wd_threads: usize,
+    /// Execution shards for the round pipeline. `1` (the default) keeps
+    /// the classic single-domain executor. `> 1` partitions the phrases
+    /// into that many shards, each with its own resolver state and
+    /// budget-accounting domain, and runs each round as a pipelined
+    /// dataflow over `wd_threads` workers (see `engine::shard`). `0`
+    /// means *auto*: resolved to `available_parallelism()` at
+    /// construction. The shard count is clamped to the number of
+    /// non-empty shards the partition produces and recorded in
+    /// `EngineMetrics::shards_resolved`. Outcomes, effective bids, and
+    /// budget snapshots are bit-identical for every shard count; only
+    /// wall-clock (and internal resolver work counters) change.
+    pub shards: usize,
     /// Planner stage used to compile the `SharedAggregation` plan: the
     /// full Section II-D heuristic (fragments + lazy-greedy completion)
     /// by default, or fragments-only for the E9 ablation. The lazy
@@ -156,6 +172,7 @@ impl Default for EngineConfig {
             click_expiry_rounds: 20,
             billing_increment: Money::from_micros(10_000), // one cent
             wd_threads: 1,
+            shards: 1,
             planner: PlannerMode::Full,
             seed: 7,
         }
@@ -204,6 +221,15 @@ pub struct BudgetSnapshot {
     pub outstanding: Vec<OutstandingAd>,
 }
 
+/// The engine's winner-determination executor: one resolver set over the
+/// whole workload (the classic three-barrier round), or the sharded
+/// pipelined dataflow with one resolver set and budget domain per shard.
+#[allow(clippy::large_enum_variant)] // exactly one per Engine
+enum WdExec {
+    Single(Resolvers),
+    Sharded(shard::Sharded),
+}
+
 /// The simulation engine.
 pub struct Engine {
     workload: Workload,
@@ -217,9 +243,10 @@ pub struct Engine {
     programs: Option<Vec<bidding::BiddingProgram>>,
     sampler: RoundSampler,
     clicker: ClickSimulator,
-    /// The strategy's winner-determination resolvers, each owning its
-    /// persistent cross-round state (plan DAG, merge network, scratch).
-    resolvers: Resolvers,
+    /// The winner-determination executor: the strategy's resolvers, each
+    /// owning its persistent cross-round state (plan DAG, merge network,
+    /// scratch), either as one global set or one slice per shard.
+    wd: WdExec,
     /// The effective (possibly throttled) bids of the most recent round,
     /// kept for external verification.
     last_effective_bids: Vec<Money>,
@@ -250,8 +277,37 @@ impl Engine {
     /// phrase-specific factors (the Section III setting), where top-k
     /// aggregates cannot be shared. `Hybrid` accepts any workload: it
     /// routes exactly the separable phrases to the plan.
-    pub fn new(workload: Workload, config: EngineConfig) -> Self {
-        let resolvers = Resolvers::for_strategy(&workload, &config);
+    pub fn new(workload: Workload, mut config: EngineConfig) -> Self {
+        // `0` means auto for both executor knobs: size to the host.
+        // Resolved here, before resolver construction, so everything
+        // downstream (concurrent sort network width, shard partition)
+        // sees the concrete value; recorded in metrics so a benchmark
+        // artifact can't silently hide which width actually ran.
+        let auto = || std::thread::available_parallelism().map_or(1, |p| p.get());
+        if config.wd_threads == 0 {
+            config.wd_threads = auto();
+        }
+        if config.shards == 0 {
+            config.shards = auto();
+        }
+        let wd = if config.shards > 1 {
+            let plan = shard::ShardPlan::partition(&workload, config.shards);
+            if plan.count() > 1 {
+                WdExec::Sharded(shard::Sharded::new(&workload, &config, plan))
+            } else {
+                WdExec::Single(Resolvers::for_strategy(&workload, &config))
+            }
+        } else {
+            WdExec::Single(Resolvers::for_strategy(&workload, &config))
+        };
+        let metrics = EngineMetrics {
+            wd_threads_resolved: config.wd_threads as u64,
+            shards_resolved: match &wd {
+                WdExec::Single(_) => 1,
+                WdExec::Sharded(sharded) => sharded.shard_count() as u64,
+            },
+            ..EngineMetrics::default()
+        };
         let ledgers = workload
             .advertisers
             .iter()
@@ -276,11 +332,11 @@ impl Engine {
             programs: None,
             sampler,
             clicker,
-            resolvers,
+            wd,
             last_effective_bids: Vec::new(),
             bids_buffer: Vec::new(),
             m_i_scratch: Vec::new(),
-            metrics: EngineMetrics::default(),
+            metrics,
         }
     }
 
@@ -341,8 +397,8 @@ impl Engine {
     /// live route and changes as phrases migrate. An observation seam for
     /// the `hybrid-routing` and `adaptive-routing` differential checks.
     pub fn hybrid_plan_route(&self) -> Option<&[bool]> {
-        match &self.resolvers {
-            Resolvers::Hybrid { router, .. } => Some(router.route()),
+        match &self.wd {
+            WdExec::Single(Resolvers::Hybrid { router, .. }) => Some(router.route()),
             _ => None,
         }
     }
@@ -356,14 +412,15 @@ impl Engine {
     /// path. A testing/operator seam: differential checks use it to make
     /// migration rounds deterministic.
     pub fn force_hybrid_route(&mut self, phrase: PhraseId, to_plan: bool) -> bool {
-        match &mut self.resolvers {
-            Resolvers::Hybrid {
+        match &mut self.wd {
+            WdExec::Single(Resolvers::Hybrid {
                 plan,
                 sort,
                 router,
                 stable_boundaries,
+                subset,
                 ..
-            } => {
+            }) => {
                 if !router.force_route(phrase.index(), to_plan) {
                     return false;
                 }
@@ -372,7 +429,12 @@ impl Engine {
                 if !to_plan && !sort.serves_phrase(phrase.index()) {
                     // The forced move re-enters a phrase the steady-state
                     // compaction dropped from the network; widen it back.
-                    resolvers::rebuild_sort(sort, &self.workload, router.route());
+                    resolvers::rebuild_sort(
+                        sort,
+                        &self.workload,
+                        router.route(),
+                        subset.as_deref(),
+                    );
                     self.metrics.router_sort_rebuilds += 1;
                 } else {
                     sort.set_phrase_active(phrase.index(), !to_plan);
@@ -416,6 +478,9 @@ impl Engine {
 
     /// Executes one round end to end; returns the auctions resolved.
     pub fn run_round(&mut self) -> Vec<AuctionOutcome> {
+        if matches!(self.wd, WdExec::Sharded(_)) {
+            return shard::run_round_sharded(self);
+        }
         self.metrics.rounds += 1;
         let occurring = self.sampler.next_round();
 
@@ -454,10 +519,13 @@ impl Engine {
                 ref ledgers,
                 ref current_bids,
                 ref clicker,
-                ref mut resolvers,
+                ref mut wd,
                 ref mut metrics,
                 ..
             } = *self;
+            let WdExec::Single(resolvers) = wd else {
+                unreachable!("sharded engines dispatch to run_round_sharded above")
+            };
             let budgets =
                 |i: usize, m: u64| budget_context_parts(ledgers, current_bids, clicker, i, m);
             let ctx = RoundContext {
@@ -591,6 +659,16 @@ impl Engine {
         }
     }
 
+    /// The single-domain resolver set (test seam; panics on a sharded
+    /// engine, whose resolvers live per shard).
+    #[cfg(test)]
+    fn single_resolvers(&self) -> &Resolvers {
+        match &self.wd {
+            WdExec::Single(resolvers) => resolvers,
+            WdExec::Sharded(_) => panic!("sharded engine has per-shard resolvers"),
+        }
+    }
+
     fn budget_context(&self, advertiser: usize, m: u64) -> BudgetContext {
         budget_context_parts(
             &self.ledgers,
@@ -607,7 +685,10 @@ impl Engine {
     /// `ssa-testkit` differential oracle, which asserts a fresh network's
     /// caches are prefixes of these.
     pub fn sort_cached_streams(&self) -> Option<Vec<Vec<SortItem>>> {
-        self.resolvers.sort()?.cached_streams()
+        match &self.wd {
+            WdExec::Single(resolvers) => resolvers.sort()?.cached_streams(),
+            WdExec::Sharded(_) => None,
+        }
     }
 
     /// Prices an assignment and displays the winning ads.

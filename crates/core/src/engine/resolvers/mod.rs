@@ -112,6 +112,12 @@ pub(crate) enum Resolvers {
         /// Reaching [`COMPACT_AFTER_STABLE`] triggers the steady-state
         /// sort-network compaction.
         stable_boundaries: u32,
+        /// The phrase subset this resolver pair owns, when it was built
+        /// for an execution shard ([`Resolvers::for_shard`]); `None`
+        /// means the whole workload. Sort-network rebuilds must stay
+        /// inside this subset or a shard would absorb its neighbours'
+        /// phrases.
+        subset: Option<Vec<bool>>,
     },
 }
 
@@ -143,8 +149,17 @@ const COMPACT_AFTER_STABLE: u32 = 6;
 /// scratch on the next occupied sort round (an all-dirty refresh);
 /// outcomes are unaffected because merge order is bid-deterministic
 /// regardless of network shape.
-pub(super) fn rebuild_sort(sort: &mut SortResolver, workload: &Workload, plan_route: &[bool]) {
-    let mask: Vec<bool> = plan_route.iter().map(|&to_plan| !to_plan).collect();
+pub(super) fn rebuild_sort(
+    sort: &mut SortResolver,
+    workload: &Workload,
+    plan_route: &[bool],
+    subset: Option<&[bool]>,
+) {
+    let mask: Vec<bool> = plan_route
+        .iter()
+        .enumerate()
+        .map(|(q, &to_plan)| !to_plan && subset.is_none_or(|s| s[q]))
+        .collect();
     *sort = SortResolver::new(workload, Some(&mask), sort.threads());
     sort.defer_inactive_leaves(plan_route);
 }
@@ -161,7 +176,25 @@ impl Resolvers {
             SharingStrategy::SharedSort => {
                 Resolvers::Sort(SortResolver::new(workload, None, config.wd_threads))
             }
-            SharingStrategy::Hybrid => Self::hybrid(workload, config),
+            SharingStrategy::Hybrid => Self::hybrid(workload, config, None, config.wd_threads),
+        }
+    }
+
+    /// Builds one execution shard's resolvers: the same strategy as the
+    /// engine's, compiled over exactly the shard's phrase `subset`, with
+    /// intra-resolver parallelism pinned to one thread — under sharded
+    /// execution the shard is the unit of parallelism, and nested worker
+    /// pools would oversubscribe the executor's own pool.
+    pub(super) fn for_shard(workload: &Workload, config: &EngineConfig, subset: &[bool]) -> Self {
+        match config.sharing {
+            SharingStrategy::Unshared => Resolvers::Unshared(UnsharedResolver),
+            SharingStrategy::SharedAggregation => {
+                Resolvers::Plan(PlanResolver::new(workload, config.planner, Some(subset)))
+            }
+            SharingStrategy::SharedSort => {
+                Resolvers::Sort(SortResolver::new(workload, Some(subset), 1))
+            }
+            SharingStrategy::Hybrid => Self::hybrid(workload, config, Some(subset), 1),
         }
     }
 
@@ -172,25 +205,48 @@ impl Resolvers {
     /// migration in either direction is a bookkeeping update — a
     /// search-rate toggle plan-side, a leaf activation sort-side — never
     /// a recompile.
-    fn hybrid(workload: &Workload, config: &EngineConfig) -> Self {
+    ///
+    /// With `subset` set (sharded execution) every compiled set is
+    /// intersected with the shard's phrases and the cost models see only
+    /// the shard's search-rate mass, so each shard routes independently
+    /// over structures that never overlap a neighbour's.
+    fn hybrid(
+        workload: &Workload,
+        config: &EngineConfig,
+        subset: Option<&[bool]>,
+        threads: usize,
+    ) -> Self {
         let m = workload.phrase_count();
-        let separable: Vec<bool> = (0..m).map(|q| workload.phrase_is_separable(q)).collect();
+        let in_subset = |q: usize| subset.is_none_or(|s| s[q]);
+        let separable: Vec<bool> = (0..m)
+            .map(|q| in_subset(q) && workload.phrase_is_separable(q))
+            .collect();
         let mut plan = PlanResolver::new(workload, config.planner, Some(&separable));
         match config.routing {
             RoutingMode::Static => {
-                let sort_route: Vec<bool> = separable.iter().map(|&r| !r).collect();
+                let sort_route: Vec<bool> = separable
+                    .iter()
+                    .enumerate()
+                    .map(|(q, &r)| in_subset(q) && !r)
+                    .collect();
                 Resolvers::Hybrid {
                     plan,
-                    sort: SortResolver::new(workload, Some(&sort_route), config.wd_threads),
+                    sort: SortResolver::new(workload, Some(&sort_route), threads),
                     router: Router::fixed(separable),
                     plan_phrases: Vec::new(),
                     sort_phrases: Vec::new(),
                     stable_boundaries: 0,
+                    subset: subset.map(<[bool]>::to_vec),
                 }
             }
             RoutingMode::Adaptive => {
-                let rates = workload.search_rates();
-                let mut sort = SortResolver::new(workload, None, config.wd_threads);
+                let rates: Vec<f64> = workload
+                    .search_rates()
+                    .iter()
+                    .enumerate()
+                    .map(|(q, &sr)| if in_subset(q) { sr } else { 0.0 })
+                    .collect();
+                let mut sort = SortResolver::new(workload, subset, threads);
                 // Marginals in common item units: one plan node is a
                 // pairwise top-k aggregation (~2k item ops), one sort
                 // unit an item sent upstream; the plan's fixed term is
@@ -251,6 +307,7 @@ impl Resolvers {
                     plan_phrases: Vec::new(),
                     sort_phrases: Vec::new(),
                     stable_boundaries: 0,
+                    subset: subset.map(<[bool]>::to_vec),
                 }
             }
         }
@@ -315,6 +372,7 @@ impl Resolvers {
                 plan_phrases,
                 sort_phrases,
                 stable_boundaries,
+                subset,
             } => {
                 plan_phrases.clear();
                 sort_phrases.clear();
@@ -406,7 +464,7 @@ impl Resolvers {
                     if migrated {
                         *stable_boundaries = 0;
                         if outgrew_network {
-                            rebuild_sort(sort, ctx.workload, router.route());
+                            rebuild_sort(sort, ctx.workload, router.route(), subset.as_deref());
                             metrics.router_sort_rebuilds += 1;
                         }
                         let masked: Vec<f64> = router
@@ -427,7 +485,7 @@ impl Resolvers {
                         if *stable_boundaries == COMPACT_AFTER_STABLE
                             && sort.compiled_beyond(router.route())
                         {
-                            rebuild_sort(sort, ctx.workload, router.route());
+                            rebuild_sort(sort, ctx.workload, router.route(), subset.as_deref());
                             metrics.router_sort_rebuilds += 1;
                         }
                     }

@@ -550,7 +550,11 @@ fn default_planner_cost_at_most_fragments_only() {
     assert_eq!(full.config().planner, PlannerMode::Full, "default is full");
     let plan_of = |e: &Engine| {
         expected_cost(
-            e.resolvers.plan().unwrap().dag().expect("plan compiled"),
+            e.single_resolvers()
+                .plan()
+                .unwrap()
+                .dag()
+                .expect("plan compiled"),
             &rates,
         )
     };

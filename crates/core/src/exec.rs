@@ -11,7 +11,9 @@
 //! exactly one worker and computed from the same inputs a sequential loop
 //! would see, so thread count affects wall-clock only, never results.
 
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex as StdMutex};
 
 use parking_lot::Mutex;
 
@@ -85,6 +87,162 @@ where
     out
 }
 
+/// Shared state of a bounded MPSC channel: a capacity-capped queue plus
+/// the two condvars that park producers (queue full) and the consumer
+/// (queue empty). Senders are counted so `recv` can distinguish "empty
+/// for now" from "drained and closed".
+struct Chan<T> {
+    q: StdMutex<VecDeque<T>>,
+    cap: usize,
+    senders: AtomicUsize,
+    not_empty: Condvar,
+    not_full: Condvar,
+}
+
+/// Producer half of [`bounded`]. Cloning registers another producer;
+/// dropping the last one wakes the receiver so it can observe closure.
+pub struct Sender<T> {
+    chan: Arc<Chan<T>>,
+}
+
+/// Consumer half of [`bounded`].
+pub struct Receiver<T> {
+    chan: Arc<Chan<T>>,
+}
+
+/// Creates a bounded in-memory channel with room for `cap` queued
+/// messages. `send` blocks while the queue is full, `recv` blocks while
+/// it is empty, and `recv` returns `None` once every sender is dropped
+/// and the queue is drained. This is the backpressure seam of the
+/// sharded round pipeline: workers finishing shard stages ahead of the
+/// committing thread park instead of queueing unbounded results.
+pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+    let chan = Arc::new(Chan {
+        q: StdMutex::new(VecDeque::with_capacity(cap.max(1))),
+        cap: cap.max(1),
+        senders: AtomicUsize::new(1),
+        not_empty: Condvar::new(),
+        not_full: Condvar::new(),
+    });
+    (
+        Sender {
+            chan: Arc::clone(&chan),
+        },
+        Receiver { chan },
+    )
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        self.chan.senders.fetch_add(1, Ordering::Relaxed);
+        Sender {
+            chan: Arc::clone(&self.chan),
+        }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        if self.chan.senders.fetch_sub(1, Ordering::AcqRel) == 1 {
+            // Last sender gone: wake a receiver blocked on an empty
+            // queue so it can return `None`.
+            self.chan.not_empty.notify_all();
+        }
+    }
+}
+
+impl<T> Sender<T> {
+    /// Enqueues `value`, blocking while the channel is at capacity.
+    pub fn send(&self, value: T) {
+        let mut q = self.chan.q.lock().expect("channel lock poisoned");
+        while q.len() >= self.chan.cap {
+            q = self.chan.not_full.wait(q).expect("channel lock poisoned");
+        }
+        q.push_back(value);
+        drop(q);
+        self.chan.not_empty.notify_one();
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Dequeues the next message, blocking while the channel is empty.
+    /// Returns `None` once all senders are dropped and the queue is
+    /// drained.
+    pub fn recv(&self) -> Option<T> {
+        let mut q = self.chan.q.lock().expect("channel lock poisoned");
+        loop {
+            if let Some(value) = q.pop_front() {
+                drop(q);
+                self.chan.not_full.notify_one();
+                return Some(value);
+            }
+            if self.chan.senders.load(Ordering::Acquire) == 0 {
+                return None;
+            }
+            q = self.chan.not_empty.wait(q).expect("channel lock poisoned");
+        }
+    }
+}
+
+/// Runs `run(0), …, run(shards - 1)` on a pool of `workers` scoped
+/// threads and feeds each result to `collect` on the calling thread as
+/// it completes.
+///
+/// Unlike [`parallel_map`], results are delivered in *completion* order
+/// (the shard index is passed alongside each result so the caller can
+/// reassemble), and delivery is streamed over a bounded channel instead
+/// of barriered: the calling thread can commit shard N's result while
+/// the pool is still working on shard N+1 — the pipeline shape of the
+/// sharded round executor. With `workers <= 1` or a single shard this
+/// degenerates to a sequential in-order loop with no threads and no
+/// channel (and no allocation), which the zero-alloc harness relies on.
+///
+/// `run` must be pure with respect to shard index (workers claim
+/// indices from an atomic cursor, so assignment to threads is
+/// nondeterministic); any order-sensitive effects belong in `collect`,
+/// which runs only on the calling thread.
+pub fn shard_pipeline<R, F, C>(shards: usize, workers: usize, run: F, mut collect: C)
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+    C: FnMut(usize, R),
+{
+    if workers <= 1 || shards <= 1 {
+        for s in 0..shards {
+            let r = run(s);
+            collect(s, r);
+        }
+        return;
+    }
+    let next = AtomicUsize::new(0);
+    // Capacity 2·workers: enough slack that a burst of fast shards does
+    // not serialize the pool on the committing thread, small enough to
+    // bound memory held in flight.
+    let (tx, rx) = bounded::<(usize, R)>(2 * workers);
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..workers.min(shards) {
+            let tx = tx.clone();
+            scope.spawn(|_| {
+                let tx = tx;
+                loop {
+                    let s = next.fetch_add(1, Ordering::Relaxed);
+                    if s >= shards {
+                        break;
+                    }
+                    tx.send((s, run(s)));
+                }
+            });
+        }
+        // Drop the scope's own sender so `recv` sees closure once the
+        // workers finish, then drain on the calling thread.
+        drop(tx);
+        while let Some((s, r)) = rx.recv() {
+            collect(s, r);
+        }
+    })
+    .expect("shard pipeline worker panicked");
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -128,5 +286,60 @@ mod tests {
         let data = [1u32, 2, 3, 4, 5];
         let doubled = parallel_map(data.len(), 3, |i| data[i] * 2);
         assert_eq!(doubled, vec![2, 4, 6, 8, 10]);
+    }
+
+    #[test]
+    fn bounded_channel_delivers_everything_then_closes() {
+        let (tx, rx) = bounded::<usize>(2);
+        let tx2 = tx.clone();
+        crossbeam::thread::scope(|scope| {
+            scope.spawn(move |_| {
+                let tx = tx;
+                for i in 0..50 {
+                    tx.send(i);
+                }
+            });
+            scope.spawn(move |_| {
+                let tx = tx2;
+                for i in 50..100 {
+                    tx.send(i);
+                }
+            });
+            let mut got = Vec::new();
+            while let Some(v) = rx.recv() {
+                got.push(v);
+            }
+            got.sort_unstable();
+            assert_eq!(got, (0..100).collect::<Vec<_>>());
+            assert_eq!(rx.recv(), None, "stays closed after drain");
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn shard_pipeline_covers_every_shard_once() {
+        for (shards, workers) in [(0, 4), (1, 4), (5, 1), (7, 2), (16, 4), (3, 8)] {
+            let mut seen = vec![0u32; shards];
+            shard_pipeline(
+                shards,
+                workers,
+                |s| s * 10,
+                |s, r| {
+                    assert_eq!(r, s * 10);
+                    seen[s] += 1;
+                },
+            );
+            assert!(
+                seen.iter().all(|&c| c == 1),
+                "shards {shards} workers {workers}: {seen:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn shard_pipeline_sequential_path_preserves_order() {
+        let mut order = Vec::new();
+        shard_pipeline(6, 1, |s| s, |s, _| order.push(s));
+        assert_eq!(order, vec![0, 1, 2, 3, 4, 5]);
     }
 }
