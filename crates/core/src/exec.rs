@@ -87,14 +87,23 @@ where
     out
 }
 
-/// Shared state of a bounded MPSC channel: a capacity-capped queue plus
-/// the two condvars that park producers (queue full) and the consumer
-/// (queue empty). Senders are counted so `recv` can distinguish "empty
-/// for now" from "drained and closed".
+/// Mutex-protected state of a bounded MPSC channel. The sender count and
+/// receiver-liveness flag live *inside* the mutex, not in atomics beside
+/// it: every closed-predicate change is then ordered with the waiter's
+/// predicate check by the lock itself, which is what rules out the
+/// classic lost wakeup (waiter checks the predicate, closer flips it and
+/// notifies before the waiter parks, waiter parks forever).
+struct ChanState<T> {
+    q: VecDeque<T>,
+    senders: usize,
+    receiver_alive: bool,
+}
+
+/// A bounded MPSC channel: a capacity-capped queue plus the two condvars
+/// that park producers (queue full) and the consumer (queue empty).
 struct Chan<T> {
-    q: StdMutex<VecDeque<T>>,
+    state: StdMutex<ChanState<T>>,
     cap: usize,
-    senders: AtomicUsize,
     not_empty: Condvar,
     not_full: Condvar,
 }
@@ -105,7 +114,8 @@ pub struct Sender<T> {
     chan: Arc<Chan<T>>,
 }
 
-/// Consumer half of [`bounded`].
+/// Consumer half of [`bounded`]. Dropping it wakes any producers parked
+/// on a full queue so they can observe the disconnect.
 pub struct Receiver<T> {
     chan: Arc<Chan<T>>,
 }
@@ -118,9 +128,12 @@ pub struct Receiver<T> {
 /// committing thread park instead of queueing unbounded results.
 pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
     let chan = Arc::new(Chan {
-        q: StdMutex::new(VecDeque::with_capacity(cap.max(1))),
+        state: StdMutex::new(ChanState {
+            q: VecDeque::with_capacity(cap.max(1)),
+            senders: 1,
+            receiver_alive: true,
+        }),
         cap: cap.max(1),
-        senders: AtomicUsize::new(1),
         not_empty: Condvar::new(),
         not_full: Condvar::new(),
     });
@@ -134,7 +147,11 @@ pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
 
 impl<T> Clone for Sender<T> {
     fn clone(&self) -> Self {
-        self.chan.senders.fetch_add(1, Ordering::Relaxed);
+        self.chan
+            .state
+            .lock()
+            .expect("channel lock poisoned")
+            .senders += 1;
         Sender {
             chan: Arc::clone(&self.chan),
         }
@@ -143,9 +160,13 @@ impl<T> Clone for Sender<T> {
 
 impl<T> Drop for Sender<T> {
     fn drop(&mut self) {
-        if self.chan.senders.fetch_sub(1, Ordering::AcqRel) == 1 {
+        let mut state = self.chan.state.lock().expect("channel lock poisoned");
+        state.senders -= 1;
+        if state.senders == 0 {
             // Last sender gone: wake a receiver blocked on an empty
-            // queue so it can return `None`.
+            // queue so it can return `None`. Notifying while the lock is
+            // held keeps the wakeup ordered with the receiver's
+            // predicate check.
             self.chan.not_empty.notify_all();
         }
     }
@@ -153,14 +174,25 @@ impl<T> Drop for Sender<T> {
 
 impl<T> Sender<T> {
     /// Enqueues `value`, blocking while the channel is at capacity.
-    pub fn send(&self, value: T) {
-        let mut q = self.chan.q.lock().expect("channel lock poisoned");
-        while q.len() >= self.chan.cap {
-            q = self.chan.not_full.wait(q).expect("channel lock poisoned");
+    /// Returns `false` (discarding `value`) if the receiver has been
+    /// dropped — producers must not park forever on a queue nobody will
+    /// ever drain.
+    pub fn send(&self, value: T) -> bool {
+        let mut state = self.chan.state.lock().expect("channel lock poisoned");
+        while state.receiver_alive && state.q.len() >= self.chan.cap {
+            state = self
+                .chan
+                .not_full
+                .wait(state)
+                .expect("channel lock poisoned");
         }
-        q.push_back(value);
-        drop(q);
+        if !state.receiver_alive {
+            return false;
+        }
+        state.q.push_back(value);
+        drop(state);
         self.chan.not_empty.notify_one();
+        true
     }
 }
 
@@ -169,18 +201,32 @@ impl<T> Receiver<T> {
     /// Returns `None` once all senders are dropped and the queue is
     /// drained.
     pub fn recv(&self) -> Option<T> {
-        let mut q = self.chan.q.lock().expect("channel lock poisoned");
+        let mut state = self.chan.state.lock().expect("channel lock poisoned");
         loop {
-            if let Some(value) = q.pop_front() {
-                drop(q);
+            if let Some(value) = state.q.pop_front() {
+                drop(state);
                 self.chan.not_full.notify_one();
                 return Some(value);
             }
-            if self.chan.senders.load(Ordering::Acquire) == 0 {
+            if state.senders == 0 {
                 return None;
             }
-            q = self.chan.not_empty.wait(q).expect("channel lock poisoned");
+            state = self
+                .chan
+                .not_empty
+                .wait(state)
+                .expect("channel lock poisoned");
         }
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        let mut state = self.chan.state.lock().expect("channel lock poisoned");
+        state.receiver_alive = false;
+        // Wake every producer parked on a full queue; their `send`
+        // returns `false` instead of blocking forever.
+        self.chan.not_full.notify_all();
     }
 }
 
@@ -220,6 +266,12 @@ where
     // bound memory held in flight.
     let (tx, rx) = bounded::<(usize, R)>(2 * workers);
     crossbeam::thread::scope(|scope| {
+        // Capture `rx` by value (the rebinding below consumes it): if
+        // `collect` panics, the Receiver then drops *during this
+        // closure's unwind* — before crossbeam joins the workers —
+        // waking any producer parked on a full queue instead of
+        // deadlocking the join.
+        let rx = rx;
         for _ in 0..workers.min(shards) {
             let tx = tx.clone();
             scope.spawn(|_| {
@@ -229,7 +281,12 @@ where
                     if s >= shards {
                         break;
                     }
-                    tx.send((s, run(s)));
+                    // A failed send means the receiver is gone (the
+                    // collector panicked); stop claiming shards so the
+                    // scope can join and propagate that panic.
+                    if !tx.send((s, run(s))) {
+                        break;
+                    }
                 }
             });
         }
@@ -296,13 +353,13 @@ mod tests {
             scope.spawn(move |_| {
                 let tx = tx;
                 for i in 0..50 {
-                    tx.send(i);
+                    assert!(tx.send(i));
                 }
             });
             scope.spawn(move |_| {
                 let tx = tx2;
                 for i in 50..100 {
-                    tx.send(i);
+                    assert!(tx.send(i));
                 }
             });
             let mut got = Vec::new();
@@ -314,6 +371,60 @@ mod tests {
             assert_eq!(rx.recv(), None, "stays closed after drain");
         })
         .unwrap();
+    }
+
+    #[test]
+    fn send_fails_once_receiver_is_dropped() {
+        let (tx, rx) = bounded::<usize>(4);
+        assert!(tx.send(1));
+        drop(rx);
+        assert!(!tx.send(2), "send must observe the dead receiver");
+    }
+
+    #[test]
+    fn receiver_drop_wakes_senders_parked_on_full_queue() {
+        let (tx, rx) = bounded::<usize>(1);
+        assert!(tx.send(0)); // fill to capacity
+        crossbeam::thread::scope(|scope| {
+            // Parks on the full queue until the receiver drops, then
+            // must return `false` instead of blocking forever.
+            let parked = scope.spawn(|_| tx.send(1));
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            drop(rx);
+            assert!(!parked.join().unwrap());
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn many_close_races_never_lose_the_wakeup() {
+        // Regression for the lost-wakeup race: the last sender dropping
+        // concurrently with a receiver checking the empty queue must
+        // never leave the receiver parked forever. Tight loop to give
+        // the race a real chance; a hang here fails via test timeout.
+        for _ in 0..500 {
+            let (tx, rx) = bounded::<usize>(2);
+            crossbeam::thread::scope(|scope| {
+                scope.spawn(move |_| {
+                    let tx = tx;
+                    assert!(tx.send(7));
+                });
+                assert_eq!(rx.recv(), Some(7));
+                assert_eq!(rx.recv(), None);
+            })
+            .unwrap();
+        }
+    }
+
+    #[test]
+    fn shard_pipeline_propagates_collect_panic_without_hanging() {
+        // Many shards + tiny channel: workers are parked on a full
+        // queue when the collector dies. The panic must propagate
+        // through the scope join, not deadlock it.
+        let result = std::panic::catch_unwind(|| {
+            shard_pipeline(64, 2, |s| s, |_, _| panic!("collector died"));
+        });
+        assert!(result.is_err(), "collect panic must propagate");
     }
 
     #[test]

@@ -1,5 +1,9 @@
-//! Steady-state `run_round` on the *sharded* executor must allocate
-//! nothing, same as the classic path pinned by `engine_round_alloc`.
+//! A steady-state *no-occurrence* `run_round` on the sharded executor
+//! must allocate nothing, same as the classic path pinned by
+//! `engine_round_alloc`. (Rounds with occurring phrases still allocate
+//! settle-prep scratch per outcome — auction entries, the pricing
+//! instance, display-event vectors — so this pins the executor's own
+//! overhead at zero, not the whole active-round path.)
 //!
 //! A counting global allocator wraps the system allocator. The workload's
 //! search rates are all zero, so no phrase ever occurs and every round is
