@@ -65,29 +65,46 @@ pub fn price_assignment(
     assignment: &Assignment,
     rule: PricingRule,
 ) -> Vec<PricedSlot> {
+    price_assignment_parts(
+        instance.entries(),
+        instance.slot_factors(),
+        assignment,
+        rule,
+    )
+}
+
+/// [`price_assignment`] over borrowed instance parts. The engine's hot
+/// path prices every occurring phrase per round against one shared
+/// slot-factor table; taking slices here means it never clones that table
+/// (or re-validates it through [`AuctionInstance::new`]) per phrase.
+pub fn price_assignment_parts(
+    entries: &[AuctionEntry],
+    slot_factors: &[f64],
+    assignment: &Assignment,
+    rule: PricingRule,
+) -> Vec<PricedSlot> {
     match rule {
-        PricingRule::FirstPrice => first_price(instance, assignment),
-        PricingRule::GeneralizedSecondPrice => gsp(instance, assignment),
-        PricingRule::Vcg => vcg(instance, assignment),
+        PricingRule::FirstPrice => first_price(entries, assignment),
+        PricingRule::GeneralizedSecondPrice => gsp(entries, assignment),
+        PricingRule::Vcg => vcg(entries, slot_factors, assignment),
     }
 }
 
-fn entry_of(instance: &AuctionInstance, advertiser: AdvertiserId) -> &AuctionEntry {
-    instance
-        .entries()
+fn entry_of(entries: &[AuctionEntry], advertiser: AdvertiserId) -> &AuctionEntry {
+    entries
         .iter()
         .find(|e| e.advertiser == advertiser)
         .expect("assigned advertiser must be an auction entry")
 }
 
-fn first_price(instance: &AuctionInstance, assignment: &Assignment) -> Vec<PricedSlot> {
+fn first_price(entries: &[AuctionEntry], assignment: &Assignment) -> Vec<PricedSlot> {
     assignment
         .winners()
         .iter()
         .map(|w| PricedSlot {
             slot: w.slot,
             advertiser: w.advertiser,
-            price_per_click: entry_of(instance, w.advertiser).bid,
+            price_per_click: entry_of(entries, w.advertiser).bid,
         })
         .collect()
 }
@@ -95,23 +112,23 @@ fn first_price(instance: &AuctionInstance, assignment: &Assignment) -> Vec<Price
 /// The ranked scores relevant to pricing: the winners' scores followed by
 /// the best score among non-winners (the "runner-up" that sets the last
 /// winner's GSP price). Returned best-first.
-fn ranked_scores_with_runner_up(instance: &AuctionInstance, assignment: &Assignment) -> Vec<f64> {
+fn ranked_scores_with_runner_up(entries: &[AuctionEntry], assignment: &Assignment) -> Vec<f64> {
     let k = assignment.len();
     // top_k_entries with k+1 recovers the runner-up deterministically.
-    top_k_entries(instance.entries(), k + 1)
+    top_k_entries(entries, k + 1)
         .iter()
         .map(|e| e.score().value())
         .collect()
 }
 
-fn gsp(instance: &AuctionInstance, assignment: &Assignment) -> Vec<PricedSlot> {
-    let ranked = ranked_scores_with_runner_up(instance, assignment);
+fn gsp(entries: &[AuctionEntry], assignment: &Assignment) -> Vec<PricedSlot> {
+    let ranked = ranked_scores_with_runner_up(entries, assignment);
     assignment
         .winners()
         .iter()
         .enumerate()
         .map(|(rank, w)| {
-            let entry = entry_of(instance, w.advertiser);
+            let entry = entry_of(entries, w.advertiser);
             let next_score = ranked.get(rank + 1).copied().unwrap_or(0.0);
             // Minimum bid to stay ranked at `rank`: next_score / c_i.
             let price = if entry.advertiser_factor > 0.0 {
@@ -135,16 +152,16 @@ fn gsp(instance: &AuctionInstance, assignment: &Assignment) -> Vec<PricedSlot> {
 /// slot `j` is `Σ_{t=j}^{k} (d_t − d_{t+1}) · s_(t+1)` — the welfare loss
 /// it imposes on lower-ranked advertisers. Dividing by the winner's
 /// expected click rate `c_i · d_j` converts it to a per-click price.
-fn vcg(instance: &AuctionInstance, assignment: &Assignment) -> Vec<PricedSlot> {
-    let ranked = ranked_scores_with_runner_up(instance, assignment);
-    let d = instance.slot_factors();
+fn vcg(entries: &[AuctionEntry], slot_factors: &[f64], assignment: &Assignment) -> Vec<PricedSlot> {
+    let ranked = ranked_scores_with_runner_up(entries, assignment);
+    let d = slot_factors;
     let k = assignment.len();
     assignment
         .winners()
         .iter()
         .enumerate()
         .map(|(rank, w)| {
-            let entry = entry_of(instance, w.advertiser);
+            let entry = entry_of(entries, w.advertiser);
             let mut total_payment = 0.0;
             for t in rank..k {
                 let dt = d[t];
@@ -263,7 +280,7 @@ mod tests {
                 PricingRule::Vcg,
             ] {
                 for p in price_auction(&inst, rule) {
-                    let bid = entry_of(&inst, p.advertiser).bid;
+                    let bid = entry_of(inst.entries(), p.advertiser).bid;
                     prop_assert!(p.price_per_click <= bid, "{rule:?} overcharged");
                 }
             }

@@ -11,7 +11,10 @@ use ssa_auction::ids::AdvertiserId;
 use ssa_auction::instance::{AuctionEntry, AuctionInstance};
 use ssa_auction::money::Money;
 use ssa_auction::nonseparable::{determine_winners_nonseparable, NonSeparableBid};
+use ssa_auction::score::Score;
 use ssa_auction::winner::determine_winners;
+use ssa_core::engine::resolvers::scan_top_k;
+use ssa_core::topk::{KList, ScoredAd};
 
 fn separable_instance(n: usize, k: usize, seed: u64) -> AuctionInstance {
     let mut rng = StdRng::seed_from_u64(seed);
@@ -62,9 +65,41 @@ fn bench_nonseparable(c: &mut Criterion) {
     group.finish();
 }
 
+/// Pins the chunked branch-light unshared phrase scan against the naive
+/// one-per-element insert loop it replaced: same inputs, bit-identical
+/// output (asserted in `ssa-core` unit tests), the chunked variant
+/// computing scores in flat 64-wide passes and touching the k-list only
+/// above the running k-th threshold.
+fn bench_unshared_scan(c: &mut Criterion) {
+    let mut group = c.benchmark_group("unshared_phrase_scan");
+    let k = 8;
+    for &n in &[10_000usize, 100_000] {
+        let mut rng = StdRng::seed_from_u64(3);
+        let interest: Vec<AdvertiserId> = (0..n).map(AdvertiserId::from_index).collect();
+        let factors: Vec<f64> = (0..n).map(|_| rng.random_range(0.5..1.5)).collect();
+        let bids: Vec<Money> = (0..n)
+            .map(|_| Money::from_f64(rng.random_range(0.1..5.0)))
+            .collect();
+        group.bench_with_input(BenchmarkId::new("chunked", n), &(), |b, ()| {
+            b.iter(|| black_box(scan_top_k(&interest, &factors, &bids, k)))
+        });
+        group.bench_with_input(BenchmarkId::new("naive", n), &(), |b, ()| {
+            b.iter(|| {
+                let mut top: KList<ScoredAd> = KList::empty(k);
+                for (pos, &a) in interest.iter().enumerate() {
+                    let score = Score::expected_value(bids[a.index()], factors[pos]);
+                    top.insert(ScoredAd::new(a, score));
+                }
+                black_box(top)
+            })
+        });
+    }
+    group.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20);
-    targets = bench_separable, bench_nonseparable
+    targets = bench_separable, bench_nonseparable, bench_unshared_scan
 }
 criterion_main!(benches);

@@ -24,9 +24,9 @@ pub mod shard;
 use std::time::Instant;
 
 use ssa_auction::ids::{PhraseId, SlotIndex};
-use ssa_auction::instance::{AuctionEntry, AuctionInstance};
+use ssa_auction::instance::AuctionEntry;
 use ssa_auction::money::Money;
-use ssa_auction::pricing::{price_assignment, PricingRule};
+use ssa_auction::pricing::{price_assignment_parts, PricingRule};
 use ssa_auction::winner::Assignment;
 use ssa_workload::clicks::{ClickOutcome, ClickSimulator};
 use ssa_workload::rounds::RoundSampler;
@@ -189,17 +189,60 @@ struct PendingAd {
     clicks_at_age: Option<u32>,
 }
 
-/// Per-advertiser budget ledger.
+/// All advertisers' budget ledgers, struct-of-arrays: the throttle stage
+/// reads `budget`/`settled_spend` for every participant every round, so
+/// those stream as two contiguous `Money` arrays instead of being
+/// interleaved with the (cold, variable-size) pending-ad lists a
+/// `Vec<Ledger>` layout would drag through cache with them.
 #[derive(Debug, Clone)]
-struct Ledger {
-    budget: Money,
-    settled_spend: Money,
-    pending: Vec<PendingAd>,
+struct Ledgers {
+    budget: Vec<Money>,
+    settled_spend: Vec<Money>,
+    pending: Vec<Vec<PendingAd>>,
+    /// Advertisers with a non-empty `pending` list — the settle sweep's
+    /// worklist, so settlement is O(outstanding ads), not O(n).
+    /// Invariant: `live` holds exactly the indices `i` with
+    /// `!pending[i].is_empty()`, each once, in no particular order
+    /// (settlement per ledger is independent and its metric updates
+    /// commute).
+    live: Vec<u32>,
 }
 
-impl Ledger {
-    fn remaining(&self) -> Money {
-        self.budget.saturating_sub(self.settled_spend)
+impl Ledgers {
+    fn new(workload: &Workload) -> Self {
+        Ledgers {
+            budget: workload.advertisers.iter().map(|a| a.budget).collect(),
+            settled_spend: vec![Money::ZERO; workload.advertiser_count()],
+            pending: vec![Vec::new(); workload.advertiser_count()],
+            live: Vec::new(),
+        }
+    }
+
+    #[inline]
+    fn remaining(&self, i: usize) -> Money {
+        self.budget[i].saturating_sub(self.settled_spend[i])
+    }
+
+    /// Queues a displayed ad, maintaining the `live` worklist invariant.
+    fn push_pending(&mut self, i: usize, ad: PendingAd) {
+        if self.pending[i].is_empty() {
+            self.live.push(i as u32);
+        }
+        self.pending[i].push(ad);
+    }
+
+    /// Heap footprint in bytes (capacities), for the memory-scaling gate.
+    fn heap_bytes(&self) -> usize {
+        use std::mem::size_of;
+        self.budget.capacity() * size_of::<Money>()
+            + self.settled_spend.capacity() * size_of::<Money>()
+            + self.pending.capacity() * size_of::<Vec<PendingAd>>()
+            + self
+                .pending
+                .iter()
+                .map(|p| p.capacity() * size_of::<PendingAd>())
+                .sum::<usize>()
+            + self.live.capacity() * 4
     }
 }
 
@@ -234,7 +277,7 @@ enum WdExec {
 pub struct Engine {
     workload: Workload,
     config: EngineConfig,
-    ledgers: Vec<Ledger>,
+    ledgers: Ledgers,
     /// Each advertiser's current per-click bid; starts at the workload's
     /// bid and evolves when bidding programs are installed.
     current_bids: Vec<Money>,
@@ -248,14 +291,24 @@ pub struct Engine {
     /// scratch), either as one global set or one slice per shard.
     wd: WdExec,
     /// The effective (possibly throttled) bids of the most recent round,
-    /// kept for external verification.
+    /// kept for external verification. Persistent: each round zeroes only
+    /// the *previous* round's participants' entries and recomputes the
+    /// current ones, so the per-round cost is O(participants), not O(n)
+    /// — the invariant is that every non-participant entry is zero
+    /// (exactly what a full recompute would store there).
     last_effective_bids: Vec<Money>,
-    /// The spare half of the effective-bids double buffer: each round
-    /// fills this in place, then swaps it with `last_effective_bids`, so
-    /// steady-state rounds never reallocate the population-sized vector.
-    bids_buffer: Vec<Money>,
-    /// Reusable per-advertiser participation-count scratch.
+    /// Reusable per-advertiser participation-count scratch. All-zero
+    /// between rounds: each round increments only its participants'
+    /// entries and re-zeroes them at the end, avoiding the O(n) memset.
     m_i_scratch: Vec<u64>,
+    /// This round's participants (advertisers with `m_i > 0`), in
+    /// discovery order; dedup comes free from the `m_i` zero test.
+    participants: Vec<u32>,
+    /// Last round's participants — exactly the nonzero entries of
+    /// `last_effective_bids` to re-zero next round.
+    prev_participants: Vec<u32>,
+    /// Reusable per-phrase auction-entry scratch for pricing.
+    entries_scratch: Vec<AuctionEntry>,
     metrics: EngineMetrics,
 }
 
@@ -308,15 +361,7 @@ impl Engine {
             },
             ..EngineMetrics::default()
         };
-        let ledgers = workload
-            .advertisers
-            .iter()
-            .map(|a| Ledger {
-                budget: a.budget,
-                settled_spend: Money::ZERO,
-                pending: Vec::new(),
-            })
-            .collect();
+        let ledgers = Ledgers::new(&workload);
         let sampler = RoundSampler::new(workload.search_rates(), config.seed);
         let clicker = ClickSimulator::new(
             config.seed.wrapping_add(1),
@@ -324,6 +369,7 @@ impl Engine {
             config.click_expiry_rounds,
         );
         let current_bids = workload.advertisers.iter().map(|a| a.bid).collect();
+        let n = workload.advertiser_count();
         Engine {
             workload,
             config,
@@ -334,8 +380,10 @@ impl Engine {
             clicker,
             wd,
             last_effective_bids: Vec::new(),
-            bids_buffer: Vec::new(),
-            m_i_scratch: Vec::new(),
+            m_i_scratch: vec![0; n],
+            participants: Vec::new(),
+            prev_participants: Vec::new(),
+            entries_scratch: Vec::new(),
             metrics,
         }
     }
@@ -451,14 +499,11 @@ impl Engine {
     /// [`Engine::last_effective_bids`], this lets an external oracle
     /// replay one round's throttled-bid computation exactly.
     pub fn budget_snapshots(&self) -> Vec<BudgetSnapshot> {
-        self.ledgers
-            .iter()
-            .enumerate()
-            .map(|(i, ledger)| BudgetSnapshot {
+        (0..self.workload.advertiser_count())
+            .map(|i| BudgetSnapshot {
                 bid: self.current_bids[i],
-                remaining_budget: ledger.remaining(),
-                outstanding: ledger
-                    .pending
+                remaining_budget: self.ledgers.remaining(i),
+                outstanding: self.ledgers.pending[i]
                     .iter()
                     .map(|p| {
                         OutstandingAd::new(p.price, self.clicker.residual_ctr(p.display_ctr, p.age))
@@ -466,6 +511,27 @@ impl Engine {
                     .collect(),
             })
             .collect()
+    }
+
+    /// Heap footprint of the engine's per-advertiser hot state plus the
+    /// resolver-owned persistent structures (plan arenas, merge-network
+    /// pools and caches), in bytes. Deterministic — capacities, not RSS —
+    /// so the memory-scaling gate's bytes-per-advertiser ceiling is
+    /// reproducible across hosts.
+    pub fn hot_state_bytes(&mut self) -> usize {
+        use std::mem::size_of;
+        let resolvers = match &mut self.wd {
+            WdExec::Single(resolvers) => resolvers.heap_bytes(),
+            WdExec::Sharded(sharded) => sharded.heap_bytes(),
+        };
+        self.ledgers.heap_bytes()
+            + self.current_bids.capacity() * size_of::<Money>()
+            + self.last_effective_bids.capacity() * size_of::<Money>()
+            + self.m_i_scratch.capacity() * size_of::<u64>()
+            + self.participants.capacity() * 4
+            + self.prev_participants.capacity() * 4
+            + self.entries_scratch.capacity() * size_of::<AuctionEntry>()
+            + resolvers
     }
 
     /// Runs `rounds` rounds and returns the final metrics.
@@ -484,22 +550,29 @@ impl Engine {
         self.metrics.rounds += 1;
         let occurring = self.sampler.next_round();
 
-        // Per-advertiser auction participation count m_i this round
-        // (reused scratch; clear + resize keeps the capacity).
+        // Census: per-advertiser participation counts m_i plus the
+        // deduplicated participants list. `m_i` is all-zero between
+        // rounds (re-zeroed sparsely at the end of this one), so the
+        // first-touch test doubles as dedup — O(Σ occurring interest),
+        // never O(n).
         let mut m_i = std::mem::take(&mut self.m_i_scratch);
-        m_i.clear();
-        m_i.resize(self.workload.advertiser_count(), 0);
+        let mut participants = std::mem::take(&mut self.participants);
+        participants.clear();
         for &q in &occurring {
             for a in &self.workload.interest[q.index()] {
-                m_i[a.index()] += 1;
+                let i = a.index();
+                if m_i[i] == 0 {
+                    participants.push(i as u32);
+                }
+                m_i[i] += 1;
             }
         }
 
-        // Stage 1 — throttle: effective (possibly throttled) bids, into
-        // the spare half of the double buffer.
+        // Stage 1 — throttle: effective (possibly throttled) bids,
+        // updated in place in the persistent buffer (participants only).
         let started = Instant::now();
-        let mut effective_bids = std::mem::take(&mut self.bids_buffer);
-        let exact_evaluations = self.effective_bids_into(&m_i, &mut effective_bids);
+        let mut effective_bids = std::mem::take(&mut self.last_effective_bids);
+        let exact_evaluations = self.effective_bids_into(&m_i, &participants, &mut effective_bids);
         let throttle_nanos = started.elapsed().as_nanos();
         self.metrics.exact_throttle_evaluations += exact_evaluations;
         self.metrics.throttle_nanos += throttle_nanos;
@@ -542,14 +615,9 @@ impl Engine {
         self.metrics.wd_nanos += wd_nanos;
         self.metrics.max_round_wd_nanos = self.metrics.max_round_wd_nanos.max(wd_nanos);
         self.metrics.auctions += occurring.len() as u64;
-        std::mem::swap(&mut self.last_effective_bids, &mut effective_bids);
-        // `effective_bids` now holds last round's vector; keep it as next
-        // round's spare instead of dropping the allocation.
-        self.bids_buffer = effective_bids;
 
         // Stage 3 — settle: pricing + display, then click settlement.
         let started = Instant::now();
-        let effective_bids = std::mem::take(&mut self.last_effective_bids);
         for outcome in &outcomes {
             self.display_winners(outcome, &effective_bids);
         }
@@ -563,7 +631,15 @@ impl Engine {
         if self.programs.is_some() {
             self.apply_bidding_programs(&m_i, &outcomes);
         }
+        // Restore the all-zero `m_i` invariant sparsely and remember this
+        // round's participants (the nonzero effective-bid entries the
+        // next round must reset).
+        for &i in &participants {
+            m_i[i as usize] = 0;
+        }
         self.m_i_scratch = m_i;
+        std::mem::swap(&mut self.prev_participants, &mut participants);
+        self.participants = participants;
         outcomes
     }
 
@@ -593,8 +669,8 @@ impl Engine {
                 best_slot: best_slot[i],
                 auctions_entered: m_i[i],
                 auctions_won: won[i],
-                settled_spend: self.ledgers[i].settled_spend,
-                budget: self.ledgers[i].budget,
+                settled_spend: self.ledgers.settled_spend[i],
+                budget: self.ledgers.budget[i],
                 round: self.metrics.rounds,
             })
             .collect()
@@ -610,30 +686,34 @@ impl Engine {
         }
     }
 
-    /// Stage-1 effective bids for every advertiser, filled into `out`
-    /// (cleared first; steady-state rounds reuse its capacity). Returns
-    /// the number of exact throttled-bid convolutions performed.
+    /// Stage-1 effective bids, updated *in place* in the persistent
+    /// buffer: last round's participants' entries are reset to zero, then
+    /// this round's participants' bids are computed — O(participants) per
+    /// round. Bit-identical to a full recompute because a non-participant
+    /// (`m_i == 0`) always throttles to zero, which is exactly what the
+    /// reset leaves behind. Returns the number of exact throttled-bid
+    /// convolutions performed.
     ///
-    /// Under `Unshared` + `ThrottleBounds` the whole stage is skipped:
+    /// Under `Unshared` + `ThrottleBounds` the compute half is skipped:
     /// the unshared resolver selects winners on lazily refined bounds and
     /// only its winners' exact bids are ever computed (backfilled there).
-    fn effective_bids_into(&self, m_i: &[u64], out: &mut Vec<Money>) -> u64 {
+    fn effective_bids_into(&self, m_i: &[u64], participants: &[u32], out: &mut Vec<Money>) -> u64 {
         let n = self.workload.advertiser_count();
         let policy = self.config.budget_policy;
-        out.clear();
+        out.resize(n, Money::ZERO); // first round only: sizes the buffer
+        for &i in &self.prev_participants {
+            out[i as usize] = Money::ZERO;
+        }
         if policy == BudgetPolicy::ThrottleBounds
             && self.config.sharing == SharingStrategy::Unshared
         {
-            out.resize(n, Money::ZERO);
             return 0;
         }
         let bid_for = |i: usize| {
-            if m_i[i] == 0 {
-                return Money::ZERO;
-            }
+            debug_assert!(m_i[i] > 0, "participants all have m_i > 0");
             match policy {
                 BudgetPolicy::Ignore => {
-                    if self.ledgers[i].remaining().is_zero() {
+                    if self.ledgers.remaining(i).is_zero() {
                         Money::ZERO
                     } else {
                         self.current_bids[i]
@@ -647,15 +727,20 @@ impl Engine {
             }
         };
         if self.config.wd_threads > 1 {
-            *out = exec::parallel_map(n, self.config.wd_threads, bid_for);
+            let bids = exec::parallel_map(participants.len(), self.config.wd_threads, |j| {
+                bid_for(participants[j] as usize)
+            });
+            for (&i, bid) in participants.iter().zip(bids) {
+                out[i as usize] = bid;
+            }
         } else {
-            out.extend((0..n).map(bid_for));
+            for &i in participants {
+                out[i as usize] = bid_for(i as usize);
+            }
         }
         match policy {
             BudgetPolicy::Ignore => 0,
-            BudgetPolicy::ThrottleExact | BudgetPolicy::ThrottleBounds => {
-                m_i.iter().filter(|&&m| m > 0).count() as u64
-            }
+            BudgetPolicy::ThrottleExact | BudgetPolicy::ThrottleBounds => participants.len() as u64,
         }
     }
 
@@ -694,20 +779,29 @@ impl Engine {
     /// Prices an assignment and displays the winning ads.
     fn display_winners(&mut self, outcome: &AuctionOutcome, effective_bids: &[Money]) {
         let q = outcome.phrase.index();
-        let entries: Vec<AuctionEntry> = self.workload.interest[q]
-            .iter()
-            .enumerate()
-            .map(|(pos, &a)| {
-                AuctionEntry::new(
-                    a,
-                    effective_bids[a.index()],
-                    self.workload.phrase_factors[q][pos],
-                )
-            })
-            .collect();
-        let instance = AuctionInstance::new(entries, self.config.slot_factors.clone())
-            .expect("engine factors are valid");
-        let priced = price_assignment(&instance, &outcome.assignment, self.config.pricing);
+        // Borrowed-parts pricing: no per-phrase slot-factor clone, no
+        // re-validation, and the entry list reuses one retained buffer.
+        let mut entries = std::mem::take(&mut self.entries_scratch);
+        entries.clear();
+        entries.extend(
+            self.workload.interest[q]
+                .iter()
+                .enumerate()
+                .map(|(pos, &a)| {
+                    AuctionEntry::new(
+                        a,
+                        effective_bids[a.index()],
+                        self.workload.phrase_factors[q][pos],
+                    )
+                }),
+        );
+        let priced = price_assignment_parts(
+            &entries,
+            &self.config.slot_factors,
+            &outcome.assignment,
+            self.config.pricing,
+        );
+        self.entries_scratch = entries;
         for slot in priced {
             let factor = self
                 .workload
@@ -721,48 +815,76 @@ impl Engine {
                 .round_down_to(self.config.billing_increment);
             self.metrics.impressions += 1;
             self.metrics.expected_value += display_ctr * billed_price.to_f64();
-            let ledger = &mut self.ledgers[slot.advertiser.index()];
-            ledger.pending.push(PendingAd {
-                price: billed_price,
-                display_ctr,
-                age: 0,
-                clicks_at_age: match fate {
-                    ClickOutcome::ClickAfter { delay } => Some(delay),
-                    ClickOutcome::NoClick => None,
+            self.ledgers.push_pending(
+                slot.advertiser.index(),
+                PendingAd {
+                    price: billed_price,
+                    display_ctr,
+                    age: 0,
+                    clicks_at_age: match fate {
+                        ClickOutcome::ClickAfter { delay } => Some(delay),
+                        ClickOutcome::NoClick => None,
+                    },
                 },
-            });
+            );
         }
     }
 
-    /// Ages pending ads, lands due clicks, and settles payments.
+    /// Ages pending ads, lands due clicks, and settles payments. Sweeps
+    /// only the ledgers with outstanding ads (the `live` worklist) and
+    /// compacts each pending list in place — O(outstanding ads) per
+    /// round, allocation-free, instead of O(n) ledger visits. Per-ledger
+    /// processing is unchanged and ledgers are independent, so the sweep
+    /// order (perturbed by `swap_remove`) cannot affect any outcome.
     fn settle_round(&mut self) {
         let expiry = self.config.click_expiry_rounds;
-        for ledger in &mut self.ledgers {
-            let mut still_pending = Vec::with_capacity(ledger.pending.len());
-            for mut ad in ledger.pending.drain(..) {
+        let Engine {
+            ref mut ledgers,
+            ref mut metrics,
+            ..
+        } = *self;
+        let mut pos = 0;
+        while pos < ledgers.live.len() {
+            let i = ledgers.live[pos] as usize;
+            let budget = ledgers.budget[i];
+            let settled = &mut ledgers.settled_spend[i];
+            let ads = &mut ledgers.pending[i];
+            let mut kept = 0;
+            for idx in 0..ads.len() {
+                let ad = &mut ads[idx];
                 ad.age += 1;
                 match ad.clicks_at_age {
                     Some(at) if ad.age >= at => {
                         // Click lands now: charge up to the remaining
                         // budget, forgive the rest.
-                        self.metrics.clicks += 1;
-                        let remaining = ledger.budget.saturating_sub(ledger.settled_spend);
+                        metrics.clicks += 1;
+                        let remaining = budget.saturating_sub(*settled);
                         let charged = ad.price.min(remaining);
                         let forgiven = ad.price.saturating_sub(charged);
-                        ledger.settled_spend += charged;
-                        self.metrics.revenue = self.metrics.revenue.saturating_add(charged);
+                        *settled += charged;
+                        metrics.revenue = metrics.revenue.saturating_add(charged);
                         if !forgiven.is_zero() {
-                            self.metrics.forgiven = self.metrics.forgiven.saturating_add(forgiven);
-                            self.metrics.clicks_beyond_budget += 1;
+                            metrics.forgiven = metrics.forgiven.saturating_add(forgiven);
+                            metrics.clicks_beyond_budget += 1;
                         }
                     }
                     _ if ad.age >= expiry => {
                         // Expired unclicked; drop.
                     }
-                    _ => still_pending.push(ad),
+                    _ => {
+                        // Keep, preserving relative order (positions
+                        // `kept..idx` hold already-dropped ads).
+                        ads.swap(kept, idx);
+                        kept += 1;
+                    }
                 }
             }
-            ledger.pending = still_pending;
+            ads.truncate(kept);
+            if ads.is_empty() {
+                ledgers.live.swap_remove(pos);
+            } else {
+                pos += 1;
+            }
         }
     }
 }
@@ -771,19 +893,17 @@ impl Engine {
 /// the round executor can hand resolvers a budget accessor while they
 /// mutably borrow their own state.
 fn budget_context_parts(
-    ledgers: &[Ledger],
+    ledgers: &Ledgers,
     current_bids: &[Money],
     clicker: &ClickSimulator,
     advertiser: usize,
     m: u64,
 ) -> BudgetContext {
-    let ledger = &ledgers[advertiser];
     BudgetContext {
         bid: current_bids[advertiser],
-        remaining_budget: ledger.remaining(),
+        remaining_budget: ledgers.remaining(advertiser),
         auctions_in_round: m,
-        outstanding: ledger
-            .pending
+        outstanding: ledgers.pending[advertiser]
             .iter()
             .map(|p| OutstandingAd::new(p.price, clicker.residual_ctr(p.display_ctr, p.age)))
             .collect(),

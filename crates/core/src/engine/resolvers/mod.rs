@@ -25,7 +25,7 @@ mod unshared;
 
 pub use plan::PlanResolver;
 pub use sort::SortResolver;
-pub use unshared::UnsharedResolver;
+pub use unshared::{scan_top_k, UnsharedResolver};
 
 pub(crate) use router::Router;
 
@@ -327,6 +327,18 @@ impl Resolvers {
         match self {
             Resolvers::Sort(sort) | Resolvers::Hybrid { sort, .. } => Some(sort),
             _ => None,
+        }
+    }
+
+    /// Heap footprint of the resolver set's persistent state (plan
+    /// arenas, merge-network pools + caches) in bytes, for the
+    /// memory-scaling gate.
+    pub(super) fn heap_bytes(&mut self) -> usize {
+        match self {
+            Resolvers::Unshared(_) => 0,
+            Resolvers::Plan(plan) => plan.heap_bytes(),
+            Resolvers::Sort(sort) => sort.heap_bytes(),
+            Resolvers::Hybrid { plan, sort, .. } => plan.heap_bytes() + sort.heap_bytes(),
         }
     }
 

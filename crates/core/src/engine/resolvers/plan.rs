@@ -127,6 +127,16 @@ impl PlanResolver {
         self.maintainer.as_ref().map(PlanMaintainer::plan)
     }
 
+    /// Heap footprint of the resolver's persistent state in bytes (plan
+    /// DAG plus per-phrase tables), for the memory-scaling gate.
+    pub fn heap_bytes(&self) -> usize {
+        use std::mem::size_of;
+        self.dag().map_or(0, PlanDag::heap_bytes)
+            + self.query_index.capacity() * size_of::<Option<usize>>()
+            + self.query_rates.capacity() * size_of::<f64>()
+            + self.marginals.capacity() * size_of::<f64>()
+    }
+
     /// The plan's expected per-round cost under the rates of the phrases
     /// currently routed here (served from the incremental tracker).
     pub fn expected_cost(&self) -> f64 {

@@ -6,13 +6,19 @@ use ssa_auction::ids::{AdvertiserId, PhraseId};
 use ssa_auction::money::Money;
 use ssa_auction::score::Score;
 use ssa_auction::winner::assignment_from_ranking;
-use ssa_setcover::BitSet;
 use ssa_workload::Workload;
 
 use crate::sort::concurrent::{resolve_parallel_with, ConcurrentMergeNetwork, TaJob};
-use crate::sort::planner::{build_shared_sort_plan_bucketed, SortPlan};
+use crate::sort::planner::{build_shared_sort_plan_sparse, SortPlan};
 use crate::sort::ta::{threshold_top_k_into, TaScratch};
-use crate::sort::{MergeNetwork, RefreshStats, SortItem};
+use crate::sort::{LeafCones, MergeNetwork, RefreshStats, SortItem};
+
+/// Every this-many rounds, merge caches untouched for at least this many
+/// refreshes are freed ([`MergeNetwork::evict_cold`]), bounding resident
+/// cache memory to *recently active* phrases' cones. 64 keeps steady-state
+/// hot caches warm (eviction never fires for a cone touched each round)
+/// while cold phrases' caches survive at most ~2 horizons.
+const CACHE_EVICT_HORIZON: u32 = 64;
 
 use super::super::{AuctionOutcome, EngineMetrics};
 use super::{PhraseResolver, RoundContext};
@@ -30,6 +36,20 @@ impl SortNet {
         match self {
             SortNet::Seq(net) => net.invocations(),
             SortNet::Conc(net) => net.invocations(),
+        }
+    }
+
+    fn evict_cold(&mut self, horizon: u32) -> u64 {
+        match self {
+            SortNet::Seq(net) => net.evict_cold(horizon),
+            SortNet::Conc(net) => net.evict_cold(horizon),
+        }
+    }
+
+    fn heap_bytes(&mut self) -> usize {
+        match self {
+            SortNet::Seq(net) => net.heap_bytes(),
+            SortNet::Conc(net) => net.heap_bytes(),
         }
     }
 }
@@ -53,8 +73,8 @@ pub struct SortResolver {
     /// network (identical results, only wall-clock changes).
     threads: usize,
     /// Per leaf, the merge operators a bid change there invalidates
-    /// (`SortPlan::leaf_cones`, computed once at plan-build time).
-    cones: Vec<Vec<u32>>,
+    /// (`SortPlan::leaf_cones`, computed once at plan-build time; CSR).
+    cones: LeafCones,
     /// The persistent network; `None` until the first round builds it
     /// from that round's effective bids.
     net: Option<SortNet>,
@@ -84,6 +104,9 @@ pub struct SortResolver {
     /// phrase outside the compiled set has no root and no `c_order`;
     /// routing it here requires rebuilding the resolver first.
     compiled: Vec<bool>,
+    /// Rounds prepared so far; drives the amortized cold-cache eviction
+    /// sweep (every [`CACHE_EVICT_HORIZON`] rounds).
+    rounds_prepared: u64,
 }
 
 impl SortResolver {
@@ -95,19 +118,24 @@ impl SortResolver {
         let n = workload.advertiser_count();
         let m = workload.phrase_count();
         let included = |q: usize| mask.is_none_or(|mask| mask[q]);
-        let interest: Vec<BitSet> = workload
+        // Sparse interest lists (ascending advertiser indices) — the
+        // builder never materializes universe-sized bitsets, which is what
+        // lets plan construction reach 10^6 advertisers.
+        let interest: Vec<Vec<u32>> = workload
             .interest
             .iter()
             .enumerate()
             .map(|(q, ids)| {
                 if included(q) {
-                    BitSet::from_elements(n, ids.iter().map(|a| a.index()))
+                    let mut list: Vec<u32> = ids.iter().map(|a| a.index() as u32).collect();
+                    list.sort_unstable();
+                    list
                 } else {
-                    BitSet::new(n)
+                    Vec::new()
                 }
             })
             .collect();
-        let plan = build_shared_sort_plan_bucketed(n, &interest, &workload.search_rates());
+        let plan = build_shared_sort_plan_sparse(n, &interest, &workload.search_rates());
         let c_orders = (0..m)
             .map(|q| {
                 if !included(q) {
@@ -146,7 +174,28 @@ impl SortResolver {
                 .map(|_| parking_lot::Mutex::new(TaScratch::new()))
                 .collect(),
             compiled: (0..m).map(included).collect(),
+            rounds_prepared: 0,
         }
+    }
+
+    /// Heap footprint of the resolver's hot state in bytes: plan arena,
+    /// leaf cones, persistent network (node pools + caches), and the
+    /// per-round buffers. Powers the memory-scaling gate's deterministic
+    /// bytes-per-advertiser accounting.
+    pub fn heap_bytes(&mut self) -> usize {
+        use std::mem::size_of;
+        let net = self.net.as_mut().map_or(0, |n| n.heap_bytes());
+        self.plan.heap_bytes()
+            + self.cones.heap_bytes()
+            + net
+            + self.prev_bids.capacity() * size_of::<Money>()
+            + self.changed.capacity() * size_of::<(usize, Money)>()
+            + self.roots.capacity() * size_of::<usize>()
+            + self
+                .c_orders
+                .iter()
+                .map(|o| o.capacity() * size_of::<(AdvertiserId, f64)>())
+                .sum::<usize>()
     }
 
     /// Whether this resolver's plan was compiled over phrase `q` (and so
@@ -192,7 +241,7 @@ impl SortResolver {
         let hot: Vec<bool> = plan_route.iter().map(|&to_plan| !to_plan).collect();
         self.plan.cluster_hot_phrases(&hot);
         self.cones = self.plan.leaf_cones();
-        let mut counts = vec![0u32; self.plan.advertiser_count];
+        let mut counts = vec![0u32; self.plan.advertiser_count()];
         for (q, &to_plan) in plan_route.iter().enumerate() {
             if !to_plan {
                 for &(a, _) in &self.c_orders[q] {
@@ -246,11 +295,13 @@ impl SortResolver {
     pub fn cached_streams(&self) -> Option<Vec<Vec<SortItem>>> {
         match self.net.as_ref()? {
             SortNet::Seq(net) => Some(
-                (0..self.plan.nodes.len())
+                (0..self.plan.node_count())
                     .map(|v| net.cached(v).to_vec())
                     .collect(),
             ),
-            SortNet::Conc(net) => Some((0..self.plan.nodes.len()).map(|v| net.cached(v)).collect()),
+            SortNet::Conc(net) => {
+                Some((0..self.plan.node_count()).map(|v| net.cached(v)).collect())
+            }
         }
     }
 }
@@ -265,6 +316,7 @@ impl PhraseResolver for SortResolver {
         metrics: &mut EngineMetrics,
     ) {
         let started = Instant::now();
+        self.rounds_prepared += 1;
         let stats = match self.net.as_mut() {
             None => {
                 let roots = if self.threads > 1 {
@@ -278,10 +330,11 @@ impl PhraseResolver for SortResolver {
                     roots
                 };
                 self.roots = roots;
-                self.prev_bids = effective_bids.to_vec();
+                self.prev_bids.clear();
+                self.prev_bids.extend_from_slice(effective_bids);
                 // The whole network is built dirty; nothing was cached.
                 RefreshStats {
-                    nodes_invalidated: self.plan.nodes.len() as u64,
+                    nodes_invalidated: self.plan.node_count() as u64,
                     cache_items_reused: 0,
                 }
             }
@@ -303,10 +356,20 @@ impl PhraseResolver for SortResolver {
                         *old = new;
                     }
                 }
-                match net {
+                let stats = match net {
                     SortNet::Seq(n) => n.refresh(&self.changed, &self.cones),
                     SortNet::Conc(n) => n.refresh(&self.changed, &self.cones),
+                };
+                // Amortized cold-cache sweep: streams stay bit-identical
+                // (evicted nodes regenerate the same items on demand), so
+                // this only bounds memory, never changes outcomes.
+                if self
+                    .rounds_prepared
+                    .is_multiple_of(u64::from(CACHE_EVICT_HORIZON))
+                {
+                    net.evict_cold(CACHE_EVICT_HORIZON);
                 }
+                stats
             }
         };
         metrics.sort_refresh_nanos += started.elapsed().as_nanos();

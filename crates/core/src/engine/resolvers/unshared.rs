@@ -23,6 +23,43 @@ use super::{PhraseResolver, RoundContext};
 #[derive(Debug, Default)]
 pub struct UnsharedResolver;
 
+/// Chunk width for the unshared phrase scan: small enough that the score
+/// buffer lives in registers/L1, wide enough to amortize the threshold
+/// re-read.
+const SCAN_CHUNK: usize = 64;
+
+/// Branch-light chunked top-k scan of one phrase's interest list.
+///
+/// Scores for a whole chunk are computed into a flat buffer first — a
+/// pure-arithmetic loop with no data-dependent branches, which the
+/// compiler can unroll and vectorize — and only candidates at or above
+/// the chunk-start k-th score touch the k-list. The filter uses `>=`
+/// because ties break by ascending advertiser id: an equal score with a
+/// lower id outranks the current k-th. A stale (chunk-start) threshold is
+/// conservative — it only admits extra candidates, which `insert`
+/// rejects — so the result is bit-identical to the naive one-by-one scan.
+pub fn scan_top_k(
+    interest: &[AdvertiserId],
+    factors: &[f64],
+    bids: &[Money],
+    k: usize,
+) -> KList<ScoredAd> {
+    let mut top: KList<ScoredAd> = KList::empty(k);
+    let mut scores = [Score::ZERO; SCAN_CHUNK];
+    for (ads, facs) in interest.chunks(SCAN_CHUNK).zip(factors.chunks(SCAN_CHUNK)) {
+        for ((slot, &a), &factor) in scores.iter_mut().zip(ads).zip(facs) {
+            *slot = Score::expected_value(bids[a.index()], factor);
+        }
+        let threshold = top.kth().map(|s| s.score);
+        for (&a, &score) in ads.iter().zip(&scores) {
+            if threshold.is_none_or(|t| score >= t) {
+                top.insert(ScoredAd::new(a, score));
+            }
+        }
+    }
+    top
+}
+
 /// One phrase's result, carried back from the worker.
 struct PhraseResolution {
     ranked: Vec<(AdvertiserId, Score)>,
@@ -71,12 +108,7 @@ impl PhraseResolver for UnsharedResolver {
                         exact_evaluations: stats.exact_evaluations,
                     }
                 } else {
-                    let mut top: KList<ScoredAd> = KList::empty(k);
-                    for (pos, &a) in interest.iter().enumerate() {
-                        let factor = ctx.workload.phrase_factors[q][pos];
-                        let score = Score::expected_value(bids[a.index()], factor);
-                        top.insert(ScoredAd::new(a, score));
-                    }
+                    let top = scan_top_k(interest, &ctx.workload.phrase_factors[q], bids, k);
                     PhraseResolution {
                         ranked: top
                             .items()
@@ -106,5 +138,36 @@ impl PhraseResolver for UnsharedResolver {
             });
         }
         out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The chunked scan must be bit-identical to the naive one-by-one
+    /// insert loop, including across chunk boundaries and under score
+    /// ties (where the `>=` threshold admits equal-score lower-id
+    /// candidates that displace the current k-th).
+    #[test]
+    fn chunked_scan_matches_naive() {
+        for n in [0usize, 1, 3, 63, 64, 65, 130, 257] {
+            for k in [1usize, 2, 5, 8] {
+                let interest: Vec<AdvertiserId> = (0..n).map(AdvertiserId::from_index).collect();
+                // Deterministic pseudo-random bids with deliberate ties
+                // (mod 7 collapses many scores onto the same value).
+                let bids: Vec<Money> = (0..n)
+                    .map(|i| Money::from_units(((i * 37 + 11) % 7 + 1) as u64))
+                    .collect();
+                let factors: Vec<f64> = (0..n).map(|i| 1.0 + (i % 3) as f64).collect();
+                let chunked = scan_top_k(&interest, &factors, &bids, k);
+                let mut naive: KList<ScoredAd> = KList::empty(k);
+                for (pos, &a) in interest.iter().enumerate() {
+                    let score = Score::expected_value(bids[a.index()], factors[pos]);
+                    naive.insert(ScoredAd::new(a, score));
+                }
+                assert_eq!(chunked.items(), naive.items(), "n={n} k={k}");
+            }
+        }
     }
 }

@@ -37,9 +37,9 @@ use std::time::Instant;
 use parking_lot::Mutex;
 
 use ssa_auction::ids::PhraseId;
-use ssa_auction::instance::{AuctionEntry, AuctionInstance};
+use ssa_auction::instance::AuctionEntry;
 use ssa_auction::money::Money;
-use ssa_auction::pricing::price_assignment;
+use ssa_auction::pricing::price_assignment_parts;
 use ssa_workload::clicks::ClickOutcome;
 use ssa_workload::Workload;
 
@@ -50,7 +50,7 @@ use crate::exec;
 use super::resolvers::{Resolvers, RoundContext};
 use super::{
     budget_context_parts, AuctionOutcome, BudgetPolicy, Engine, EngineConfig, EngineMetrics,
-    Ledger, PendingAd, SharingStrategy, WdExec,
+    Ledgers, PendingAd, SharingStrategy, WdExec,
 };
 
 /// The static phrase → shard assignment, fixed at engine construction.
@@ -224,6 +224,29 @@ impl Sharded {
         self.plan.count()
     }
 
+    /// Heap footprint of the executor's persistent hot state (per-shard
+    /// resolvers, bid/stamp arrays, scratch lists) in bytes, for the
+    /// memory-scaling gate.
+    pub(super) fn heap_bytes(&mut self) -> usize {
+        use std::mem::size_of;
+        let mut total = self.plan.shard_of.capacity() * size_of::<usize>()
+            + self.active.capacity() * size_of::<usize>()
+            + self.cursors.capacity() * size_of::<usize>();
+        for list in &self.occ {
+            total += list.capacity() * size_of::<PhraseId>();
+        }
+        for shard in &mut self.shards {
+            let state = shard.get_mut();
+            total += state.resolvers.heap_bytes()
+                + state.bids.capacity() * size_of::<Money>()
+                + state.participants.capacity() * size_of::<u32>()
+                + state.stamp.capacity() * size_of::<u64>()
+                + state.outcomes.capacity() * size_of::<AuctionOutcome>()
+                + state.events.capacity() * size_of::<Vec<DisplayEvent>>();
+        }
+        total
+    }
+
     /// Splits the round's occurring phrases into per-shard lists and
     /// records which shards have work. Reuses every buffer.
     fn begin_round(&mut self, occurring: &[PhraseId]) {
@@ -255,7 +278,7 @@ fn run_shard_chain(
     occ: &[PhraseId],
     workload: &Workload,
     config: &EngineConfig,
-    ledgers: &[Ledger],
+    ledgers: &Ledgers,
     current_bids: &[Money],
     m_i: &[u64],
     budgets: &(dyn Fn(usize, u64) -> BudgetContext + Sync),
@@ -294,7 +317,7 @@ fn run_shard_chain(
         } else {
             match policy {
                 BudgetPolicy::Ignore => {
-                    if ledgers[i].remaining().is_zero() {
+                    if ledgers.remaining(i).is_zero() {
                         Money::ZERO
                     } else {
                         current_bids[i]
@@ -347,9 +370,14 @@ fn run_shard_chain(
                 AuctionEntry::new(a, state.bids[a.index()], workload.phrase_factors[q][pos])
             })
             .collect();
-        let instance = AuctionInstance::new(entries, config.slot_factors.clone())
-            .expect("engine factors are valid");
-        let priced = price_assignment(&instance, &outcome.assignment, config.pricing);
+        // Borrowed-parts pricing: the shared slot-factor table is never
+        // cloned (or re-validated) per phrase.
+        let priced = price_assignment_parts(
+            &entries,
+            &config.slot_factors,
+            &outcome.assignment,
+            config.pricing,
+        );
         let mut events = Vec::with_capacity(priced.len());
         for slot in priced {
             let factor = workload
@@ -375,21 +403,32 @@ pub(super) fn run_round_sharded(engine: &mut Engine) -> Vec<AuctionOutcome> {
     let occurring = engine.sampler.next_round();
     let n = engine.workload.advertiser_count();
 
-    // Global per-advertiser participation counts (reused scratch).
+    // Global per-advertiser participation counts plus the deduplicated
+    // participants list; `m_i` is all-zero between rounds (sparsely
+    // re-zeroed at the end), so first touch doubles as dedup.
     let mut m_i = std::mem::take(&mut engine.m_i_scratch);
-    m_i.clear();
-    m_i.resize(n, 0);
+    let mut participants = std::mem::take(&mut engine.participants);
+    participants.clear();
     for &q in &occurring {
         for a in &engine.workload.interest[q.index()] {
-            m_i[a.index()] += 1;
+            let i = a.index();
+            if m_i[i] == 0 {
+                participants.push(i as u32);
+            }
+            m_i[i] += 1;
         }
     }
 
-    // The merged effective-bid buffer the oracle seams read; zeroed like
-    // the sequential stage-1 output, then overlaid with shard values.
-    let mut effective_bids = std::mem::take(&mut engine.bids_buffer);
-    effective_bids.clear();
-    effective_bids.resize(n, Money::ZERO);
+    // The merged effective-bid buffer the oracle seams read. Persistent:
+    // resetting last round's participants' entries restores the all-zero
+    // state the sequential stage-1 would start from (non-participants
+    // always throttle to zero), and the shard merge below overlays only
+    // nonzero values.
+    let mut effective_bids = std::mem::take(&mut engine.last_effective_bids);
+    effective_bids.resize(n, Money::ZERO); // first round only
+    for &i in &engine.prev_participants {
+        effective_bids[i as usize] = Money::ZERO;
+    }
 
     match &mut engine.wd {
         WdExec::Sharded(sharded) => sharded.begin_round(&occurring),
@@ -458,8 +497,7 @@ pub(super) fn run_round_sharded(engine: &mut Engine) -> Vec<AuctionOutcome> {
     let pipeline_nanos = pipeline_started.elapsed().as_nanos();
     engine.metrics.max_round_wd_nanos = engine.metrics.max_round_wd_nanos.max(pipeline_nanos);
     engine.metrics.auctions += occurring.len() as u64;
-    std::mem::swap(&mut engine.last_effective_bids, &mut effective_bids);
-    engine.bids_buffer = effective_bids;
+    engine.last_effective_bids = effective_bids;
 
     // Commit — the serial tail. Replay every shard's outcomes and
     // display events in global phrase-occurrence order (the budget
@@ -486,9 +524,9 @@ pub(super) fn run_round_sharded(engine: &mut Engine) -> Vec<AuctionOutcome> {
                 let fate = engine.clicker.impression(ev.display_ctr);
                 engine.metrics.impressions += 1;
                 engine.metrics.expected_value += ev.display_ctr * ev.price.to_f64();
-                engine.ledgers[ev.advertiser.index()]
-                    .pending
-                    .push(PendingAd {
+                engine.ledgers.push_pending(
+                    ev.advertiser.index(),
+                    PendingAd {
                         price: ev.price,
                         display_ctr: ev.display_ctr,
                         age: 0,
@@ -496,7 +534,8 @@ pub(super) fn run_round_sharded(engine: &mut Engine) -> Vec<AuctionOutcome> {
                             ClickOutcome::ClickAfter { delay } => Some(delay),
                             ClickOutcome::NoClick => None,
                         },
-                    });
+                    },
+                );
             }
         }
     }
@@ -508,7 +547,14 @@ pub(super) fn run_round_sharded(engine: &mut Engine) -> Vec<AuctionOutcome> {
     if engine.programs.is_some() {
         engine.apply_bidding_programs(&m_i, &outcomes);
     }
+    // Restore the all-zero `m_i` invariant sparsely and rotate the
+    // participants lists (next round resets exactly these bid entries).
+    for &i in &participants {
+        m_i[i as usize] = 0;
+    }
     engine.m_i_scratch = m_i;
+    std::mem::swap(&mut engine.prev_participants, &mut participants);
+    engine.participants = participants;
     outcomes
 }
 

@@ -688,12 +688,12 @@ fn parallel_ta_matches_sequential_engine() {
     assert_eq!(seq_m.revenue, par_m.revenue);
 }
 
-/// The effective-bids double buffer must actually recycle its two
-/// vectors: after the warm-up rounds, `last_effective_bids` alternates
-/// between the same two allocations instead of cloning a fresh one per
-/// round.
+/// The effective-bids buffer must be persistent: after the first round
+/// sizes it, `last_effective_bids` is the same allocation every round —
+/// entries are rewritten sparsely (previous participants zeroed, current
+/// participants recomputed) instead of cloning a fresh vector per round.
 #[test]
-fn effective_bids_double_buffer_reuses_allocations() {
+fn effective_bids_buffer_is_persistent_across_rounds() {
     let mut engine = Engine::new(
         small_workload(0.0, 13),
         config(SharingStrategy::Unshared, BudgetPolicy::ThrottleExact),
@@ -704,11 +704,8 @@ fn effective_bids_double_buffer_reuses_allocations() {
     let p2 = engine.last_effective_bids().as_ptr();
     engine.run_round();
     let p3 = engine.last_effective_bids().as_ptr();
-    engine.run_round();
-    let p4 = engine.last_effective_bids().as_ptr();
-    assert_ne!(p1, p2, "two distinct buffers");
-    assert_eq!(p1, p3, "buffer A recycled");
-    assert_eq!(p2, p4, "buffer B recycled");
+    assert_eq!(p1, p2, "buffer reused, not re-cloned");
+    assert_eq!(p2, p3, "buffer reused, not re-cloned");
 }
 
 #[test]

@@ -90,10 +90,19 @@ pub struct PlanNode {
 pub struct PlanDag {
     var_count: usize,
     nodes: Vec<PlanNode>,
+    /// Packed child pairs, one per node (`[NO_KIDS; 2]` for leaves),
+    /// mirroring `nodes[idx].children`. The per-round walkers (needed
+    /// set, materialization, cone masks) traverse this flat `u32` arena —
+    /// 8 bytes per node streamed contiguously — instead of pulling each
+    /// `PlanNode`'s label `BitSet` through cache alongside the topology.
+    children_packed: Vec<[u32; 2]>,
     by_set: HashMap<BitSet, usize>,
     /// `queries[q]` = index of the node computing query `q`.
     queries: Vec<usize>,
 }
+
+/// Sentinel child index marking a leaf in `PlanDag::children_packed`.
+const NO_KIDS: u32 = u32::MAX;
 
 impl PlanDag {
     /// An empty plan: just the variable leaves.
@@ -111,9 +120,29 @@ impl PlanDag {
         PlanDag {
             var_count,
             nodes,
+            children_packed: vec![[NO_KIDS; 2]; var_count],
             by_set,
             queries: Vec::new(),
         }
+    }
+
+    /// Heap footprint of the plan in bytes: node labels, the packed child
+    /// arena, and the dedup map's keys. For the memory-scaling gate.
+    pub fn heap_bytes(&self) -> usize {
+        use std::mem::size_of;
+        self.nodes.capacity() * size_of::<PlanNode>()
+            + self
+                .nodes
+                .iter()
+                .map(|n| n.vars.heap_bytes())
+                .sum::<usize>()
+            + self.children_packed.capacity() * size_of::<[u32; 2]>()
+            + self.queries.capacity() * size_of::<usize>()
+            + self
+                .by_set
+                .keys()
+                .map(|k| k.heap_bytes() + size_of::<usize>())
+                .sum::<usize>()
     }
 
     /// Number of variables.
@@ -163,6 +192,7 @@ impl PlanDag {
             vars: union,
             children: Some((a, b)),
         });
+        self.children_packed.push([a as u32, b as u32]);
         idx
     }
 
@@ -305,9 +335,10 @@ impl PlanDag {
                 continue;
             }
             mask[idx] = true;
-            if let Some((a, b)) = self.nodes[idx].children {
-                stack.push(a);
-                stack.push(b);
+            let [a, b] = self.children_packed[idx];
+            if a != NO_KIDS {
+                stack.push(a as usize);
+                stack.push(b as usize);
             }
         }
         mask
@@ -348,9 +379,10 @@ impl PlanDag {
                 continue;
             }
             needed[idx] = true;
-            if let Some((a, b)) = self.nodes[idx].children {
-                stack.push(a);
-                stack.push(b);
+            let [a, b] = self.children_packed[idx];
+            if a != NO_KIDS {
+                stack.push(a as usize);
+                stack.push(b as usize);
             }
         }
         needed
@@ -385,7 +417,8 @@ impl PlanDag {
             if !needed[idx] || memo[idx].is_some() {
                 continue;
             }
-            let (a, b) = self.nodes[idx].children.expect("internal node");
+            let [a, b] = self.children_packed[idx];
+            let (a, b) = (a as usize, b as usize);
             let value = op.combine(
                 memo[a].as_ref().expect("child computed"),
                 memo[b].as_ref().expect("child computed"),
@@ -409,8 +442,8 @@ impl PlanDag {
         let mut depth = vec![0usize; self.nodes.len()];
         let mut max_depth = 0usize;
         for idx in self.var_count..self.nodes.len() {
-            let (a, b) = self.nodes[idx].children.expect("internal node");
-            depth[idx] = depth[a].max(depth[b]) + 1;
+            let [a, b] = self.children_packed[idx];
+            depth[idx] = depth[a as usize].max(depth[b as usize]) + 1;
             max_depth = max_depth.max(depth[idx]);
         }
         let mut levels: Vec<Vec<usize>> = vec![Vec::new(); max_depth];
@@ -473,10 +506,10 @@ impl PlanDag {
                 let memo_ref = &memo;
                 exec::parallel_map(jobs.len(), threads, |j| {
                     let idx = jobs[j];
-                    let (a, b) = self.nodes[idx].children.expect("internal node");
+                    let [a, b] = self.children_packed[idx];
                     op.combine(
-                        memo_ref[a].as_ref().expect("child computed"),
-                        memo_ref[b].as_ref().expect("child computed"),
+                        memo_ref[a as usize].as_ref().expect("child computed"),
+                        memo_ref[b as usize].as_ref().expect("child computed"),
                     )
                 })
             };

@@ -3,7 +3,9 @@
 //! One round can carry many phrase auctions, and each runs its own
 //! Threshold Algorithm against the *same* shared merge network. The
 //! sequential [`MergeNetwork`](super::MergeNetwork) requires `&mut self`;
-//! this variant wraps every operator in its own `parking_lot` mutex so
+//! this variant keeps the immutable topology (child pairs, leaf items) in
+//! shared flat arrays and wraps only each operator's *mutable* state
+//! (cursors, cache, exhaustion) in its own `parking_lot` mutex, so
 //! multiple TA drivers can pull concurrently, and resolves a whole round
 //! across a [`crossbeam`] scoped thread pool.
 //!
@@ -23,30 +25,28 @@ use ssa_auction::money::Money;
 
 use super::planner::SortPlan;
 use super::ta::TaScratch;
-use super::{RefreshStats, SortItem};
+use super::{LeafCones, RefreshStats, SortItem};
+
+/// Sentinel child index marking a leaf node.
+const NO_CHILD: u32 = u32::MAX;
 
 /// One parallel TA job: `(network root, c-order, k)`. The c-order is
 /// borrowed so per-round job construction allocates nothing.
 pub type TaJob<'a> = (usize, &'a [(AdvertiserId, f64)], usize);
 
+/// The per-node mutable state: everything a pull writes. Topology and
+/// leaf items live outside the lock.
 #[derive(Debug)]
-enum Slot {
-    Leaf {
-        item: SortItem,
-    },
-    Merge {
-        left: usize,
-        right: usize,
-        left_pos: usize,
-        right_pos: usize,
-    },
-}
-
-#[derive(Debug)]
-struct Node {
-    slot: Slot,
+struct NodeState {
+    /// Items consumed from each child (left/right registers).
+    cursors: [u32; 2],
+    /// "Each operator stores the sequence of values it has sent
+    /// upstream."
     emitted: Vec<SortItem>,
+    /// No more items below.
     exhausted: bool,
+    /// Refresh epoch of the most recent pull (eviction clock).
+    last_touch: u32,
 }
 
 /// A merge network whose operators are individually locked, allowing
@@ -57,7 +57,13 @@ struct Node {
 /// the dirty cones above changed leaves.
 #[derive(Debug)]
 pub struct ConcurrentMergeNetwork {
-    nodes: Vec<Mutex<Node>>,
+    /// Per node, the two children (`[NO_CHILD; 2]` for leaves). Immutable
+    /// after construction, so readable without any lock.
+    children: Vec<[u32; 2]>,
+    /// Per node, the leaf item (placeholder for merges). Only `refresh`
+    /// (`&mut self`) writes it, so pulls read it without a lock.
+    items: Vec<SortItem>,
+    state: Vec<Mutex<NodeState>>,
     invocations: AtomicU64,
     /// Total items currently cached across all nodes (Σ emitted.len()).
     cached_items: AtomicU64,
@@ -65,6 +71,9 @@ pub struct ConcurrentMergeNetwork {
     /// need no lock.
     dirty_stamps: Vec<u32>,
     dirty_epoch: u32,
+    /// Refresh counter (the eviction clock); written only under
+    /// `&mut self`.
+    rounds: u32,
 }
 
 impl ConcurrentMergeNetwork {
@@ -72,46 +81,53 @@ impl ConcurrentMergeNetwork {
     /// [`SortPlan::instantiate`]. Returns the network plus per-phrase
     /// roots (`usize::MAX` for empty phrases).
     pub fn from_plan(plan: &SortPlan, bids: &[Money]) -> (Self, Vec<usize>) {
-        assert_eq!(bids.len(), plan.advertiser_count, "one bid per advertiser");
-        let nodes: Vec<Mutex<Node>> = plan
-            .nodes
-            .iter()
-            .enumerate()
-            .map(|(idx, n)| {
-                Mutex::new(match n.children {
-                    None => Node {
-                        slot: Slot::Leaf {
-                            item: SortItem {
-                                bid: bids[idx],
-                                advertiser: AdvertiserId::from_index(idx),
-                            },
-                        },
-                        emitted: Vec::new(),
-                        exhausted: false,
-                    },
-                    Some((a, b)) => Node {
-                        slot: Slot::Merge {
-                            left: a,
-                            right: b,
-                            left_pos: 0,
-                            right_pos: 0,
-                        },
-                        emitted: Vec::new(),
-                        exhausted: false,
-                    },
-                })
-            })
-            .collect();
-        let node_count = nodes.len();
+        assert_eq!(
+            bids.len(),
+            plan.advertiser_count(),
+            "one bid per advertiser"
+        );
+        let total = plan.node_count();
+        let mut children = Vec::with_capacity(total);
+        let mut items = Vec::with_capacity(total);
+        let mut state = Vec::with_capacity(total);
+        #[allow(clippy::needless_range_loop)] // idx spans the node arena; bids only covers leaves
+        for idx in 0..total {
+            match plan.node_children(idx) {
+                None => {
+                    children.push([NO_CHILD; 2]);
+                    items.push(SortItem {
+                        bid: bids[idx],
+                        advertiser: AdvertiserId::from_index(idx),
+                    });
+                }
+                Some((a, b)) => {
+                    children.push([a as u32, b as u32]);
+                    items.push(SortItem {
+                        bid: Money::ZERO,
+                        advertiser: AdvertiserId(0),
+                    });
+                }
+            }
+            state.push(Mutex::new(NodeState {
+                cursors: [0, 0],
+                emitted: Vec::new(),
+                exhausted: false,
+                last_touch: 0,
+            }));
+        }
+        let roots = (0..plan.phrase_count()).map(|q| plan.root(q)).collect();
         (
             ConcurrentMergeNetwork {
-                nodes,
+                children,
+                items,
+                state,
                 invocations: AtomicU64::new(0),
                 cached_items: AtomicU64::new(0),
-                dirty_stamps: vec![0; node_count],
+                dirty_stamps: vec![0; total],
                 dirty_epoch: 0,
+                rounds: 0,
             },
-            plan.roots.clone(),
+            roots,
         )
     }
 
@@ -128,7 +144,22 @@ impl ConcurrentMergeNetwork {
     /// A copy of the cached (already merged) prefix of `node`'s stream,
     /// without pulling anything new. For differential harnesses.
     pub fn cached(&self, node: usize) -> Vec<SortItem> {
-        self.nodes[node].lock().emitted.clone()
+        self.state[node].lock().emitted.clone()
+    }
+
+    /// Heap footprint in bytes (array capacities plus every node cache's
+    /// capacity); takes `&mut self` to bypass the per-node locks.
+    pub fn heap_bytes(&mut self) -> usize {
+        use std::mem::size_of;
+        self.children.capacity() * size_of::<[u32; 2]>()
+            + self.items.capacity() * size_of::<SortItem>()
+            + self.state.capacity() * size_of::<Mutex<NodeState>>()
+            + self
+                .state
+                .iter_mut()
+                .map(|s| s.get_mut().emitted.capacity() * size_of::<SortItem>())
+                .sum::<usize>()
+            + self.dirty_stamps.capacity() * 4
     }
 
     /// Cross-round dirty-cone invalidation, mirroring
@@ -138,7 +169,8 @@ impl ConcurrentMergeNetwork {
     /// everything else keeps its cached prefix. `&mut self` serializes
     /// refresh against pulls, so the per-node mutexes are bypassed via
     /// `get_mut`.
-    pub fn refresh(&mut self, changed: &[(usize, Money)], cones: &[Vec<u32>]) -> RefreshStats {
+    pub fn refresh(&mut self, changed: &[(usize, Money)], cones: &LeafCones) -> RefreshStats {
+        self.rounds = self.rounds.wrapping_add(1);
         self.dirty_epoch = self.dirty_epoch.wrapping_add(1);
         if self.dirty_epoch == 0 {
             self.dirty_stamps.fill(0);
@@ -148,21 +180,22 @@ impl ConcurrentMergeNetwork {
         let mut invalidated = 0u64;
         let mut dropped = 0u64;
         for &(leaf, bid) in changed {
-            match &mut self.nodes[leaf].get_mut().slot {
-                Slot::Leaf { item } => item.bid = bid,
-                Slot::Merge { .. } => panic!("refresh target {leaf} is not a leaf"),
-            }
+            assert!(
+                self.children[leaf][0] == NO_CHILD,
+                "refresh target {leaf} is not a leaf"
+            );
+            self.items[leaf].bid = bid;
             if self.dirty_stamps[leaf] != epoch {
                 self.dirty_stamps[leaf] = epoch;
                 invalidated += 1;
-                dropped += reset_node(self.nodes[leaf].get_mut());
+                dropped += reset_node(self.state[leaf].get_mut());
             }
-            for &cone_node in &cones[leaf] {
+            for &cone_node in cones.cone(leaf) {
                 let node = cone_node as usize;
                 if self.dirty_stamps[node] != epoch {
                     self.dirty_stamps[node] = epoch;
                     invalidated += 1;
-                    dropped += reset_node(self.nodes[node].get_mut());
+                    dropped += reset_node(self.state[node].get_mut());
                 }
             }
         }
@@ -173,58 +206,65 @@ impl ConcurrentMergeNetwork {
         }
     }
 
+    /// Evicts the cache of every node whose last pull is more than
+    /// `horizon` refreshes old, freeing the backing storage; returns the
+    /// number of items dropped. Same bit-identity argument as
+    /// [`MergeNetwork::evict_cold`](super::MergeNetwork::evict_cold):
+    /// caches always match current bids, so evicted nodes regenerate
+    /// identical streams on demand.
+    pub fn evict_cold(&mut self, horizon: u32) -> u64 {
+        let rounds = self.rounds;
+        let mut dropped = 0u64;
+        for slot in &mut self.state {
+            let s = slot.get_mut();
+            if rounds.wrapping_sub(s.last_touch) > horizon && !s.emitted.is_empty() {
+                dropped += s.emitted.len() as u64;
+                s.emitted = Vec::new();
+                s.exhausted = false;
+                s.cursors = [0, 0];
+            }
+        }
+        self.cached_items.fetch_sub(dropped, Ordering::Relaxed);
+        dropped
+    }
+
     /// The `index`-th item of the stream under `node` (`&self`: safe to
     /// call from many threads).
     pub fn get(&self, node: usize, index: usize) -> Option<SortItem> {
-        let mut guard = self.nodes[node].lock();
+        let mut guard = self.state[node].lock();
+        guard.last_touch = self.rounds;
         while guard.emitted.len() <= index && !guard.exhausted {
-            match guard.slot {
-                Slot::Leaf { item } => {
-                    if guard.emitted.is_empty() {
-                        guard.emitted.push(item);
-                        self.cached_items.fetch_add(1, Ordering::Relaxed);
-                    } else {
-                        guard.exhausted = true;
-                    }
-                }
-                Slot::Merge {
-                    left,
-                    right,
-                    left_pos,
-                    right_pos,
-                } => {
-                    // Child pulls acquire strictly smaller-indexed locks
-                    // while this node's lock is held: consistent downward
-                    // order, no deadlock.
-                    let l = self.get(left, left_pos);
-                    let r = self.get(right, right_pos);
-                    let take_left = match (l, r) {
-                        (Some(a), Some(b)) => a > b,
-                        (Some(_), None) => true,
-                        (None, Some(_)) => false,
-                        (None, None) => {
-                            guard.exhausted = true;
-                            continue;
-                        }
-                    };
-                    self.invocations.fetch_add(1, Ordering::Relaxed);
-                    let item = if take_left { l.unwrap() } else { r.unwrap() };
-                    if let Slot::Merge {
-                        left_pos,
-                        right_pos,
-                        ..
-                    } = &mut guard.slot
-                    {
-                        if take_left {
-                            *left_pos += 1;
-                        } else {
-                            *right_pos += 1;
-                        }
-                    }
+            let [left, right] = self.children[node];
+            if left == NO_CHILD {
+                if guard.emitted.is_empty() {
+                    let item = self.items[node];
                     guard.emitted.push(item);
                     self.cached_items.fetch_add(1, Ordering::Relaxed);
+                } else {
+                    guard.exhausted = true;
                 }
+                continue;
             }
+            // Child pulls acquire strictly smaller-indexed locks while
+            // this node's lock is held: consistent downward order, no
+            // deadlock.
+            let [left_pos, right_pos] = guard.cursors;
+            let l = self.get(left as usize, left_pos as usize);
+            let r = self.get(right as usize, right_pos as usize);
+            let take_left = match (l, r) {
+                (Some(a), Some(b)) => a > b,
+                (Some(_), None) => true,
+                (None, Some(_)) => false,
+                (None, None) => {
+                    guard.exhausted = true;
+                    continue;
+                }
+            };
+            self.invocations.fetch_add(1, Ordering::Relaxed);
+            let item = if take_left { l.unwrap() } else { r.unwrap() };
+            guard.cursors[if take_left { 0 } else { 1 }] += 1;
+            guard.emitted.push(item);
+            self.cached_items.fetch_add(1, Ordering::Relaxed);
         }
         guard.emitted.get(index).copied()
     }
@@ -232,19 +272,11 @@ impl ConcurrentMergeNetwork {
 
 /// Drops a node's cache and rewinds its cursors; returns how many cached
 /// items were dropped.
-fn reset_node(node: &mut Node) -> u64 {
-    let dropped = node.emitted.len() as u64;
-    node.emitted.clear();
-    node.exhausted = false;
-    if let Slot::Merge {
-        left_pos,
-        right_pos,
-        ..
-    } = &mut node.slot
-    {
-        *left_pos = 0;
-        *right_pos = 0;
-    }
+fn reset_node(state: &mut NodeState) -> u64 {
+    let dropped = state.emitted.len() as u64;
+    state.emitted.clear();
+    state.exhausted = false;
+    state.cursors = [0, 0];
     dropped
 }
 
@@ -540,13 +572,55 @@ mod tests {
         let fresh_streams = drain_all(&fresh);
         assert_eq!(refreshed, fresh_streams);
         // Persistent caches are prefix-supersets of fresh ones.
-        for node in 0..plan.nodes.len() {
+        for node in 0..plan.node_count() {
             let f = fresh.cached(node);
             let p = net.cached(node);
             assert!(
                 p.len() >= f.len() && p[..f.len()] == f[..],
                 "node {node}: fresh cache is not a prefix of the persistent one"
             );
+        }
+    }
+
+    #[test]
+    fn eviction_matches_fresh_streams() {
+        let w = workload();
+        let n = w.advertiser_count();
+        let interest: Vec<BitSet> = w
+            .interest
+            .iter()
+            .map(|ids| BitSet::from_elements(n, ids.iter().map(|a| a.index())))
+            .collect();
+        let plan = build_shared_sort_plan_bucketed(n, &interest, &w.search_rates());
+        let cones = plan.leaf_cones();
+        let bids: Vec<Money> = w.advertisers.iter().map(|a| a.bid).collect();
+        let (mut net, roots) = ConcurrentMergeNetwork::from_plan(&plan, &bids);
+        let live: Vec<usize> = roots.iter().copied().filter(|&r| r != usize::MAX).collect();
+        for &root in &live {
+            let mut i = 0;
+            while net.get(root, i).is_some() {
+                i += 1;
+            }
+        }
+        // Go cold, evict everything, and re-drain: streams must match a
+        // fresh instantiation exactly.
+        for _ in 0..4 {
+            net.refresh(&[], &cones);
+        }
+        let dropped = net.evict_cold(2);
+        assert!(dropped > 0);
+        assert_eq!(net.cached_items(), 0);
+        let (fresh, _) = ConcurrentMergeNetwork::from_plan(&plan, &bids);
+        for &root in &live {
+            let mut i = 0;
+            loop {
+                let (a, b) = (net.get(root, i), fresh.get(root, i));
+                assert_eq!(a, b, "root {root} item {i}");
+                if a.is_none() {
+                    break;
+                }
+                i += 1;
+            }
         }
     }
 }

@@ -14,6 +14,19 @@
 //!   with the expected-savings objective;
 //! * [`ta`] — the Threshold Algorithm driver (Fagin–Lotem–Naor),
 //!   instance-optimal for finding the per-phrase top k.
+//!
+//! # Memory layout
+//!
+//! The network is stored struct-of-arrays: parallel `Vec`s of `u32`
+//! child pairs, cursors, leaf items, and per-node caches, instead of a
+//! `Vec` of enum nodes. Node metadata for a 2n-node network is then a
+//! handful of contiguous arrays (~29 bytes/node) that the pull loop
+//! strides through, and the only per-node heap blocks are the caches
+//! that actually hold items. Caches of nodes that no recent round
+//! touched can be *evicted* ([`MergeNetwork::evict_cold`]): cache memory
+//! is then proportional to recently-active cones, not to every phrase
+//! ever searched, and bit-identity survives because an evicted node
+//! regenerates exactly the same stream on demand.
 
 pub mod concurrent;
 pub mod planner;
@@ -23,6 +36,9 @@ use std::cmp::Ordering;
 
 use ssa_auction::ids::AdvertiserId;
 use ssa_auction::money::Money;
+
+/// Sentinel child index marking a leaf node.
+const NO_CHILD: u32 = u32::MAX;
 
 /// One element of a bid-sorted stream.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -48,30 +64,56 @@ impl Ord for SortItem {
     }
 }
 
-#[derive(Debug, Clone, Copy)]
-enum NetNodeKind {
-    /// A single advertiser's bid.
-    Leaf { item: SortItem },
-    /// An on-demand merge operator: children plus how many items have
-    /// been consumed from each (the paper's left/right registers,
-    /// generalized to cursors because consumed prefixes are cached by the
-    /// children anyway).
-    Merge {
-        left: usize,
-        right: usize,
-        left_pos: usize,
-        right_pos: usize,
-    },
+/// Per-leaf dirty cones in CSR form: one offsets array plus one shared
+/// pool of internal-node ids, replacing a `Vec<Vec<u32>>` whose per-leaf
+/// headers and allocations dominated footprint at large n. `cone(leaf)`
+/// is the ascending list of every merge operator whose advertiser set
+/// contains `leaf` — exactly the nodes a bid change at that leaf
+/// invalidates.
+#[derive(Debug, Clone, Default)]
+pub struct LeafCones {
+    offsets: Vec<u32>,
+    pool: Vec<u32>,
 }
 
-#[derive(Debug, Clone)]
-struct NetNode {
-    kind: NetNodeKind,
-    /// "Each operator stores the sequence of values it has sent
-    /// upstream."
-    emitted: Vec<SortItem>,
-    /// No more items below.
-    exhausted: bool,
+impl LeafCones {
+    /// Builds from raw CSR arrays (`offsets.len() == leaves + 1`,
+    /// `offsets[leaves] == pool.len()`).
+    pub fn from_csr(offsets: Vec<u32>, pool: Vec<u32>) -> Self {
+        debug_assert!(!offsets.is_empty());
+        debug_assert_eq!(*offsets.last().unwrap() as usize, pool.len());
+        LeafCones { offsets, pool }
+    }
+
+    /// Builds from per-leaf lists (tests and ad-hoc callers).
+    pub fn from_lists(lists: &[Vec<u32>]) -> Self {
+        let mut offsets = Vec::with_capacity(lists.len() + 1);
+        offsets.push(0u32);
+        let mut pool = Vec::with_capacity(lists.iter().map(Vec::len).sum());
+        for list in lists {
+            pool.extend_from_slice(list);
+            offsets.push(pool.len() as u32);
+        }
+        LeafCones { offsets, pool }
+    }
+
+    /// Number of leaves covered.
+    pub fn leaf_count(&self) -> usize {
+        self.offsets.len().saturating_sub(1)
+    }
+
+    /// The ascending internal-node ids above `leaf`.
+    #[inline]
+    pub fn cone(&self, leaf: usize) -> &[u32] {
+        let lo = self.offsets[leaf] as usize;
+        let hi = self.offsets[leaf + 1] as usize;
+        &self.pool[lo..hi]
+    }
+
+    /// Heap footprint in bytes (capacities).
+    pub fn heap_bytes(&self) -> usize {
+        (self.offsets.capacity() + self.pool.capacity()) * 4
+    }
 }
 
 /// What one [`MergeNetwork::refresh`] (or its concurrent twin) did.
@@ -100,7 +142,25 @@ pub struct RefreshStats {
 /// full rebuild.
 #[derive(Debug, Clone, Default)]
 pub struct MergeNetwork {
-    nodes: Vec<NetNode>,
+    /// Per node, the two children (`[NO_CHILD; 2]` for leaves).
+    children: Vec<[u32; 2]>,
+    /// Per node, the leaf item (meaningful only where `children` says
+    /// leaf; merges carry a placeholder so the array stays parallel).
+    items: Vec<SortItem>,
+    /// Per node, how many items have been consumed from each child (the
+    /// paper's left/right registers, generalized to cursors because
+    /// consumed prefixes are cached by the children anyway).
+    cursors: Vec<[u32; 2]>,
+    /// "Each operator stores the sequence of values it has sent
+    /// upstream."
+    emitted: Vec<Vec<SortItem>>,
+    /// No more items below.
+    exhausted: Vec<bool>,
+    /// Per node, the refresh epoch of its most recent pull — drives
+    /// [`MergeNetwork::evict_cold`].
+    last_touch: Vec<u32>,
+    /// Refresh counter (the eviction clock).
+    rounds: u32,
     /// Total operator invocations (one per item sent upstream by a merge
     /// operator) — the cost the Section III-B model bounds by `|I_v|`.
     invocations: u64,
@@ -121,15 +181,10 @@ impl MergeNetwork {
 
     /// Adds a leaf for one advertiser's bid; returns its node id.
     pub fn leaf(&mut self, advertiser: AdvertiserId, bid: Money) -> usize {
-        let idx = self.nodes.len();
-        self.nodes.push(NetNode {
-            kind: NetNodeKind::Leaf {
-                item: SortItem { bid, advertiser },
-            },
-            emitted: Vec::new(),
-            exhausted: false,
-        });
-        self.dirty_stamps.push(0);
+        let idx = self.children.len();
+        self.children.push([NO_CHILD; 2]);
+        self.items.push(SortItem { bid, advertiser });
+        self.push_node_tail();
         idx
     }
 
@@ -140,32 +195,36 @@ impl MergeNetwork {
     /// node.
     pub fn merge(&mut self, left: usize, right: usize) -> usize {
         assert!(
-            left < self.nodes.len() && right < self.nodes.len(),
+            left < self.children.len() && right < self.children.len(),
             "merge child out of range"
         );
-        let idx = self.nodes.len();
-        self.nodes.push(NetNode {
-            kind: NetNodeKind::Merge {
-                left,
-                right,
-                left_pos: 0,
-                right_pos: 0,
-            },
-            emitted: Vec::new(),
-            exhausted: false,
+        let idx = self.children.len();
+        self.children.push([left as u32, right as u32]);
+        self.items.push(SortItem {
+            bid: Money::ZERO,
+            advertiser: AdvertiserId(0),
         });
-        self.dirty_stamps.push(0);
+        self.push_node_tail();
         idx
+    }
+
+    /// The shared tail of node creation: the SoA columns every node has.
+    fn push_node_tail(&mut self) {
+        self.cursors.push([0, 0]);
+        self.emitted.push(Vec::new());
+        self.exhausted.push(false);
+        self.last_touch.push(self.rounds);
+        self.dirty_stamps.push(0);
     }
 
     /// Number of nodes.
     pub fn len(&self) -> usize {
-        self.nodes.len()
+        self.children.len()
     }
 
     /// True iff the network has no nodes.
     pub fn is_empty(&self) -> bool {
-        self.nodes.is_empty()
+        self.children.is_empty()
     }
 
     /// Total merge-operator invocations so far.
@@ -177,12 +236,30 @@ impl MergeNetwork {
     /// pulling anything new. Exposed so differential harnesses can assert
     /// a persistent network's caches against a fresh instantiation.
     pub fn cached(&self, node: usize) -> &[SortItem] {
-        &self.nodes[node].emitted
+        &self.emitted[node]
     }
 
     /// Total items currently cached across all nodes.
     pub fn cached_items(&self) -> u64 {
         self.cached_items
+    }
+
+    /// Heap footprint in bytes (array capacities plus every node cache's
+    /// capacity) — consumed by the memory-scaling benchmark.
+    pub fn heap_bytes(&self) -> usize {
+        use std::mem::size_of;
+        self.children.capacity() * size_of::<[u32; 2]>()
+            + self.items.capacity() * size_of::<SortItem>()
+            + self.cursors.capacity() * size_of::<[u32; 2]>()
+            + self.emitted.capacity() * size_of::<Vec<SortItem>>()
+            + self
+                .emitted
+                .iter()
+                .map(|e| e.capacity() * size_of::<SortItem>())
+                .sum::<usize>()
+            + self.exhausted.capacity()
+            + self.last_touch.capacity() * 4
+            + self.dirty_stamps.capacity() * 4
     }
 
     /// Cross-round invalidation: applies the changed leaf bids and resets
@@ -191,16 +268,18 @@ impl MergeNetwork {
     /// its cached merged prefix, cursors, and exhausted flag, so the next
     /// round's pulls re-consume those prefixes for free.
     ///
-    /// `changed` lists `(leaf node id, new bid)` pairs; `cones[leaf]` must
-    /// hold the ids of every merge operator whose advertiser set contains
-    /// `leaf` (see `SortPlan::leaf_cones` — plan node ids equal network
-    /// node ids under `SortPlan::instantiate`). Whole-cone invalidation is
-    /// required for correctness: a clean parent's cursors index into its
-    /// children's caches, which a dirty child is about to rewrite.
+    /// `changed` lists `(leaf node id, new bid)` pairs; `cones.cone(leaf)`
+    /// must hold the ids of every merge operator whose advertiser set
+    /// contains `leaf` (see `SortPlan::leaf_cones` — plan node ids equal
+    /// network node ids under `SortPlan::instantiate`). Whole-cone
+    /// invalidation is required for correctness: a clean parent's cursors
+    /// index into its children's caches, which a dirty child is about to
+    /// rewrite.
     ///
     /// Streams observed after a refresh are bit-identical to a fresh
     /// instantiation with the updated bids.
-    pub fn refresh(&mut self, changed: &[(usize, Money)], cones: &[Vec<u32>]) -> RefreshStats {
+    pub fn refresh(&mut self, changed: &[(usize, Money)], cones: &LeafCones) -> RefreshStats {
+        self.rounds = self.rounds.wrapping_add(1);
         self.dirty_epoch = self.dirty_epoch.wrapping_add(1);
         if self.dirty_epoch == 0 {
             self.dirty_stamps.fill(0);
@@ -208,15 +287,16 @@ impl MergeNetwork {
         }
         let mut invalidated = 0u64;
         for &(leaf, bid) in changed {
-            match &mut self.nodes[leaf].kind {
-                NetNodeKind::Leaf { item } => item.bid = bid,
-                NetNodeKind::Merge { .. } => panic!("refresh target {leaf} is not a leaf"),
-            }
+            assert!(
+                self.children[leaf][0] == NO_CHILD,
+                "refresh target {leaf} is not a leaf"
+            );
+            self.items[leaf].bid = bid;
             if self.mark_dirty(leaf) {
                 invalidated += 1;
                 self.reset_node(leaf);
             }
-            for &cone_node in &cones[leaf] {
+            for &cone_node in cones.cone(leaf) {
                 let node = cone_node as usize;
                 if self.mark_dirty(node) {
                     invalidated += 1;
@@ -228,6 +308,33 @@ impl MergeNetwork {
             nodes_invalidated: invalidated,
             cache_items_reused: self.cached_items,
         }
+    }
+
+    /// Evicts the cache of every node whose last pull is more than
+    /// `horizon` refreshes old, *freeing* the backing storage (unlike the
+    /// refresh-path reset, which keeps capacity for steady-state reuse).
+    /// Returns the number of items dropped.
+    ///
+    /// Safe at any time: caches only ever hold data consistent with the
+    /// *current* leaf bids (refresh resets dirty cones before anything is
+    /// re-read), so an evicted node regenerates a bit-identical stream on
+    /// the next pull — even when a parent outside the evicted set still
+    /// holds cursors into it. Cache memory after periodic eviction is
+    /// proportional to the cones recent rounds actually pulled (the
+    /// *active* phrases), not to every phrase ever searched.
+    pub fn evict_cold(&mut self, horizon: u32) -> u64 {
+        let mut dropped = 0u64;
+        for v in 0..self.children.len() {
+            if self.rounds.wrapping_sub(self.last_touch[v]) > horizon && !self.emitted[v].is_empty()
+            {
+                dropped += self.emitted[v].len() as u64;
+                self.cached_items -= self.emitted[v].len() as u64;
+                self.emitted[v] = Vec::new();
+                self.exhausted[v] = false;
+                self.cursors[v] = [0, 0];
+            }
+        }
+        dropped
     }
 
     /// Marks `node` visited for the current refresh; true on first visit.
@@ -242,79 +349,55 @@ impl MergeNetwork {
 
     /// Drops `node`'s cache and rewinds its cursors to the initial state.
     fn reset_node(&mut self, node: usize) {
-        let n = &mut self.nodes[node];
-        self.cached_items -= n.emitted.len() as u64;
-        n.emitted.clear();
-        n.exhausted = false;
-        if let NetNodeKind::Merge {
-            left_pos,
-            right_pos,
-            ..
-        } = &mut n.kind
-        {
-            *left_pos = 0;
-            *right_pos = 0;
-        }
+        self.cached_items -= self.emitted[node].len() as u64;
+        self.emitted[node].clear();
+        self.exhausted[node] = false;
+        self.cursors[node] = [0, 0];
     }
 
     /// The `index`-th item (0 = largest) of the stream under `node`, or
     /// `None` if the stream has fewer items. Cached results are returned
     /// without recomputation.
     pub fn get(&mut self, node: usize, index: usize) -> Option<SortItem> {
-        while self.nodes[node].emitted.len() <= index && !self.nodes[node].exhausted {
+        self.last_touch[node] = self.rounds;
+        while self.emitted[node].len() <= index && !self.exhausted[node] {
             self.pull_next(node);
         }
-        self.nodes[node].emitted.get(index).copied()
+        self.emitted[node].get(index).copied()
     }
 
     /// Produces one more item at `node` (or marks it exhausted).
     fn pull_next(&mut self, node: usize) {
-        match self.nodes[node].kind {
-            NetNodeKind::Leaf { item } => {
-                if self.nodes[node].emitted.is_empty() {
-                    self.nodes[node].emitted.push(item);
-                    self.cached_items += 1;
-                } else {
-                    self.nodes[node].exhausted = true;
-                }
-            }
-            NetNodeKind::Merge {
-                left,
-                right,
-                left_pos,
-                right_pos,
-            } => {
-                // Fill the registers from downstream (cached if already
-                // pulled by another consumer).
-                let l = self.get(left, left_pos);
-                let r = self.get(right, right_pos);
-                let take_left = match (l, r) {
-                    (Some(a), Some(b)) => a > b,
-                    (Some(_), None) => true,
-                    (None, Some(_)) => false,
-                    (None, None) => {
-                        self.nodes[node].exhausted = true;
-                        return;
-                    }
-                };
-                self.invocations += 1;
-                let item = if take_left { l.unwrap() } else { r.unwrap() };
-                if let NetNodeKind::Merge {
-                    left_pos,
-                    right_pos,
-                    ..
-                } = &mut self.nodes[node].kind
-                {
-                    if take_left {
-                        *left_pos += 1;
-                    } else {
-                        *right_pos += 1;
-                    }
-                }
-                self.nodes[node].emitted.push(item);
+        let [left, right] = self.children[node];
+        if left == NO_CHILD {
+            if self.emitted[node].is_empty() {
+                let item = self.items[node];
+                self.emitted[node].push(item);
                 self.cached_items += 1;
+            } else {
+                self.exhausted[node] = true;
             }
+            return;
         }
+        // Fill the registers from downstream (cached if already pulled
+        // by another consumer).
+        let [left_pos, right_pos] = self.cursors[node];
+        let l = self.get(left as usize, left_pos as usize);
+        let r = self.get(right as usize, right_pos as usize);
+        let take_left = match (l, r) {
+            (Some(a), Some(b)) => a > b,
+            (Some(_), None) => true,
+            (None, Some(_)) => false,
+            (None, None) => {
+                self.exhausted[node] = true;
+                return;
+            }
+        };
+        self.invocations += 1;
+        let item = if take_left { l.unwrap() } else { r.unwrap() };
+        self.cursors[node][if take_left { 0 } else { 1 }] += 1;
+        self.emitted[node].push(item);
+        self.cached_items += 1;
     }
 
     /// Convenience: drains the whole stream under `node` (a full sort).
@@ -449,31 +532,27 @@ mod tests {
 
     /// Ancestor cones computed by brute force from the network structure
     /// (the planner derives the same thing from plan advertiser sets).
-    fn brute_force_cones(net: &MergeNetwork, leaves: usize) -> Vec<Vec<u32>> {
-        let mut below: Vec<Vec<usize>> = Vec::with_capacity(net.nodes.len());
-        for (idx, node) in net.nodes.iter().enumerate() {
-            match node.kind {
-                NetNodeKind::Leaf { .. } => below.push(vec![idx]),
-                NetNodeKind::Merge { left, right, .. } => {
-                    let mut b = below[left].clone();
-                    b.extend_from_slice(&below[right]);
-                    below.push(b);
-                }
+    fn brute_force_cones(net: &MergeNetwork, leaves: usize) -> LeafCones {
+        let mut below: Vec<Vec<usize>> = Vec::with_capacity(net.len());
+        for idx in 0..net.len() {
+            let [l, r] = net.children[idx];
+            if l == NO_CHILD {
+                below.push(vec![idx]);
+            } else {
+                let mut b = below[l as usize].clone();
+                b.extend_from_slice(&below[r as usize]);
+                below.push(b);
             }
         }
-        (0..leaves)
+        let lists: Vec<Vec<u32>> = (0..leaves)
             .map(|leaf| {
-                net.nodes
-                    .iter()
-                    .enumerate()
-                    .filter(|(idx, node)| {
-                        matches!(node.kind, NetNodeKind::Merge { .. })
-                            && below[*idx].contains(&leaf)
-                    })
-                    .map(|(idx, _)| idx as u32)
+                (0..net.len())
+                    .filter(|&idx| net.children[idx][0] != NO_CHILD && below[idx].contains(&leaf))
+                    .map(|idx| idx as u32)
                     .collect()
             })
-            .collect()
+            .collect();
+        LeafCones::from_lists(&lists)
     }
 
     #[test]
@@ -554,6 +633,56 @@ mod tests {
         }
     }
 
+    #[test]
+    fn eviction_frees_cold_caches_and_streams_stay_identical() {
+        let bids = [5u64, 9, 1, 7, 3, 8, 2, 6];
+        let (mut net, root) = net_over(&bids);
+        let cones = brute_force_cones(&net, bids.len());
+        let items = net.drain(root);
+        let cached_before = net.cached_items();
+        assert!(cached_before > 0);
+        // Nothing is pulled for several refreshes: the whole network
+        // goes cold and eviction reclaims every cache.
+        for _ in 0..5 {
+            net.refresh(&[], &cones);
+        }
+        let dropped = net.evict_cold(3);
+        assert_eq!(dropped, cached_before, "every cache was cold");
+        assert_eq!(net.cached_items(), 0);
+        // Regeneration is bit-identical.
+        assert_eq!(net.drain(root), items);
+    }
+
+    #[test]
+    fn eviction_under_live_parent_cursors_is_safe() {
+        // Keep the root warm (cache hits only — its children go cold),
+        // evict, then pull *past* the cached prefix: the root's cursors
+        // point deep into children that must regenerate their streams.
+        let bids = [5u64, 9, 1, 7, 3, 8, 2, 6];
+        let (mut net, root) = net_over(&bids);
+        let cones = brute_force_cones(&net, bids.len());
+        let full = net.drain(root);
+        for _ in 0..5 {
+            net.refresh(&[], &cones);
+            // Cache hit: touches the root only, children stay cold.
+            assert_eq!(net.get(root, 0), Some(full[0]));
+        }
+        let dropped = net.evict_cold(3);
+        assert!(dropped > 0, "children below the warm root must evict");
+        assert!(!net.cached(root).is_empty(), "warm root kept its cache");
+        assert_eq!(net.drain(root), full, "regenerated streams identical");
+    }
+
+    #[test]
+    fn eviction_respects_recent_touches() {
+        let (mut net, root) = net_over(&[4, 2, 6, 8]);
+        let cones = brute_force_cones(&net, 4);
+        net.drain(root);
+        net.refresh(&[], &cones);
+        assert_eq!(net.evict_cold(3), 0, "nothing is older than the horizon");
+        assert!(net.cached_items() > 0);
+    }
+
     proptest! {
         /// Refreshing any leaf subset yields the same streams as a fresh
         /// network over the updated bids, for random tree shapes.
@@ -579,6 +708,30 @@ mod tests {
             net.refresh(&changed, &cones);
             let (mut fresh, fresh_root) = net_over(&new_bids);
             prop_assert_eq!(net.drain(root), fresh.drain(fresh_root));
+        }
+
+        /// Eviction at arbitrary points of a refresh/pull schedule never
+        /// changes any stream.
+        #[test]
+        fn eviction_is_bit_identical_to_fresh(
+            bids in proptest::collection::vec(0u64..1000, 2..16),
+            updates in proptest::collection::vec((0usize..16, 0u64..1000), 1..6),
+            horizon in 0u32..4,
+        ) {
+            let (mut net, root) = net_over(&bids);
+            let cones = brute_force_cones(&net, bids.len());
+            net.drain(root);
+            let mut new_bids = bids.clone();
+            for (round, (leaf, bid)) in updates.into_iter().enumerate() {
+                let leaf = leaf % bids.len();
+                new_bids[leaf] = bid;
+                net.refresh(&[(leaf, Money::from_micros(bid))], &cones);
+                if round % 2 == 0 {
+                    net.evict_cold(horizon);
+                }
+                let (mut fresh, fresh_root) = net_over(&new_bids);
+                prop_assert_eq!(net.drain(root), fresh.drain(fresh_root));
+            }
         }
 
         /// The network agrees with a plain sort for any bids and any

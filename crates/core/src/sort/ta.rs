@@ -270,21 +270,19 @@ mod tests {
 
     fn run(bids: &[u64], factors: &[f64], k: usize) -> (TaOutcome, Vec<(AdvertiserId, Score)>) {
         let (mut net, root, c_order) = single_phrase(bids, factors);
-        let bids_v = bids.to_vec();
-        let factors_v = factors.to_vec();
         let outcome = threshold_top_k(
             &mut net,
             root,
             &c_order,
-            |a| Money::from_micros(bids_v[a.index()]),
-            |a| factors_v[a.index()],
+            |a| Money::from_micros(bids[a.index()]),
+            |a| factors[a.index()],
             k,
         );
         let interest: Vec<AdvertiserId> = (0..bids.len()).map(AdvertiserId::from_index).collect();
         let naive = naive_top_k(
             &interest,
-            |a| Money::from_micros(bids_v[a.index()]),
-            |a| factors_v[a.index()],
+            |a| Money::from_micros(bids[a.index()]),
+            |a| factors[a.index()],
             k,
         );
         (outcome, naive)

@@ -1,0 +1,142 @@
+//! Bytes-per-advertiser ceilings for the engine's hot state, per sharing
+//! strategy, at n = 10 000.
+//!
+//! Two gates, both failing loudly with the measured numbers so a
+//! regression shows its size immediately:
+//!
+//! 1. **Deterministic accounting** — [`Engine::hot_state_bytes`] sums the
+//!    capacities of every persistent per-advertiser structure (SoA
+//!    ledgers, bid vectors, participant scratch, plan/merge-network
+//!    arenas and caches). Capacity arithmetic, not RSS, so the ceiling is
+//!    bit-reproducible across hosts.
+//! 2. **Allocator peak** — a counting global allocator tracks peak live
+//!    heap bytes across engine construction plus warm rounds, catching
+//!    transient population-sized spikes (e.g. a builder cloning dense
+//!    per-advertiser tables) that capacity accounting cannot see.
+//!
+//! This file deliberately holds a single `#[test]`: the allocation
+//! counter is process-global, and a concurrently running test in the same
+//! binary would pollute it.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use ssa_core::engine::{Engine, EngineConfig, SharingStrategy};
+use ssa_workload::{Workload, WorkloadConfig};
+
+struct PeakAlloc;
+
+static LIVE: AtomicU64 = AtomicU64::new(0);
+static PEAK: AtomicU64 = AtomicU64::new(0);
+
+fn track(delta: u64) {
+    let live = LIVE.fetch_add(delta, Ordering::Relaxed) + delta;
+    PEAK.fetch_max(live, Ordering::Relaxed);
+}
+
+unsafe impl GlobalAlloc for PeakAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        track(layout.size() as u64);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        LIVE.fetch_sub(layout.size() as u64, Ordering::Relaxed);
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        let old = layout.size() as u64;
+        let new = new_size as u64;
+        if new > old {
+            track(new - old);
+        } else {
+            LIVE.fetch_sub(old - new, Ordering::Relaxed);
+        }
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static COUNTER: PeakAlloc = PeakAlloc;
+
+const N: usize = 10_000;
+
+#[test]
+fn bytes_per_advertiser_stay_under_ceiling() {
+    // (name, sharing, jitter, hot-state ceiling, allocator-peak
+    // ceiling), both ceilings in bytes per advertiser. Measured 2026-08
+    // at n=10k, 32 phrases: hot state Unshared 80 (stateless resolver:
+    // just the engine's SoA ledgers/bid vectors), SharedSort 752 (merge
+    // arena + caches), SharedAggregation 5360 and Hybrid 5539 (the plan
+    // DAG keeps a dense n-bit variable set per node, so its footprint
+    // scales with nodes x n/8 — the known reason the memory-scaling
+    // sweep runs SharedSort). Peaks add the planner's construction
+    // scratch (~9000/adv for plan-bearing strategies), dropped before
+    // steady state. Ceilings leave ~50% headroom; one extra dense
+    // population-sized vector (8+ bytes/advertiser) blows through them.
+    let cases = [
+        ("unshared", SharingStrategy::Unshared, 0.4, 120, 160),
+        (
+            "shared-aggregation",
+            SharingStrategy::SharedAggregation,
+            0.0,
+            8_000,
+            14_000,
+        ),
+        (
+            "shared-sort",
+            SharingStrategy::SharedSort,
+            0.4,
+            1_200,
+            1_600,
+        ),
+        ("hybrid", SharingStrategy::Hybrid, 0.4, 8_000, 13_000),
+    ];
+    for (name, sharing, jitter, hot_ceiling, peak_ceiling) in cases {
+        let workload = Workload::generate(&WorkloadConfig {
+            advertisers: N,
+            phrases: 32,
+            topics: 8,
+            phrase_factor_jitter: jitter,
+            separable_fraction: if jitter > 0.0 { 0.5 } else { 1.0 },
+            max_search_rate: 0.3,
+            seed: 7,
+            ..WorkloadConfig::default()
+        });
+
+        // Baseline after the workload exists: everything the engine adds
+        // on top — construction spikes included — counts against the
+        // peak ceiling.
+        let base = LIVE.load(Ordering::Relaxed);
+        PEAK.store(base, Ordering::Relaxed);
+        let mut engine = Engine::new(
+            workload,
+            EngineConfig {
+                sharing,
+                ..EngineConfig::default()
+            },
+        );
+        for _ in 0..5 {
+            engine.run_round();
+        }
+        let peak_delta = PEAK.load(Ordering::Relaxed).saturating_sub(base) as usize;
+
+        let hot = engine.hot_state_bytes();
+        eprintln!("MEASURE {name}: hot={hot} peak={peak_delta}");
+        let hot_per_adv = hot.div_ceil(N);
+        let peak_per_adv = peak_delta.div_ceil(N);
+        assert!(
+            hot_per_adv <= hot_ceiling,
+            "[{name}] hot state grew to {hot} bytes = {hot_per_adv} bytes/advertiser \
+             (ceiling {hot_ceiling}); a new population-sized structure costs 4-8+ \
+             bytes/advertiser — account for it or shrink it"
+        );
+        assert!(
+            peak_per_adv <= peak_ceiling,
+            "[{name}] peak heap during construction + 5 rounds was {peak_delta} bytes \
+             = {peak_per_adv} bytes/advertiser (ceiling {peak_ceiling}); look for a \
+             transient dense copy in construction or the round path"
+        );
+    }
+}

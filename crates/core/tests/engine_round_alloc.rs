@@ -5,9 +5,9 @@
 //! search rates are all zero, so no phrase ever occurs and every round is
 //! pure executor overhead: participation counting, the (empty) throttle
 //! stage, resolver dispatch, and settlement over empty ledgers. After the
-//! warm-up rounds have sized the m_i scratch and both halves of the
-//! effective-bids double buffer, such a round must allocate exactly
-//! nothing — before the double buffer, the per-round
+//! warm-up rounds have sized the m_i scratch and the persistent
+//! effective-bids buffer, such a round must allocate exactly nothing —
+//! before the persistent buffer, the per-round
 //! `last_effective_bids = effective_bids.clone()` alone allocated here.
 //!
 //! This file deliberately holds a single `#[test]`: the allocation
@@ -80,7 +80,7 @@ fn steady_state_round_allocates_nothing() {
         });
         let mut engine = Engine::new(workload, config);
 
-        // Warm-up: sizes the m_i scratch and both bid buffers.
+        // Warm-up: sizes the m_i scratch and the persistent bid buffer.
         for _ in 0..3 {
             engine.run_round();
         }

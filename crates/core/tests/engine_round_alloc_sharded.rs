@@ -8,10 +8,10 @@
 //! A counting global allocator wraps the system allocator. The workload's
 //! search rates are all zero, so no phrase ever occurs and every round is
 //! pure executor overhead: the per-shard occurrence scatter in
-//! `begin_round`, the degenerate (empty) pipeline, bid-buffer swap, and
-//! settlement over empty ledgers. All per-round shard state — occurrence
-//! lists, cursors, participant sets, the merged bid buffer — must reuse
-//! capacity sized during warm-up.
+//! `begin_round`, the degenerate (empty) pipeline, and settlement over
+//! empty ledgers. All per-round shard state — occurrence
+//! lists, cursors, participant sets, the persistent bid buffer — must
+//! reuse capacity sized during warm-up.
 //!
 //! This file deliberately holds a single `#[test]`: the allocation
 //! counter is process-global, and a concurrently running test in the same
@@ -93,8 +93,8 @@ fn steady_state_sharded_round_allocates_nothing() {
             "[{name}] partition must actually shard this workload"
         );
 
-        // Warm-up: sizes the m_i scratch, both bid buffers, and every
-        // shard's occurrence/cursor scratch.
+        // Warm-up: sizes the m_i scratch, the persistent bid buffer, and
+        // every shard's occurrence/cursor scratch.
         for _ in 0..3 {
             engine.run_round();
         }

@@ -63,6 +63,13 @@ impl BitSet {
         self.capacity
     }
 
+    /// Heap footprint of the backing block storage, in bytes — for
+    /// deterministic memory accounting.
+    #[inline]
+    pub fn heap_bytes(&self) -> usize {
+        self.blocks.len() * std::mem::size_of::<u64>()
+    }
+
     /// Inserts an element. Returns true if it was newly inserted.
     ///
     /// # Panics

@@ -1170,7 +1170,7 @@ pub fn check_sort_persistent_with(cfg: &WorkloadConfig, seed: u64) -> Result<(),
                 let persistent = engine
                     .sort_cached_streams()
                     .expect("SharedSort engine has a network after a round");
-                for (v, p) in persistent.iter().enumerate().take(plan.nodes.len()) {
+                for (v, p) in persistent.iter().enumerate().take(plan.node_count()) {
                     let f = fresh.cached(v);
                     if p.len() < f.len() || p[..f.len()] != f[..] {
                         return Err(Divergence::new(

@@ -34,7 +34,7 @@ fn main() {
     let plan = build_shared_sort_plan(n, &interest, &rates);
     println!(
         "Shared merge-sort network: {} nodes over {} advertisers, {} phrases",
-        plan.nodes.len(),
+        plan.node_count(),
         n,
         workload.phrase_count()
     );
