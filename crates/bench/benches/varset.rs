@@ -1,0 +1,93 @@
+//! Adaptive variable-set (`VarSet`) micro-benchmarks.
+//!
+//! The plan stack's hot loops are set ops over node variable sets: unions
+//! when merging, subset probes when pooling cover candidates, hashing
+//! when interning. This group times those ops at 10k and 100k universes
+//! in the three density regimes the adaptive representation switches
+//! between — sparse∘sparse (galloping / linear merge), sparse∘dense
+//! (word probes), dense∘dense (block ops) — so a representation change
+//! shows its cost profile immediately.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use ssa_setcover::{AsVarSetRef, VarSet};
+
+/// Deterministic pseudo-random strided membership: `count` elements
+/// spread over `universe`.
+fn strided(universe: usize, count: usize, phase: usize) -> VarSet {
+    let stride = (universe / count).max(1);
+    VarSet::from_elements(
+        universe,
+        (0..count).map(|i| (phase + i * stride) % universe),
+    )
+}
+
+/// Dense set: more than `sparse_limit` members, so the representation
+/// promotes.
+fn dense(universe: usize, phase: usize) -> VarSet {
+    strided(universe, universe / 2, phase)
+}
+
+/// Sparse set: a few hundred members, typical of a phrase interest set.
+fn sparse(universe: usize, phase: usize) -> VarSet {
+    strided(universe, 400, phase)
+}
+
+fn bench_varset_ops(c: &mut Criterion) {
+    for &n in &[10_000usize, 100_000] {
+        let ss = (sparse(n, 0), sparse(n, 7));
+        let sd = (sparse(n, 0), dense(n, 3));
+        let dd = (dense(n, 0), dense(n, 3));
+        // A sparse set actually contained in the dense one, for the
+        // subset probe the candidate pools lean on.
+        let inner = VarSet::from_elements(n, dd.0.iter().step_by(50));
+
+        let mut group = c.benchmark_group(format!("varset_n{n}"));
+        for (name, (a, b)) in [("ss", &ss), ("sd", &sd), ("dd", &dd)] {
+            group.bench_with_input(BenchmarkId::new("union", name), &(), |bch, ()| {
+                bch.iter(|| black_box(black_box(a).union(black_box(b))))
+            });
+            group.bench_with_input(
+                BenchmarkId::new("intersection_len", name),
+                &(),
+                |bch, ()| bch.iter(|| black_box(black_box(a).intersection_len(black_box(b)))),
+            );
+            group.bench_with_input(BenchmarkId::new("is_disjoint", name), &(), |bch, ()| {
+                bch.iter(|| black_box(black_box(a).is_disjoint(black_box(b))))
+            });
+        }
+        group.bench_function("is_subset_hit", |bch| {
+            bch.iter(|| black_box(black_box(&inner).is_subset(black_box(&dd.0))))
+        });
+        group.bench_function("is_subset_miss", |bch| {
+            bch.iter(|| black_box(black_box(&ss.0).is_subset(black_box(&ss.1))))
+        });
+        group.bench_function("hash64_sparse", |bch| {
+            bch.iter(|| black_box(black_box(&ss.0).hash64()))
+        });
+        group.bench_function("hash64_dense", |bch| {
+            bch.iter(|| black_box(black_box(&dd.0).hash64()))
+        });
+        group.bench_function("iter_sum_sparse", |bch| {
+            bch.iter(|| black_box(black_box(&ss.0).iter().sum::<usize>()))
+        });
+        group.bench_function("iter_sum_dense", |bch| {
+            bch.iter(|| black_box(black_box(&dd.0).iter().sum::<usize>()))
+        });
+        group.bench_function("to_ref_probe", |bch| {
+            bch.iter(|| {
+                let r = black_box(&ss.0).as_set_ref();
+                black_box(r.contains(black_box(4242)))
+            })
+        });
+        group.finish();
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_varset_ops
+}
+criterion_main!(benches);

@@ -19,8 +19,10 @@ pub struct BloomFilter {
     hashes: u32,
 }
 
-/// 64-bit mix (splitmix64 finalizer) — the first hash.
-fn mix1(mut x: u64) -> u64 {
+/// 64-bit mix (splitmix64 finalizer) — the first hash. Crate-visible so
+/// the lazy planner's single-word signature blooms reuse the same
+/// double-hash family without carrying a full filter per node.
+pub(crate) fn mix1(mut x: u64) -> u64 {
     x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
     x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
@@ -28,7 +30,7 @@ fn mix1(mut x: u64) -> u64 {
 }
 
 /// A second, independent mix (murmur3 finalizer with different constants).
-fn mix2(mut x: u64) -> u64 {
+pub(crate) fn mix2(mut x: u64) -> u64 {
     x ^= x >> 33;
     x = x.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
     x ^= x >> 33;

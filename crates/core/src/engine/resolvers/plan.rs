@@ -3,7 +3,7 @@
 use ssa_auction::ids::{AdvertiserId, PhraseId};
 use ssa_auction::score::Score;
 use ssa_auction::winner::assignment_from_ranking;
-use ssa_setcover::BitSet;
+use ssa_setcover::VarSet;
 use ssa_workload::Workload;
 
 use crate::plan::{
@@ -65,7 +65,7 @@ impl PlanResolver {
         let m = workload.phrase_count();
         let rates = workload.search_rates();
         let mut query_index: Vec<Option<usize>> = vec![None; m];
-        let mut queries: Vec<BitSet> = Vec::new();
+        let mut queries: Vec<VarSet> = Vec::new();
         let mut query_rates: Vec<f64> = Vec::new();
         for (q, ids) in workload.interest.iter().enumerate() {
             if mask.is_some_and(|mask| !mask[q]) || ids.is_empty() {
@@ -77,13 +77,16 @@ impl PlanResolver {
                  use SharedSort or Hybrid for jittered workloads"
             );
             query_index[q] = Some(queries.len());
-            queries.push(BitSet::from_elements(n, ids.iter().map(|a| a.index())));
+            // Adaptive-sparse from the start: a typical interest set is a
+            // few hundred advertisers out of up to a million, so a dense
+            // bitset per query would dwarf the plan itself.
+            queries.push(VarSet::from_elements(n, ids.iter().map(|a| a.index())));
             query_rates.push(rates[q]);
         }
         let maintainer = if queries.is_empty() {
             None
         } else {
-            let problem = PlanProblem::new(n, queries, Some(query_rates.clone()));
+            let problem = PlanProblem::from_varsets(n, queries, Some(query_rates.clone()));
             Some(PlanMaintainer::new(
                 problem,
                 SharedPlanner { mode: planner },
@@ -127,11 +130,14 @@ impl PlanResolver {
         self.maintainer.as_ref().map(PlanMaintainer::plan)
     }
 
-    /// Heap footprint of the resolver's persistent state in bytes (plan
-    /// DAG plus per-phrase tables), for the memory-scaling gate.
+    /// Heap footprint of the resolver's persistent state in bytes — the
+    /// full maintainer (plan DAG, maintained problem, incremental cost
+    /// tracker) plus the per-phrase tables — for the memory-scaling gate.
     pub fn heap_bytes(&self) -> usize {
         use std::mem::size_of;
-        self.dag().map_or(0, PlanDag::heap_bytes)
+        self.maintainer
+            .as_ref()
+            .map_or(0, PlanMaintainer::heap_bytes)
             + self.query_index.capacity() * size_of::<Option<usize>>()
             + self.query_rates.capacity() * size_of::<f64>()
             + self.marginals.capacity() * size_of::<f64>()

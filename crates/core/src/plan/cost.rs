@@ -7,7 +7,7 @@
 //! `Σ_v (1 − Π_{q: v⇝q} (1 − sr_q))`."
 
 use super::{PlanDag, PlanProblem};
-use ssa_setcover::BitSet;
+use ssa_setcover::VarSet;
 
 /// The expected number of internal nodes materialized per round, under
 /// independent Bernoulli query occurrence with the given search rates.
@@ -22,10 +22,10 @@ pub fn expected_cost(plan: &PlanDag, search_rates: &[f64]) -> f64 {
     );
     let reach = plan.reach_sets();
     let mut total = 0.0;
-    for node_reach in &reach[plan.var_count()..] {
+    for idx in plan.var_count()..plan.node_count() {
         let mut none_occur = 1.0;
-        for q in node_reach.iter() {
-            none_occur *= 1.0 - search_rates[q];
+        for &q in reach.queries_of(idx) {
+            none_occur *= 1.0 - search_rates[q as usize];
         }
         total += 1.0 - none_occur;
     }
@@ -46,8 +46,8 @@ pub fn unshared_expected_cost(problem: &PlanProblem) -> f64 {
 
 /// Incrementally maintained expected cost.
 ///
-/// [`expected_cost`] rescans the whole plan — `reach_sets()` alone is
-/// `O(nodes · queries)` — which is fine for one-shot evaluation but wasteful
+/// [`expected_cost`] rescans the whole plan — `reach_sets()` alone walks
+/// every query's cone — which is fine for one-shot evaluation but wasteful
 /// under plan maintenance, where each update touches only the cone of a
 /// single query's bind node. This tracker keeps the per-node reach sets and
 /// materialization probabilities alive between updates and repairs exactly
@@ -55,6 +55,7 @@ pub fn unshared_expected_cost(problem: &PlanProblem) -> f64 {
 ///
 /// * a **rebind** of query `q` from node `a` to node `b` changes reach only
 ///   on the symmetric difference of the two cones (`cone(a) Δ cone(b)`),
+///   found by merge-diffing the sorted cone node lists,
 /// * a **rate change** for `q` changes probabilities only inside
 ///   `cone(bind[q])`,
 /// * newly merged nodes are absorbed by [`IncrementalCost::extend`] with
@@ -62,7 +63,9 @@ pub fn unshared_expected_cost(problem: &PlanProblem) -> f64 {
 ///   them).
 ///
 /// Invariant: `reach[idx]` contains `q` iff `idx ∈ cone(bind[q])` — the
-/// same relation [`PlanDag::reach_sets`] computes from scratch. Node
+/// same relation [`PlanDag::reach_sets`] computes from scratch. Reach sets
+/// are adaptive-sparse ([`VarSet`]), so the tracker's footprint follows the
+/// actual sharing density instead of `nodes × queries / 8` bytes. Node
 /// probabilities are recomputed as fresh products over the repaired reach
 /// set (never divided out), and the total is re-summed over the stored
 /// probability vector, so repeated updates cannot accumulate
@@ -70,7 +73,7 @@ pub fn unshared_expected_cost(problem: &PlanProblem) -> f64 {
 #[derive(Debug, Clone)]
 pub struct IncrementalCost {
     rates: Vec<f64>,
-    reach: Vec<BitSet>,
+    reach: Vec<VarSet>,
     prob: Vec<f64>,
     var_count: usize,
     total: f64,
@@ -87,7 +90,11 @@ impl IncrementalCost {
             plan.query_count(),
             "one search rate per bound query"
         );
-        let reach = plan.reach_sets();
+        let m = search_rates.len();
+        let reach_csr = plan.reach_sets();
+        let reach: Vec<VarSet> = (0..plan.node_count())
+            .map(|idx| VarSet::from_sorted(m, reach_csr.queries_of(idx).to_vec()))
+            .collect();
         let mut tracker = IncrementalCost {
             rates: search_rates.to_vec(),
             prob: vec![0.0; reach.len()],
@@ -108,17 +115,29 @@ impl IncrementalCost {
         self.total
     }
 
+    /// Heap footprint of the tracker's state (reach sets, probabilities,
+    /// rates).
+    pub fn heap_bytes(&self) -> usize {
+        let sets: usize = self
+            .reach
+            .iter()
+            .map(|s| s.heap_bytes() + std::mem::size_of::<VarSet>())
+            .sum();
+        sets + self.prob.capacity() * std::mem::size_of::<f64>()
+            + self.rates.capacity() * std::mem::size_of::<f64>()
+    }
+
     /// Absorbs nodes appended to `plan` since the tracker last saw it. New
     /// nodes start with empty reach (probability zero): they cost nothing
     /// until a rebind routes a query through them.
     pub fn extend(&mut self, plan: &PlanDag) {
         assert!(
-            plan.nodes().len() >= self.reach.len(),
+            plan.node_count() >= self.reach.len(),
             "plan shrank under the tracker"
         );
         let m = self.rates.len();
-        for _ in self.reach.len()..plan.nodes().len() {
-            self.reach.push(BitSet::new(m));
+        for _ in self.reach.len()..plan.node_count() {
+            self.reach.push(VarSet::new(m));
             self.prob.push(0.0);
         }
     }
@@ -132,7 +151,7 @@ impl IncrementalCost {
     /// Panics if the tracker has not absorbed all of `plan`'s nodes.
     pub fn rebind(&mut self, plan: &PlanDag, q: usize, old_node: usize) {
         assert_eq!(
-            plan.nodes().len(),
+            plan.node_count(),
             self.reach.len(),
             "extend the tracker before rebinding"
         );
@@ -140,20 +159,43 @@ impl IncrementalCost {
         if new_node == old_node {
             return;
         }
-        let old_cone = plan.cone_mask(old_node);
-        let new_cone = plan.cone_mask(new_node);
-        for idx in 0..self.reach.len() {
-            if old_cone[idx] == new_cone[idx] {
-                continue;
-            }
-            if new_cone[idx] {
-                self.reach[idx].insert(q);
+        // Merge-diff the sorted cone node lists: nodes only in the old
+        // cone lose `q`, nodes only in the new cone gain it; the shared
+        // intersection is untouched.
+        let old_cone = plan.cone_nodes(old_node);
+        let new_cone = plan.cone_nodes(new_node);
+        let (mut i, mut j) = (0, 0);
+        let touch = |tracker: &mut Self, idx: usize, inserted: bool| {
+            if inserted {
+                tracker.reach[idx].insert(q);
             } else {
-                self.reach[idx].remove(q);
+                tracker.reach[idx].remove(q);
             }
-            if idx >= self.var_count {
-                self.prob[idx] = self.node_prob(idx);
+            if idx >= tracker.var_count {
+                tracker.prob[idx] = tracker.node_prob(idx);
             }
+        };
+        while i < old_cone.len() && j < new_cone.len() {
+            match old_cone[i].cmp(&new_cone[j]) {
+                std::cmp::Ordering::Less => {
+                    touch(self, old_cone[i] as usize, false);
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    touch(self, new_cone[j] as usize, true);
+                    j += 1;
+                }
+                std::cmp::Ordering::Equal => {
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        for &idx in &old_cone[i..] {
+            touch(self, idx as usize, false);
+        }
+        for &idx in &new_cone[j..] {
+            touch(self, idx as usize, true);
         }
         self.resum();
     }
@@ -162,15 +204,14 @@ impl IncrementalCost {
     /// the cone of its bind node.
     pub fn set_rate(&mut self, plan: &PlanDag, q: usize, rate: f64) {
         assert_eq!(
-            plan.nodes().len(),
+            plan.node_count(),
             self.reach.len(),
             "extend the tracker before updating rates"
         );
         self.rates[q] = rate;
-        let cone = plan.cone_mask(plan.query_nodes()[q]);
-        for (idx, &inside) in cone.iter().enumerate().skip(self.var_count) {
-            if inside {
-                self.prob[idx] = self.node_prob(idx);
+        for &idx in &plan.cone_nodes(plan.query_nodes()[q]) {
+            if idx as usize >= self.var_count {
+                self.prob[idx as usize] = self.node_prob(idx as usize);
             }
         }
         self.resum();
@@ -194,8 +235,8 @@ impl IncrementalCost {
 pub fn materialized_cost(plan: &PlanDag, occurring: &[bool]) -> usize {
     assert_eq!(occurring.len(), plan.query_count());
     let reach = plan.reach_sets();
-    (plan.var_count()..plan.nodes().len())
-        .filter(|&idx| reach[idx].iter().any(|q| occurring[q]))
+    (plan.var_count()..plan.node_count())
+        .filter(|&idx| reach.queries_of(idx).iter().any(|&q| occurring[q as usize]))
         .count()
 }
 
@@ -217,8 +258,8 @@ mod tests {
         let ab = plan.merge(0, 1);
         let abc = plan.merge(ab, 2);
         let abd = plan.merge(ab, 3);
-        plan.bind_query(&plan.nodes()[abc].vars.clone());
-        plan.bind_query(&plan.nodes()[abd].vars.clone());
+        plan.bind_query(&plan.vars_owned(abc));
+        plan.bind_query(&plan.vars_owned(abd));
         plan
     }
 
@@ -298,6 +339,7 @@ mod tests {
         let mut rates = vec![0.3, 0.7];
         let mut tracker = IncrementalCost::new(&plan, &rates);
         assert!((tracker.total() - expected_cost(&plan, &rates)).abs() < 1e-12);
+        assert!(tracker.heap_bytes() > 0);
 
         // Rate change repairs only the rebound query's cone.
         tracker.set_rate(&plan, 0, 0.9);
@@ -342,14 +384,14 @@ mod tests {
                     // fresh merge of two random nodes.
                     let old = plan.query_nodes()[q];
                     let node = if rng.random::<bool>() {
-                        let n = plan.nodes().len();
+                        let n = plan.node_count();
                         let a = rng.random_range(0..n);
                         let b = rng.random_range(0..n);
                         let merged = plan.merge(a, b);
                         tracker.extend(&plan);
                         merged
                     } else {
-                        rng.random_range(plan.var_count()..plan.nodes().len())
+                        rng.random_range(plan.var_count()..plan.node_count())
                     };
                     plan.rebind_query(q, node);
                     tracker.rebind(&plan, q, old);

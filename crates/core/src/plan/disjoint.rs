@@ -17,8 +17,8 @@
 //! [`PlanDag::evaluate`](super::PlanDag::evaluate) demands of
 //! non-idempotent operators.
 
-use ssa_setcover::greedy::greedy_disjoint_cover;
-use ssa_setcover::BitSet;
+use ssa_setcover::greedy::greedy_disjoint_cover_views;
+use ssa_setcover::{AsVarSetRef, VarSetRef};
 
 use super::fragments::build_fragment_plan;
 use super::{PlanDag, PlanProblem};
@@ -45,10 +45,14 @@ impl DisjointPlanner {
             if plan.node_for(target).is_some() {
                 continue;
             }
-            let sets: Vec<BitSet> = plan.nodes().iter().map(|n| n.vars.clone()).collect();
-            let cover = greedy_disjoint_cover(target, &sets)
-                .expect("singleton leaves always allow a partition");
-            plan.merge_chain(&cover.chosen);
+            let chosen: Vec<usize> = {
+                let views: Vec<VarSetRef<'_>> =
+                    (0..plan.node_count()).map(|i| plan.vars(i)).collect();
+                greedy_disjoint_cover_views(target.as_set_ref(), &views)
+                    .expect("singleton leaves always allow a partition")
+                    .chosen
+            };
+            plan.merge_chain(&chosen);
         }
         for q in &problem.queries {
             plan.bind_query(q);
@@ -66,6 +70,7 @@ mod tests {
     use crate::plan::cost::{expected_cost, unshared_expected_cost};
     use crate::plan::SharedPlanner;
     use proptest::prelude::*;
+    use ssa_setcover::BitSet;
 
     fn bs(n: usize, elems: &[usize]) -> BitSet {
         BitSet::from_elements(n, elems.iter().copied())

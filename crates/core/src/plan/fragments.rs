@@ -8,10 +8,17 @@
 //! that even though there are 2^m possible fragments, only O(n) will be
 //! non-empty. We can safely aggregate elements within a fragment since no
 //! sharing occurs across fragments."
+//!
+//! Signatures are built by *inverting* the query sets — one pass over
+//! `Σ_q |X_q|` sparse elements into a CSR of per-variable query lists —
+//! rather than probing every query per variable. At a million advertisers
+//! the old dense probe was O(n·m) regardless of interest density; the
+//! inverted build is linear in the input size, which is the paper's own
+//! running-time parameter.
 
 use std::collections::HashMap;
 
-use ssa_setcover::BitSet;
+use ssa_setcover::VarSet;
 
 use super::{PlanDag, PlanProblem};
 
@@ -19,10 +26,10 @@ use super::{PlanDag, PlanProblem};
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Fragment {
     /// The variables in the fragment.
-    pub vars: BitSet,
-    /// The query-membership signature (bit `i` set iff the variables
-    /// occur in query `i`).
-    pub signature: BitSet,
+    pub vars: VarSet,
+    /// The query-membership signature (element `i` present iff the
+    /// variables occur in query `i`).
+    pub signature: VarSet,
 }
 
 /// The output of fragment identification.
@@ -34,52 +41,81 @@ pub struct Fragments {
     /// `per_query[q]` = indices (into `fragments`) of the fragments that
     /// partition query `q`'s variable set.
     pub per_query: Vec<Vec<usize>>,
+    /// `frag_of[v]` = index of the fragment containing variable `v`, or
+    /// `u32::MAX` for variables occurring in no query. Stage 2's lazy
+    /// completion uses this to jump from a node's minimum variable to
+    /// the exact query signature governing which pools may absorb it.
+    pub frag_of: Vec<u32>,
 }
 
-/// Groups variables into fragments. `O(m·n)` with hashed signatures (the
-/// paper notes the `log n` index factor disappears with a hash table).
+/// Groups variables into fragments in `O(Σ_q |X_q|)` expected time via an
+/// inverted signature build plus hashed grouping.
 ///
 /// Variables that occur in no query are dropped: they can never
 /// contribute to any aggregate.
 pub fn identify_fragments(problem: &PlanProblem) -> Fragments {
     let n = problem.var_count;
     let m = problem.query_count();
-    // Signature per variable.
-    let mut groups: HashMap<BitSet, BitSet> = HashMap::new();
-    for v in 0..n {
-        let mut signature = BitSet::new(m);
-        for (q, set) in problem.queries.iter().enumerate() {
-            if set.contains(v) {
-                signature.insert(q);
-            }
+    // Invert: CSR of ascending query lists per variable. Queries are
+    // visited in index order, so each variable's list is ascending.
+    let mut counts = vec![0u32; n];
+    for set in &problem.queries {
+        for v in set.iter() {
+            counts[v] += 1;
         }
-        if signature.is_empty() {
+    }
+    let mut offsets = vec![0u32; n + 1];
+    for v in 0..n {
+        offsets[v + 1] = offsets[v] + counts[v];
+    }
+    let mut fill = offsets[..n].to_vec();
+    let mut sig_qs = vec![0u32; offsets[n] as usize];
+    for (q, set) in problem.queries.iter().enumerate() {
+        for v in set.iter() {
+            sig_qs[fill[v] as usize] = q as u32;
+            fill[v] += 1;
+        }
+    }
+    // Group variables by signature slice. Scanning variables in ascending
+    // order makes first-encounter order equal to order-by-smallest-member,
+    // the documented deterministic fragment order.
+    let mut by_sig: HashMap<&[u32], usize> = HashMap::new();
+    let mut members: Vec<Vec<u32>> = Vec::new();
+    let mut sigs: Vec<&[u32]> = Vec::new();
+    let mut frag_of = vec![u32::MAX; n];
+    for v in 0..n {
+        let sig = &sig_qs[offsets[v] as usize..offsets[v + 1] as usize];
+        if sig.is_empty() {
             continue;
         }
-        groups
-            .entry(signature)
-            .or_insert_with(|| BitSet::new(n))
-            .insert(v);
+        let idx = *by_sig.entry(sig).or_insert_with(|| {
+            members.push(Vec::new());
+            sigs.push(sig);
+            members.len() - 1
+        });
+        members[idx].push(v as u32);
+        frag_of[v] = idx as u32;
     }
-    let mut fragments: Vec<Fragment> = groups
-        .into_iter()
-        .map(|(signature, vars)| Fragment { vars, signature })
-        .collect();
-    fragments.sort_by_key(|f| f.vars.first().expect("fragment nonempty"));
-
-    let per_query = (0..m)
-        .map(|q| {
-            fragments
-                .iter()
-                .enumerate()
-                .filter(|(_, f)| f.signature.contains(q))
-                .map(|(i, _)| i)
-                .collect()
+    let fragments: Vec<Fragment> = members
+        .iter()
+        .zip(&sigs)
+        .map(|(vars, sig)| Fragment {
+            vars: VarSet::from_sorted(n, vars.clone()),
+            signature: VarSet::from_sorted(m, sig.to_vec()),
         })
         .collect();
+    // Fragments are ordered ascending by first member, so each query's
+    // fragment list comes out ascending too.
+    let mut per_query: Vec<Vec<usize>> = vec![Vec::new(); m];
+    for (i, sig) in sigs.iter().enumerate() {
+        for &q in *sig {
+            per_query[q as usize].push(i);
+        }
+    }
     Fragments {
         fragments,
         per_query,
+        frag_of,
     }
 }
 
@@ -111,6 +147,7 @@ pub fn build_fragment_plan(problem: &PlanProblem) -> (PlanDag, Fragments, Vec<Ve
 mod tests {
     use super::*;
     use proptest::prelude::*;
+    use ssa_setcover::BitSet;
 
     fn bs(n: usize, elems: &[usize]) -> BitSet {
         BitSet::from_elements(n, elems.iter().copied())
@@ -136,6 +173,7 @@ mod tests {
         for frag in &f.fragments {
             assert!(!frag.vars.contains(4));
         }
+        assert_eq!(f.frag_of, vec![0, 0, 1, 2, u32::MAX]);
     }
 
     #[test]
@@ -143,7 +181,7 @@ mod tests {
         let problem = mini_problem();
         let f = identify_fragments(&problem);
         for (q, frs) in f.per_query.iter().enumerate() {
-            let mut union = BitSet::new(5);
+            let mut union = VarSet::new(5);
             let mut total = 0;
             for &i in frs {
                 union.union_with(&f.fragments[i].vars);
@@ -165,9 +203,9 @@ mod tests {
         assert!(plan.validate().is_ok());
         // Per-query nodes exist and union correctly.
         for (q, nodes) in per_query_nodes.iter().enumerate() {
-            let mut union = BitSet::new(5);
+            let mut union = VarSet::new(5);
             for &idx in nodes {
-                union.union_with(&plan.nodes()[idx].vars);
+                union.union_with(&plan.vars(idx));
             }
             assert_eq!(union, problem.queries[q]);
         }
@@ -212,14 +250,19 @@ mod tests {
                     prop_assert!(f.fragments[i].vars.is_disjoint(&f.fragments[j].vars));
                 }
             }
-            // Partition per query.
+            // Partition per query, and frag_of agrees with membership.
             for (q, set) in queries.iter().enumerate() {
-                let mut union = BitSet::new(10);
+                let mut union = VarSet::new(10);
                 for &i in &f.per_query[q] {
                     prop_assert!(f.fragments[i].vars.is_subset(set));
                     union.union_with(&f.fragments[i].vars);
                 }
                 prop_assert_eq!(&union, set);
+            }
+            for (i, frag) in f.fragments.iter().enumerate() {
+                for v in frag.vars.iter() {
+                    prop_assert_eq!(f.frag_of[v], i as u32);
+                }
             }
         }
     }

@@ -28,9 +28,9 @@
 //!   *increase* another pair's gain — so pop-time revalidation alone
 //!   would be unsound; dirty-tracking by affected query is what keeps the
 //!   cached heap exact);
-//! * per-node query-signature bitsets (with a Bloom-filter pre-check)
-//!   prune pairs that share no uncovered query before any union set or
-//!   greedy cover is computed.
+//! * per-node query-signature sets (with a Bloom pre-check) prune pairs
+//!   that share no uncovered query before any union set or greedy cover
+//!   is computed.
 //!
 //! At [`EXACT_COMPLETION_VAR_LIMIT`] or fewer variables the lazy loop
 //! keeps the exact candidate universe and replicates the reference loop
@@ -39,16 +39,34 @@
 //! candidate universe is capped per node by overlap-signature buckets and
 //! gains switch to a cover-membership estimate, trading the paper's exact
 //! gain for tractability at thousands of advertisers.
+//!
+//! # Candidate pools at population scale
+//!
+//! All completion paths now keep *per-query candidate pools* instead of
+//! rescanning every plan node: a query's pool is its stage-1 fragment
+//! nodes plus the completion-created nodes inside `X_q`, absorbed in
+//! ascending index order. For the cover-chain completion this is provably
+//! the same selection sequence as the old full scan — every greedy pick
+//! is fragment-aligned by induction (fragments are equivalence classes,
+//! so each is entirely inside or entirely outside any candidate the loop
+//! creates), and the full scan's extra candidates (leaves and chain
+//! prefixes of multi-variable fragments) are strictly gain-dominated by
+//! their fragment node while it has uncovered variables and contribute
+//! zero gain afterwards, so the reference scan never picked them either.
+//! What the pools buy is scale: membership tests go through each node's
+//! minimum variable's fragment signature (exact, not heuristic — `w ⊆
+//! X_q` forces `q` into that signature), so absorbing a node costs its
+//! signature size, not `O(m)` dense set probes.
 
 use std::cmp::Ordering;
 use std::collections::{BinaryHeap, HashMap};
 
-use ssa_setcover::greedy::{greedy_cover_refs, greedy_cover_size, greedy_cover_size_refs};
-use ssa_setcover::BitSet;
+use ssa_setcover::greedy::greedy_cover_views;
+use ssa_setcover::{AsVarSetRef, BitSet, VarSet, VarSetRef};
 
-use crate::bloom::BloomFilter;
+use crate::bloom::{mix1, mix2, BloomFilter};
 
-use super::fragments::build_fragment_plan;
+use super::fragments::{build_fragment_plan, Fragments};
 use super::{PlanDag, PlanProblem};
 
 /// Largest variable count at which the lazy completion keeps the exact
@@ -68,11 +86,18 @@ fn capped_step_limit(query_count: usize) -> usize {
     8 * query_count + 64
 }
 
-/// Geometry of the per-node query-signature Bloom filters: one word, two
-/// probes — enough to reject most disjoint signature pairs with a single
-/// AND.
+/// Geometry of the per-node query-signature Bloom filters in exact mode:
+/// one word, two probes — enough to reject most disjoint signature pairs
+/// with a single AND.
 const SIG_BLOOM_BITS: usize = 64;
 const SIG_BLOOM_HASHES: u32 = 2;
+
+/// Capped mode packs the same two-probe signature Bloom into one bare
+/// `u64` (no allocation per node — there can be millions).
+#[inline]
+fn sig_bloom_word(q: usize) -> u64 {
+    (1u64 << (mix1(q as u64) & 63)) | (1u64 << (mix2(q as u64) & 63))
+}
 
 /// How much work the planner puts into sharing.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -114,10 +139,15 @@ impl SharedPlanner {
     /// returned plan is validated and has all queries bound in input
     /// order.
     pub fn plan(&self, problem: &PlanProblem) -> PlanDag {
-        let (mut plan, _fragments, per_query) = build_fragment_plan(problem);
+        let (mut plan, fragments, per_query) = build_fragment_plan(problem);
+        let frag_stage_end = plan.node_count();
         match self.mode {
-            PlannerMode::Full => complete_greedy(&mut plan, problem, &per_query),
-            PlannerMode::FragmentsOnly => complete_by_cover_chains(&mut plan, problem),
+            PlannerMode::Full => {
+                complete_greedy(&mut plan, problem, &fragments, &per_query, frag_stage_end)
+            }
+            PlannerMode::FragmentsOnly => {
+                complete_by_cover_chains(&mut plan, problem, &fragments, &per_query, frag_stage_end)
+            }
         }
         for q in &problem.queries {
             plan.bind_query(q);
@@ -134,8 +164,9 @@ impl SharedPlanner {
 /// cross-check and time the two against each other. Quadratic per step:
 /// intractable beyond a few hundred variables.
 pub fn reference_plan(problem: &PlanProblem) -> PlanDag {
-    let (mut plan, _fragments, _per_query) = build_fragment_plan(problem);
-    complete_greedy_reference(&mut plan, problem);
+    let (mut plan, fragments, per_query) = build_fragment_plan(problem);
+    let frag_stage_end = plan.node_count();
+    complete_greedy_reference(&mut plan, problem, &fragments, &per_query, frag_stage_end);
     for q in &problem.queries {
         plan.bind_query(q);
     }
@@ -143,9 +174,16 @@ pub fn reference_plan(problem: &PlanProblem) -> PlanDag {
     plan
 }
 
-/// Current node variable sets (cover candidates).
-fn node_sets(plan: &PlanDag) -> Vec<BitSet> {
-    plan.nodes().iter().map(|n| n.vars.clone()).collect()
+/// Current node variable sets (owned — reference-loop use only; the
+/// incremental paths read [`PlanDag::vars`] views instead).
+fn node_sets(plan: &PlanDag) -> Vec<VarSet> {
+    (0..plan.node_count()).map(|i| plan.vars_owned(i)).collect()
+}
+
+/// Greedy cover size over owned sets (reference loop).
+fn cover_size_owned(target: &VarSet, sets: &[VarSet]) -> Option<usize> {
+    let views: Vec<VarSetRef<'_>> = sets.iter().map(|s| s.as_set_ref()).collect();
+    greedy_cover_views(target.as_set_ref(), &views).map(|c| c.size())
 }
 
 /// Indices of queries whose node does not exist yet.
@@ -158,22 +196,79 @@ fn uncovered_queries(plan: &PlanDag, problem: &PlanProblem) -> Vec<usize> {
 /// Fast completion: for each query in descending search-rate order, chain
 /// together its greedy cover. Intermediate chain nodes enter the plan and
 /// are reusable by later queries.
-fn complete_by_cover_chains(plan: &mut PlanDag, problem: &PlanProblem) {
-    let mut order: Vec<usize> = (0..problem.query_count()).collect();
+///
+/// Covers are computed over per-query pools (the query's fragment nodes
+/// plus completion nodes inside it, ascending) rather than a scan of all
+/// nodes — identical selections, see the module docs for the dominance
+/// argument.
+fn complete_by_cover_chains(
+    plan: &mut PlanDag,
+    problem: &PlanProblem,
+    fragments: &Fragments,
+    fragment_nodes: &[Vec<usize>],
+    frag_stage_end: usize,
+) {
+    let m = problem.query_count();
+    let mut order: Vec<usize> = (0..m).collect();
     order.sort_by(|&a, &b| {
         problem.search_rates[b]
             .total_cmp(&problem.search_rates[a])
             .then(a.cmp(&b))
     });
+    let mut remaining: Vec<bool> = (0..m)
+        .map(|q| plan.node_for(&problem.queries[q]).is_none())
+        .collect();
+    let mut pools: Vec<Vec<usize>> = fragment_nodes
+        .iter()
+        .map(|f| {
+            let mut p = f.clone();
+            p.sort_unstable();
+            p.dedup();
+            p
+        })
+        .collect();
+    // Absorbs nodes `from..` into the pools of still-uncovered queries, in
+    // ascending index order. Membership is filtered through the node's
+    // minimum variable's fragment signature — exact: `w ⊆ X_q` requires
+    // `q` to contain every variable of `w`, in particular its minimum —
+    // then verified by a sparse subset test.
+    let mut absorbed = frag_stage_end;
+    macro_rules! absorb_new_nodes {
+        () => {
+            for idx in absorbed..plan.node_count() {
+                let v = plan.vars(idx).first().expect("plan nodes are non-empty");
+                let f = fragments.frag_of[v];
+                if f == u32::MAX {
+                    continue;
+                }
+                for q in fragments.fragments[f as usize].signature.iter() {
+                    if remaining[q] && plan.vars(idx).is_subset(problem.queries[q].as_set_ref()) {
+                        pools[q].push(idx);
+                    }
+                }
+            }
+            absorbed = plan.node_count();
+        };
+    }
+    // Safety-net entry: completion nodes may already exist.
+    absorb_new_nodes!();
     for q in order {
-        let target = &problem.queries[q];
-        if plan.node_for(target).is_some() {
+        if !remaining[q] {
             continue;
         }
-        let sets = node_sets(plan);
-        let cover =
-            ssa_setcover::greedy_cover(target, &sets).expect("leaves always cover the target");
-        plan.merge_chain(&cover.chosen);
+        if plan.node_for(&problem.queries[q]).is_some() {
+            remaining[q] = false;
+            continue;
+        }
+        let chain: Vec<usize> = {
+            let views: Vec<VarSetRef<'_>> = pools[q].iter().map(|&i| plan.vars(i)).collect();
+            let cover = greedy_cover_views(problem.queries[q].as_set_ref(), &views)
+                .expect("fragment nodes partition their query");
+            cover.chosen.iter().map(|&pos| pools[q][pos]).collect()
+        };
+        plan.merge_chain(&chain);
+        remaining[q] = false;
+        absorb_new_nodes!();
     }
 }
 
@@ -182,11 +277,17 @@ fn complete_by_cover_chains(plan: &mut PlanDag, problem: &PlanProblem) {
 /// `fragment_nodes` holds each query's stage-1 fragment node indices (in
 /// capped mode they anchor the cover pools: fragments partition their
 /// query, so feasibility is never capped away).
-fn complete_greedy(plan: &mut PlanDag, problem: &PlanProblem, fragment_nodes: &[Vec<usize>]) {
+fn complete_greedy(
+    plan: &mut PlanDag,
+    problem: &PlanProblem,
+    fragments: &Fragments,
+    fragment_nodes: &[Vec<usize>],
+    frag_stage_end: usize,
+) {
     if problem.var_count <= EXACT_COMPLETION_VAR_LIMIT {
-        ExactLazy::run(plan, problem);
+        ExactLazy::run(plan, problem, fragments, fragment_nodes, frag_stage_end);
     } else {
-        CappedLazy::run(plan, problem, fragment_nodes);
+        CappedLazy::run(plan, problem, fragments, fragment_nodes, frag_stage_end);
     }
 }
 
@@ -232,7 +333,7 @@ impl Ord for HeapEntry {
 /// (exact mode).
 struct Candidate {
     /// The union set.
-    w: BitSet,
+    w: VarSet,
     /// Lexicographically smallest generating pair seen so far.
     pair: (usize, usize),
     /// Per-query gain contributions `sr_q · (|C_q| − |C_q with w|)`,
@@ -272,7 +373,7 @@ struct Candidate {
 struct ExactLazy<'a> {
     problem: &'a PlanProblem,
     /// Mirror of the plan's node variable sets.
-    node_vars: Vec<BitSet>,
+    node_vars: Vec<VarSet>,
     /// Per node: the queries (uncovered at the node's creation) whose
     /// interest set contains it. A stale superset — members are filtered
     /// against `covered` at every use.
@@ -293,14 +394,20 @@ struct ExactLazy<'a> {
     participants: Vec<usize>,
     cands: Vec<Candidate>,
     /// Exact dedup: one candidate per distinct union set.
-    by_union: HashMap<BitSet, u32>,
+    by_union: HashMap<VarSet, u32>,
     heap: BinaryHeap<HeapEntry>,
     /// Worklist of candidates to re-score and re-push this step.
     dirty: Vec<u32>,
 }
 
 impl<'a> ExactLazy<'a> {
-    fn run(plan: &mut PlanDag, problem: &'a PlanProblem) {
+    fn run(
+        plan: &mut PlanDag,
+        problem: &'a PlanProblem,
+        fragments: &Fragments,
+        fragment_nodes: &[Vec<usize>],
+        frag_stage_end: usize,
+    ) {
         let m = problem.query_count();
         // Iteration guard mirroring the reference loop: Σ_q |X_q| steps
         // plus slack, then a guaranteed-progress safety net.
@@ -326,7 +433,7 @@ impl<'a> ExactLazy<'a> {
             if state.uncovered_left == 0 {
                 return;
             }
-            let before = plan.nodes().len();
+            let before = plan.node_count();
             match state.pop_best() {
                 Some(id) => {
                     let (i, j) = state.cands[id as usize].pair;
@@ -341,33 +448,40 @@ impl<'a> ExactLazy<'a> {
             state.absorb(plan, before);
         }
         // Safety net: if the step budget ran out, finish deterministically.
-        complete_by_cover_chains(plan, problem);
+        complete_by_cover_chains(plan, problem, fragments, fragment_nodes, frag_stage_end);
     }
 
-    /// Borrowed cover-candidate list for `q`: its subset nodes in
+    /// Borrowed cover-candidate views for `q`: its subset nodes in
     /// ascending order, plus `extra` appended last — the same feasible
     /// sequence (and therefore the same greedy choices and tie-breaks)
     /// as the reference loop's scan over all node sets.
-    fn cover_refs<'b>(&'b self, q: usize, extra: Option<&'b BitSet>) -> Vec<&'b BitSet> {
-        let mut refs: Vec<&BitSet> = Vec::with_capacity(self.sets[q].len() + 1);
+    fn cover_views<'b>(&'b self, q: usize, extra: Option<&'b VarSet>) -> Vec<VarSetRef<'b>> {
+        let mut views: Vec<VarSetRef<'b>> = Vec::with_capacity(self.sets[q].len() + 1);
         for &i in &self.sets[q] {
-            refs.push(&self.node_vars[i]);
+            views.push(self.node_vars[i].as_set_ref());
         }
         if let Some(w) = extra {
-            refs.push(w);
+            views.push(w.as_set_ref());
         }
-        refs
+        views
     }
 
-    fn cover_size(&self, q: usize, extra: Option<&BitSet>) -> usize {
-        greedy_cover_size_refs(&self.problem.queries[q], &self.cover_refs(q, extra))
-            .expect("a query's own leaves always cover it")
+    fn cover_size(&self, q: usize, extra: Option<&VarSet>) -> usize {
+        greedy_cover_views(
+            self.problem.queries[q].as_set_ref(),
+            &self.cover_views(q, extra),
+        )
+        .expect("a query's own leaves always cover it")
+        .size()
     }
 
     /// The greedy cover of `q` as node indices, for the fallback chain.
     fn fallback_chain(&self, q: usize) -> Vec<usize> {
-        let cover = greedy_cover_refs(&self.problem.queries[q], &self.cover_refs(q, None))
-            .expect("a query's own leaves always cover it");
+        let cover = greedy_cover_views(
+            self.problem.queries[q].as_set_ref(),
+            &self.cover_views(q, None),
+        )
+        .expect("a query's own leaves always cover it");
         cover.chosen.iter().map(|&pos| self.sets[q][pos]).collect()
     }
 
@@ -398,7 +512,7 @@ impl<'a> ExactLazy<'a> {
             return; // definitely no shared query
         }
         let sig = self.node_sig[i].intersection(&self.node_sig[j]);
-        let mut w: Option<BitSet> = None;
+        let mut w: Option<VarSet> = None;
         let mut qs: Vec<usize> = Vec::new();
         for q in sig.iter() {
             if self.covered[q] {
@@ -454,8 +568,8 @@ impl<'a> ExactLazy<'a> {
     fn absorb(&mut self, plan: &PlanDag, from: usize) {
         let m = self.problem.query_count();
         let mut affected = BitSet::new(m);
-        for idx in from..plan.nodes().len() {
-            let vars = plan.nodes()[idx].vars.clone();
+        for idx in from..plan.node_count() {
+            let vars = plan.vars_owned(idx);
             let mut sig = BitSet::new(m);
             let mut bloom = BloomFilter::new(SIG_BLOOM_BITS, SIG_BLOOM_HASHES);
             for (q, query) in self.problem.queries.iter().enumerate() {
@@ -605,7 +719,7 @@ impl<'a> ExactLazy<'a> {
 /// estimate (see [`CappedLazy`]), so no per-query contribution list is
 /// kept.
 struct CappedCandidate {
-    w: BitSet,
+    w: VarSet,
     pair: (usize, usize),
     gain: f64,
     forms_query: bool,
@@ -622,15 +736,20 @@ struct CappedCandidate {
 /// true gain: merging two *current cover members* of query `q` shrinks
 /// `|C_q|` by one, so a pair is scored `Σ rate_q` over the queries whose
 /// greedy covers use both endpoints (tracked per node as a cover-
-/// signature bitset with a Bloom pre-check). The candidate universe is
-/// capped per query to pairs of its [`PAIR_SOURCE_CAP`] first cover
+/// signature set with a one-word Bloom pre-check). The candidate universe
+/// is capped per query to pairs of its [`PAIR_SOURCE_CAP`] first cover
 /// members — the greedy cover lists its biggest, most shareable sets
 /// first — instead of all O(n²) node pairs. Cover pools are anchored on
 /// the stage-1 fragment nodes (which partition each query, so capping
 /// never loses feasibility) plus every node merged during completion.
+///
+/// Per-node state is *slot-compacted*: only pool members get a dense
+/// slot, so the transient planner state scales with the participant
+/// count, not with `var_count + internal nodes` (which would be millions
+/// of empty signature sets at population scale).
 struct CappedLazy<'a> {
     problem: &'a PlanProblem,
-    node_vars: Vec<BitSet>,
+    fragments: &'a Fragments,
     covered: Vec<bool>,
     uncovered_left: usize,
     /// Per query: cover-candidate pool (fragment nodes + completion
@@ -638,35 +757,43 @@ struct CappedLazy<'a> {
     sets: Vec<Vec<usize>>,
     /// Per query: its current greedy cover, in selection order.
     cover: Vec<Vec<usize>>,
-    /// Per node: the uncovered queries whose current cover uses it.
-    csig: Vec<BitSet>,
-    /// Bloom mirror of `csig` (rebuilt on change; signatures are tiny).
-    csig_bloom: Vec<BloomFilter>,
-    /// Per node: candidates generated from it, for dirty propagation.
+    /// Node index → dense participant slot (`u32::MAX` = no slot yet).
+    slot_of: Vec<u32>,
+    /// Per slot: the uncovered queries whose current cover uses the node
+    /// (sparse over the query universe).
+    csig: Vec<VarSet>,
+    /// One-word Bloom mirror of `csig` (rebuilt on change).
+    csig_bloom: Vec<u64>,
+    /// Per slot: candidates generated from the node, for dirty
+    /// propagation.
     node_cands: Vec<Vec<u32>>,
     cands: Vec<CappedCandidate>,
-    by_union: HashMap<BitSet, u32>,
+    by_union: HashMap<VarSet, u32>,
     heap: BinaryHeap<HeapEntry>,
     dirty: Vec<u32>,
 }
 
 impl<'a> CappedLazy<'a> {
-    fn run(plan: &mut PlanDag, problem: &'a PlanProblem, fragment_nodes: &[Vec<usize>]) {
+    fn run(
+        plan: &mut PlanDag,
+        problem: &'a PlanProblem,
+        fragments: &'a Fragments,
+        fragment_nodes: &[Vec<usize>],
+        frag_stage_end: usize,
+    ) {
         let m = problem.query_count();
         let max_steps = (problem.total_query_size() + m + 4).min(capped_step_limit(m));
         let mut state = CappedLazy {
             problem,
-            node_vars: plan.nodes().iter().map(|n| n.vars.clone()).collect(),
+            fragments,
             covered: vec![false; m],
             uncovered_left: m,
             sets: vec![Vec::new(); m],
             cover: vec![Vec::new(); m],
-            csig: vec![BitSet::new(m); plan.nodes().len()],
-            csig_bloom: vec![
-                BloomFilter::new(SIG_BLOOM_BITS, SIG_BLOOM_HASHES);
-                plan.nodes().len()
-            ],
-            node_cands: vec![Vec::new(); plan.nodes().len()],
+            slot_of: vec![u32::MAX; plan.node_count()],
+            csig: Vec::new(),
+            csig_bloom: Vec::new(),
+            node_cands: Vec::new(),
             cands: Vec::new(),
             by_union: HashMap::new(),
             heap: BinaryHeap::new(),
@@ -682,7 +809,7 @@ impl<'a> CappedLazy<'a> {
             pool.sort_unstable();
             pool.dedup();
             state.sets[q] = pool;
-            state.recompute_cover(q);
+            state.recompute_cover(plan, q);
         }
         for q in 0..m {
             if !state.covered[q] {
@@ -694,7 +821,7 @@ impl<'a> CappedLazy<'a> {
             if state.uncovered_left == 0 {
                 return;
             }
-            let before = plan.nodes().len();
+            let before = plan.node_count();
             match state.pop_best() {
                 Some(id) => {
                     let (i, j) = state.cands[id as usize].pair;
@@ -708,20 +835,35 @@ impl<'a> CappedLazy<'a> {
             }
             state.absorb(plan, before);
         }
-        complete_by_cover_chains(plan, problem);
+        complete_by_cover_chains(plan, problem, fragments, fragment_nodes, frag_stage_end);
+    }
+
+    /// The dense slot for node `idx`, allocating on first use.
+    fn ensure_slot(&mut self, idx: usize) -> usize {
+        let cur = self.slot_of[idx];
+        if cur != u32::MAX {
+            return cur as usize;
+        }
+        let slot = self.csig.len();
+        self.slot_of[idx] = slot as u32;
+        self.csig.push(VarSet::new(self.problem.query_count()));
+        self.csig_bloom.push(0);
+        self.node_cands.push(Vec::new());
+        slot
     }
 
     /// Recomputes `q`'s greedy cover over its pool and maintains the
-    /// cover-signature bitsets of nodes entering or leaving it. Touched
+    /// cover-signature sets of nodes entering or leaving it. Touched
     /// nodes' candidates are queued for re-scoring.
-    fn recompute_cover(&mut self, q: usize) {
+    fn recompute_cover(&mut self, plan: &PlanDag, q: usize) {
         let old = std::mem::take(&mut self.cover[q]);
         for &i in &old {
-            self.csig[i].remove(q);
+            let slot = self.slot_of[i] as usize;
+            self.csig[slot].remove(q);
         }
         let chosen = {
-            let refs: Vec<&BitSet> = self.sets[q].iter().map(|&i| &self.node_vars[i]).collect();
-            let cover = greedy_cover_refs(&self.problem.queries[q], &refs)
+            let views: Vec<VarSetRef<'_>> = self.sets[q].iter().map(|&i| plan.vars(i)).collect();
+            let cover = greedy_cover_views(self.problem.queries[q].as_set_ref(), &views)
                 .expect("fragment nodes partition their query");
             cover
                 .chosen
@@ -730,24 +872,26 @@ impl<'a> CappedLazy<'a> {
                 .collect::<Vec<usize>>()
         };
         for &i in &chosen {
-            self.csig[i].insert(q);
+            let slot = self.ensure_slot(i);
+            self.csig[slot].insert(q);
         }
         for &i in old.iter().chain(&chosen) {
-            self.rebuild_bloom(i);
-            for ci in 0..self.node_cands[i].len() {
-                let id = self.node_cands[i][ci];
+            let slot = self.slot_of[i] as usize;
+            self.rebuild_bloom(slot);
+            for ci in 0..self.node_cands[slot].len() {
+                let id = self.node_cands[slot][ci];
                 self.mark_dirty(id);
             }
         }
         self.cover[q] = chosen;
     }
 
-    fn rebuild_bloom(&mut self, i: usize) {
-        let mut bloom = BloomFilter::new(SIG_BLOOM_BITS, SIG_BLOOM_HASHES);
-        for q in self.csig[i].iter() {
-            bloom.insert(q as u64);
+    fn rebuild_bloom(&mut self, slot: usize) {
+        let mut word = 0u64;
+        for q in self.csig[slot].iter() {
+            word |= sig_bloom_word(q);
         }
-        self.csig_bloom[i] = bloom;
+        self.csig_bloom[slot] = word;
     }
 
     /// Candidate pairs from `q`'s current cover: all pairs among its
@@ -772,8 +916,10 @@ impl<'a> CappedLazy<'a> {
 
     /// Scores `(i, j)` by cover membership: the rate-weighted count of
     /// uncovered queries whose greedy covers use both endpoints.
-    fn score(&self, i: usize, j: usize, w: &BitSet) -> (f64, bool) {
-        let shared = self.csig[i].intersection(&self.csig[j]);
+    fn score(&self, i: usize, j: usize, w: &VarSet) -> (f64, bool) {
+        let si = self.slot_of[i] as usize;
+        let sj = self.slot_of[j] as usize;
+        let shared = self.csig[si].intersection(&self.csig[sj]);
         let mut gain = 0.0;
         let mut forms_query = false;
         for q in shared.iter() {
@@ -787,13 +933,15 @@ impl<'a> CappedLazy<'a> {
     }
 
     fn consider_pair(&mut self, plan: &PlanDag, i: usize, j: usize) {
-        if !self.csig_bloom[i].intersects(&self.csig_bloom[j]) {
+        let si = self.slot_of[i] as usize;
+        let sj = self.slot_of[j] as usize;
+        if self.csig_bloom[si] & self.csig_bloom[sj] == 0 {
             return; // covers definitely share no query
         }
-        if self.csig[i].is_disjoint(&self.csig[j]) {
+        if self.csig[si].is_disjoint(&self.csig[sj]) {
             return;
         }
-        let w = self.node_vars[i].union(&self.node_vars[j]);
+        let w = plan.vars_owned(i).union(&plan.vars(j));
         if plan.node_for(&w).is_some() {
             return;
         }
@@ -810,8 +958,8 @@ impl<'a> CappedLazy<'a> {
         }
         let id = self.cands.len() as u32;
         self.by_union.insert(w.clone(), id);
-        self.node_cands[i].push(id);
-        self.node_cands[j].push(id);
+        self.node_cands[si].push(id);
+        self.node_cands[sj].push(id);
         self.cands.push(CappedCandidate {
             w,
             pair: (i, j),
@@ -853,22 +1001,31 @@ impl<'a> CappedLazy<'a> {
     /// Folds the plan nodes `from..` in: extends the pools of the
     /// queries containing them, retires completed queries, recomputes
     /// only the affected covers, and regenerates their candidate pairs.
+    ///
+    /// Pool membership goes through the new node's minimum variable's
+    /// fragment signature — an exact filter (`w ⊆ X_q` forces `q` into
+    /// that signature), so absorbing costs the signature size instead of
+    /// a subset probe against every query.
     fn absorb(&mut self, plan: &PlanDag, from: usize) {
         let m = self.problem.query_count();
         let mut affected = BitSet::new(m);
-        for idx in from..plan.nodes().len() {
-            let vars = plan.nodes()[idx].vars.clone();
-            for (q, query) in self.problem.queries.iter().enumerate() {
-                if !self.covered[q] && vars.is_subset(query) {
+        self.slot_of.resize(plan.node_count(), u32::MAX);
+        for idx in from..plan.node_count() {
+            let v = plan.vars(idx).first().expect("plan nodes are non-empty");
+            let f = self.fragments.frag_of[v];
+            if f == u32::MAX {
+                continue;
+            }
+            for q in self.fragments.fragments[f as usize].signature.iter() {
+                if !self.covered[q]
+                    && plan
+                        .vars(idx)
+                        .is_subset(self.problem.queries[q].as_set_ref())
+                {
                     self.sets[q].push(idx);
                     affected.insert(q);
                 }
             }
-            self.node_vars.push(vars);
-            self.csig.push(BitSet::new(m));
-            self.csig_bloom
-                .push(BloomFilter::new(SIG_BLOOM_BITS, SIG_BLOOM_HASHES));
-            self.node_cands.push(Vec::new());
         }
         for q in affected.iter() {
             if !self.covered[q] && plan.node_for(&self.problem.queries[q]).is_some() {
@@ -878,17 +1035,18 @@ impl<'a> CappedLazy<'a> {
                 // membership never scores again.
                 let old = std::mem::take(&mut self.cover[q]);
                 for &i in &old {
-                    self.csig[i].remove(q);
-                    self.rebuild_bloom(i);
-                    for ci in 0..self.node_cands[i].len() {
-                        let id = self.node_cands[i][ci];
+                    let slot = self.slot_of[i] as usize;
+                    self.csig[slot].remove(q);
+                    self.rebuild_bloom(slot);
+                    for ci in 0..self.node_cands[slot].len() {
+                        let id = self.node_cands[slot][ci];
                         self.mark_dirty(id);
                     }
                 }
             }
         }
-        for idx in from..self.node_vars.len() {
-            if let Some(&id) = self.by_union.get(&self.node_vars[idx]) {
+        for idx in from..plan.node_count() {
+            if let Some(&id) = self.by_union.get(&plan.vars_owned(idx)) {
                 self.kill(id);
             }
         }
@@ -896,7 +1054,7 @@ impl<'a> CappedLazy<'a> {
             if self.covered[q] {
                 continue;
             }
-            self.recompute_cover(q);
+            self.recompute_cover(plan, q);
             self.generate_pairs(plan, q);
         }
         self.flush_dirty();
@@ -947,7 +1105,13 @@ impl<'a> CappedLazy<'a> {
 /// The reference greedy completion loop (recompute everything, every
 /// step). Kept verbatim as the differential-testing and benchmarking
 /// baseline for the lazy completion above.
-fn complete_greedy_reference(plan: &mut PlanDag, problem: &PlanProblem) {
+fn complete_greedy_reference(
+    plan: &mut PlanDag,
+    problem: &PlanProblem,
+    fragments: &Fragments,
+    fragment_nodes: &[Vec<usize>],
+    frag_stage_end: usize,
+) {
     let m = problem.query_count();
     // Iteration guard: the paper bounds the run at Σ_q |X_q| steps; we add
     // slack and a guaranteed-progress fallback so the loop always ends.
@@ -963,7 +1127,7 @@ fn complete_greedy_reference(plan: &mut PlanDag, problem: &PlanProblem) {
             .iter()
             .map(|&q| {
                 let size =
-                    greedy_cover_size(&problem.queries[q], &sets).expect("leaves always cover");
+                    cover_size_owned(&problem.queries[q], &sets).expect("leaves always cover");
                 (q, size)
             })
             .collect();
@@ -971,8 +1135,8 @@ fn complete_greedy_reference(plan: &mut PlanDag, problem: &PlanProblem) {
         // Enumerate candidate union sets w = u ∪ v over node pairs. The
         // gain of a pair depends only on w, so deduplicate by w and keep
         // one generating pair each.
-        let mut candidates: Vec<(BitSet, (usize, usize))> = Vec::new();
-        let mut seen: std::collections::HashSet<BitSet> = std::collections::HashSet::new();
+        let mut candidates: Vec<(VarSet, (usize, usize))> = Vec::new();
+        let mut seen: std::collections::HashSet<VarSet> = std::collections::HashSet::new();
         for i in 0..sets.len() {
             for j in (i + 1)..sets.len() {
                 let w = sets[i].union(&sets[j]);
@@ -1000,7 +1164,7 @@ fn complete_greedy_reference(plan: &mut PlanDag, problem: &PlanProblem) {
                     continue;
                 }
                 let new_size =
-                    greedy_cover_size(&problem.queries[q], &with_w).expect("still coverable");
+                    cover_size_owned(&problem.queries[q], &with_w).expect("still coverable");
                 gain += problem.search_rates[q] * (base_size as f64 - new_size as f64);
             }
             let forms_query = uncovered.iter().any(|&q| *w == problem.queries[q]);
@@ -1038,14 +1202,15 @@ fn complete_greedy_reference(plan: &mut PlanDag, problem: &PlanProblem) {
                             .then(b.cmp(&a))
                     })
                     .expect("nonempty");
-                let cover = ssa_setcover::greedy_cover(&problem.queries[q], &sets)
+                let views: Vec<VarSetRef<'_>> = sets.iter().map(|s| s.as_set_ref()).collect();
+                let cover = greedy_cover_views(problem.queries[q].as_set_ref(), &views)
                     .expect("leaves always cover");
                 plan.merge_chain(&cover.chosen);
             }
         }
     }
     // Safety net: if the step budget ran out, finish deterministically.
-    complete_by_cover_chains(plan, problem);
+    complete_by_cover_chains(plan, problem, fragments, fragment_nodes, frag_stage_end);
 }
 
 #[cfg(test)]
@@ -1063,7 +1228,7 @@ mod tests {
         assert_eq!(plan.query_count(), problem.query_count());
         for (q, &idx) in plan.query_nodes().iter().enumerate() {
             assert_eq!(
-                plan.nodes()[idx].vars,
+                plan.vars(idx),
                 problem.queries[q],
                 "query {q} bound to wrong node"
             );
@@ -1244,9 +1409,10 @@ mod tests {
         let problem = PlanProblem::new(n, queries, Some(rates));
         let a = SharedPlanner::full().plan(&problem);
         let b = SharedPlanner::full().plan(&problem);
-        assert_eq!(a.nodes().len(), b.nodes().len());
-        for (x, y) in a.nodes().iter().zip(b.nodes()) {
-            assert_eq!(x.vars, y.vars);
+        assert_eq!(a.node_count(), b.node_count());
+        for idx in 0..a.node_count() {
+            assert_eq!(a.vars(idx), b.vars(idx));
+            assert_eq!(a.children(idx), b.children(idx));
         }
         assert_eq!(a.query_nodes(), b.query_nodes());
     }
@@ -1270,13 +1436,13 @@ mod tests {
             let problem = PlanProblem::new(14, queries, Some(rates[..m].to_vec()));
             let lazy = SharedPlanner::full().plan(&problem);
             let reference = reference_plan(&problem);
-            prop_assert_eq!(lazy.nodes().len(), reference.nodes().len());
-            for (idx, (a, b)) in lazy.nodes().iter().zip(reference.nodes()).enumerate() {
+            prop_assert_eq!(lazy.node_count(), reference.node_count());
+            for idx in 0..lazy.node_count() {
                 prop_assert_eq!(
-                    &a.vars, &b.vars,
+                    lazy.vars(idx), reference.vars(idx),
                     "node {} diverges from the reference", idx
                 );
-                prop_assert_eq!(a.children, b.children);
+                prop_assert_eq!(lazy.children(idx), reference.children(idx));
             }
             prop_assert_eq!(lazy.query_nodes(), reference.query_nodes());
         }

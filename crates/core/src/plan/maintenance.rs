@@ -18,7 +18,8 @@
 //!   configurable factor of the last full plan's size, rebuild from
 //!   scratch offline.
 
-use ssa_setcover::BitSet;
+use ssa_setcover::greedy::greedy_cover_views;
+use ssa_setcover::{AsVarSetRef, BitSet, VarSet, VarSetRef};
 
 use super::cost::IncrementalCost;
 use super::{PlanDag, PlanProblem, SharedPlanner};
@@ -105,6 +106,12 @@ impl PlanMaintainer {
         self.cost.total()
     }
 
+    /// Heap footprint of the maintainer's hot state: the plan, the
+    /// maintained problem, and the incremental cost tracker.
+    pub fn heap_bytes(&self) -> usize {
+        self.plan.heap_bytes() + self.problem.heap_bytes() + self.cost.heap_bytes()
+    }
+
     /// Query `q`'s current search rate in the maintained problem.
     pub fn search_rate(&self, q: usize) -> f64 {
         self.problem.search_rates[q]
@@ -140,16 +147,24 @@ impl PlanMaintainer {
             "universe mismatch"
         );
         assert!(!new_set.is_empty(), "interest set cannot be empty");
-        self.problem.queries[q] = new_set.clone();
+        self.problem.queries[q] = VarSet::from_bitset(&new_set);
         self.stats.patches += 1;
 
         // Patch: greedy-cover the new set from existing nodes and chain.
+        // Candidates are borrowed views of the pooled node storage — the
+        // full-scan (every node is a candidate) semantics are unchanged,
+        // but nothing is cloned.
         let before = self.plan.total_cost();
-        let sets: Vec<BitSet> = self.plan.nodes().iter().map(|n| n.vars.clone()).collect();
-        let cover =
-            ssa_setcover::greedy_cover(&new_set, &sets).expect("leaves always cover the target");
+        let chosen: Vec<usize> = {
+            let views: Vec<VarSetRef<'_>> = (0..self.plan.node_count())
+                .map(|i| self.plan.vars(i))
+                .collect();
+            greedy_cover_views(new_set.as_set_ref(), &views)
+                .expect("leaves always cover the target")
+                .chosen
+        };
         let old_node = self.plan.query_nodes()[q];
-        let node = self.plan.merge_chain(&cover.chosen);
+        let node = self.plan.merge_chain(&chosen);
         self.plan.rebind_query(q, node);
         let new_nodes = self.plan.total_cost() - before;
         // Delta-repair the cost tracker: absorb the patch's new nodes,

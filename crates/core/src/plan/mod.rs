@@ -7,6 +7,31 @@
 //! top-k operator, Lemma 1 lets us identify every node with its *variable
 //! set*, which is how [`PlanDag`] stores labels.
 //!
+//! # Node-set storage at scale
+//!
+//! Variable sets are stored *adaptively sparse* ([`VarSet`]/[`VarSetRef`]
+//! from `ssa-setcover`), not as dense n-bit sets — at a million
+//! advertisers a dense label costs ~125 kB per node regardless of
+//! content, which was the documented reason plan-bearing strategies used
+//! to stop at ~100k. Internal-node sets live in one CSR pool
+//! (`pool_elems` + per-node spans, the `LeafCones` pattern), with two
+//! structural tricks that keep fragment chains linear instead of
+//! quadratic:
+//!
+//! * **Implicit leaves** — nodes `0..var_count` are singletons by
+//!   construction, so no storage, hash, or interning entry exists for
+//!   them; `vars(v)` serves a one-element slice of a shared identity
+//!   array and `PlanDag::new` is O(n), not O(n²/8).
+//! * **Prefix extension** — merging the pool's *tail* node with a set
+//!   strictly above its maximum appends only the new elements and spans
+//!   the union over the shared prefix, so a k-leaf fragment chain stores
+//!   O(k) elements total (not O(k²)) and each step extends the cached
+//!   FNV content hash incrementally instead of rehashing the prefix.
+//!
+//! Interning (`node_for`, merge dedup) keys on the 64-bit content hash
+//! with exact element comparison on hit plus a linear overflow list for
+//! genuine hash collisions — deterministic, and no owned key copies.
+//!
 //! Submodules:
 //!
 //! * [`cost`] — total/extra cost and the probabilistic expected
@@ -36,7 +61,8 @@ pub use maintenance::PlanMaintainer;
 
 use std::collections::HashMap;
 
-use ssa_setcover::BitSet;
+use ssa_setcover::varset::{fnv1a_extend, sparse_limit, FNV_SEED};
+use ssa_setcover::{AsVarSetRef, BitSet, VarSet, VarSetRef};
 
 use crate::algebra::ops::AggregateOp;
 use crate::exec;
@@ -71,78 +97,86 @@ impl LevelSchedule {
     }
 }
 
-/// One node of a shared plan.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct PlanNode {
-    /// The set of variables this node aggregates (its label's canonical
-    /// form, per Lemma 1).
-    pub vars: BitSet,
-    /// The two children, for internal nodes; `None` for variable leaves.
-    pub children: Option<(usize, usize)>,
-}
+/// Span sentinel: this internal node's set is dense, stored at
+/// `dense[len]` instead of in the CSR element pool.
+const DENSE_SPAN: u32 = u32::MAX;
 
 /// A shared aggregation plan over `var_count` variables.
 ///
-/// Nodes `0..var_count` are the variable leaves. Internal nodes are
-/// deduplicated by variable set: merging two nodes whose union already
-/// exists returns the existing node (the semilattice identification).
+/// Nodes `0..var_count` are the (implicit) variable leaves. Internal
+/// nodes are deduplicated by variable set: merging two nodes whose union
+/// already exists returns the existing node (the semilattice
+/// identification). Node sets are read through [`PlanDag::vars`] as
+/// borrowed [`VarSetRef`] views into the pooled storage.
 #[derive(Debug, Clone)]
 pub struct PlanDag {
     var_count: usize,
-    nodes: Vec<PlanNode>,
-    /// Packed child pairs, one per node (`[NO_KIDS; 2]` for leaves),
-    /// mirroring `nodes[idx].children`. The per-round walkers (needed
-    /// set, materialization, cone masks) traverse this flat `u32` arena —
-    /// 8 bytes per node streamed contiguously — instead of pulling each
-    /// `PlanNode`'s label `BitSet` through cache alongside the topology.
+    /// Identity array `0..var_count`; `vars(v)` for a leaf borrows the
+    /// one-element slice `&leaf_ids[v..=v]`.
+    leaf_ids: Vec<u32>,
+    /// CSR element storage for sparse internal-node sets. Chain-built
+    /// nodes share prefixes: a prefix-extended union's span covers its
+    /// left child's elements plus the appended tail.
+    pool_elems: Vec<u32>,
+    /// Per internal node `(start, len)` into `pool_elems`, or
+    /// `(DENSE_SPAN, dense_index)` for promoted sets.
+    spans: Vec<(u32, u32)>,
+    /// Dense block storage for internal nodes past the sparse limit.
+    dense: Vec<Box<[u64]>>,
+    /// Cached FNV-1a content hash per internal node — extended
+    /// incrementally on the prefix-extension path so chain steps cost
+    /// O(tail), not O(prefix + tail).
+    hashes: Vec<u64>,
+    /// Packed child pairs, one per *internal* node (index `idx -
+    /// var_count`). The per-round walkers (needed set, materialization,
+    /// cone masks) traverse this flat `u32` arena — 8 bytes per node
+    /// streamed contiguously.
     children_packed: Vec<[u32; 2]>,
-    by_set: HashMap<BitSet, usize>,
+    /// Content-hash interning: hash → first internal node with that set.
+    /// Distinct sets colliding on the hash go to `by_set_overflow`
+    /// (scanned linearly; every lookup verifies elements exactly).
+    by_set: HashMap<u64, u32>,
+    by_set_overflow: Vec<(u64, u32)>,
     /// `queries[q]` = index of the node computing query `q`.
     queries: Vec<usize>,
 }
 
-/// Sentinel child index marking a leaf in `PlanDag::children_packed`.
-const NO_KIDS: u32 = u32::MAX;
-
 impl PlanDag {
-    /// An empty plan: just the variable leaves.
+    /// An empty plan: just the (implicit) variable leaves. O(var_count).
     pub fn new(var_count: usize) -> Self {
-        let mut nodes = Vec::with_capacity(var_count);
-        let mut by_set = HashMap::with_capacity(var_count);
-        for v in 0..var_count {
-            let set = BitSet::singleton(var_count, v);
-            by_set.insert(set.clone(), v);
-            nodes.push(PlanNode {
-                vars: set,
-                children: None,
-            });
-        }
         PlanDag {
             var_count,
-            nodes,
-            children_packed: vec![[NO_KIDS; 2]; var_count],
-            by_set,
+            leaf_ids: (0..var_count as u32).collect(),
+            pool_elems: Vec::new(),
+            spans: Vec::new(),
+            dense: Vec::new(),
+            hashes: Vec::new(),
+            children_packed: Vec::new(),
+            by_set: HashMap::new(),
+            by_set_overflow: Vec::new(),
             queries: Vec::new(),
         }
     }
 
-    /// Heap footprint of the plan in bytes: node labels, the packed child
-    /// arena, and the dedup map's keys. For the memory-scaling gate.
+    /// Heap footprint of the plan in bytes: the pooled node labels, the
+    /// packed child arena, cached hashes, and the interning tables. For
+    /// the memory-scaling gate.
     pub fn heap_bytes(&self) -> usize {
         use std::mem::size_of;
-        self.nodes.capacity() * size_of::<PlanNode>()
+        self.leaf_ids.capacity() * size_of::<u32>()
+            + self.pool_elems.capacity() * size_of::<u32>()
+            + self.spans.capacity() * size_of::<(u32, u32)>()
+            + self.dense.capacity() * size_of::<Box<[u64]>>()
             + self
-                .nodes
+                .dense
                 .iter()
-                .map(|n| n.vars.heap_bytes())
+                .map(|b| b.len() * size_of::<u64>())
                 .sum::<usize>()
+            + self.hashes.capacity() * size_of::<u64>()
             + self.children_packed.capacity() * size_of::<[u32; 2]>()
+            + self.by_set.capacity() * (size_of::<u64>() + size_of::<u32>())
+            + self.by_set_overflow.capacity() * size_of::<(u64, u32)>()
             + self.queries.capacity() * size_of::<usize>()
-            + self
-                .by_set
-                .keys()
-                .map(|k| k.heap_bytes() + size_of::<usize>())
-                .sum::<usize>()
     }
 
     /// Number of variables.
@@ -151,10 +185,56 @@ impl PlanDag {
         self.var_count
     }
 
-    /// All nodes; indices `0..var_count` are leaves.
+    /// Total node count; indices `0..var_count` are leaves.
     #[inline]
-    pub fn nodes(&self) -> &[PlanNode] {
-        &self.nodes
+    pub fn node_count(&self) -> usize {
+        self.var_count + self.spans.len()
+    }
+
+    /// The variable set of node `idx`, as a borrowed view into pooled
+    /// storage.
+    ///
+    /// # Panics
+    /// Panics if `idx` is out of range.
+    #[inline]
+    pub fn vars(&self, idx: usize) -> VarSetRef<'_> {
+        if idx < self.var_count {
+            VarSetRef::Sparse {
+                elems: &self.leaf_ids[idx..=idx],
+                capacity: self.var_count,
+            }
+        } else {
+            let (start, len) = self.spans[idx - self.var_count];
+            if start == DENSE_SPAN {
+                VarSetRef::Dense {
+                    blocks: &self.dense[len as usize],
+                    capacity: self.var_count,
+                }
+            } else {
+                VarSetRef::Sparse {
+                    elems: &self.pool_elems[start as usize..(start + len) as usize],
+                    capacity: self.var_count,
+                }
+            }
+        }
+    }
+
+    /// An owned copy of node `idx`'s variable set.
+    #[inline]
+    pub fn vars_owned(&self, idx: usize) -> VarSet {
+        self.vars(idx).to_var_set()
+    }
+
+    /// The children of node `idx`: `Some((a, b))` for internal nodes,
+    /// `None` for leaves.
+    #[inline]
+    pub fn children(&self, idx: usize) -> Option<(usize, usize)> {
+        if idx < self.var_count {
+            None
+        } else {
+            let [a, b] = self.children_packed[idx - self.var_count];
+            Some((a as usize, b as usize))
+        }
     }
 
     /// The node computing each bound query.
@@ -169,9 +249,49 @@ impl PlanDag {
         self.queries.len()
     }
 
-    /// Looks up a node by its variable set.
-    pub fn node_for(&self, vars: &BitSet) -> Option<usize> {
-        self.by_set.get(vars).copied()
+    /// Looks up an interned node by content hash, verifying elements
+    /// exactly (hash collisions fall through to the overflow list).
+    fn find_interned(&self, hash: u64, probe: VarSetRef<'_>) -> Option<usize> {
+        if let Some(&idx) = self.by_set.get(&hash) {
+            if self.vars(idx as usize).set_eq(probe) {
+                return Some(idx as usize);
+            }
+            for &(h, idx) in &self.by_set_overflow {
+                if h == hash && self.vars(idx as usize).set_eq(probe) {
+                    return Some(idx as usize);
+                }
+            }
+        }
+        None
+    }
+
+    fn intern(&mut self, hash: u64, idx: u32) {
+        if let std::collections::hash_map::Entry::Vacant(slot) = self.by_set.entry(hash) {
+            slot.insert(idx);
+        } else {
+            // A *different* set with the same content hash (merge never
+            // re-interns an existing set): keep both, resolved by exact
+            // comparison at lookup.
+            self.by_set_overflow.push((hash, idx));
+        }
+    }
+
+    /// Looks up a node by its variable set. Accepts [`VarSet`],
+    /// [`BitSet`], or a [`VarSetRef`] view.
+    pub fn node_for<S: AsVarSetRef + ?Sized>(&self, vars: &S) -> Option<usize> {
+        let probe = vars.as_set_ref();
+        debug_assert_eq!(probe.capacity(), self.var_count, "universe mismatch");
+        match probe.first() {
+            None => None,
+            Some(v) => {
+                // Singletons are the implicit leaves — never interned.
+                if probe.len() == 1 {
+                    (v < self.var_count).then_some(v)
+                } else {
+                    self.find_interned(probe.hash64(), probe)
+                }
+            }
+        }
     }
 
     /// Merges two existing nodes, returning the node whose variable set is
@@ -181,19 +301,148 @@ impl PlanDag {
     /// # Panics
     /// Panics if either index is out of range.
     pub fn merge(&mut self, a: usize, b: usize) -> usize {
-        assert!(a < self.nodes.len() && b < self.nodes.len(), "bad node id");
-        let union = self.nodes[a].vars.union(&self.nodes[b].vars);
-        if let Some(&idx) = self.by_set.get(&union) {
+        assert!(
+            a < self.node_count() && b < self.node_count(),
+            "bad node id"
+        );
+        if a == b {
+            return a;
+        }
+        // Prefix-extension fast path: `a` is the sparse tail of the pool
+        // and `b`'s elements all lie strictly above `a`'s maximum. The
+        // union is then `a`'s run extended in place — O(|b|) storage and
+        // hashing, which is what keeps k-step fragment chains O(k) total.
+        if a >= self.var_count {
+            let (start, len) = self.spans[a - self.var_count];
+            if start != DENSE_SPAN && (start + len) as usize == self.pool_elems.len() {
+                if let VarSetRef::Sparse { elems: b_elems, .. } = self.vars(b) {
+                    let a_max = self.pool_elems[(start + len) as usize - 1];
+                    if !b_elems.is_empty() && b_elems[0] > a_max {
+                        let hash =
+                            fnv1a_extend(self.hashes[a - self.var_count], b_elems.iter().copied());
+                        // Dedup before extending the pool: the union may
+                        // already exist as an earlier node. The probe
+                        // compares structurally (candidate == a's run
+                        // followed by b's), so no union is materialized.
+                        let b_len = b_elems.len() as u32;
+                        if let Some(idx) = self.find_extended(hash, a, b, len + b_len) {
+                            return idx;
+                        }
+                        // Copy b's elements (they may live earlier in the
+                        // same pool, so take them by index range).
+                        let (b_start, copy_len) = match b < self.var_count {
+                            true => (b as u32, 0),
+                            false => self.spans[b - self.var_count],
+                        };
+                        if b < self.var_count {
+                            self.pool_elems.push(b_start);
+                        } else {
+                            let lo = b_start as usize;
+                            let hi = lo + copy_len as usize;
+                            self.pool_elems.extend_from_within(lo..hi);
+                        }
+                        let idx = self.node_count();
+                        self.spans.push((start, len + b_len));
+                        self.hashes.push(hash);
+                        self.children_packed.push([a as u32, b as u32]);
+                        self.intern(hash, idx as u32);
+                        return idx;
+                    }
+                }
+            }
+        }
+        // General path: materialize the union's element run.
+        let union: Vec<u32> = {
+            let ra = self.vars(a);
+            let rb = self.vars(b);
+            let mut out = Vec::with_capacity(ra.len() + rb.len());
+            let mut ia = ra.iter().peekable();
+            let mut ib = rb.iter().peekable();
+            loop {
+                match (ia.peek().copied(), ib.peek().copied()) {
+                    (None, None) => break,
+                    (Some(_), None) => {
+                        out.push(ia.next().unwrap() as u32);
+                    }
+                    (None, Some(_)) => {
+                        out.push(ib.next().unwrap() as u32);
+                    }
+                    (Some(x), Some(y)) => match x.cmp(&y) {
+                        std::cmp::Ordering::Less => {
+                            out.push(ia.next().unwrap() as u32);
+                        }
+                        std::cmp::Ordering::Greater => {
+                            out.push(ib.next().unwrap() as u32);
+                        }
+                        std::cmp::Ordering::Equal => {
+                            out.push(ia.next().unwrap() as u32);
+                            ib.next();
+                        }
+                    },
+                }
+            }
+            out
+        };
+        if union.len() == 1 {
+            // Both children were the same singleton; `a == b` is caught
+            // above, so this cannot happen for distinct nodes — but keep
+            // the leaf identification for safety.
+            return union[0] as usize;
+        }
+        let hash = fnv1a_extend(FNV_SEED, union.iter().copied());
+        let probe = VarSetRef::Sparse {
+            elems: &union,
+            capacity: self.var_count,
+        };
+        if let Some(idx) = self.find_interned(hash, probe) {
             return idx;
         }
-        let idx = self.nodes.len();
-        self.by_set.insert(union.clone(), idx);
-        self.nodes.push(PlanNode {
-            vars: union,
-            children: Some((a, b)),
-        });
+        let idx = self.node_count();
+        if union.len() > sparse_limit(self.var_count) {
+            // Promote to dense blocks — only here, never on the
+            // prefix-extension path (which must keep sharing the pool).
+            let mut blocks = vec![0u64; self.var_count.div_ceil(64)].into_boxed_slice();
+            for &e in &union {
+                blocks[e as usize / 64] |= 1u64 << (e as usize % 64);
+            }
+            let dense_idx = self.dense.len() as u32;
+            self.dense.push(blocks);
+            self.spans.push((DENSE_SPAN, dense_idx));
+        } else {
+            let start = self.pool_elems.len() as u32;
+            self.pool_elems.extend_from_slice(&union);
+            self.spans.push((start, union.len() as u32));
+        }
+        self.hashes.push(hash);
         self.children_packed.push([a as u32, b as u32]);
+        self.intern(hash, idx as u32);
         idx
+    }
+
+    /// Interning probe for the prefix-extension path: is there a node
+    /// whose set is `vars(a) ++ vars(b)` (a dedup-free concatenation of
+    /// length `total`)? Verified structurally against pooled storage.
+    fn find_extended(&self, hash: u64, a: usize, b: usize, total: u32) -> Option<usize> {
+        let check = |idx: usize| -> bool {
+            let cand = self.vars(idx);
+            if cand.len() != total as usize {
+                return false;
+            }
+            let ra = self.vars(a);
+            let rb = self.vars(b);
+            cand.iter().eq(ra.iter().chain(rb.iter()))
+        };
+        if let Some(&idx) = self.by_set.get(&hash) {
+            if check(idx as usize) {
+                return Some(idx as usize);
+            }
+            for &(h, idx) in &self.by_set_overflow {
+                if h == hash && check(idx as usize) {
+                    return Some(idx as usize);
+                }
+            }
+        }
+        None
     }
 
     /// Aggregates a list of existing nodes left-to-right (a chain),
@@ -217,7 +466,7 @@ impl PlanDag {
     /// Panics on a bad query or node index.
     pub fn rebind_query(&mut self, q: usize, node: usize) {
         assert!(q < self.queries.len(), "query out of range");
-        assert!(node < self.nodes.len(), "node out of range");
+        assert!(node < self.node_count(), "node out of range");
         self.queries[q] = node;
     }
 
@@ -225,7 +474,7 @@ impl PlanDag {
     ///
     /// # Panics
     /// Panics if no node has this variable set — the plan is incomplete.
-    pub fn bind_query(&mut self, vars: &BitSet) -> usize {
+    pub fn bind_query<S: AsVarSetRef + ?Sized>(&mut self, vars: &S) -> usize {
         let idx = self
             .node_for(vars)
             .expect("query bound before its node exists");
@@ -237,7 +486,7 @@ impl PlanDag {
     /// number of nodes with non-zero in-degree", i.e. top-k aggregation
     /// operations materializable per round.
     pub fn total_cost(&self) -> usize {
-        self.nodes.len() - self.var_count
+        self.spans.len()
     }
 
     /// Extra cost: total cost minus the base cost `|E|` (queries that are
@@ -255,32 +504,18 @@ impl PlanDag {
     /// is the union of its children's; children precede parents; every
     /// bound query points at a node with exactly its variable set.
     pub fn validate(&self) -> Result<(), String> {
-        for (idx, node) in self.nodes.iter().enumerate() {
-            match node.children {
-                None => {
-                    if idx >= self.var_count {
-                        return Err(format!("internal node {idx} has no children"));
-                    }
-                    if node.vars.len() != 1 {
-                        return Err(format!("leaf {idx} is not a singleton"));
-                    }
-                }
-                Some((a, b)) => {
-                    if idx < self.var_count {
-                        return Err(format!("leaf {idx} has children"));
-                    }
-                    if a >= idx || b >= idx {
-                        return Err(format!("node {idx} references later node"));
-                    }
-                    let union = self.nodes[a].vars.union(&self.nodes[b].vars);
-                    if union != node.vars {
-                        return Err(format!("node {idx} label is not its children's union"));
-                    }
-                }
+        for idx in self.var_count..self.node_count() {
+            let (a, b) = self.children(idx).expect("internal node has children");
+            if a >= idx || b >= idx {
+                return Err(format!("node {idx} references later node"));
+            }
+            let union = self.vars_owned(a).union(&self.vars(b));
+            if union.as_set_ref() != self.vars(idx) {
+                return Err(format!("node {idx} label is not its children's union"));
             }
         }
         for (q, &idx) in self.queries.iter().enumerate() {
-            if idx >= self.nodes.len() {
+            if idx >= self.node_count() {
                 return Err(format!("query {q} bound to missing node"));
             }
         }
@@ -292,56 +527,113 @@ impl PlanDag {
     /// operators (duplicates collapse); non-idempotent evaluation rejects
     /// them.
     pub fn has_overlapping_merges(&self) -> bool {
-        self.nodes.iter().any(|n| match n.children {
-            Some((a, b)) => !self.nodes[a].vars.is_disjoint(&self.nodes[b].vars),
-            None => false,
+        (self.var_count..self.node_count()).any(|idx| {
+            let (a, b) = self.children(idx).expect("internal node");
+            !self.vars(a).is_disjoint(self.vars(b))
         })
     }
 
     /// For each node, the set of *bound queries* it feeds (`v ⇝ q`):
-    /// query-node sets seeded, then propagated down to children. Returned
-    /// as bit sets over query indices.
-    pub fn reach_sets(&self) -> Vec<BitSet> {
-        let m = self.queries.len();
-        let mut reach: Vec<BitSet> = (0..self.nodes.len()).map(|_| BitSet::new(m)).collect();
-        for (q, &idx) in self.queries.iter().enumerate() {
-            reach[idx].insert(q);
-        }
-        // Children inherit every query their parent feeds; process parents
-        // before children (indices descend since children precede parents).
-        for idx in (0..self.nodes.len()).rev() {
-            if let Some((a, b)) = self.nodes[idx].children {
-                let r = reach[idx].clone();
-                reach[a].union_with(&r);
-                reach[b].union_with(&r);
+    /// query-node cones walked per query, packed into one CSR pool.
+    /// Each node's query list is ascending (queries are visited in
+    /// index order), preserving the summation order the cost model's
+    /// floating-point products depend on.
+    pub fn reach_sets(&self) -> ReachSets {
+        let n_nodes = self.node_count();
+        let mut counts = vec![0u32; n_nodes];
+        let mut epoch = vec![u32::MAX; n_nodes];
+        let mut stack: Vec<usize> = Vec::new();
+        for pass in 0..2 {
+            let mut offsets = Vec::new();
+            let mut fill: Vec<u32> = Vec::new();
+            let mut qs: Vec<u32> = Vec::new();
+            if pass == 1 {
+                offsets = vec![0u32; n_nodes + 1];
+                for i in 0..n_nodes {
+                    offsets[i + 1] = offsets[i] + counts[i];
+                }
+                fill = offsets[..n_nodes].to_vec();
+                qs = vec![0u32; offsets[n_nodes] as usize];
+                for e in epoch.iter_mut() {
+                    *e = u32::MAX;
+                }
+            }
+            for (q, &root) in self.queries.iter().enumerate() {
+                let stamp = q as u32;
+                stack.push(root);
+                while let Some(idx) = stack.pop() {
+                    if epoch[idx] == stamp {
+                        continue;
+                    }
+                    epoch[idx] = stamp;
+                    if pass == 0 {
+                        counts[idx] += 1;
+                    } else {
+                        qs[fill[idx] as usize] = stamp;
+                        fill[idx] += 1;
+                    }
+                    if let Some((a, b)) = self.children(idx) {
+                        stack.push(a);
+                        stack.push(b);
+                    }
+                }
+            }
+            if pass == 1 {
+                return ReachSets { offsets, qs };
             }
         }
-        reach
+        unreachable!()
     }
 
     /// Marks the cone of `root`: the node itself plus every descendant
     /// reachable through `children` edges. The incremental cost tracker
-    /// diffs two cone masks to find exactly the nodes whose reach sets a
-    /// query rebind changes, instead of rescanning the whole plan.
+    /// diffs two cones to find exactly the nodes whose reach sets a query
+    /// rebind changes, instead of rescanning the whole plan.
     ///
     /// # Panics
     /// Panics if `root` is out of range.
     pub fn cone_mask(&self, root: usize) -> Vec<bool> {
-        assert!(root < self.nodes.len(), "node out of range");
-        let mut mask = vec![false; self.nodes.len()];
+        assert!(root < self.node_count(), "node out of range");
+        let mut mask = vec![false; self.node_count()];
         let mut stack = vec![root];
         while let Some(idx) = stack.pop() {
             if mask[idx] {
                 continue;
             }
             mask[idx] = true;
-            let [a, b] = self.children_packed[idx];
-            if a != NO_KIDS {
-                stack.push(a as usize);
-                stack.push(b as usize);
+            if let Some((a, b)) = self.children(idx) {
+                stack.push(a);
+                stack.push(b);
             }
         }
         mask
+    }
+
+    /// The cone of `root` as an ascending node-index list — the sparse
+    /// counterpart of [`PlanDag::cone_mask`], sized by the cone rather
+    /// than the plan, which is what lets the incremental cost tracker
+    /// repair rebinds by merge-diffing two cones at 10⁶ nodes.
+    ///
+    /// # Panics
+    /// Panics if `root` is out of range.
+    pub fn cone_nodes(&self, root: usize) -> Vec<u32> {
+        assert!(root < self.node_count(), "node out of range");
+        let mut seen = vec![root as u32];
+        let mut stack = vec![root];
+        let mut mark = std::collections::HashSet::new();
+        mark.insert(root);
+        while let Some(idx) = stack.pop() {
+            if let Some((a, b)) = self.children(idx) {
+                for c in [a, b] {
+                    if mark.insert(c) {
+                        seen.push(c as u32);
+                        stack.push(c);
+                    }
+                }
+            }
+        }
+        seen.sort_unstable();
+        seen
     }
 
     /// Checks the `evaluate` preconditions shared by the sequential and
@@ -366,7 +658,7 @@ impl PlanDag {
     /// Marks the nodes needed this round: the descendants of every
     /// occurring query's node.
     fn needed_nodes(&self, occurring: &[bool]) -> Vec<bool> {
-        let mut needed = vec![false; self.nodes.len()];
+        let mut needed = vec![false; self.node_count()];
         let mut stack: Vec<usize> = self
             .queries
             .iter()
@@ -379,13 +671,24 @@ impl PlanDag {
                 continue;
             }
             needed[idx] = true;
-            let [a, b] = self.children_packed[idx];
-            if a != NO_KIDS {
-                stack.push(a as usize);
-                stack.push(b as usize);
+            if let Some((a, b)) = self.children(idx) {
+                stack.push(a);
+                stack.push(b);
             }
         }
         needed
+    }
+
+    /// A node's materialized value: leaves read straight from the input
+    /// slice (never copied into the memo), internal nodes from their
+    /// memo slot.
+    #[inline]
+    fn value_at<'v, V>(&self, memo: &'v [Option<V>], leaves: &'v [V], idx: usize) -> &'v V {
+        if idx < self.var_count {
+            &leaves[idx]
+        } else {
+            memo[idx - self.var_count].as_ref().expect("child computed")
+        }
     }
 
     /// Evaluates the plan for one round.
@@ -406,31 +709,35 @@ impl PlanDag {
         occurring: &[bool],
     ) -> (Vec<Option<O::Value>>, usize) {
         self.check_evaluate_inputs(op, leaves, occurring);
-        let mut memo: Vec<Option<O::Value>> = vec![None; self.nodes.len()];
-        for (v, value) in leaves.iter().enumerate() {
-            memo[v] = Some(value.clone());
-        }
+        // Memo over internal nodes only: leaf values are read from the
+        // input slice, so a round never clones the population.
+        let mut memo: Vec<Option<O::Value>> = vec![None; self.spans.len()];
         let mut ops = 0usize;
         let needed = self.needed_nodes(occurring);
         // Materialize in index order (children precede parents).
-        for idx in self.var_count..self.nodes.len() {
-            if !needed[idx] || memo[idx].is_some() {
+        for idx in self.var_count..self.node_count() {
+            if !needed[idx] || memo[idx - self.var_count].is_some() {
                 continue;
             }
-            let [a, b] = self.children_packed[idx];
-            let (a, b) = (a as usize, b as usize);
+            let (a, b) = self.children(idx).expect("internal node");
             let value = op.combine(
-                memo[a].as_ref().expect("child computed"),
-                memo[b].as_ref().expect("child computed"),
+                self.value_at(&memo, leaves, a),
+                self.value_at(&memo, leaves, b),
             );
             ops += 1;
-            memo[idx] = Some(value);
+            memo[idx - self.var_count] = Some(value);
         }
         let results = self
             .queries
             .iter()
             .zip(occurring)
-            .map(|(&idx, &occ)| if occ { memo[idx].clone() } else { None })
+            .map(|(&idx, &occ)| {
+                if occ {
+                    Some(self.value_at(&memo, leaves, idx).clone())
+                } else {
+                    None
+                }
+            })
             .collect();
         (results, ops)
     }
@@ -439,16 +746,16 @@ impl PlanDag {
     /// depth from the leaves. Computed once at plan-build time and reused
     /// every round by [`PlanDag::evaluate_parallel`].
     pub fn level_schedule(&self) -> LevelSchedule {
-        let mut depth = vec![0usize; self.nodes.len()];
+        let mut depth = vec![0usize; self.node_count()];
         let mut max_depth = 0usize;
-        for idx in self.var_count..self.nodes.len() {
-            let [a, b] = self.children_packed[idx];
-            depth[idx] = depth[a as usize].max(depth[b as usize]) + 1;
+        for idx in self.var_count..self.node_count() {
+            let (a, b) = self.children(idx).expect("internal node");
+            depth[idx] = depth[a].max(depth[b]) + 1;
             max_depth = max_depth.max(depth[idx]);
         }
         let mut levels: Vec<Vec<usize>> = vec![Vec::new(); max_depth];
         // Ascending index order within each level falls out of the sweep.
-        for idx in self.var_count..self.nodes.len() {
+        for idx in self.var_count..self.node_count() {
             levels[depth[idx] - 1].push(idx);
         }
         LevelSchedule { levels }
@@ -486,13 +793,10 @@ impl PlanDag {
         let scheduled: usize = schedule.levels.iter().map(Vec::len).sum();
         assert_eq!(
             scheduled,
-            self.nodes.len() - self.var_count,
+            self.spans.len(),
             "schedule does not cover this plan's internal nodes"
         );
-        let mut memo: Vec<Option<O::Value>> = vec![None; self.nodes.len()];
-        for (v, value) in leaves.iter().enumerate() {
-            memo[v] = Some(value.clone());
-        }
+        let mut memo: Vec<Option<O::Value>> = vec![None; self.spans.len()];
         let mut ops = 0usize;
         let needed = self.needed_nodes(occurring);
         for level in &schedule.levels {
@@ -506,25 +810,61 @@ impl PlanDag {
                 let memo_ref = &memo;
                 exec::parallel_map(jobs.len(), threads, |j| {
                     let idx = jobs[j];
-                    let [a, b] = self.children_packed[idx];
+                    let (a, b) = self.children(idx).expect("internal node");
                     op.combine(
-                        memo_ref[a as usize].as_ref().expect("child computed"),
-                        memo_ref[b as usize].as_ref().expect("child computed"),
+                        self.value_at(memo_ref, leaves, a),
+                        self.value_at(memo_ref, leaves, b),
                     )
                 })
             };
             ops += jobs.len();
             for (idx, value) in jobs.into_iter().zip(values) {
-                memo[idx] = Some(value);
+                memo[idx - self.var_count] = Some(value);
             }
         }
         let results = self
             .queries
             .iter()
             .zip(occurring)
-            .map(|(&idx, &occ)| if occ { memo[idx].clone() } else { None })
+            .map(|(&idx, &occ)| {
+                if occ {
+                    Some(self.value_at(&memo, leaves, idx).clone())
+                } else {
+                    None
+                }
+            })
             .collect();
         (results, ops)
+    }
+}
+
+/// Per-node reach sets (`node ⇝ query`) in one CSR pool — the sparse
+/// replacement for the old `Vec<BitSet>` (which materialized O(nodes × m)
+/// dense bits). `queries_of(idx)` is ascending, so cost-model products
+/// iterate queries in exactly the order the dense representation did.
+#[derive(Debug, Clone)]
+pub struct ReachSets {
+    offsets: Vec<u32>,
+    qs: Vec<u32>,
+}
+
+impl ReachSets {
+    /// The ascending query indices node `idx` feeds.
+    #[inline]
+    pub fn queries_of(&self, idx: usize) -> &[u32] {
+        &self.qs[self.offsets[idx] as usize..self.offsets[idx + 1] as usize]
+    }
+
+    /// Number of nodes covered.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Heap footprint in bytes.
+    pub fn heap_bytes(&self) -> usize {
+        use std::mem::size_of;
+        self.offsets.capacity() * size_of::<u32>() + self.qs.capacity() * size_of::<u32>()
     }
 }
 
@@ -534,21 +874,35 @@ impl PlanDag {
 pub struct PlanProblem {
     /// Universe size (number of variables / advertisers).
     pub var_count: usize,
-    /// Query variable sets `X_q`.
-    pub queries: Vec<BitSet>,
+    /// Query variable sets `X_q`, stored adaptively sparse.
+    pub queries: Vec<VarSet>,
     /// Per-query search rates `sr_q` (probability the phrase occurs in a
     /// round).
     pub search_rates: Vec<f64>,
 }
 
 impl PlanProblem {
-    /// Builds a problem; rates default to 1.0 (the deterministic case of
-    /// Section II-C) when `search_rates` is `None`.
+    /// Builds a problem from dense query sets; rates default to 1.0 (the
+    /// deterministic case of Section II-C) when `search_rates` is `None`.
     ///
     /// # Panics
     /// Panics if inputs are inconsistent (wrong universe, rate counts,
     /// rates out of `[0,1]`, or an empty query).
     pub fn new(var_count: usize, queries: Vec<BitSet>, search_rates: Option<Vec<f64>>) -> Self {
+        let queries: Vec<VarSet> = queries.iter().map(VarSet::from_bitset).collect();
+        PlanProblem::from_varsets(var_count, queries, search_rates)
+    }
+
+    /// Builds a problem from adaptive sets directly — the allocation-lean
+    /// path population-scale callers (the plan resolver) use.
+    ///
+    /// # Panics
+    /// Same contract as [`PlanProblem::new`].
+    pub fn from_varsets(
+        var_count: usize,
+        queries: Vec<VarSet>,
+        search_rates: Option<Vec<f64>>,
+    ) -> Self {
         for (q, set) in queries.iter().enumerate() {
             assert_eq!(set.capacity(), var_count, "query {q} universe mismatch");
             assert!(!set.is_empty(), "query {q} is empty");
@@ -575,7 +929,17 @@ impl PlanProblem {
 
     /// Total input size `Σ_q |X_q|` (the paper's running-time parameter).
     pub fn total_query_size(&self) -> usize {
-        self.queries.iter().map(BitSet::len).sum()
+        self.queries.iter().map(VarSet::len).sum()
+    }
+
+    /// Heap footprint of the query sets and rates, in bytes — the
+    /// resolver charges the retained problem against the hot-state
+    /// budget.
+    pub fn heap_bytes(&self) -> usize {
+        use std::mem::size_of;
+        self.queries.capacity() * size_of::<VarSet>()
+            + self.queries.iter().map(VarSet::heap_bytes).sum::<usize>()
+            + self.search_rates.capacity() * size_of::<f64>()
     }
 }
 
@@ -598,7 +962,7 @@ mod tests {
         assert_eq!(plan.total_cost(), 1);
         let abc = plan.merge(ab, 2);
         assert_eq!(plan.total_cost(), 2);
-        assert_eq!(plan.nodes()[abc].vars, bs(4, &[0, 1, 2]));
+        assert_eq!(plan.vars(abc), bs(4, &[0, 1, 2]));
         assert!(plan.validate().is_ok());
     }
 
@@ -609,6 +973,48 @@ mod tests {
         let before = plan.total_cost();
         plan.merge_chain(&[0, 1, 2, 3]); // shares the {0,1} and {0,1,2} prefixes
         assert_eq!(plan.total_cost(), before + 1);
+    }
+
+    #[test]
+    fn chain_storage_shares_prefixes() {
+        // A k-leaf ascending chain must store O(k) pooled elements, not
+        // O(k²): each step extends the previous node's run in place.
+        let k = 64;
+        let mut plan = PlanDag::new(k);
+        let leaves: Vec<usize> = (0..k).collect();
+        plan.merge_chain(&leaves);
+        assert_eq!(plan.total_cost(), k - 1);
+        assert_eq!(
+            plan.pool_elems.len(),
+            k,
+            "chain prefixes must share one pooled run"
+        );
+        // Every prefix node is still individually addressable and correct.
+        for idx in k..plan.node_count() {
+            let want: Vec<usize> = (0..=(idx - k + 1)).collect();
+            assert_eq!(plan.vars(idx).iter().collect::<Vec<_>>(), want);
+        }
+        assert!(plan.validate().is_ok());
+    }
+
+    #[test]
+    fn merge_promotes_large_unions_to_dense() {
+        // Universe 4096 → sparse limit 128. A general-path (non-chain)
+        // union past the limit must land in dense block storage.
+        let n = 4096;
+        let mut plan = PlanDag::new(n);
+        let a = plan.merge_chain(&(0..100).collect::<Vec<_>>());
+        let b = plan.merge_chain(&(200..300).collect::<Vec<_>>());
+        // Merging b (whose min 200 > a's max 99) extends the pool only if
+        // b is the tail; a is not the tail anymore, so this takes the
+        // general path and promotes.
+        let ab = plan.merge(a, b);
+        assert!(matches!(plan.vars(ab), VarSetRef::Dense { .. }));
+        assert_eq!(plan.vars(ab).len(), 200);
+        assert!(plan.validate().is_ok());
+        // Interning still finds it.
+        let want: Vec<usize> = (0..100).chain(200..300).collect();
+        assert_eq!(plan.node_for(&bs(n, &want)), Some(ab));
     }
 
     #[test]
@@ -631,6 +1037,8 @@ mod tests {
         let ab = plan.merge(0, 1);
         let idx = plan.bind_query(&bs(3, &[0, 1]));
         assert_eq!(idx, ab);
+        // Singleton queries bind straight to the implicit leaves.
+        assert_eq!(plan.bind_query(&VarSet::singleton(3, 2)), 2);
     }
 
     #[test]
@@ -649,10 +1057,27 @@ mod tests {
         plan.queries = vec![abc, abd];
         let reach = plan.reach_sets();
         // ab feeds both queries; leaf 2 only query 0; leaf 3 only query 1.
-        assert_eq!(reach[ab], bs(2, &[0, 1]));
-        assert_eq!(reach[2], bs(2, &[0]));
-        assert_eq!(reach[3], bs(2, &[1]));
-        assert_eq!(reach[abc], bs(2, &[0]));
+        assert_eq!(reach.queries_of(ab), &[0, 1]);
+        assert_eq!(reach.queries_of(2), &[0]);
+        assert_eq!(reach.queries_of(3), &[1]);
+        assert_eq!(reach.queries_of(abc), &[0]);
+    }
+
+    #[test]
+    fn cone_nodes_matches_cone_mask() {
+        let mut plan = PlanDag::new(5);
+        let ab = plan.merge(0, 1);
+        let abc = plan.merge(ab, 2);
+        let de = plan.merge(3, 4);
+        let _all = plan.merge(abc, de);
+        for root in 0..plan.node_count() {
+            let mask = plan.cone_mask(root);
+            let from_mask: Vec<u32> = (0..plan.node_count())
+                .filter(|&i| mask[i])
+                .map(|i| i as u32)
+                .collect();
+            assert_eq!(plan.cone_nodes(root), from_mask);
+        }
     }
 
     #[test]

@@ -76,8 +76,9 @@ pub fn optimal_plan_with_budget(problem: &PlanProblem, budget: u64) -> Option<Op
 fn dedup_queries(problem: &PlanProblem) -> Vec<BitSet> {
     let mut out: Vec<BitSet> = Vec::new();
     for q in &problem.queries {
-        if !out.contains(q) {
-            out.push(q.clone());
+        let q = q.to_bitset();
+        if !out.contains(&q) {
+            out.push(q);
         }
     }
     out

@@ -16,7 +16,7 @@
 //! (aggregating `c*` nodes takes `c* − 1` merges, one of which is the
 //! query node `e_U` itself and therefore base cost).
 
-use ssa_setcover::{exact_min_cover, BitSet, SetCoverInstance};
+use ssa_setcover::{exact_min_cover, BitSet, SetCoverInstance, VarSet};
 
 use super::{PlanDag, PlanProblem};
 
@@ -70,31 +70,32 @@ pub fn extract_cover(plan: &PlanDag, problem: &PlanProblem) -> Vec<BitSet> {
         .queries
         .iter()
         .max_by_key(|q| q.len())
-        .expect("nonempty problem")
-        .clone();
+        .expect("nonempty problem");
     let root = plan
-        .node_for(&universe)
+        .node_for(universe)
         .expect("plan computes the universal query");
-    let query_sets: Vec<&BitSet> = problem.queries.iter().filter(|q| **q != universe).collect();
+    let query_sets: Vec<&VarSet> = problem.queries.iter().filter(|q| *q != universe).collect();
     let mut cover: Vec<BitSet> = Vec::new();
     let mut stack = vec![root];
     while let Some(idx) = stack.pop() {
-        let node = &plan.nodes()[idx];
-        let is_query = query_sets.iter().any(|q| **q == node.vars);
-        if idx != root && (is_query || node.children.is_none()) {
-            if !cover.contains(&node.vars) {
-                cover.push(node.vars.clone());
+        let vars = plan.vars(idx);
+        let children = plan.children(idx);
+        let is_query = query_sets.iter().any(|q| vars == **q);
+        if idx != root && (is_query || children.is_none()) {
+            let set = vars.to_bitset();
+            if !cover.contains(&set) {
+                cover.push(set);
             }
             continue;
         }
-        match node.children {
+        match children {
             Some((a, b)) => {
                 stack.push(a);
                 stack.push(b);
             }
             None => {
                 // Root is itself a leaf: the universe is a variable.
-                cover.push(node.vars.clone());
+                cover.push(vars.to_bitset());
             }
         }
     }
@@ -106,17 +107,17 @@ pub fn extract_cover(plan: &PlanDag, problem: &PlanProblem) -> Vec<BitSet> {
 /// always aggregate raw variables). `None` only if the problem is
 /// degenerate.
 pub fn min_plan_cover(problem: &PlanProblem) -> Option<usize> {
-    let universe = problem.queries.iter().max_by_key(|q| q.len())?.clone();
+    let universe = problem.queries.iter().max_by_key(|q| q.len())?;
     let mut candidates: Vec<BitSet> = problem
         .queries
         .iter()
-        .filter(|q| **q != universe)
-        .cloned()
+        .filter(|q| *q != universe)
+        .map(|q| q.to_bitset())
         .collect();
     for v in 0..problem.var_count {
         candidates.push(BitSet::singleton(problem.var_count, v));
     }
-    exact_min_cover(&universe, &candidates).map(|c| c.len())
+    exact_min_cover(&universe.to_bitset(), &candidates).map(|c| c.len())
 }
 
 #[cfg(test)]

@@ -1,5 +1,6 @@
 //! Bytes-per-advertiser ceilings for the engine's hot state, per sharing
-//! strategy, at n = 10 000.
+//! strategy, at n = 10 000 (plus a 100k re-pin for the plan-bearing
+//! strategy, whose footprint history is the one with a density cliff).
 //!
 //! Two gates, both failing loudly with the measured numbers so a
 //! regression shows its size immediately:
@@ -60,42 +61,53 @@ unsafe impl GlobalAlloc for PeakAlloc {
 #[global_allocator]
 static COUNTER: PeakAlloc = PeakAlloc;
 
-const N: usize = 10_000;
-
 #[test]
 fn bytes_per_advertiser_stay_under_ceiling() {
-    // (name, sharing, jitter, hot-state ceiling, allocator-peak
+    // (name, sharing, n, jitter, hot-state ceiling, allocator-peak
     // ceiling), both ceilings in bytes per advertiser. Measured 2026-08
     // at n=10k, 32 phrases: hot state Unshared 80 (stateless resolver:
     // just the engine's SoA ledgers/bid vectors), SharedSort 752 (merge
-    // arena + caches), SharedAggregation 5360 and Hybrid 5539 (the plan
-    // DAG keeps a dense n-bit variable set per node, so its footprint
-    // scales with nodes x n/8 — the known reason the memory-scaling
-    // sweep runs SharedSort). Peaks add the planner's construction
-    // scratch (~9000/adv for plan-bearing strategies), dropped before
-    // steady state. Ceilings leave ~50% headroom; one extra dense
-    // population-sized vector (8+ bytes/advertiser) blows through them.
+    // arena + caches), SharedAggregation 304 and Hybrid 754 (plan nodes
+    // hold adaptive-sparse `VarSet`s in a CSR pool and the cost tracker's
+    // reach sets are sparse, so the plan's footprint follows interest
+    // density, not nodes x n/8 — down from 5360/5539 when every node
+    // owned a dense n-bit set). The shared-aggregation-100k case re-pins
+    // the plan-bearing ceiling a decade up (measured 288 hot / 542 peak)
+    // to catch anything population-quadratic hiding at 10k. Peaks add
+    // the planner's construction scratch, dropped before steady state.
+    // Ceilings leave ~50% headroom; one extra dense population-sized
+    // vector (8+ bytes/advertiser) blows through them.
     let cases = [
-        ("unshared", SharingStrategy::Unshared, 0.4, 120, 160),
+        ("unshared", SharingStrategy::Unshared, 10_000, 0.4, 120, 160),
         (
             "shared-aggregation",
             SharingStrategy::SharedAggregation,
+            10_000,
             0.0,
-            8_000,
-            14_000,
+            450,
+            1_100,
         ),
         (
             "shared-sort",
             SharingStrategy::SharedSort,
+            10_000,
             0.4,
             1_200,
             1_600,
         ),
-        ("hybrid", SharingStrategy::Hybrid, 0.4, 8_000, 13_000),
+        ("hybrid", SharingStrategy::Hybrid, 10_000, 0.4, 1_200, 1_400),
+        (
+            "shared-aggregation-100k",
+            SharingStrategy::SharedAggregation,
+            100_000,
+            0.0,
+            450,
+            1_100,
+        ),
     ];
-    for (name, sharing, jitter, hot_ceiling, peak_ceiling) in cases {
+    for (name, sharing, n, jitter, hot_ceiling, peak_ceiling) in cases {
         let workload = Workload::generate(&WorkloadConfig {
-            advertisers: N,
+            advertisers: n,
             phrases: 32,
             topics: 8,
             phrase_factor_jitter: jitter,
@@ -124,8 +136,8 @@ fn bytes_per_advertiser_stay_under_ceiling() {
 
         let hot = engine.hot_state_bytes();
         eprintln!("MEASURE {name}: hot={hot} peak={peak_delta}");
-        let hot_per_adv = hot.div_ceil(N);
-        let peak_per_adv = peak_delta.div_ceil(N);
+        let hot_per_adv = hot.div_ceil(n);
+        let peak_per_adv = peak_delta.div_ceil(n);
         assert!(
             hot_per_adv <= hot_ceiling,
             "[{name}] hot state grew to {hot} bytes = {hot_per_adv} bytes/advertiser \

@@ -70,6 +70,14 @@ impl BitSet {
         self.blocks.len() * std::mem::size_of::<u64>()
     }
 
+    /// The raw bit blocks (least-significant bit of block 0 = element 0) —
+    /// the view [`crate::VarSetRef`] borrows for mixed sparse/dense
+    /// algebra.
+    #[inline]
+    pub fn blocks(&self) -> &[u64] {
+        &self.blocks
+    }
+
     /// Inserts an element. Returns true if it was newly inserted.
     ///
     /// # Panics

@@ -8,6 +8,7 @@
 //! sets and each step's marginal gain.
 
 use crate::bitset::BitSet;
+use crate::varset::{AsVarSetRef, VarSet, VarSetRef};
 
 /// The result of a greedy covering run.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -83,6 +84,41 @@ pub fn greedy_cover_size_refs(target: &BitSet, candidates: &[&BitSet]) -> Option
     greedy_cover_refs(target, candidates).map(|c| c.size())
 }
 
+/// [`greedy_cover_refs`] over [`VarSetRef`] views — the same algorithm,
+/// selection step for selection step (same feasibility filter, same
+/// max-gain loop with strict-greater comparisons keeping the lowest
+/// index on ties), over the adaptive representation. Callers holding
+/// node sets in a CSR pool cover without materializing dense words.
+pub fn greedy_cover_views(
+    target: VarSetRef<'_>,
+    candidates: &[VarSetRef<'_>],
+) -> Option<GreedyCover> {
+    let feasible: Vec<usize> = (0..candidates.len())
+        .filter(|&i| candidates[i].is_subset(target) && !candidates[i].is_empty())
+        .collect();
+
+    let mut uncovered: VarSet = target.to_var_set();
+    let mut chosen = Vec::new();
+    let mut marginal_gains = Vec::new();
+    while !uncovered.is_empty() {
+        let mut best: Option<(usize, usize)> = None; // (gain, index)
+        for &i in &feasible {
+            let gain = candidates[i].intersection_len(uncovered.as_set_ref());
+            if gain > 0 && best.is_none_or(|(bg, _)| gain > bg) {
+                best = Some((gain, i));
+            }
+        }
+        let (gain, idx) = best?;
+        chosen.push(idx);
+        marginal_gains.push(gain);
+        uncovered.difference_with(&candidates[idx]);
+    }
+    Some(GreedyCover {
+        chosen,
+        marginal_gains,
+    })
+}
+
 /// Greedy *disjoint* cover (a partition of `target` into candidate sets):
 /// at each step only candidates fitting entirely inside the still-
 /// uncovered part are feasible. Needed when the aggregation operator is
@@ -96,6 +132,38 @@ pub fn greedy_disjoint_cover(target: &BitSet, candidates: &[BitSet]) -> Option<G
         let mut best: Option<(usize, usize)> = None; // (gain, index)
         for (i, c) in candidates.iter().enumerate() {
             if c.is_empty() || !c.is_subset(&uncovered) {
+                continue;
+            }
+            let gain = c.len();
+            if best.is_none_or(|(bg, _)| gain > bg) {
+                best = Some((gain, i));
+            }
+        }
+        let (gain, idx) = best?;
+        chosen.push(idx);
+        marginal_gains.push(gain);
+        uncovered.difference_with(&candidates[idx]);
+    }
+    Some(GreedyCover {
+        chosen,
+        marginal_gains,
+    })
+}
+
+/// [`greedy_disjoint_cover`] over [`VarSetRef`] views — identical
+/// feasibility (candidate fits entirely inside the uncovered remainder)
+/// and selection semantics.
+pub fn greedy_disjoint_cover_views(
+    target: VarSetRef<'_>,
+    candidates: &[VarSetRef<'_>],
+) -> Option<GreedyCover> {
+    let mut uncovered: VarSet = target.to_var_set();
+    let mut chosen = Vec::new();
+    let mut marginal_gains = Vec::new();
+    while !uncovered.is_empty() {
+        let mut best: Option<(usize, usize)> = None; // (gain, index)
+        for (i, c) in candidates.iter().enumerate() {
+            if c.is_empty() || !c.is_subset(uncovered.as_set_ref()) {
                 continue;
             }
             let gain = c.len();
@@ -235,6 +303,54 @@ mod tests {
     }
 
     proptest! {
+        /// The view-based entry points replicate the dense algorithms
+        /// choice for choice, in sparse, dense, and mixed pairings.
+        #[test]
+        fn views_variant_matches_dense(
+            sets in proptest::collection::vec(
+                proptest::collection::btree_set(0usize..12, 0..6), 1..8),
+            target_extra in proptest::collection::btree_set(0usize..12, 0..4),
+        ) {
+            let candidates: Vec<BitSet> = sets
+                .iter()
+                .map(|s| BitSet::from_elements(12, s.iter().copied()))
+                .collect();
+            // A target that is not always coverable: union of candidates
+            // plus extra elements exercises the None paths too.
+            let mut target = BitSet::from_elements(12, target_extra.iter().copied());
+            for c in &candidates[..candidates.len() / 2] {
+                target.union_with(c);
+            }
+            let sparse: Vec<VarSet> = candidates
+                .iter()
+                .map(VarSet::from_bitset)
+                .collect();
+            let sparse_target = VarSet::from_bitset(&target);
+            let views: Vec<VarSetRef> = sparse.iter().map(|s| s.as_set_ref()).collect();
+            let mixed: Vec<VarSetRef> = candidates
+                .iter()
+                .zip(sparse.iter())
+                .enumerate()
+                .map(|(i, (b, s))| if i % 2 == 0 { b.as_set_ref() } else { s.as_set_ref() })
+                .collect();
+            prop_assert_eq!(
+                greedy_cover(&target, &candidates),
+                greedy_cover_views(sparse_target.as_set_ref(), &views)
+            );
+            prop_assert_eq!(
+                greedy_cover(&target, &candidates),
+                greedy_cover_views(target.as_set_ref(), &mixed)
+            );
+            prop_assert_eq!(
+                greedy_disjoint_cover(&target, &candidates),
+                greedy_disjoint_cover_views(sparse_target.as_set_ref(), &views)
+            );
+            prop_assert_eq!(
+                greedy_disjoint_cover(&target, &candidates),
+                greedy_disjoint_cover_views(target.as_set_ref(), &mixed)
+            );
+        }
+
         /// The borrowed-candidate entry point is the same algorithm.
         #[test]
         fn refs_variant_matches_owned(

@@ -881,29 +881,29 @@ pub fn check_plan_lazy_reference_with(cfg: &WorkloadConfig, seed: u64) -> Result
     }
     let lazy = SharedPlanner::full().plan(&problem);
     let reference = ssa_core::plan::reference_plan(&problem);
-    if lazy.nodes().len() != reference.nodes().len() {
+    if lazy.node_count() != reference.node_count() {
         return Err(Divergence::new(
             CHECK,
             seed,
             format!(
                 "lazy plan has {} nodes, reference has {}",
-                lazy.nodes().len(),
-                reference.nodes().len()
+                lazy.node_count(),
+                reference.node_count()
             ),
         ));
     }
-    for (idx, (ln, rn)) in lazy.nodes().iter().zip(reference.nodes()).enumerate() {
-        if ln.vars != rn.vars || ln.children != rn.children {
+    for idx in 0..lazy.node_count() {
+        if lazy.vars(idx) != reference.vars(idx) || lazy.children(idx) != reference.children(idx) {
             return Err(Divergence::new(
                 CHECK,
                 seed,
                 format!(
                     "node {idx} diverges: lazy ({:?} vars, children {:?}) vs reference \
                      ({:?} vars, children {:?})",
-                    ln.vars.len(),
-                    ln.children,
-                    rn.vars.len(),
-                    rn.children
+                    lazy.vars(idx).len(),
+                    lazy.children(idx),
+                    reference.vars(idx).len(),
+                    reference.children(idx)
                 ),
             ));
         }
